@@ -1,0 +1,94 @@
+//! Access-method ablation: X-tree k-NN across dimensionalities (the
+//! curse of dimensionality that motivates the 6-d centroid filter) and
+//! M-tree k-NN directly on the metric vector-set distance.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::prelude::*;
+use std::sync::Arc;
+use vsim_index::{IoStats, MTree, XTree};
+use vsim_setdist::matching::MinimalMatching;
+use vsim_setdist::{Distance, VectorSet};
+
+fn random_points(n: usize, dim: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| (0..dim).map(|_| rng.gen_range(0.0..1.0)).collect())
+        .collect()
+}
+
+fn bench_xtree_dimensionality(c: &mut Criterion) {
+    let mut g = c.benchmark_group("xtree_knn_by_dim");
+    g.sample_size(30);
+    let n = 2000;
+    for dim in [2usize, 6, 12, 42] {
+        let pts = random_points(n, dim, dim as u64);
+        let mut tree = XTree::new(dim, IoStats::new());
+        for (i, p) in pts.iter().enumerate() {
+            tree.insert(p, i as u64);
+        }
+        g.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |b, _| {
+            let mut qi = 0usize;
+            b.iter(|| {
+                qi = (qi + 31) % n;
+                tree.knn(&pts[qi], 10)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_xtree_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("xtree_build");
+    g.sample_size(10);
+    for dim in [6usize, 42] {
+        let pts = random_points(2000, dim, 7);
+        g.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |b, &dim| {
+            b.iter(|| {
+                let mut tree = XTree::new(dim, IoStats::new());
+                for (i, p) in pts.iter().enumerate() {
+                    tree.insert(p, i as u64);
+                }
+                tree.len()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_mtree_vector_sets(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mtree_knn_vector_sets");
+    g.sample_size(20);
+    let mut rng = StdRng::seed_from_u64(11);
+    let sets: Vec<VectorSet> = (0..1000)
+        .map(|_| {
+            let card = rng.gen_range(1..=7usize);
+            let mut s = VectorSet::new(6);
+            for _ in 0..card {
+                let v: Vec<f64> = (0..6).map(|_| rng.gen_range(0.05..1.0)).collect();
+                s.push(&v);
+            }
+            s
+        })
+        .collect();
+    let dist: Arc<dyn Distance<VectorSet>> = Arc::new(MinimalMatching::vector_set_model());
+    let mut tree = MTree::new(dist, 16, 344, IoStats::new());
+    for (i, s) in sets.iter().enumerate() {
+        tree.insert(s.clone(), i as u64);
+    }
+    g.bench_function("knn10_n1000", |b| {
+        let mut qi = 0usize;
+        b.iter(|| {
+            qi = (qi + 17) % sets.len();
+            tree.knn(&sets[qi], 10)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_xtree_dimensionality,
+    bench_xtree_build,
+    bench_mtree_vector_sets
+);
+criterion_main!(benches);

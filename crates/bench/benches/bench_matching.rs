@@ -1,0 +1,75 @@
+//! The paper's core efficiency claim (Section 4.2): the minimal matching
+//! distance costs `O(k³)` via Kuhn–Munkres instead of the `k!` of naive
+//! permutation enumeration. This bench measures both as a function of k
+//! (ablation: matching solver choice).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::prelude::*;
+use vsim_setdist::matching::{brute_force_matching_distance, MinimalMatching};
+use vsim_setdist::VectorSet;
+
+fn random_set(rng: &mut StdRng, k: usize) -> VectorSet {
+    let mut s = VectorSet::new(6);
+    for _ in 0..k {
+        let v: Vec<f64> = (0..6).map(|_| rng.gen_range(0.05..1.0)).collect();
+        s.push(&v);
+    }
+    s
+}
+
+fn bench_kuhn_munkres_vs_brute(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matching_distance");
+    let mm = MinimalMatching::vector_set_model();
+    for k in [3usize, 5, 7, 8] {
+        let mut rng = StdRng::seed_from_u64(k as u64);
+        let a = random_set(&mut rng, k);
+        let b = random_set(&mut rng, k);
+        g.bench_with_input(BenchmarkId::new("kuhn_munkres", k), &k, |bench, _| {
+            bench.iter(|| mm.distance_value(std::hint::black_box(&a), std::hint::black_box(&b)))
+        });
+        g.bench_with_input(BenchmarkId::new("brute_force_k_factorial", k), &k, |bench, _| {
+            bench.iter(|| {
+                brute_force_matching_distance(&mm, std::hint::black_box(&a), std::hint::black_box(&b))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_matching_scaling(c: &mut Criterion) {
+    // O(k^3) scaling beyond the brute-force-feasible region.
+    let mut g = c.benchmark_group("matching_scaling");
+    let mm = MinimalMatching::vector_set_model();
+    for k in [8usize, 16, 32, 64] {
+        let mut rng = StdRng::seed_from_u64(100 + k as u64);
+        let a = random_set(&mut rng, k);
+        let b = random_set(&mut rng, k);
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |bench, _| {
+            bench.iter(|| mm.distance_value(std::hint::black_box(&a), std::hint::black_box(&b)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_unbalanced_sets(c: &mut Criterion) {
+    // Different cardinalities exercise the weight-function columns.
+    let mut g = c.benchmark_group("matching_unbalanced");
+    let mm = MinimalMatching::vector_set_model();
+    let mut rng = StdRng::seed_from_u64(7);
+    let a = random_set(&mut rng, 7);
+    for nb in [1usize, 3, 5, 7] {
+        let b = random_set(&mut rng, nb);
+        g.bench_with_input(BenchmarkId::from_parameter(format!("7v{nb}")), &nb, |bench, _| {
+            bench.iter(|| mm.distance_value(std::hint::black_box(&a), std::hint::black_box(&b)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_kuhn_munkres_vs_brute,
+    bench_matching_scaling,
+    bench_unbalanced_sets
+);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Voxelization substrate costs: implicit solids (center sampling) vs.
+//! triangle meshes (SAT rasterization + flood fill), at the paper's two
+//! raster resolutions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vsim_geom::solid::{CylinderZ, SolidExt, TorusZ};
+use vsim_geom::TriMesh;
+use vsim_voxel::{voxelize_mesh, voxelize_solid, NormalizeMode};
+
+fn bench_solid(c: &mut Criterion) {
+    let mut g = c.benchmark_group("voxelize_solid");
+    let torus = TorusZ { major: 2.0, minor: 0.6 }.boxed();
+    for r in [15usize, 30] {
+        g.bench_with_input(BenchmarkId::new("torus", r), &r, |b, &r| {
+            b.iter(|| voxelize_solid(torus.as_ref(), r, NormalizeMode::Uniform))
+        });
+    }
+    let nested = vsim_geom::solid::difference(
+        CylinderZ { radius: 1.0, half_height: 1.0 }.boxed(),
+        CylinderZ { radius: 0.5, half_height: 1.5 }.boxed(),
+    );
+    for r in [15usize, 30] {
+        g.bench_with_input(BenchmarkId::new("csg_tube", r), &r, |b, &r| {
+            b.iter(|| voxelize_solid(nested.as_ref(), r, NormalizeMode::Uniform))
+        });
+    }
+    g.finish();
+}
+
+fn bench_mesh(c: &mut Criterion) {
+    let mut g = c.benchmark_group("voxelize_mesh");
+    g.sample_size(30);
+    let sphere = TriMesh::make_sphere(1.0, 24, 48);
+    let cyl = TriMesh::make_cylinder(1.0, 2.0, 64);
+    for r in [15usize, 30] {
+        g.bench_with_input(
+            BenchmarkId::new(format!("sphere_{}tris", sphere.triangles.len()), r),
+            &r,
+            |b, &r| b.iter(|| voxelize_mesh(&sphere, r, NormalizeMode::Uniform)),
+        );
+        g.bench_with_input(
+            BenchmarkId::new(format!("cylinder_{}tris", cyl.triangles.len()), r),
+            &r,
+            |b, &r| b.iter(|| voxelize_mesh(&cyl, r, NormalizeMode::Uniform)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_solid, bench_mesh);
+criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! Figure 10 — evaluation of the classes found by OPTICS in the Car
+//! Dataset: which part families each extracted cluster contains, for
+//! the cover sequence model (Fig. 10b) and the vector set model with 7
+//! covers (Fig. 10c), plus the solid-angle model's classes (Fig. 10a).
+//!
+//! The paper inspects sample objects per cluster visually; with labeled
+//! synthetic data we print each cluster's family composition and check
+//! the three shortcomings of the cover sequence model it reports:
+//!  1. lost cluster hierarchies, 2. missed clusters, 3. impure clusters.
+//!
+//! `cargo run --release -p vsim-bench --bin exp_fig10`
+
+use vsim_bench::{processed_car, run_optics};
+use vsim_core::prelude::*;
+use vsim_optics::{best_cut, cluster_tree, extract_clusters, Clustering, TreeParams};
+
+fn describe(tag: &str, c: &Clustering, labels: &[usize], names: &[&'static str]) -> (usize, f64) {
+    println!("\n--- {tag}: {} clusters, {} noise ---", c.num_clusters(), c.noise.len());
+    let mut families_found = std::collections::HashSet::new();
+    let mut impure = 0usize;
+    for (ci, members) in c.clusters.iter().enumerate() {
+        let mut counts = vec![0usize; names.len()];
+        for &m in members {
+            counts[labels[m]] += 1;
+        }
+        let (top, topc) = counts.iter().enumerate().max_by_key(|(_, &c)| c).unwrap();
+        let pure = *topc as f64 / members.len() as f64;
+        if pure >= 0.5 {
+            families_found.insert(top);
+        }
+        if pure < 0.8 {
+            impure += 1;
+        }
+        let comp: Vec<String> = counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(l, &c)| format!("{}x{}", c, names[l]))
+            .collect();
+        println!("  class {ci:2} ({:3} objs, {:3.0}% pure): {}", members.len(), 100.0 * pure, comp.join(", "));
+    }
+    let purity = vsim_optics::purity(c, labels);
+    println!("  families recovered: {}/{}  overall purity {:.3}", families_found.len(), names.len(), purity);
+    (families_found.len(), purity)
+}
+
+fn main() {
+    let p = processed_car(7);
+    let labels = p.labels();
+    let names: Vec<&'static str> = p.dataset.class_names.clone();
+
+    let runs = [
+        ("fig10a solid-angle", SimilarityModel::solid_angle(6, 3)),
+        ("fig10b cover-sequence k=7", SimilarityModel::cover_sequence(7)),
+        ("fig10c vector-set k=7", SimilarityModel::vector_set(7)),
+    ];
+
+    let mut summary = Vec::new();
+    for (tag, model) in &runs {
+        let ordering = run_optics(&p, model, 5, None);
+        let q = best_cut(&ordering, &labels, 4, vsim_optics::DEFAULT_GRID);
+        let clustering = extract_clusters(&ordering, q.eps, 4);
+        let (fams, purity) = describe(tag, &clustering, &labels, &names);
+
+        // Hierarchy check ("meaningful hierarchies of clusters", classes
+        // G1/G2 in Fig. 10c): count cluster-tree nodes that are >=80%
+        // one family — the vector set model should preserve more of them.
+        let tree = cluster_tree(&ordering, TreeParams { min_cluster_size: 5, significance: 0.75 });
+        let meaningful = tree
+            .flatten()
+            .iter()
+            .filter(|node| {
+                let members = node.members(&ordering);
+                let mut counts = vec![0usize; names.len()];
+                for &m in members {
+                    counts[labels[m]] += 1;
+                }
+                let top = counts.iter().max().copied().unwrap_or(0);
+                members.len() >= 5 && top * 5 >= members.len() * 4
+            })
+            .count();
+        println!(
+            "  cluster tree: {} nodes, depth {}, {} family-pure nodes",
+            tree.subtree_size(),
+            tree.depth(),
+            meaningful
+        );
+        summary.push((*tag, fams, purity, q.f1, meaningful));
+    }
+
+    println!("\n=== Figure 10 summary (Car Dataset) ===");
+    println!(
+        "{:28} {:>10} {:>8} {:>8} {:>12}",
+        "model", "families", "purity", "F1", "pure nodes"
+    );
+    for (tag, fams, purity, f1, meaningful) in &summary {
+        println!(
+            "{:28} {:>7}/{:<2} {:>8.3} {:>8.3} {:>12}",
+            tag,
+            fams,
+            names.len(),
+            purity,
+            f1,
+            meaningful
+        );
+    }
+    println!(
+        "\npaper expectation: vector set recovers the most families with the \
+         purest classes; cover sequence misses families (e.g. class F) and \
+         mixes dissimilar parts (class X); solid-angle is weakest."
+    );
+}

@@ -1,0 +1,155 @@
+//! # vsim-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper's evaluation (Section 5):
+//!
+//! | binary       | reproduces | paper artifact |
+//! |--------------|------------|----------------|
+//! | `exp_table1` | % of proper permutations for k ∈ {3,5,7,9} | Table 1 |
+//! | `exp_table2` | 10-NN cost: 1-vector X-tree vs. filter vs. scan | Table 2 |
+//! | `exp_fig5`   | didactic 2-D reachability plot | Figure 5 |
+//! | `exp_fig6`   | volume + solid-angle reachability plots | Figure 6 |
+//! | `exp_fig7`   | cover sequence model plots (7 covers) | Figure 7 |
+//! | `exp_fig8`   | cover sequence + permutation distance plots | Figure 8 |
+//! | `exp_fig9`   | vector set model plots (3 and 7 covers) | Figure 9 |
+//! | `exp_fig10`  | cluster-content evaluation of the cuts | Figure 10 |
+//!
+//! Extension / ablation binaries (DESIGN.md §7):
+//!
+//! | binary | question |
+//! |--------|----------|
+//! | `exp_ablation_distances` | matching distance vs. Hausdorff / SMD / (fair) surjection / link — retrieval quality and metric-axiom violations |
+//! | `exp_ablation_index` | centroid-filter X-tree vs. M-tree vs. scan across database sizes |
+//! | `diag_contrast` | evaluation-noise-free intra/inter contrast and 1-NN accuracy per model |
+//!
+//! Every binary accepts the environment variables `CAR_N` (default 200)
+//! and `AIRCRAFT_N` (default 5000) to scale the datasets, writes CSV
+//! series to `target/experiments/`, and prints a paper-vs-measured
+//! summary. Results are recorded in `EXPERIMENTS.md`.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use vsim_core::prelude::*;
+
+/// Dataset sizes from the environment (defaults = the paper's sizes).
+pub fn car_n() -> usize {
+    std::env::var("CAR_N").ok().and_then(|v| v.parse().ok()).unwrap_or(200)
+}
+
+pub fn aircraft_n() -> usize {
+    std::env::var("AIRCRAFT_N")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5000)
+}
+
+/// Where experiment CSVs land.
+pub fn out_dir() -> PathBuf {
+    let dir = PathBuf::from("target/experiments");
+    std::fs::create_dir_all(&dir).expect("cannot create target/experiments");
+    dir
+}
+
+/// The standard seeds (fixed so every experiment sees the same data).
+pub const CAR_SEED: u64 = 42;
+pub const AIRCRAFT_SEED: u64 = 1;
+
+/// Generate + preprocess the Car Dataset (disk-cached: the greedy cover
+/// search dominates setup time and is identical across experiments).
+pub fn processed_car(k_max: usize) -> ProcessedDataset {
+    let n = car_n();
+    let cache = format!("target/experiments/cache/car_{CAR_SEED}_{n}_k{k_max}.vsd");
+    vsim_core::persist::load_or_build(&cache, || {
+        eprintln!("[setup] generating car dataset (n = {n}) ...");
+        let data = car_dataset(CAR_SEED, n);
+        eprintln!("[setup] computing cover sequences (k_max = {k_max}) ...");
+        ProcessedDataset::build(data, k_max)
+    })
+}
+
+/// Generate + preprocess the Aircraft Dataset (disk-cached).
+pub fn processed_aircraft(k_max: usize) -> ProcessedDataset {
+    let n = aircraft_n();
+    let cache = format!("target/experiments/cache/aircraft_{AIRCRAFT_SEED}_{n}_k{k_max}.vsd");
+    vsim_core::persist::load_or_build(&cache, || {
+        eprintln!("[setup] generating aircraft dataset (n = {n}) ...");
+        let data = aircraft_dataset(AIRCRAFT_SEED, n);
+        eprintln!("[setup] computing cover sequences (k_max = {k_max}) ...");
+        ProcessedDataset::build(data, k_max)
+    })
+}
+
+/// Run OPTICS under a model, with an optional permutation counter
+/// (Table 1 hooks into every distance computation of the run).
+pub fn run_optics(
+    p: &ProcessedDataset,
+    model: &SimilarityModel,
+    min_pts: usize,
+    permutation_counter: Option<(&AtomicU64, &AtomicU64)>,
+) -> ClusterOrdering {
+    let reprs = p.representations(model);
+    let optics = Optics { min_pts, eps: f64::INFINITY };
+    match permutation_counter {
+        None => {
+            let oracle = p.distance_oracle(model, &reprs);
+            optics.run(p.len(), oracle)
+        }
+        Some((needed, total)) => {
+            let oracle = |i: usize, j: usize| {
+                let out = model
+                    .match_outcome(&reprs[i], &reprs[j])
+                    .expect("permutation counting requires a set-based model");
+                total.fetch_add(1, Ordering::Relaxed);
+                if out.permutation_needed {
+                    needed.fetch_add(1, Ordering::Relaxed);
+                }
+                out.cost
+            };
+            optics.run(p.len(), oracle)
+        }
+    }
+}
+
+/// OPTICS + reachability CSV + ASCII plot + best-cut quality, the common
+/// body of the figure experiments.
+pub fn figure_run(
+    p: &ProcessedDataset,
+    model: &SimilarityModel,
+    dataset_tag: &str,
+    figure_tag: &str,
+    min_pts: usize,
+) -> CutQuality {
+    eprintln!("[run ] OPTICS: {} on {dataset_tag} ...", model.name());
+    let ordering = run_optics(p, model, min_pts, None);
+    let plot = ReachabilityPlot::from_ordering(&ordering);
+
+    let path = out_dir().join(format!("{figure_tag}_{dataset_tag}.csv"));
+    let f = std::fs::File::create(&path).expect("cannot write plot CSV");
+    plot.write_csv(std::io::BufWriter::new(f)).expect("CSV write failed");
+
+    println!("\n=== {figure_tag} / {dataset_tag}: {} ===", model.name());
+    print!("{}", plot.ascii(100, 10));
+    let labels = p.labels();
+    let q = best_cut(&ordering, &labels, 4, vsim_optics::DEFAULT_GRID);
+    println!(
+        "best cut: eps = {:.3}  clusters = {}  noise = {}  purity = {:.3}  F1 = {:.3}  ARI = {:.3}",
+        q.eps, q.num_clusters, q.noise, q.purity, q.f1, q.ari
+    );
+    println!("series written to {}", path.display());
+    q
+}
+
+/// Pretty table-row helper for the summaries.
+pub fn print_quality_table(rows: &[(String, CutQuality)]) {
+    println!(
+        "\n{:40} {:>9} {:>7} {:>8} {:>8} {:>8}",
+        "model / dataset", "clusters", "noise", "purity", "F1", "ARI"
+    );
+    for (name, q) in rows {
+        println!(
+            "{:40} {:>9} {:>7} {:>8.3} {:>8.3} {:>8.3}",
+            name, q.num_clusters, q.noise, q.purity, q.f1, q.ari
+        );
+    }
+}
+
+pub use vsim_optics::CutQuality;

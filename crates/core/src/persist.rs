@@ -1,0 +1,330 @@
+//! Binary persistence for processed datasets.
+//!
+//! Generating a dataset is cheap; the greedy cover search over 5000
+//! objects is not. This module serializes a [`ProcessedDataset`] (grids,
+//! labels, cover sequences) into a compact hand-rolled binary format so
+//! experiment binaries can share one preprocessing pass. The format is
+//! versioned and checksummed; no external serialization framework is
+//! used (see DESIGN.md §6).
+
+use crate::database::ProcessedDataset;
+use bytes::{Buf, BufMut, BytesMut};
+use std::io::{self, Read, Write};
+use vsim_datagen::{CadObject, Dataset};
+use vsim_features::{CoverSequence, CoverUnit, Cuboid, Sign};
+use vsim_voxel::VoxelGrid;
+
+const MAGIC: u32 = 0x5653_4431; // "VSD1"
+const VERSION: u32 = 2;
+
+/// Serialization errors.
+#[derive(Debug)]
+pub enum PersistError {
+    Io(io::Error),
+    Format(String),
+}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "persist I/O error: {e}"),
+            PersistError::Format(m) => write!(f, "persist format error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+fn put_grid(b: &mut BytesMut, g: &VoxelGrid) {
+    let [nx, ny, nz] = g.dims();
+    b.put_u16_le(nx as u16);
+    b.put_u16_le(ny as u16);
+    b.put_u16_le(nz as u16);
+    for w in g.words() {
+        b.put_u64_le(*w);
+    }
+}
+
+fn get_grid(buf: &mut &[u8]) -> Result<VoxelGrid, PersistError> {
+    if buf.remaining() < 6 {
+        return Err(PersistError::Format("truncated grid header".into()));
+    }
+    let nx = buf.get_u16_le() as usize;
+    let ny = buf.get_u16_le() as usize;
+    let nz = buf.get_u16_le() as usize;
+    if nx == 0 || ny == 0 || nz == 0 || nx * ny * nz > 1 << 24 {
+        return Err(PersistError::Format(format!("bad grid dims {nx}x{ny}x{nz}")));
+    }
+    let words = (nx * ny * nz + 63) / 64;
+    if buf.remaining() < words * 8 {
+        return Err(PersistError::Format("truncated grid payload".into()));
+    }
+    let data: Vec<u64> = (0..words).map(|_| buf.get_u64_le()).collect();
+    Ok(VoxelGrid::from_words(nx, ny, nz, data))
+}
+
+fn put_sequence(b: &mut BytesMut, s: &CoverSequence) {
+    b.put_u16_le(s.r as u16);
+    b.put_u16_le(s.units.len() as u16);
+    for u in &s.units {
+        for d in 0..3 {
+            b.put_u16_le(u.cuboid.min[d] as u16);
+            b.put_u16_le(u.cuboid.max[d] as u16);
+        }
+        b.put_u8(matches!(u.sign, Sign::Plus) as u8);
+        b.put_u32_le(u.gain as u32);
+    }
+    for e in &s.errors {
+        b.put_u32_le(*e as u32);
+    }
+}
+
+fn get_sequence(buf: &mut &[u8]) -> Result<CoverSequence, PersistError> {
+    if buf.remaining() < 4 {
+        return Err(PersistError::Format("truncated sequence header".into()));
+    }
+    let r = buf.get_u16_le() as usize;
+    let n = buf.get_u16_le() as usize;
+    let mut units = Vec::with_capacity(n);
+    for _ in 0..n {
+        if buf.remaining() < 17 {
+            return Err(PersistError::Format("truncated cover unit".into()));
+        }
+        let mut min = [0usize; 3];
+        let mut max = [0usize; 3];
+        for d in 0..3 {
+            min[d] = buf.get_u16_le() as usize;
+            max[d] = buf.get_u16_le() as usize;
+            if max[d] <= min[d] || max[d] > r {
+                return Err(PersistError::Format("invalid cuboid bounds".into()));
+            }
+        }
+        let sign = if buf.get_u8() != 0 { Sign::Plus } else { Sign::Minus };
+        let gain = buf.get_u32_le() as usize;
+        units.push(CoverUnit { cuboid: Cuboid { min, max }, sign, gain });
+    }
+    if buf.remaining() < (n + 1) * 4 {
+        return Err(PersistError::Format("truncated error list".into()));
+    }
+    let errors: Vec<usize> = (0..=n).map(|_| buf.get_u32_le() as usize).collect();
+    Ok(CoverSequence { r, units, errors })
+}
+
+/// Serialize a processed dataset.
+pub fn save<W: Write>(p: &ProcessedDataset, mut w: W) -> Result<(), PersistError> {
+    let mut b = BytesMut::new();
+    b.put_u32_le(MAGIC);
+    b.put_u32_le(VERSION);
+    b.put_u32_le(p.len() as u32);
+    b.put_u32_le(p.k_max as u32);
+    // Dataset name + class names.
+    let name = p.dataset.name.as_bytes();
+    b.put_u16_le(name.len() as u16);
+    b.put_slice(name);
+    b.put_u16_le(p.dataset.class_names.len() as u16);
+    for c in &p.dataset.class_names {
+        let cb = c.as_bytes();
+        b.put_u16_le(cb.len() as u16);
+        b.put_slice(cb);
+    }
+    for (obj, seq) in p.dataset.objects.iter().zip(&p.sequences) {
+        b.put_u32_le(obj.label as u32);
+        put_grid(&mut b, &obj.grid15);
+        put_grid(&mut b, &obj.grid30);
+        put_sequence(&mut b, seq);
+    }
+    // Trailing checksum: simple FNV-1a over the payload.
+    let sum = fnv1a(&b);
+    b.put_u64_le(sum);
+    w.write_all(&b)?;
+    Ok(())
+}
+
+/// Deserialize a processed dataset.
+///
+/// Leaks the stored name/class strings (they are `&'static str` in
+/// [`Dataset`]); acceptable for the handful of dataset loads per
+/// process.
+pub fn load<R: Read>(mut r: R) -> Result<ProcessedDataset, PersistError> {
+    let mut data = Vec::new();
+    r.read_to_end(&mut data)?;
+    if data.len() < 24 {
+        return Err(PersistError::Format("file too short".into()));
+    }
+    let (payload, tail) = data.split_at(data.len() - 8);
+    let stored = u64::from_le_bytes(tail.try_into().unwrap());
+    if fnv1a(payload) != stored {
+        return Err(PersistError::Format("checksum mismatch".into()));
+    }
+    let mut buf: &[u8] = payload;
+    if buf.get_u32_le() != MAGIC {
+        return Err(PersistError::Format("bad magic".into()));
+    }
+    let version = buf.get_u32_le();
+    if version != VERSION {
+        return Err(PersistError::Format(format!("unsupported version {version}")));
+    }
+    let n = buf.get_u32_le() as usize;
+    let k_max = buf.get_u32_le() as usize;
+    let get_str = |buf: &mut &[u8]| -> Result<&'static str, PersistError> {
+        let len = buf.get_u16_le() as usize;
+        if buf.remaining() < len {
+            return Err(PersistError::Format("truncated string".into()));
+        }
+        let s = String::from_utf8(buf[..len].to_vec())
+            .map_err(|_| PersistError::Format("invalid utf-8".into()))?;
+        buf.advance(len);
+        Ok(Box::leak(s.into_boxed_str()))
+    };
+    let name = get_str(&mut buf)?;
+    let n_classes = buf.get_u16_le() as usize;
+    let mut class_names = Vec::with_capacity(n_classes);
+    for _ in 0..n_classes {
+        class_names.push(get_str(&mut buf)?);
+    }
+    let mut objects = Vec::with_capacity(n);
+    let mut sequences = Vec::with_capacity(n);
+    for id in 0..n {
+        if buf.remaining() < 4 {
+            return Err(PersistError::Format("truncated object".into()));
+        }
+        let label = buf.get_u32_le() as usize;
+        if label >= n_classes {
+            return Err(PersistError::Format("label out of range".into()));
+        }
+        let grid15 = get_grid(&mut buf)?;
+        let grid30 = get_grid(&mut buf)?;
+        let seq = get_sequence(&mut buf)?;
+        objects.push(CadObject { id: id as u64, label, grid15, grid30 });
+        sequences.push(seq);
+    }
+    Ok(ProcessedDataset {
+        dataset: Dataset { name, objects, class_names },
+        sequences,
+        k_max,
+    })
+}
+
+/// Load from `path` if present and valid, otherwise build via `make` and
+/// save. The standard pattern for experiment binaries:
+///
+/// ```no_run
+/// use vsim_core::{persist, ProcessedDataset};
+/// use vsim_datagen::car::car_dataset;
+/// let p = persist::load_or_build("target/car_200_k9.vsd", || {
+///     ProcessedDataset::build(car_dataset(42, 200), 9)
+/// });
+/// ```
+pub fn load_or_build(path: &str, make: impl FnOnce() -> ProcessedDataset) -> ProcessedDataset {
+    if let Ok(f) = std::fs::File::open(path) {
+        if let Ok(p) = load(io::BufReader::new(f)) {
+            return p;
+        }
+        eprintln!("[cache] {path} unreadable; rebuilding");
+    }
+    let p = make();
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    match std::fs::File::create(path) {
+        Ok(f) => {
+            if let Err(e) = save(&p, io::BufWriter::new(f)) {
+                eprintln!("[cache] failed to write {path}: {e}");
+            }
+        }
+        Err(e) => eprintln!("[cache] cannot create {path}: {e}"),
+    }
+    p
+}
+
+fn fnv1a(data: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vsim_datagen::car::car_dataset;
+
+    fn sample() -> ProcessedDataset {
+        ProcessedDataset::build(car_dataset(5, 12), 5)
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let p = sample();
+        let mut buf = Vec::new();
+        save(&p, &mut buf).unwrap();
+        let q = load(&buf[..]).unwrap();
+        assert_eq!(q.len(), p.len());
+        assert_eq!(q.k_max, p.k_max);
+        assert_eq!(q.dataset.name, p.dataset.name);
+        assert_eq!(q.dataset.class_names, p.dataset.class_names);
+        for i in 0..p.len() {
+            assert_eq!(q.dataset.objects[i].label, p.dataset.objects[i].label);
+            assert_eq!(q.dataset.objects[i].grid15, p.dataset.objects[i].grid15);
+            assert_eq!(q.dataset.objects[i].grid30, p.dataset.objects[i].grid30);
+            assert_eq!(q.sequences[i], p.sequences[i]);
+        }
+    }
+
+    #[test]
+    fn representations_match_after_roundtrip() {
+        let p = sample();
+        let mut buf = Vec::new();
+        save(&p, &mut buf).unwrap();
+        let q = load(&buf[..]).unwrap();
+        assert_eq!(p.vector_sets(5), q.vector_sets(5));
+        assert_eq!(p.cover_vectors(3), q.cover_vectors(3));
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let p = sample();
+        let mut buf = Vec::new();
+        save(&p, &mut buf).unwrap();
+        // Flip a byte in the middle.
+        let mid = buf.len() / 2;
+        buf[mid] ^= 0xff;
+        assert!(matches!(load(&buf[..]), Err(PersistError::Format(_))));
+        // Truncation.
+        assert!(load(&buf[..20]).is_err());
+        // Bad magic.
+        let mut buf2 = Vec::new();
+        save(&p, &mut buf2).unwrap();
+        buf2[0] ^= 0xff;
+        assert!(load(&buf2[..]).is_err());
+    }
+
+    #[test]
+    fn load_or_build_caches() {
+        let dir = std::env::temp_dir().join("vsim_persist_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("car.vsd");
+        let path_str = path.to_str().unwrap();
+        let mut builds = 0;
+        let p1 = load_or_build(path_str, || {
+            builds += 1;
+            sample()
+        });
+        assert_eq!(builds, 1);
+        let p2 = load_or_build(path_str, || {
+            builds += 1;
+            sample()
+        });
+        assert_eq!(builds, 1, "second call must hit the cache");
+        assert_eq!(p1.vector_sets(5), p2.vector_sets(5));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

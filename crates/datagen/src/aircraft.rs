@@ -1,0 +1,137 @@
+//! The synthetic *Aircraft Dataset*: 5000 parts, heavily skewed toward
+//! small fasteners, as the paper describes its aircraft-producer data:
+//! "many small objects (e.g. nuts, bolts, etc.) and a few large ones
+//! (e.g. wings)".
+
+use crate::parts;
+use crate::{build_dataset, jitter, Dataset, Family};
+
+/// Part families of the Aircraft Dataset with skewed weights.
+pub fn aircraft_families() -> Vec<Family> {
+    vec![
+        Family {
+            name: "nut",
+            weight: 24.0,
+            gen: Box::new(|rng| {
+                parts::nut(
+                    jitter(rng, 1.0, 0.3),
+                    jitter(rng, 0.6, 0.5),
+                    jitter(rng, 0.5, 0.25),
+                )
+            }),
+        },
+        Family {
+            name: "bolt",
+            weight: 24.0,
+            gen: Box::new(|rng| {
+                parts::bolt(
+                    jitter(rng, 0.4, 0.3),
+                    jitter(rng, 2.0, 0.6),
+                    jitter(rng, 0.8, 0.25),
+                    jitter(rng, 0.4, 0.3),
+                )
+            }),
+        },
+        Family {
+            name: "rivet",
+            weight: 16.0,
+            gen: Box::new(|rng| {
+                parts::rivet(
+                    jitter(rng, 0.4, 0.3),
+                    jitter(rng, 1.5, 0.5),
+                    jitter(rng, 0.8, 0.25),
+                )
+            }),
+        },
+        Family {
+            name: "washer",
+            weight: 14.0,
+            gen: Box::new(|rng| {
+                parts::washer(
+                    jitter(rng, 1.0, 0.25),
+                    jitter(rng, 0.5, 0.3),
+                    jitter(rng, 0.15, 0.5),
+                )
+            }),
+        },
+        Family {
+            name: "bracket",
+            weight: 8.0,
+            gen: Box::new(|rng| {
+                parts::bracket(
+                    jitter(rng, 1.5, 0.15),
+                    jitter(rng, 1.0, 0.2),
+                    jitter(rng, 0.2, 0.15),
+                    jitter(rng, 0.3, 0.15),
+                )
+            }),
+        },
+        Family {
+            name: "clamp",
+            weight: 6.0,
+            gen: Box::new(|rng| {
+                parts::clamp(
+                    jitter(rng, 1.5, 0.12),
+                    jitter(rng, 0.4, 0.2),
+                    jitter(rng, 0.6, 0.2),
+                )
+            }),
+        },
+        Family {
+            name: "wing",
+            weight: 2.0,
+            gen: Box::new(|rng| {
+                parts::wing(
+                    jitter(rng, 6.0, 0.15),
+                    jitter(rng, 2.0, 0.15),
+                    jitter(rng, 0.35, 0.15),
+                    jitter(rng, 0.3, 0.2),
+                )
+            }),
+        },
+        Family {
+            name: "spar",
+            weight: 2.0,
+            gen: Box::new(|rng| {
+                parts::spar(
+                    jitter(rng, 5.0, 0.2),
+                    jitter(rng, 1.0, 0.15),
+                    jitter(rng, 0.8, 0.15),
+                    jitter(rng, 0.2, 0.15),
+                )
+            }),
+        },
+        Family {
+            name: "fuselage_panel",
+            weight: 2.0,
+            gen: Box::new(|rng| {
+                parts::fuselage_panel(
+                    jitter(rng, 3.0, 0.12),
+                    jitter(rng, 2.0, 0.15),
+                    jitter(rng, 3.0, 0.2),
+                    jitter(rng, 0.2, 0.2),
+                )
+            }),
+        },
+        Family {
+            name: "turbine_disc",
+            weight: 2.0,
+            gen: Box::new(|rng| {
+                parts::turbine_disc(
+                    jitter(rng, 2.0, 0.12),
+                    jitter(rng, 0.3, 0.2),
+                    jitter(rng, 0.7, 0.15),
+                    jitter(rng, 0.3, 0.15),
+                )
+            }),
+        },
+    ]
+}
+
+/// Build the Aircraft Dataset (paper: 5000 CAD objects).
+pub fn aircraft_dataset(seed: u64, n: usize) -> Dataset {
+    build_dataset("aircraft", aircraft_families(), n, seed)
+}
+
+/// The paper's dataset size.
+pub const AIRCRAFT_DEFAULT_SIZE: usize = 5000;

@@ -1,0 +1,140 @@
+//! The synthetic *Car Dataset*: ~200 parts across the families the paper
+//! names for its industrial partner's data — "a set of tires, doors,
+//! fenders, engine blocks and kinematic envelopes of seats" — plus a few
+//! more automotive families to reach realistic diversity.
+
+use crate::parts;
+use crate::{build_dataset, jitter, Dataset, Family};
+
+/// Part families of the Car Dataset (equal weights, 10 families).
+pub fn car_families() -> Vec<Family> {
+    vec![
+        Family {
+            name: "tire",
+            weight: 1.0,
+            gen: Box::new(|rng| {
+                parts::tire(jitter(rng, 2.0, 0.15), jitter(rng, 0.6, 0.2))
+            }),
+        },
+        Family {
+            name: "rim",
+            weight: 1.0,
+            gen: Box::new(|rng| {
+                parts::rim(
+                    jitter(rng, 2.0, 0.12),
+                    jitter(rng, 0.5, 0.2),
+                    jitter(rng, 0.5, 0.15),
+                )
+            }),
+        },
+        Family {
+            name: "door",
+            weight: 1.0,
+            gen: Box::new(|rng| {
+                parts::door(
+                    jitter(rng, 2.0, 0.15),
+                    jitter(rng, 2.5, 0.12),
+                    jitter(rng, 0.15, 0.2),
+                    jitter(rng, 0.35, 0.1),
+                )
+            }),
+        },
+        Family {
+            name: "fender",
+            weight: 1.0,
+            gen: Box::new(|rng| {
+                parts::fender(
+                    jitter(rng, 2.0, 0.12),
+                    jitter(rng, 1.0, 0.2),
+                    jitter(rng, 0.25, 0.2),
+                )
+            }),
+        },
+        Family {
+            name: "engine_block",
+            weight: 1.0,
+            gen: Box::new(|rng| {
+                let bores = *[4usize, 4, 6].iter().collect::<Vec<_>>()
+                    [rng_usize(rng, 3)];
+                parts::engine_block(
+                    jitter(rng, 2.5, 0.12),
+                    jitter(rng, 1.2, 0.15),
+                    jitter(rng, 1.5, 0.12),
+                    bores,
+                    jitter(rng, 0.4, 0.1),
+                )
+            }),
+        },
+        Family {
+            name: "seat_envelope",
+            weight: 1.0,
+            gen: Box::new(|rng| {
+                parts::seat_envelope(
+                    jitter(rng, 1.5, 0.12),
+                    jitter(rng, 1.5, 0.15),
+                    jitter(rng, 2.0, 0.12),
+                    jitter(rng, 0.4, 0.15),
+                )
+            }),
+        },
+        Family {
+            name: "exhaust",
+            weight: 1.0,
+            gen: Box::new(|rng| {
+                parts::exhaust(
+                    jitter(rng, 3.0, 0.15),
+                    jitter(rng, 0.3, 0.15),
+                    jitter(rng, 0.8, 0.15),
+                    jitter(rng, 1.0, 0.2),
+                )
+            }),
+        },
+        Family {
+            name: "brake_disc",
+            weight: 1.0,
+            gen: Box::new(|rng| {
+                parts::brake_disc(
+                    jitter(rng, 2.0, 0.12),
+                    jitter(rng, 0.2, 0.2),
+                    jitter(rng, 0.8, 0.15),
+                )
+            }),
+        },
+        Family {
+            name: "gearbox",
+            weight: 1.0,
+            gen: Box::new(|rng| {
+                parts::gearbox(
+                    jitter(rng, 1.5, 0.12),
+                    jitter(rng, 1.2, 0.15),
+                    jitter(rng, 1.2, 0.15),
+                    jitter(rng, 1.0, 0.12),
+                )
+            }),
+        },
+        Family {
+            name: "mirror",
+            weight: 1.0,
+            gen: Box::new(|rng| {
+                parts::mirror(
+                    jitter(rng, 1.0, 0.12),
+                    jitter(rng, 1.0, 0.2),
+                    jitter(rng, 0.2, 0.2),
+                )
+            }),
+        },
+    ]
+}
+
+fn rng_usize(rng: &mut rand::rngs::StdRng, n: usize) -> usize {
+    use rand::Rng;
+    rng.gen_range(0..n)
+}
+
+/// Build the Car Dataset (paper: "approximately 200 CAD objects").
+pub fn car_dataset(seed: u64, n: usize) -> Dataset {
+    build_dataset("car", car_families(), n, seed)
+}
+
+/// The paper's dataset size.
+pub const CAR_DEFAULT_SIZE: usize = 200;

@@ -1,0 +1,632 @@
+//! The cover sequence model (Section 3.3.3) and the vector set model
+//! built on it (Section 4).
+//!
+//! An object `O` is approximated by a sequence
+//! `S_k = (((C₀ σ₁ C₁) σ₂ C₂) … σ_k C_k)` of axis-parallel cuboid covers
+//! combined with union (`+`) or difference (`−`), chosen greedily to
+//! minimize the symmetric volume difference `Err = |O XOR S|`
+//! (Jagadish & Bruckstein's polynomial-time algorithm — the one the
+//! paper's experiments use).
+//!
+//! ## Search strategy
+//!
+//! Each greedy step maximizes the error reduction ("gain") over *all*
+//! axis-parallel cuboids:
+//!
+//! * `gain₊(C) = |C ∩ (O∖S)| − |C ∖ (O ∪ S)|`
+//! * `gain₋(C) = |C ∩ (S∖O)| − |C ∩ (S ∩ O)|`
+//!
+//! Both are additive over z-slabs of `C`, so for every `(x₀,x₁,y₀,y₁)`
+//! footprint the optimal z-interval is a maximum-sum subarray found by
+//! Kadane's algorithm in `O(r)`, with per-slab counts answered from 2-D
+//! prefix sums in `O(1)`. The full step is `O(r⁴ · r) = O(r⁵)` instead of
+//! the naive `O(r⁶)` box enumeration with per-box counting.
+
+use vsim_setdist::VectorSet;
+use vsim_voxel::VoxelGrid;
+
+/// An axis-parallel cuboid in voxel coordinates, half-open:
+/// `[min, max)` per axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cuboid {
+    pub min: [usize; 3],
+    pub max: [usize; 3],
+}
+
+impl Cuboid {
+    pub fn volume(&self) -> usize {
+        (0..3).map(|d| self.max[d] - self.min[d]).product()
+    }
+
+    pub fn extent(&self, d: usize) -> usize {
+        self.max[d] - self.min[d]
+    }
+
+    /// Center in (fractional) voxel coordinates.
+    pub fn center(&self, d: usize) -> f64 {
+        (self.min[d] + self.max[d]) as f64 / 2.0
+    }
+
+    pub fn contains(&self, v: [usize; 3]) -> bool {
+        (0..3).all(|d| v[d] >= self.min[d] && v[d] < self.max[d])
+    }
+}
+
+/// Whether a cover is added to or subtracted from the approximation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sign {
+    Plus,
+    Minus,
+}
+
+/// One unit `(Cᵢ, σᵢ)` of a cover sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoverUnit {
+    pub cuboid: Cuboid,
+    pub sign: Sign,
+    /// Error reduction achieved by this unit.
+    pub gain: usize,
+}
+
+/// A greedy cover sequence for one object.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoverSequence {
+    /// Raster resolution of the source grid.
+    pub r: usize,
+    pub units: Vec<CoverUnit>,
+    /// `errors[0]` is the initial error `|O|` (empty approximation);
+    /// `errors[i]` is the symmetric volume difference after unit `i`.
+    pub errors: Vec<usize>,
+}
+
+impl CoverSequence {
+    /// Final symmetric volume difference `Err_k`.
+    pub fn final_error(&self) -> usize {
+        *self.errors.last().unwrap()
+    }
+
+    /// Rebuild the approximation grid `S_k` by applying all units.
+    pub fn reconstruct(&self) -> VoxelGrid {
+        let mut s = VoxelGrid::cubic(self.r);
+        for u in &self.units {
+            for z in u.cuboid.min[2]..u.cuboid.max[2] {
+                for y in u.cuboid.min[1]..u.cuboid.max[1] {
+                    for x in u.cuboid.min[0]..u.cuboid.max[0] {
+                        s.set(x, y, z, matches!(u.sign, Sign::Plus));
+                    }
+                }
+            }
+        }
+        s
+    }
+}
+
+/// Per-z-slab 2-D prefix sums over a set of "marked" voxels, used to
+/// answer `count(rect, z-slab)` in O(1).
+struct SlabPrefix {
+    r: usize,
+    /// `[z][(y)(r+1) + x]`, standard inclusive-exclusive 2-D table.
+    tables: Vec<Vec<u32>>,
+}
+
+impl SlabPrefix {
+    /// Build from a predicate over voxel coordinates.
+    fn build(r: usize, mut f: impl FnMut(usize, usize, usize) -> bool) -> Self {
+        let w = r + 1;
+        let mut tables = Vec::with_capacity(r);
+        for z in 0..r {
+            let mut t = vec![0u32; w * w];
+            for y in 1..=r {
+                let mut row = 0u32;
+                for x in 1..=r {
+                    row += f(x - 1, y - 1, z) as u32;
+                    t[y * w + x] = row + t[(y - 1) * w + x];
+                }
+            }
+            tables.push(t);
+        }
+        SlabPrefix { r, tables }
+    }
+
+    /// Count of marked voxels in `[x0,x1) × [y0,y1)` at height `z`.
+    #[inline]
+    fn rect(&self, z: usize, x0: usize, x1: usize, y0: usize, y1: usize) -> u32 {
+        let w = self.r + 1;
+        let t = &self.tables[z];
+        t[y1 * w + x1] + t[y0 * w + x0] - t[y0 * w + x1] - t[y1 * w + x0]
+    }
+}
+
+/// One greedy step: the best `(cuboid, sign, gain)` over all cuboids, or
+/// `None` if no cuboid has positive gain.
+fn best_cover(object: &VoxelGrid, approx: &VoxelGrid) -> Option<CoverUnit> {
+    let [r, _, _] = object.dims();
+    // Gain tables:
+    //   plus : a(z-slab) = |slab ∩ O∖S| − (slab_area − |slab ∩ (O∪S)|)
+    //   minus: b(z-slab) = |slab ∩ S∖O| − |slab ∩ (S∩O)|
+    let need_add = SlabPrefix::build(r, |x, y, z| object.get(x, y, z) && !approx.get(x, y, z));
+    let in_either = SlabPrefix::build(r, |x, y, z| object.get(x, y, z) || approx.get(x, y, z));
+    let need_del = SlabPrefix::build(r, |x, y, z| !object.get(x, y, z) && approx.get(x, y, z));
+    let in_both = SlabPrefix::build(r, |x, y, z| object.get(x, y, z) && approx.get(x, y, z));
+
+    let mut best_gain = 0i64;
+    let mut best: Option<(Cuboid, Sign)> = None;
+
+    let mut a = vec![0i64; r];
+    let mut b = vec![0i64; r];
+    for x0 in 0..r {
+        for x1 in (x0 + 1)..=r {
+            for y0 in 0..r {
+                for y1 in (y0 + 1)..=r {
+                    let area = ((x1 - x0) * (y1 - y0)) as i64;
+                    for z in 0..r {
+                        let add = need_add.rect(z, x0, x1, y0, y1) as i64;
+                        let either = in_either.rect(z, x0, x1, y0, y1) as i64;
+                        a[z] = add - (area - either);
+                        let del = need_del.rect(z, x0, x1, y0, y1) as i64;
+                        let both = in_both.rect(z, x0, x1, y0, y1) as i64;
+                        b[z] = del - both;
+                    }
+                    // Kadane over z for both signs simultaneously.
+                    let mut run_a = 0i64;
+                    let mut start_a = 0usize;
+                    let mut run_b = 0i64;
+                    let mut start_b = 0usize;
+                    for z in 0..r {
+                        if run_a <= 0 {
+                            run_a = 0;
+                            start_a = z;
+                        }
+                        run_a += a[z];
+                        if run_a > best_gain {
+                            best_gain = run_a;
+                            best = Some((
+                                Cuboid { min: [x0, y0, start_a], max: [x1, y1, z + 1] },
+                                Sign::Plus,
+                            ));
+                        }
+                        if run_b <= 0 {
+                            run_b = 0;
+                            start_b = z;
+                        }
+                        run_b += b[z];
+                        if run_b > best_gain {
+                            best_gain = run_b;
+                            best = Some((
+                                Cuboid { min: [x0, y0, start_b], max: [x1, y1, z + 1] },
+                                Sign::Minus,
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    best.map(|(cuboid, sign)| CoverUnit { cuboid, sign, gain: best_gain as usize })
+}
+
+/// Greedy cover sequence of at most `k` units (Jagadish/Bruckstein's
+/// polynomial algorithm). Stops early when no cuboid reduces the error —
+/// the paper exploits exactly this in the vector set model ("if the
+/// approximation is optimal with less than the maximum number of covers,
+/// only this smaller number of vectors has to be stored").
+pub fn greedy_cover_sequence(object: &VoxelGrid, k: usize) -> CoverSequence {
+    let [rx, ry, rz] = object.dims();
+    assert!(rx == ry && ry == rz, "cover sequences require a cubic grid");
+    let r = rx;
+    let mut approx = VoxelGrid::cubic(r);
+    let mut err = object.count();
+    let mut seq = CoverSequence { r, units: Vec::new(), errors: vec![err] };
+    for _ in 0..k {
+        let Some(unit) = best_cover(object, &approx) else {
+            break;
+        };
+        // Apply to the approximation.
+        let val = matches!(unit.sign, Sign::Plus);
+        for z in unit.cuboid.min[2]..unit.cuboid.max[2] {
+            for y in unit.cuboid.min[1]..unit.cuboid.max[1] {
+                for x in unit.cuboid.min[0]..unit.cuboid.max[0] {
+                    approx.set(x, y, z, val);
+                }
+            }
+        }
+        err -= unit.gain;
+        seq.units.push(unit);
+        seq.errors.push(err);
+        if err == 0 {
+            break;
+        }
+    }
+    debug_assert_eq!(err, object.xor_count(&seq.reconstruct()));
+    seq
+}
+
+/// The 6 feature values of one cover (Section 3.3.3): position (cuboid
+/// center, *relative to the raster center*) and extension per axis,
+/// normalized by the raster resolution. Positions live in `[-0.5, 0.5]`,
+/// extents in `(0, 1]`. The centered frame makes `ω = 0` the natural
+/// neutral element of Section 4.3 — a cover at the data-space center
+/// with no volume, which indeed "has the shortest average distance
+/// within the position and has no volume".
+fn cover_features(c: &Cuboid, r: usize) -> [f64; 6] {
+    let rf = r as f64;
+    [
+        (c.center(0) - rf / 2.0) / rf,
+        (c.center(1) - rf / 2.0) / rf,
+        (c.center(2) - rf / 2.0) / rf,
+        c.extent(0) as f64 / rf,
+        c.extent(1) as f64 / rf,
+        c.extent(2) as f64 / rf,
+    ]
+}
+
+/// The one-vector cover sequence model: a `6k`-dimensional feature
+/// vector; missing covers are padded with dummy covers `C₀` ("an initial
+/// empty cover at the zero point"), i.e. six zeros.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoverSequenceModel {
+    /// Number of covers `k`; the feature vector has `6k` dimensions.
+    pub k: usize,
+}
+
+impl CoverSequenceModel {
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0);
+        CoverSequenceModel { k }
+    }
+
+    pub fn dims(&self) -> usize {
+        6 * self.k
+    }
+
+    pub fn extract(&self, grid: &VoxelGrid) -> Vec<f64> {
+        let seq = greedy_cover_sequence(grid, self.k);
+        self.from_sequence(&seq)
+    }
+
+    /// Flatten an existing sequence (so the expensive greedy search can
+    /// be shared between models).
+    pub fn from_sequence(&self, seq: &CoverSequence) -> Vec<f64> {
+        let mut f = vec![0.0; self.dims()];
+        for (i, u) in seq.units.iter().take(self.k).enumerate() {
+            f[6 * i..6 * i + 6].copy_from_slice(&cover_features(&u.cuboid, seq.r));
+        }
+        f
+    }
+}
+
+/// The paper's *vector set model*: the same covers represented as a set
+/// of 6-dimensional feature vectors with cardinality ≤ `k` — no dummy
+/// covers needed (Section 4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VectorSetModel {
+    /// Maximum set cardinality `k`.
+    pub k: usize,
+}
+
+impl VectorSetModel {
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0);
+        VectorSetModel { k }
+    }
+
+    pub fn extract(&self, grid: &VoxelGrid) -> VectorSet {
+        let seq = greedy_cover_sequence(grid, self.k);
+        self.from_sequence(&seq)
+    }
+
+    pub fn from_sequence(&self, seq: &CoverSequence) -> VectorSet {
+        let mut s = VectorSet::with_capacity(6, seq.units.len().min(self.k));
+        for u in seq.units.iter().take(self.k) {
+            s.push(&cover_features(&u.cuboid, seq.r));
+        }
+        s
+    }
+}
+
+/// Apply one of the 48 cube symmetries to a cover feature vector
+/// `[px, py, pz, ex, ey, ez]` (normalized, raster-center-relative
+/// coordinates): the position is rotated about the origin and the
+/// extents are permuted (and kept positive). Implements the transform
+/// set `T` of Definition 2 directly in feature space, avoiding
+/// re-voxelization.
+pub fn transform_cover_vector(v: &[f64], m: &vsim_geom::Mat3) -> [f64; 6] {
+    use vsim_geom::Vec3;
+    // Positions are already raster-center-relative, so the rotation
+    // applies directly; extents are permuted and kept positive.
+    let p = Vec3::new(v[0], v[1], v[2]);
+    let e = Vec3::new(v[3], v[4], v[5]);
+    let rp = *m * p;
+    let re = (*m * e).abs();
+    [rp.x, rp.y, rp.z, re.x, re.y, re.z]
+}
+
+/// Transform a whole vector set (see [`transform_cover_vector`]).
+pub fn transform_vector_set(s: &VectorSet, m: &vsim_geom::Mat3) -> VectorSet {
+    assert_eq!(s.dim(), 6);
+    let mut out = VectorSet::with_capacity(6, s.len());
+    for v in s.iter() {
+        out.push(&transform_cover_vector(v, m));
+    }
+    out
+}
+
+/// Transform a `6k`-dimensional one-vector representation cover by cover.
+/// Dummy covers (all six values zero) stay dummies.
+pub fn transform_feature_vector(f: &[f64], m: &vsim_geom::Mat3) -> Vec<f64> {
+    assert_eq!(f.len() % 6, 0);
+    let mut out = Vec::with_capacity(f.len());
+    for c in f.chunks_exact(6) {
+        if c.iter().all(|&x| x == 0.0) {
+            out.extend_from_slice(c);
+        } else {
+            out.extend_from_slice(&transform_cover_vector(c, m));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block(r: usize, min: [usize; 3], max: [usize; 3]) -> VoxelGrid {
+        let mut g = VoxelGrid::cubic(r);
+        for z in min[2]..max[2] {
+            for y in min[1]..max[1] {
+                for x in min[0]..max[0] {
+                    g.set(x, y, z, true);
+                }
+            }
+        }
+        g
+    }
+
+    /// Brute-force best cover: enumerate every cuboid and sign.
+    fn brute_best_gain(object: &VoxelGrid, approx: &VoxelGrid) -> i64 {
+        let [r, _, _] = object.dims();
+        let count_in = |c: &Cuboid, pred: &dyn Fn(usize, usize, usize) -> bool| -> i64 {
+            let mut n = 0;
+            for z in c.min[2]..c.max[2] {
+                for y in c.min[1]..c.max[1] {
+                    for x in c.min[0]..c.max[0] {
+                        n += pred(x, y, z) as i64;
+                    }
+                }
+            }
+            n
+        };
+        let mut best = 0i64;
+        for x0 in 0..r {
+            for x1 in (x0 + 1)..=r {
+                for y0 in 0..r {
+                    for y1 in (y0 + 1)..=r {
+                        for z0 in 0..r {
+                            for z1 in (z0 + 1)..=r {
+                                let c = Cuboid { min: [x0, y0, z0], max: [x1, y1, z1] };
+                                let add = count_in(&c, &|x, y, z| {
+                                    object.get(x, y, z) && !approx.get(x, y, z)
+                                });
+                                let bad = count_in(&c, &|x, y, z| {
+                                    !object.get(x, y, z) && !approx.get(x, y, z)
+                                });
+                                best = best.max(add - bad);
+                                let del = count_in(&c, &|x, y, z| {
+                                    !object.get(x, y, z) && approx.get(x, y, z)
+                                });
+                                let keep = count_in(&c, &|x, y, z| {
+                                    object.get(x, y, z) && approx.get(x, y, z)
+                                });
+                                best = best.max(del - keep);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn greedy_step_matches_brute_force_on_random_grids() {
+        // Pseudo-random object and partial approximation on a 5-cube:
+        // the prefix-sum + Kadane search must find the same best gain as
+        // full enumeration over all cuboids and both signs.
+        let mut state = 0xabcdef12345u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state
+        };
+        for trial in 0..10 {
+            let mut object = VoxelGrid::cubic(5);
+            let mut approx = VoxelGrid::cubic(5);
+            for z in 0..5 {
+                for y in 0..5 {
+                    for x in 0..5 {
+                        if next() % 3 == 0 {
+                            object.set(x, y, z, true);
+                        }
+                        if next() % 4 == 0 {
+                            approx.set(x, y, z, true);
+                        }
+                    }
+                }
+            }
+            let want = brute_best_gain(&object, &approx);
+            let got = super::best_cover(&object, &approx).map_or(0, |u| u.gain as i64);
+            assert_eq!(got, want, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn single_box_is_covered_exactly_in_one_step() {
+        let g = block(10, [2, 3, 4], [7, 8, 9]);
+        let seq = greedy_cover_sequence(&g, 5);
+        assert_eq!(seq.units.len(), 1);
+        assert_eq!(seq.final_error(), 0);
+        let u = &seq.units[0];
+        assert_eq!(u.cuboid, Cuboid { min: [2, 3, 4], max: [7, 8, 9] });
+        assert_eq!(u.sign, Sign::Plus);
+        assert_eq!(seq.reconstruct(), g);
+    }
+
+    #[test]
+    fn two_disjoint_boxes_need_two_covers() {
+        let mut g = block(12, [0, 0, 0], [4, 4, 4]);
+        let g2 = block(12, [7, 7, 7], [12, 12, 12]);
+        g.union_with(&g2);
+        let seq = greedy_cover_sequence(&g, 5);
+        assert_eq!(seq.units.len(), 2);
+        assert_eq!(seq.final_error(), 0);
+        // Greedy picks the larger box first (5^3 = 125 > 64).
+        assert_eq!(seq.units[0].cuboid.volume(), 125);
+        assert_eq!(seq.units[1].cuboid.volume(), 64);
+    }
+
+    #[test]
+    fn minus_cover_carves_a_hole() {
+        // A box with a rectangular hole: optimal is big plus, small minus.
+        let mut g = block(12, [1, 1, 1], [11, 11, 11]);
+        let hole = block(12, [4, 4, 4], [8, 8, 8]);
+        g.subtract(&hole);
+        let seq = greedy_cover_sequence(&g, 4);
+        assert_eq!(seq.final_error(), 0);
+        assert_eq!(seq.units.len(), 2);
+        assert_eq!(seq.units[0].sign, Sign::Plus);
+        assert_eq!(seq.units[1].sign, Sign::Minus);
+        assert_eq!(seq.units[1].cuboid, Cuboid { min: [4, 4, 4], max: [8, 8, 8] });
+    }
+
+    #[test]
+    fn errors_are_monotone_nonincreasing_and_consistent() {
+        // An L-shaped object.
+        let mut g = block(10, [0, 0, 0], [10, 3, 10]);
+        g.union_with(&block(10, [0, 0, 0], [3, 10, 10]));
+        let seq = greedy_cover_sequence(&g, 6);
+        for w in seq.errors.windows(2) {
+            assert!(w[1] < w[0], "greedy gains must be strictly positive");
+        }
+        assert_eq!(seq.final_error(), g.xor_count(&seq.reconstruct()));
+        assert_eq!(seq.errors[0], g.count());
+    }
+
+    #[test]
+    fn empty_object_yields_empty_sequence() {
+        let g = VoxelGrid::cubic(8);
+        let seq = greedy_cover_sequence(&g, 3);
+        assert!(seq.units.is_empty());
+        assert_eq!(seq.final_error(), 0);
+    }
+
+    #[test]
+    fn k_limits_sequence_length() {
+        // Checkerboard-ish object needing many covers.
+        let mut g = VoxelGrid::cubic(8);
+        for z in 0..8 {
+            for y in 0..8 {
+                for x in 0..8 {
+                    if (x / 2 + y / 2 + z / 2) % 2 == 0 {
+                        g.set(x, y, z, true);
+                    }
+                }
+            }
+        }
+        let seq = greedy_cover_sequence(&g, 3);
+        assert_eq!(seq.units.len(), 3);
+        assert!(seq.final_error() > 0);
+    }
+
+    #[test]
+    fn feature_vector_layout_and_dummies() {
+        let g = block(10, [2, 2, 2], [8, 8, 8]);
+        let model = CoverSequenceModel::new(4);
+        let f = model.extract(&g);
+        assert_eq!(f.len(), 24);
+        // First cover: center (5,5,5) = raster center -> position 0,
+        // extent (6,6,6)/10.
+        assert_eq!(&f[0..6], &[0.0, 0.0, 0.0, 0.6, 0.6, 0.6]);
+        // Remaining covers are dummies (zeros).
+        assert!(f[6..].iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn vector_set_has_no_dummies() {
+        let g = block(10, [2, 2, 2], [8, 8, 8]);
+        let s = VectorSetModel::new(7).extract(&g);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.dim(), 6);
+        assert_eq!(s.get(0), &[0.0, 0.0, 0.0, 0.6, 0.6, 0.6]);
+    }
+
+    #[test]
+    fn vector_set_and_feature_vector_share_the_same_covers() {
+        let mut g = block(12, [0, 0, 0], [5, 5, 5]);
+        g.union_with(&block(12, [6, 6, 6], [12, 12, 12]));
+        let seq = greedy_cover_sequence(&g, 5);
+        let fv = CoverSequenceModel::new(5).from_sequence(&seq);
+        let vs = VectorSetModel::new(5).from_sequence(&seq);
+        for (i, v) in vs.iter().enumerate() {
+            assert_eq!(&fv[6 * i..6 * i + 6], v);
+        }
+    }
+
+    #[test]
+    fn transforming_features_matches_transforming_the_grid() {
+        // Rotating the voxel grid and re-extracting must equal
+        // transforming the extracted features directly (up to set order).
+        use vsim_geom::Mat3;
+        use vsim_voxel::rotate_grid;
+        let mut g = block(12, [1, 2, 3], [5, 9, 6]);
+        g.union_with(&block(12, [6, 1, 7], [11, 4, 12]));
+        let model = VectorSetModel::new(4);
+        let vs = model.extract(&g);
+        for m in Mat3::cube_symmetries().iter().step_by(7) {
+            let rotated = rotate_grid(&g, m);
+            let vs_rot = model.extract(&rotated);
+            let vs_trans = transform_vector_set(&vs, m);
+            // Compare as sorted multisets of rows.
+            let norm = |s: &VectorSet| {
+                let mut rows: Vec<Vec<i64>> = s
+                    .iter()
+                    .map(|r| r.iter().map(|x| (x * 1e6).round() as i64).collect())
+                    .collect();
+                rows.sort();
+                rows
+            };
+            assert_eq!(norm(&vs_rot), norm(&vs_trans), "symmetry {m:?}");
+        }
+    }
+
+    #[test]
+    fn feature_vector_transform_preserves_dummies() {
+        use vsim_geom::Mat3;
+        let f = vec![0.1, 0.2, -0.1, 0.2, 0.4, 0.6, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0];
+        let t = transform_feature_vector(&f, &Mat3::rot_z(std::f64::consts::FRAC_PI_2));
+        assert_eq!(&t[6..], &f[6..]);
+        // Extents permuted: x <-> y.
+        assert!((t[3] - 0.4).abs() < 1e-9);
+        assert!((t[4] - 0.2).abs() < 1e-9);
+        assert!((t[5] - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn greedy_error_decreases_with_more_covers() {
+        // A staircase object: more covers, better approximation.
+        let mut g = VoxelGrid::cubic(12);
+        for step in 0..4 {
+            for z in 0..(3 * (step + 1)) {
+                for y in 0..12 {
+                    for x in (3 * step)..(3 * step + 3) {
+                        g.set(x, y, z, true);
+                    }
+                }
+            }
+        }
+        let e3 = greedy_cover_sequence(&g, 3).final_error();
+        let e5 = greedy_cover_sequence(&g, 5).final_error();
+        let e7 = greedy_cover_sequence(&g, 7).final_error();
+        assert!(e3 >= e5 && e5 >= e7);
+        assert_eq!(e7, 0); // 4 slabs are enough... with <=7 certainly
+    }
+}

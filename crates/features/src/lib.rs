@@ -1,0 +1,35 @@
+//! # vsim-features — feature transforms for voxelized CAD objects
+//!
+//! Section 3 of the paper adapts three similarity models to voxelized
+//! 3-D data; Section 4 builds the vector set model on top of the third:
+//!
+//! * [`histogram::VolumeModel`] — per-cell voxel counts (Section 3.3.1).
+//! * [`histogram::SolidAngleModel`] — Connolly's solid-angle shape
+//!   measure averaged per cell (Section 3.3.2).
+//! * [`cover::CoverSequenceModel`] — greedy rectangular covers minimizing
+//!   the symmetric volume difference (Jagadish/Bruckstein, Section 3.3.3),
+//!   flattened into a `6k`-dimensional feature vector with dummy covers.
+//! * [`cover::VectorSetModel`] — the same covers as a *set* of
+//!   6-dimensional feature vectors, no dummies (Section 4).
+
+//! ```
+//! use vsim_features::{greedy_cover_sequence, VectorSetModel, CoverSequenceModel};
+//! use vsim_voxel::VoxelGrid;
+//!
+//! // A 6x6x6 block inside a 12-cube: one cover approximates it exactly.
+//! let mut g = VoxelGrid::cubic(12);
+//! for z in 3..9 { for y in 3..9 { for x in 3..9 { g.set(x, y, z, true); } } }
+//! let seq = greedy_cover_sequence(&g, 7);
+//! assert_eq!(seq.units.len(), 1);
+//! assert_eq!(seq.final_error(), 0);
+//!
+//! // One-vector model pads with dummies; the vector set does not.
+//! assert_eq!(CoverSequenceModel::new(7).from_sequence(&seq).len(), 42);
+//! assert_eq!(VectorSetModel::new(7).from_sequence(&seq).len(), 1);
+//! ```
+
+pub mod cover;
+pub mod histogram;
+
+pub use cover::{greedy_cover_sequence, CoverSequence, CoverSequenceModel, CoverUnit, Cuboid, Sign, VectorSetModel};
+pub use histogram::{SolidAngleModel, VolumeModel};

@@ -1,0 +1,31 @@
+//! # vsim-geom — 3-D geometry substrate
+//!
+//! Foundation layer for the voxelized-CAD similarity-search library:
+//!
+//! * [`Vec3`] / [`Mat3`] — double-precision linear algebra, including the
+//!   24 axis-aligned 90°-rotation matrices and reflections needed by the
+//!   paper's invariance handling (Section 3.2) and a Jacobi eigensolver
+//!   for principal-axis alignment.
+//! * [`Aabb`] — axis-aligned bounding boxes.
+//! * [`Iso`] — rigid/affine transforms (rotation-scale + translation).
+//! * [`TriMesh`] — indexed triangle meshes with parametric generators,
+//!   the input format of real CAD tessellations.
+//! * [`Solid`] — implicit solids with CSG combinators, used by the
+//!   synthetic dataset generators to build part families (substitution
+//!   for the proprietary car/aircraft data, see `DESIGN.md`).
+
+pub mod aabb;
+pub mod mat3;
+pub mod mesh;
+pub mod solid;
+pub mod stl;
+pub mod transform;
+pub mod vec3;
+
+pub use aabb::Aabb;
+pub use mat3::Mat3;
+pub use mesh::TriMesh;
+pub use solid::{Solid, SolidExt};
+pub use stl::{read_stl, write_stl_ascii, write_stl_binary};
+pub use transform::Iso;
+pub use vec3::Vec3;

@@ -1,0 +1,339 @@
+//! 3×3 matrices: rotations, reflections, the 24 axis-aligned orientations
+//! of Section 3.2, and a Jacobi eigensolver for principal-axis transforms.
+
+use crate::vec3::Vec3;
+use std::ops::Mul;
+
+/// A 3×3 matrix, stored row-major.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mat3 {
+    pub rows: [[f64; 3]; 3],
+}
+
+impl Mat3 {
+    pub const IDENTITY: Mat3 = Mat3 {
+        rows: [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]],
+    };
+
+    #[inline]
+    pub const fn new(rows: [[f64; 3]; 3]) -> Self {
+        Mat3 { rows }
+    }
+
+    /// Matrix with the given diagonal, zeros elsewhere.
+    pub fn diag(d: Vec3) -> Self {
+        Mat3::new([[d.x, 0.0, 0.0], [0.0, d.y, 0.0], [0.0, 0.0, d.z]])
+    }
+
+    /// Matrix whose columns are `c0`, `c1`, `c2`.
+    pub fn from_cols(c0: Vec3, c1: Vec3, c2: Vec3) -> Self {
+        Mat3::new([
+            [c0.x, c1.x, c2.x],
+            [c0.y, c1.y, c2.y],
+            [c0.z, c1.z, c2.z],
+        ])
+    }
+
+    #[inline]
+    pub fn row(&self, i: usize) -> Vec3 {
+        Vec3::new(self.rows[i][0], self.rows[i][1], self.rows[i][2])
+    }
+
+    #[inline]
+    pub fn col(&self, j: usize) -> Vec3 {
+        Vec3::new(self.rows[0][j], self.rows[1][j], self.rows[2][j])
+    }
+
+    pub fn transpose(&self) -> Mat3 {
+        let mut m = *self;
+        for i in 0..3 {
+            for j in (i + 1)..3 {
+                let t = m.rows[i][j];
+                m.rows[i][j] = m.rows[j][i];
+                m.rows[j][i] = t;
+            }
+        }
+        m
+    }
+
+    pub fn determinant(&self) -> f64 {
+        self.row(0).dot(self.row(1).cross(self.row(2)))
+    }
+
+    /// Rotation by `angle` radians around the x axis.
+    pub fn rot_x(angle: f64) -> Mat3 {
+        let (s, c) = angle.sin_cos();
+        Mat3::new([[1.0, 0.0, 0.0], [0.0, c, -s], [0.0, s, c]])
+    }
+
+    /// Rotation by `angle` radians around the y axis.
+    pub fn rot_y(angle: f64) -> Mat3 {
+        let (s, c) = angle.sin_cos();
+        Mat3::new([[c, 0.0, s], [0.0, 1.0, 0.0], [-s, 0.0, c]])
+    }
+
+    /// Rotation by `angle` radians around the z axis.
+    pub fn rot_z(angle: f64) -> Mat3 {
+        let (s, c) = angle.sin_cos();
+        Mat3::new([[c, -s, 0.0], [s, c, 0.0], [0.0, 0.0, 1.0]])
+    }
+
+    /// Reflection through the yz plane (negates x). Composing this with
+    /// the 24 rotations yields the 48 positions of Section 3.2.
+    pub fn reflect_x() -> Mat3 {
+        Mat3::diag(Vec3::new(-1.0, 1.0, 1.0))
+    }
+
+    /// The 24 proper rotations of the cube (axis-aligned 90°-rotations).
+    ///
+    /// Every returned matrix is a signed permutation matrix with
+    /// determinant +1; together they form the rotation group of the cube,
+    /// i.e. the 24 "different possible positions for each object" of
+    /// Section 3.2.
+    pub fn cube_rotations() -> Vec<Mat3> {
+        let mut out = Vec::with_capacity(24);
+        let axes = [
+            Vec3::X,
+            -Vec3::X,
+            Vec3::Y,
+            -Vec3::Y,
+            Vec3::Z,
+            -Vec3::Z,
+        ];
+        // Choose where +x maps (6 options) and where +y maps (4 options
+        // orthogonal to it); +z is then fixed by the right-hand rule.
+        for &fx in &axes {
+            for &fy in &axes {
+                if fx.dot(fy).abs() > 1e-9 {
+                    continue;
+                }
+                let fz = fx.cross(fy);
+                out.push(Mat3::from_cols(fx, fy, fz));
+            }
+        }
+        debug_assert_eq!(out.len(), 24);
+        out
+    }
+
+    /// The 48 signed-permutation symmetries of the cube: the 24 rotations
+    /// plus their compositions with a reflection.
+    pub fn cube_symmetries() -> Vec<Mat3> {
+        let mut out = Mat3::cube_rotations();
+        let refl = Mat3::reflect_x();
+        for i in 0..24 {
+            out.push(out[i] * refl);
+        }
+        out
+    }
+
+    /// Eigen-decomposition of a *symmetric* matrix via cyclic Jacobi
+    /// rotations. Returns `(eigenvalues, eigenvectors)` where
+    /// `eigenvectors.col(i)` corresponds to `eigenvalues[i]`, sorted in
+    /// descending order of eigenvalue.
+    ///
+    /// Used for the principal-axis transform of Section 3.2 (covariance
+    /// matrices of voxel clouds are symmetric 3×3).
+    pub fn eigen_symmetric(&self) -> ([f64; 3], Mat3) {
+        let mut a = *self;
+        let mut v = Mat3::IDENTITY;
+        for _sweep in 0..64 {
+            // Sum of squared off-diagonal elements — convergence measure.
+            let off = a.rows[0][1] * a.rows[0][1]
+                + a.rows[0][2] * a.rows[0][2]
+                + a.rows[1][2] * a.rows[1][2];
+            if off < 1e-30 {
+                break;
+            }
+            for p in 0..2 {
+                for q in (p + 1)..3 {
+                    let apq = a.rows[p][q];
+                    if apq.abs() < 1e-300 {
+                        continue;
+                    }
+                    let app = a.rows[p][p];
+                    let aqq = a.rows[q][q];
+                    let theta = (aqq - app) / (2.0 * apq);
+                    let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                    let c = 1.0 / (t * t + 1.0).sqrt();
+                    let s = t * c;
+                    // A <- J^T A J with the Givens rotation J in plane (p,q).
+                    let mut rot = Mat3::IDENTITY;
+                    rot.rows[p][p] = c;
+                    rot.rows[q][q] = c;
+                    rot.rows[p][q] = s;
+                    rot.rows[q][p] = -s;
+                    a = rot.transpose() * a * rot;
+                    v = v * rot;
+                }
+            }
+        }
+        let mut pairs = [
+            (a.rows[0][0], v.col(0)),
+            (a.rows[1][1], v.col(1)),
+            (a.rows[2][2], v.col(2)),
+        ];
+        pairs.sort_by(|x, y| y.0.partial_cmp(&x.0).unwrap());
+        (
+            [pairs[0].0, pairs[1].0, pairs[2].0],
+            Mat3::from_cols(pairs[0].1, pairs[1].1, pairs[2].1),
+        )
+    }
+}
+
+impl Mul<Vec3> for Mat3 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, v: Vec3) -> Vec3 {
+        Vec3::new(self.row(0).dot(v), self.row(1).dot(v), self.row(2).dot(v))
+    }
+}
+
+impl Mul<Mat3> for Mat3 {
+    type Output = Mat3;
+    fn mul(self, o: Mat3) -> Mat3 {
+        let mut m = Mat3::new([[0.0; 3]; 3]);
+        for i in 0..3 {
+            for j in 0..3 {
+                m.rows[i][j] = self.row(i).dot(o.col(j));
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: Vec3, b: Vec3) -> bool {
+        (a - b).norm() < 1e-9
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let v = Vec3::new(1.0, -2.0, 3.0);
+        assert_eq!(Mat3::IDENTITY * v, v);
+        let r = Mat3::rot_z(0.7);
+        let m = Mat3::IDENTITY * r;
+        assert!(m
+            .rows
+            .iter()
+            .flatten()
+            .zip(r.rows.iter().flatten())
+            .all(|(a, b)| (a - b).abs() < 1e-12));
+    }
+
+    #[test]
+    fn rotation_preserves_norm_and_orientation() {
+        for m in [Mat3::rot_x(0.3), Mat3::rot_y(1.1), Mat3::rot_z(-2.0)] {
+            let v = Vec3::new(1.0, 2.0, 3.0);
+            assert!(((m * v).norm() - v.norm()).abs() < 1e-12);
+            assert!((m.determinant() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn quarter_turn_around_z() {
+        let m = Mat3::rot_z(std::f64::consts::FRAC_PI_2);
+        assert!(approx(m * Vec3::X, Vec3::Y));
+        assert!(approx(m * Vec3::Y, -Vec3::X));
+        assert!(approx(m * Vec3::Z, Vec3::Z));
+    }
+
+    #[test]
+    fn transpose_of_rotation_is_inverse() {
+        let m = Mat3::rot_x(0.9) * Mat3::rot_y(0.4);
+        let p = m * m.transpose();
+        for i in 0..3 {
+            for j in 0..3 {
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!((p.rows[i][j] - want).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn cube_rotations_are_24_distinct_proper_rotations() {
+        let rots = Mat3::cube_rotations();
+        assert_eq!(rots.len(), 24);
+        for m in &rots {
+            assert!((m.determinant() - 1.0).abs() < 1e-9);
+            // Entries are exactly -1, 0 or 1 (signed permutation).
+            for e in m.rows.iter().flatten() {
+                assert!(e.abs() < 1e-9 || (e.abs() - 1.0).abs() < 1e-9);
+            }
+        }
+        // Pairwise distinct.
+        for i in 0..24 {
+            for j in (i + 1)..24 {
+                let diff: f64 = rots[i]
+                    .rows
+                    .iter()
+                    .flatten()
+                    .zip(rots[j].rows.iter().flatten())
+                    .map(|(a, b)| (a - b).abs())
+                    .sum();
+                assert!(diff > 1e-9, "rotations {i} and {j} coincide");
+            }
+        }
+    }
+
+    #[test]
+    fn cube_symmetries_are_48_with_24_improper() {
+        let syms = Mat3::cube_symmetries();
+        assert_eq!(syms.len(), 48);
+        let improper = syms
+            .iter()
+            .filter(|m| (m.determinant() + 1.0).abs() < 1e-9)
+            .count();
+        assert_eq!(improper, 24);
+    }
+
+    #[test]
+    fn cube_rotations_form_a_group() {
+        // Closure: the product of any two cube rotations is again one.
+        let rots = Mat3::cube_rotations();
+        let contains = |m: &Mat3| {
+            rots.iter().any(|r| {
+                r.rows
+                    .iter()
+                    .flatten()
+                    .zip(m.rows.iter().flatten())
+                    .all(|(a, b)| (a - b).abs() < 1e-9)
+            })
+        };
+        for a in &rots {
+            for b in &rots {
+                assert!(contains(&(*a * *b)));
+            }
+        }
+    }
+
+    #[test]
+    fn jacobi_recovers_known_eigenvalues() {
+        // Diagonal matrix: eigenvalues are the diagonal, sorted descending.
+        let m = Mat3::diag(Vec3::new(2.0, 5.0, 3.0));
+        let (vals, _) = m.eigen_symmetric();
+        assert!((vals[0] - 5.0).abs() < 1e-9);
+        assert!((vals[1] - 3.0).abs() < 1e-9);
+        assert!((vals[2] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jacobi_eigenvectors_satisfy_definition() {
+        let m = Mat3::new([[4.0, 1.0, 0.5], [1.0, 3.0, 0.2], [0.5, 0.2, 2.0]]);
+        let (vals, vecs) = m.eigen_symmetric();
+        for i in 0..3 {
+            let v = vecs.col(i);
+            let mv = m * v;
+            assert!(
+                (mv - v * vals[i]).norm() < 1e-8,
+                "A v != lambda v for eigenpair {i}"
+            );
+            assert!((v.norm() - 1.0).abs() < 1e-8);
+        }
+        // Eigenvalue sum equals trace.
+        let trace = m.rows[0][0] + m.rows[1][1] + m.rows[2][2];
+        assert!((vals.iter().sum::<f64>() - trace).abs() < 1e-8);
+    }
+}

@@ -1,0 +1,282 @@
+//! Indexed triangle meshes — the tessellated-surface form in which real
+//! CAD parts arrive before voxelization.
+
+use crate::aabb::Aabb;
+use crate::transform::Iso;
+use crate::vec3::Vec3;
+
+/// An indexed triangle mesh.
+#[derive(Debug, Clone, Default)]
+pub struct TriMesh {
+    pub vertices: Vec<Vec3>,
+    /// Each triangle is three indices into `vertices` (counter-clockwise
+    /// seen from outside for closed meshes).
+    pub triangles: Vec<[u32; 3]>,
+}
+
+impl TriMesh {
+    pub fn new(vertices: Vec<Vec3>, triangles: Vec<[u32; 3]>) -> Self {
+        TriMesh { vertices, triangles }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.triangles.is_empty()
+    }
+
+    pub fn aabb(&self) -> Aabb {
+        Aabb::from_points(self.vertices.iter().copied())
+    }
+
+    /// Corner positions of triangle `t`.
+    pub fn triangle(&self, t: usize) -> [Vec3; 3] {
+        let [a, b, c] = self.triangles[t];
+        [
+            self.vertices[a as usize],
+            self.vertices[b as usize],
+            self.vertices[c as usize],
+        ]
+    }
+
+    /// Total surface area.
+    pub fn surface_area(&self) -> f64 {
+        (0..self.triangles.len())
+            .map(|t| {
+                let [a, b, c] = self.triangle(t);
+                0.5 * (b - a).cross(c - a).norm()
+            })
+            .sum()
+    }
+
+    /// Signed volume via the divergence theorem. Positive for closed
+    /// meshes with outward-facing (CCW) triangles.
+    pub fn signed_volume(&self) -> f64 {
+        (0..self.triangles.len())
+            .map(|t| {
+                let [a, b, c] = self.triangle(t);
+                a.dot(b.cross(c)) / 6.0
+            })
+            .sum()
+    }
+
+    /// Transform all vertices in place.
+    pub fn transform(&mut self, iso: &Iso) {
+        for v in &mut self.vertices {
+            *v = iso.apply(*v);
+        }
+        // A reflection flips orientation; restore outward-facing winding.
+        if iso.linear.determinant() < 0.0 {
+            for tri in &mut self.triangles {
+                tri.swap(1, 2);
+            }
+        }
+    }
+
+    /// Append another mesh (disjoint union of surfaces).
+    pub fn merge(&mut self, other: &TriMesh) {
+        let base = self.vertices.len() as u32;
+        self.vertices.extend_from_slice(&other.vertices);
+        self.triangles.extend(
+            other
+                .triangles
+                .iter()
+                .map(|t| [t[0] + base, t[1] + base, t[2] + base]),
+        );
+    }
+
+    /// Validity check: all indices in range, no degenerate (zero-area)
+    /// triangles. Returns a description of the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.vertices.len() as u32;
+        for (i, t) in self.triangles.iter().enumerate() {
+            if t.iter().any(|&v| v >= n) {
+                return Err(format!("triangle {i} references out-of-range vertex"));
+            }
+            let [a, b, c] = self.triangle(i);
+            if (b - a).cross(c - a).norm() < 1e-15 {
+                return Err(format!("triangle {i} is degenerate"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Axis-aligned box `[min, max]`, 12 triangles.
+    pub fn make_box(min: Vec3, max: Vec3) -> TriMesh {
+        let v = |x: f64, y: f64, z: f64| Vec3::new(x, y, z);
+        let corners = [
+            v(min.x, min.y, min.z),
+            v(max.x, min.y, min.z),
+            v(max.x, max.y, min.z),
+            v(min.x, max.y, min.z),
+            v(min.x, min.y, max.z),
+            v(max.x, min.y, max.z),
+            v(max.x, max.y, max.z),
+            v(min.x, max.y, max.z),
+        ];
+        // Quads per face, CCW from outside.
+        let quads = [
+            [0u32, 3, 2, 1], // -z
+            [4, 5, 6, 7],    // +z
+            [0, 1, 5, 4],    // -y
+            [2, 3, 7, 6],    // +y
+            [1, 2, 6, 5],    // +x
+            [0, 4, 7, 3],    // -x
+        ];
+        let mut tris = Vec::with_capacity(12);
+        for q in quads {
+            tris.push([q[0], q[1], q[2]]);
+            tris.push([q[0], q[2], q[3]]);
+        }
+        TriMesh::new(corners.to_vec(), tris)
+    }
+
+    /// Closed cylinder along the z axis, centered at the origin, with the
+    /// given `radius`, `height` and number of circumferential `segments`.
+    pub fn make_cylinder(radius: f64, height: f64, segments: usize) -> TriMesh {
+        assert!(segments >= 3);
+        let h = height * 0.5;
+        let mut verts = Vec::with_capacity(2 * segments + 2);
+        for ring in [-h, h] {
+            for s in 0..segments {
+                let a = 2.0 * std::f64::consts::PI * s as f64 / segments as f64;
+                verts.push(Vec3::new(radius * a.cos(), radius * a.sin(), ring));
+            }
+        }
+        let bottom_center = verts.len() as u32;
+        verts.push(Vec3::new(0.0, 0.0, -h));
+        let top_center = verts.len() as u32;
+        verts.push(Vec3::new(0.0, 0.0, h));
+
+        let mut tris = Vec::new();
+        let n = segments as u32;
+        for s in 0..n {
+            let s1 = (s + 1) % n;
+            // Side quad (bottom ring index s, top ring index n + s).
+            tris.push([s, s1, n + s1]);
+            tris.push([s, n + s1, n + s]);
+            // Caps.
+            tris.push([bottom_center, s1, s]);
+            tris.push([top_center, n + s, n + s1]);
+        }
+        TriMesh::new(verts, tris)
+    }
+
+    /// UV sphere centered at the origin.
+    pub fn make_sphere(radius: f64, rings: usize, segments: usize) -> TriMesh {
+        assert!(rings >= 2 && segments >= 3);
+        let mut verts = vec![Vec3::new(0.0, 0.0, radius)];
+        for r in 1..rings {
+            let phi = std::f64::consts::PI * r as f64 / rings as f64;
+            for s in 0..segments {
+                let theta = 2.0 * std::f64::consts::PI * s as f64 / segments as f64;
+                verts.push(Vec3::new(
+                    radius * phi.sin() * theta.cos(),
+                    radius * phi.sin() * theta.sin(),
+                    radius * phi.cos(),
+                ));
+            }
+        }
+        let south = verts.len() as u32;
+        verts.push(Vec3::new(0.0, 0.0, -radius));
+
+        let mut tris = Vec::new();
+        let seg = segments as u32;
+        let ring_start = |r: u32| 1 + (r - 1) * seg;
+        // North cap.
+        for s in 0..seg {
+            tris.push([0, ring_start(1) + s, ring_start(1) + (s + 1) % seg]);
+        }
+        // Body.
+        for r in 1..(rings as u32 - 1) {
+            for s in 0..seg {
+                let a = ring_start(r) + s;
+                let b = ring_start(r) + (s + 1) % seg;
+                let c = ring_start(r + 1) + s;
+                let d = ring_start(r + 1) + (s + 1) % seg;
+                tris.push([a, d, b]);
+                tris.push([a, c, d]);
+            }
+        }
+        // South cap.
+        let last = rings as u32 - 1;
+        for s in 0..seg {
+            tris.push([south, ring_start(last) + (s + 1) % seg, ring_start(last) + s]);
+        }
+        TriMesh::new(verts, tris)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn box_mesh_is_valid_closed_and_correct() {
+        let m = TriMesh::make_box(Vec3::ZERO, Vec3::new(2.0, 3.0, 4.0));
+        m.validate().unwrap();
+        assert_eq!(m.triangles.len(), 12);
+        assert!((m.surface_area() - 2.0 * (6.0 + 8.0 + 12.0)).abs() < 1e-9);
+        assert!((m.signed_volume() - 24.0).abs() < 1e-9);
+        assert_eq!(m.aabb(), Aabb::new(Vec3::ZERO, Vec3::new(2.0, 3.0, 4.0)));
+    }
+
+    #[test]
+    fn cylinder_volume_converges() {
+        let m = TriMesh::make_cylinder(1.0, 2.0, 128);
+        m.validate().unwrap();
+        let exact = std::f64::consts::PI * 2.0;
+        assert!(
+            (m.signed_volume() - exact).abs() / exact < 0.01,
+            "volume {} vs {}",
+            m.signed_volume(),
+            exact
+        );
+    }
+
+    #[test]
+    fn sphere_volume_and_area_converge() {
+        let m = TriMesh::make_sphere(1.0, 32, 64);
+        m.validate().unwrap();
+        let vol = 4.0 / 3.0 * std::f64::consts::PI;
+        let area = 4.0 * std::f64::consts::PI;
+        assert!((m.signed_volume() - vol).abs() / vol < 0.01);
+        assert!((m.surface_area() - area).abs() / area < 0.01);
+    }
+
+    #[test]
+    fn transform_preserves_volume_for_rigid_maps() {
+        use crate::mat3::Mat3;
+        let mut m = TriMesh::make_box(Vec3::splat(-1.0), Vec3::splat(1.0));
+        let vol = m.signed_volume();
+        m.transform(&Iso::new(Mat3::rot_x(0.7), Vec3::new(3.0, 1.0, -2.0)));
+        assert!((m.signed_volume() - vol).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reflection_keeps_volume_positive() {
+        use crate::mat3::Mat3;
+        let mut m = TriMesh::make_box(Vec3::splat(-1.0), Vec3::splat(1.0));
+        m.transform(&Iso::from_linear(Mat3::reflect_x()));
+        // Winding is flipped back by `transform`, so volume stays positive.
+        assert!((m.signed_volume() - 8.0).abs() < 1e-9);
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn merge_concatenates() {
+        let mut a = TriMesh::make_box(Vec3::ZERO, Vec3::ONE);
+        let b = TriMesh::make_box(Vec3::splat(2.0), Vec3::splat(3.0));
+        let vol = a.signed_volume() + b.signed_volume();
+        a.merge(&b);
+        a.validate().unwrap();
+        assert_eq!(a.triangles.len(), 24);
+        assert!((a.signed_volume() - vol).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validate_catches_bad_index_and_degenerate() {
+        let m = TriMesh::new(vec![Vec3::ZERO, Vec3::X, Vec3::Y], vec![[0, 1, 5]]);
+        assert!(m.validate().is_err());
+        let d = TriMesh::new(vec![Vec3::ZERO, Vec3::X, Vec3::X * 2.0], vec![[0, 1, 2]]);
+        assert!(d.validate().is_err());
+    }
+}

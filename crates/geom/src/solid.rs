@@ -1,0 +1,459 @@
+//! Implicit solids with CSG combinators.
+//!
+//! The synthetic CAD part generators (crate `vsim-datagen`) model parts as
+//! implicit solids — membership functions plus a bounding box — and
+//! voxelize them by sampling cell centers. This sidesteps the robustness
+//! problems of boolean operations on meshes while still producing exactly
+//! the voxel data the paper's pipeline consumes.
+
+use crate::aabb::Aabb;
+use crate::mat3::Mat3;
+use crate::transform::Iso;
+use crate::vec3::Vec3;
+
+/// A solid 3-D body described by a membership predicate.
+pub trait Solid: Send + Sync {
+    /// True if point `p` is inside (or on the boundary of) the solid.
+    fn contains(&self, p: Vec3) -> bool;
+
+    /// A finite box guaranteed to contain the solid.
+    fn aabb(&self) -> Aabb;
+}
+
+/// Axis-aligned cuboid centered at the origin with the given half-extents.
+#[derive(Debug, Clone)]
+pub struct Cuboid {
+    pub half: Vec3,
+}
+
+impl Cuboid {
+    pub fn new(half: Vec3) -> Self {
+        assert!(half.x > 0.0 && half.y > 0.0 && half.z > 0.0);
+        Cuboid { half }
+    }
+}
+
+impl Solid for Cuboid {
+    fn contains(&self, p: Vec3) -> bool {
+        p.x.abs() <= self.half.x && p.y.abs() <= self.half.y && p.z.abs() <= self.half.z
+    }
+    fn aabb(&self) -> Aabb {
+        Aabb::from_center_half(Vec3::ZERO, self.half)
+    }
+}
+
+/// Sphere centered at the origin.
+#[derive(Debug, Clone)]
+pub struct Sphere {
+    pub radius: f64,
+}
+
+impl Solid for Sphere {
+    fn contains(&self, p: Vec3) -> bool {
+        p.norm_sq() <= self.radius * self.radius
+    }
+    fn aabb(&self) -> Aabb {
+        Aabb::from_center_half(Vec3::ZERO, Vec3::splat(self.radius))
+    }
+}
+
+/// Cylinder along the z axis, centered at the origin.
+#[derive(Debug, Clone)]
+pub struct CylinderZ {
+    pub radius: f64,
+    pub half_height: f64,
+}
+
+impl Solid for CylinderZ {
+    fn contains(&self, p: Vec3) -> bool {
+        p.z.abs() <= self.half_height
+            && p.x * p.x + p.y * p.y <= self.radius * self.radius
+    }
+    fn aabb(&self) -> Aabb {
+        Aabb::from_center_half(
+            Vec3::ZERO,
+            Vec3::new(self.radius, self.radius, self.half_height),
+        )
+    }
+}
+
+/// Conical frustum along the z axis: radius `r_bottom` at `z = -half_height`
+/// tapering linearly to `r_top` at `z = +half_height`.
+#[derive(Debug, Clone)]
+pub struct ConeZ {
+    pub r_bottom: f64,
+    pub r_top: f64,
+    pub half_height: f64,
+}
+
+impl Solid for ConeZ {
+    fn contains(&self, p: Vec3) -> bool {
+        if p.z.abs() > self.half_height {
+            return false;
+        }
+        let t = (p.z + self.half_height) / (2.0 * self.half_height);
+        let r = self.r_bottom + t * (self.r_top - self.r_bottom);
+        p.x * p.x + p.y * p.y <= r * r
+    }
+    fn aabb(&self) -> Aabb {
+        let r = self.r_bottom.max(self.r_top);
+        Aabb::from_center_half(Vec3::ZERO, Vec3::new(r, r, self.half_height))
+    }
+}
+
+/// Torus around the z axis: tube of radius `minor` swept along a circle of
+/// radius `major` in the xy plane.
+#[derive(Debug, Clone)]
+pub struct TorusZ {
+    pub major: f64,
+    pub minor: f64,
+}
+
+impl Solid for TorusZ {
+    fn contains(&self, p: Vec3) -> bool {
+        let q = (p.x * p.x + p.y * p.y).sqrt() - self.major;
+        q * q + p.z * p.z <= self.minor * self.minor
+    }
+    fn aabb(&self) -> Aabb {
+        let r = self.major + self.minor;
+        Aabb::from_center_half(Vec3::ZERO, Vec3::new(r, r, self.minor))
+    }
+}
+
+/// Regular hexagonal prism along the z axis. `across_flats` is the
+/// distance from the axis to each flat side (inradius) — as for a nut.
+#[derive(Debug, Clone)]
+pub struct HexPrismZ {
+    pub across_flats: f64,
+    pub half_height: f64,
+}
+
+impl Solid for HexPrismZ {
+    fn contains(&self, p: Vec3) -> bool {
+        if p.z.abs() > self.half_height {
+            return false;
+        }
+        // Hexagon with two flats perpendicular to the y axis.
+        let (x, y) = (p.x.abs(), p.y.abs());
+        let a = self.across_flats;
+        y <= a && 0.5 * (3f64.sqrt() * x + y) <= a
+    }
+    fn aabb(&self) -> Aabb {
+        let circum = self.across_flats * 2.0 / 3f64.sqrt();
+        Aabb::from_center_half(
+            Vec3::ZERO,
+            Vec3::new(circum, self.across_flats, self.half_height),
+        )
+    }
+}
+
+/// Union of several solids.
+pub struct Union {
+    pub parts: Vec<Box<dyn Solid>>,
+}
+
+impl Solid for Union {
+    fn contains(&self, p: Vec3) -> bool {
+        self.parts.iter().any(|s| s.contains(p))
+    }
+    fn aabb(&self) -> Aabb {
+        self.parts
+            .iter()
+            .fold(Aabb::EMPTY, |b, s| b.union(&s.aabb()))
+    }
+}
+
+/// Intersection of several solids.
+pub struct Intersection {
+    pub parts: Vec<Box<dyn Solid>>,
+}
+
+impl Solid for Intersection {
+    fn contains(&self, p: Vec3) -> bool {
+        !self.parts.is_empty() && self.parts.iter().all(|s| s.contains(p))
+    }
+    fn aabb(&self) -> Aabb {
+        // Intersection of the bounds (still a valid cover).
+        let mut it = self.parts.iter();
+        let first = match it.next() {
+            Some(s) => s.aabb(),
+            None => return Aabb::EMPTY,
+        };
+        it.fold(first, |b, s| {
+            let o = s.aabb();
+            Aabb::new(b.min.max(o.min), b.max.min(o.max))
+        })
+    }
+}
+
+/// Set difference `base \ cut`.
+pub struct Difference {
+    pub base: Box<dyn Solid>,
+    pub cut: Box<dyn Solid>,
+}
+
+impl Solid for Difference {
+    fn contains(&self, p: Vec3) -> bool {
+        self.base.contains(p) && !self.cut.contains(p)
+    }
+    fn aabb(&self) -> Aabb {
+        self.base.aabb()
+    }
+}
+
+/// A solid placed by an affine transform (stores the inverse so membership
+/// tests map the query point back into the child's local frame).
+pub struct Transformed {
+    child: Box<dyn Solid>,
+    inverse: Iso,
+    bounds: Aabb,
+}
+
+impl Transformed {
+    pub fn new(child: Box<dyn Solid>, iso: Iso) -> Self {
+        let bounds = iso.apply_aabb(&child.aabb());
+        Transformed {
+            child,
+            inverse: iso.inverse(),
+            bounds,
+        }
+    }
+}
+
+impl Solid for Transformed {
+    fn contains(&self, p: Vec3) -> bool {
+        self.bounds.contains_point(p) && self.child.contains(self.inverse.apply(p))
+    }
+    fn aabb(&self) -> Aabb {
+        self.bounds
+    }
+}
+
+/// Linear taper along z: at `z = -h` the cross-section is scaled by
+/// `scale_bottom`, at `z = +h` by `scale_top`, interpolating linearly.
+/// Used e.g. for tapered wings and spars.
+pub struct TaperZ {
+    child: Box<dyn Solid>,
+    pub scale_bottom: f64,
+    pub scale_top: f64,
+}
+
+impl TaperZ {
+    pub fn new(child: Box<dyn Solid>, scale_bottom: f64, scale_top: f64) -> Self {
+        assert!(scale_bottom > 0.0 && scale_top > 0.0);
+        TaperZ {
+            child,
+            scale_bottom,
+            scale_top,
+        }
+    }
+    fn scale_at(&self, z: f64, b: &Aabb) -> f64 {
+        let span = (b.max.z - b.min.z).max(1e-12);
+        let t = ((z - b.min.z) / span).clamp(0.0, 1.0);
+        self.scale_bottom + t * (self.scale_top - self.scale_bottom)
+    }
+}
+
+impl Solid for TaperZ {
+    fn contains(&self, p: Vec3) -> bool {
+        let b = self.child.aabb();
+        let s = self.scale_at(p.z, &b);
+        self.child.contains(Vec3::new(p.x / s, p.y / s, p.z))
+    }
+    fn aabb(&self) -> Aabb {
+        let b = self.child.aabb();
+        let s = self.scale_bottom.max(self.scale_top).max(1.0);
+        Aabb::new(
+            Vec3::new(b.min.x * s, b.min.y * s, b.min.z),
+            Vec3::new(b.max.x * s, b.max.y * s, b.max.z),
+        )
+    }
+}
+
+/// Builder-style combinators for boxed solids.
+pub trait SolidExt: Solid + Sized + 'static {
+    fn boxed(self) -> Box<dyn Solid> {
+        Box::new(self)
+    }
+}
+impl<T: Solid + Sized + 'static> SolidExt for T {}
+
+/// Union of boxed solids.
+pub fn union(parts: Vec<Box<dyn Solid>>) -> Box<dyn Solid> {
+    Box::new(Union { parts })
+}
+
+/// Intersection of boxed solids.
+pub fn intersection(parts: Vec<Box<dyn Solid>>) -> Box<dyn Solid> {
+    Box::new(Intersection { parts })
+}
+
+/// `base \ cut`.
+pub fn difference(base: Box<dyn Solid>, cut: Box<dyn Solid>) -> Box<dyn Solid> {
+    Box::new(Difference { base, cut })
+}
+
+/// Translate a solid.
+pub fn translated(s: Box<dyn Solid>, t: Vec3) -> Box<dyn Solid> {
+    Box::new(Transformed::new(s, Iso::from_translation(t)))
+}
+
+/// Rotate a solid about the origin.
+pub fn rotated(s: Box<dyn Solid>, m: Mat3) -> Box<dyn Solid> {
+    Box::new(Transformed::new(s, Iso::from_linear(m)))
+}
+
+/// Apply an arbitrary affine transform.
+pub fn transformed(s: Box<dyn Solid>, iso: Iso) -> Box<dyn Solid> {
+    Box::new(Transformed::new(s, iso))
+}
+
+/// Taper along z (see [`TaperZ`]).
+pub fn tapered_z(s: Box<dyn Solid>, scale_bottom: f64, scale_top: f64) -> Box<dyn Solid> {
+    Box::new(TaperZ::new(s, scale_bottom, scale_top))
+}
+
+/// Estimate the volume of a solid by sampling an `n³` lattice of its
+/// bounding box (test helper; voxelization proper lives in `vsim-voxel`).
+pub fn sampled_volume(s: &dyn Solid, n: usize) -> f64 {
+    let b = s.aabb();
+    if b.is_empty() {
+        return 0.0;
+    }
+    let e = b.extent();
+    let cell = Vec3::new(e.x / n as f64, e.y / n as f64, e.z / n as f64);
+    let mut hits = 0usize;
+    for i in 0..n {
+        for j in 0..n {
+            for k in 0..n {
+                let p = b.min
+                    + Vec3::new(
+                        (i as f64 + 0.5) * cell.x,
+                        (j as f64 + 0.5) * cell.y,
+                        (k as f64 + 0.5) * cell.z,
+                    );
+                if s.contains(p) {
+                    hits += 1;
+                }
+            }
+        }
+    }
+    hits as f64 * cell.x * cell.y * cell.z
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cuboid_membership_and_bounds() {
+        let c = Cuboid::new(Vec3::new(1.0, 2.0, 3.0));
+        assert!(c.contains(Vec3::ZERO));
+        assert!(c.contains(Vec3::new(1.0, 2.0, 3.0))); // boundary
+        assert!(!c.contains(Vec3::new(1.01, 0.0, 0.0)));
+        assert_eq!(c.aabb().volume(), 48.0);
+    }
+
+    #[test]
+    fn sphere_volume_estimate() {
+        let s = Sphere { radius: 1.0 };
+        let v = sampled_volume(&s, 64);
+        let exact = 4.0 / 3.0 * std::f64::consts::PI;
+        assert!((v - exact).abs() / exact < 0.02, "{v} vs {exact}");
+    }
+
+    #[test]
+    fn cylinder_cone_relationship() {
+        // A cone with equal radii is a cylinder.
+        let cyl = CylinderZ { radius: 1.0, half_height: 1.0 };
+        let cone = ConeZ { r_bottom: 1.0, r_top: 1.0, half_height: 1.0 };
+        for p in [
+            Vec3::new(0.5, 0.5, 0.3),
+            Vec3::new(0.9, 0.0, -0.99),
+            Vec3::new(1.1, 0.0, 0.0),
+            Vec3::new(0.0, 0.0, 1.2),
+        ] {
+            assert_eq!(cyl.contains(p), cone.contains(p));
+        }
+        // A true cone is empty at the tip radius edge near the top.
+        let tip = ConeZ { r_bottom: 1.0, r_top: 0.01, half_height: 1.0 };
+        assert!(tip.contains(Vec3::new(0.9, 0.0, -0.95)));
+        assert!(!tip.contains(Vec3::new(0.9, 0.0, 0.95)));
+    }
+
+    #[test]
+    fn torus_has_a_hole() {
+        let t = TorusZ { major: 2.0, minor: 0.5 };
+        assert!(t.contains(Vec3::new(2.0, 0.0, 0.0)));
+        assert!(t.contains(Vec3::new(0.0, 2.3, 0.2)));
+        assert!(!t.contains(Vec3::ZERO)); // center hole
+        assert!(!t.contains(Vec3::new(2.0, 0.0, 0.6)));
+        let v = sampled_volume(&t, 80);
+        let exact = 2.0 * std::f64::consts::PI.powi(2) * 2.0 * 0.25;
+        assert!((v - exact).abs() / exact < 0.05);
+    }
+
+    #[test]
+    fn hex_prism_inradius_and_circumradius() {
+        let h = HexPrismZ { across_flats: 1.0, half_height: 1.0 };
+        assert!(h.contains(Vec3::new(0.0, 0.999, 0.0))); // flat side
+        assert!(!h.contains(Vec3::new(0.0, 1.001, 0.0)));
+        let circ = 2.0 / 3f64.sqrt();
+        assert!(h.contains(Vec3::new(circ - 1e-3, 0.0, 0.0))); // corner
+        assert!(!h.contains(Vec3::new(circ + 1e-3, 0.0, 0.0)));
+    }
+
+    #[test]
+    fn csg_difference_makes_a_tube() {
+        let outer = CylinderZ { radius: 1.0, half_height: 1.0 }.boxed();
+        let inner = CylinderZ { radius: 0.5, half_height: 2.0 }.boxed();
+        let tube = difference(outer, inner);
+        assert!(tube.contains(Vec3::new(0.75, 0.0, 0.0)));
+        assert!(!tube.contains(Vec3::ZERO));
+        assert!(!tube.contains(Vec3::new(1.5, 0.0, 0.0)));
+    }
+
+    #[test]
+    fn csg_union_and_intersection() {
+        let a = Cuboid::new(Vec3::splat(1.0)).boxed();
+        let b = translated(Cuboid::new(Vec3::splat(1.0)).boxed(), Vec3::new(1.0, 0.0, 0.0));
+        let u = union(vec![a, b]);
+        assert!(u.contains(Vec3::new(1.8, 0.0, 0.0)));
+        assert!(u.contains(Vec3::new(-0.8, 0.0, 0.0)));
+
+        let c = Cuboid::new(Vec3::splat(1.0)).boxed();
+        let d = Sphere { radius: 1.0 }.boxed();
+        let i = intersection(vec![c, d]);
+        assert!(i.contains(Vec3::new(0.5, 0.5, 0.5)));
+        assert!(!i.contains(Vec3::new(0.9, 0.9, 0.9))); // inside cube, outside sphere
+    }
+
+    #[test]
+    fn transformed_solid_moves_and_rotates() {
+        let cyl = CylinderZ { radius: 0.5, half_height: 2.0 }.boxed();
+        // Rotate the cylinder onto the x axis, then shift up.
+        let s = translated(
+            rotated(cyl, Mat3::rot_y(std::f64::consts::FRAC_PI_2)),
+            Vec3::new(0.0, 0.0, 1.0),
+        );
+        assert!(s.contains(Vec3::new(1.5, 0.0, 1.0)));
+        assert!(!s.contains(Vec3::new(0.0, 0.0, 2.6)));
+        assert!(s.aabb().contains_point(Vec3::new(1.9, 0.0, 1.0)));
+    }
+
+    #[test]
+    fn taper_shrinks_one_end() {
+        let bar = Cuboid::new(Vec3::new(1.0, 1.0, 2.0)).boxed();
+        let t = tapered_z(bar, 1.0, 0.25);
+        assert!(t.contains(Vec3::new(0.9, 0.9, -1.9))); // wide bottom
+        assert!(!t.contains(Vec3::new(0.9, 0.9, 1.9))); // narrow top
+        assert!(t.contains(Vec3::new(0.2, 0.2, 1.9)));
+    }
+
+    #[test]
+    fn empty_intersection_contains_nothing() {
+        let i = Intersection { parts: vec![] };
+        assert!(!i.contains(Vec3::ZERO));
+        assert!(i.aabb().is_empty());
+    }
+}

@@ -1,0 +1,233 @@
+//! STL import/export — the de-facto exchange format for tessellated CAD
+//! parts. Both ASCII and binary STL are supported, with no external
+//! dependencies. This is how real part files enter the similarity-search
+//! pipeline (`TriMesh` → voxelization → features).
+
+use crate::mesh::TriMesh;
+use crate::vec3::Vec3;
+use std::io::{self, BufRead, Read, Write};
+
+/// Errors raised by the STL reader.
+#[derive(Debug)]
+pub enum StlError {
+    Io(io::Error),
+    /// Malformed content, with a human-readable description.
+    Parse(String),
+}
+
+impl From<io::Error> for StlError {
+    fn from(e: io::Error) -> Self {
+        StlError::Io(e)
+    }
+}
+
+impl std::fmt::Display for StlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StlError::Io(e) => write!(f, "STL I/O error: {e}"),
+            StlError::Parse(m) => write!(f, "STL parse error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StlError {}
+
+/// Read an STL file (auto-detects ASCII vs. binary).
+pub fn read_stl<R: Read>(mut r: R) -> Result<TriMesh, StlError> {
+    let mut data = Vec::new();
+    r.read_to_end(&mut data)?;
+    // ASCII files start with "solid" AND contain "facet"; binary files
+    // may also start with "solid" in the 80-byte header, so check both.
+    let looks_ascii = data.len() >= 5
+        && data[..5].eq_ignore_ascii_case(b"solid")
+        && data
+            .windows(5)
+            .take(4096.min(data.len()))
+            .any(|w| w.eq_ignore_ascii_case(b"facet"));
+    if looks_ascii {
+        read_ascii(&data[..])
+    } else {
+        read_binary(&data)
+    }
+}
+
+fn read_ascii<R: BufRead>(r: R) -> Result<TriMesh, StlError> {
+    let mut mesh = TriMesh::default();
+    let mut current: Vec<Vec3> = Vec::new();
+    for (ln, line) in r.lines().enumerate() {
+        let line = line?;
+        let mut tok = line.split_whitespace();
+        match tok.next() {
+            Some("vertex") => {
+                let mut coord = |what: &str| -> Result<f64, StlError> {
+                    tok.next()
+                        .ok_or_else(|| StlError::Parse(format!("line {}: missing {what}", ln + 1)))?
+                        .parse::<f64>()
+                        .map_err(|_| StlError::Parse(format!("line {}: bad {what}", ln + 1)))
+                };
+                let v = Vec3::new(coord("x")?, coord("y")?, coord("z")?);
+                current.push(v);
+            }
+            Some("endfacet") => {
+                if current.len() != 3 {
+                    return Err(StlError::Parse(format!(
+                        "line {}: facet with {} vertices",
+                        ln + 1,
+                        current.len()
+                    )));
+                }
+                let base = mesh.vertices.len() as u32;
+                mesh.vertices.extend_from_slice(&current);
+                mesh.triangles.push([base, base + 1, base + 2]);
+                current.clear();
+            }
+            _ => {} // facet normal / outer loop / endloop / solid / endsolid
+        }
+    }
+    if mesh.triangles.is_empty() {
+        return Err(StlError::Parse("no facets found".into()));
+    }
+    Ok(mesh)
+}
+
+fn read_binary(data: &[u8]) -> Result<TriMesh, StlError> {
+    if data.len() < 84 {
+        return Err(StlError::Parse("binary STL shorter than header".into()));
+    }
+    let n = u32::from_le_bytes([data[80], data[81], data[82], data[83]]) as usize;
+    let expect = 84 + n * 50;
+    if data.len() < expect {
+        return Err(StlError::Parse(format!(
+            "binary STL truncated: {} bytes for {n} triangles",
+            data.len()
+        )));
+    }
+    let f32_at = |off: usize| -> f64 {
+        f32::from_le_bytes([data[off], data[off + 1], data[off + 2], data[off + 3]]) as f64
+    };
+    let mut mesh = TriMesh::default();
+    for t in 0..n {
+        let base = 84 + t * 50 + 12; // skip the normal
+        let mut verts = [Vec3::ZERO; 3];
+        for (vi, v) in verts.iter_mut().enumerate() {
+            let o = base + vi * 12;
+            *v = Vec3::new(f32_at(o), f32_at(o + 4), f32_at(o + 8));
+        }
+        let idx = mesh.vertices.len() as u32;
+        mesh.vertices.extend_from_slice(&verts);
+        mesh.triangles.push([idx, idx + 1, idx + 2]);
+    }
+    Ok(mesh)
+}
+
+/// Write a mesh as ASCII STL.
+pub fn write_stl_ascii<W: Write>(mesh: &TriMesh, mut w: W, name: &str) -> io::Result<()> {
+    writeln!(w, "solid {name}")?;
+    for t in 0..mesh.triangles.len() {
+        let tri = mesh.triangle(t);
+        let n = (tri[1] - tri[0])
+            .cross(tri[2] - tri[0])
+            .normalized()
+            .unwrap_or(Vec3::Z);
+        writeln!(w, "  facet normal {} {} {}", n.x, n.y, n.z)?;
+        writeln!(w, "    outer loop")?;
+        for v in tri {
+            writeln!(w, "      vertex {} {} {}", v.x, v.y, v.z)?;
+        }
+        writeln!(w, "    endloop")?;
+        writeln!(w, "  endfacet")?;
+    }
+    writeln!(w, "endsolid {name}")
+}
+
+/// Write a mesh as binary STL.
+pub fn write_stl_binary<W: Write>(mesh: &TriMesh, mut w: W) -> io::Result<()> {
+    let mut header = [0u8; 80];
+    header[..12].copy_from_slice(b"vsim binary ");
+    w.write_all(&header)?;
+    w.write_all(&(mesh.triangles.len() as u32).to_le_bytes())?;
+    for t in 0..mesh.triangles.len() {
+        let tri = mesh.triangle(t);
+        let n = (tri[1] - tri[0])
+            .cross(tri[2] - tri[0])
+            .normalized()
+            .unwrap_or(Vec3::Z);
+        for v in [n, tri[0], tri[1], tri[2]] {
+            for c in [v.x, v.y, v.z] {
+                w.write_all(&(c as f32).to_le_bytes())?;
+            }
+        }
+        w.write_all(&[0u8; 2])?; // attribute byte count
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TriMesh {
+        TriMesh::make_box(Vec3::new(-1.0, -2.0, -3.0), Vec3::new(1.0, 2.0, 3.0))
+    }
+
+    fn approx_mesh_eq(a: &TriMesh, b: &TriMesh, tol: f64) {
+        assert_eq!(a.triangles.len(), b.triangles.len());
+        assert!((a.signed_volume() - b.signed_volume()).abs() < tol);
+        assert!((a.surface_area() - b.surface_area()).abs() < tol);
+    }
+
+    #[test]
+    fn ascii_roundtrip() {
+        let m = sample();
+        let mut buf = Vec::new();
+        write_stl_ascii(&m, &mut buf, "box").unwrap();
+        let back = read_stl(&buf[..]).unwrap();
+        approx_mesh_eq(&m, &back, 1e-9);
+        back.validate().unwrap();
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let m = TriMesh::make_sphere(1.0, 12, 18);
+        let mut buf = Vec::new();
+        write_stl_binary(&m, &mut buf).unwrap();
+        let back = read_stl(&buf[..]).unwrap();
+        // f32 quantization: generous tolerance.
+        approx_mesh_eq(&m, &back, 1e-4);
+        assert_eq!(buf.len(), 84 + 50 * m.triangles.len());
+    }
+
+    #[test]
+    fn ascii_detection_vs_binary_starting_with_solid() {
+        // A binary file whose header begins with "solid" must still be
+        // read as binary (no "facet" keyword in the first bytes).
+        let m = sample();
+        let mut buf = Vec::new();
+        write_stl_binary(&m, &mut buf).unwrap();
+        buf[..5].copy_from_slice(b"solid");
+        let back = read_stl(&buf[..]).unwrap();
+        approx_mesh_eq(&m, &back, 1e-4);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(read_stl(&b"not an stl file"[..]).is_err());
+        assert!(read_stl(&b"solid x\nfacet normal 0 0 1\nvertex 1 2\nendfacet"[..]).is_err());
+        // Truncated binary.
+        let mut buf = vec![0u8; 84];
+        buf[80..84].copy_from_slice(&100u32.to_le_bytes());
+        assert!(read_stl(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn bounds_survive_roundtrip() {
+        // The full STL -> voxel -> features test lives in
+        // tests/pipeline_integration.rs (this crate cannot depend on
+        // vsim-voxel); here we check geometric identity.
+        let m = sample();
+        let mut buf = Vec::new();
+        write_stl_ascii(&m, &mut buf, "p").unwrap();
+        let back = read_stl(&buf[..]).unwrap();
+        assert_eq!(m.aabb(), back.aabb());
+    }
+}

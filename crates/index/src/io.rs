@@ -1,0 +1,149 @@
+//! Simulated I/O accounting (Section 5.4).
+//!
+//! The paper runs everything in main memory and *charges* I/O costs:
+//! 8 ms per page access, 200 ns per byte read. Access methods in this
+//! crate record page accesses and bytes read into an [`IoStats`] shared
+//! counter; the [`CostModel`] turns a counter snapshot into seconds.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Page size used for node capacities and heap-file accounting.
+pub const PAGE_SIZE: usize = 4096;
+
+/// Thread-safe I/O counters.
+#[derive(Debug, Default)]
+pub struct IoStats {
+    pages: AtomicU64,
+    bytes: AtomicU64,
+}
+
+impl IoStats {
+    pub fn new() -> Arc<Self> {
+        Arc::new(IoStats::default())
+    }
+
+    #[inline]
+    pub fn record_pages(&self, n: u64) {
+        self.pages.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn record_bytes(&self, n: u64) {
+        self.bytes.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> IoSnapshot {
+        IoSnapshot {
+            pages: self.pages.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+        }
+    }
+
+    pub fn reset(&self) {
+        self.pages.store(0, Ordering::Relaxed);
+        self.bytes.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of the counters; subtract two snapshots to get
+/// the cost of one operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IoSnapshot {
+    pub pages: u64,
+    pub bytes: u64,
+}
+
+impl std::ops::Sub for IoSnapshot {
+    type Output = IoSnapshot;
+    fn sub(self, o: IoSnapshot) -> IoSnapshot {
+        IoSnapshot {
+            pages: self.pages - o.pages,
+            bytes: self.bytes - o.bytes,
+        }
+    }
+}
+
+impl std::ops::Add for IoSnapshot {
+    type Output = IoSnapshot;
+    fn add(self, o: IoSnapshot) -> IoSnapshot {
+        IoSnapshot {
+            pages: self.pages + o.pages,
+            bytes: self.bytes + o.bytes,
+        }
+    }
+}
+
+/// The paper's cost constants.
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel {
+    pub ms_per_page: f64,
+    pub ns_per_byte: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        // Section 5.4: 8 ms per page access, 200 ns per byte.
+        CostModel { ms_per_page: 8.0, ns_per_byte: 200.0 }
+    }
+}
+
+impl CostModel {
+    /// Simulated I/O time in seconds for a counter delta.
+    pub fn seconds(&self, io: IoSnapshot) -> f64 {
+        io.pages as f64 * self.ms_per_page * 1e-3 + io.bytes as f64 * self.ns_per_byte * 1e-9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let s = IoStats::new();
+        s.record_pages(3);
+        s.record_bytes(1000);
+        s.record_pages(2);
+        let snap = s.snapshot();
+        assert_eq!(snap.pages, 5);
+        assert_eq!(snap.bytes, 1000);
+        s.reset();
+        assert_eq!(s.snapshot(), IoSnapshot::default());
+    }
+
+    #[test]
+    fn snapshot_arithmetic() {
+        let a = IoSnapshot { pages: 10, bytes: 500 };
+        let b = IoSnapshot { pages: 4, bytes: 100 };
+        assert_eq!(a - b, IoSnapshot { pages: 6, bytes: 400 });
+        assert_eq!(b + b, IoSnapshot { pages: 8, bytes: 200 });
+    }
+
+    #[test]
+    fn paper_cost_constants() {
+        let cm = CostModel::default();
+        // 1000 page accesses = 8 s; 5 MB = 1 s.
+        let t = cm.seconds(IoSnapshot { pages: 1000, bytes: 5_000_000 });
+        assert!((t - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn concurrent_recording() {
+        let s = IoStats::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let s = Arc::clone(&s);
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        s.record_pages(1);
+                        s.record_bytes(10);
+                    }
+                });
+            }
+        });
+        let snap = s.snapshot();
+        assert_eq!(snap.pages, 4000);
+        assert_eq!(snap.bytes, 40_000);
+    }
+}

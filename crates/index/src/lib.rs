@@ -1,0 +1,43 @@
+//! # vsim-index — access methods with simulated I/O accounting
+//!
+//! The paper's efficiency experiment (Table 2) compares three access
+//! paths for 10-NN queries, with I/O *simulated* ("one page access was
+//! counted as 8 ms and for the costs of reading one byte we counted
+//! 200 ns") because data and indexes fit in RAM. This crate rebuilds
+//! that setting:
+//!
+//! * [`io`] — page/byte counters and the paper's cost model.
+//! * [`xtree`] — an X-tree [Berchtold, Keim & Kriegel, VLDB'96]:
+//!   R*-tree topology plus *supernodes* that grow instead of splitting
+//!   when a split would produce high-overlap directory entries. Indexes
+//!   the 6-d extended centroids (filter step) and the `6k`-d one-vector
+//!   features (whose degradation in high dimensions is exactly what
+//!   Table 2 exercises).
+//! * [`mtree`] — an M-tree [Ciaccia, Patella & Zezula, VLDB'97] for
+//!   metric data, usable directly on vector sets with the minimal
+//!   matching distance (Section 4.3 suggests this).
+//! * [`storage`] — a paged heap file of vector sets for the refinement
+//!   step and the sequential-scan baseline.
+
+//! ```
+//! use vsim_index::{XTree, IoStats};
+//!
+//! let stats = IoStats::new();
+//! let mut tree = XTree::new(2, std::sync::Arc::clone(&stats));
+//! for i in 0..100 {
+//!     tree.insert(&[i as f64, (i % 10) as f64], i);
+//! }
+//! let hits = tree.knn(&[50.0, 5.0], 3);
+//! assert_eq!(hits.len(), 3);
+//! assert!(stats.snapshot().pages > 0); // queries charge simulated I/O
+//! ```
+
+pub mod io;
+pub mod mtree;
+pub mod storage;
+pub mod xtree;
+
+pub use io::{CostModel, IoStats, IoSnapshot, PAGE_SIZE};
+pub use mtree::MTree;
+pub use storage::VectorSetStore;
+pub use xtree::XTree;

@@ -1,0 +1,571 @@
+//! An M-tree (Ciaccia, Patella & Zezula, VLDB'97 — reference [10]):
+//! a paged access method for *metric* data. Because the minimal matching
+//! distance is a metric (Lemma 1), vector sets can be indexed directly —
+//! the alternative Section 4.3 mentions before introducing the centroid
+//! filter.
+
+use crate::io::IoStats;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+use std::sync::Arc;
+use vsim_setdist::Distance;
+
+struct LeafEntry<T> {
+    obj: T,
+    id: u64,
+    dist_to_parent: f64,
+}
+
+struct RoutingEntry<T> {
+    obj: T,
+    radius: f64,
+    dist_to_parent: f64,
+    child: usize,
+}
+
+enum MNode<T> {
+    Leaf(Vec<LeafEntry<T>>),
+    Internal(Vec<RoutingEntry<T>>),
+}
+
+impl<T> MNode<T> {
+    fn len(&self) -> usize {
+        match self {
+            MNode::Leaf(v) => v.len(),
+            MNode::Internal(v) => v.len(),
+        }
+    }
+}
+
+/// An M-tree over objects of type `T` under a supplied metric.
+pub struct MTree<T> {
+    dist: Arc<dyn Distance<T>>,
+    nodes: Vec<MNode<T>>,
+    root: usize,
+    capacity: usize,
+    bytes_per_entry: usize,
+    stats: Arc<IoStats>,
+    distance_computations: AtomicU64,
+    len: usize,
+}
+
+impl<T: Clone> MTree<T> {
+    /// `capacity` = entries per node (page); `bytes_per_entry` feeds the
+    /// byte-level I/O accounting.
+    pub fn new(
+        dist: Arc<dyn Distance<T>>,
+        capacity: usize,
+        bytes_per_entry: usize,
+        stats: Arc<IoStats>,
+    ) -> Self {
+        assert!(capacity >= 4, "M-tree capacity must be at least 4");
+        MTree {
+            dist,
+            nodes: vec![MNode::Leaf(Vec::new())],
+            root: 0,
+            capacity,
+            bytes_per_entry,
+            stats,
+            distance_computations: AtomicU64::new(0),
+            len: 0,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Metric distance evaluations since construction (CPU-side cost
+    /// measure used in the benchmarks).
+    pub fn distance_computations(&self) -> u64 {
+        self.distance_computations.load(AtomicOrdering::Relaxed)
+    }
+
+    fn d(&self, a: &T, b: &T) -> f64 {
+        self.distance_computations.fetch_add(1, AtomicOrdering::Relaxed);
+        self.dist.distance(a, b)
+    }
+
+    fn charge(&self, node: usize) {
+        self.stats.record_pages(1);
+        self.stats
+            .record_bytes((self.nodes[node].len() * self.bytes_per_entry) as u64);
+    }
+
+    /// Insert an object (build phase: no I/O charged).
+    pub fn insert(&mut self, obj: T, id: u64) {
+        if let Some((e1, e2)) = self.insert_rec(self.root, obj, id, None) {
+            let children = vec![e1, e2];
+            let idx = self.nodes.len();
+            self.nodes.push(MNode::Internal(children));
+            self.root = idx;
+        }
+        self.len += 1;
+    }
+
+    /// Returns two routing entries if the node split.
+    fn insert_rec(
+        &mut self,
+        node: usize,
+        obj: T,
+        id: u64,
+        parent_obj: Option<&T>,
+    ) -> Option<(RoutingEntry<T>, RoutingEntry<T>)> {
+        match &self.nodes[node] {
+            MNode::Leaf(_) => {
+                let dtp = parent_obj.map(|p| self.d(p, &obj)).unwrap_or(0.0);
+                if let MNode::Leaf(entries) = &mut self.nodes[node] {
+                    entries.push(LeafEntry { obj, id, dist_to_parent: dtp });
+                }
+                if self.nodes[node].len() > self.capacity {
+                    return Some(self.split(node));
+                }
+                let _ = parent_obj;
+                None
+            }
+            MNode::Internal(entries) => {
+                // Choose the routing entry: containing with min distance,
+                // else min radius enlargement.
+                let mut best = usize::MAX;
+                let mut best_key = (false, f64::INFINITY);
+                let mut dists = Vec::with_capacity(entries.len());
+                // Collect distances first (immutable borrow).
+                let objs: Vec<&T> = entries.iter().map(|e| &e.obj).collect();
+                for o in &objs {
+                    dists.push(self.d(o, &obj));
+                }
+                if let MNode::Internal(entries) = &self.nodes[node] {
+                    for (i, e) in entries.iter().enumerate() {
+                        let contained = dists[i] <= e.radius;
+                        let key = if contained {
+                            (true, dists[i])
+                        } else {
+                            (false, dists[i] - e.radius)
+                        };
+                        // Prefer contained; among those min distance;
+                        // otherwise min enlargement.
+                        let better = match (key.0, best_key.0) {
+                            (true, false) => true,
+                            (false, true) => false,
+                            _ => key.1 < best_key.1,
+                        };
+                        if better {
+                            best = i;
+                            best_key = key;
+                        }
+                    }
+                }
+                let (child, route_obj, need_enlarge) = {
+                    if let MNode::Internal(entries) = &self.nodes[node] {
+                        let e = &entries[best];
+                        (e.child, e.obj.clone(), dists[best].max(e.radius))
+                    } else {
+                        unreachable!()
+                    }
+                };
+                // Enlarge radius if needed.
+                if let MNode::Internal(entries) = &mut self.nodes[node] {
+                    entries[best].radius = need_enlarge;
+                }
+                let split = self.insert_rec(child, obj, id, Some(&route_obj));
+                if let Some((mut e1, mut e2)) = split {
+                    // The promoted entries become entries of THIS node:
+                    // their parent distance is to this node's routing
+                    // object (`parent_obj`), not to the split child's.
+                    e1.dist_to_parent = parent_obj.map(|p| self.d(p, &e1.obj)).unwrap_or(0.0);
+                    e2.dist_to_parent = parent_obj.map(|p| self.d(p, &e2.obj)).unwrap_or(0.0);
+                    if let MNode::Internal(entries) = &mut self.nodes[node] {
+                        entries.remove(best);
+                        entries.push(e1);
+                        entries.push(e2);
+                    }
+                    if self.nodes[node].len() > self.capacity {
+                        return Some(self.split(node));
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// Split `node`, promoting two routing objects (max-distance-pair
+    /// heuristic) and partitioning by generalized hyperplane. The
+    /// returned entries carry `dist_to_parent = 0`; the caller must set
+    /// it relative to *its own* routing object before storing them.
+    fn split(&mut self, node: usize) -> (RoutingEntry<T>, RoutingEntry<T>) {
+        // Gather the objects.
+        let objs: Vec<T> = match &self.nodes[node] {
+            MNode::Leaf(v) => v.iter().map(|e| e.obj.clone()).collect(),
+            MNode::Internal(v) => v.iter().map(|e| e.obj.clone()).collect(),
+        };
+        let n = objs.len();
+        // Promote: farthest from objs[0], then farthest from that.
+        let mut p1 = 0usize;
+        let mut far = -1.0;
+        for (i, o) in objs.iter().enumerate() {
+            let d = self.d(&objs[0], o);
+            if d > far {
+                far = d;
+                p1 = i;
+            }
+        }
+        let mut p2 = if p1 == 0 { 1 % n } else { 0 };
+        far = -1.0;
+        for (i, o) in objs.iter().enumerate() {
+            if i == p1 {
+                continue;
+            }
+            let d = self.d(&objs[p1], o);
+            if d > far {
+                far = d;
+                p2 = i;
+            }
+        }
+        let o1 = objs[p1].clone();
+        let o2 = objs[p2].clone();
+
+        // Partition entries to the nearer promoted object.
+        let assign: Vec<bool> = objs
+            .iter()
+            .map(|o| self.d(&o1, o) <= self.d(&o2, o))
+            .collect();
+
+        let (left_idx, right_idx, r1, r2) = match std::mem::replace(
+            &mut self.nodes[node],
+            MNode::Leaf(Vec::new()),
+        ) {
+            MNode::Leaf(entries) => {
+                let mut left = Vec::new();
+                let mut right = Vec::new();
+                let mut r1 = 0.0f64;
+                let mut r2 = 0.0f64;
+                for (e, &to_left) in entries.into_iter().zip(&assign) {
+                    if to_left {
+                        let d = self.d(&o1, &e.obj);
+                        r1 = r1.max(d);
+                        left.push(LeafEntry { dist_to_parent: d, ..e });
+                    } else {
+                        let d = self.d(&o2, &e.obj);
+                        r2 = r2.max(d);
+                        right.push(LeafEntry { dist_to_parent: d, ..e });
+                    }
+                }
+                self.nodes[node] = MNode::Leaf(left);
+                let ridx = self.nodes.len();
+                self.nodes.push(MNode::Leaf(right));
+                (node, ridx, r1, r2)
+            }
+            MNode::Internal(entries) => {
+                let mut left = Vec::new();
+                let mut right = Vec::new();
+                let mut r1 = 0.0f64;
+                let mut r2 = 0.0f64;
+                for (e, &to_left) in entries.into_iter().zip(&assign) {
+                    if to_left {
+                        let d = self.d(&o1, &e.obj);
+                        r1 = r1.max(d + e.radius);
+                        left.push(RoutingEntry { dist_to_parent: d, ..e });
+                    } else {
+                        let d = self.d(&o2, &e.obj);
+                        r2 = r2.max(d + e.radius);
+                        right.push(RoutingEntry { dist_to_parent: d, ..e });
+                    }
+                }
+                self.nodes[node] = MNode::Internal(left);
+                let ridx = self.nodes.len();
+                self.nodes.push(MNode::Internal(right));
+                (node, ridx, r1, r2)
+            }
+        };
+
+        (
+            RoutingEntry { obj: o1, radius: r1, dist_to_parent: 0.0, child: left_idx },
+            RoutingEntry { obj: o2, radius: r2, dist_to_parent: 0.0, child: right_idx },
+        )
+    }
+
+    /// All `(id, distance)` within `eps` of `query`.
+    pub fn range_query(&self, query: &T, eps: f64) -> Vec<(u64, f64)> {
+        let mut out = Vec::new();
+        if self.len == 0 {
+            return out;
+        }
+        // Stack of (node, dist(query, node's routing object) or None for root).
+        let mut stack: Vec<(usize, Option<f64>)> = vec![(self.root, None)];
+        while let Some((node, parent_dist)) = stack.pop() {
+            self.charge(node);
+            match &self.nodes[node] {
+                MNode::Leaf(entries) => {
+                    for e in entries {
+                        // Parent-distance pre-filter (triangle inequality).
+                        if let Some(pd) = parent_dist {
+                            if (pd - e.dist_to_parent).abs() > eps {
+                                continue;
+                            }
+                        }
+                        let d = self.d(query, &e.obj);
+                        if d <= eps {
+                            out.push((e.id, d));
+                        }
+                    }
+                }
+                MNode::Internal(entries) => {
+                    for e in entries {
+                        if let Some(pd) = parent_dist {
+                            if (pd - e.dist_to_parent).abs() > eps + e.radius {
+                                continue;
+                            }
+                        }
+                        let d = self.d(query, &e.obj);
+                        if d <= eps + e.radius {
+                            stack.push((e.child, Some(d)));
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The `k` nearest neighbors, sorted by distance (best-first search
+    /// with covering-radius pruning).
+    pub fn knn(&self, query: &T, k: usize) -> Vec<(u64, f64)> {
+        if self.len == 0 || k == 0 {
+            return Vec::new();
+        }
+        let mut heap: BinaryHeap<MHeapEntry> = BinaryHeap::new();
+        heap.push(MHeapEntry { dist: 0.0, node: self.root });
+        let mut result: Vec<(u64, f64)> = Vec::new();
+        let mut worst = f64::INFINITY;
+        while let Some(MHeapEntry { dist, node }) = heap.pop() {
+            if dist > worst {
+                break;
+            }
+            self.charge(node);
+            match &self.nodes[node] {
+                MNode::Leaf(entries) => {
+                    for e in entries {
+                        let d = self.d(query, &e.obj);
+                        if d < worst || result.len() < k {
+                            result.push((e.id, d));
+                            result.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+                            result.truncate(k);
+                            if result.len() == k {
+                                worst = result[k - 1].1;
+                            }
+                        }
+                    }
+                }
+                MNode::Internal(entries) => {
+                    for e in entries {
+                        let d = self.d(query, &e.obj);
+                        let mindist = (d - e.radius).max(0.0);
+                        if mindist <= worst {
+                            heap.push(MHeapEntry { dist: mindist, node: e.child });
+                        }
+                    }
+                }
+            }
+        }
+        result
+    }
+}
+
+struct MHeapEntry {
+    dist: f64,
+    node: usize,
+}
+impl PartialEq for MHeapEntry {
+    fn eq(&self, o: &Self) -> bool {
+        self.dist == o.dist
+    }
+}
+impl Eq for MHeapEntry {}
+impl Ord for MHeapEntry {
+    fn cmp(&self, o: &Self) -> Ordering {
+        o.dist.partial_cmp(&self.dist).unwrap_or(Ordering::Equal)
+    }
+}
+impl PartialOrd for MHeapEntry {
+    fn partial_cmp(&self, o: &Self) -> Option<Ordering> {
+        Some(self.cmp(o))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    fn euclid2(a: &Vec<f64>, b: &Vec<f64>) -> f64 {
+        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+    }
+
+    fn build(points: &[Vec<f64>]) -> MTree<Vec<f64>> {
+        let dist: Arc<dyn Distance<Vec<f64>>> = Arc::new(euclid2);
+        let mut t = MTree::new(dist, 8, 32, IoStats::new());
+        for (i, p) in points.iter().enumerate() {
+            t.insert(p.clone(), i as u64);
+        }
+        t
+    }
+
+    fn random_points(n: usize, dim: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| (0..dim).map(|_| rng.gen_range(0.0..100.0)).collect())
+            .collect()
+    }
+
+    #[test]
+    fn empty_tree() {
+        let dist: Arc<dyn Distance<Vec<f64>>> = Arc::new(euclid2);
+        let t: MTree<Vec<f64>> = MTree::new(dist, 8, 32, IoStats::new());
+        assert!(t.is_empty());
+        assert!(t.range_query(&vec![0.0, 0.0], 5.0).is_empty());
+        assert!(t.knn(&vec![0.0, 0.0], 3).is_empty());
+    }
+
+    #[test]
+    fn range_query_matches_brute_force() {
+        let pts = random_points(400, 3, 99);
+        let t = build(&pts);
+        for q in random_points(8, 3, 100) {
+            for eps in [10.0, 30.0] {
+                let mut got: Vec<u64> =
+                    t.range_query(&q, eps).into_iter().map(|(id, _)| id).collect();
+                got.sort_unstable();
+                let mut want: Vec<u64> = pts
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, p)| euclid2(p, &q) <= eps)
+                    .map(|(i, _)| i as u64)
+                    .collect();
+                want.sort_unstable();
+                assert_eq!(got, want, "eps {eps}");
+            }
+        }
+    }
+
+    #[test]
+    fn knn_matches_brute_force() {
+        let pts = random_points(300, 2, 123);
+        let t = build(&pts);
+        for q in random_points(6, 2, 124) {
+            let got = t.knn(&q, 7);
+            let mut all: Vec<(u64, f64)> = pts
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (i as u64, euclid2(p, &q)))
+                .collect();
+            all.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+            assert_eq!(got.len(), 7);
+            for (g, w) in got.iter().zip(all.iter()) {
+                assert!((g.1 - w.1).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_saves_distance_computations() {
+        let pts = random_points(2000, 2, 7);
+        let t = build(&pts);
+        let before = t.distance_computations();
+        let _ = t.knn(&pts[0], 5);
+        let used = t.distance_computations() - before;
+        assert!(
+            (used as usize) < pts.len(),
+            "kNN used {used} distance computations for {} objects",
+            pts.len()
+        );
+    }
+
+    #[test]
+    fn io_charged_on_queries() {
+        let pts = random_points(500, 2, 8);
+        let dist: Arc<dyn Distance<Vec<f64>>> = Arc::new(euclid2);
+        let stats = IoStats::new();
+        let mut t = MTree::new(dist, 8, 32, Arc::clone(&stats));
+        for (i, p) in pts.iter().enumerate() {
+            t.insert(p.clone(), i as u64);
+        }
+        stats.reset();
+        let _ = t.range_query(&pts[3], 5.0);
+        let snap = stats.snapshot();
+        assert!(snap.pages > 0);
+        assert!(snap.bytes > 0);
+    }
+
+    #[test]
+    fn deep_tree_range_queries_stay_exact() {
+        // Small capacity + clustered data forces many splits at several
+        // levels; exactness here guards the parent-distance bookkeeping
+        // (a wrong dist_to_parent makes the triangle-inequality pruning
+        // drop valid subtrees).
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut pts: Vec<Vec<f64>> = Vec::new();
+        for c in 0..20 {
+            let cx = (c % 5) as f64 * 20.0;
+            let cy = (c / 5) as f64 * 20.0;
+            for _ in 0..60 {
+                pts.push(vec![
+                    cx + rng.gen_range(-3.0..3.0),
+                    cy + rng.gen_range(-3.0..3.0),
+                ]);
+            }
+        }
+        let dist: Arc<dyn Distance<Vec<f64>>> = Arc::new(euclid2);
+        let mut t = MTree::new(dist, 4, 32, IoStats::new());
+        for (i, p) in pts.iter().enumerate() {
+            t.insert(p.clone(), i as u64);
+        }
+        for qi in (0..pts.len()).step_by(97) {
+            for eps in [1.0, 4.0, 15.0] {
+                let mut got: Vec<u64> = t
+                    .range_query(&pts[qi], eps)
+                    .into_iter()
+                    .map(|(id, _)| id)
+                    .collect();
+                got.sort_unstable();
+                let mut want: Vec<u64> = pts
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, p)| euclid2(p, &pts[qi]) <= eps)
+                    .map(|(i, _)| i as u64)
+                    .collect();
+                want.sort_unstable();
+                assert_eq!(got, want, "query {qi} eps {eps}");
+            }
+        }
+    }
+
+    #[test]
+    fn works_with_a_non_euclidean_metric() {
+        // L1 metric.
+        let l1 = |a: &Vec<f64>, b: &Vec<f64>| -> f64 {
+            a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+        };
+        let dist: Arc<dyn Distance<Vec<f64>>> = Arc::new(l1);
+        let mut t = MTree::new(dist, 6, 16, IoStats::new());
+        let pts = random_points(200, 2, 55);
+        for (i, p) in pts.iter().enumerate() {
+            t.insert(p.clone(), i as u64);
+        }
+        let q = vec![50.0, 50.0];
+        let got = t.knn(&q, 5);
+        let mut all: Vec<(u64, f64)> = pts
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (i as u64, l1(p, &q)))
+            .collect();
+        all.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        for (g, w) in got.iter().zip(all.iter()) {
+            assert!((g.1 - w.1).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,902 @@
+//! An X-tree: R*-tree topology extended with *supernodes*
+//! (Berchtold, Keim & Kriegel, VLDB'96 — reference [8] of the paper).
+//!
+//! In low dimensions the tree behaves like an R*-tree. In high
+//! dimensions, directory splits would produce heavily overlapping
+//! entries; instead of accepting such a split the X-tree grows the node
+//! into a multi-page *supernode*. As dimensionality rises the directory
+//! degenerates gracefully toward a sequential scan — the effect that
+//! makes the 42-dimensional one-vector index of Table 2 pay its large
+//! I/O bill, while the 6-dimensional centroid filter index stays
+//! selective.
+//!
+//! Implementation notes (documented simplifications):
+//! * subtree choice minimizes the L1 (margin) enlargement, which is
+//!   numerically robust in high dimensions where volumes underflow;
+//! * overlap of a candidate split is measured as the fraction of entries
+//!   whose rectangle intersects both halves (volume-free, robust);
+//! * no forced reinsertion (the X-tree's supernode mechanism, not R*
+//!   reinsertion, is the effect under study).
+
+use crate::io::{IoStats, PAGE_SIZE};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+use std::sync::Arc;
+
+/// Minimum fill fraction per split half.
+const MIN_FILL: f64 = 0.4;
+
+#[derive(Debug, Clone)]
+struct Node {
+    leaf: bool,
+    /// Number of disk pages this node occupies (> 1 ⇒ supernode).
+    pages: usize,
+    mbr_min: Vec<f64>,
+    mbr_max: Vec<f64>,
+    /// Leaf payload: flattened points plus parallel ids.
+    points: Vec<f64>,
+    ids: Vec<u64>,
+    /// Directory payload.
+    children: Vec<usize>,
+}
+
+impl Node {
+    fn new(leaf: bool, dim: usize) -> Self {
+        Node {
+            leaf,
+            pages: 1,
+            mbr_min: vec![f64::INFINITY; dim],
+            mbr_max: vec![f64::NEG_INFINITY; dim],
+            points: Vec::new(),
+            ids: Vec::new(),
+            children: Vec::new(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        if self.leaf {
+            self.ids.len()
+        } else {
+            self.children.len()
+        }
+    }
+}
+
+/// A point X-tree over `dim`-dimensional `f64` points with `u64` payload
+/// ids and simulated I/O accounting.
+pub struct XTree {
+    dim: usize,
+    nodes: Vec<Node>,
+    root: usize,
+    leaf_cap: usize,
+    dir_cap: usize,
+    /// Split-overlap threshold above which a directory node becomes a
+    /// supernode (the X-tree paper suggests ~20%).
+    pub max_overlap: f64,
+    stats: Arc<IoStats>,
+    len: usize,
+    distance_evals: AtomicU64,
+}
+
+impl XTree {
+    /// Create an empty X-tree. Node capacities derive from [`PAGE_SIZE`]
+    /// and the entry sizes (8 bytes per coordinate + 8-byte id for leaf
+    /// entries, two coordinates vectors + pointer for directory entries).
+    pub fn new(dim: usize, stats: Arc<IoStats>) -> Self {
+        assert!(dim > 0);
+        let leaf_entry = 8 * dim + 8;
+        let dir_entry = 16 * dim + 8;
+        let leaf_cap = (PAGE_SIZE / leaf_entry).max(4);
+        let dir_cap = (PAGE_SIZE / dir_entry).max(4);
+        let mut nodes = Vec::new();
+        nodes.push(Node::new(true, dim));
+        XTree {
+            dim,
+            nodes,
+            root: 0,
+            leaf_cap,
+            dir_cap,
+            max_overlap: 0.2,
+            stats,
+            len: 0,
+            distance_evals: AtomicU64::new(0),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of nodes occupying more than one page.
+    pub fn supernode_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.pages > 1).count()
+    }
+
+    /// Total pages of the tree (index size on "disk").
+    pub fn total_pages(&self) -> usize {
+        self.nodes.iter().map(|n| n.pages).sum()
+    }
+
+    /// Point-distance evaluations performed by queries since
+    /// construction (CPU-side cost measure for the benchmarks).
+    pub fn distance_evaluations(&self) -> u64 {
+        self.distance_evals.load(AtomicOrdering::Relaxed)
+    }
+
+    pub fn height(&self) -> usize {
+        let mut h = 1;
+        let mut n = self.root;
+        while !self.nodes[n].leaf {
+            h += 1;
+            n = self.nodes[n].children[0];
+        }
+        h
+    }
+
+    fn capacity(&self, node: usize) -> usize {
+        let n = &self.nodes[node];
+        let base = if n.leaf { self.leaf_cap } else { self.dir_cap };
+        base * n.pages
+    }
+
+    /// Bulk-load with Sort-Tile-Recursive packing: points are ordered by
+    /// a recursive coordinate sort, chunked into ~80%-full leaves, and
+    /// directory levels are built bottom-up. Produces a better-packed
+    /// tree than repeated insertion (no supernodes are needed because
+    /// packing avoids overlapping splits entirely). Ids are the input
+    /// positions.
+    pub fn bulk_load(dim: usize, points: &[Vec<f64>], stats: Arc<IoStats>) -> Self {
+        let mut tree = XTree::new(dim, stats);
+        if points.is_empty() {
+            return tree;
+        }
+        let fill_leaf = ((tree.leaf_cap as f64 * 0.8) as usize).max(1);
+        let fill_dir = ((tree.dir_cap as f64 * 0.8) as usize).max(2);
+
+        // Recursive STR ordering over the first three (or fewer)
+        // dimensions.
+        let mut order: Vec<usize> = (0..points.len()).collect();
+        fn str_sort(
+            points: &[Vec<f64>],
+            idx: &mut [usize],
+            axis: usize,
+            dim: usize,
+            leaf_size: usize,
+        ) {
+            if idx.len() <= leaf_size || axis >= dim.min(3) {
+                return;
+            }
+            idx.sort_by(|&a, &b| {
+                points[a][axis]
+                    .partial_cmp(&points[b][axis])
+                    .unwrap_or(Ordering::Equal)
+            });
+            let leaves = idx.len().div_ceil(leaf_size);
+            let remaining = dim.min(3) - axis; // axes left including this one
+            let slabs = (leaves as f64).powf(1.0 / remaining as f64).ceil() as usize;
+            let slab_len = idx.len().div_ceil(slabs.max(1));
+            let mut start = 0;
+            while start < idx.len() {
+                let end = (start + slab_len).min(idx.len());
+                str_sort(points, &mut idx[start..end], axis + 1, dim, leaf_size);
+                start = end;
+            }
+        }
+        str_sort(points, &mut order, 0, dim, fill_leaf);
+
+        // Leaves.
+        tree.nodes.clear();
+        let mut level: Vec<usize> = Vec::new();
+        for chunk in order.chunks(fill_leaf) {
+            let mut node = Node::new(true, dim);
+            for &i in chunk {
+                node.points.extend_from_slice(&points[i]);
+                node.ids.push(i as u64);
+            }
+            node.pages = pages_for(node.len(), tree.leaf_cap);
+            let idx = tree.nodes.len();
+            tree.nodes.push(node);
+            tree.recompute_mbr(idx);
+            level.push(idx);
+        }
+        // Directory levels, bottom-up.
+        while level.len() > 1 {
+            let mut next: Vec<usize> = Vec::new();
+            for chunk in level.chunks(fill_dir) {
+                let mut node = Node::new(false, dim);
+                node.children.extend_from_slice(chunk);
+                node.pages = pages_for(node.len(), tree.dir_cap);
+                let idx = tree.nodes.len();
+                tree.nodes.push(node);
+                tree.recompute_mbr(idx);
+                next.push(idx);
+            }
+            level = next;
+        }
+        tree.root = level[0];
+        tree.len = points.len();
+        tree
+    }
+
+    /// Insert a point (build phase: no I/O charged).
+    pub fn insert(&mut self, point: &[f64], id: u64) {
+        assert_eq!(point.len(), self.dim);
+        if let Some(sibling) = self.insert_rec(self.root, point, id) {
+            // Root split: new root with the two nodes as children.
+            let mut new_root = Node::new(false, self.dim);
+            new_root.children.push(self.root);
+            new_root.children.push(sibling);
+            let idx = self.nodes.len();
+            self.nodes.push(new_root);
+            self.recompute_mbr(idx);
+            self.root = idx;
+        }
+        self.len += 1;
+    }
+
+    fn insert_rec(&mut self, node: usize, point: &[f64], id: u64) -> Option<usize> {
+        if self.nodes[node].leaf {
+            let n = &mut self.nodes[node];
+            n.points.extend_from_slice(point);
+            n.ids.push(id);
+            expand_mbr(&mut n.mbr_min, &mut n.mbr_max, point);
+            if self.nodes[node].len() > self.capacity(node) {
+                return self.split_leaf(node);
+            }
+            return None;
+        }
+        let child = self.choose_subtree(node, point);
+        let split = self.insert_rec(child, point, id);
+        // Update this node's view of the child (and own) MBR.
+        {
+            let n = &mut self.nodes[node];
+            expand_mbr(&mut n.mbr_min, &mut n.mbr_max, point);
+        }
+        if let Some(sib) = split {
+            let (smin, smax) = (self.nodes[sib].mbr_min.clone(), self.nodes[sib].mbr_max.clone());
+            let n = &mut self.nodes[node];
+            n.children.push(sib);
+            expand_mbr_box(&mut n.mbr_min, &mut n.mbr_max, &smin, &smax);
+            if self.nodes[node].len() > self.capacity(node) {
+                return self.split_dir(node);
+            }
+        }
+        None
+    }
+
+    fn choose_subtree(&self, node: usize, point: &[f64]) -> usize {
+        let mut best = usize::MAX;
+        let mut best_enl = f64::INFINITY;
+        let mut best_margin = f64::INFINITY;
+        for &c in &self.nodes[node].children {
+            let ch = &self.nodes[c];
+            let mut enl = 0.0;
+            let mut margin = 0.0;
+            for d in 0..self.dim {
+                let lo = ch.mbr_min[d].min(point[d]);
+                let hi = ch.mbr_max[d].max(point[d]);
+                enl += (hi - lo) - (ch.mbr_max[d] - ch.mbr_min[d]);
+                margin += ch.mbr_max[d] - ch.mbr_min[d];
+            }
+            if enl < best_enl - 1e-12 || (enl < best_enl + 1e-12 && margin < best_margin) {
+                best = c;
+                best_enl = enl;
+                best_margin = margin;
+            }
+        }
+        best
+    }
+
+    fn recompute_mbr(&mut self, node: usize) {
+        let dim = self.dim;
+        let mut mn = vec![f64::INFINITY; dim];
+        let mut mx = vec![f64::NEG_INFINITY; dim];
+        if self.nodes[node].leaf {
+            for p in self.nodes[node].points.chunks_exact(dim) {
+                for d in 0..dim {
+                    mn[d] = mn[d].min(p[d]);
+                    mx[d] = mx[d].max(p[d]);
+                }
+            }
+        } else {
+            for i in 0..self.nodes[node].children.len() {
+                let c = self.nodes[node].children[i];
+                let (cmin, cmax) = (self.nodes[c].mbr_min.clone(), self.nodes[c].mbr_max.clone());
+                for d in 0..dim {
+                    mn[d] = mn[d].min(cmin[d]);
+                    mx[d] = mx[d].max(cmax[d]);
+                }
+            }
+        }
+        self.nodes[node].mbr_min = mn;
+        self.nodes[node].mbr_max = mx;
+    }
+
+    /// R*-style topological split of a leaf. Leaves always split.
+    fn split_leaf(&mut self, node: usize) -> Option<usize> {
+        let dim = self.dim;
+        let n_entries = self.nodes[node].len();
+        let rects: Vec<(Vec<f64>, Vec<f64>)> = self.nodes[node]
+            .points
+            .chunks_exact(dim)
+            .map(|p| (p.to_vec(), p.to_vec()))
+            .collect();
+        let (axis, split_at, _crossing) = choose_split(&rects, self.leaf_cap, n_entries);
+        let mut order: Vec<usize> = (0..n_entries).collect();
+        order.sort_by(|&a, &b| {
+            rects[a].0[axis]
+                .partial_cmp(&rects[b].0[axis])
+                .unwrap_or(Ordering::Equal)
+        });
+
+        let old_points = std::mem::take(&mut self.nodes[node].points);
+        let old_ids = std::mem::take(&mut self.nodes[node].ids);
+        let mut right = Node::new(true, dim);
+        for (rank, &e) in order.iter().enumerate() {
+            let p = &old_points[e * dim..(e + 1) * dim];
+            let tgt = if rank < split_at { &mut self.nodes[node] } else { &mut right };
+            tgt.points.extend_from_slice(p);
+            tgt.ids.push(old_ids[e]);
+        }
+        self.nodes[node].pages = pages_for(self.nodes[node].len(), self.leaf_cap);
+        right.pages = pages_for(right.len(), self.leaf_cap);
+        let right_idx = self.nodes.len();
+        self.nodes.push(right);
+        self.recompute_mbr(node);
+        self.recompute_mbr(right_idx);
+        Some(right_idx)
+    }
+
+    /// Directory split — or supernode growth when the best split's
+    /// crossing fraction exceeds `max_overlap` (the X-tree rule).
+    fn split_dir(&mut self, node: usize) -> Option<usize> {
+        let dim = self.dim;
+        let n_entries = self.nodes[node].len();
+        let rects: Vec<(Vec<f64>, Vec<f64>)> = self.nodes[node]
+            .children
+            .iter()
+            .map(|&c| (self.nodes[c].mbr_min.clone(), self.nodes[c].mbr_max.clone()))
+            .collect();
+        let (axis, split_at, crossing) = choose_split(&rects, self.dir_cap, n_entries);
+        if crossing > self.max_overlap {
+            // Supernode: extend by one page instead of splitting.
+            self.nodes[node].pages += 1;
+            return None;
+        }
+        let mut order: Vec<usize> = (0..n_entries).collect();
+        order.sort_by(|&a, &b| {
+            (rects[a].0[axis], rects[a].1[axis])
+                .partial_cmp(&(rects[b].0[axis], rects[b].1[axis]))
+                .unwrap_or(Ordering::Equal)
+        });
+        let old_children = std::mem::take(&mut self.nodes[node].children);
+        let mut right = Node::new(false, dim);
+        for (rank, &e) in order.iter().enumerate() {
+            if rank < split_at {
+                self.nodes[node].children.push(old_children[e]);
+            } else {
+                right.children.push(old_children[e]);
+            }
+        }
+        self.nodes[node].pages = pages_for(self.nodes[node].len(), self.dir_cap);
+        right.pages = pages_for(right.len(), self.dir_cap);
+        let right_idx = self.nodes.len();
+        self.nodes.push(right);
+        self.recompute_mbr(node);
+        self.recompute_mbr(right_idx);
+        Some(right_idx)
+    }
+
+    #[inline]
+    fn charge_node(&self, node: usize) {
+        self.stats.record_pages(self.nodes[node].pages as u64);
+    }
+
+    /// All `(id, distance)` pairs within `radius` (Euclidean) of `center`.
+    pub fn range_query(&self, center: &[f64], radius: f64) -> Vec<(u64, f64)> {
+        assert_eq!(center.len(), self.dim);
+        let mut out = Vec::new();
+        if self.len == 0 {
+            return out;
+        }
+        let mut stack = vec![self.root];
+        let r2 = radius * radius;
+        while let Some(n) = stack.pop() {
+            self.charge_node(n);
+            let node = &self.nodes[n];
+            if node.leaf {
+                self.distance_evals
+                    .fetch_add(node.ids.len() as u64, AtomicOrdering::Relaxed);
+                for (p, &id) in node.points.chunks_exact(self.dim).zip(&node.ids) {
+                    let d2: f64 = p.iter().zip(center).map(|(a, b)| (a - b) * (a - b)).sum();
+                    if d2 <= r2 {
+                        out.push((id, d2.sqrt()));
+                    }
+                }
+            } else {
+                for &c in &node.children {
+                    if mindist_sq(&self.nodes[c].mbr_min, &self.nodes[c].mbr_max, center) <= r2 {
+                        stack.push(c);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The `k` nearest neighbors of `center`, sorted by distance.
+    pub fn knn(&self, center: &[f64], k: usize) -> Vec<(u64, f64)> {
+        let mut it = self.nn_iter(center);
+        let mut out = Vec::with_capacity(k);
+        while out.len() < k {
+            match it.next() {
+                Some(hit) => out.push(hit),
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// Incremental nearest-neighbor ranking (Hjaltason/Samet best-first
+    /// traversal) — yields `(id, distance)` in non-decreasing distance
+    /// order. This is the ranking primitive required by the optimal
+    /// multi-step k-NN algorithm [Seidl & Kriegel, SIGMOD'98].
+    pub fn nn_iter<'a>(&'a self, center: &'a [f64]) -> NnIter<'a> {
+        assert_eq!(center.len(), self.dim);
+        let mut heap = BinaryHeap::new();
+        if self.len > 0 {
+            heap.push(HeapEntry { dist: 0.0, kind: EntryKind::Node(self.root) });
+        }
+        NnIter { tree: self, center, heap, cache: None }
+    }
+
+    /// Like [`XTree::nn_iter`] but with a caller-provided buffer pool:
+    /// node pages already in `cache` are served without an I/O charge
+    /// and newly read nodes are added to it. Models a per-query buffer
+    /// (e.g. the 48 permutation subqueries of one invariant query
+    /// re-traversing the same small centroid tree, Section 4.3).
+    pub fn nn_iter_cached<'a>(
+        &'a self,
+        center: &'a [f64],
+        cache: &'a std::cell::RefCell<std::collections::HashSet<usize>>,
+    ) -> NnIter<'a> {
+        assert_eq!(center.len(), self.dim);
+        let mut heap = BinaryHeap::new();
+        if self.len > 0 {
+            heap.push(HeapEntry { dist: 0.0, kind: EntryKind::Node(self.root) });
+        }
+        NnIter { tree: self, center, heap, cache: Some(cache) }
+    }
+}
+
+/// Incremental NN iterator over an [`XTree`].
+pub struct NnIter<'a> {
+    tree: &'a XTree,
+    center: &'a [f64],
+    heap: BinaryHeap<HeapEntry>,
+    cache: Option<&'a std::cell::RefCell<std::collections::HashSet<usize>>>,
+}
+
+enum EntryKind {
+    Node(usize),
+    Point(u64),
+}
+
+struct HeapEntry {
+    dist: f64,
+    kind: EntryKind,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, o: &Self) -> bool {
+        self.dist == o.dist
+    }
+}
+impl Eq for HeapEntry {}
+impl Ord for HeapEntry {
+    fn cmp(&self, o: &Self) -> Ordering {
+        o.dist.partial_cmp(&self.dist).unwrap_or(Ordering::Equal)
+    }
+}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, o: &Self) -> Option<Ordering> {
+        Some(self.cmp(o))
+    }
+}
+
+impl Iterator for NnIter<'_> {
+    type Item = (u64, f64);
+
+    fn next(&mut self) -> Option<(u64, f64)> {
+        while let Some(HeapEntry { dist, kind }) = self.heap.pop() {
+            match kind {
+                EntryKind::Point(id) => return Some((id, dist)),
+                EntryKind::Node(n) => {
+                    match self.cache {
+                        Some(c) => {
+                            if c.borrow_mut().insert(n) {
+                                self.tree.charge_node(n);
+                            }
+                        }
+                        None => self.tree.charge_node(n),
+                    }
+                    let node = &self.tree.nodes[n];
+                    if node.leaf {
+                        self.tree
+                            .distance_evals
+                            .fetch_add(node.ids.len() as u64, AtomicOrdering::Relaxed);
+                        for (p, &id) in node.points.chunks_exact(self.tree.dim).zip(&node.ids) {
+                            let d2: f64 = p
+                                .iter()
+                                .zip(self.center)
+                                .map(|(a, b)| (a - b) * (a - b))
+                                .sum();
+                            self.heap.push(HeapEntry {
+                                dist: d2.sqrt(),
+                                kind: EntryKind::Point(id),
+                            });
+                        }
+                    } else {
+                        for &c in &node.children {
+                            let d2 = mindist_sq(
+                                &self.tree.nodes[c].mbr_min,
+                                &self.tree.nodes[c].mbr_max,
+                                self.center,
+                            );
+                            self.heap.push(HeapEntry {
+                                dist: d2.sqrt(),
+                                kind: EntryKind::Node(c),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+fn pages_for(entries: usize, cap: usize) -> usize {
+    entries.div_ceil(cap).max(1)
+}
+
+#[inline]
+fn expand_mbr(mn: &mut [f64], mx: &mut [f64], p: &[f64]) {
+    for d in 0..p.len() {
+        mn[d] = mn[d].min(p[d]);
+        mx[d] = mx[d].max(p[d]);
+    }
+}
+
+#[inline]
+fn expand_mbr_box(mn: &mut [f64], mx: &mut [f64], omin: &[f64], omax: &[f64]) {
+    for d in 0..omin.len() {
+        mn[d] = mn[d].min(omin[d]);
+        mx[d] = mx[d].max(omax[d]);
+    }
+}
+
+#[inline]
+fn mindist_sq(mn: &[f64], mx: &[f64], p: &[f64]) -> f64 {
+    let mut s = 0.0;
+    for d in 0..p.len() {
+        let v = if p[d] < mn[d] {
+            mn[d] - p[d]
+        } else if p[d] > mx[d] {
+            p[d] - mx[d]
+        } else {
+            0.0
+        };
+        s += v * v;
+    }
+    s
+}
+
+/// Choose a split `(axis, split_index, crossing_fraction)` for the given
+/// entry rectangles: axis with minimum total margin over candidate
+/// distributions, then the distribution with minimum crossing entries
+/// (entries intersecting both halves), tie-broken by margin.
+fn choose_split(
+    rects: &[(Vec<f64>, Vec<f64>)],
+    one_page_cap: usize,
+    n_entries: usize,
+) -> (usize, usize, f64) {
+    let dim = rects[0].0.len();
+    let min_fill = ((one_page_cap as f64 * MIN_FILL) as usize).max(1);
+    let lo = min_fill.min(n_entries - 1);
+    let hi = n_entries - lo;
+
+    let mut best_axis = 0;
+    let mut best_axis_margin = f64::INFINITY;
+    let mut orders: Vec<Vec<usize>> = Vec::with_capacity(dim);
+    for axis in 0..dim {
+        let mut order: Vec<usize> = (0..n_entries).collect();
+        order.sort_by(|&a, &b| {
+            (rects[a].0[axis], rects[a].1[axis])
+                .partial_cmp(&(rects[b].0[axis], rects[b].1[axis]))
+                .unwrap_or(Ordering::Equal)
+        });
+        let mut margin_sum = 0.0;
+        for split_at in lo..=hi {
+            let (amin, amax) = cover(rects, &order[..split_at]);
+            let (bmin, bmax) = cover(rects, &order[split_at..]);
+            margin_sum += margin(&amin, &amax) + margin(&bmin, &bmax);
+        }
+        if margin_sum < best_axis_margin {
+            best_axis_margin = margin_sum;
+            best_axis = axis;
+        }
+        orders.push(order);
+    }
+
+    let order = &orders[best_axis];
+    let mut best_split = lo;
+    let mut best_cross = usize::MAX;
+    let mut best_margin = f64::INFINITY;
+    for split_at in lo..=hi {
+        let (amin, amax) = cover(rects, &order[..split_at]);
+        let (bmin, bmax) = cover(rects, &order[split_at..]);
+        let cross = rects
+            .iter()
+            .filter(|(rmin, rmax)| {
+                intersects(rmin, rmax, &amin, &amax) && intersects(rmin, rmax, &bmin, &bmax)
+            })
+            .count();
+        let m = margin(&amin, &amax) + margin(&bmin, &bmax);
+        if cross < best_cross || (cross == best_cross && m < best_margin) {
+            best_cross = cross;
+            best_margin = m;
+            best_split = split_at;
+        }
+    }
+    (best_axis, best_split, best_cross as f64 / n_entries as f64)
+}
+
+fn cover(rects: &[(Vec<f64>, Vec<f64>)], idx: &[usize]) -> (Vec<f64>, Vec<f64>) {
+    let dim = rects[0].0.len();
+    let mut mn = vec![f64::INFINITY; dim];
+    let mut mx = vec![f64::NEG_INFINITY; dim];
+    for &i in idx {
+        for d in 0..dim {
+            mn[d] = mn[d].min(rects[i].0[d]);
+            mx[d] = mx[d].max(rects[i].1[d]);
+        }
+    }
+    (mn, mx)
+}
+
+fn margin(mn: &[f64], mx: &[f64]) -> f64 {
+    mn.iter().zip(mx).map(|(a, b)| b - a).sum()
+}
+
+fn intersects(amin: &[f64], amax: &[f64], bmin: &[f64], bmax: &[f64]) -> bool {
+    amin.iter()
+        .zip(amax)
+        .zip(bmin.iter().zip(bmax))
+        .all(|((alo, ahi), (blo, bhi))| alo <= bhi && ahi >= blo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    fn brute_knn(points: &[Vec<f64>], q: &[f64], k: usize) -> Vec<(u64, f64)> {
+        let mut all: Vec<(u64, f64)> = points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let d2: f64 = p.iter().zip(q).map(|(a, b)| (a - b) * (a - b)).sum();
+                (i as u64, d2.sqrt())
+            })
+            .collect();
+        all.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        all.truncate(k);
+        all
+    }
+
+    fn random_points(n: usize, dim: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| (0..dim).map(|_| rng.gen_range(0.0..100.0)).collect())
+            .collect()
+    }
+
+    fn build(points: &[Vec<f64>]) -> XTree {
+        let mut t = XTree::new(points[0].len(), IoStats::new());
+        for (i, p) in points.iter().enumerate() {
+            t.insert(p, i as u64);
+        }
+        t
+    }
+
+    #[test]
+    fn empty_tree_queries() {
+        let t = XTree::new(3, IoStats::new());
+        assert!(t.is_empty());
+        assert!(t.range_query(&[0.0, 0.0, 0.0], 10.0).is_empty());
+        assert!(t.knn(&[0.0, 0.0, 0.0], 5).is_empty());
+    }
+
+    #[test]
+    fn range_query_matches_brute_force() {
+        let pts = random_points(500, 3, 7);
+        let t = build(&pts);
+        assert_eq!(t.len(), 500);
+        for q in random_points(10, 3, 8) {
+            for radius in [5.0, 20.0, 60.0] {
+                let mut got: Vec<u64> =
+                    t.range_query(&q, radius).into_iter().map(|(id, _)| id).collect();
+                got.sort_unstable();
+                let mut want: Vec<u64> = pts
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, p)| {
+                        p.iter().zip(&q).map(|(a, b)| (a - b) * (a - b)).sum::<f64>()
+                            <= radius * radius
+                    })
+                    .map(|(i, _)| i as u64)
+                    .collect();
+                want.sort_unstable();
+                assert_eq!(got, want, "radius {radius}");
+            }
+        }
+    }
+
+    #[test]
+    fn knn_matches_brute_force() {
+        let pts = random_points(400, 4, 42);
+        let t = build(&pts);
+        for q in random_points(5, 4, 43) {
+            let got = t.knn(&q, 10);
+            let want = brute_knn(&pts, &q, 10);
+            assert_eq!(got.len(), 10);
+            for (g, w) in got.iter().zip(&want) {
+                assert!((g.1 - w.1).abs() < 1e-9, "distance mismatch {g:?} vs {w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn nn_iter_is_sorted_and_complete() {
+        let pts = random_points(300, 2, 5);
+        let t = build(&pts);
+        let q = [50.0, 50.0];
+        let hits: Vec<(u64, f64)> = t.nn_iter(&q).collect();
+        assert_eq!(hits.len(), 300);
+        for w in hits.windows(2) {
+            assert!(w[0].1 <= w[1].1 + 1e-12);
+        }
+        let mut ids: Vec<u64> = hits.iter().map(|h| h.0).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..300).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn io_is_charged_per_query() {
+        let pts = random_points(2000, 2, 11);
+        let stats = IoStats::new();
+        let mut t = XTree::new(2, Arc::clone(&stats));
+        for (i, p) in pts.iter().enumerate() {
+            t.insert(p, i as u64);
+        }
+        stats.reset(); // ignore build-phase accounting
+        let before = stats.snapshot();
+        let _ = t.knn(&[50.0, 50.0], 10);
+        let after = stats.snapshot();
+        let pages_knn = (after - before).pages;
+        assert!(pages_knn > 0);
+        // A selective query must touch far fewer pages than the tree has.
+        assert!(
+            (pages_knn as usize) < t.total_pages() / 2,
+            "kNN touched {pages_knn} of {} pages",
+            t.total_pages()
+        );
+    }
+
+    #[test]
+    fn high_dimensions_degrade_to_supernodes() {
+        // 6-d tree stays selective; 42-d tree grows supernodes and reads
+        // a large fraction of its pages per query (the Table 2 effect).
+        let n = 1500;
+        let low = random_points(n, 6, 1);
+        let high = random_points(n, 42, 2);
+
+        let s_low = IoStats::new();
+        let mut t_low = XTree::new(6, Arc::clone(&s_low));
+        for (i, p) in low.iter().enumerate() {
+            t_low.insert(p, i as u64);
+        }
+        let s_high = IoStats::new();
+        let mut t_high = XTree::new(42, Arc::clone(&s_high));
+        for (i, p) in high.iter().enumerate() {
+            t_high.insert(p, i as u64);
+        }
+
+        s_low.reset();
+        s_high.reset();
+        let _ = t_low.knn(&low[0], 10);
+        let _ = t_high.knn(&high[0], 10);
+        let frac_low = s_low.snapshot().pages as f64 / t_low.total_pages() as f64;
+        let frac_high = s_high.snapshot().pages as f64 / t_high.total_pages() as f64;
+        assert!(
+            frac_high > 2.0 * frac_low,
+            "high-d page fraction {frac_high:.2} vs low-d {frac_low:.2}"
+        );
+    }
+
+    #[test]
+    fn duplicate_points_are_retrievable() {
+        let mut t = XTree::new(2, IoStats::new());
+        for i in 0..50 {
+            t.insert(&[1.0, 1.0], i);
+        }
+        let hits = t.range_query(&[1.0, 1.0], 0.0);
+        assert_eq!(hits.len(), 50);
+    }
+
+    #[test]
+    fn bulk_load_queries_match_insert_build() {
+        let pts = random_points(800, 5, 31);
+        let inserted = build(&pts);
+        let bulk = XTree::bulk_load(5, &pts, IoStats::new());
+        assert_eq!(bulk.len(), 800);
+        for q in random_points(5, 5, 32) {
+            let a = inserted.knn(&q, 10);
+            let b = bulk.knn(&q, 10);
+            for (x, y) in a.iter().zip(&b) {
+                assert!((x.1 - y.1).abs() < 1e-9);
+            }
+            let mut ra: Vec<u64> = inserted.range_query(&q, 25.0).into_iter().map(|(i, _)| i).collect();
+            let mut rb: Vec<u64> = bulk.range_query(&q, 25.0).into_iter().map(|(i, _)| i).collect();
+            ra.sort_unstable();
+            rb.sort_unstable();
+            assert_eq!(ra, rb);
+        }
+    }
+
+    #[test]
+    fn bulk_load_is_better_packed() {
+        let pts = random_points(3000, 2, 33);
+        let inserted = build(&pts);
+        let bulk = XTree::bulk_load(2, &pts, IoStats::new());
+        assert!(
+            bulk.total_pages() <= inserted.total_pages(),
+            "bulk {} pages vs inserted {}",
+            bulk.total_pages(),
+            inserted.total_pages()
+        );
+        assert_eq!(bulk.supernode_count(), 0);
+        // Packed tree answers selective queries with fewer page reads.
+        let sb = IoStats::new();
+        let b2 = XTree::bulk_load(2, &pts, Arc::clone(&sb));
+        let _ = b2.knn(&pts[0], 10);
+        assert!((sb.snapshot().pages as usize) < bulk.total_pages() / 4);
+    }
+
+    #[test]
+    fn bulk_load_empty_and_tiny() {
+        let empty = XTree::bulk_load(3, &[], IoStats::new());
+        assert!(empty.is_empty());
+        let one = XTree::bulk_load(3, &[vec![1.0, 2.0, 3.0]], IoStats::new());
+        assert_eq!(one.len(), 1);
+        assert_eq!(one.knn(&[0.0, 0.0, 0.0], 1)[0].0, 0);
+    }
+
+    #[test]
+    fn tree_height_grows_logarithmically() {
+        let pts = random_points(3000, 2, 3);
+        let t = build(&pts);
+        assert!(t.height() >= 2);
+        assert!(t.height() <= 6, "height {} too large for 3000 points", t.height());
+    }
+}

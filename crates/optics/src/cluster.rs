@@ -1,0 +1,151 @@
+//! ε-cut cluster extraction from a cluster ordering (Figure 5: "the
+//! reachability plot can be cut at any level ε parallel to the abscissa";
+//! a consecutive subsequence of objects with reachability below the cut
+//! belongs to one cluster).
+
+use crate::optics::ClusterOrdering;
+
+/// A flat clustering extracted from a cluster ordering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Clustering {
+    /// Clusters as lists of object indices.
+    pub clusters: Vec<Vec<usize>>,
+    /// Objects in no cluster at this cut.
+    pub noise: Vec<usize>,
+}
+
+impl Clustering {
+    pub fn num_clusters(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Cluster id per object (`None` = noise); convenient for scoring.
+    pub fn assignment(&self, n: usize) -> Vec<Option<usize>> {
+        let mut a = vec![None; n];
+        for (cid, members) in self.clusters.iter().enumerate() {
+            for &m in members {
+                a[m] = Some(cid);
+            }
+        }
+        a
+    }
+}
+
+/// Cut the reachability plot at level `eps`.
+///
+/// Walking the ordering: an object with reachability ≤ `eps` joins the
+/// current cluster; an object with reachability > `eps` closes it and —
+/// being the potential start of the next valley — opens a new candidate
+/// cluster containing itself. Candidate clusters smaller than
+/// `min_cluster_size` become noise.
+pub fn extract_clusters(o: &ClusterOrdering, eps: f64, min_cluster_size: usize) -> Clustering {
+    let mut clusters = Vec::new();
+    let mut noise = Vec::new();
+    let mut current: Vec<usize> = Vec::new();
+    let flush = |cur: &mut Vec<usize>, clusters: &mut Vec<Vec<usize>>, noise: &mut Vec<usize>| {
+        if cur.is_empty() {
+            return;
+        }
+        if cur.len() >= min_cluster_size {
+            clusters.push(std::mem::take(cur));
+        } else {
+            noise.append(cur);
+        }
+    };
+    for (i, &obj) in o.order.iter().enumerate() {
+        if o.reachability[i] <= eps {
+            current.push(obj);
+        } else {
+            flush(&mut current, &mut clusters, &mut noise);
+            current.push(obj); // potential start of the next cluster
+        }
+    }
+    flush(&mut current, &mut clusters, &mut noise);
+    Clustering { clusters, noise }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ordering() -> ClusterOrdering {
+        // Two valleys (objects 0-3 and 4-7) and an outlier 8 at the end.
+        ClusterOrdering {
+            order: (0..9).collect(),
+            reachability: vec![
+                f64::INFINITY,
+                0.1,
+                0.1,
+                0.2,
+                9.0,
+                0.1,
+                0.2,
+                0.1,
+                40.0,
+            ],
+            core_distance: vec![0.1; 9],
+        }
+    }
+
+    #[test]
+    fn cut_separates_two_clusters_and_noise() {
+        let c = extract_clusters(&ordering(), 1.0, 2);
+        assert_eq!(c.num_clusters(), 2);
+        assert_eq!(c.clusters[0], vec![0, 1, 2, 3]);
+        assert_eq!(c.clusters[1], vec![4, 5, 6, 7]);
+        assert_eq!(c.noise, vec![8]);
+    }
+
+    #[test]
+    fn high_cut_merges_everything() {
+        let c = extract_clusters(&ordering(), 100.0, 2);
+        assert_eq!(c.num_clusters(), 1);
+        assert_eq!(c.clusters[0].len(), 9);
+        assert!(c.noise.is_empty());
+    }
+
+    #[test]
+    fn low_cut_dissolves_into_noise() {
+        let c = extract_clusters(&ordering(), 0.05, 2);
+        assert_eq!(c.num_clusters(), 0);
+        assert_eq!(c.noise.len(), 9);
+    }
+
+    #[test]
+    fn hierarchical_cuts_nest() {
+        // Figure 5's point: a lower cut yields more, smaller clusters.
+        let o = ClusterOrdering {
+            order: (0..8).collect(),
+            reachability: vec![f64::INFINITY, 0.1, 0.5, 0.1, 3.0, 0.1, 0.5, 0.1],
+            core_distance: vec![0.1; 8],
+        };
+        let coarse = extract_clusters(&o, 1.0, 2);
+        let fine = extract_clusters(&o, 0.3, 2);
+        assert_eq!(coarse.num_clusters(), 2);
+        assert_eq!(fine.num_clusters(), 4);
+        // Every fine cluster is contained in some coarse cluster.
+        for f in &fine.clusters {
+            assert!(coarse
+                .clusters
+                .iter()
+                .any(|c| f.iter().all(|x| c.contains(x))));
+        }
+    }
+
+    #[test]
+    fn assignment_maps_members_and_noise() {
+        let c = extract_clusters(&ordering(), 1.0, 2);
+        let a = c.assignment(9);
+        assert_eq!(a[0], Some(0));
+        assert_eq!(a[5], Some(1));
+        assert_eq!(a[8], None);
+    }
+
+    #[test]
+    fn min_cluster_size_filters_singletons() {
+        let c = extract_clusters(&ordering(), 1.0, 5);
+        // Both 4-element valleys fall below min size 5.
+        assert_eq!(c.num_clusters(), 0);
+        assert_eq!(c.noise.len(), 9);
+    }
+}

@@ -1,0 +1,165 @@
+//! ExtractDBSCAN (from the OPTICS paper, Ankerst et al. §3.2.1): derive
+//! the flat DBSCAN clustering for any `ε' ≤ ε` from a single cluster
+//! ordering, without re-running the clustering.
+//!
+//! Unlike the simple ε-cut of [`crate::cluster`], this reconstruction
+//! distinguishes *core* objects (core distance ≤ ε') from *border*
+//! objects and matches what DBSCAN itself would produce (up to border
+//! objects equidistant to two clusters).
+
+use crate::cluster::Clustering;
+use crate::optics::ClusterOrdering;
+
+/// Reconstruct the DBSCAN(ε', MinPts) clustering from a cluster ordering
+/// computed with generating distance ≥ ε' and the same MinPts.
+pub fn extract_dbscan(o: &ClusterOrdering, eps: f64) -> Clustering {
+    let mut clusters: Vec<Vec<usize>> = Vec::new();
+    let mut noise: Vec<usize> = Vec::new();
+    let mut current: Option<Vec<usize>> = None;
+
+    let flush = |cur: &mut Option<Vec<usize>>, clusters: &mut Vec<Vec<usize>>| {
+        if let Some(c) = cur.take() {
+            if !c.is_empty() {
+                clusters.push(c);
+            }
+        }
+    };
+
+    for i in 0..o.len() {
+        let obj = o.order[i];
+        let reach = o.reachability[i];
+        let core = o.core_distance[i];
+        if reach > eps {
+            // Not density-reachable from the previous objects at eps:
+            // starts a new cluster if it is itself core, else noise.
+            if core <= eps {
+                flush(&mut current, &mut clusters);
+                current = Some(vec![obj]);
+            } else {
+                noise.push(obj);
+            }
+        } else {
+            // Density-reachable: belongs to the current cluster (core or
+            // border object).
+            match &mut current {
+                Some(c) => c.push(obj),
+                None => {
+                    // Reachable but no open cluster (can happen after a
+                    // noise-only prefix): treat as its own cluster seed
+                    // if core, else noise.
+                    if core <= eps {
+                        current = Some(vec![obj]);
+                    } else {
+                        noise.push(obj);
+                    }
+                }
+            }
+        }
+    }
+    flush(&mut current, &mut clusters);
+    Clustering { clusters, noise }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optics::Optics;
+
+    fn d1(pts: &'_ [f64]) -> impl Fn(usize, usize) -> f64 + Sync + '_ {
+        move |i, j| (pts[i] - pts[j]).abs()
+    }
+
+    /// Reference DBSCAN implementation (textbook, O(n²)).
+    fn dbscan_ref(pts: &[f64], eps: f64, min_pts: usize) -> (Vec<isize>, usize) {
+        let n = pts.len();
+        let neighbors = |i: usize| -> Vec<usize> {
+            (0..n).filter(|&j| (pts[i] - pts[j]).abs() <= eps).collect()
+        };
+        let mut label = vec![isize::MIN; n]; // MIN = unvisited, -1 = noise
+        let mut cid = -1isize;
+        for s in 0..n {
+            if label[s] != isize::MIN {
+                continue;
+            }
+            let nb = neighbors(s);
+            if nb.len() < min_pts {
+                label[s] = -1;
+                continue;
+            }
+            cid += 1;
+            label[s] = cid;
+            let mut queue = nb;
+            let mut qi = 0;
+            while qi < queue.len() {
+                let q = queue[qi];
+                qi += 1;
+                if label[q] == -1 {
+                    label[q] = cid; // border object
+                }
+                if label[q] != isize::MIN {
+                    continue;
+                }
+                label[q] = cid;
+                let qn = neighbors(q);
+                if qn.len() >= min_pts {
+                    queue.extend(qn);
+                }
+            }
+        }
+        (label, (cid + 1) as usize)
+    }
+
+    #[test]
+    fn matches_reference_dbscan_on_clustered_data() {
+        let mut pts = Vec::new();
+        for i in 0..12 {
+            pts.push(i as f64 * 0.2); // cluster 1
+        }
+        for i in 0..9 {
+            pts.push(50.0 + i as f64 * 0.25); // cluster 2
+        }
+        pts.push(200.0); // noise
+        pts.push(300.0); // noise
+
+        let min_pts = 4;
+        let eps = 1.0;
+        let ordering = Optics { min_pts, eps: f64::INFINITY }.run(pts.len(), d1(&pts));
+        let got = extract_dbscan(&ordering, eps);
+        let (ref_labels, ref_clusters) = dbscan_ref(&pts, eps, min_pts);
+
+        assert_eq!(got.num_clusters(), ref_clusters);
+        // Same partition (cluster ids may differ): compare via pairwise
+        // co-membership of non-noise objects.
+        let assign = got.assignment(pts.len());
+        for i in 0..pts.len() {
+            assert_eq!(
+                assign[i].is_none(),
+                ref_labels[i] == -1,
+                "noise status differs for {i}"
+            );
+            for j in (i + 1)..pts.len() {
+                let same_got = assign[i].is_some() && assign[i] == assign[j];
+                let same_ref = ref_labels[i] >= 0 && ref_labels[i] == ref_labels[j];
+                assert_eq!(same_got, same_ref, "pair ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn smaller_eps_gives_more_noise() {
+        let pts: Vec<f64> = (0..30).map(|i| i as f64 * (1.0 + (i % 5) as f64)).collect();
+        let ordering = Optics { min_pts: 3, eps: f64::INFINITY }.run(pts.len(), d1(&pts));
+        let coarse = extract_dbscan(&ordering, 10.0);
+        let fine = extract_dbscan(&ordering, 2.0);
+        assert!(fine.noise.len() >= coarse.noise.len());
+    }
+
+    #[test]
+    fn all_noise_when_eps_tiny() {
+        let pts = [0.0, 5.0, 10.0, 15.0];
+        let ordering = Optics { min_pts: 2, eps: f64::INFINITY }.run(pts.len(), d1(&pts));
+        let c = extract_dbscan(&ordering, 0.1);
+        assert_eq!(c.num_clusters(), 0);
+        assert_eq!(c.noise.len(), 4);
+    }
+}

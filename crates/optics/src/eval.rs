@@ -1,0 +1,236 @@
+//! Objective clustering quality against ground-truth labels.
+//!
+//! The paper compares models by *looking* at reachability plots and
+//! sampled cluster members (Figures 6–10). Our synthetic datasets carry
+//! ground-truth part-family labels, so the same comparisons can be
+//! scored: purity, pairwise F1 and the adjusted Rand index of the best
+//! ε-cut quantify how well a model's plot recovers the true families.
+
+use crate::cluster::{extract_clusters, Clustering};
+use crate::optics::ClusterOrdering;
+use std::collections::HashMap;
+
+/// Purity: fraction of clustered objects whose cluster's majority label
+/// matches their own. Noise objects are excluded from the numerator and
+/// denominator (a separate noise fraction is worth reporting alongside).
+pub fn purity(c: &Clustering, labels: &[usize]) -> f64 {
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    for members in &c.clusters {
+        let mut counts: HashMap<usize, usize> = HashMap::new();
+        for &m in members {
+            *counts.entry(labels[m]).or_default() += 1;
+        }
+        correct += counts.values().copied().max().unwrap_or(0);
+        total += members.len();
+    }
+    if total == 0 {
+        0.0
+    } else {
+        correct as f64 / total as f64
+    }
+}
+
+/// Pairwise precision/recall/F1 over all object pairs: a pair is
+/// *predicted together* when both objects share a cluster (noise objects
+/// are in no pair), *truly together* when labels match.
+pub fn pairwise_f1(c: &Clustering, labels: &[usize]) -> (f64, f64, f64) {
+    let n = labels.len();
+    let assign = c.assignment(n);
+    let mut tp = 0u64;
+    let mut fp = 0u64;
+    let mut f_n = 0u64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let together = assign[i].is_some() && assign[i] == assign[j];
+            let same = labels[i] == labels[j];
+            match (together, same) {
+                (true, true) => tp += 1,
+                (true, false) => fp += 1,
+                (false, true) => f_n += 1,
+                _ => {}
+            }
+        }
+    }
+    let precision = if tp + fp == 0 { 0.0 } else { tp as f64 / (tp + fp) as f64 };
+    let recall = if tp + f_n == 0 { 0.0 } else { tp as f64 / (tp + f_n) as f64 };
+    let f1 = if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    };
+    (precision, recall, f1)
+}
+
+/// Adjusted Rand index between a clustering (noise = one-off singleton
+/// clusters) and the ground truth. 1 = perfect, ~0 = random.
+pub fn adjusted_rand_index(c: &Clustering, labels: &[usize]) -> f64 {
+    let n = labels.len();
+    let assign = c.assignment(n);
+    // Map noise to unique ids after the real clusters.
+    let mut next = c.num_clusters();
+    let pred: Vec<usize> = assign
+        .into_iter()
+        .map(|a| {
+            a.unwrap_or_else(|| {
+                next += 1;
+                next - 1
+            })
+        })
+        .collect();
+
+    let mut table: HashMap<(usize, usize), u64> = HashMap::new();
+    let mut rows: HashMap<usize, u64> = HashMap::new();
+    let mut cols: HashMap<usize, u64> = HashMap::new();
+    for i in 0..n {
+        *table.entry((pred[i], labels[i])).or_default() += 1;
+        *rows.entry(pred[i]).or_default() += 1;
+        *cols.entry(labels[i]).or_default() += 1;
+    }
+    let c2 = |x: u64| (x * x.saturating_sub(1) / 2) as f64;
+    let sum_ij: f64 = table.values().map(|&v| c2(v)).sum();
+    let sum_i: f64 = rows.values().map(|&v| c2(v)).sum();
+    let sum_j: f64 = cols.values().map(|&v| c2(v)).sum();
+    let total = c2(n as u64);
+    if total == 0.0 {
+        return 1.0;
+    }
+    let expected = sum_i * sum_j / total;
+    let max_index = 0.5 * (sum_i + sum_j);
+    if (max_index - expected).abs() < 1e-12 {
+        return 1.0;
+    }
+    (sum_ij - expected) / (max_index - expected)
+}
+
+/// Quality of the best ε-cut of an ordering against ground truth.
+#[derive(Debug, Clone, Copy)]
+pub struct CutQuality {
+    pub eps: f64,
+    pub num_clusters: usize,
+    pub noise: usize,
+    pub purity: f64,
+    pub f1: f64,
+    pub ari: f64,
+}
+
+/// Sweep a grid of ε cuts and return the one maximizing pairwise F1
+/// (purity alone degenerates at tiny clusters). `grid` values are
+/// fractions of the maximum finite reachability.
+pub fn best_cut(
+    o: &ClusterOrdering,
+    labels: &[usize],
+    min_cluster_size: usize,
+    grid: &[f64],
+) -> CutQuality {
+    let ceil = o
+        .reachability
+        .iter()
+        .copied()
+        .filter(|r| r.is_finite())
+        .fold(0.0f64, f64::max)
+        .max(1e-12);
+    let mut best: Option<CutQuality> = None;
+    for &frac in grid {
+        let eps = ceil * frac;
+        let c = extract_clusters(o, eps, min_cluster_size);
+        let (_, _, f1) = pairwise_f1(&c, labels);
+        let q = CutQuality {
+            eps,
+            num_clusters: c.num_clusters(),
+            noise: c.noise.len(),
+            purity: purity(&c, labels),
+            f1,
+            ari: adjusted_rand_index(&c, labels),
+        };
+        if best.map_or(true, |b| q.f1 > b.f1) {
+            best = Some(q);
+        }
+    }
+    best.expect("grid must be non-empty")
+}
+
+/// A convenient default sweep grid.
+pub const DEFAULT_GRID: &[f64] = &[
+    0.02, 0.04, 0.06, 0.08, 0.10, 0.13, 0.16, 0.20, 0.25, 0.30, 0.40, 0.50, 0.65, 0.80,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn perfect() -> (Clustering, Vec<usize>) {
+        (
+            Clustering {
+                clusters: vec![vec![0, 1, 2], vec![3, 4, 5]],
+                noise: vec![],
+            },
+            vec![0, 0, 0, 1, 1, 1],
+        )
+    }
+
+    #[test]
+    fn perfect_clustering_scores_one() {
+        let (c, labels) = perfect();
+        assert_eq!(purity(&c, &labels), 1.0);
+        let (p, r, f1) = pairwise_f1(&c, &labels);
+        assert_eq!((p, r, f1), (1.0, 1.0, 1.0));
+        assert!((adjusted_rand_index(&c, &labels) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merged_clusters_lose_precision_not_recall() {
+        let c = Clustering { clusters: vec![vec![0, 1, 2, 3, 4, 5]], noise: vec![] };
+        let labels = vec![0, 0, 0, 1, 1, 1];
+        let (p, r, _) = pairwise_f1(&c, &labels);
+        assert!(r == 1.0 && p < 1.0);
+        assert!((purity(&c, &labels) - 0.5).abs() < 1e-12);
+        assert!(adjusted_rand_index(&c, &labels) < 0.1);
+    }
+
+    #[test]
+    fn split_clusters_lose_recall_not_precision() {
+        let c = Clustering {
+            clusters: vec![vec![0, 1], vec![2], vec![3, 4, 5]],
+            noise: vec![],
+        };
+        let labels = vec![0, 0, 0, 1, 1, 1];
+        let (p, r, _) = pairwise_f1(&c, &labels);
+        assert!(p == 1.0 && r < 1.0);
+        assert_eq!(purity(&c, &labels), 1.0);
+    }
+
+    #[test]
+    fn noise_is_excluded_from_purity() {
+        let c = Clustering { clusters: vec![vec![0, 1]], noise: vec![2, 3] };
+        let labels = vec![0, 0, 1, 1];
+        assert_eq!(purity(&c, &labels), 1.0);
+    }
+
+    #[test]
+    fn ari_near_zero_for_random_assignment() {
+        // Alternating labels vs. block clustering.
+        let c = Clustering {
+            clusters: vec![(0..50).collect(), (50..100).collect()],
+            noise: vec![],
+        };
+        let labels: Vec<usize> = (0..100).map(|i| i % 2).collect();
+        let ari = adjusted_rand_index(&c, &labels);
+        assert!(ari.abs() < 0.1, "ARI {ari}");
+    }
+
+    #[test]
+    fn best_cut_finds_the_valley_level() {
+        // Ordering with two label-pure valleys.
+        let o = crate::optics::ClusterOrdering {
+            order: (0..8).collect(),
+            reachability: vec![f64::INFINITY, 0.1, 0.1, 0.1, 5.0, 0.1, 0.1, 0.1],
+            core_distance: vec![0.1; 8],
+        };
+        let labels = vec![0, 0, 0, 0, 1, 1, 1, 1];
+        let q = best_cut(&o, &labels, 2, DEFAULT_GRID);
+        assert_eq!(q.num_clusters, 2);
+        assert_eq!(q.f1, 1.0);
+        assert_eq!(q.purity, 1.0);
+    }
+}

@@ -1,0 +1,271 @@
+//! Hierarchical cluster extraction from a reachability plot.
+//!
+//! An ε-cut (see [`crate::cluster`]) yields one flat clustering; the
+//! plot actually encodes a *hierarchy* — Figure 10(c) of the paper shows
+//! nested classes `G₁, G₂ ⊂ G` that the vector set model preserves and
+//! the cover sequence model loses. This module extracts that hierarchy
+//! with a recursive local-maxima split (in the spirit of Sander et al.'s
+//! automatic cluster-tree extraction for OPTICS): the ordering is split
+//! at its highest reachability peak; each side becomes a child cluster
+//! if it is large enough and its reachability level sits significantly
+//! below the split peak.
+
+use crate::optics::ClusterOrdering;
+
+/// A node of the cluster tree: a contiguous range of the cluster
+/// ordering plus its children.
+#[derive(Debug, Clone)]
+pub struct ClusterNode {
+    /// Range `[start, end)` into the ordering.
+    pub start: usize,
+    pub end: usize,
+    /// Reachability level of the peak at which this node separates from
+    /// its sibling(s); `f64::INFINITY` for the root.
+    pub split_level: f64,
+    pub children: Vec<ClusterNode>,
+}
+
+impl ClusterNode {
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+
+    /// Object indices of this node's members.
+    pub fn members<'a>(&self, o: &'a ClusterOrdering) -> &'a [usize] {
+        &o.order[self.start..self.end]
+    }
+
+    /// Total number of nodes in this subtree (including self).
+    pub fn subtree_size(&self) -> usize {
+        1 + self.children.iter().map(|c| c.subtree_size()).sum::<usize>()
+    }
+
+    /// Depth of this subtree (leaf = 1).
+    pub fn depth(&self) -> usize {
+        1 + self.children.iter().map(|c| c.depth()).max().unwrap_or(0)
+    }
+
+    /// Collect all nodes (pre-order).
+    pub fn flatten(&self) -> Vec<&ClusterNode> {
+        let mut out = vec![self];
+        for c in &self.children {
+            out.extend(c.flatten());
+        }
+        out
+    }
+}
+
+/// Parameters for tree extraction.
+#[derive(Debug, Clone, Copy)]
+pub struct TreeParams {
+    /// Minimum members per cluster node.
+    pub min_cluster_size: usize,
+    /// A child region only becomes a node if its average reachability is
+    /// below `significance × split peak` (0 < significance < 1).
+    pub significance: f64,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        TreeParams { min_cluster_size: 4, significance: 0.75 }
+    }
+}
+
+/// Extract the cluster tree of a cluster ordering.
+pub fn cluster_tree(o: &ClusterOrdering, params: TreeParams) -> ClusterNode {
+    let mut root = ClusterNode {
+        start: 0,
+        end: o.len(),
+        split_level: f64::INFINITY,
+        children: Vec::new(),
+    };
+    split(o, &mut root, params);
+    root
+}
+
+fn region_average(o: &ClusterOrdering, start: usize, end: usize) -> f64 {
+    // Skip the first reachability (it belongs to the boundary into the
+    // region) and ignore infinities.
+    let vals: Vec<f64> = (start + 1..end)
+        .map(|i| o.reachability[i])
+        .filter(|v| v.is_finite())
+        .collect();
+    if vals.is_empty() {
+        0.0
+    } else {
+        vals.iter().sum::<f64>() / vals.len() as f64
+    }
+}
+
+fn split(o: &ClusterOrdering, node: &mut ClusterNode, params: TreeParams) {
+    if node.len() < 2 * params.min_cluster_size {
+        return;
+    }
+    // Highest *interior* reachability peak (position start+1..end).
+    let mut peak_pos = 0;
+    let mut peak_val = f64::NEG_INFINITY;
+    for i in (node.start + 1)..node.end {
+        let v = o.reachability[i];
+        let v = if v.is_finite() { v } else { f64::MAX };
+        if v > peak_val {
+            peak_val = v;
+            peak_pos = i;
+        }
+    }
+    if peak_val <= 0.0 {
+        return;
+    }
+    let peak_level = if peak_val == f64::MAX { f64::INFINITY } else { peak_val };
+
+    // Candidate children: [start, peak) and [peak, end).
+    let halves = [(node.start, peak_pos), (peak_pos, node.end)];
+    let mut children = Vec::new();
+    for &(s, e) in &halves {
+        if e - s < params.min_cluster_size {
+            continue;
+        }
+        let avg = region_average(o, s, e);
+        let significant = if peak_level.is_infinite() {
+            true
+        } else {
+            avg < params.significance * peak_level
+        };
+        if significant {
+            children.push(ClusterNode {
+                start: s,
+                end: e,
+                split_level: peak_level,
+                children: Vec::new(),
+            });
+        }
+    }
+    // A split is only meaningful if it produces at least one child that
+    // differs from the node itself.
+    if children.len() == 1 && children[0].start == node.start && children[0].end == node.end {
+        return;
+    }
+    if children.is_empty() {
+        return;
+    }
+    for c in &mut children {
+        // Recurse on a copy of the range (avoid re-splitting at the same
+        // peak: interior of the child excludes the peak position except
+        // as its boundary).
+        split(o, c, params);
+    }
+    node.children = children;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Ordering with a coarse 2-way split; the left valley itself splits
+    /// into two sub-valleys (the paper's G / G1 / G2 pattern).
+    fn nested() -> ClusterOrdering {
+        let reach = vec![
+            f64::INFINITY, // 0 start
+            0.1,
+            0.1,
+            0.1, // G1 (positions 0..4)
+            1.0, // sub-peak
+            0.1,
+            0.1,
+            0.1, // G2 (positions 4..8)
+            5.0, // big peak
+            0.2,
+            0.2,
+            0.2,
+            0.2,
+            0.2, // H (positions 8..14)
+        ];
+        ClusterOrdering {
+            order: (0..reach.len()).collect(),
+            core_distance: vec![0.1; reach.len()],
+            reachability: reach,
+        }
+    }
+
+    #[test]
+    fn recovers_nested_structure() {
+        let o = nested();
+        let tree = cluster_tree(&o, TreeParams { min_cluster_size: 3, significance: 0.75 });
+        assert_eq!(tree.len(), 14);
+        // Top split at the 5.0 peak into G (0..8) and H (8..14).
+        assert_eq!(tree.children.len(), 2);
+        let g = &tree.children[0];
+        let h = &tree.children[1];
+        assert_eq!((g.start, g.end), (0, 8));
+        assert_eq!((h.start, h.end), (8, 14));
+        assert_eq!(g.split_level, 5.0);
+        // G splits again at the 1.0 sub-peak into G1 and G2.
+        assert_eq!(g.children.len(), 2);
+        assert_eq!((g.children[0].start, g.children[0].end), (0, 4));
+        assert_eq!((g.children[1].start, g.children[1].end), (4, 8));
+        // H is homogeneous: no further split.
+        assert!(h.children.is_empty());
+    }
+
+    #[test]
+    fn flat_plot_yields_single_node() {
+        let o = ClusterOrdering {
+            order: (0..10).collect(),
+            reachability: std::iter::once(f64::INFINITY)
+                .chain(std::iter::repeat(0.5).take(9))
+                .collect(),
+            core_distance: vec![0.1; 10],
+        };
+        let tree = cluster_tree(&o, TreeParams::default());
+        // The peak (any 0.5 among 0.5s) is not significant.
+        assert!(tree.children.is_empty());
+        assert_eq!(tree.subtree_size(), 1);
+        assert_eq!(tree.depth(), 1);
+    }
+
+    #[test]
+    fn min_size_prunes_small_fragments() {
+        let o = nested();
+        let tree = cluster_tree(&o, TreeParams { min_cluster_size: 7, significance: 0.75 });
+        // G (8) and H (6): H below min size 7 -> only G survives as child;
+        // G itself cannot split further (children of 4 < 7).
+        let sizes: Vec<usize> = tree.children.iter().map(|c| c.len()).collect();
+        assert!(sizes.iter().all(|&s| s >= 7), "sizes {sizes:?}");
+    }
+
+    #[test]
+    fn members_and_flatten() {
+        let o = nested();
+        let tree = cluster_tree(&o, TreeParams { min_cluster_size: 3, significance: 0.75 });
+        let all = tree.flatten();
+        assert!(all.len() >= 5); // root, G, H, G1, G2
+        let g1 = &tree.children[0].children[0];
+        assert_eq!(g1.members(&o), &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn infinite_component_boundaries_split_first() {
+        // Two components (second starts with INF reachability).
+        let reach = vec![
+            f64::INFINITY,
+            0.1,
+            0.1,
+            0.1,
+            f64::INFINITY,
+            0.1,
+            0.1,
+            0.1,
+        ];
+        let o = ClusterOrdering {
+            order: (0..8).collect(),
+            core_distance: vec![0.1; 8],
+            reachability: reach,
+        };
+        let tree = cluster_tree(&o, TreeParams { min_cluster_size: 3, significance: 0.75 });
+        assert_eq!(tree.children.len(), 2);
+        assert!(tree.children.iter().all(|c| c.len() == 4));
+    }
+}

@@ -1,0 +1,277 @@
+//! The OPTICS cluster-ordering algorithm.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// OPTICS parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Optics {
+    /// Neighborhood density requirement (the paper's evaluation uses
+    /// whole-database orderings; typical values 2–10).
+    pub min_pts: usize,
+    /// Generating distance ε. `f64::INFINITY` yields the complete
+    /// hierarchical ordering.
+    pub eps: f64,
+}
+
+impl Default for Optics {
+    fn default() -> Self {
+        Optics { min_pts: 5, eps: f64::INFINITY }
+    }
+}
+
+/// The output of OPTICS: a linear ordering of the objects with, for each
+/// position, the *reachability distance* to its predecessors (undefined —
+/// `f64::INFINITY` — for the first object of each connected component)
+/// and the *core distance*.
+#[derive(Debug, Clone)]
+pub struct ClusterOrdering {
+    /// Object indices in output order.
+    pub order: Vec<usize>,
+    /// `reachability[i]` belongs to `order[i]`.
+    pub reachability: Vec<f64>,
+    /// `core_distance[i]` belongs to `order[i]`.
+    pub core_distance: Vec<f64>,
+}
+
+impl ClusterOrdering {
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+}
+
+struct Seed {
+    reach: f64,
+    obj: usize,
+}
+impl PartialEq for Seed {
+    fn eq(&self, o: &Self) -> bool {
+        self.reach == o.reach && self.obj == o.obj
+    }
+}
+impl Eq for Seed {}
+impl Ord for Seed {
+    fn cmp(&self, o: &Self) -> Ordering {
+        // Min-heap on reachability, tie-break on index for determinism.
+        o.reach
+            .partial_cmp(&self.reach)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| o.obj.cmp(&self.obj))
+    }
+}
+impl PartialOrd for Seed {
+    fn partial_cmp(&self, o: &Self) -> Option<Ordering> {
+        Some(self.cmp(o))
+    }
+}
+
+impl Optics {
+    /// Run OPTICS on `n` objects under the given distance oracle.
+    ///
+    /// The oracle is called O(n²) times in total; distance rows are
+    /// evaluated in parallel with scoped threads, so `dist` must be
+    /// `Sync`. Distances must be symmetric and non-negative.
+    pub fn run<D>(&self, n: usize, dist: D) -> ClusterOrdering
+    where
+        D: Fn(usize, usize) -> f64 + Sync,
+    {
+        let threads = std::thread::available_parallelism()
+            .map(|t| t.get())
+            .unwrap_or(1)
+            .min(16);
+        let mut processed = vec![false; n];
+        let mut reach = vec![f64::INFINITY; n];
+        let mut out = ClusterOrdering {
+            order: Vec::with_capacity(n),
+            reachability: Vec::with_capacity(n),
+            core_distance: Vec::with_capacity(n),
+        };
+        let mut row = vec![0.0f64; n];
+
+        let mut heap: BinaryHeap<Seed> = BinaryHeap::new();
+        for start in 0..n {
+            if processed[start] {
+                continue;
+            }
+            // New connected component: expand from `start` with
+            // undefined reachability.
+            heap.clear();
+            heap.push(Seed { reach: f64::INFINITY, obj: start });
+            while let Some(Seed { reach: r, obj: p }) = heap.pop() {
+                if processed[p] {
+                    continue; // stale heap entry
+                }
+                processed[p] = true;
+
+                // Distance row p -> all objects, in parallel chunks.
+                let chunk = n.div_ceil(threads).max(1);
+                crossbeam::thread::scope(|scope| {
+                    for (ci, out_chunk) in row.chunks_mut(chunk).enumerate() {
+                        let dist = &dist;
+                        scope.spawn(move |_| {
+                            let base = ci * chunk;
+                            for (off, v) in out_chunk.iter_mut().enumerate() {
+                                let j = base + off;
+                                *v = if j == p { 0.0 } else { dist(p, j) };
+                            }
+                        });
+                    }
+                })
+                .expect("distance evaluation thread panicked");
+
+                // Core distance: MinPts-th smallest distance among the
+                // ε-neighborhood (including p itself, following [3]).
+                let mut within: Vec<f64> =
+                    row.iter().copied().filter(|&d| d <= self.eps).collect();
+                let core = if within.len() >= self.min_pts {
+                    within
+                        .select_nth_unstable_by(self.min_pts - 1, |a, b| {
+                            a.partial_cmp(b).unwrap_or(Ordering::Equal)
+                        })
+                        .1
+                        .to_owned()
+                } else {
+                    f64::INFINITY
+                };
+
+                out.order.push(p);
+                out.reachability.push(r);
+                out.core_distance.push(core);
+
+                if core.is_finite() {
+                    for o in 0..n {
+                        if processed[o] || row[o] > self.eps {
+                            continue;
+                        }
+                        let new_reach = core.max(row[o]);
+                        if new_reach < reach[o] {
+                            reach[o] = new_reach;
+                            heap.push(Seed { reach: new_reach, obj: o });
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two tight 1-D clusters far apart plus one outlier.
+    fn toy() -> Vec<f64> {
+        vec![0.0, 0.1, 0.2, 0.3, 10.0, 10.1, 10.2, 10.3, 50.0]
+    }
+
+    fn d1(pts: &[f64]) -> impl Fn(usize, usize) -> f64 + Sync + '_ {
+        move |i, j| (pts[i] - pts[j]).abs()
+    }
+
+    #[test]
+    fn ordering_is_a_permutation() {
+        let pts = toy();
+        let o = Optics { min_pts: 2, eps: f64::INFINITY }.run(pts.len(), d1(&pts));
+        assert_eq!(o.len(), pts.len());
+        let mut sorted = o.order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..pts.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clusters_form_valleys() {
+        let pts = toy();
+        let o = Optics { min_pts: 2, eps: f64::INFINITY }.run(pts.len(), d1(&pts));
+        // Within-cluster reachabilities are small (0.1-0.2); the jumps to
+        // the second cluster and to the outlier are big.
+        let big: Vec<usize> = o
+            .reachability
+            .iter()
+            .enumerate()
+            .filter(|(_, &r)| r > 5.0)
+            .map(|(i, _)| i)
+            .collect();
+        // Position 0 is the undefined start (INF), plus two jumps.
+        assert_eq!(big.len(), 3, "reachabilities: {:?}", o.reachability);
+        assert_eq!(big[0], 0);
+        // Cluster members follow each other consecutively.
+        let small: usize = o.reachability.iter().filter(|&&r| r <= 0.2001).count();
+        assert_eq!(small, 6, "two clusters of 4 contribute 3 small reachabilities each");
+    }
+
+    #[test]
+    fn first_reachability_is_undefined() {
+        let pts = toy();
+        let o = Optics::default().run(pts.len(), d1(&pts));
+        assert!(o.reachability[0].is_infinite());
+    }
+
+    #[test]
+    fn finite_eps_separates_components() {
+        let pts = toy();
+        // eps = 1: the two clusters and the outlier are separate
+        // components; each component start has undefined reachability.
+        let o = Optics { min_pts: 2, eps: 1.0 }.run(pts.len(), d1(&pts));
+        let undefined = o.reachability.iter().filter(|r| r.is_infinite()).count();
+        assert_eq!(undefined, 3);
+        // The outlier is no core point at eps=1 with min_pts=2 (only
+        // itself in its neighborhood) -> its core distance is INF.
+        let outlier_pos = o.order.iter().position(|&p| p == 8).unwrap();
+        assert!(o.core_distance[outlier_pos].is_infinite());
+    }
+
+    #[test]
+    fn min_pts_one_gives_zero_core_distance() {
+        let pts = vec![1.0, 2.0, 4.0];
+        let o = Optics { min_pts: 1, eps: f64::INFINITY }.run(3, d1(&pts));
+        // Every point's 1st-smallest neighborhood distance is d(p,p) = 0.
+        assert!(o.core_distance.iter().all(|&c| c == 0.0));
+    }
+
+    #[test]
+    fn deterministic_given_same_input() {
+        let pts = toy();
+        let a = Optics { min_pts: 3, eps: f64::INFINITY }.run(pts.len(), d1(&pts));
+        let b = Optics { min_pts: 3, eps: f64::INFINITY }.run(pts.len(), d1(&pts));
+        assert_eq!(a.order, b.order);
+        assert_eq!(a.reachability, b.reachability);
+    }
+
+    #[test]
+    fn single_object() {
+        let o = Optics::default().run(1, |_, _| 0.0);
+        assert_eq!(o.order, vec![0]);
+        assert!(o.reachability[0].is_infinite());
+    }
+
+    #[test]
+    fn reachability_reflects_cluster_tightness() {
+        // A tight cluster and a loose cluster: mean in-cluster
+        // reachability must differ accordingly.
+        let mut pts = Vec::new();
+        for i in 0..10 {
+            pts.push(i as f64 * 0.01); // tight
+        }
+        for i in 0..10 {
+            pts.push(100.0 + i as f64 * 1.0); // loose
+        }
+        let o = Optics { min_pts: 2, eps: f64::INFINITY }.run(pts.len(), d1(&pts));
+        let pos: Vec<usize> = (0..o.len()).collect();
+        let mean_reach = |sel: &dyn Fn(usize) -> bool| {
+            let vals: Vec<f64> = pos
+                .iter()
+                .filter(|&&i| sel(o.order[i]) && o.reachability[i].is_finite() && o.reachability[i] < 50.0)
+                .map(|&i| o.reachability[i])
+                .collect();
+            vals.iter().sum::<f64>() / vals.len() as f64
+        };
+        let tight = mean_reach(&|obj| obj < 10);
+        let loose = mean_reach(&|obj| obj >= 10);
+        assert!(loose > 10.0 * tight, "tight {tight} vs loose {loose}");
+    }
+}

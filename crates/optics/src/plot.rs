@@ -1,0 +1,146 @@
+//! Reachability plots (Figure 5 and Figures 6–9 of the paper).
+
+use crate::optics::ClusterOrdering;
+use std::io::Write;
+
+/// A reachability plot: the bar chart of reachability values in cluster
+/// order. Valleys are clusters.
+#[derive(Debug, Clone)]
+pub struct ReachabilityPlot {
+    /// Object index per plot position.
+    pub order: Vec<usize>,
+    /// Reachability value per plot position (∞ for component starts).
+    pub values: Vec<f64>,
+}
+
+impl ReachabilityPlot {
+    pub fn from_ordering(o: &ClusterOrdering) -> Self {
+        ReachabilityPlot { order: o.order.clone(), values: o.reachability.clone() }
+    }
+
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Largest finite reachability (plot ceiling). `None` if all values
+    /// are undefined.
+    pub fn max_finite(&self) -> Option<f64> {
+        self.values
+            .iter()
+            .copied()
+            .filter(|v| v.is_finite())
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
+    }
+
+    /// Write `position,object,reachability` CSV rows (∞ rendered as
+    /// `inf`, which gnuplot and pandas both parse).
+    pub fn write_csv<W: Write>(&self, mut w: W) -> std::io::Result<()> {
+        writeln!(w, "position,object,reachability")?;
+        for (i, (&obj, &val)) in self.order.iter().zip(&self.values).enumerate() {
+            if val.is_finite() {
+                writeln!(w, "{i},{obj},{val}")?;
+            } else {
+                writeln!(w, "{i},{obj},inf")?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Render an ASCII bar chart, downsampling to at most `width` columns
+    /// (each column shows the *maximum* reachability of its bucket so
+    /// cluster boundaries stay visible) with `height` text rows.
+    pub fn ascii(&self, width: usize, height: usize) -> String {
+        assert!(width >= 1 && height >= 1);
+        if self.is_empty() {
+            return String::from("(empty plot)\n");
+        }
+        let ceil = self.max_finite().unwrap_or(1.0).max(1e-12);
+        let n = self.len();
+        let cols = width.min(n);
+        let mut col_vals = vec![0.0f64; cols];
+        for (i, &v) in self.values.iter().enumerate() {
+            let c = i * cols / n;
+            let v = if v.is_finite() { v } else { ceil * 1.05 };
+            col_vals[c] = col_vals[c].max(v);
+        }
+        let mut out = String::new();
+        for row in (0..height).rev() {
+            let thresh = ceil * (row as f64 + 0.5) / height as f64;
+            for &v in &col_vals {
+                out.push(if v > thresh { '█' } else { ' ' });
+            }
+            out.push('\n');
+        }
+        out.push_str(&"─".repeat(cols));
+        out.push('\n');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plot() -> ReachabilityPlot {
+        ReachabilityPlot {
+            order: vec![3, 0, 1, 2, 4],
+            values: vec![f64::INFINITY, 0.5, 0.4, 2.0, 0.3],
+        }
+    }
+
+    #[test]
+    fn csv_format() {
+        let mut buf = Vec::new();
+        plot().write_csv(&mut buf).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "position,object,reachability");
+        assert_eq!(lines[1], "0,3,inf");
+        assert_eq!(lines[2], "1,0,0.5");
+        assert_eq!(lines.len(), 6);
+    }
+
+    #[test]
+    fn max_finite_skips_infinity() {
+        assert_eq!(plot().max_finite(), Some(2.0));
+        let empty = ReachabilityPlot { order: vec![0], values: vec![f64::INFINITY] };
+        assert_eq!(empty.max_finite(), None);
+    }
+
+    #[test]
+    fn ascii_dimensions() {
+        let s = plot().ascii(10, 4);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5); // 4 rows + axis
+        // 5 data points -> 5 columns (min(width, n)).
+        assert_eq!(lines[0].chars().count(), 5);
+    }
+
+    #[test]
+    fn ascii_shows_peaks() {
+        let s = plot().ascii(5, 4);
+        let top_row = s.lines().next().unwrap();
+        // Highest bars: position 0 (inf -> ceiling) and position 3 (2.0).
+        let cols: Vec<char> = top_row.chars().collect();
+        assert_eq!(cols[0], '█');
+        assert_eq!(cols[3], '█');
+        assert_eq!(cols[1], ' ');
+    }
+
+    #[test]
+    fn downsampling_keeps_maxima() {
+        let p = ReachabilityPlot {
+            order: (0..100).collect(),
+            values: (0..100).map(|i| if i == 57 { 9.0 } else { 0.1 }).collect(),
+        };
+        let s = p.ascii(10, 3);
+        let top: Vec<char> = s.lines().next().unwrap().chars().collect();
+        // Bucket containing position 57 (column 5) must show the spike.
+        assert_eq!(top[5], '█');
+        assert_eq!(top.iter().filter(|&&c| c == '█').count(), 1);
+    }
+}

@@ -1,0 +1,401 @@
+//! The filter/refine access path of Section 4.3: 6-d extended centroids
+//! in an X-tree, exact minimal matching distance on demand.
+
+use crate::stats::QueryStats;
+use std::sync::Arc;
+use std::time::Instant;
+use vsim_index::{IoStats, VectorSetStore, XTree};
+use vsim_setdist::matching::{MinimalMatching, PointDistance, WeightFunction};
+use vsim_setdist::{centroid_lower_bound, extended_centroid, VectorSet};
+
+/// Filter/refine index over vector sets.
+///
+/// * Filter: the extended centroid `C_{k,ω}` of every set, stored in a
+///   `d`-dimensional X-tree. By Lemma 2,
+///   `k · ‖C(X) − C(q)‖₂ ≤ dist_mm(X, q)`, so centroid distance `· k`
+///   lower-bounds the exact distance.
+/// * Refinement: load the candidate's vector set from the heap file and
+///   evaluate the exact minimal matching distance (weight `w_ω`).
+pub struct FilterRefineIndex {
+    k: usize,
+    omega: Vec<f64>,
+    tree: XTree,
+    store: VectorSetStore,
+    mm: MinimalMatching,
+    stats: Arc<IoStats>,
+}
+
+impl FilterRefineIndex {
+    /// Build from the database of vector sets. `k` must bound every
+    /// set's cardinality. `ω = 0` (the paper's choice — no cover has zero
+    /// volume, so the metric conditions of Lemma 1 hold).
+    pub fn build(sets: &[VectorSet], dim: usize, k: usize) -> Self {
+        let stats = IoStats::new();
+        let omega = vec![0.0; dim];
+        let mut tree = XTree::new(dim, Arc::clone(&stats));
+        for (i, s) in sets.iter().enumerate() {
+            assert_eq!(s.dim(), dim, "set {i} has wrong dimension");
+            let c = extended_centroid(s, k, &omega);
+            tree.insert(&c, i as u64);
+        }
+        let store = VectorSetStore::build(sets, Arc::clone(&stats));
+        FilterRefineIndex {
+            k,
+            omega,
+            tree,
+            store,
+            mm: MinimalMatching {
+                point_distance: PointDistance::Euclidean,
+                weight: WeightFunction::Norm,
+                sqrt_of_total: false,
+            },
+            stats,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.store.is_empty()
+    }
+
+    /// Shared I/O counters (reset between measured workloads).
+    pub fn io_stats(&self) -> &Arc<IoStats> {
+        &self.stats
+    }
+
+    /// The exact distance used for refinement.
+    pub fn exact_distance(&self, a: &VectorSet, b: &VectorSet) -> f64 {
+        self.mm.distance_value(a, b)
+    }
+
+    /// Invariant k-NN (Section 3.2): the query is posed in all supplied
+    /// transformed variants ("48 different permutations of the query
+    /// object at runtime") and the result is the top-k under
+    /// `min_T dist_mm(T(q), o)`. One shared result set lets later
+    /// variants stop earlier (the global k-th distance tightens the
+    /// multi-step termination bound).
+    pub fn knn_invariant(&self, variants: &[VectorSet], kq: usize) -> (Vec<(u64, f64)>, QueryStats) {
+        let t0 = Instant::now();
+        let io0 = self.stats.snapshot();
+        let mut best: std::collections::HashMap<u64, f64> = std::collections::HashMap::new();
+        let mut result: Vec<(u64, f64)> = Vec::new(); // sorted top-k
+        let mut candidates = 0;
+        let mut refinements = 0;
+        // Per-query buffer pool: the 48 subqueries share the centroid
+        // tree's pages and the already-loaded candidate records (one
+        // logical query = one buffer scope; I/O is charged on first use
+        // only, CPU for every matching evaluation).
+        let tree_cache = std::cell::RefCell::new(std::collections::HashSet::new());
+        let mut record_cache: std::collections::HashMap<u64, VectorSet> =
+            std::collections::HashMap::new();
+        for q in variants {
+            let cq = extended_centroid(q, self.k, &self.omega);
+            for (id, cdist) in self.tree.nn_iter_cached(&cq, &tree_cache) {
+                candidates += 1;
+                let lower = self.k as f64 * cdist;
+                if result.len() >= kq && lower >= result[kq - 1].1 {
+                    break;
+                }
+                let set = record_cache
+                    .entry(id)
+                    .or_insert_with(|| self.store.get(id));
+                let d = self.mm.distance_value(q, set);
+                refinements += 1;
+                let entry = best.entry(id).or_insert(f64::INFINITY);
+                if d < *entry {
+                    *entry = d;
+                    result.retain(|(i, _)| *i != id);
+                    result.push((id, d));
+                    result.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+                    result.truncate(kq);
+                }
+            }
+        }
+        let stats = QueryStats {
+            cpu: t0.elapsed(),
+            io: self.stats.snapshot() - io0,
+            candidates,
+            refinements,
+        };
+        (result, stats)
+    }
+
+    /// ε-range query: all `(id, dist_mm)` with distance ≤ `eps`.
+    ///
+    /// Filter step: ε-range on the centroid tree with radius `ε / k`
+    /// (objects farther than that cannot qualify by Lemma 2).
+    pub fn range_query(&self, q: &VectorSet, eps: f64) -> (Vec<(u64, f64)>, QueryStats) {
+        let t0 = Instant::now();
+        let io0 = self.stats.snapshot();
+        let cq = extended_centroid(q, self.k, &self.omega);
+        let candidates = self.tree.range_query(&cq, eps / self.k as f64);
+        let mut out = Vec::new();
+        let mut refinements = 0;
+        for (id, _) in &candidates {
+            let set = self.store.get(*id);
+            let d = self.mm.distance_value(q, &set);
+            refinements += 1;
+            if d <= eps {
+                out.push((*id, d));
+            }
+        }
+        out.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        let stats = QueryStats {
+            cpu: t0.elapsed(),
+            io: self.stats.snapshot() - io0,
+            candidates: candidates.len(),
+            refinements,
+        };
+        (out, stats)
+    }
+
+    /// Invariant ε-range query: all objects within `eps` of *any* of the
+    /// supplied query variants (Section 3.2's runtime permutations),
+    /// with one shared buffer scope like [`FilterRefineIndex::knn_invariant`].
+    pub fn range_query_invariant(
+        &self,
+        variants: &[VectorSet],
+        eps: f64,
+    ) -> (Vec<(u64, f64)>, QueryStats) {
+        let t0 = Instant::now();
+        let io0 = self.stats.snapshot();
+        let mut best: std::collections::HashMap<u64, f64> = std::collections::HashMap::new();
+        let mut candidates = 0;
+        let mut refinements = 0;
+        let tree_cache = std::cell::RefCell::new(std::collections::HashSet::new());
+        let mut record_cache: std::collections::HashMap<u64, VectorSet> =
+            std::collections::HashMap::new();
+        for q in variants {
+            let cq = extended_centroid(q, self.k, &self.omega);
+            // Reuse the cached incremental ranking for the filter: stop
+            // at the Lemma 2 radius eps / k.
+            for (id, cdist) in self.tree.nn_iter_cached(&cq, &tree_cache) {
+                if cdist > eps / self.k as f64 {
+                    break;
+                }
+                candidates += 1;
+                let set = record_cache.entry(id).or_insert_with(|| self.store.get(id));
+                let d = self.mm.distance_value(q, set);
+                refinements += 1;
+                if d <= eps {
+                    let e = best.entry(id).or_insert(f64::INFINITY);
+                    if d < *e {
+                        *e = d;
+                    }
+                }
+            }
+        }
+        let mut out: Vec<(u64, f64)> = best.into_iter().collect();
+        out.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        let stats = QueryStats {
+            cpu: t0.elapsed(),
+            io: self.stats.snapshot() - io0,
+            candidates,
+            refinements,
+        };
+        (out, stats)
+    }
+
+    /// k-NN query via the optimal multi-step algorithm [29]: consume the
+    /// incremental centroid ranking; refine each candidate; stop as soon
+    /// as the next filter lower bound exceeds the current k-th exact
+    /// distance. Optimal in the number of refinements for a correct
+    /// multi-step algorithm.
+    pub fn knn(&self, q: &VectorSet, kq: usize) -> (Vec<(u64, f64)>, QueryStats) {
+        let t0 = Instant::now();
+        let io0 = self.stats.snapshot();
+        let cq = extended_centroid(q, self.k, &self.omega);
+        let mut result: Vec<(u64, f64)> = Vec::new();
+        let mut candidates = 0;
+        let mut refinements = 0;
+        for (id, cdist) in self.tree.nn_iter(&cq) {
+            candidates += 1;
+            let lower = centroid_lower_bound(&cq, &cq, self.k).max(self.k as f64 * cdist);
+            if result.len() >= kq && lower >= result[kq - 1].1 {
+                break; // no unexamined object can improve the result
+            }
+            let set = self.store.get(id);
+            let d = self.mm.distance_value(q, &set);
+            refinements += 1;
+            result.push((id, d));
+            result.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+            result.truncate(kq);
+        }
+        let stats = QueryStats {
+            cpu: t0.elapsed(),
+            io: self.stats.snapshot() - io0,
+            candidates,
+            refinements,
+        };
+        (result, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    fn random_sets(n: usize, k: usize, seed: u64) -> Vec<VectorSet> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let card = rng.gen_range(1..=k);
+                let mut s = VectorSet::new(6);
+                for _ in 0..card {
+                    let v: Vec<f64> = (0..6).map(|_| rng.gen_range(0.05..1.0)).collect();
+                    s.push(&v);
+                }
+                s
+            })
+            .collect()
+    }
+
+    fn exact_knn(sets: &[VectorSet], q: &VectorSet, kq: usize) -> Vec<(u64, f64)> {
+        let mm = MinimalMatching::vector_set_model();
+        let mut all: Vec<(u64, f64)> = sets
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i as u64, mm.distance_value(q, s)))
+            .collect();
+        all.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        all.truncate(kq);
+        all
+    }
+
+    #[test]
+    fn range_query_is_exact() {
+        let sets = random_sets(300, 5, 1);
+        let idx = FilterRefineIndex::build(&sets, 6, 5);
+        let mm = MinimalMatching::vector_set_model();
+        for qi in [0usize, 7, 100] {
+            let q = &sets[qi];
+            for eps in [0.2, 0.5, 1.5] {
+                let (got, stats) = idx.range_query(q, eps);
+                let mut want: Vec<u64> = sets
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| mm.distance_value(q, s) <= eps)
+                    .map(|(i, _)| i as u64)
+                    .collect();
+                let mut got_ids: Vec<u64> = got.iter().map(|(id, _)| *id).collect();
+                got_ids.sort_unstable();
+                want.sort_unstable();
+                assert_eq!(got_ids, want, "eps {eps}");
+                // Filter effectiveness: the filter may not miss results.
+                assert!(stats.refinements >= got.len());
+            }
+        }
+    }
+
+    #[test]
+    fn knn_matches_exact_scan() {
+        let sets = random_sets(400, 7, 2);
+        let idx = FilterRefineIndex::build(&sets, 6, 7);
+        for qi in [3usize, 42, 250] {
+            let (got, _) = idx.knn(&sets[qi], 10);
+            let want = exact_knn(&sets, &sets[qi], 10);
+            assert_eq!(got.len(), 10);
+            for (g, w) in got.iter().zip(&want) {
+                assert!(
+                    (g.1 - w.1).abs() < 1e-9,
+                    "query {qi}: got {:?} want {:?}",
+                    g,
+                    w
+                );
+            }
+            // Self-query: distance 0 to itself.
+            assert_eq!(got[0].0, qi as u64);
+            assert!(got[0].1.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn filter_prunes_most_refinements() {
+        let sets = random_sets(1000, 5, 3);
+        let idx = FilterRefineIndex::build(&sets, 6, 5);
+        let (_, stats) = idx.knn(&sets[0], 10);
+        assert!(
+            stats.refinements < sets.len() / 2,
+            "refined {} of {} objects",
+            stats.refinements,
+            sets.len()
+        );
+    }
+
+    #[test]
+    fn io_accounting_is_nonzero_and_refinement_dependent() {
+        let sets = random_sets(500, 5, 4);
+        let idx = FilterRefineIndex::build(&sets, 6, 5);
+        let (_, s1) = idx.knn(&sets[0], 1);
+        let (_, s2) = idx.knn(&sets[0], 50);
+        assert!(s1.io.pages > 0);
+        assert!(s2.io.pages >= s1.io.pages);
+        assert!(s2.refinements >= s1.refinements);
+    }
+
+    #[test]
+    fn invariant_queries_match_per_variant_brute_force() {
+        let sets = random_sets(150, 4, 6);
+        let idx = FilterRefineIndex::build(&sets, 6, 4);
+        let mm = MinimalMatching::vector_set_model();
+        // Three synthetic "variants": the query plus two perturbed copies.
+        let q = &sets[10];
+        let mut v2 = VectorSet::new(6);
+        let mut v3 = VectorSet::new(6);
+        for row in q.iter() {
+            let mut a = row.to_vec();
+            a[0] = (a[0] + 0.3).min(1.0);
+            v2.push(&a);
+            let mut b = row.to_vec();
+            b.swap(1, 2);
+            v3.push(&b);
+        }
+        let variants = vec![q.clone(), v2, v3];
+
+        // Brute-force invariant distances.
+        let inv_dist = |o: &VectorSet| {
+            variants
+                .iter()
+                .map(|v| mm.distance_value(v, o))
+                .fold(f64::INFINITY, f64::min)
+        };
+
+        // kNN.
+        let (got, _) = idx.knn_invariant(&variants, 8);
+        let mut want: Vec<(u64, f64)> = sets
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i as u64, inv_dist(s)))
+            .collect();
+        want.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g.1 - w.1).abs() < 1e-9, "knn {g:?} vs {w:?}");
+        }
+
+        // Range.
+        let eps = 0.5;
+        let (got_r, _) = idx.range_query_invariant(&variants, eps);
+        let want_ids: std::collections::BTreeSet<u64> = sets
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| inv_dist(s) <= eps)
+            .map(|(i, _)| i as u64)
+            .collect();
+        assert_eq!(
+            got_r.iter().map(|(i, _)| *i).collect::<std::collections::BTreeSet<_>>(),
+            want_ids
+        );
+    }
+
+    #[test]
+    fn knn_with_k_larger_than_db_returns_all() {
+        let sets = random_sets(20, 3, 5);
+        let idx = FilterRefineIndex::build(&sets, 6, 3);
+        let (got, _) = idx.knn(&sets[0], 100);
+        assert_eq!(got.len(), 20);
+    }
+}

@@ -1,0 +1,43 @@
+//! # vsim-query — similarity query processing (Section 4.3)
+//!
+//! Three access paths for similarity queries over vector-set data, the
+//! same three Table 2 measures:
+//!
+//! 1. [`FilterRefineIndex`] — the paper's contribution: extended
+//!    centroids in a low-dimensional X-tree as a *filter*, exact minimal
+//!    matching distance as *refinement*. ε-range queries use the Lemma 2
+//!    bound (`‖C(X)−C(q)‖ ≤ ε/k`); k-NN queries use the optimal
+//!    multi-step algorithm of Seidl & Kriegel [29] over the incremental
+//!    centroid ranking.
+//! 2. [`SequentialScanIndex`] — exact distance against every object.
+//! 3. [`OneVectorIndex`] — the `6k`-dimensional cover-sequence feature
+//!    vectors in an X-tree (the baseline the vector set model replaces).
+//!
+//! All paths report [`QueryStats`]: measured CPU time, simulated I/O,
+//! candidate and refinement counts.
+
+//! ```
+//! use vsim_query::{FilterRefineIndex, SequentialScanIndex};
+//! use vsim_setdist::VectorSet;
+//!
+//! let sets: Vec<VectorSet> = (0..50)
+//!     .map(|i| VectorSet::from_rows(6, &[&[0.1 * i as f64, 0.2, 0.0, 0.3, 0.3, 0.3]]))
+//!     .collect();
+//! let filter = FilterRefineIndex::build(&sets, 6, 7);
+//! let scan = SequentialScanIndex::build(&sets);
+//! let (a, stats) = filter.knn(&sets[25], 5);
+//! let (b, _) = scan.knn(&sets[25], 5);
+//! assert_eq!(a[0].0, 25);
+//! assert!((a[4].1 - b[4].1).abs() < 1e-12); // multi-step k-NN is exact
+//! assert!(stats.refinements <= 50);
+//! ```
+
+pub mod filter;
+pub mod onevector;
+pub mod scan;
+pub mod stats;
+
+pub use filter::FilterRefineIndex;
+pub use onevector::OneVectorIndex;
+pub use scan::SequentialScanIndex;
+pub use stats::QueryStats;

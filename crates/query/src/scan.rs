@@ -1,0 +1,174 @@
+//! Sequential-scan baseline (Table 2, row "Vect. Set seq. scan"): the
+//! whole heap file is read and the exact minimal matching distance is
+//! evaluated against every object.
+
+use crate::stats::QueryStats;
+use std::sync::Arc;
+use std::time::Instant;
+use vsim_index::{IoStats, VectorSetStore};
+use vsim_setdist::matching::MinimalMatching;
+use vsim_setdist::VectorSet;
+
+/// Exact sequential scan over a vector-set heap file.
+pub struct SequentialScanIndex {
+    store: VectorSetStore,
+    mm: MinimalMatching,
+    stats: Arc<IoStats>,
+}
+
+impl SequentialScanIndex {
+    pub fn build(sets: &[VectorSet]) -> Self {
+        let stats = IoStats::new();
+        SequentialScanIndex {
+            store: VectorSetStore::build(sets, Arc::clone(&stats)),
+            mm: MinimalMatching::vector_set_model(),
+            stats,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.store.is_empty()
+    }
+
+    pub fn io_stats(&self) -> &Arc<IoStats> {
+        &self.stats
+    }
+
+    /// k-NN by exhaustive evaluation.
+    pub fn knn(&self, q: &VectorSet, kq: usize) -> (Vec<(u64, f64)>, QueryStats) {
+        let t0 = Instant::now();
+        let io0 = self.stats.snapshot();
+        let mut result: Vec<(u64, f64)> = Vec::new();
+        let mut refinements = 0;
+        for (id, set) in self.store.scan() {
+            let d = self.mm.distance_value(q, &set);
+            refinements += 1;
+            result.push((id, d));
+        }
+        result.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        result.truncate(kq);
+        let stats = QueryStats {
+            cpu: t0.elapsed(),
+            io: self.stats.snapshot() - io0,
+            candidates: refinements,
+            refinements,
+        };
+        (result, stats)
+    }
+
+    /// Invariant k-NN (Section 3.2): one pass over the file, evaluating
+    /// `min_T dist_mm(T(q), o)` per object across all supplied query
+    /// variants.
+    pub fn knn_invariant(&self, variants: &[VectorSet], kq: usize) -> (Vec<(u64, f64)>, QueryStats) {
+        let t0 = Instant::now();
+        let io0 = self.stats.snapshot();
+        let mut result: Vec<(u64, f64)> = Vec::new();
+        let mut refinements = 0;
+        for (id, set) in self.store.scan() {
+            let mut d = f64::INFINITY;
+            for q in variants {
+                d = d.min(self.mm.distance_value(q, &set));
+                refinements += 1;
+            }
+            result.push((id, d));
+        }
+        result.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        result.truncate(kq);
+        let stats = QueryStats {
+            cpu: t0.elapsed(),
+            io: self.stats.snapshot() - io0,
+            candidates: self.store.len(),
+            refinements,
+        };
+        (result, stats)
+    }
+
+    /// ε-range by exhaustive evaluation.
+    pub fn range_query(&self, q: &VectorSet, eps: f64) -> (Vec<(u64, f64)>, QueryStats) {
+        let t0 = Instant::now();
+        let io0 = self.stats.snapshot();
+        let mut result: Vec<(u64, f64)> = Vec::new();
+        let mut refinements = 0;
+        for (id, set) in self.store.scan() {
+            let d = self.mm.distance_value(q, &set);
+            refinements += 1;
+            if d <= eps {
+                result.push((id, d));
+            }
+        }
+        result.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        let stats = QueryStats {
+            cpu: t0.elapsed(),
+            io: self.stats.snapshot() - io0,
+            candidates: refinements,
+            refinements,
+        };
+        (result, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::FilterRefineIndex;
+    use rand::prelude::*;
+
+    fn random_sets(n: usize, k: usize, seed: u64) -> Vec<VectorSet> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let card = rng.gen_range(1..=k);
+                let mut s = VectorSet::new(6);
+                for _ in 0..card {
+                    let v: Vec<f64> = (0..6).map(|_| rng.gen_range(0.05..1.0)).collect();
+                    s.push(&v);
+                }
+                s
+            })
+            .collect()
+    }
+
+    #[test]
+    fn scan_and_filter_agree() {
+        let sets = random_sets(250, 5, 10);
+        let scan = SequentialScanIndex::build(&sets);
+        let filt = FilterRefineIndex::build(&sets, 6, 5);
+        for qi in [0usize, 99, 200] {
+            let (a, _) = scan.knn(&sets[qi], 8);
+            let (b, _) = filt.knn(&sets[qi], 8);
+            for (x, y) in a.iter().zip(&b) {
+                assert!((x.1 - y.1).abs() < 1e-9);
+            }
+            let (ra, _) = scan.range_query(&sets[qi], 0.4);
+            let (rb, _) = filt.range_query(&sets[qi], 0.4);
+            assert_eq!(
+                ra.iter().map(|(i, _)| *i).collect::<std::collections::BTreeSet<_>>(),
+                rb.iter().map(|(i, _)| *i).collect::<std::collections::BTreeSet<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn scan_touches_every_object_filter_does_not() {
+        let sets = random_sets(800, 5, 11);
+        let scan = SequentialScanIndex::build(&sets);
+        let filt = FilterRefineIndex::build(&sets, 6, 5);
+        let (_, ss) = scan.knn(&sets[0], 10);
+        let (_, fs) = filt.knn(&sets[0], 10);
+        assert_eq!(ss.refinements, 800);
+        assert!(fs.refinements < ss.refinements / 2);
+    }
+
+    #[test]
+    fn scan_io_equals_file_size() {
+        let sets = random_sets(100, 5, 12);
+        let scan = SequentialScanIndex::build(&sets);
+        let (_, s) = scan.knn(&sets[0], 5);
+        let expected_bytes: usize = sets.iter().map(|v| v.storage_bytes()).sum();
+        assert_eq!(s.io.bytes as usize, expected_bytes);
+    }
+}

@@ -1,0 +1,117 @@
+//! The extended centroid filter (Definitions 7/8 and Lemma 2).
+//!
+//! The key query-acceleration result of Section 4.3: for vector sets of
+//! cardinality ≤ `k` with weight function `w_ω(x) = ‖x − ω‖`,
+//!
+//! ```text
+//! k · ‖C_{k,ω}(X) − C_{k,ω}(Y)‖₂  ≤  dist_mm(X, Y)
+//! ```
+//!
+//! so the 6-dimensional extended centroids can be indexed with a
+//! conventional spatial index (the paper uses an X-tree) and an ε-range
+//! query only needs to refine objects whose centroid lies within `ε / k`
+//! of the query centroid.
+
+use crate::lp;
+use crate::types::VectorSet;
+
+/// The extended centroid `C_{k,ω}(X) = (Σ xᵢ + (k − |X|)·ω) / k`
+/// (Definition 8). Requires `|X| ≤ k`.
+pub fn extended_centroid(x: &VectorSet, k: usize, omega: &[f64]) -> Vec<f64> {
+    assert!(x.len() <= k, "set cardinality {} exceeds k = {k}", x.len());
+    assert_eq!(omega.len(), x.dim());
+    let mut c = x.sum();
+    let missing = (k - x.len()) as f64;
+    for (ci, oi) in c.iter_mut().zip(omega) {
+        *ci = (*ci + missing * oi) / k as f64;
+    }
+    c
+}
+
+/// The filter distance `k · ‖C_{k,ω}(X) − C_{k,ω}(Y)‖₂`, a lower bound of
+/// the minimal matching distance with Euclidean point distance and weight
+/// `w_ω` (Lemma 2).
+pub fn centroid_lower_bound(cx: &[f64], cy: &[f64], k: usize) -> f64 {
+    k as f64 * lp::euclidean(cx, cy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matching::{MinimalMatching, PointDistance, WeightFunction};
+    use proptest::prelude::*;
+
+    #[test]
+    fn centroid_of_full_set_is_mean() {
+        let x = VectorSet::from_rows(2, &[&[1.0, 2.0], &[3.0, 4.0]]);
+        let c = extended_centroid(&x, 2, &[0.0, 0.0]);
+        assert_eq!(c, vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn centroid_pads_with_omega() {
+        let x = VectorSet::from_rows(2, &[&[3.0, 3.0]]);
+        let c = extended_centroid(&x, 3, &[0.0, 0.0]);
+        assert_eq!(c, vec![1.0, 1.0]);
+        let c2 = extended_centroid(&x, 3, &[3.0, 3.0]);
+        assert_eq!(c2, vec![3.0, 3.0]);
+    }
+
+    #[test]
+    fn lower_bound_is_zero_for_identical_sets() {
+        let x = VectorSet::from_rows(2, &[&[1.0, 0.5], &[2.0, 2.0]]);
+        let c = extended_centroid(&x, 4, &[0.0, 0.0]);
+        assert_eq!(centroid_lower_bound(&c, &c, 4), 0.0);
+    }
+
+    proptest! {
+        /// Lemma 2, property-tested: the centroid filter never exceeds
+        /// the exact minimal matching distance (with w = distance-to-ω).
+        #[test]
+        fn lemma2_lower_bound_holds(
+            xs in proptest::collection::vec(0.1f64..8.0, 1..=4),
+            ys in proptest::collection::vec(0.1f64..8.0, 1..=4),
+            xs2 in proptest::collection::vec(0.1f64..8.0, 4),
+            ys2 in proptest::collection::vec(0.1f64..8.0, 4),
+        ) {
+            // Build 2-d sets of cardinality 1..=4 from the value pools.
+            let x = VectorSet::from_rows(2, &xs.iter().zip(&xs2).map(|(a, b)| [*a, *b]).collect::<Vec<_>>()
+                .iter().map(|r| r.as_slice()).collect::<Vec<_>>());
+            let y = VectorSet::from_rows(2, &ys.iter().zip(&ys2).map(|(a, b)| [*a, *b]).collect::<Vec<_>>()
+                .iter().map(|r| r.as_slice()).collect::<Vec<_>>());
+            let k = 4;
+            let omega = vec![0.0, 0.0];
+            let mm = MinimalMatching {
+                point_distance: PointDistance::Euclidean,
+                weight: WeightFunction::DistanceTo(omega.clone()),
+                sqrt_of_total: false,
+            };
+            let exact = mm.distance_value(&x, &y);
+            let cx = extended_centroid(&x, k, &omega);
+            let cy = extended_centroid(&y, k, &omega);
+            let lb = centroid_lower_bound(&cx, &cy, k);
+            prop_assert!(lb <= exact + 1e-9, "lower bound {lb} exceeds exact {exact}");
+        }
+
+        /// The bound also holds with a non-zero ω.
+        #[test]
+        fn lemma2_with_nonzero_omega(
+            xs in proptest::collection::vec(-4.0f64..4.0, 6),
+            ys in proptest::collection::vec(-4.0f64..4.0, 4),
+        ) {
+            let x = VectorSet::from_flat(2, xs);
+            let y = VectorSet::from_flat(2, ys);
+            let k = 3;
+            let omega = vec![10.0, -10.0]; // outside the data domain
+            let mm = MinimalMatching {
+                point_distance: PointDistance::Euclidean,
+                weight: WeightFunction::DistanceTo(omega.clone()),
+                sqrt_of_total: false,
+            };
+            let exact = mm.distance_value(&x, &y);
+            let cx = extended_centroid(&x, k, &omega);
+            let cy = extended_centroid(&y, k, &omega);
+            prop_assert!(centroid_lower_bound(&cx, &cy, k) <= exact + 1e-9);
+        }
+    }
+}

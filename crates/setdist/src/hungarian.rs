@@ -1,0 +1,395 @@
+//! Kuhn–Munkres (Hungarian) algorithm for minimum-weight perfect
+//! matching in bipartite graphs — the `O(k³)` engine behind the minimal
+//! matching distance (Section 4.2, citing Kuhn [22] and Munkres [25]).
+//!
+//! The implementation is the potential-based shortest-augmenting-path
+//! formulation: each of the `n` rows is inserted by growing an
+//! alternating tree, with a worst-case `O(n · m)` per insertion, i.e.
+//! `O(n² m)` in total (`O(k³)` for square instances).
+
+/// Result of an assignment problem.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Assignment {
+    /// `row_to_col[i]` is the column assigned to row `i`.
+    pub row_to_col: Vec<usize>,
+    /// Total cost of the optimal assignment.
+    pub cost: f64,
+}
+
+/// A dense cost matrix with `rows ≤ cols`.
+#[derive(Debug, Clone)]
+pub struct CostMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl CostMatrix {
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols >= rows, "need 0 < rows <= cols");
+        CostMatrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = CostMatrix::new(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                m.set(i, j, f(i, j));
+            }
+        }
+        m
+    }
+
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.cols + c]
+    }
+
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert!(v.is_finite(), "costs must be finite");
+        self.data[r * self.cols + c] = v;
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+}
+
+/// Reusable buffers for repeated assignment solving (OPTICS runs evaluate
+/// millions of matchings; per-call allocation is measurable). Use with
+/// [`solve_with`].
+#[derive(Debug, Default)]
+pub struct Workspace {
+    u: Vec<f64>,
+    v: Vec<f64>,
+    p: Vec<usize>,
+    way: Vec<usize>,
+    minv: Vec<f64>,
+    used: Vec<bool>,
+}
+
+/// Allocation-free variant of [`solve`]: buffers live in `ws` and are
+/// resized only when the instance grows.
+pub fn solve_with(cost: &CostMatrix, ws: &mut Workspace) -> Assignment {
+    let n = cost.rows();
+    let m = cost.cols();
+    const INF: f64 = f64::INFINITY;
+
+    ws.u.clear();
+    ws.u.resize(n + 1, 0.0);
+    ws.v.clear();
+    ws.v.resize(m + 1, 0.0);
+    ws.p.clear();
+    ws.p.resize(m + 1, 0);
+    ws.way.clear();
+    ws.way.resize(m + 1, 0);
+    ws.minv.resize(m + 1, INF);
+    ws.used.resize(m + 1, false);
+
+    for i in 1..=n {
+        ws.p[0] = i;
+        let mut j0 = 0usize;
+        for j in 0..=m {
+            ws.minv[j] = INF;
+            ws.used[j] = false;
+        }
+        loop {
+            ws.used[j0] = true;
+            let i0 = ws.p[j0];
+            let mut delta = INF;
+            let mut j1 = 0usize;
+            for j in 1..=m {
+                if ws.used[j] {
+                    continue;
+                }
+                let cur = cost.get(i0 - 1, j - 1) - ws.u[i0] - ws.v[j];
+                if cur < ws.minv[j] {
+                    ws.minv[j] = cur;
+                    ws.way[j] = j0;
+                }
+                if ws.minv[j] < delta {
+                    delta = ws.minv[j];
+                    j1 = j;
+                }
+            }
+            debug_assert!(delta.is_finite(), "no augmenting path found");
+            for j in 0..=m {
+                if ws.used[j] {
+                    ws.u[ws.p[j]] += delta;
+                    ws.v[j] -= delta;
+                } else {
+                    ws.minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if ws.p[j0] == 0 {
+                break;
+            }
+        }
+        loop {
+            let j1 = ws.way[j0];
+            ws.p[j0] = ws.p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut row_to_col = vec![usize::MAX; n];
+    for j in 1..=m {
+        if ws.p[j] != 0 {
+            row_to_col[ws.p[j] - 1] = j - 1;
+        }
+    }
+    let total = row_to_col
+        .iter()
+        .enumerate()
+        .map(|(i, &j)| cost.get(i, j))
+        .sum();
+    Assignment { row_to_col, cost: total }
+}
+
+/// Solve the min-cost assignment problem: match every row to a distinct
+/// column minimizing total cost. Requires `rows ≤ cols`.
+pub fn solve(cost: &CostMatrix) -> Assignment {
+    let n = cost.rows();
+    let m = cost.cols();
+    const INF: f64 = f64::INFINITY;
+
+    // 1-based arrays in the classical formulation; p[j] = row matched to
+    // column j (0 = none), u/v = dual potentials.
+    let mut u = vec![0.0f64; n + 1];
+    let mut v = vec![0.0f64; m + 1];
+    let mut p = vec![0usize; m + 1];
+    let mut way = vec![0usize; m + 1];
+
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![INF; m + 1];
+        let mut used = vec![false; m + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = INF;
+            let mut j1 = 0usize;
+            for j in 1..=m {
+                if used[j] {
+                    continue;
+                }
+                let cur = cost.get(i0 - 1, j - 1) - u[i0] - v[j];
+                if cur < minv[j] {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if minv[j] < delta {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            debug_assert!(delta.is_finite(), "no augmenting path found");
+            for j in 0..=m {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        // Unwind the alternating path.
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut row_to_col = vec![usize::MAX; n];
+    for j in 1..=m {
+        if p[j] != 0 {
+            row_to_col[p[j] - 1] = j - 1;
+        }
+    }
+    let total = row_to_col
+        .iter()
+        .enumerate()
+        .map(|(i, &j)| cost.get(i, j))
+        .sum();
+    Assignment { row_to_col, cost: total }
+}
+
+/// Brute-force assignment by enumerating all `cols! / (cols-rows)!`
+/// injections — exponential; only for validating [`solve`] on small
+/// instances and for the paper's "all k! permutations" baseline.
+pub fn solve_brute_force(cost: &CostMatrix) -> Assignment {
+    let n = cost.rows();
+    let m = cost.cols();
+    assert!(m <= 10, "brute force limited to 10 columns");
+    let mut best_cost = f64::INFINITY;
+    let mut best: Vec<usize> = Vec::new();
+    let mut current = vec![usize::MAX; n];
+    let mut used = vec![false; m];
+
+    fn rec(
+        i: usize,
+        n: usize,
+        m: usize,
+        cost: &CostMatrix,
+        current: &mut Vec<usize>,
+        used: &mut Vec<bool>,
+        acc: f64,
+        best_cost: &mut f64,
+        best: &mut Vec<usize>,
+    ) {
+        if i == n {
+            if acc < *best_cost {
+                *best_cost = acc;
+                *best = current.clone();
+            }
+            return;
+        }
+        for j in 0..m {
+            if !used[j] {
+                used[j] = true;
+                current[i] = j;
+                rec(i + 1, n, m, cost, current, used, acc + cost.get(i, j), best_cost, best);
+                used[j] = false;
+            }
+        }
+    }
+
+    rec(0, n, m, cost, &mut current, &mut used, 0.0, &mut best_cost, &mut best);
+    Assignment { row_to_col: best, cost: best_cost }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn tiny_known_instance() {
+        // Classic 3x3 example.
+        let c = CostMatrix::from_fn(3, 3, |i, j| {
+            [[4.0, 1.0, 3.0], [2.0, 0.0, 5.0], [3.0, 2.0, 2.0]][i][j]
+        });
+        let a = solve(&c);
+        assert_eq!(a.cost, 5.0);
+        assert_eq!(a.row_to_col, vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn rectangular_instance_picks_cheap_columns() {
+        // 2 rows, 4 cols: rows should pick their cheapest distinct columns.
+        let c = CostMatrix::from_fn(2, 4, |i, j| ((i + 1) * (j + 1)) as f64);
+        let a = solve(&c);
+        // Row 0 cost = j+1, row 1 cost = 2(j+1); optimum: row1 -> col0 (2), row0 -> col1 (2).
+        assert_eq!(a.cost, 4.0);
+        assert_eq!(a.row_to_col[1], 0);
+        assert_eq!(a.row_to_col[0], 1);
+    }
+
+    #[test]
+    fn assignment_is_a_valid_injection() {
+        let c = CostMatrix::from_fn(5, 7, |i, j| ((i * 31 + j * 17) % 13) as f64);
+        let a = solve(&c);
+        let mut seen = std::collections::HashSet::new();
+        for &j in &a.row_to_col {
+            assert!(j < 7);
+            assert!(seen.insert(j), "column used twice");
+        }
+    }
+
+    #[test]
+    fn negative_costs_are_supported() {
+        let c = CostMatrix::from_fn(2, 2, |i, j| if i == j { -5.0 } else { 1.0 });
+        let a = solve(&c);
+        assert_eq!(a.cost, -10.0);
+        assert_eq!(a.row_to_col, vec![0, 1]);
+    }
+
+    #[test]
+    fn single_row() {
+        let c = CostMatrix::from_fn(1, 5, |_, j| (5 - j) as f64);
+        let a = solve(&c);
+        assert_eq!(a.row_to_col, vec![4]);
+        assert_eq!(a.cost, 1.0);
+    }
+
+    #[test]
+    fn workspace_solver_matches_allocating_solver() {
+        let mut ws = Workspace::default();
+        // Solve a series of differently-sized instances with one
+        // workspace; results must match the reference solver each time.
+        for (rows, cols, seed) in [(3usize, 3usize, 1u64), (5, 8, 2), (2, 2, 3), (7, 7, 4)] {
+            let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15);
+            let mut next = move || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (state >> 33) as f64 / 1e6
+            };
+            let c = CostMatrix::from_fn(rows, cols, |_, _| next());
+            let a = solve(&c);
+            let b = solve_with(&c, &mut ws);
+            assert!((a.cost - b.cost).abs() < 1e-9);
+            assert_eq!(a.row_to_col, b.row_to_col);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn workspace_reuse_is_sound(
+            vals in proptest::collection::vec(0.0f64..50.0, 36),
+            vals2 in proptest::collection::vec(0.0f64..50.0, 12),
+        ) {
+            let mut ws = Workspace::default();
+            // Big instance first, then a smaller one: stale buffer
+            // contents must not leak into the second solve.
+            let big = CostMatrix::from_fn(6, 6, |i, j| vals[i * 6 + j]);
+            let _ = solve_with(&big, &mut ws);
+            let small = CostMatrix::from_fn(3, 4, |i, j| vals2[i * 4 + j]);
+            let a = solve_with(&small, &mut ws);
+            let b = solve(&small);
+            prop_assert!((a.cost - b.cost).abs() < 1e-9);
+        }
+
+        #[test]
+        fn matches_brute_force_square(vals in proptest::collection::vec(0.0f64..100.0, 25)) {
+            let c = CostMatrix::from_fn(5, 5, |i, j| vals[i * 5 + j]);
+            let fast = solve(&c);
+            let slow = solve_brute_force(&c);
+            prop_assert!((fast.cost - slow.cost).abs() < 1e-9,
+                "fast {} vs brute {}", fast.cost, slow.cost);
+        }
+
+        #[test]
+        fn matches_brute_force_rectangular(vals in proptest::collection::vec(-50.0f64..50.0, 24)) {
+            let c = CostMatrix::from_fn(4, 6, |i, j| vals[i * 6 + j]);
+            let fast = solve(&c);
+            let slow = solve_brute_force(&c);
+            prop_assert!((fast.cost - slow.cost).abs() < 1e-9);
+        }
+
+        #[test]
+        fn permutation_invariance(vals in proptest::collection::vec(0.0f64..10.0, 16)) {
+            // Shuffling rows must not change the optimal cost.
+            let c = CostMatrix::from_fn(4, 4, |i, j| vals[i * 4 + j]);
+            let perm = [2usize, 0, 3, 1];
+            let cp = CostMatrix::from_fn(4, 4, |i, j| vals[perm[i] * 4 + j]);
+            prop_assert!((solve(&c).cost - solve(&cp).cost).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! # vsim-setdist — distances on feature vectors and vector sets
+//!
+//! This crate implements Section 4 of the paper: the *minimal matching
+//! distance* on sets of feature vectors (Definition 6), its efficient
+//! `O(k³)` computation via the Kuhn–Munkres (Hungarian) algorithm, the
+//! *minimum Euclidean distance under permutation* of the one-vector model
+//! (Definition 4) derived from it, the *extended centroid* filter
+//! (Definitions 7/8, Lemma 2), and the comparison distances of
+//! Eiter & Mannila's survey (Hausdorff, sum of minimum distances,
+//! surjection, fair surjection, link) plus the netflow distance the
+//! matching distance specializes.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use vsim_setdist::{VectorSet, matching::MinimalMatching, lp::Euclidean};
+//!
+//! let mut x = VectorSet::new(2);
+//! x.push(&[0.0, 0.0]);
+//! x.push(&[1.0, 0.0]);
+//! let mut y = VectorSet::new(2);
+//! y.push(&[1.0, 0.0]);
+//! y.push(&[0.0, 0.1]);
+//!
+//! // Vector set model distance: Euclidean point distance, weight = norm.
+//! let mm = MinimalMatching::vector_set_model();
+//! let d = mm.distance(&x, &y);
+//! assert!((d.cost - 0.1).abs() < 1e-12); // matches 0↔1, 1↔0
+//! ```
+
+pub mod centroid;
+pub mod flow;
+pub mod hungarian;
+pub mod lp;
+pub mod matching;
+pub mod metric;
+pub mod setdists;
+pub mod types;
+
+pub use centroid::{centroid_lower_bound, extended_centroid};
+pub use matching::{MatchOutcome, MinimalMatching};
+pub use metric::Distance;
+pub use types::VectorSet;

@@ -1,0 +1,80 @@
+//! The distance abstraction shared by indexes, query processing and
+//! clustering, plus helpers for checking metric axioms in tests.
+
+/// A distance function on `T`.
+///
+/// Implementations that satisfy the metric axioms (non-negativity,
+/// identity of indiscernibles, symmetry, triangle inequality) may be used
+/// with metric access methods such as the M-tree; the minimal matching
+/// distance is a metric when its point distance is a metric and its
+/// weight function satisfies Lemma 1.
+pub trait Distance<T: ?Sized>: Send + Sync {
+    fn distance(&self, a: &T, b: &T) -> f64;
+}
+
+impl<T: ?Sized, F> Distance<T> for F
+where
+    F: Fn(&T, &T) -> f64 + Send + Sync,
+{
+    fn distance(&self, a: &T, b: &T) -> f64 {
+        self(a, b)
+    }
+}
+
+/// Check the metric axioms on a sample of objects; returns the first
+/// violation as an error string. Intended for tests (exhaustive over the
+/// sample, O(n³) triangle checks).
+pub fn check_metric_axioms<T, D: Distance<T>>(d: &D, sample: &[T], tol: f64) -> Result<(), String> {
+    for (i, a) in sample.iter().enumerate() {
+        let self_d = d.distance(a, a);
+        if self_d.abs() > tol {
+            return Err(format!("d(x{i}, x{i}) = {self_d} != 0"));
+        }
+        for (j, b) in sample.iter().enumerate() {
+            let ab = d.distance(a, b);
+            if ab < -tol {
+                return Err(format!("d(x{i}, x{j}) = {ab} < 0"));
+            }
+            let ba = d.distance(b, a);
+            if (ab - ba).abs() > tol {
+                return Err(format!("asymmetry: d(x{i},x{j})={ab} vs d(x{j},x{i})={ba}"));
+            }
+            for (k, c) in sample.iter().enumerate() {
+                let ac = d.distance(a, c);
+                let cb = d.distance(c, b);
+                if ab > ac + cb + tol {
+                    return Err(format!(
+                        "triangle violation: d(x{i},x{j})={ab} > d(x{i},x{k})+d(x{k},x{j})={}",
+                        ac + cb
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closure_implements_distance() {
+        let d = |a: &f64, b: &f64| (a - b).abs();
+        assert_eq!(d.distance(&3.0, &5.0), 2.0);
+    }
+
+    #[test]
+    fn absolute_difference_is_a_metric() {
+        let d = |a: &f64, b: &f64| (a - b).abs();
+        let sample = [0.0, 1.0, -3.5, 10.0, 2.25];
+        check_metric_axioms(&d, &sample, 1e-12).unwrap();
+    }
+
+    #[test]
+    fn squared_difference_violates_triangle() {
+        let d = |a: &f64, b: &f64| (a - b) * (a - b);
+        let sample = [0.0, 1.0, 2.0];
+        assert!(check_metric_axioms(&d, &sample, 1e-12).is_err());
+    }
+}

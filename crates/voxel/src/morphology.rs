@@ -1,0 +1,233 @@
+//! Morphological operations and connected-component labeling on voxel
+//! grids — the cleanup toolbox for voxelized CAD data: closing seals
+//! rasterization pinholes, opening removes speckle, and component
+//! labeling separates accidentally-merged parts (or verifies that a
+//! part is a single solid before feature extraction).
+
+use crate::grid::VoxelGrid;
+
+/// 6-connected structuring element (face neighbors + center).
+const N6: [[isize; 3]; 7] = [
+    [0, 0, 0],
+    [1, 0, 0],
+    [-1, 0, 0],
+    [0, 1, 0],
+    [0, -1, 0],
+    [0, 0, 1],
+    [0, 0, -1],
+];
+
+/// Dilation with the 6-neighborhood: every voxel adjacent (or equal) to
+/// a set voxel becomes set.
+pub fn dilate(g: &VoxelGrid) -> VoxelGrid {
+    let [nx, ny, nz] = g.dims();
+    let mut out = VoxelGrid::new(nx, ny, nz);
+    for [x, y, z] in g.iter_set() {
+        for d in N6 {
+            let (qx, qy, qz) = (x as isize + d[0], y as isize + d[1], z as isize + d[2]);
+            if qx >= 0
+                && qy >= 0
+                && qz >= 0
+                && (qx as usize) < nx
+                && (qy as usize) < ny
+                && (qz as usize) < nz
+            {
+                out.set(qx as usize, qy as usize, qz as usize, true);
+            }
+        }
+    }
+    out
+}
+
+/// Erosion with the 6-neighborhood: a voxel survives only if all its
+/// face neighbors (voxels beyond the grid count as empty) are set.
+pub fn erode(g: &VoxelGrid) -> VoxelGrid {
+    let [nx, ny, nz] = g.dims();
+    let mut out = VoxelGrid::new(nx, ny, nz);
+    for [x, y, z] in g.iter_set() {
+        let ok = N6.iter().all(|d| {
+            g.get_i(x as isize + d[0], y as isize + d[1], z as isize + d[2])
+        });
+        if ok {
+            out.set(x, y, z, true);
+        }
+    }
+    out
+}
+
+/// Opening: erosion followed by dilation — removes speckle smaller than
+/// the structuring element while approximately preserving larger shapes.
+pub fn open(g: &VoxelGrid) -> VoxelGrid {
+    dilate(&erode(g))
+}
+
+/// Closing: dilation followed by erosion — fills pinholes and hairline
+/// cracks smaller than the structuring element.
+pub fn close(g: &VoxelGrid) -> VoxelGrid {
+    erode(&dilate(g))
+}
+
+/// 6-connected component labeling. Returns `(labels, count)` where
+/// `labels[(z*ny + y)*nx + x]` is the 1-based component id of a set
+/// voxel, 0 for empty voxels.
+pub fn connected_components(g: &VoxelGrid) -> (Vec<u32>, usize) {
+    let [nx, ny, nz] = g.dims();
+    let idx = |x: usize, y: usize, z: usize| (z * ny + y) * nx + x;
+    let mut labels = vec![0u32; nx * ny * nz];
+    let mut next = 0u32;
+    let mut stack = Vec::new();
+    for [sx, sy, sz] in g.iter_set() {
+        if labels[idx(sx, sy, sz)] != 0 {
+            continue;
+        }
+        next += 1;
+        labels[idx(sx, sy, sz)] = next;
+        stack.push([sx, sy, sz]);
+        while let Some([x, y, z]) = stack.pop() {
+            for d in &N6[1..] {
+                let (qx, qy, qz) = (x as isize + d[0], y as isize + d[1], z as isize + d[2]);
+                if qx < 0 || qy < 0 || qz < 0 {
+                    continue;
+                }
+                let (qx, qy, qz) = (qx as usize, qy as usize, qz as usize);
+                if qx < nx && qy < ny && qz < nz && g.get(qx, qy, qz) && labels[idx(qx, qy, qz)] == 0
+                {
+                    labels[idx(qx, qy, qz)] = next;
+                    stack.push([qx, qy, qz]);
+                }
+            }
+        }
+    }
+    (labels, next as usize)
+}
+
+/// Keep only the largest 6-connected component (a common cleanup before
+/// feature extraction: stray rasterization speckle must not contribute
+/// covers).
+pub fn largest_component(g: &VoxelGrid) -> VoxelGrid {
+    let [nx, ny, nz] = g.dims();
+    let (labels, count) = connected_components(g);
+    if count <= 1 {
+        return g.clone();
+    }
+    let mut sizes = vec![0usize; count + 1];
+    for &l in &labels {
+        sizes[l as usize] += 1;
+    }
+    sizes[0] = 0;
+    let best = sizes
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, &s)| s)
+        .map(|(i, _)| i as u32)
+        .unwrap();
+    let mut out = VoxelGrid::new(nx, ny, nz);
+    let idx = |x: usize, y: usize, z: usize| (z * ny + y) * nx + x;
+    for [x, y, z] in g.iter_set() {
+        if labels[idx(x, y, z)] == best {
+            out.set(x, y, z, true);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block(r: usize, min: [usize; 3], max: [usize; 3]) -> VoxelGrid {
+        let mut g = VoxelGrid::cubic(r);
+        for z in min[2]..max[2] {
+            for y in min[1]..max[1] {
+                for x in min[0]..max[0] {
+                    g.set(x, y, z, true);
+                }
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn closing_restores_a_block_opening_is_anti_extensive() {
+        let g = block(10, [3, 3, 3], [7, 7, 7]);
+        // A solid block is closed under the cross SE: closing restores it.
+        assert_eq!(close(&g), g);
+        // Opening with the cross SE rounds edges/corners: the result is a
+        // subset of the original that keeps the eroded core.
+        let o = open(&g);
+        let mut outside = o.clone();
+        outside.subtract(&g);
+        assert!(outside.is_empty(), "opening must not add voxels");
+        assert!(o.get(5, 5, 5));
+        assert!(o.count() >= erode(&g).count());
+    }
+
+    #[test]
+    fn erosion_shrinks_dilation_grows() {
+        let g = block(10, [3, 3, 3], [7, 7, 7]); // 4^3 = 64
+        assert_eq!(erode(&g).count(), 8); // 2^3 core
+        assert_eq!(dilate(&g).count(), 64 + 6 * 16); // + one face layer each
+    }
+
+    #[test]
+    fn closing_fills_a_pinhole() {
+        let mut g = block(10, [2, 2, 2], [8, 8, 8]);
+        g.set(5, 5, 5, false); // interior pinhole
+        let c = close(&g);
+        assert!(c.get(5, 5, 5));
+    }
+
+    #[test]
+    fn opening_removes_speckle() {
+        let mut g = block(12, [2, 2, 2], [8, 8, 8]);
+        g.set(11, 11, 11, true); // isolated speck
+        let o = open(&g);
+        assert!(!o.get(11, 11, 11));
+        assert!(o.get(5, 5, 5));
+    }
+
+    #[test]
+    fn components_are_counted_and_separated() {
+        let mut g = block(12, [0, 0, 0], [4, 4, 4]);
+        g.union_with(&block(12, [8, 8, 8], [12, 12, 12]));
+        g.set(6, 6, 6, true); // third, tiny component
+        let (labels, count) = connected_components(&g);
+        assert_eq!(count, 3);
+        // All voxels of the first block share one label.
+        let l0 = labels[(0 * 12 + 0) * 12 + 0];
+        assert!(l0 > 0);
+        assert_eq!(labels[(3 * 12 + 3) * 12 + 3], l0);
+        assert_ne!(labels[(9 * 12 + 9) * 12 + 9], l0);
+    }
+
+    #[test]
+    fn diagonal_contact_does_not_connect() {
+        // 6-connectivity: corner-touching blocks are separate components.
+        let mut g = VoxelGrid::cubic(4);
+        g.set(0, 0, 0, true);
+        g.set(1, 1, 1, true);
+        let (_, count) = connected_components(&g);
+        assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn largest_component_keeps_the_big_one() {
+        let mut g = block(12, [0, 0, 0], [6, 6, 6]);
+        g.union_with(&block(12, [9, 9, 9], [11, 11, 11]));
+        let l = largest_component(&g);
+        assert_eq!(l.count(), 216);
+        assert!(!l.get(9, 9, 9));
+        // Single-component input is returned unchanged.
+        let single = block(8, [1, 1, 1], [4, 4, 4]);
+        assert_eq!(largest_component(&single), single);
+    }
+
+    #[test]
+    fn empty_grid_morphology() {
+        let g = VoxelGrid::cubic(5);
+        assert!(dilate(&g).is_empty());
+        assert!(erode(&g).is_empty());
+        let (_, count) = connected_components(&g);
+        assert_eq!(count, 0);
+    }
+}

@@ -1,0 +1,145 @@
+//! 3-D inclusive prefix sums over voxel grids.
+//!
+//! The greedy cover-sequence search (Section 3.3.3) evaluates, for every
+//! candidate axis-parallel cuboid, how many object / approximation voxels
+//! it contains. With a prefix-sum volume table each such count is O(1)
+//! (8-corner inclusion–exclusion), which is what makes the exhaustive
+//! search over all `O(r⁶)` cuboids of an `r³` grid tractable.
+
+use crate::grid::VoxelGrid;
+
+/// Summed-volume table over a [`VoxelGrid`].
+#[derive(Debug, Clone)]
+pub struct PrefixSum3d {
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    /// `(nx+1)·(ny+1)·(nz+1)` table; entry `(x, y, z)` is the number of
+    /// set voxels in `[0, x) × [0, y) × [0, z)`.
+    sums: Vec<u32>,
+}
+
+impl PrefixSum3d {
+    pub fn build(grid: &VoxelGrid) -> Self {
+        let [nx, ny, nz] = grid.dims();
+        let (sx, sy) = (nx + 1, ny + 1);
+        let mut sums = vec![0u32; (nx + 1) * (ny + 1) * (nz + 1)];
+        let at = |x: usize, y: usize, z: usize| (z * sy + y) * sx + x;
+        for z in 1..=nz {
+            for y in 1..=ny {
+                let mut row = 0u32;
+                for x in 1..=nx {
+                    row += grid.get(x - 1, y - 1, z - 1) as u32;
+                    sums[at(x, y, z)] =
+                        row + sums[at(x, y, z - 1)] + sums[at(x, y - 1, z)]
+                            - sums[at(x, y - 1, z - 1)];
+                }
+            }
+        }
+        PrefixSum3d { nx, ny, nz, sums }
+    }
+
+    #[inline]
+    fn at(&self, x: usize, y: usize, z: usize) -> u32 {
+        self.sums[(z * (self.ny + 1) + y) * (self.nx + 1) + x]
+    }
+
+    /// Number of set voxels in the half-open box
+    /// `[x0, x1) × [y0, y1) × [z0, z1)`.
+    #[inline]
+    pub fn box_count(&self, x0: usize, x1: usize, y0: usize, y1: usize, z0: usize, z1: usize) -> u32 {
+        debug_assert!(x0 <= x1 && x1 <= self.nx);
+        debug_assert!(y0 <= y1 && y1 <= self.ny);
+        debug_assert!(z0 <= z1 && z1 <= self.nz);
+        self.at(x1, y1, z1)
+            .wrapping_sub(self.at(x0, y1, z1))
+            .wrapping_sub(self.at(x1, y0, z1))
+            .wrapping_sub(self.at(x1, y1, z0))
+            .wrapping_add(self.at(x0, y0, z1))
+            .wrapping_add(self.at(x0, y1, z0))
+            .wrapping_add(self.at(x1, y0, z0))
+            .wrapping_sub(self.at(x0, y0, z0))
+    }
+
+    /// Total number of set voxels.
+    pub fn total(&self) -> u32 {
+        self.at(self.nx, self.ny, self.nz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute_count(
+        g: &VoxelGrid,
+        x0: usize,
+        x1: usize,
+        y0: usize,
+        y1: usize,
+        z0: usize,
+        z1: usize,
+    ) -> u32 {
+        let mut n = 0;
+        for z in z0..z1 {
+            for y in y0..y1 {
+                for x in x0..x1 {
+                    n += g.get(x, y, z) as u32;
+                }
+            }
+        }
+        n
+    }
+
+    #[test]
+    fn matches_brute_force_on_pseudo_random_grid() {
+        // Deterministic pseudo-random fill (LCG) — no rand dependency here.
+        let mut g = VoxelGrid::new(7, 9, 5);
+        let mut state = 0x2545f4914f6cdd1du64;
+        for z in 0..5 {
+            for y in 0..9 {
+                for x in 0..7 {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    if state >> 62 == 0 {
+                        g.set(x, y, z, true);
+                    }
+                }
+            }
+        }
+        let ps = PrefixSum3d::build(&g);
+        assert_eq!(ps.total() as usize, g.count());
+        for (x0, x1, y0, y1, z0, z1) in [
+            (0, 7, 0, 9, 0, 5),
+            (1, 3, 2, 8, 1, 4),
+            (0, 1, 0, 1, 0, 1),
+            (3, 3, 4, 5, 2, 3), // empty x-range
+            (2, 7, 0, 9, 4, 5),
+        ] {
+            assert_eq!(
+                ps.box_count(x0, x1, y0, y1, z0, z1),
+                brute_count(&g, x0, x1, y0, y1, z0, z1),
+                "box ({x0},{x1})x({y0},{y1})x({z0},{z1})"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_and_full() {
+        let g = VoxelGrid::cubic(4);
+        let ps = PrefixSum3d::build(&g);
+        assert_eq!(ps.total(), 0);
+        assert_eq!(ps.box_count(0, 4, 0, 4, 0, 4), 0);
+
+        let mut f = VoxelGrid::cubic(4);
+        for z in 0..4 {
+            for y in 0..4 {
+                for x in 0..4 {
+                    f.set(x, y, z, true);
+                }
+            }
+        }
+        let ps = PrefixSum3d::build(&f);
+        assert_eq!(ps.total(), 64);
+        assert_eq!(ps.box_count(1, 3, 1, 3, 1, 3), 8);
+    }
+}

@@ -1,0 +1,149 @@
+//! Cross-crate integration of the query stack on realistic (datagen)
+//! vector sets: filter/refine vs. sequential scan vs. M-tree, plus the
+//! invariance-aware query pattern of Section 3.2 (48 query permutations
+//! at runtime).
+
+use std::sync::Arc;
+use vsim_core::prelude::*;
+use vsim_features::cover::transform_vector_set;
+use vsim_geom::Mat3;
+
+fn aircraft_sets(n: usize, k: usize, seed: u64) -> (Vec<VectorSet>, Vec<usize>) {
+    let data = aircraft_dataset(seed, n);
+    let labels = data.labels();
+    let processed = ProcessedDataset::build(data, k);
+    (processed.vector_sets(k), labels)
+}
+
+#[test]
+fn filter_refine_equals_scan_on_real_data() {
+    let (sets, _) = aircraft_sets(300, 7, 9);
+    let filter = FilterRefineIndex::build(&sets, 6, 7);
+    let scan = SequentialScanIndex::build(&sets);
+    for q in [0usize, 50, 123, 299] {
+        let (a, sa) = filter.knn(&sets[q], 10);
+        let (b, _) = scan.knn(&sets[q], 10);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x.1 - y.1).abs() < 1e-9, "query {q}");
+        }
+        assert!(sa.refinements < sets.len(), "filter must prune");
+    }
+}
+
+#[test]
+fn mtree_on_matching_distance_equals_scan() {
+    let (sets, _) = aircraft_sets(200, 5, 10);
+    let mm = MinimalMatching::vector_set_model();
+    let dist: Arc<dyn vsim_setdist::Distance<VectorSet>> = Arc::new(mm.clone());
+    let mut mtree: MTree<VectorSet> = MTree::new(dist, 16, 344, IoStats::new());
+    for (i, s) in sets.iter().enumerate() {
+        mtree.insert(s.clone(), i as u64);
+    }
+    let scan = SequentialScanIndex::build(&sets);
+    for q in [3usize, 77, 150] {
+        let got = mtree.knn(&sets[q], 8);
+        let (want, _) = scan.knn(&sets[q], 8);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g.1 - w.1).abs() < 1e-9, "query {q}: {g:?} vs {w:?}");
+        }
+    }
+    // Metric pruning must beat the trivial bound of evaluating the
+    // routing objects of every node plus every leaf entry.
+    let before = mtree.distance_computations();
+    let _ = mtree.knn(&sets[0], 5);
+    let used = mtree.distance_computations() - before;
+    assert!((used as usize) < 2 * sets.len());
+}
+
+#[test]
+fn range_queries_agree_across_paths() {
+    let (sets, _) = aircraft_sets(250, 7, 11);
+    let filter = FilterRefineIndex::build(&sets, 6, 7);
+    let scan = SequentialScanIndex::build(&sets);
+    let mm = MinimalMatching::vector_set_model();
+    for q in [5usize, 99] {
+        for eps in [0.1, 0.3, 0.8] {
+            let (a, _) = filter.range_query(&sets[q], eps);
+            let (b, _) = scan.range_query(&sets[q], eps);
+            let ids = |v: &[(u64, f64)]| {
+                v.iter().map(|(i, _)| *i).collect::<std::collections::BTreeSet<_>>()
+            };
+            assert_eq!(ids(&a), ids(&b), "eps {eps} query {q}");
+            // Every reported distance is correct.
+            for (id, d) in &a {
+                let exact = mm.distance_value(&sets[q], &sets[*id as usize]);
+                assert!((d - exact).abs() < 1e-9);
+            }
+        }
+    }
+}
+
+#[test]
+fn knn_neighbors_are_mostly_same_family() {
+    // Effectiveness smoke test: most of the 5 nearest neighbors of a
+    // part belong to its own family.
+    let (sets, labels) = aircraft_sets(400, 7, 12);
+    let filter = FilterRefineIndex::build(&sets, 6, 7);
+    let mut hits = 0usize;
+    let mut total = 0usize;
+    for q in (0..400).step_by(23) {
+        let (res, _) = filter.knn(&sets[q], 6);
+        for (id, _) in res.iter().skip(1) {
+            // skip the query itself
+            total += 1;
+            if labels[*id as usize] == labels[q] {
+                hits += 1;
+            }
+        }
+    }
+    let frac = hits as f64 / total as f64;
+    assert!(frac > 0.6, "only {frac:.2} of neighbors share the query family");
+}
+
+#[test]
+fn invariant_queries_via_48_runtime_permutations() {
+    // Section 3.2: "carrying out 48 different permutations of the query
+    // object at runtime". A rotated query still finds its original.
+    let (sets, _) = aircraft_sets(150, 7, 13);
+    let filter = FilterRefineIndex::build(&sets, 6, 7);
+    let target = 42usize;
+    let rot = Mat3::cube_rotations()[9];
+    let rotated_query = transform_vector_set(&sets[target], &rot);
+
+    // Without invariance handling, the rotated query may miss.
+    // With the 48-permutation merge, the original is the top hit.
+    let mut best: Option<(u64, f64)> = None;
+    for m in Mat3::cube_symmetries() {
+        let tq = transform_vector_set(&rotated_query, &m);
+        let (hits, _) = filter.knn(&tq, 1);
+        if let Some(h) = hits.first() {
+            if best.map_or(true, |b| h.1 < b.1) {
+                best = Some(*h);
+            }
+        }
+    }
+    let (id, d) = best.unwrap();
+    assert_eq!(id, target as u64);
+    assert!(d < 1e-9, "rotated query should match its original exactly");
+}
+
+#[test]
+fn centroid_filter_bound_holds_on_real_data() {
+    // Lemma 2 on datagen vector sets: no false dismissals possible.
+    let (sets, _) = aircraft_sets(120, 7, 14);
+    let mm = MinimalMatching::vector_set_model();
+    let omega = vec![0.0; 6];
+    for i in (0..sets.len()).step_by(7) {
+        let ci = extended_centroid(&sets[i], 7, &omega);
+        for j in (0..sets.len()).step_by(11) {
+            let cj = extended_centroid(&sets[j], 7, &omega);
+            let lb = centroid_lower_bound(&ci, &cj, 7);
+            let exact = mm.distance_value(&sets[i], &sets[j]);
+            assert!(
+                lb <= exact + 1e-9,
+                "Lemma 2 violated for ({i},{j}): {lb} > {exact}"
+            );
+        }
+    }
+}

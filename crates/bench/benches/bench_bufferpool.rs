@@ -1,0 +1,113 @@
+//! Buffer-pool behavior under the paper's access paths: cold per-query
+//! pools (every page fault charged, the Table 2 accounting) vs. a shared
+//! warm pool (capacity ≥ working set ⇒ repeat queries issue zero
+//! simulated page costs). Also measures the pool's raw access overhead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::prelude::*;
+use std::sync::Arc;
+use vsim_index::{BufferPool, InMemoryPageStore, IoTracker, PageStore, QueryContext};
+use vsim_query::{FilterRefineIndex, QueryExecutor};
+use vsim_setdist::VectorSet;
+
+fn random_sets(n: usize, k: usize, seed: u64) -> Vec<VectorSet> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let card = rng.gen_range(1..=k);
+            let mut s = VectorSet::new(6);
+            for _ in 0..card {
+                let v: Vec<f64> = (0..6).map(|_| rng.gen_range(0.05..1.0)).collect();
+                s.push(&v);
+            }
+            s
+        })
+        .collect()
+}
+
+/// Raw pool overhead: hit and miss paths on a synthetic page stream.
+fn bench_pool_access(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bufferpool_access");
+    g.sample_size(30);
+    let store = InMemoryPageStore::new();
+    store.allocate(1024);
+
+    g.bench_function("hits_resident_working_set", |b| {
+        let pool = BufferPool::new(256);
+        let tracker = IoTracker::default();
+        for p in 0..256u64 {
+            pool.access(store.id(), p, 1, &tracker);
+        }
+        let mut p = 0u64;
+        b.iter(|| {
+            p = (p + 37) % 256;
+            pool.access(store.id(), p, 1, &tracker)
+        })
+    });
+
+    g.bench_function("misses_streaming_evictions", |b| {
+        let pool = BufferPool::new(64);
+        let tracker = IoTracker::default();
+        let mut p = 0u64;
+        b.iter(|| {
+            p = (p + 1) % 1024; // working set ≫ capacity: always a miss
+            pool.access(store.id(), p, 1, &tracker)
+        })
+    });
+    g.finish();
+}
+
+/// k-NN through cold vs. warm pools; warm repeats must charge zero pages.
+fn bench_knn_cold_vs_warm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bufferpool_knn");
+    g.sample_size(20);
+    let sets = random_sets(1000, 5, 77);
+    let idx = FilterRefineIndex::build(&sets, 6, 5);
+
+    g.bench_function("cold_per_query_pool", |b| {
+        let mut qi = 0usize;
+        b.iter(|| {
+            qi = (qi + 13) % sets.len();
+            idx.knn(&sets[qi], 10)
+        })
+    });
+
+    g.bench_function("warm_shared_pool", |b| {
+        let pool = BufferPool::unbounded();
+        // Prime the pool: an exhaustive k-NN touches every tree node and
+        // every heap-file record, so repeat queries can only hit.
+        let prime = QueryContext::with_pool(Arc::clone(&pool));
+        let _ = idx.knn_with(&sets[0], sets.len(), &prime);
+        let mut qi = 0usize;
+        b.iter(|| {
+            qi = (qi + 13) % sets.len();
+            let ctx = QueryContext::with_pool(Arc::clone(&pool));
+            let r = idx.knn_with(&sets[qi], 10, &ctx);
+            let s = ctx.stats(std::time::Duration::ZERO);
+            assert_eq!(s.io.pages, 0, "warm pool must charge zero page costs");
+            r
+        })
+    });
+    g.finish();
+}
+
+/// Batched executor throughput across pool policies.
+fn bench_executor_batch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bufferpool_executor_batch");
+    g.sample_size(10);
+    let sets = random_sets(1000, 5, 78);
+    let idx = FilterRefineIndex::build(&sets, 6, 5);
+    let queries: Vec<VectorSet> = (0..32).map(|i| sets[i * 31].clone()).collect();
+
+    for (name, ex) in
+        [("cold", QueryExecutor::cold()), ("warm_shared", QueryExecutor::shared_unbounded())]
+    {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, _| {
+            b.iter(|| ex.batch_knn(&idx, &queries, 10))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_pool_access, bench_knn_cold_vs_warm, bench_executor_batch);
+criterion_main!(benches);

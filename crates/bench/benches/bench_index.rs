@@ -5,15 +5,13 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::prelude::*;
 use std::sync::Arc;
-use vsim_index::{IoStats, MTree, XTree};
+use vsim_index::{MTree, QueryContext, XTree};
 use vsim_setdist::matching::MinimalMatching;
 use vsim_setdist::{Distance, VectorSet};
 
 fn random_points(n: usize, dim: usize, seed: u64) -> Vec<Vec<f64>> {
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..n)
-        .map(|_| (0..dim).map(|_| rng.gen_range(0.0..1.0)).collect())
-        .collect()
+    (0..n).map(|_| (0..dim).map(|_| rng.gen_range(0.0..1.0)).collect()).collect()
 }
 
 fn bench_xtree_dimensionality(c: &mut Criterion) {
@@ -22,7 +20,7 @@ fn bench_xtree_dimensionality(c: &mut Criterion) {
     let n = 2000;
     for dim in [2usize, 6, 12, 42] {
         let pts = random_points(n, dim, dim as u64);
-        let mut tree = XTree::new(dim, IoStats::new());
+        let mut tree = XTree::new(dim);
         for (i, p) in pts.iter().enumerate() {
             tree.insert(p, i as u64);
         }
@@ -30,7 +28,7 @@ fn bench_xtree_dimensionality(c: &mut Criterion) {
             let mut qi = 0usize;
             b.iter(|| {
                 qi = (qi + 31) % n;
-                tree.knn(&pts[qi], 10)
+                tree.knn(&pts[qi], 10, &QueryContext::ephemeral())
             })
         });
     }
@@ -44,7 +42,7 @@ fn bench_xtree_build(c: &mut Criterion) {
         let pts = random_points(2000, dim, 7);
         g.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |b, &dim| {
             b.iter(|| {
-                let mut tree = XTree::new(dim, IoStats::new());
+                let mut tree = XTree::new(dim);
                 for (i, p) in pts.iter().enumerate() {
                     tree.insert(p, i as u64);
                 }
@@ -71,7 +69,7 @@ fn bench_mtree_vector_sets(c: &mut Criterion) {
         })
         .collect();
     let dist: Arc<dyn Distance<VectorSet>> = Arc::new(MinimalMatching::vector_set_model());
-    let mut tree = MTree::new(dist, 16, 344, IoStats::new());
+    let mut tree = MTree::new(dist, 16, 344);
     for (i, s) in sets.iter().enumerate() {
         tree.insert(s.clone(), i as u64);
     }
@@ -79,16 +77,11 @@ fn bench_mtree_vector_sets(c: &mut Criterion) {
         let mut qi = 0usize;
         b.iter(|| {
             qi = (qi + 17) % sets.len();
-            tree.knn(&sets[qi], 10)
+            tree.knn(&sets[qi], 10, &QueryContext::ephemeral())
         })
     });
     g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_xtree_dimensionality,
-    bench_xtree_build,
-    bench_mtree_vector_sets
-);
+criterion_group!(benches, bench_xtree_dimensionality, bench_xtree_build, bench_mtree_vector_sets);
 criterion_main!(benches);

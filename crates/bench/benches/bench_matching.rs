@@ -29,7 +29,11 @@ fn bench_kuhn_munkres_vs_brute(c: &mut Criterion) {
         });
         g.bench_with_input(BenchmarkId::new("brute_force_k_factorial", k), &k, |bench, _| {
             bench.iter(|| {
-                brute_force_matching_distance(&mm, std::hint::black_box(&a), std::hint::black_box(&b))
+                brute_force_matching_distance(
+                    &mm,
+                    std::hint::black_box(&a),
+                    std::hint::black_box(&b),
+                )
             })
         });
     }

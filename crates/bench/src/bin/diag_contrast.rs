@@ -21,10 +21,7 @@ fn main() {
         SimilarityModel::vector_set(7),
         SimilarityModel::vector_set(9),
     ];
-    println!(
-        "{:36} {:>10} {:>10} {:>10} {:>8}",
-        "model", "intra", "inter", "contrast", "1NN-acc"
-    );
+    println!("{:36} {:>10} {:>10} {:>10} {:>8}", "model", "intra", "inter", "contrast", "1NN-acc");
     for model in &models {
         let reprs = p.representations(model);
         let mut intra = (0.0, 0usize);

@@ -25,11 +25,11 @@ fn main() {
     let mm = MinimalMatching::vector_set_model();
     let distances: Vec<(&str, DistFn)> = vec![
         ("minimal matching (paper)", Box::new(move |a, b| mm.distance_value(a, b))),
-        ("Hausdorff", Box::new(|a, b| setdists::hausdorff(a, b))),
-        ("sum of min distances", Box::new(|a, b| setdists::sum_of_min_distances(a, b))),
-        ("surjection", Box::new(|a, b| setdists::surjection(a, b))),
-        ("fair surjection", Box::new(|a, b| setdists::fair_surjection(a, b))),
-        ("link distance", Box::new(|a, b| setdists::link_distance(a, b))),
+        ("Hausdorff", Box::new(setdists::hausdorff)),
+        ("sum of min distances", Box::new(setdists::sum_of_min_distances)),
+        ("surjection", Box::new(setdists::surjection)),
+        ("fair surjection", Box::new(setdists::fair_surjection)),
+        ("link distance", Box::new(setdists::link_distance)),
     ];
 
     println!(

@@ -4,6 +4,9 @@
 //! filter efficiency (fraction of the database pruned without an exact
 //! distance computation).
 //!
+//! The per-(k, ε) query workloads run batched on the [`QueryExecutor`]
+//! with cold per-query buffer pools.
+//!
 //! `cargo run --release -p vsim-bench --bin exp_ablation_filter`
 
 use vsim_bench::processed_aircraft;
@@ -19,18 +22,16 @@ fn main() {
          {:>3} {:>8} {:>12} {:>12} {:>12} {:>10}",
         "k", "eps", "candidates", "results", "cand/result", "pruned"
     );
+    let ex = QueryExecutor::cold();
     for k in [3usize, 5, 7, 9] {
         let sets = p.vector_sets(k);
         let index = FilterRefineIndex::build(&sets, 6, k);
+        let queries: Vec<VectorSet> =
+            (0..n_queries).map(|qi| sets[(qi * 101) % n].clone()).collect();
         for eps in [0.1f64, 0.25, 0.5, 1.0] {
-            let mut cands = 0usize;
-            let mut results = 0usize;
-            for qi in 0..n_queries {
-                let q = (qi * 101) % n;
-                let (hits, stats) = index.range_query(&sets[q], eps);
-                cands += stats.refinements;
-                results += hits.len();
-            }
+            let batch = ex.batch_range(&index, &queries, eps);
+            let cands = batch.aggregate.refinements as usize;
+            let results: usize = batch.hits.iter().map(|h| h.len()).sum();
             let pruned = 1.0 - cands as f64 / (n * n_queries) as f64;
             println!(
                 "{:>3} {:>8.2} {:>12} {:>12} {:>12.1} {:>9.1}%",

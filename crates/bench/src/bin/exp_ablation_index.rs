@@ -4,13 +4,21 @@
 //! scan, across database sizes. Reports exact-distance computations,
 //! simulated I/O, and measured CPU per query.
 //!
+//! All three access paths run their query workload through the same
+//! [`QueryExecutor`] (cold per-query buffer pools), so the comparison is
+//! apples-to-apples down to the accounting.
+//!
 //! `cargo run --release -p vsim-bench --bin exp_ablation_index`
 //! (env: `AIRCRAFT_N` caps the largest size)
 
 use std::sync::Arc;
-use std::time::Instant;
 use vsim_core::prelude::*;
+use vsim_query::VectorSetQueries;
 use vsim_setdist::Distance;
+
+fn report(n: usize, name: &str, comps: u64, io: f64, cpu_ms: f64) {
+    println!("{:>6} {:20} {:>12} {:>12.2} {:>12.1}", n, name, comps, io, cpu_ms);
+}
 
 fn main() {
     let max_n = vsim_bench::aircraft_n().min(4000);
@@ -32,67 +40,46 @@ fn main() {
         let p = ProcessedDataset::build(data, k_covers);
         let sets = p.vector_sets(k_covers);
         let cm = CostModel::default();
+        let queries: Vec<VectorSet> =
+            (0..n_queries).map(|qi| sets[(qi * 53) % n].clone()).collect();
+        let ex = QueryExecutor::cold();
 
-        // Filter/refine.
+        // Filter/refine: distance computations = refinements.
         let filter = FilterRefineIndex::build(&sets, 6, k_covers);
-        let mut io = 0.0;
-        let mut comps = 0usize;
-        let t0 = Instant::now();
-        for qi in 0..n_queries {
-            let (_, s) = filter.knn(&sets[(qi * 53) % n], knn);
-            io += s.io_seconds(&cm);
-            comps += s.refinements;
-        }
-        println!(
-            "{:>6} {:20} {:>12} {:>12.2} {:>12.1}",
+        let b = ex.batch_knn(&filter, &queries, knn);
+        report(
             n,
             "centroid filter",
-            comps,
-            io,
-            t0.elapsed().as_secs_f64() * 1e3
+            b.aggregate.refinements,
+            b.aggregate.io_seconds(&cm),
+            b.aggregate.cpu.as_secs_f64() * 1e3,
         );
 
-        // M-tree directly on the metric.
-        let stats = IoStats::new();
-        let dist: Arc<dyn Distance<VectorSet>> =
-            Arc::new(MinimalMatching::vector_set_model());
-        let mut mtree: MTree<VectorSet> = MTree::new(dist, 16, 344, Arc::clone(&stats));
+        // M-tree directly on the metric: distance computations counted
+        // by the tree itself (routing + leaf evaluations).
+        let dist: Arc<dyn Distance<VectorSet>> = Arc::new(MinimalMatching::vector_set_model());
+        let mut mtree: MTree<VectorSet> = MTree::new(dist, 16, 344);
         for (i, s) in sets.iter().enumerate() {
             mtree.insert(s.clone(), i as u64);
         }
-        stats.reset();
-        let before = mtree.distance_computations();
-        let t0 = Instant::now();
-        for qi in 0..n_queries {
-            let _ = mtree.knn(&sets[(qi * 53) % n], knn);
-        }
-        let elapsed = t0.elapsed();
-        println!(
-            "{:>6} {:20} {:>12} {:>12.2} {:>12.1}",
+        let b = ex.run_batch(&queries, |q, ctx| mtree.knn_ctx(q, knn, ctx));
+        report(
             n,
             "M-tree",
-            mtree.distance_computations() - before,
-            cm.seconds(stats.snapshot()),
-            elapsed.as_secs_f64() * 1e3
+            b.aggregate.distance_evals,
+            b.aggregate.io_seconds(&cm),
+            b.aggregate.cpu.as_secs_f64() * 1e3,
         );
 
-        // Sequential scan.
+        // Sequential scan: one exact distance per object per query.
         let scan = SequentialScanIndex::build(&sets);
-        let mut io = 0.0;
-        let mut comps = 0usize;
-        let t0 = Instant::now();
-        for qi in 0..n_queries {
-            let (_, s) = scan.knn(&sets[(qi * 53) % n], knn);
-            io += s.io_seconds(&cm);
-            comps += s.refinements;
-        }
-        println!(
-            "{:>6} {:20} {:>12} {:>12.2} {:>12.1}",
+        let b = ex.batch_knn(&scan, &queries, knn);
+        report(
             n,
             "sequential scan",
-            comps,
-            io,
-            t0.elapsed().as_secs_f64() * 1e3
+            b.aggregate.refinements,
+            b.aggregate.io_seconds(&cm),
+            b.aggregate.cpu.as_secs_f64() * 1e3,
         );
     }
     println!(

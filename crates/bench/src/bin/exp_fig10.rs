@@ -17,7 +17,6 @@ use vsim_optics::{best_cut, cluster_tree, extract_clusters, Clustering, TreePara
 fn describe(tag: &str, c: &Clustering, labels: &[usize], names: &[&'static str]) -> (usize, f64) {
     println!("\n--- {tag}: {} clusters, {} noise ---", c.num_clusters(), c.noise.len());
     let mut families_found = std::collections::HashSet::new();
-    let mut impure = 0usize;
     for (ci, members) in c.clusters.iter().enumerate() {
         let mut counts = vec![0usize; names.len()];
         for &m in members {
@@ -28,19 +27,26 @@ fn describe(tag: &str, c: &Clustering, labels: &[usize], names: &[&'static str])
         if pure >= 0.5 {
             families_found.insert(top);
         }
-        if pure < 0.8 {
-            impure += 1;
-        }
         let comp: Vec<String> = counts
             .iter()
             .enumerate()
             .filter(|(_, &c)| c > 0)
             .map(|(l, &c)| format!("{}x{}", c, names[l]))
             .collect();
-        println!("  class {ci:2} ({:3} objs, {:3.0}% pure): {}", members.len(), 100.0 * pure, comp.join(", "));
+        println!(
+            "  class {ci:2} ({:3} objs, {:3.0}% pure): {}",
+            members.len(),
+            100.0 * pure,
+            comp.join(", ")
+        );
     }
     let purity = vsim_optics::purity(c, labels);
-    println!("  families recovered: {}/{}  overall purity {:.3}", families_found.len(), names.len(), purity);
+    println!(
+        "  families recovered: {}/{}  overall purity {:.3}",
+        families_found.len(),
+        names.len(),
+        purity
+    );
     (families_found.len(), purity)
 }
 
@@ -89,10 +95,7 @@ fn main() {
     }
 
     println!("\n=== Figure 10 summary (Car Dataset) ===");
-    println!(
-        "{:28} {:>10} {:>8} {:>8} {:>12}",
-        "model", "families", "purity", "F1", "pure nodes"
-    );
+    println!("{:28} {:>10} {:>8} {:>8} {:>12}", "model", "families", "purity", "F1", "pure nodes");
     for (tag, fams, purity, f1, meaningful) in &summary {
         println!(
             "{:28} {:>7}/{:<2} {:>8.3} {:>8.3} {:>12}",

@@ -14,7 +14,7 @@ fn main() {
     // matching the figure's structure.
     let mut rng = StdRng::seed_from_u64(5);
     let mut pts: Vec<[f64; 2]> = Vec::new();
-    let mut blob = |cx: f64, cy: f64, r: f64, n: usize, pts: &mut Vec<[f64; 2]>, rng: &mut StdRng| {
+    let blob = |cx: f64, cy: f64, r: f64, n: usize, pts: &mut Vec<[f64; 2]>, rng: &mut StdRng| {
         for _ in 0..n {
             pts.push([cx + rng.gen_range(-r..r), cy + rng.gen_range(-r..r)]);
         }

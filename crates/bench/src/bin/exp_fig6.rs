@@ -20,23 +20,21 @@ fn main() {
     let volume = SimilarityModel::volume(6);
     let solid = SimilarityModel::solid_angle(6, 3);
 
-    let mut rows = Vec::new();
-    rows.push((
-        "fig6a volume / car".to_string(),
-        figure_run(&car, &volume, "car", "fig6a_volume", 5),
-    ));
-    rows.push((
-        "fig6b volume / aircraft".to_string(),
-        figure_run(&air, &volume, "aircraft", "fig6b_volume", 5),
-    ));
-    rows.push((
-        "fig6c solid-angle / car".to_string(),
-        figure_run(&car, &solid, "car", "fig6c_solidangle", 5),
-    ));
-    rows.push((
-        "fig6d solid-angle / aircraft".to_string(),
-        figure_run(&air, &solid, "aircraft", "fig6d_solidangle", 5),
-    ));
+    let rows = vec![
+        ("fig6a volume / car".to_string(), figure_run(&car, &volume, "car", "fig6a_volume", 5)),
+        (
+            "fig6b volume / aircraft".to_string(),
+            figure_run(&air, &volume, "aircraft", "fig6b_volume", 5),
+        ),
+        (
+            "fig6c solid-angle / car".to_string(),
+            figure_run(&car, &solid, "car", "fig6c_solidangle", 5),
+        ),
+        (
+            "fig6d solid-angle / aircraft".to_string(),
+            figure_run(&air, &solid, "aircraft", "fig6d_solidangle", 5),
+        ),
+    ];
 
     print_quality_table(&rows);
     println!(

@@ -16,7 +16,10 @@ fn main() {
     let paper = [(3usize, 68.2), (5, 95.1), (7, 99.0), (9, 99.4)];
 
     println!("\n=== Table 1: percentage of proper permutations (OPTICS run, Car Dataset) ===");
-    println!("{:>12} {:>14} {:>14} {:>16}", "No. covers", "paper [%]", "measured [%]", "distance calcs");
+    println!(
+        "{:>12} {:>14} {:>14} {:>16}",
+        "No. covers", "paper [%]", "measured [%]", "distance calcs"
+    );
     let mut measured = Vec::new();
     for &(k, paper_pct) in &paper {
         // Re-slice the k_max = 9 sequences to k covers (prefix property).

@@ -36,10 +36,7 @@ pub fn car_n() -> usize {
 }
 
 pub fn aircraft_n() -> usize {
-    std::env::var("AIRCRAFT_N")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(5000)
+    std::env::var("AIRCRAFT_N").ok().and_then(|v| v.parse().ok()).unwrap_or(5000)
 }
 
 /// Where experiment CSVs land.

@@ -78,10 +78,7 @@ fn cmd_covers(args: &[String]) -> Result<(), String> {
     let mesh = load_mesh(path)?;
     let grid = voxelize_mesh(&mesh, 15, NormalizeMode::Uniform).grid;
     let seq = greedy_cover_sequence(&grid, k);
-    println!(
-        "greedy cover sequence (k = {k}) of {path}: initial error {}",
-        seq.errors[0]
-    );
+    println!("greedy cover sequence (k = {k}) of {path}: initial error {}", seq.errors[0]);
     for (i, u) in seq.units.iter().enumerate() {
         println!(
             "  C{} {} {:?}..{:?}  gain {}  err -> {}",
@@ -113,11 +110,8 @@ fn cmd_knn(args: &[String]) -> Result<(), String> {
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if a == "--k" {
-            k_results = it
-                .next()
-                .ok_or("--k needs a value")?
-                .parse()
-                .map_err(|_| "bad --k value")?;
+            k_results =
+                it.next().ok_or("--k needs a value")?.parse().map_err(|_| "bad --k value")?;
         } else {
             paths.push(a);
         }
@@ -133,10 +127,7 @@ fn cmd_knn(args: &[String]) -> Result<(), String> {
         Ok(model.extract(&voxelize_mesh(&mesh, 15, NormalizeMode::Uniform).grid))
     };
     let qset = extract(query_path)?;
-    let sets = db_paths
-        .iter()
-        .map(|p| extract(p))
-        .collect::<Result<Vec<_>, _>>()?;
+    let sets = db_paths.iter().map(|p| extract(p)).collect::<Result<Vec<_>, _>>()?;
 
     let index = FilterRefineIndex::build(&sets, 6, 7);
     let (hits, stats) = index.knn(&qset, k_results);
@@ -144,11 +135,7 @@ fn cmd_knn(args: &[String]) -> Result<(), String> {
     for (id, d) in hits {
         println!("  {:.6}  {}", d, db_paths[id as usize]);
     }
-    println!(
-        "(filter refined {} of {} objects)",
-        stats.refinements,
-        sets.len()
-    );
+    println!("(filter refined {} of {} objects)", stats.refinements, sets.len());
     Ok(())
 }
 
@@ -165,9 +152,6 @@ fn cmd_demo(args: &[String]) -> Result<(), String> {
     let plot = ReachabilityPlot::from_ordering(&ordering);
     print!("{}", plot.ascii(80, 10));
     let q = best_cut(&ordering, &labels, 3, vsim_optics::DEFAULT_GRID);
-    println!(
-        "best cut: {} clusters, purity {:.3}, F1 {:.3}",
-        q.num_clusters, q.purity, q.f1
-    );
+    println!("best cut: {} clusters, purity {:.3}, F1 {:.3}", q.num_clusters, q.purity, q.f1);
     Ok(())
 }

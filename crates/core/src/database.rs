@@ -3,7 +3,7 @@
 //! experiments.
 
 use crate::model::{Repr, SimilarityModel};
-use crate::parallel::par_map;
+use crate::parallel::par_map_slice;
 use vsim_datagen::Dataset;
 use vsim_features::{greedy_cover_sequence, CoverSequence};
 use vsim_setdist::VectorSet;
@@ -23,9 +23,8 @@ pub struct ProcessedDataset {
 impl ProcessedDataset {
     /// Compute cover sequences for every object (parallel).
     pub fn build(dataset: Dataset, k_max: usize) -> Self {
-        let sequences = par_map(dataset.len(), |i| {
-            greedy_cover_sequence(&dataset.objects[i].grid15, k_max)
-        });
+        let sequences =
+            par_map_slice(&dataset.objects, |_, o| greedy_cover_sequence(&o.grid15, k_max));
         ProcessedDataset { dataset, sequences, k_max }
     }
 
@@ -62,14 +61,10 @@ impl ProcessedDataset {
         // Cover-based models reuse the shared sequences.
         if let Some(first) = self.sequences.first() {
             if let Some(_r) = model.from_sequence(first) {
-                return self
-                    .sequences
-                    .iter()
-                    .map(|s| model.from_sequence(s).unwrap())
-                    .collect();
+                return self.sequences.iter().map(|s| model.from_sequence(s).unwrap()).collect();
             }
         }
-        par_map(self.len(), |i| model.extract(&self.dataset.objects[i]))
+        par_map_slice(&self.dataset.objects, |_, o| model.extract(o))
     }
 
     /// A symmetric distance oracle over precomputed representations,
@@ -148,7 +143,8 @@ mod tests {
     #[test]
     fn oracle_is_symmetric_and_zero_diagonal() {
         let p = small();
-        let model = SimilarityModel { kind: ModelKind::VectorSet { k: 5 }, invariance: Default::default() };
+        let model =
+            SimilarityModel { kind: ModelKind::VectorSet { k: 5 }, invariance: Default::default() };
         let reprs = p.representations(&model);
         let d = p.distance_oracle(&model, &reprs);
         for i in [0usize, 5, 12] {

@@ -39,7 +39,7 @@
 //! let index = FilterRefineIndex::build(&sets, 6, 7);
 //! let (hits, stats) = index.knn(&sets[0], 10);
 //! assert_eq!(hits[0].0, 0); // the query object itself
-//! assert!(stats.refinements <= processed.len());
+//! assert!(stats.refinements as usize <= processed.len());
 //! ```
 
 pub mod database;
@@ -61,13 +61,16 @@ pub mod prelude {
         greedy_cover_sequence, CoverSequence, CoverSequenceModel, SolidAngleModel, VectorSetModel,
         VolumeModel,
     };
-    pub use vsim_index::{CostModel, IoStats, MTree, VectorSetStore, XTree};
-    pub use vsim_optics::{
-        best_cut, extract_clusters, ClusterOrdering, Optics, ReachabilityPlot,
+    pub use vsim_index::{
+        BufferPool, CostModel, IoTracker, MTree, QueryContext, VectorSetStore, XTree,
     };
-    pub use vsim_query::{FilterRefineIndex, OneVectorIndex, QueryStats, SequentialScanIndex};
+    pub use vsim_optics::{best_cut, extract_clusters, ClusterOrdering, Optics, ReachabilityPlot};
+    pub use vsim_query::{
+        BatchResult, FilterRefineIndex, OneVectorIndex, PoolPolicy, QueryExecutor, QueryStats,
+        SequentialScanIndex,
+    };
     pub use vsim_setdist::{
-        matching::MinimalMatching, centroid_lower_bound, extended_centroid, VectorSet,
+        centroid_lower_bound, extended_centroid, matching::MinimalMatching, VectorSet,
     };
     pub use vsim_voxel::{voxelize_mesh, voxelize_solid, NormalizeMode, VoxelGrid};
 }

@@ -4,7 +4,7 @@
 //! symmetries, applied in feature space).
 
 use vsim_datagen::CadObject;
-use vsim_features::cover::{transform_vector_set, transform_feature_vector};
+use vsim_features::cover::{transform_feature_vector, transform_vector_set};
 use vsim_features::histogram::permute_histogram;
 use vsim_features::{
     greedy_cover_sequence, CoverSequenceModel, SolidAngleModel, VectorSetModel, VolumeModel,
@@ -172,9 +172,9 @@ impl SimilarityModel {
 
     fn base_distance(&self, a: &Repr, b: &Repr) -> f64 {
         match self.kind {
-            ModelKind::Volume { .. } | ModelKind::SolidAngle { .. } | ModelKind::CoverSequence { .. } => {
-                lp::euclidean(a.as_vector(), b.as_vector())
-            }
+            ModelKind::Volume { .. }
+            | ModelKind::SolidAngle { .. }
+            | ModelKind::CoverSequence { .. } => lp::euclidean(a.as_vector(), b.as_vector()),
             ModelKind::CoverSequencePermutation { .. } => {
                 MinimalMatching::permutation_model().distance_value(a.as_set(), b.as_set())
             }
@@ -281,11 +281,7 @@ mod tests {
             SimilarityModel::vector_set(5),
         ] {
             let r = model.extract_grids(&g15, &g30);
-            assert!(
-                model.distance(&r, &r).abs() < 1e-9,
-                "{} self-distance nonzero",
-                model.name()
-            );
+            assert!(model.distance(&r, &r).abs() < 1e-9, "{} self-distance nonzero", model.name());
         }
     }
 
@@ -301,14 +297,9 @@ mod tests {
             SimilarityModel::cover_sequence(5),
         ] {
             let plain = model.grid_distance(&g15, &g30, &r15, &r30);
-            let inv = model
-                .with_invariance(Invariance::Rotation24)
-                .grid_distance(&g15, &g30, &r15, &r30);
-            assert!(
-                inv < 1e-6,
-                "{}: rotated copy not recognized (d = {inv})",
-                model.name()
-            );
+            let inv =
+                model.with_invariance(Invariance::Rotation24).grid_distance(&g15, &g30, &r15, &r30);
+            assert!(inv < 1e-6, "{}: rotated copy not recognized (d = {inv})", model.name());
             // Without invariance, the rotated pose looks different.
             assert!(plain > inv, "{}: plain {plain} vs invariant {inv}", model.name());
         }
@@ -330,12 +321,10 @@ mod tests {
         let f15 = rotate_grid(&g15, &refl);
         let f30 = rotate_grid(&g30, &refl);
         let model = SimilarityModel::vector_set(6);
-        let rot_only = model
-            .with_invariance(Invariance::Rotation24)
-            .grid_distance(&g15, &g30, &f15, &f30);
-        let full = model
-            .with_invariance(Invariance::Symmetry48)
-            .grid_distance(&g15, &g30, &f15, &f30);
+        let rot_only =
+            model.with_invariance(Invariance::Rotation24).grid_distance(&g15, &g30, &f15, &f30);
+        let full =
+            model.with_invariance(Invariance::Symmetry48).grid_distance(&g15, &g30, &f15, &f30);
         assert!(full < 1e-6, "reflected copy must match under 48 symmetries");
         assert!(rot_only > full, "24 rotations must NOT suffice for a chiral part");
     }
@@ -366,14 +355,14 @@ mod tests {
     #[test]
     fn match_outcome_reports_permutations() {
         let model = SimilarityModel::vector_set(3);
-        let a = Repr::Set(VectorSet::from_rows(6, &[
-            &[0.1, 0.1, 0.1, 0.2, 0.2, 0.2],
-            &[0.8, 0.8, 0.8, 0.3, 0.3, 0.3],
-        ]));
-        let b = Repr::Set(VectorSet::from_rows(6, &[
-            &[0.8, 0.8, 0.8, 0.3, 0.3, 0.3],
-            &[0.1, 0.1, 0.1, 0.2, 0.2, 0.2],
-        ]));
+        let a = Repr::Set(VectorSet::from_rows(
+            6,
+            &[&[0.1, 0.1, 0.1, 0.2, 0.2, 0.2], &[0.8, 0.8, 0.8, 0.3, 0.3, 0.3]],
+        ));
+        let b = Repr::Set(VectorSet::from_rows(
+            6,
+            &[&[0.8, 0.8, 0.8, 0.3, 0.3, 0.3], &[0.1, 0.1, 0.1, 0.2, 0.2, 0.2]],
+        ));
         let out = model.match_outcome(&a, &b).unwrap();
         assert!(out.permutation_needed);
         assert!(out.cost.abs() < 1e-12);

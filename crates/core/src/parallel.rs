@@ -1,60 +1,17 @@
-//! Minimal data-parallel helpers (scoped threads via crossbeam; no
-//! external thread-pool dependency).
+//! Data-parallel helpers, re-exported from `vsim-parallel` (the
+//! bottom-level crate so that `vsim-optics`/`vsim-datagen`, which
+//! `vsim-core` itself depends on, can share the same implementations).
 
-/// Map `f` over `0..n` in parallel, preserving order.
-pub fn par_map<T, F>(n: usize, f: F) -> Vec<T>
-where
-    T: Send,
-    F: Fn(usize) -> T + Sync,
-{
-    let threads = std::thread::available_parallelism()
-        .map(|t| t.get())
-        .unwrap_or(1)
-        .min(16)
-        .max(1);
-    let chunk = n.div_ceil(threads).max(1);
-    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
-        for (ci, slots) in out.chunks_mut(chunk).enumerate() {
-            let f = &f;
-            scope.spawn(move |_| {
-                for (off, slot) in slots.iter_mut().enumerate() {
-                    *slot = Some(f(ci * chunk + off));
-                }
-            });
-        }
-    })
-    .expect("parallel map worker panicked");
-    out.into_iter().map(|o| o.unwrap()).collect()
-}
+pub use vsim_parallel::{par_fill, par_map, par_map_slice, worker_count};
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn preserves_order_and_values() {
-        let v = par_map(1000, |i| i * i);
-        assert_eq!(v.len(), 1000);
-        for (i, x) in v.iter().enumerate() {
-            assert_eq!(*x, i * i);
-        }
-    }
-
-    #[test]
-    fn empty_and_single() {
-        assert!(par_map(0, |i| i).is_empty());
-        assert_eq!(par_map(1, |i| i + 5), vec![5]);
-    }
-
-    #[test]
-    #[should_panic]
-    fn worker_panic_propagates() {
-        let _ = par_map(100, |i| {
-            if i == 57 {
-                panic!("boom");
-            }
-            i
-        });
+    fn reexports_are_live() {
+        assert_eq!(par_map(3, |i| i * 2), vec![0, 2, 4]);
+        assert_eq!(par_map_slice(&[10, 20], |i, &x| x + i), vec![10, 21]);
+        assert!(worker_count() >= 1);
     }
 }

@@ -61,7 +61,7 @@ fn get_grid(buf: &mut &[u8]) -> Result<VoxelGrid, PersistError> {
     if nx == 0 || ny == 0 || nz == 0 || nx * ny * nz > 1 << 24 {
         return Err(PersistError::Format(format!("bad grid dims {nx}x{ny}x{nz}")));
     }
-    let words = (nx * ny * nz + 63) / 64;
+    let words = (nx * ny * nz).div_ceil(64);
     if buf.remaining() < words * 8 {
         return Err(PersistError::Format("truncated grid payload".into()));
     }
@@ -204,11 +204,7 @@ pub fn load<R: Read>(mut r: R) -> Result<ProcessedDataset, PersistError> {
         objects.push(CadObject { id: id as u64, label, grid15, grid30 });
         sequences.push(seq);
     }
-    Ok(ProcessedDataset {
-        dataset: Dataset { name, objects, class_names },
-        sequences,
-        k_max,
-    })
+    Ok(ProcessedDataset { dataset: Dataset { name, objects, class_names }, sequences, k_max })
 }
 
 /// Load from `path` if present and valid, otherwise build via `make` and

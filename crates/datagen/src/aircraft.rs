@@ -13,11 +13,7 @@ pub fn aircraft_families() -> Vec<Family> {
             name: "nut",
             weight: 24.0,
             gen: Box::new(|rng| {
-                parts::nut(
-                    jitter(rng, 1.0, 0.3),
-                    jitter(rng, 0.6, 0.5),
-                    jitter(rng, 0.5, 0.25),
-                )
+                parts::nut(jitter(rng, 1.0, 0.3), jitter(rng, 0.6, 0.5), jitter(rng, 0.5, 0.25))
             }),
         },
         Family {
@@ -36,22 +32,14 @@ pub fn aircraft_families() -> Vec<Family> {
             name: "rivet",
             weight: 16.0,
             gen: Box::new(|rng| {
-                parts::rivet(
-                    jitter(rng, 0.4, 0.3),
-                    jitter(rng, 1.5, 0.5),
-                    jitter(rng, 0.8, 0.25),
-                )
+                parts::rivet(jitter(rng, 0.4, 0.3), jitter(rng, 1.5, 0.5), jitter(rng, 0.8, 0.25))
             }),
         },
         Family {
             name: "washer",
             weight: 14.0,
             gen: Box::new(|rng| {
-                parts::washer(
-                    jitter(rng, 1.0, 0.25),
-                    jitter(rng, 0.5, 0.3),
-                    jitter(rng, 0.15, 0.5),
-                )
+                parts::washer(jitter(rng, 1.0, 0.25), jitter(rng, 0.5, 0.3), jitter(rng, 0.15, 0.5))
             }),
         },
         Family {
@@ -70,11 +58,7 @@ pub fn aircraft_families() -> Vec<Family> {
             name: "clamp",
             weight: 6.0,
             gen: Box::new(|rng| {
-                parts::clamp(
-                    jitter(rng, 1.5, 0.12),
-                    jitter(rng, 0.4, 0.2),
-                    jitter(rng, 0.6, 0.2),
-                )
+                parts::clamp(jitter(rng, 1.5, 0.12), jitter(rng, 0.4, 0.2), jitter(rng, 0.6, 0.2))
             }),
         },
         Family {

@@ -12,19 +12,13 @@ pub fn car_families() -> Vec<Family> {
         Family {
             name: "tire",
             weight: 1.0,
-            gen: Box::new(|rng| {
-                parts::tire(jitter(rng, 2.0, 0.15), jitter(rng, 0.6, 0.2))
-            }),
+            gen: Box::new(|rng| parts::tire(jitter(rng, 2.0, 0.15), jitter(rng, 0.6, 0.2))),
         },
         Family {
             name: "rim",
             weight: 1.0,
             gen: Box::new(|rng| {
-                parts::rim(
-                    jitter(rng, 2.0, 0.12),
-                    jitter(rng, 0.5, 0.2),
-                    jitter(rng, 0.5, 0.15),
-                )
+                parts::rim(jitter(rng, 2.0, 0.12), jitter(rng, 0.5, 0.2), jitter(rng, 0.5, 0.15))
             }),
         },
         Family {
@@ -43,19 +37,14 @@ pub fn car_families() -> Vec<Family> {
             name: "fender",
             weight: 1.0,
             gen: Box::new(|rng| {
-                parts::fender(
-                    jitter(rng, 2.0, 0.12),
-                    jitter(rng, 1.0, 0.2),
-                    jitter(rng, 0.25, 0.2),
-                )
+                parts::fender(jitter(rng, 2.0, 0.12), jitter(rng, 1.0, 0.2), jitter(rng, 0.25, 0.2))
             }),
         },
         Family {
             name: "engine_block",
             weight: 1.0,
             gen: Box::new(|rng| {
-                let bores = *[4usize, 4, 6].iter().collect::<Vec<_>>()
-                    [rng_usize(rng, 3)];
+                let bores = *[4usize, 4, 6].iter().collect::<Vec<_>>()[rng_usize(rng, 3)];
                 parts::engine_block(
                     jitter(rng, 2.5, 0.12),
                     jitter(rng, 1.2, 0.15),
@@ -116,11 +105,7 @@ pub fn car_families() -> Vec<Family> {
             name: "mirror",
             weight: 1.0,
             gen: Box::new(|rng| {
-                parts::mirror(
-                    jitter(rng, 1.0, 0.12),
-                    jitter(rng, 1.0, 0.2),
-                    jitter(rng, 0.2, 0.2),
-                )
+                parts::mirror(jitter(rng, 1.0, 0.12), jitter(rng, 1.0, 0.2), jitter(rng, 0.2, 0.2))
             }),
         },
     ]

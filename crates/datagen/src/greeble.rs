@@ -112,8 +112,12 @@ mod tests {
         let base = || Cuboid::new(Vec3::new(2.0, 1.0, 0.5)).boxed();
         let mut r1 = StdRng::seed_from_u64(1);
         let mut r2 = StdRng::seed_from_u64(2);
-        let a = voxelize_solid(standard_greebles(base(), &mut r1).as_ref(), 15, NormalizeMode::Uniform).grid;
-        let b = voxelize_solid(standard_greebles(base(), &mut r2).as_ref(), 15, NormalizeMode::Uniform).grid;
+        let a =
+            voxelize_solid(standard_greebles(base(), &mut r1).as_ref(), 15, NormalizeMode::Uniform)
+                .grid;
+        let b =
+            voxelize_solid(standard_greebles(base(), &mut r2).as_ref(), 15, NormalizeMode::Uniform)
+                .grid;
         assert_ne!(a, b);
     }
 

@@ -75,12 +75,15 @@ impl Dataset {
     }
 }
 
+/// Jittered generator for a part family: each draw yields one solid.
+pub type SolidGen = Box<dyn Fn(&mut StdRng) -> Box<dyn Solid> + Send + Sync>;
+
 /// Specification of one part family: a name and a jittered generator.
 pub struct Family {
     pub name: &'static str,
     /// Relative frequency weight within the dataset.
     pub weight: f64,
-    pub gen: Box<dyn Fn(&mut StdRng) -> Box<dyn Solid> + Send + Sync>,
+    pub gen: SolidGen,
 }
 
 /// Build a dataset of `n` objects drawn from `families` with the given
@@ -110,39 +113,15 @@ pub fn build_dataset(name: &'static str, families: Vec<Family>, n: usize, seed: 
 
     // Parallel voxelization with per-object seeded RNGs (determinism
     // independent of thread scheduling).
-    let threads = std::thread::available_parallelism()
-        .map(|t| t.get())
-        .unwrap_or(1)
-        .min(16);
-    let mut objects: Vec<Option<CadObject>> = (0..n).map(|_| None).collect();
-    let chunk = n.div_ceil(threads).max(1);
-    crossbeam::thread::scope(|scope| {
-        for (ci, out_chunk) in objects.chunks_mut(chunk).enumerate() {
-            let labels = &labels;
-            let families = &families;
-            scope.spawn(move |_| {
-                for (off, slot) in out_chunk.iter_mut().enumerate() {
-                    let i = ci * chunk + off;
-                    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(i as u64 * 0x9e37_79b9));
-                    let label = labels[i];
-                    let solid = crate::greeble::standard_greebles(
-                        (families[label].gen)(&mut rng),
-                        &mut rng,
-                    );
-                    let grid15 = voxelize_solid(solid.as_ref(), R_COVER, NormalizeMode::Uniform).grid;
-                    let grid30 = voxelize_solid(solid.as_ref(), R_HISTO, NormalizeMode::Uniform).grid;
-                    *slot = Some(CadObject { id: i as u64, label, grid15, grid30 });
-                }
-            });
-        }
-    })
-    .expect("dataset generation thread panicked");
+    let objects = vsim_parallel::par_map_slice(&labels, |i, &label| {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(i as u64 * 0x9e37_79b9));
+        let solid = crate::greeble::standard_greebles((families[label].gen)(&mut rng), &mut rng);
+        let grid15 = voxelize_solid(solid.as_ref(), R_COVER, NormalizeMode::Uniform).grid;
+        let grid30 = voxelize_solid(solid.as_ref(), R_HISTO, NormalizeMode::Uniform).grid;
+        CadObject { id: i as u64, label, grid15, grid30 }
+    });
 
-    Dataset {
-        name,
-        objects: objects.into_iter().map(|o| o.unwrap()).collect(),
-        class_names: families.iter().map(|f| f.name).collect(),
-    }
+    Dataset { name, objects, class_names: families.iter().map(|f| f.name).collect() }
 }
 
 /// Uniform jitter helper: `base * U(1-spread, 1+spread)`.
@@ -164,12 +143,7 @@ mod tests {
             assert_eq!(x.grid15, y.grid15);
         }
         let c = car::car_dataset(43, 30);
-        let diff = a
-            .objects
-            .iter()
-            .zip(&c.objects)
-            .filter(|(x, y)| x.grid15 != y.grid15)
-            .count();
+        let diff = a.objects.iter().zip(&c.objects).filter(|(x, y)| x.grid15 != y.grid15).count();
         assert!(diff > 20, "different seeds must differ ({diff}/30)");
     }
 

@@ -6,7 +6,7 @@
 //! exercised separately by the query engine's 24/48-pose minimization).
 
 use vsim_geom::solid::{
-    difference, intersection, rotated, translated, union, tapered_z, ConeZ, Cuboid, CylinderZ,
+    difference, intersection, rotated, tapered_z, translated, union, ConeZ, Cuboid, CylinderZ,
     HexPrismZ, Solid, SolidExt, Sphere, TorusZ,
 };
 use vsim_geom::{Mat3, Vec3};
@@ -58,10 +58,7 @@ pub fn fender(radius: f64, width: f64, thickness: f64) -> Box<dyn Solid> {
         Vec3::new(0.0, radius * 0.6, 0.0),
     );
     // Lay the arch over x: rotate the cylinder axis from z to x.
-    rotated(
-        intersection(vec![shell, keep]),
-        Mat3::rot_y(std::f64::consts::FRAC_PI_2),
-    )
+    rotated(intersection(vec![shell, keep]), Mat3::rot_y(std::f64::consts::FRAC_PI_2))
 }
 
 /// An engine block: a cuboid with a row of cylinder bores.
@@ -82,10 +79,8 @@ pub fn engine_block(w: f64, d: f64, h: f64, bores: usize, bore_r: f64) -> Box<dy
 /// a headrest block (consistent tertiary structure).
 pub fn seat_envelope(w: f64, depth: f64, h: f64, t: f64) -> Box<dyn Solid> {
     let squab = Cuboid::new(Vec3::new(w, depth, t)).boxed();
-    let back = translated(
-        Cuboid::new(Vec3::new(w, t, h)).boxed(),
-        Vec3::new(0.0, -depth + t, h - t),
-    );
+    let back =
+        translated(Cuboid::new(Vec3::new(w, t, h)).boxed(), Vec3::new(0.0, -depth + t, h - t));
     let headrest = translated(
         Cuboid::new(Vec3::new(w * 0.45, t * 0.9, h * 0.22)).boxed(),
         Vec3::new(0.0, -depth + t, 2.0 * h + h * 0.2 - t),
@@ -207,10 +202,8 @@ pub fn washer(outer: f64, inner: f64, t: f64) -> Box<dyn Solid> {
 /// An L-bracket: two plates at a right angle with two bolt holes.
 pub fn bracket(leg: f64, w: f64, t: f64, hole_r: f64) -> Box<dyn Solid> {
     let base = Cuboid::new(Vec3::new(leg, w, t)).boxed();
-    let up = translated(
-        Cuboid::new(Vec3::new(t, w, leg)).boxed(),
-        Vec3::new(-leg + t, 0.0, leg - t),
-    );
+    let up =
+        translated(Cuboid::new(Vec3::new(t, w, leg)).boxed(), Vec3::new(-leg + t, 0.0, leg - t));
     let hole1 = translated(
         CylinderZ { radius: hole_r, half_height: t * 3.0 }.boxed(),
         Vec3::new(leg * 0.4, 0.0, 0.0),
@@ -237,10 +230,7 @@ pub fn wing(span: f64, chord: f64, camber: f64, taper: f64) -> Box<dyn Solid> {
     let r = (chord * chord / (4.0 * camber) + camber) / 2.0;
     let lens = intersection(vec![
         translated(
-            rotated(
-                CylinderZ { radius: r, half_height: span }.boxed(),
-                Mat3::IDENTITY,
-            ),
+            rotated(CylinderZ { radius: r, half_height: span }.boxed(), Mat3::IDENTITY),
             Vec3::new(0.0, r - camber, 0.0),
         ),
         translated(
@@ -253,14 +243,10 @@ pub fn wing(span: f64, chord: f64, camber: f64, taper: f64) -> Box<dyn Solid> {
 
 /// A spar: an I-beam.
 pub fn spar(len: f64, flange_w: f64, web_h: f64, t: f64) -> Box<dyn Solid> {
-    let top = translated(
-        Cuboid::new(Vec3::new(flange_w, len, t)).boxed(),
-        Vec3::new(0.0, 0.0, web_h),
-    );
-    let bottom = translated(
-        Cuboid::new(Vec3::new(flange_w, len, t)).boxed(),
-        Vec3::new(0.0, 0.0, -web_h),
-    );
+    let top =
+        translated(Cuboid::new(Vec3::new(flange_w, len, t)).boxed(), Vec3::new(0.0, 0.0, web_h));
+    let bottom =
+        translated(Cuboid::new(Vec3::new(flange_w, len, t)).boxed(), Vec3::new(0.0, 0.0, -web_h));
     let web = Cuboid::new(Vec3::new(t, len, web_h)).boxed();
     union(vec![top, bottom, web])
 }
@@ -282,10 +268,7 @@ pub fn fuselage_panel(radius: f64, arc_half_width: f64, length: f64, t: f64) -> 
 pub fn turbine_disc(radius: f64, t: f64, hub_r: f64, bore: f64) -> Box<dyn Solid> {
     let disc = CylinderZ { radius, half_height: t }.boxed();
     let hub = CylinderZ { radius: hub_r, half_height: t * 3.0 }.boxed();
-    difference(
-        union(vec![disc, hub]),
-        CylinderZ { radius: bore, half_height: t * 8.0 }.boxed(),
-    )
+    difference(union(vec![disc, hub]), CylinderZ { radius: bore, half_height: t * 8.0 }.boxed())
 }
 
 #[cfg(test)]
@@ -365,10 +348,7 @@ mod tests {
                 tip_half += 1;
             }
         }
-        assert!(
-            root_half > 3 * tip_half / 2,
-            "root {root_half} vs tip {tip_half}"
-        );
+        assert!(root_half > 3 * tip_half / 2, "root {root_half} vs tip {tip_half}");
     }
 
     #[test]

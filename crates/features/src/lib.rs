@@ -31,5 +31,8 @@
 pub mod cover;
 pub mod histogram;
 
-pub use cover::{greedy_cover_sequence, CoverSequence, CoverSequenceModel, CoverUnit, Cuboid, Sign, VectorSetModel};
+pub use cover::{
+    greedy_cover_sequence, CoverSequence, CoverSequenceModel, CoverUnit, Cuboid, Sign,
+    VectorSetModel,
+};
 pub use histogram::{SolidAngleModel, VolumeModel};

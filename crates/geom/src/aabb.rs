@@ -30,9 +30,7 @@ impl Aabb {
 
     /// Smallest box containing all `points`; `EMPTY` if the iterator is empty.
     pub fn from_points<I: IntoIterator<Item = Vec3>>(points: I) -> Self {
-        points
-            .into_iter()
-            .fold(Aabb::EMPTY, |b, p| b.union_point(p))
+        points.into_iter().fold(Aabb::EMPTY, |b, p| b.union_point(p))
     }
 
     pub fn is_empty(&self) -> bool {
@@ -67,8 +65,7 @@ impl Aabb {
     }
 
     pub fn contains_box(&self, o: &Aabb) -> bool {
-        o.is_empty()
-            || (self.contains_point(o.min) && self.contains_point(o.max))
+        o.is_empty() || (self.contains_point(o.min) && self.contains_point(o.max))
     }
 
     pub fn intersects(&self, o: &Aabb) -> bool {
@@ -118,11 +115,7 @@ mod tests {
 
     #[test]
     fn from_points_covers_inputs() {
-        let pts = [
-            Vec3::new(1.0, 5.0, -2.0),
-            Vec3::new(-1.0, 0.0, 4.0),
-            Vec3::new(0.0, 2.0, 0.0),
-        ];
+        let pts = [Vec3::new(1.0, 5.0, -2.0), Vec3::new(-1.0, 0.0, 4.0), Vec3::new(0.0, 2.0, 0.0)];
         let b = Aabb::from_points(pts);
         for p in pts {
             assert!(b.contains_point(p));

@@ -11,9 +11,7 @@ pub struct Mat3 {
 }
 
 impl Mat3 {
-    pub const IDENTITY: Mat3 = Mat3 {
-        rows: [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]],
-    };
+    pub const IDENTITY: Mat3 = Mat3 { rows: [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]] };
 
     #[inline]
     pub const fn new(rows: [[f64; 3]; 3]) -> Self {
@@ -27,11 +25,7 @@ impl Mat3 {
 
     /// Matrix whose columns are `c0`, `c1`, `c2`.
     pub fn from_cols(c0: Vec3, c1: Vec3, c2: Vec3) -> Self {
-        Mat3::new([
-            [c0.x, c1.x, c2.x],
-            [c0.y, c1.y, c2.y],
-            [c0.z, c1.z, c2.z],
-        ])
+        Mat3::new([[c0.x, c1.x, c2.x], [c0.y, c1.y, c2.y], [c0.z, c1.z, c2.z]])
     }
 
     #[inline]
@@ -92,14 +86,7 @@ impl Mat3 {
     /// Section 3.2.
     pub fn cube_rotations() -> Vec<Mat3> {
         let mut out = Vec::with_capacity(24);
-        let axes = [
-            Vec3::X,
-            -Vec3::X,
-            Vec3::Y,
-            -Vec3::Y,
-            Vec3::Z,
-            -Vec3::Z,
-        ];
+        let axes = [Vec3::X, -Vec3::X, Vec3::Y, -Vec3::Y, Vec3::Z, -Vec3::Z];
         // Choose where +x maps (6 options) and where +y maps (4 options
         // orthogonal to it); +z is then fixed by the right-hand rule.
         for &fx in &axes {
@@ -167,16 +154,10 @@ impl Mat3 {
                 }
             }
         }
-        let mut pairs = [
-            (a.rows[0][0], v.col(0)),
-            (a.rows[1][1], v.col(1)),
-            (a.rows[2][2], v.col(2)),
-        ];
+        let mut pairs =
+            [(a.rows[0][0], v.col(0)), (a.rows[1][1], v.col(1)), (a.rows[2][2], v.col(2))];
         pairs.sort_by(|x, y| y.0.partial_cmp(&x.0).unwrap());
-        (
-            [pairs[0].0, pairs[1].0, pairs[2].0],
-            Mat3::from_cols(pairs[0].1, pairs[1].1, pairs[2].1),
-        )
+        ([pairs[0].0, pairs[1].0, pairs[2].0], Mat3::from_cols(pairs[0].1, pairs[1].1, pairs[2].1))
     }
 }
 
@@ -282,10 +263,7 @@ mod tests {
     fn cube_symmetries_are_48_with_24_improper() {
         let syms = Mat3::cube_symmetries();
         assert_eq!(syms.len(), 48);
-        let improper = syms
-            .iter()
-            .filter(|m| (m.determinant() + 1.0).abs() < 1e-9)
-            .count();
+        let improper = syms.iter().filter(|m| (m.determinant() + 1.0).abs() < 1e-9).count();
         assert_eq!(improper, 24);
     }
 
@@ -323,13 +301,10 @@ mod tests {
     fn jacobi_eigenvectors_satisfy_definition() {
         let m = Mat3::new([[4.0, 1.0, 0.5], [1.0, 3.0, 0.2], [0.5, 0.2, 2.0]]);
         let (vals, vecs) = m.eigen_symmetric();
-        for i in 0..3 {
+        for (i, &lambda) in vals.iter().enumerate() {
             let v = vecs.col(i);
             let mv = m * v;
-            assert!(
-                (mv - v * vals[i]).norm() < 1e-8,
-                "A v != lambda v for eigenpair {i}"
-            );
+            assert!((mv - v * lambda).norm() < 1e-8, "A v != lambda v for eigenpair {i}");
             assert!((v.norm() - 1.0).abs() < 1e-8);
         }
         // Eigenvalue sum equals trace.

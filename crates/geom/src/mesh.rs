@@ -30,11 +30,7 @@ impl TriMesh {
     /// Corner positions of triangle `t`.
     pub fn triangle(&self, t: usize) -> [Vec3; 3] {
         let [a, b, c] = self.triangles[t];
-        [
-            self.vertices[a as usize],
-            self.vertices[b as usize],
-            self.vertices[c as usize],
-        ]
+        [self.vertices[a as usize], self.vertices[b as usize], self.vertices[c as usize]]
     }
 
     /// Total surface area.
@@ -75,12 +71,8 @@ impl TriMesh {
     pub fn merge(&mut self, other: &TriMesh) {
         let base = self.vertices.len() as u32;
         self.vertices.extend_from_slice(&other.vertices);
-        self.triangles.extend(
-            other
-                .triangles
-                .iter()
-                .map(|t| [t[0] + base, t[1] + base, t[2] + base]),
-        );
+        self.triangles
+            .extend(other.triangles.iter().map(|t| [t[0] + base, t[1] + base, t[2] + base]));
     }
 
     /// Validity check: all indices in range, no degenerate (zero-area)

@@ -66,14 +66,10 @@ pub struct CylinderZ {
 
 impl Solid for CylinderZ {
     fn contains(&self, p: Vec3) -> bool {
-        p.z.abs() <= self.half_height
-            && p.x * p.x + p.y * p.y <= self.radius * self.radius
+        p.z.abs() <= self.half_height && p.x * p.x + p.y * p.y <= self.radius * self.radius
     }
     fn aabb(&self) -> Aabb {
-        Aabb::from_center_half(
-            Vec3::ZERO,
-            Vec3::new(self.radius, self.radius, self.half_height),
-        )
+        Aabb::from_center_half(Vec3::ZERO, Vec3::new(self.radius, self.radius, self.half_height))
     }
 }
 
@@ -140,10 +136,7 @@ impl Solid for HexPrismZ {
     }
     fn aabb(&self) -> Aabb {
         let circum = self.across_flats * 2.0 / 3f64.sqrt();
-        Aabb::from_center_half(
-            Vec3::ZERO,
-            Vec3::new(circum, self.across_flats, self.half_height),
-        )
+        Aabb::from_center_half(Vec3::ZERO, Vec3::new(circum, self.across_flats, self.half_height))
     }
 }
 
@@ -157,9 +150,7 @@ impl Solid for Union {
         self.parts.iter().any(|s| s.contains(p))
     }
     fn aabb(&self) -> Aabb {
-        self.parts
-            .iter()
-            .fold(Aabb::EMPTY, |b, s| b.union(&s.aabb()))
+        self.parts.iter().fold(Aabb::EMPTY, |b, s| b.union(&s.aabb()))
     }
 }
 
@@ -212,11 +203,7 @@ pub struct Transformed {
 impl Transformed {
     pub fn new(child: Box<dyn Solid>, iso: Iso) -> Self {
         let bounds = iso.apply_aabb(&child.aabb());
-        Transformed {
-            child,
-            inverse: iso.inverse(),
-            bounds,
-        }
+        Transformed { child, inverse: iso.inverse(), bounds }
     }
 }
 
@@ -241,11 +228,7 @@ pub struct TaperZ {
 impl TaperZ {
     pub fn new(child: Box<dyn Solid>, scale_bottom: f64, scale_top: f64) -> Self {
         assert!(scale_bottom > 0.0 && scale_top > 0.0);
-        TaperZ {
-            child,
-            scale_bottom,
-            scale_top,
-        }
+        TaperZ { child, scale_bottom, scale_top }
     }
     fn scale_at(&self, z: f64, b: &Aabb) -> f64 {
         let span = (b.max.z - b.min.z).max(1e-12);

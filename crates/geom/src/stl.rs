@@ -40,10 +40,7 @@ pub fn read_stl<R: Read>(mut r: R) -> Result<TriMesh, StlError> {
     // may also start with "solid" in the 80-byte header, so check both.
     let looks_ascii = data.len() >= 5
         && data[..5].eq_ignore_ascii_case(b"solid")
-        && data
-            .windows(5)
-            .take(4096.min(data.len()))
-            .any(|w| w.eq_ignore_ascii_case(b"facet"));
+        && data.windows(5).take(4096.min(data.len())).any(|w| w.eq_ignore_ascii_case(b"facet"));
     if looks_ascii {
         read_ascii(&data[..])
     } else {
@@ -125,10 +122,7 @@ pub fn write_stl_ascii<W: Write>(mesh: &TriMesh, mut w: W, name: &str) -> io::Re
     writeln!(w, "solid {name}")?;
     for t in 0..mesh.triangles.len() {
         let tri = mesh.triangle(t);
-        let n = (tri[1] - tri[0])
-            .cross(tri[2] - tri[0])
-            .normalized()
-            .unwrap_or(Vec3::Z);
+        let n = (tri[1] - tri[0]).cross(tri[2] - tri[0]).normalized().unwrap_or(Vec3::Z);
         writeln!(w, "  facet normal {} {} {}", n.x, n.y, n.z)?;
         writeln!(w, "    outer loop")?;
         for v in tri {
@@ -148,10 +142,7 @@ pub fn write_stl_binary<W: Write>(mesh: &TriMesh, mut w: W) -> io::Result<()> {
     w.write_all(&(mesh.triangles.len() as u32).to_le_bytes())?;
     for t in 0..mesh.triangles.len() {
         let tri = mesh.triangle(t);
-        let n = (tri[1] - tri[0])
-            .cross(tri[2] - tri[0])
-            .normalized()
-            .unwrap_or(Vec3::Z);
+        let n = (tri[1] - tri[0]).cross(tri[2] - tri[0]).normalized().unwrap_or(Vec3::Z);
         for v in [n, tri[0], tri[1], tri[2]] {
             for c in [v.x, v.y, v.z] {
                 w.write_all(&(c as f32).to_le_bytes())?;
@@ -214,7 +205,7 @@ mod tests {
         assert!(read_stl(&b"not an stl file"[..]).is_err());
         assert!(read_stl(&b"solid x\nfacet normal 0 0 1\nvertex 1 2\nendfacet"[..]).is_err());
         // Truncated binary.
-        let mut buf = vec![0u8; 84];
+        let mut buf = [0u8; 84];
         buf[80..84].copy_from_slice(&100u32.to_le_bytes());
         assert!(read_stl(&buf[..]).is_err());
     }

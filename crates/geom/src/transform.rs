@@ -14,10 +14,7 @@ pub struct Iso {
 }
 
 impl Iso {
-    pub const IDENTITY: Iso = Iso {
-        linear: Mat3::IDENTITY,
-        translation: Vec3::ZERO,
-    };
+    pub const IDENTITY: Iso = Iso { linear: Mat3::IDENTITY, translation: Vec3::ZERO };
 
     pub fn new(linear: Mat3, translation: Vec3) -> Self {
         Iso { linear, translation }
@@ -81,7 +78,7 @@ impl Iso {
             let idx = |k: usize| (0..3).filter(|&i| i != k).collect::<Vec<_>>();
             let (ri, ci) = (idx(r), idx(c));
             let minor = m[ri[0]][ci[0]] * m[ri[1]][ci[1]] - m[ri[0]][ci[1]] * m[ri[1]][ci[0]];
-            if (r + c) % 2 == 0 {
+            if (r + c).is_multiple_of(2) {
                 minor
             } else {
                 -minor
@@ -102,10 +99,7 @@ impl Mul for Iso {
     type Output = Iso;
     /// Composition: `(a * b).apply(p) == a.apply(b.apply(p))`.
     fn mul(self, b: Iso) -> Iso {
-        Iso::new(
-            self.linear * b.linear,
-            self.linear * b.translation + self.translation,
-        )
+        Iso::new(self.linear * b.linear, self.linear * b.translation + self.translation)
     }
 }
 

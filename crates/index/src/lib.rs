@@ -4,9 +4,12 @@
 //! paths for 10-NN queries, with I/O *simulated* ("one page access was
 //! counted as 8 ms and for the costs of reading one byte we counted
 //! 200 ns") because data and indexes fit in RAM. This crate rebuilds
-//! that setting:
+//! that setting on top of `vsim-store`'s layered storage engine: every
+//! access method owns a span of pages in an in-memory page store, and
+//! queries read those pages through the buffer pool of a per-query
+//! [`QueryContext`] — so hit/miss accounting, simulated I/O, and
+//! algorithmic counters are all attributed to individual queries.
 //!
-//! * [`io`] — page/byte counters and the paper's cost model.
 //! * [`xtree`] — an X-tree [Berchtold, Keim & Kriegel, VLDB'96]:
 //!   R*-tree topology plus *supernodes* that grow instead of splitting
 //!   when a split would produce high-overlap directory entries. Indexes
@@ -20,24 +23,28 @@
 //!   step and the sequential-scan baseline.
 
 //! ```
-//! use vsim_index::{XTree, IoStats};
+//! use vsim_index::{QueryContext, XTree};
 //!
-//! let stats = IoStats::new();
-//! let mut tree = XTree::new(2, std::sync::Arc::clone(&stats));
+//! let mut tree = XTree::new(2);
 //! for i in 0..100 {
 //!     tree.insert(&[i as f64, (i % 10) as f64], i);
 //! }
-//! let hits = tree.knn(&[50.0, 5.0], 3);
+//! let ctx = QueryContext::ephemeral();
+//! let hits = tree.knn(&[50.0, 5.0], 3, &ctx);
 //! assert_eq!(hits.len(), 3);
-//! assert!(stats.snapshot().pages > 0); // queries charge simulated I/O
+//! // Queries charge simulated I/O to their own context.
+//! assert!(ctx.stats(std::time::Duration::ZERO).io.pages > 0);
 //! ```
 
-pub mod io;
 pub mod mtree;
 pub mod storage;
 pub mod xtree;
 
-pub use io::{CostModel, IoStats, IoSnapshot, PAGE_SIZE};
 pub use mtree::MTree;
 pub use storage::VectorSetStore;
 pub use xtree::XTree;
+// The storage-engine layer these access methods are built on.
+pub use vsim_store::{
+    BufferPool, CacheCounts, CostModel, InMemoryPageStore, IoSnapshot, IoTracker, PageKey,
+    PageStore, PoolStats, QueryContext, QueryStats, StoreId, TrackerSnapshot, PAGE_SIZE,
+};

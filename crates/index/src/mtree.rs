@@ -4,12 +4,11 @@
 //! the alternative Section 4.3 mentions before introducing the centroid
 //! filter.
 
-use crate::io::IoStats;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
-use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use std::sync::Arc;
 use vsim_setdist::Distance;
+use vsim_store::{InMemoryPageStore, PageStore, QueryContext};
 
 struct LeafEntry<T> {
     obj: T,
@@ -38,38 +37,36 @@ impl<T> MNode<T> {
     }
 }
 
-/// An M-tree over objects of type `T` under a supplied metric.
+/// An M-tree over objects of type `T` under a supplied metric. One node
+/// occupies one page of the tree's [`InMemoryPageStore`] (page number ==
+/// node index); queries read nodes through the buffer pool of the
+/// [`QueryContext`] they are given.
 pub struct MTree<T> {
     dist: Arc<dyn Distance<T>>,
     nodes: Vec<MNode<T>>,
     root: usize,
     capacity: usize,
     bytes_per_entry: usize,
-    stats: Arc<IoStats>,
-    distance_computations: AtomicU64,
+    store: InMemoryPageStore,
     len: usize,
 }
 
 impl<T: Clone> MTree<T> {
     /// `capacity` = entries per node (page); `bytes_per_entry` feeds the
     /// byte-level I/O accounting.
-    pub fn new(
-        dist: Arc<dyn Distance<T>>,
-        capacity: usize,
-        bytes_per_entry: usize,
-        stats: Arc<IoStats>,
-    ) -> Self {
+    pub fn new(dist: Arc<dyn Distance<T>>, capacity: usize, bytes_per_entry: usize) -> Self {
         assert!(capacity >= 4, "M-tree capacity must be at least 4");
-        MTree {
+        let mut tree = MTree {
             dist,
-            nodes: vec![MNode::Leaf(Vec::new())],
+            nodes: Vec::new(),
             root: 0,
             capacity,
             bytes_per_entry,
-            stats,
-            distance_computations: AtomicU64::new(0),
+            store: InMemoryPageStore::new(),
             len: 0,
-        }
+        };
+        tree.push_node(MNode::Leaf(Vec::new()));
+        tree
     }
 
     pub fn len(&self) -> usize {
@@ -80,29 +77,45 @@ impl<T: Clone> MTree<T> {
         self.len == 0
     }
 
-    /// Metric distance evaluations since construction (CPU-side cost
-    /// measure used in the benchmarks).
-    pub fn distance_computations(&self) -> u64 {
-        self.distance_computations.load(AtomicOrdering::Relaxed)
+    /// The backing page store.
+    pub fn page_store(&self) -> &InMemoryPageStore {
+        &self.store
     }
 
+    /// Append a node, allocating its page (page number == node index).
+    fn push_node(&mut self, node: MNode<T>) -> usize {
+        let idx = self.nodes.len();
+        self.nodes.push(node);
+        let page = self.store.allocate(1);
+        debug_assert_eq!(page, idx as u64);
+        idx
+    }
+
+    /// Build-phase distance (not charged to any query).
     fn d(&self, a: &T, b: &T) -> f64 {
-        self.distance_computations.fetch_add(1, AtomicOrdering::Relaxed);
         self.dist.distance(a, b)
     }
 
-    fn charge(&self, node: usize) {
-        self.stats.record_pages(1);
-        self.stats
-            .record_bytes((self.nodes[node].len() * self.bytes_per_entry) as u64);
+    /// Query-phase distance, counted on the query's context.
+    fn dq(&self, a: &T, b: &T, ctx: &QueryContext) -> f64 {
+        ctx.count_distance_evals(1);
+        self.dist.distance(a, b)
+    }
+
+    /// Read one node through the context's buffer pool: a miss charges
+    /// one page plus the node's payload bytes; a hit is free.
+    fn charge(&self, node: usize, ctx: &QueryContext) {
+        let missed = ctx.access(self.store.id(), node as u64, 1);
+        if missed > 0 {
+            ctx.record_bytes((self.nodes[node].len() * self.bytes_per_entry) as u64);
+        }
     }
 
     /// Insert an object (build phase: no I/O charged).
     pub fn insert(&mut self, obj: T, id: u64) {
         if let Some((e1, e2)) = self.insert_rec(self.root, obj, id, None) {
             let children = vec![e1, e2];
-            let idx = self.nodes.len();
-            self.nodes.push(MNode::Internal(children));
+            let idx = self.push_node(MNode::Internal(children));
             self.root = idx;
         }
         self.len += 1;
@@ -142,11 +155,8 @@ impl<T: Clone> MTree<T> {
                 if let MNode::Internal(entries) = &self.nodes[node] {
                     for (i, e) in entries.iter().enumerate() {
                         let contained = dists[i] <= e.radius;
-                        let key = if contained {
-                            (true, dists[i])
-                        } else {
-                            (false, dists[i] - e.radius)
-                        };
+                        let key =
+                            if contained { (true, dists[i]) } else { (false, dists[i] - e.radius) };
                         // Prefer contained; among those min distance;
                         // otherwise min enlargement.
                         let better = match (key.0, best_key.0) {
@@ -230,58 +240,51 @@ impl<T: Clone> MTree<T> {
         let o2 = objs[p2].clone();
 
         // Partition entries to the nearer promoted object.
-        let assign: Vec<bool> = objs
-            .iter()
-            .map(|o| self.d(&o1, o) <= self.d(&o2, o))
-            .collect();
+        let assign: Vec<bool> = objs.iter().map(|o| self.d(&o1, o) <= self.d(&o2, o)).collect();
 
-        let (left_idx, right_idx, r1, r2) = match std::mem::replace(
-            &mut self.nodes[node],
-            MNode::Leaf(Vec::new()),
-        ) {
-            MNode::Leaf(entries) => {
-                let mut left = Vec::new();
-                let mut right = Vec::new();
-                let mut r1 = 0.0f64;
-                let mut r2 = 0.0f64;
-                for (e, &to_left) in entries.into_iter().zip(&assign) {
-                    if to_left {
-                        let d = self.d(&o1, &e.obj);
-                        r1 = r1.max(d);
-                        left.push(LeafEntry { dist_to_parent: d, ..e });
-                    } else {
-                        let d = self.d(&o2, &e.obj);
-                        r2 = r2.max(d);
-                        right.push(LeafEntry { dist_to_parent: d, ..e });
+        let (left_idx, right_idx, r1, r2) =
+            match std::mem::replace(&mut self.nodes[node], MNode::Leaf(Vec::new())) {
+                MNode::Leaf(entries) => {
+                    let mut left = Vec::new();
+                    let mut right = Vec::new();
+                    let mut r1 = 0.0f64;
+                    let mut r2 = 0.0f64;
+                    for (e, &to_left) in entries.into_iter().zip(&assign) {
+                        if to_left {
+                            let d = self.d(&o1, &e.obj);
+                            r1 = r1.max(d);
+                            left.push(LeafEntry { dist_to_parent: d, ..e });
+                        } else {
+                            let d = self.d(&o2, &e.obj);
+                            r2 = r2.max(d);
+                            right.push(LeafEntry { dist_to_parent: d, ..e });
+                        }
                     }
+                    self.nodes[node] = MNode::Leaf(left);
+                    let ridx = self.push_node(MNode::Leaf(right));
+                    (node, ridx, r1, r2)
                 }
-                self.nodes[node] = MNode::Leaf(left);
-                let ridx = self.nodes.len();
-                self.nodes.push(MNode::Leaf(right));
-                (node, ridx, r1, r2)
-            }
-            MNode::Internal(entries) => {
-                let mut left = Vec::new();
-                let mut right = Vec::new();
-                let mut r1 = 0.0f64;
-                let mut r2 = 0.0f64;
-                for (e, &to_left) in entries.into_iter().zip(&assign) {
-                    if to_left {
-                        let d = self.d(&o1, &e.obj);
-                        r1 = r1.max(d + e.radius);
-                        left.push(RoutingEntry { dist_to_parent: d, ..e });
-                    } else {
-                        let d = self.d(&o2, &e.obj);
-                        r2 = r2.max(d + e.radius);
-                        right.push(RoutingEntry { dist_to_parent: d, ..e });
+                MNode::Internal(entries) => {
+                    let mut left = Vec::new();
+                    let mut right = Vec::new();
+                    let mut r1 = 0.0f64;
+                    let mut r2 = 0.0f64;
+                    for (e, &to_left) in entries.into_iter().zip(&assign) {
+                        if to_left {
+                            let d = self.d(&o1, &e.obj);
+                            r1 = r1.max(d + e.radius);
+                            left.push(RoutingEntry { dist_to_parent: d, ..e });
+                        } else {
+                            let d = self.d(&o2, &e.obj);
+                            r2 = r2.max(d + e.radius);
+                            right.push(RoutingEntry { dist_to_parent: d, ..e });
+                        }
                     }
+                    self.nodes[node] = MNode::Internal(left);
+                    let ridx = self.push_node(MNode::Internal(right));
+                    (node, ridx, r1, r2)
                 }
-                self.nodes[node] = MNode::Internal(left);
-                let ridx = self.nodes.len();
-                self.nodes.push(MNode::Internal(right));
-                (node, ridx, r1, r2)
-            }
-        };
+            };
 
         (
             RoutingEntry { obj: o1, radius: r1, dist_to_parent: 0.0, child: left_idx },
@@ -290,7 +293,7 @@ impl<T: Clone> MTree<T> {
     }
 
     /// All `(id, distance)` within `eps` of `query`.
-    pub fn range_query(&self, query: &T, eps: f64) -> Vec<(u64, f64)> {
+    pub fn range_query(&self, query: &T, eps: f64, ctx: &QueryContext) -> Vec<(u64, f64)> {
         let mut out = Vec::new();
         if self.len == 0 {
             return out;
@@ -298,7 +301,7 @@ impl<T: Clone> MTree<T> {
         // Stack of (node, dist(query, node's routing object) or None for root).
         let mut stack: Vec<(usize, Option<f64>)> = vec![(self.root, None)];
         while let Some((node, parent_dist)) = stack.pop() {
-            self.charge(node);
+            self.charge(node, ctx);
             match &self.nodes[node] {
                 MNode::Leaf(entries) => {
                     for e in entries {
@@ -308,7 +311,7 @@ impl<T: Clone> MTree<T> {
                                 continue;
                             }
                         }
-                        let d = self.d(query, &e.obj);
+                        let d = self.dq(query, &e.obj, ctx);
                         if d <= eps {
                             out.push((e.id, d));
                         }
@@ -321,7 +324,7 @@ impl<T: Clone> MTree<T> {
                                 continue;
                             }
                         }
-                        let d = self.d(query, &e.obj);
+                        let d = self.dq(query, &e.obj, ctx);
                         if d <= eps + e.radius {
                             stack.push((e.child, Some(d)));
                         }
@@ -334,7 +337,7 @@ impl<T: Clone> MTree<T> {
 
     /// The `k` nearest neighbors, sorted by distance (best-first search
     /// with covering-radius pruning).
-    pub fn knn(&self, query: &T, k: usize) -> Vec<(u64, f64)> {
+    pub fn knn(&self, query: &T, k: usize, ctx: &QueryContext) -> Vec<(u64, f64)> {
         if self.len == 0 || k == 0 {
             return Vec::new();
         }
@@ -346,11 +349,11 @@ impl<T: Clone> MTree<T> {
             if dist > worst {
                 break;
             }
-            self.charge(node);
+            self.charge(node, ctx);
             match &self.nodes[node] {
                 MNode::Leaf(entries) => {
                     for e in entries {
-                        let d = self.d(query, &e.obj);
+                        let d = self.dq(query, &e.obj, ctx);
                         if d < worst || result.len() < k {
                             result.push((e.id, d));
                             result.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
@@ -363,7 +366,7 @@ impl<T: Clone> MTree<T> {
                 }
                 MNode::Internal(entries) => {
                     for e in entries {
-                        let d = self.d(query, &e.obj);
+                        let d = self.dq(query, &e.obj, ctx);
                         let mindist = (d - e.radius).max(0.0);
                         if mindist <= worst {
                             heap.push(MHeapEntry { dist: mindist, node: e.child });
@@ -402,13 +405,14 @@ mod tests {
     use super::*;
     use rand::prelude::*;
 
-    fn euclid2(a: &Vec<f64>, b: &Vec<f64>) -> f64 {
+    fn euclid2(a: &[f64], b: &[f64]) -> f64 {
         a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
     }
 
     fn build(points: &[Vec<f64>]) -> MTree<Vec<f64>> {
-        let dist: Arc<dyn Distance<Vec<f64>>> = Arc::new(euclid2);
-        let mut t = MTree::new(dist, 8, 32, IoStats::new());
+        let dist: Arc<dyn Distance<Vec<f64>>> =
+            Arc::new(|a: &Vec<f64>, b: &Vec<f64>| euclid2(a, b));
+        let mut t = MTree::new(dist, 8, 32);
         for (i, p) in points.iter().enumerate() {
             t.insert(p.clone(), i as u64);
         }
@@ -417,18 +421,18 @@ mod tests {
 
     fn random_points(n: usize, dim: usize, seed: u64) -> Vec<Vec<f64>> {
         let mut rng = StdRng::seed_from_u64(seed);
-        (0..n)
-            .map(|_| (0..dim).map(|_| rng.gen_range(0.0..100.0)).collect())
-            .collect()
+        (0..n).map(|_| (0..dim).map(|_| rng.gen_range(0.0..100.0)).collect()).collect()
     }
 
     #[test]
     fn empty_tree() {
-        let dist: Arc<dyn Distance<Vec<f64>>> = Arc::new(euclid2);
-        let t: MTree<Vec<f64>> = MTree::new(dist, 8, 32, IoStats::new());
+        let dist: Arc<dyn Distance<Vec<f64>>> =
+            Arc::new(|a: &Vec<f64>, b: &Vec<f64>| euclid2(a, b));
+        let t: MTree<Vec<f64>> = MTree::new(dist, 8, 32);
+        let ctx = QueryContext::ephemeral();
         assert!(t.is_empty());
-        assert!(t.range_query(&vec![0.0, 0.0], 5.0).is_empty());
-        assert!(t.knn(&vec![0.0, 0.0], 3).is_empty());
+        assert!(t.range_query(&vec![0.0, 0.0], 5.0, &ctx).is_empty());
+        assert!(t.knn(&vec![0.0, 0.0], 3, &ctx).is_empty());
     }
 
     #[test]
@@ -437,8 +441,9 @@ mod tests {
         let t = build(&pts);
         for q in random_points(8, 3, 100) {
             for eps in [10.0, 30.0] {
+                let ctx = QueryContext::ephemeral();
                 let mut got: Vec<u64> =
-                    t.range_query(&q, eps).into_iter().map(|(id, _)| id).collect();
+                    t.range_query(&q, eps, &ctx).into_iter().map(|(id, _)| id).collect();
                 got.sort_unstable();
                 let mut want: Vec<u64> = pts
                     .iter()
@@ -457,12 +462,10 @@ mod tests {
         let pts = random_points(300, 2, 123);
         let t = build(&pts);
         for q in random_points(6, 2, 124) {
-            let got = t.knn(&q, 7);
-            let mut all: Vec<(u64, f64)> = pts
-                .iter()
-                .enumerate()
-                .map(|(i, p)| (i as u64, euclid2(p, &q)))
-                .collect();
+            let ctx = QueryContext::ephemeral();
+            let got = t.knn(&q, 7, &ctx);
+            let mut all: Vec<(u64, f64)> =
+                pts.iter().enumerate().map(|(i, p)| (i as u64, euclid2(p, &q))).collect();
             all.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
             assert_eq!(got.len(), 7);
             for (g, w) in got.iter().zip(all.iter()) {
@@ -475,9 +478,9 @@ mod tests {
     fn pruning_saves_distance_computations() {
         let pts = random_points(2000, 2, 7);
         let t = build(&pts);
-        let before = t.distance_computations();
-        let _ = t.knn(&pts[0], 5);
-        let used = t.distance_computations() - before;
+        let ctx = QueryContext::ephemeral();
+        let _ = t.knn(&pts[0], 5, &ctx);
+        let used = ctx.stats(std::time::Duration::ZERO).distance_evals;
         assert!(
             (used as usize) < pts.len(),
             "kNN used {used} distance computations for {} objects",
@@ -488,17 +491,28 @@ mod tests {
     #[test]
     fn io_charged_on_queries() {
         let pts = random_points(500, 2, 8);
-        let dist: Arc<dyn Distance<Vec<f64>>> = Arc::new(euclid2);
-        let stats = IoStats::new();
-        let mut t = MTree::new(dist, 8, 32, Arc::clone(&stats));
-        for (i, p) in pts.iter().enumerate() {
-            t.insert(p.clone(), i as u64);
-        }
-        stats.reset();
-        let _ = t.range_query(&pts[3], 5.0);
-        let snap = stats.snapshot();
-        assert!(snap.pages > 0);
-        assert!(snap.bytes > 0);
+        let t = build(&pts);
+        let ctx = QueryContext::ephemeral();
+        let _ = t.range_query(&pts[3], 5.0, &ctx);
+        let snap = ctx.stats(std::time::Duration::ZERO);
+        assert!(snap.io.pages > 0);
+        assert!(snap.io.bytes > 0);
+    }
+
+    #[test]
+    fn warm_pool_charges_no_pages_or_bytes() {
+        let pts = random_points(500, 2, 9);
+        let t = build(&pts);
+        let pool = vsim_store::BufferPool::unbounded();
+        let cold = QueryContext::with_pool(Arc::clone(&pool));
+        let _ = t.knn(&pts[0], 5, &cold);
+        assert!(cold.stats(std::time::Duration::ZERO).io.pages > 0);
+        let warm = QueryContext::with_pool(pool);
+        let _ = t.knn(&pts[0], 5, &warm);
+        let s = warm.stats(std::time::Duration::ZERO);
+        assert_eq!(s.io.pages, 0);
+        assert_eq!(s.io.bytes, 0, "bytes are only charged on misses");
+        assert!(s.distance_evals > 0, "CPU work is still counted");
     }
 
     #[test]
@@ -513,24 +527,20 @@ mod tests {
             let cx = (c % 5) as f64 * 20.0;
             let cy = (c / 5) as f64 * 20.0;
             for _ in 0..60 {
-                pts.push(vec![
-                    cx + rng.gen_range(-3.0..3.0),
-                    cy + rng.gen_range(-3.0..3.0),
-                ]);
+                pts.push(vec![cx + rng.gen_range(-3.0..3.0), cy + rng.gen_range(-3.0..3.0)]);
             }
         }
-        let dist: Arc<dyn Distance<Vec<f64>>> = Arc::new(euclid2);
-        let mut t = MTree::new(dist, 4, 32, IoStats::new());
+        let dist: Arc<dyn Distance<Vec<f64>>> =
+            Arc::new(|a: &Vec<f64>, b: &Vec<f64>| euclid2(a, b));
+        let mut t = MTree::new(dist, 4, 32);
         for (i, p) in pts.iter().enumerate() {
             t.insert(p.clone(), i as u64);
         }
         for qi in (0..pts.len()).step_by(97) {
             for eps in [1.0, 4.0, 15.0] {
-                let mut got: Vec<u64> = t
-                    .range_query(&pts[qi], eps)
-                    .into_iter()
-                    .map(|(id, _)| id)
-                    .collect();
+                let ctx = QueryContext::ephemeral();
+                let mut got: Vec<u64> =
+                    t.range_query(&pts[qi], eps, &ctx).into_iter().map(|(id, _)| id).collect();
                 got.sort_unstable();
                 let mut want: Vec<u64> = pts
                     .iter()
@@ -551,18 +561,16 @@ mod tests {
             a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
         };
         let dist: Arc<dyn Distance<Vec<f64>>> = Arc::new(l1);
-        let mut t = MTree::new(dist, 6, 16, IoStats::new());
+        let mut t = MTree::new(dist, 6, 16);
         let pts = random_points(200, 2, 55);
         for (i, p) in pts.iter().enumerate() {
             t.insert(p.clone(), i as u64);
         }
         let q = vec![50.0, 50.0];
-        let got = t.knn(&q, 5);
-        let mut all: Vec<(u64, f64)> = pts
-            .iter()
-            .enumerate()
-            .map(|(i, p)| (i as u64, l1(p, &q)))
-            .collect();
+        let ctx = QueryContext::ephemeral();
+        let got = t.knn(&q, 5, &ctx);
+        let mut all: Vec<(u64, f64)> =
+            pts.iter().enumerate().map(|(i, p)| (i as u64, l1(p, &q))).collect();
         all.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
         for (g, w) in got.iter().zip(all.iter()) {
             assert!((g.1 - w.1).abs() < 1e-9);

@@ -6,10 +6,9 @@
 //! contiguous byte image (via `bytes`) so page-access and byte counts
 //! reflect a real layout, including records straddling page boundaries.
 
-use crate::io::{IoStats, PAGE_SIZE};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use std::sync::Arc;
 use vsim_setdist::VectorSet;
+use vsim_store::{InMemoryPageStore, PageStore, QueryContext, PAGE_SIZE};
 
 /// On-"disk" record image: `u32` dim, `u32` count, then `dim·count` f64s.
 fn encode(set: &VectorSet) -> Bytes {
@@ -33,15 +32,17 @@ fn decode(mut buf: &[u8]) -> VectorSet {
 }
 
 /// A read-only heap file of vector sets, addressed by dense `u64` ids.
+/// The file occupies a span of pages in an [`InMemoryPageStore`];
+/// queries read them through the buffer pool of a [`QueryContext`].
 pub struct VectorSetStore {
     image: Bytes,
     /// Byte offset of record `i`; `offsets[len]` = total size.
     offsets: Vec<usize>,
-    stats: Arc<IoStats>,
+    pages: InMemoryPageStore,
 }
 
 impl VectorSetStore {
-    pub fn build(sets: &[VectorSet], stats: Arc<IoStats>) -> Self {
+    pub fn build(sets: &[VectorSet]) -> Self {
         let mut image = BytesMut::new();
         let mut offsets = Vec::with_capacity(sets.len() + 1);
         for s in sets {
@@ -49,7 +50,15 @@ impl VectorSetStore {
             image.put(encode(s));
         }
         offsets.push(image.len());
-        VectorSetStore { image: image.freeze(), offsets, stats }
+        let image = image.freeze();
+        let pages = InMemoryPageStore::new();
+        pages.allocate(image.len().div_ceil(PAGE_SIZE) as u64);
+        VectorSetStore { image, offsets, pages }
+    }
+
+    /// The backing page store.
+    pub fn page_store(&self) -> &InMemoryPageStore {
+        &self.pages
     }
 
     pub fn len(&self) -> usize {
@@ -76,23 +85,33 @@ impl VectorSetStore {
         self.offsets[i + 1] - self.offsets[i]
     }
 
-    /// Random access: charges the page(s) the record spans plus its
-    /// bytes, then decodes it.
-    pub fn get(&self, id: u64) -> VectorSet {
+    /// Random access: reads the page(s) the record spans through the
+    /// context's buffer pool, then decodes it. Missed pages are charged
+    /// by the pool; the record's bytes are charged iff at least one of
+    /// its pages missed (a fully resident record costs nothing).
+    pub fn get(&self, id: u64, ctx: &QueryContext) -> VectorSet {
         let i = id as usize;
         let (start, end) = (self.offsets[i], self.offsets[i + 1]);
-        let first_page = start / PAGE_SIZE;
-        let last_page = (end - 1) / PAGE_SIZE;
-        self.stats.record_pages((last_page - first_page + 1) as u64);
-        self.stats.record_bytes((end - start) as u64);
+        let first_page = (start / PAGE_SIZE) as u64;
+        let last_page = ((end - 1) / PAGE_SIZE) as u64;
+        let missed = ctx.access(self.pages.id(), first_page, last_page - first_page + 1);
+        if missed > 0 {
+            ctx.record_bytes((end - start) as u64);
+        }
         decode(&self.image[start..end])
     }
 
-    /// Sequential scan: charges the whole file once (all pages, all
-    /// bytes), then yields `(id, set)` pairs.
-    pub fn scan(&self) -> impl Iterator<Item = (u64, VectorSet)> + '_ {
-        self.stats.record_pages(self.total_pages() as u64);
-        self.stats.record_bytes(self.total_bytes() as u64);
+    /// Sequential scan: reads every page of the file through the
+    /// context's buffer pool (a cold pool charges exactly the file's
+    /// total pages and bytes), then yields `(id, set)` pairs.
+    pub fn scan<'a>(&'a self, ctx: &QueryContext) -> impl Iterator<Item = (u64, VectorSet)> + 'a {
+        let total = self.total_bytes();
+        for page in 0..self.total_pages() as u64 {
+            if ctx.access(self.pages.id(), page, 1) > 0 {
+                let used = (total - page as usize * PAGE_SIZE).min(PAGE_SIZE);
+                ctx.record_bytes(used as u64);
+            }
+        }
         (0..self.len()).map(move |i| {
             let (start, end) = (self.offsets[i], self.offsets[i + 1]);
             (i as u64, decode(&self.image[start..end]))
@@ -120,17 +139,18 @@ mod tests {
     #[test]
     fn roundtrip_preserves_sets() {
         let sets = sample_sets();
-        let store = VectorSetStore::build(&sets, IoStats::new());
+        let store = VectorSetStore::build(&sets);
+        let ctx = QueryContext::ephemeral();
         assert_eq!(store.len(), sets.len());
         for (i, s) in sets.iter().enumerate() {
-            assert_eq!(&store.get(i as u64), s);
+            assert_eq!(&store.get(i as u64, &ctx), s);
         }
     }
 
     #[test]
     fn record_bytes_match_layout() {
         let sets = sample_sets();
-        let store = VectorSetStore::build(&sets, IoStats::new());
+        let store = VectorSetStore::build(&sets);
         for (i, s) in sets.iter().enumerate() {
             assert_eq!(store.record_bytes(i as u64), 8 + 8 * s.flat().len());
             assert_eq!(store.record_bytes(i as u64), s.storage_bytes());
@@ -142,26 +162,37 @@ mod tests {
     #[test]
     fn random_access_charges_record_io() {
         let sets = sample_sets();
-        let stats = IoStats::new();
-        let store = VectorSetStore::build(&sets, Arc::clone(&stats));
-        stats.reset();
-        let _ = store.get(3);
-        let snap = stats.snapshot();
-        assert!(snap.pages >= 1);
-        assert_eq!(snap.bytes as usize, store.record_bytes(3));
+        let store = VectorSetStore::build(&sets);
+        let ctx = QueryContext::ephemeral();
+        let _ = store.get(3, &ctx);
+        let snap = ctx.stats(std::time::Duration::ZERO);
+        assert!(snap.io.pages >= 1);
+        assert_eq!(snap.io.bytes as usize, store.record_bytes(3));
+    }
+
+    #[test]
+    fn repeated_get_through_warm_pool_is_free() {
+        let sets = sample_sets();
+        let store = VectorSetStore::build(&sets);
+        let ctx = QueryContext::ephemeral();
+        let _ = store.get(3, &ctx);
+        let cold = ctx.stats(std::time::Duration::ZERO);
+        let _ = store.get(3, &ctx);
+        let warm = ctx.stats(std::time::Duration::ZERO);
+        assert_eq!(warm.io.pages, cold.io.pages, "no new pages on a re-read");
+        assert_eq!(warm.io.bytes, cold.io.bytes, "no new bytes on a re-read");
     }
 
     #[test]
     fn scan_charges_whole_file() {
         let sets = sample_sets();
-        let stats = IoStats::new();
-        let store = VectorSetStore::build(&sets, Arc::clone(&stats));
-        stats.reset();
-        let n = store.scan().count();
+        let store = VectorSetStore::build(&sets);
+        let ctx = QueryContext::ephemeral();
+        let n = store.scan(&ctx).count();
         assert_eq!(n, sets.len());
-        let snap = stats.snapshot();
-        assert_eq!(snap.pages as usize, store.total_pages());
-        assert_eq!(snap.bytes as usize, store.total_bytes());
+        let snap = ctx.stats(std::time::Duration::ZERO);
+        assert_eq!(snap.io.pages as usize, store.total_pages());
+        assert_eq!(snap.io.bytes as usize, store.total_bytes());
     }
 
     #[test]
@@ -177,13 +208,12 @@ mod tests {
                 s
             })
             .collect();
-        let stats = IoStats::new();
-        let store = VectorSetStore::build(&sets, Arc::clone(&stats));
+        let store = VectorSetStore::build(&sets);
         let mut straddlers = 0;
         for i in 0..store.len() {
-            stats.reset();
-            let _ = store.get(i as u64);
-            if stats.snapshot().pages == 2 {
+            let ctx = QueryContext::ephemeral();
+            let _ = store.get(i as u64, &ctx);
+            if ctx.stats(std::time::Duration::ZERO).io.pages == 2 {
                 straddlers += 1;
             }
         }
@@ -192,9 +222,10 @@ mod tests {
 
     #[test]
     fn empty_store() {
-        let store = VectorSetStore::build(&[], IoStats::new());
+        let store = VectorSetStore::build(&[]);
+        let ctx = QueryContext::ephemeral();
         assert!(store.is_empty());
         assert_eq!(store.total_pages(), 0);
-        assert_eq!(store.scan().count(), 0);
+        assert_eq!(store.scan(&ctx).count(), 0);
     }
 }

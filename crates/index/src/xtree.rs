@@ -18,11 +18,9 @@
 //! * no forced reinsertion (the X-tree's supernode mechanism, not R*
 //!   reinsertion, is the effect under study).
 
-use crate::io::{IoStats, PAGE_SIZE};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
-use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
-use std::sync::Arc;
+use vsim_store::{InMemoryPageStore, PageStore, QueryContext, PAGE_SIZE};
 
 /// Minimum fill fraction per split half.
 const MIN_FILL: f64 = 0.4;
@@ -32,6 +30,8 @@ struct Node {
     leaf: bool,
     /// Number of disk pages this node occupies (> 1 ⇒ supernode).
     pages: usize,
+    /// First page of this node's span in the tree's page store.
+    first_page: u64,
     mbr_min: Vec<f64>,
     mbr_max: Vec<f64>,
     /// Leaf payload: flattened points plus parallel ids.
@@ -46,6 +46,7 @@ impl Node {
         Node {
             leaf,
             pages: 1,
+            first_page: 0,
             mbr_min: vec![f64::INFINITY; dim],
             mbr_max: vec![f64::NEG_INFINITY; dim],
             points: Vec::new(),
@@ -64,7 +65,9 @@ impl Node {
 }
 
 /// A point X-tree over `dim`-dimensional `f64` points with `u64` payload
-/// ids and simulated I/O accounting.
+/// ids. Node pages live in an [`InMemoryPageStore`]; queries read them
+/// through the buffer pool of the [`QueryContext`] they are given, so
+/// all I/O accounting is per query.
 pub struct XTree {
     dim: usize,
     nodes: Vec<Node>,
@@ -74,34 +77,33 @@ pub struct XTree {
     /// Split-overlap threshold above which a directory node becomes a
     /// supernode (the X-tree paper suggests ~20%).
     pub max_overlap: f64,
-    stats: Arc<IoStats>,
+    store: InMemoryPageStore,
     len: usize,
-    distance_evals: AtomicU64,
 }
 
 impl XTree {
     /// Create an empty X-tree. Node capacities derive from [`PAGE_SIZE`]
     /// and the entry sizes (8 bytes per coordinate + 8-byte id for leaf
     /// entries, two coordinates vectors + pointer for directory entries).
-    pub fn new(dim: usize, stats: Arc<IoStats>) -> Self {
+    pub fn new(dim: usize) -> Self {
         assert!(dim > 0);
         let leaf_entry = 8 * dim + 8;
         let dir_entry = 16 * dim + 8;
         let leaf_cap = (PAGE_SIZE / leaf_entry).max(4);
         let dir_cap = (PAGE_SIZE / dir_entry).max(4);
-        let mut nodes = Vec::new();
-        nodes.push(Node::new(true, dim));
-        XTree {
+        let mut tree = XTree {
             dim,
-            nodes,
+            nodes: Vec::new(),
             root: 0,
             leaf_cap,
             dir_cap,
             max_overlap: 0.2,
-            stats,
+            store: InMemoryPageStore::new(),
             len: 0,
-            distance_evals: AtomicU64::new(0),
-        }
+        };
+        tree.nodes.push(Node::new(true, dim));
+        tree.place_node(0);
+        tree
     }
 
     pub fn len(&self) -> usize {
@@ -126,10 +128,17 @@ impl XTree {
         self.nodes.iter().map(|n| n.pages).sum()
     }
 
-    /// Point-distance evaluations performed by queries since
-    /// construction (CPU-side cost measure for the benchmarks).
-    pub fn distance_evaluations(&self) -> u64 {
-        self.distance_evals.load(AtomicOrdering::Relaxed)
+    /// The backing page store (for inspecting allocation totals).
+    pub fn page_store(&self) -> &InMemoryPageStore {
+        &self.store
+    }
+
+    /// (Re)allocate a node's page span after its page count changed.
+    /// Superseded spans are simply abandoned in the store — only
+    /// [`total_pages`](Self::total_pages) reflects the live tree size.
+    fn place_node(&mut self, node: usize) {
+        let pages = self.nodes[node].pages as u64;
+        self.nodes[node].first_page = self.store.allocate(pages);
     }
 
     pub fn height(&self) -> usize {
@@ -154,8 +163,8 @@ impl XTree {
     /// tree than repeated insertion (no supernodes are needed because
     /// packing avoids overlapping splits entirely). Ids are the input
     /// positions.
-    pub fn bulk_load(dim: usize, points: &[Vec<f64>], stats: Arc<IoStats>) -> Self {
-        let mut tree = XTree::new(dim, stats);
+    pub fn bulk_load(dim: usize, points: &[Vec<f64>]) -> Self {
+        let mut tree = XTree::new(dim);
         if points.is_empty() {
             return tree;
         }
@@ -176,9 +185,7 @@ impl XTree {
                 return;
             }
             idx.sort_by(|&a, &b| {
-                points[a][axis]
-                    .partial_cmp(&points[b][axis])
-                    .unwrap_or(Ordering::Equal)
+                points[a][axis].partial_cmp(&points[b][axis]).unwrap_or(Ordering::Equal)
             });
             let leaves = idx.len().div_ceil(leaf_size);
             let remaining = dim.min(3) - axis; // axes left including this one
@@ -205,6 +212,7 @@ impl XTree {
             node.pages = pages_for(node.len(), tree.leaf_cap);
             let idx = tree.nodes.len();
             tree.nodes.push(node);
+            tree.place_node(idx);
             tree.recompute_mbr(idx);
             level.push(idx);
         }
@@ -217,6 +225,7 @@ impl XTree {
                 node.pages = pages_for(node.len(), tree.dir_cap);
                 let idx = tree.nodes.len();
                 tree.nodes.push(node);
+                tree.place_node(idx);
                 tree.recompute_mbr(idx);
                 next.push(idx);
             }
@@ -237,6 +246,7 @@ impl XTree {
             new_root.children.push(sibling);
             let idx = self.nodes.len();
             self.nodes.push(new_root);
+            self.place_node(idx);
             self.recompute_mbr(idx);
             self.root = idx;
         }
@@ -281,11 +291,11 @@ impl XTree {
             let ch = &self.nodes[c];
             let mut enl = 0.0;
             let mut margin = 0.0;
-            for d in 0..self.dim {
-                let lo = ch.mbr_min[d].min(point[d]);
-                let hi = ch.mbr_max[d].max(point[d]);
-                enl += (hi - lo) - (ch.mbr_max[d] - ch.mbr_min[d]);
-                margin += ch.mbr_max[d] - ch.mbr_min[d];
+            for ((&p, &mlo), &mhi) in point.iter().zip(&ch.mbr_min).zip(&ch.mbr_max) {
+                let lo = mlo.min(p);
+                let hi = mhi.max(p);
+                enl += (hi - lo) - (mhi - mlo);
+                margin += mhi - mlo;
             }
             if enl < best_enl - 1e-12 || (enl < best_enl + 1e-12 && margin < best_margin) {
                 best = c;
@@ -325,17 +335,12 @@ impl XTree {
     fn split_leaf(&mut self, node: usize) -> Option<usize> {
         let dim = self.dim;
         let n_entries = self.nodes[node].len();
-        let rects: Vec<(Vec<f64>, Vec<f64>)> = self.nodes[node]
-            .points
-            .chunks_exact(dim)
-            .map(|p| (p.to_vec(), p.to_vec()))
-            .collect();
+        let rects: Vec<(Vec<f64>, Vec<f64>)> =
+            self.nodes[node].points.chunks_exact(dim).map(|p| (p.to_vec(), p.to_vec())).collect();
         let (axis, split_at, _crossing) = choose_split(&rects, self.leaf_cap, n_entries);
         let mut order: Vec<usize> = (0..n_entries).collect();
         order.sort_by(|&a, &b| {
-            rects[a].0[axis]
-                .partial_cmp(&rects[b].0[axis])
-                .unwrap_or(Ordering::Equal)
+            rects[a].0[axis].partial_cmp(&rects[b].0[axis]).unwrap_or(Ordering::Equal)
         });
 
         let old_points = std::mem::take(&mut self.nodes[node].points);
@@ -351,6 +356,8 @@ impl XTree {
         right.pages = pages_for(right.len(), self.leaf_cap);
         let right_idx = self.nodes.len();
         self.nodes.push(right);
+        self.place_node(node);
+        self.place_node(right_idx);
         self.recompute_mbr(node);
         self.recompute_mbr(right_idx);
         Some(right_idx)
@@ -370,6 +377,7 @@ impl XTree {
         if crossing > self.max_overlap {
             // Supernode: extend by one page instead of splitting.
             self.nodes[node].pages += 1;
+            self.place_node(node);
             return None;
         }
         let mut order: Vec<usize> = (0..n_entries).collect();
@@ -391,18 +399,21 @@ impl XTree {
         right.pages = pages_for(right.len(), self.dir_cap);
         let right_idx = self.nodes.len();
         self.nodes.push(right);
+        self.place_node(node);
+        self.place_node(right_idx);
         self.recompute_mbr(node);
         self.recompute_mbr(right_idx);
         Some(right_idx)
     }
 
     #[inline]
-    fn charge_node(&self, node: usize) {
-        self.stats.record_pages(self.nodes[node].pages as u64);
+    fn charge_node(&self, node: usize, ctx: &QueryContext) {
+        let n = &self.nodes[node];
+        ctx.access(self.store.id(), n.first_page, n.pages as u64);
     }
 
     /// All `(id, distance)` pairs within `radius` (Euclidean) of `center`.
-    pub fn range_query(&self, center: &[f64], radius: f64) -> Vec<(u64, f64)> {
+    pub fn range_query(&self, center: &[f64], radius: f64, ctx: &QueryContext) -> Vec<(u64, f64)> {
         assert_eq!(center.len(), self.dim);
         let mut out = Vec::new();
         if self.len == 0 {
@@ -411,11 +422,10 @@ impl XTree {
         let mut stack = vec![self.root];
         let r2 = radius * radius;
         while let Some(n) = stack.pop() {
-            self.charge_node(n);
+            self.charge_node(n, ctx);
             let node = &self.nodes[n];
             if node.leaf {
-                self.distance_evals
-                    .fetch_add(node.ids.len() as u64, AtomicOrdering::Relaxed);
+                ctx.count_distance_evals(node.ids.len() as u64);
                 for (p, &id) in node.points.chunks_exact(self.dim).zip(&node.ids) {
                     let d2: f64 = p.iter().zip(center).map(|(a, b)| (a - b) * (a - b)).sum();
                     if d2 <= r2 {
@@ -434,8 +444,8 @@ impl XTree {
     }
 
     /// The `k` nearest neighbors of `center`, sorted by distance.
-    pub fn knn(&self, center: &[f64], k: usize) -> Vec<(u64, f64)> {
-        let mut it = self.nn_iter(center);
+    pub fn knn(&self, center: &[f64], k: usize, ctx: &QueryContext) -> Vec<(u64, f64)> {
+        let mut it = self.nn_iter(center, ctx);
         let mut out = Vec::with_capacity(k);
         while out.len() < k {
             match it.next() {
@@ -449,32 +459,18 @@ impl XTree {
     /// Incremental nearest-neighbor ranking (Hjaltason/Samet best-first
     /// traversal) — yields `(id, distance)` in non-decreasing distance
     /// order. This is the ranking primitive required by the optimal
-    /// multi-step k-NN algorithm [Seidl & Kriegel, SIGMOD'98].
-    pub fn nn_iter<'a>(&'a self, center: &'a [f64]) -> NnIter<'a> {
+    /// multi-step k-NN algorithm [Seidl & Kriegel, SIGMOD'98]. Node
+    /// pages already resident in the context's buffer pool are served
+    /// without an I/O charge — sharing one context across subqueries
+    /// (e.g. the 48 permutation subqueries of one invariant query,
+    /// Section 4.3) models a per-query buffer.
+    pub fn nn_iter<'a>(&'a self, center: &'a [f64], ctx: &'a QueryContext) -> NnIter<'a> {
         assert_eq!(center.len(), self.dim);
         let mut heap = BinaryHeap::new();
         if self.len > 0 {
             heap.push(HeapEntry { dist: 0.0, kind: EntryKind::Node(self.root) });
         }
-        NnIter { tree: self, center, heap, cache: None }
-    }
-
-    /// Like [`XTree::nn_iter`] but with a caller-provided buffer pool:
-    /// node pages already in `cache` are served without an I/O charge
-    /// and newly read nodes are added to it. Models a per-query buffer
-    /// (e.g. the 48 permutation subqueries of one invariant query
-    /// re-traversing the same small centroid tree, Section 4.3).
-    pub fn nn_iter_cached<'a>(
-        &'a self,
-        center: &'a [f64],
-        cache: &'a std::cell::RefCell<std::collections::HashSet<usize>>,
-    ) -> NnIter<'a> {
-        assert_eq!(center.len(), self.dim);
-        let mut heap = BinaryHeap::new();
-        if self.len > 0 {
-            heap.push(HeapEntry { dist: 0.0, kind: EntryKind::Node(self.root) });
-        }
-        NnIter { tree: self, center, heap, cache: Some(cache) }
+        NnIter { tree: self, center, heap, ctx }
     }
 }
 
@@ -483,7 +479,7 @@ pub struct NnIter<'a> {
     tree: &'a XTree,
     center: &'a [f64],
     heap: BinaryHeap<HeapEntry>,
-    cache: Option<&'a std::cell::RefCell<std::collections::HashSet<usize>>>,
+    ctx: &'a QueryContext,
 }
 
 enum EntryKind {
@@ -521,29 +517,15 @@ impl Iterator for NnIter<'_> {
             match kind {
                 EntryKind::Point(id) => return Some((id, dist)),
                 EntryKind::Node(n) => {
-                    match self.cache {
-                        Some(c) => {
-                            if c.borrow_mut().insert(n) {
-                                self.tree.charge_node(n);
-                            }
-                        }
-                        None => self.tree.charge_node(n),
-                    }
+                    self.tree.charge_node(n, self.ctx);
                     let node = &self.tree.nodes[n];
                     if node.leaf {
-                        self.tree
-                            .distance_evals
-                            .fetch_add(node.ids.len() as u64, AtomicOrdering::Relaxed);
+                        self.ctx.count_distance_evals(node.ids.len() as u64);
                         for (p, &id) in node.points.chunks_exact(self.tree.dim).zip(&node.ids) {
-                            let d2: f64 = p
-                                .iter()
-                                .zip(self.center)
-                                .map(|(a, b)| (a - b) * (a - b))
-                                .sum();
-                            self.heap.push(HeapEntry {
-                                dist: d2.sqrt(),
-                                kind: EntryKind::Point(id),
-                            });
+                            let d2: f64 =
+                                p.iter().zip(self.center).map(|(a, b)| (a - b) * (a - b)).sum();
+                            self.heap
+                                .push(HeapEntry { dist: d2.sqrt(), kind: EntryKind::Point(id) });
                         }
                     } else {
                         for &c in &node.children {
@@ -552,10 +534,7 @@ impl Iterator for NnIter<'_> {
                                 &self.tree.nodes[c].mbr_max,
                                 self.center,
                             );
-                            self.heap.push(HeapEntry {
-                                dist: d2.sqrt(),
-                                kind: EntryKind::Node(c),
-                            });
+                            self.heap.push(HeapEntry { dist: d2.sqrt(), kind: EntryKind::Node(c) });
                         }
                     }
                 }
@@ -706,13 +685,11 @@ mod tests {
 
     fn random_points(n: usize, dim: usize, seed: u64) -> Vec<Vec<f64>> {
         let mut rng = StdRng::seed_from_u64(seed);
-        (0..n)
-            .map(|_| (0..dim).map(|_| rng.gen_range(0.0..100.0)).collect())
-            .collect()
+        (0..n).map(|_| (0..dim).map(|_| rng.gen_range(0.0..100.0)).collect()).collect()
     }
 
     fn build(points: &[Vec<f64>]) -> XTree {
-        let mut t = XTree::new(points[0].len(), IoStats::new());
+        let mut t = XTree::new(points[0].len());
         for (i, p) in points.iter().enumerate() {
             t.insert(p, i as u64);
         }
@@ -721,10 +698,11 @@ mod tests {
 
     #[test]
     fn empty_tree_queries() {
-        let t = XTree::new(3, IoStats::new());
+        let t = XTree::new(3);
+        let ctx = QueryContext::ephemeral();
         assert!(t.is_empty());
-        assert!(t.range_query(&[0.0, 0.0, 0.0], 10.0).is_empty());
-        assert!(t.knn(&[0.0, 0.0, 0.0], 5).is_empty());
+        assert!(t.range_query(&[0.0, 0.0, 0.0], 10.0, &ctx).is_empty());
+        assert!(t.knn(&[0.0, 0.0, 0.0], 5, &ctx).is_empty());
     }
 
     #[test]
@@ -734,8 +712,9 @@ mod tests {
         assert_eq!(t.len(), 500);
         for q in random_points(10, 3, 8) {
             for radius in [5.0, 20.0, 60.0] {
+                let ctx = QueryContext::ephemeral();
                 let mut got: Vec<u64> =
-                    t.range_query(&q, radius).into_iter().map(|(id, _)| id).collect();
+                    t.range_query(&q, radius, &ctx).into_iter().map(|(id, _)| id).collect();
                 got.sort_unstable();
                 let mut want: Vec<u64> = pts
                     .iter()
@@ -757,7 +736,8 @@ mod tests {
         let pts = random_points(400, 4, 42);
         let t = build(&pts);
         for q in random_points(5, 4, 43) {
-            let got = t.knn(&q, 10);
+            let ctx = QueryContext::ephemeral();
+            let got = t.knn(&q, 10, &ctx);
             let want = brute_knn(&pts, &q, 10);
             assert_eq!(got.len(), 10);
             for (g, w) in got.iter().zip(&want) {
@@ -771,7 +751,8 @@ mod tests {
         let pts = random_points(300, 2, 5);
         let t = build(&pts);
         let q = [50.0, 50.0];
-        let hits: Vec<(u64, f64)> = t.nn_iter(&q).collect();
+        let ctx = QueryContext::ephemeral();
+        let hits: Vec<(u64, f64)> = t.nn_iter(&q, &ctx).collect();
         assert_eq!(hits.len(), 300);
         for w in hits.windows(2) {
             assert!(w[0].1 <= w[1].1 + 1e-12);
@@ -784,16 +765,10 @@ mod tests {
     #[test]
     fn io_is_charged_per_query() {
         let pts = random_points(2000, 2, 11);
-        let stats = IoStats::new();
-        let mut t = XTree::new(2, Arc::clone(&stats));
-        for (i, p) in pts.iter().enumerate() {
-            t.insert(p, i as u64);
-        }
-        stats.reset(); // ignore build-phase accounting
-        let before = stats.snapshot();
-        let _ = t.knn(&[50.0, 50.0], 10);
-        let after = stats.snapshot();
-        let pages_knn = (after - before).pages;
+        let t = build(&pts);
+        let ctx = QueryContext::ephemeral();
+        let _ = t.knn(&[50.0, 50.0], 10, &ctx);
+        let pages_knn = ctx.stats(std::time::Duration::ZERO).io.pages;
         assert!(pages_knn > 0);
         // A selective query must touch far fewer pages than the tree has.
         assert!(
@@ -804,30 +779,38 @@ mod tests {
     }
 
     #[test]
+    fn repeat_query_through_shared_pool_is_free() {
+        let pts = random_points(1000, 3, 12);
+        let t = build(&pts);
+        let pool = vsim_store::BufferPool::unbounded();
+        let cold = QueryContext::with_pool(std::sync::Arc::clone(&pool));
+        let _ = t.knn(&pts[0], 10, &cold);
+        assert!(cold.stats(std::time::Duration::ZERO).io.pages > 0);
+        let warm = QueryContext::with_pool(pool);
+        let _ = t.knn(&pts[0], 10, &warm);
+        let s = warm.stats(std::time::Duration::ZERO);
+        assert_eq!(s.io.pages, 0, "warm pool: identical query re-reads no pages");
+        assert!(s.cache.hits > 0);
+    }
+
+    #[test]
     fn high_dimensions_degrade_to_supernodes() {
         // 6-d tree stays selective; 42-d tree grows supernodes and reads
         // a large fraction of its pages per query (the Table 2 effect).
         let n = 1500;
         let low = random_points(n, 6, 1);
         let high = random_points(n, 42, 2);
+        let t_low = build(&low);
+        let t_high = build(&high);
 
-        let s_low = IoStats::new();
-        let mut t_low = XTree::new(6, Arc::clone(&s_low));
-        for (i, p) in low.iter().enumerate() {
-            t_low.insert(p, i as u64);
-        }
-        let s_high = IoStats::new();
-        let mut t_high = XTree::new(42, Arc::clone(&s_high));
-        for (i, p) in high.iter().enumerate() {
-            t_high.insert(p, i as u64);
-        }
-
-        s_low.reset();
-        s_high.reset();
-        let _ = t_low.knn(&low[0], 10);
-        let _ = t_high.knn(&high[0], 10);
-        let frac_low = s_low.snapshot().pages as f64 / t_low.total_pages() as f64;
-        let frac_high = s_high.snapshot().pages as f64 / t_high.total_pages() as f64;
+        let c_low = QueryContext::ephemeral();
+        let c_high = QueryContext::ephemeral();
+        let _ = t_low.knn(&low[0], 10, &c_low);
+        let _ = t_high.knn(&high[0], 10, &c_high);
+        let frac_low =
+            c_low.stats(std::time::Duration::ZERO).io.pages as f64 / t_low.total_pages() as f64;
+        let frac_high =
+            c_high.stats(std::time::Duration::ZERO).io.pages as f64 / t_high.total_pages() as f64;
         assert!(
             frac_high > 2.0 * frac_low,
             "high-d page fraction {frac_high:.2} vs low-d {frac_low:.2}"
@@ -836,11 +819,12 @@ mod tests {
 
     #[test]
     fn duplicate_points_are_retrievable() {
-        let mut t = XTree::new(2, IoStats::new());
+        let mut t = XTree::new(2);
         for i in 0..50 {
             t.insert(&[1.0, 1.0], i);
         }
-        let hits = t.range_query(&[1.0, 1.0], 0.0);
+        let ctx = QueryContext::ephemeral();
+        let hits = t.range_query(&[1.0, 1.0], 0.0, &ctx);
         assert_eq!(hits.len(), 50);
     }
 
@@ -848,16 +832,19 @@ mod tests {
     fn bulk_load_queries_match_insert_build() {
         let pts = random_points(800, 5, 31);
         let inserted = build(&pts);
-        let bulk = XTree::bulk_load(5, &pts, IoStats::new());
+        let bulk = XTree::bulk_load(5, &pts);
         assert_eq!(bulk.len(), 800);
         for q in random_points(5, 5, 32) {
-            let a = inserted.knn(&q, 10);
-            let b = bulk.knn(&q, 10);
+            let ctx = QueryContext::ephemeral();
+            let a = inserted.knn(&q, 10, &ctx);
+            let b = bulk.knn(&q, 10, &ctx);
             for (x, y) in a.iter().zip(&b) {
                 assert!((x.1 - y.1).abs() < 1e-9);
             }
-            let mut ra: Vec<u64> = inserted.range_query(&q, 25.0).into_iter().map(|(i, _)| i).collect();
-            let mut rb: Vec<u64> = bulk.range_query(&q, 25.0).into_iter().map(|(i, _)| i).collect();
+            let mut ra: Vec<u64> =
+                inserted.range_query(&q, 25.0, &ctx).into_iter().map(|(i, _)| i).collect();
+            let mut rb: Vec<u64> =
+                bulk.range_query(&q, 25.0, &ctx).into_iter().map(|(i, _)| i).collect();
             ra.sort_unstable();
             rb.sort_unstable();
             assert_eq!(ra, rb);
@@ -868,7 +855,7 @@ mod tests {
     fn bulk_load_is_better_packed() {
         let pts = random_points(3000, 2, 33);
         let inserted = build(&pts);
-        let bulk = XTree::bulk_load(2, &pts, IoStats::new());
+        let bulk = XTree::bulk_load(2, &pts);
         assert!(
             bulk.total_pages() <= inserted.total_pages(),
             "bulk {} pages vs inserted {}",
@@ -877,19 +864,20 @@ mod tests {
         );
         assert_eq!(bulk.supernode_count(), 0);
         // Packed tree answers selective queries with fewer page reads.
-        let sb = IoStats::new();
-        let b2 = XTree::bulk_load(2, &pts, Arc::clone(&sb));
-        let _ = b2.knn(&pts[0], 10);
-        assert!((sb.snapshot().pages as usize) < bulk.total_pages() / 4);
+        let ctx = QueryContext::ephemeral();
+        let _ = bulk.knn(&pts[0], 10, &ctx);
+        let pages = ctx.stats(std::time::Duration::ZERO).io.pages;
+        assert!((pages as usize) < bulk.total_pages() / 4);
     }
 
     #[test]
     fn bulk_load_empty_and_tiny() {
-        let empty = XTree::bulk_load(3, &[], IoStats::new());
+        let empty = XTree::bulk_load(3, &[]);
         assert!(empty.is_empty());
-        let one = XTree::bulk_load(3, &[vec![1.0, 2.0, 3.0]], IoStats::new());
+        let one = XTree::bulk_load(3, &[vec![1.0, 2.0, 3.0]]);
         assert_eq!(one.len(), 1);
-        assert_eq!(one.knn(&[0.0, 0.0, 0.0], 1)[0].0, 0);
+        let ctx = QueryContext::ephemeral();
+        assert_eq!(one.knn(&[0.0, 0.0, 0.0], 1, &ctx)[0].0, 0);
     }
 
     #[test]

@@ -72,17 +72,7 @@ mod tests {
         // Two valleys (objects 0-3 and 4-7) and an outlier 8 at the end.
         ClusterOrdering {
             order: (0..9).collect(),
-            reachability: vec![
-                f64::INFINITY,
-                0.1,
-                0.1,
-                0.2,
-                9.0,
-                0.1,
-                0.2,
-                0.1,
-                40.0,
-            ],
+            reachability: vec![f64::INFINITY, 0.1, 0.1, 0.2, 9.0, 0.1, 0.2, 0.1, 40.0],
             core_distance: vec![0.1; 9],
         }
     }
@@ -125,10 +115,7 @@ mod tests {
         assert_eq!(fine.num_clusters(), 4);
         // Every fine cluster is contained in some coarse cluster.
         for f in &fine.clusters {
-            assert!(coarse
-                .clusters
-                .iter()
-                .any(|c| f.iter().all(|x| c.contains(x))));
+            assert!(coarse.clusters.iter().any(|c| f.iter().all(|x| c.contains(x))));
         }
     }
 

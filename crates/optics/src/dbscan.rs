@@ -132,11 +132,7 @@ mod tests {
         // co-membership of non-noise objects.
         let assign = got.assignment(pts.len());
         for i in 0..pts.len() {
-            assert_eq!(
-                assign[i].is_none(),
-                ref_labels[i] == -1,
-                "noise status differs for {i}"
-            );
+            assert_eq!(assign[i].is_none(), ref_labels[i] == -1, "noise status differs for {i}");
             for j in (i + 1)..pts.len() {
                 let same_got = assign[i].is_some() && assign[i] == assign[j];
                 let same_ref = ref_labels[i] >= 0 && ref_labels[i] == ref_labels[j];

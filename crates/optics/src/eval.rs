@@ -123,13 +123,8 @@ pub fn best_cut(
     min_cluster_size: usize,
     grid: &[f64],
 ) -> CutQuality {
-    let ceil = o
-        .reachability
-        .iter()
-        .copied()
-        .filter(|r| r.is_finite())
-        .fold(0.0f64, f64::max)
-        .max(1e-12);
+    let ceil =
+        o.reachability.iter().copied().filter(|r| r.is_finite()).fold(0.0f64, f64::max).max(1e-12);
     let mut best: Option<CutQuality> = None;
     for &frac in grid {
         let eps = ceil * frac;
@@ -143,7 +138,7 @@ pub fn best_cut(
             f1,
             ari: adjusted_rand_index(&c, labels),
         };
-        if best.map_or(true, |b| q.f1 > b.f1) {
+        if best.is_none_or(|b| q.f1 > b.f1) {
             best = Some(q);
         }
     }
@@ -151,9 +146,8 @@ pub fn best_cut(
 }
 
 /// A convenient default sweep grid.
-pub const DEFAULT_GRID: &[f64] = &[
-    0.02, 0.04, 0.06, 0.08, 0.10, 0.13, 0.16, 0.20, 0.25, 0.30, 0.40, 0.50, 0.65, 0.80,
-];
+pub const DEFAULT_GRID: &[f64] =
+    &[0.02, 0.04, 0.06, 0.08, 0.10, 0.13, 0.16, 0.20, 0.25, 0.30, 0.40, 0.50, 0.65, 0.80];
 
 #[cfg(test)]
 mod tests {
@@ -161,10 +155,7 @@ mod tests {
 
     fn perfect() -> (Clustering, Vec<usize>) {
         (
-            Clustering {
-                clusters: vec![vec![0, 1, 2], vec![3, 4, 5]],
-                noise: vec![],
-            },
+            Clustering { clusters: vec![vec![0, 1, 2], vec![3, 4, 5]], noise: vec![] },
             vec![0, 0, 0, 1, 1, 1],
         )
     }
@@ -190,10 +181,7 @@ mod tests {
 
     #[test]
     fn split_clusters_lose_recall_not_precision() {
-        let c = Clustering {
-            clusters: vec![vec![0, 1], vec![2], vec![3, 4, 5]],
-            noise: vec![],
-        };
+        let c = Clustering { clusters: vec![vec![0, 1], vec![2], vec![3, 4, 5]], noise: vec![] };
         let labels = vec![0, 0, 0, 1, 1, 1];
         let (p, r, _) = pairwise_f1(&c, &labels);
         assert!(p == 1.0 && r < 1.0);
@@ -210,10 +198,8 @@ mod tests {
     #[test]
     fn ari_near_zero_for_random_assignment() {
         // Alternating labels vs. block clustering.
-        let c = Clustering {
-            clusters: vec![(0..50).collect(), (50..100).collect()],
-            noise: vec![],
-        };
+        let c =
+            Clustering { clusters: vec![(0..50).collect(), (50..100).collect()], noise: vec![] };
         let labels: Vec<usize> = (0..100).map(|i| i % 2).collect();
         let ari = adjusted_rand_index(&c, &labels);
         assert!(ari.abs() < 0.1, "ARI {ari}");

@@ -77,12 +77,8 @@ impl Default for TreeParams {
 
 /// Extract the cluster tree of a cluster ordering.
 pub fn cluster_tree(o: &ClusterOrdering, params: TreeParams) -> ClusterNode {
-    let mut root = ClusterNode {
-        start: 0,
-        end: o.len(),
-        split_level: f64::INFINITY,
-        children: Vec::new(),
-    };
+    let mut root =
+        ClusterNode { start: 0, end: o.len(), split_level: f64::INFINITY, children: Vec::new() };
     split(o, &mut root, params);
     root
 }
@@ -90,10 +86,8 @@ pub fn cluster_tree(o: &ClusterOrdering, params: TreeParams) -> ClusterNode {
 fn region_average(o: &ClusterOrdering, start: usize, end: usize) -> f64 {
     // Skip the first reachability (it belongs to the boundary into the
     // region) and ignore infinities.
-    let vals: Vec<f64> = (start + 1..end)
-        .map(|i| o.reachability[i])
-        .filter(|v| v.is_finite())
-        .collect();
+    let vals: Vec<f64> =
+        (start + 1..end).map(|i| o.reachability[i]).filter(|v| v.is_finite()).collect();
     if vals.is_empty() {
         0.0
     } else {
@@ -129,11 +123,8 @@ fn split(o: &ClusterOrdering, node: &mut ClusterNode, params: TreeParams) {
             continue;
         }
         let avg = region_average(o, s, e);
-        let significant = if peak_level.is_infinite() {
-            true
-        } else {
-            avg < params.significance * peak_level
-        };
+        let significant =
+            if peak_level.is_infinite() { true } else { avg < params.significance * peak_level };
         if significant {
             children.push(ClusterNode {
                 start: s,
@@ -215,7 +206,7 @@ mod tests {
         let o = ClusterOrdering {
             order: (0..10).collect(),
             reachability: std::iter::once(f64::INFINITY)
-                .chain(std::iter::repeat(0.5).take(9))
+                .chain(std::iter::repeat_n(0.5, 9))
                 .collect(),
             core_distance: vec![0.1; 10],
         };
@@ -249,16 +240,7 @@ mod tests {
     #[test]
     fn infinite_component_boundaries_split_first() {
         // Two components (second starts with INF reachability).
-        let reach = vec![
-            f64::INFINITY,
-            0.1,
-            0.1,
-            0.1,
-            f64::INFINITY,
-            0.1,
-            0.1,
-            0.1,
-        ];
+        let reach = vec![f64::INFINITY, 0.1, 0.1, 0.1, f64::INFINITY, 0.1, 0.1, 0.1];
         let o = ClusterOrdering {
             order: (0..8).collect(),
             core_distance: vec![0.1; 8],

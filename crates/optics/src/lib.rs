@@ -8,7 +8,7 @@
 //! good when its valleys correspond to intuitive part families.
 //!
 //! * [`optics::Optics`] — the clustering algorithm (priority-queue
-//!   expansion, parallel distance evaluation via crossbeam).
+//!   expansion, parallel distance evaluation via scoped threads).
 //! * [`plot`] — reachability plots: CSV export and ASCII rendering.
 //! * [`cluster`] — ε-cut cluster extraction from a cluster ordering
 //!   (the "cut at level ε" of Figure 5).

@@ -79,10 +79,6 @@ impl Optics {
     where
         D: Fn(usize, usize) -> f64 + Sync,
     {
-        let threads = std::thread::available_parallelism()
-            .map(|t| t.get())
-            .unwrap_or(1)
-            .min(16);
         let mut processed = vec![false; n];
         let mut reach = vec![f64::INFINITY; n];
         let mut out = ClusterOrdering {
@@ -108,25 +104,13 @@ impl Optics {
                 processed[p] = true;
 
                 // Distance row p -> all objects, in parallel chunks.
-                let chunk = n.div_ceil(threads).max(1);
-                crossbeam::thread::scope(|scope| {
-                    for (ci, out_chunk) in row.chunks_mut(chunk).enumerate() {
-                        let dist = &dist;
-                        scope.spawn(move |_| {
-                            let base = ci * chunk;
-                            for (off, v) in out_chunk.iter_mut().enumerate() {
-                                let j = base + off;
-                                *v = if j == p { 0.0 } else { dist(p, j) };
-                            }
-                        });
-                    }
-                })
-                .expect("distance evaluation thread panicked");
+                vsim_parallel::par_fill(&mut row, |j, v| {
+                    *v = if j == p { 0.0 } else { dist(p, j) };
+                });
 
                 // Core distance: MinPts-th smallest distance among the
                 // ε-neighborhood (including p itself, following [3]).
-                let mut within: Vec<f64> =
-                    row.iter().copied().filter(|&d| d <= self.eps).collect();
+                let mut within: Vec<f64> = row.iter().copied().filter(|&d| d <= self.eps).collect();
                 let core = if within.len() >= self.min_pts {
                     within
                         .select_nth_unstable_by(self.min_pts - 1, |a, b| {
@@ -189,13 +173,8 @@ mod tests {
         let o = Optics { min_pts: 2, eps: f64::INFINITY }.run(pts.len(), d1(&pts));
         // Within-cluster reachabilities are small (0.1-0.2); the jumps to
         // the second cluster and to the outlier are big.
-        let big: Vec<usize> = o
-            .reachability
-            .iter()
-            .enumerate()
-            .filter(|(_, &r)| r > 5.0)
-            .map(|(i, _)| i)
-            .collect();
+        let big: Vec<usize> =
+            o.reachability.iter().enumerate().filter(|(_, &r)| r > 5.0).map(|(i, _)| i).collect();
         // Position 0 is the undefined start (INF), plus two jumps.
         assert_eq!(big.len(), 3, "reachabilities: {:?}", o.reachability);
         assert_eq!(big[0], 0);
@@ -265,7 +244,9 @@ mod tests {
         let mean_reach = |sel: &dyn Fn(usize) -> bool| {
             let vals: Vec<f64> = pos
                 .iter()
-                .filter(|&&i| sel(o.order[i]) && o.reachability[i].is_finite() && o.reachability[i] < 50.0)
+                .filter(|&&i| {
+                    sel(o.order[i]) && o.reachability[i].is_finite() && o.reachability[i] < 50.0
+                })
                 .map(|&i| o.reachability[i])
                 .collect();
             vals.iter().sum::<f64>() / vals.len() as f64

@@ -116,7 +116,7 @@ mod tests {
         let s = plot().ascii(10, 4);
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines.len(), 5); // 4 rows + axis
-        // 5 data points -> 5 columns (min(width, n)).
+                                    // 5 data points -> 5 columns (min(width, n)).
         assert_eq!(lines[0].chars().count(), 5);
     }
 

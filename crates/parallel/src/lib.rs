@@ -1,0 +1,106 @@
+//! Minimal data-parallel helpers over `std::thread::scope` — no
+//! external thread-pool dependency. All helpers preserve input order,
+//! propagate worker panics, and cap the worker count at 16 (the
+//! workloads here saturate memory bandwidth well before that).
+
+/// Worker count: available parallelism clamped to `[1, 16]`.
+pub fn worker_count() -> usize {
+    std::thread::available_parallelism().map(|t| t.get()).unwrap_or(1).clamp(1, 16)
+}
+
+/// Map `f` over `0..n` in parallel, preserving order.
+pub fn par_map<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    par_fill(&mut out, |i, slot| *slot = Some(f(i)));
+    out.into_iter().map(|o| o.unwrap()).collect()
+}
+
+/// Map `f` over the elements of a slice in parallel, preserving order.
+/// The closure also receives the element index, so call sites that need
+/// positional context (IDs, per-item seeds) don't have to pre-zip.
+pub fn par_map_slice<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    par_map(items.len(), |i| f(i, &items[i]))
+}
+
+/// Fill each slot of `out` in parallel: `f(i, &mut out[i])`. Useful for
+/// rewriting a reused buffer (e.g. one row of a distance matrix)
+/// without reallocating.
+pub fn par_fill<T, F>(out: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let n = out.len();
+    if n == 0 {
+        return;
+    }
+    let chunk = n.div_ceil(worker_count()).max(1);
+    std::thread::scope(|scope| {
+        for (ci, slots) in out.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            scope.spawn(move || {
+                for (off, slot) in slots.iter_mut().enumerate() {
+                    f(ci * chunk + off, slot);
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order_and_values() {
+        let v = par_map(1000, |i| i * i);
+        assert_eq!(v.len(), 1000);
+        for (i, x) in v.iter().enumerate() {
+            assert_eq!(*x, i * i);
+        }
+    }
+
+    #[test]
+    fn par_map_empty_and_single() {
+        assert!(par_map(0, |i| i).is_empty());
+        assert_eq!(par_map(1, |i| i + 5), vec![5]);
+    }
+
+    #[test]
+    fn par_map_slice_passes_index_and_element() {
+        let items: Vec<u64> = (0..257).map(|i| i * 3).collect();
+        let v = par_map_slice(&items, |i, &x| x + i as u64);
+        for (i, y) in v.iter().enumerate() {
+            assert_eq!(*y, items[i] + i as u64);
+        }
+    }
+
+    #[test]
+    fn par_fill_overwrites_every_slot() {
+        let mut buf = vec![0usize; 313];
+        par_fill(&mut buf, |i, slot| *slot = i + 1);
+        for (i, x) in buf.iter().enumerate() {
+            assert_eq!(*x, i + 1);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn worker_panic_propagates() {
+        let _ = par_map(100, |i| {
+            if i == 57 {
+                panic!("boom");
+            }
+            i
+        });
+    }
+}

@@ -1,0 +1,301 @@
+//! Parallel batch-query executor.
+//!
+//! The paper evaluates workloads of queries (e.g. Table 2 averages 100
+//! invariant 10-NN queries). This module runs such workloads across
+//! worker threads: each query gets its own [`QueryContext`] (so stats
+//! stay per-query) while the [`PoolPolicy`] decides whether contexts
+//! read through fresh cold pools — the paper's accounting — or one
+//! shared warm [`BufferPool`].
+
+use crate::stats::QueryStats;
+use std::sync::Arc;
+use std::time::Instant;
+use vsim_index::{BufferPool, MTree, QueryContext};
+use vsim_setdist::VectorSet;
+
+/// How batch queries obtain their buffer pool.
+#[derive(Debug, Clone)]
+pub enum PoolPolicy {
+    /// A fresh pool per query: `None` = unbounded (every first touch of
+    /// a page is a miss — the paper's cold-cache accounting), `Some(n)`
+    /// = LRU capacity of `n` pages.
+    PerQuery(Option<usize>),
+    /// Every query reads through this shared pool; later queries hit
+    /// pages earlier queries faulted in.
+    Shared(Arc<BufferPool>),
+}
+
+/// Result of a query batch: per-query hits and stats, plus the
+/// aggregate over the whole workload.
+#[derive(Debug)]
+pub struct BatchResult {
+    /// `hits[i]` answers `queries[i]`, in input order.
+    pub hits: Vec<Vec<(u64, f64)>>,
+    /// `stats[i]` is the cost of `queries[i]` alone.
+    pub stats: Vec<QueryStats>,
+    /// Sum of all per-query stats (CPU sums query time, not wall time).
+    pub aggregate: QueryStats,
+}
+
+/// Fans independent queries across worker threads.
+pub struct QueryExecutor {
+    policy: PoolPolicy,
+}
+
+impl QueryExecutor {
+    pub fn new(policy: PoolPolicy) -> Self {
+        QueryExecutor { policy }
+    }
+
+    /// Executor with per-query unbounded pools (cold-cache accounting);
+    /// batched results are identical to running each query alone.
+    pub fn cold() -> Self {
+        QueryExecutor::new(PoolPolicy::PerQuery(None))
+    }
+
+    /// Executor whose queries share one unbounded warm pool.
+    pub fn shared_unbounded() -> Self {
+        QueryExecutor::new(PoolPolicy::Shared(BufferPool::unbounded()))
+    }
+
+    pub fn policy(&self) -> &PoolPolicy {
+        &self.policy
+    }
+
+    fn context(&self) -> QueryContext {
+        match &self.policy {
+            PoolPolicy::PerQuery(None) => QueryContext::ephemeral(),
+            PoolPolicy::PerQuery(Some(cap)) => QueryContext::with_pool(BufferPool::new(*cap)),
+            PoolPolicy::Shared(pool) => QueryContext::with_pool(Arc::clone(pool)),
+        }
+    }
+
+    /// Run one closure per query in parallel, each against its own
+    /// context. The generic core under the `batch_*` conveniences.
+    pub fn run_batch<Q, F>(&self, queries: &[Q], run: F) -> BatchResult
+    where
+        Q: Sync,
+        F: Fn(&Q, &QueryContext) -> Vec<(u64, f64)> + Sync,
+    {
+        let per_query = vsim_parallel::par_map_slice(queries, |_, q| {
+            let ctx = self.context();
+            let t0 = Instant::now();
+            let hits = run(q, &ctx);
+            (hits, ctx.stats(t0.elapsed()))
+        });
+        let mut hits = Vec::with_capacity(per_query.len());
+        let mut stats = Vec::with_capacity(per_query.len());
+        let mut aggregate = QueryStats::default();
+        for (h, s) in per_query {
+            aggregate.accumulate(&s);
+            hits.push(h);
+            stats.push(s);
+        }
+        BatchResult { hits, stats, aggregate }
+    }
+
+    /// Batched k-NN over any vector-set access path.
+    pub fn batch_knn<I: VectorSetQueries>(
+        &self,
+        index: &I,
+        queries: &[VectorSet],
+        k: usize,
+    ) -> BatchResult {
+        self.run_batch(queries, |q, ctx| index.knn_ctx(q, k, ctx))
+    }
+
+    /// Batched ε-range over any vector-set access path.
+    pub fn batch_range<I: VectorSetQueries>(
+        &self,
+        index: &I,
+        queries: &[VectorSet],
+        eps: f64,
+    ) -> BatchResult {
+        self.run_batch(queries, |q, ctx| index.range_ctx(q, eps, ctx))
+    }
+
+    /// Batched invariant k-NN: each query is a slice of transformed
+    /// variants (Section 3.2's 48 runtime permutations); variants of one
+    /// query share that query's context/buffer scope.
+    pub fn batch_knn_invariant<I: VectorSetQueries, V: AsRef<[VectorSet]> + Sync>(
+        &self,
+        index: &I,
+        queries: &[V],
+        k: usize,
+    ) -> BatchResult {
+        self.run_batch(queries, |variants, ctx| index.knn_invariant_ctx(variants.as_ref(), k, ctx))
+    }
+}
+
+/// A vector-set access path the executor can drive: k-NN, ε-range, and
+/// invariant k-NN against a caller-supplied context.
+pub trait VectorSetQueries: Sync {
+    fn knn_ctx(&self, q: &VectorSet, k: usize, ctx: &QueryContext) -> Vec<(u64, f64)>;
+    fn range_ctx(&self, q: &VectorSet, eps: f64, ctx: &QueryContext) -> Vec<(u64, f64)>;
+    fn knn_invariant_ctx(
+        &self,
+        variants: &[VectorSet],
+        k: usize,
+        ctx: &QueryContext,
+    ) -> Vec<(u64, f64)>;
+}
+
+impl VectorSetQueries for crate::filter::FilterRefineIndex {
+    fn knn_ctx(&self, q: &VectorSet, k: usize, ctx: &QueryContext) -> Vec<(u64, f64)> {
+        self.knn_with(q, k, ctx)
+    }
+    fn range_ctx(&self, q: &VectorSet, eps: f64, ctx: &QueryContext) -> Vec<(u64, f64)> {
+        self.range_query_with(q, eps, ctx)
+    }
+    fn knn_invariant_ctx(
+        &self,
+        variants: &[VectorSet],
+        k: usize,
+        ctx: &QueryContext,
+    ) -> Vec<(u64, f64)> {
+        self.knn_invariant_with(variants, k, ctx)
+    }
+}
+
+impl VectorSetQueries for crate::scan::SequentialScanIndex {
+    fn knn_ctx(&self, q: &VectorSet, k: usize, ctx: &QueryContext) -> Vec<(u64, f64)> {
+        self.knn_with(q, k, ctx)
+    }
+    fn range_ctx(&self, q: &VectorSet, eps: f64, ctx: &QueryContext) -> Vec<(u64, f64)> {
+        self.range_query_with(q, eps, ctx)
+    }
+    fn knn_invariant_ctx(
+        &self,
+        variants: &[VectorSet],
+        k: usize,
+        ctx: &QueryContext,
+    ) -> Vec<(u64, f64)> {
+        self.knn_invariant_with(variants, k, ctx)
+    }
+}
+
+impl VectorSetQueries for MTree<VectorSet> {
+    fn knn_ctx(&self, q: &VectorSet, k: usize, ctx: &QueryContext) -> Vec<(u64, f64)> {
+        let r = self.knn(q, k, ctx);
+        ctx.count_candidates(r.len() as u64);
+        r
+    }
+    fn range_ctx(&self, q: &VectorSet, eps: f64, ctx: &QueryContext) -> Vec<(u64, f64)> {
+        let mut r = self.range_query(q, eps, ctx);
+        r.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        ctx.count_candidates(r.len() as u64);
+        r
+    }
+    fn knn_invariant_ctx(
+        &self,
+        variants: &[VectorSet],
+        k: usize,
+        ctx: &QueryContext,
+    ) -> Vec<(u64, f64)> {
+        let mut best: std::collections::HashMap<u64, f64> = std::collections::HashMap::new();
+        for q in variants {
+            for (id, d) in self.knn(q, k, ctx) {
+                let e = best.entry(id).or_insert(f64::INFINITY);
+                if d < *e {
+                    *e = d;
+                }
+            }
+        }
+        let mut out: Vec<(u64, f64)> = best.into_iter().collect();
+        out.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        out.truncate(k);
+        ctx.count_candidates(out.len() as u64);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::FilterRefineIndex;
+    use crate::scan::SequentialScanIndex;
+    use rand::prelude::*;
+
+    fn random_sets(n: usize, k: usize, seed: u64) -> Vec<VectorSet> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let card = rng.gen_range(1..=k);
+                let mut s = VectorSet::new(6);
+                for _ in 0..card {
+                    let v: Vec<f64> = (0..6).map(|_| rng.gen_range(0.05..1.0)).collect();
+                    s.push(&v);
+                }
+                s
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_knn_matches_sequential_path_exactly() {
+        let sets = random_sets(300, 5, 40);
+        let idx = FilterRefineIndex::build(&sets, 6, 5);
+        let queries: Vec<VectorSet> = (0..20).map(|i| sets[i * 13].clone()).collect();
+        let batch = QueryExecutor::cold().batch_knn(&idx, &queries, 8);
+        assert_eq!(batch.hits.len(), queries.len());
+        for (i, q) in queries.iter().enumerate() {
+            let (seq, seq_stats) = idx.knn(q, 8);
+            assert_eq!(batch.hits[i], seq, "query {i}: batched hits must be bit-identical");
+            let b = &batch.stats[i];
+            assert_eq!(b.io, seq_stats.io, "query {i}: same simulated I/O");
+            assert_eq!(b.refinements, seq_stats.refinements);
+            assert_eq!(b.candidates, seq_stats.candidates);
+        }
+    }
+
+    #[test]
+    fn aggregate_sums_per_query_stats() {
+        let sets = random_sets(200, 4, 41);
+        let idx = SequentialScanIndex::build(&sets);
+        let queries: Vec<VectorSet> = (0..7).map(|i| sets[i * 11].clone()).collect();
+        let batch = QueryExecutor::cold().batch_knn(&idx, &queries, 5);
+        let pages: u64 = batch.stats.iter().map(|s| s.io.pages).sum();
+        assert_eq!(batch.aggregate.io.pages, pages);
+        assert_eq!(batch.aggregate.refinements, (queries.len() * sets.len()) as u64);
+    }
+
+    #[test]
+    fn shared_pool_makes_later_queries_cheaper() {
+        let sets = random_sets(200, 4, 42);
+        let idx = SequentialScanIndex::build(&sets);
+        let queries: Vec<VectorSet> = (0..6).map(|i| sets[i * 17].clone()).collect();
+        let cold = QueryExecutor::cold().batch_knn(&idx, &queries, 5);
+        let warm = QueryExecutor::shared_unbounded().batch_knn(&idx, &queries, 5);
+        assert_eq!(cold.hits, warm.hits, "pool policy must not change results");
+        // Scans share the whole file: only one batch-wide cold read.
+        let file_pages = cold.stats[0].io.pages;
+        assert_eq!(cold.aggregate.io.pages, file_pages * queries.len() as u64);
+        assert_eq!(warm.aggregate.io.pages, file_pages);
+        assert!(warm.aggregate.cache.hits > 0);
+    }
+
+    #[test]
+    fn batch_range_and_invariant_agree_across_backends() {
+        let sets = random_sets(150, 4, 43);
+        let filt = FilterRefineIndex::build(&sets, 6, 4);
+        let scan = SequentialScanIndex::build(&sets);
+        let queries: Vec<VectorSet> = (0..5).map(|i| sets[i * 29].clone()).collect();
+        let ex = QueryExecutor::cold();
+        let a = ex.batch_range(&filt, &queries, 0.5);
+        let b = ex.batch_range(&scan, &queries, 0.5);
+        for (x, y) in a.hits.iter().zip(&b.hits) {
+            let xs: std::collections::BTreeSet<u64> = x.iter().map(|(i, _)| *i).collect();
+            let ys: std::collections::BTreeSet<u64> = y.iter().map(|(i, _)| *i).collect();
+            assert_eq!(xs, ys);
+        }
+
+        let workloads: Vec<Vec<VectorSet>> = queries.iter().map(|q| vec![q.clone()]).collect();
+        let inv = ex.batch_knn_invariant(&filt, &workloads, 6);
+        let plain = ex.batch_knn(&filt, &queries, 6);
+        for (x, y) in inv.hits.iter().zip(&plain.hits) {
+            for (a, b) in x.iter().zip(y) {
+                assert!((a.1 - b.1).abs() < 1e-12);
+            }
+        }
+    }
+}

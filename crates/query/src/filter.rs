@@ -2,9 +2,8 @@
 //! in an X-tree, exact minimal matching distance on demand.
 
 use crate::stats::QueryStats;
-use std::sync::Arc;
 use std::time::Instant;
-use vsim_index::{IoStats, VectorSetStore, XTree};
+use vsim_index::{QueryContext, VectorSetStore, XTree};
 use vsim_setdist::matching::{MinimalMatching, PointDistance, WeightFunction};
 use vsim_setdist::{centroid_lower_bound, extended_centroid, VectorSet};
 
@@ -16,13 +15,18 @@ use vsim_setdist::{centroid_lower_bound, extended_centroid, VectorSet};
 ///   lower-bounds the exact distance.
 /// * Refinement: load the candidate's vector set from the heap file and
 ///   evaluate the exact minimal matching distance (weight `w_ω`).
+///
+/// Every query method comes in two forms: a `*_with` core that reads
+/// through a caller-supplied [`QueryContext`] (for shared buffer pools
+/// and batch execution), and a convenience wrapper that runs the query
+/// against a fresh ephemeral context (the paper's cold-cache setting)
+/// and returns its [`QueryStats`].
 pub struct FilterRefineIndex {
     k: usize,
     omega: Vec<f64>,
     tree: XTree,
     store: VectorSetStore,
     mm: MinimalMatching,
-    stats: Arc<IoStats>,
 }
 
 impl FilterRefineIndex {
@@ -30,15 +34,14 @@ impl FilterRefineIndex {
     /// set's cardinality. `ω = 0` (the paper's choice — no cover has zero
     /// volume, so the metric conditions of Lemma 1 hold).
     pub fn build(sets: &[VectorSet], dim: usize, k: usize) -> Self {
-        let stats = IoStats::new();
         let omega = vec![0.0; dim];
-        let mut tree = XTree::new(dim, Arc::clone(&stats));
+        let mut tree = XTree::new(dim);
         for (i, s) in sets.iter().enumerate() {
             assert_eq!(s.dim(), dim, "set {i} has wrong dimension");
             let c = extended_centroid(s, k, &omega);
             tree.insert(&c, i as u64);
         }
-        let store = VectorSetStore::build(sets, Arc::clone(&stats));
+        let store = VectorSetStore::build(sets);
         FilterRefineIndex {
             k,
             omega,
@@ -49,7 +52,6 @@ impl FilterRefineIndex {
                 weight: WeightFunction::Norm,
                 sqrt_of_total: false,
             },
-            stats,
         }
     }
 
@@ -59,11 +61,6 @@ impl FilterRefineIndex {
 
     pub fn is_empty(&self) -> bool {
         self.store.is_empty()
-    }
-
-    /// Shared I/O counters (reset between measured workloads).
-    pub fn io_stats(&self) -> &Arc<IoStats> {
-        &self.stats
     }
 
     /// The exact distance used for refinement.
@@ -77,33 +74,44 @@ impl FilterRefineIndex {
     /// `min_T dist_mm(T(q), o)`. One shared result set lets later
     /// variants stop earlier (the global k-th distance tightens the
     /// multi-step termination bound).
-    pub fn knn_invariant(&self, variants: &[VectorSet], kq: usize) -> (Vec<(u64, f64)>, QueryStats) {
+    pub fn knn_invariant(
+        &self,
+        variants: &[VectorSet],
+        kq: usize,
+    ) -> (Vec<(u64, f64)>, QueryStats) {
+        let ctx = QueryContext::ephemeral();
         let t0 = Instant::now();
-        let io0 = self.stats.snapshot();
+        let r = self.knn_invariant_with(variants, kq, &ctx);
+        (r, ctx.stats(t0.elapsed()))
+    }
+
+    /// [`knn_invariant`](Self::knn_invariant) against a caller-supplied
+    /// context. The variants share the context's buffer pool, so the
+    /// centroid-tree pages and candidate records a subquery reads are
+    /// free for all later subqueries (one logical query = one buffer
+    /// scope; I/O is charged on first use only, CPU for every matching
+    /// evaluation).
+    pub fn knn_invariant_with(
+        &self,
+        variants: &[VectorSet],
+        kq: usize,
+        ctx: &QueryContext,
+    ) -> Vec<(u64, f64)> {
         let mut best: std::collections::HashMap<u64, f64> = std::collections::HashMap::new();
         let mut result: Vec<(u64, f64)> = Vec::new(); // sorted top-k
-        let mut candidates = 0;
-        let mut refinements = 0;
-        // Per-query buffer pool: the 48 subqueries share the centroid
-        // tree's pages and the already-loaded candidate records (one
-        // logical query = one buffer scope; I/O is charged on first use
-        // only, CPU for every matching evaluation).
-        let tree_cache = std::cell::RefCell::new(std::collections::HashSet::new());
         let mut record_cache: std::collections::HashMap<u64, VectorSet> =
             std::collections::HashMap::new();
         for q in variants {
             let cq = extended_centroid(q, self.k, &self.omega);
-            for (id, cdist) in self.tree.nn_iter_cached(&cq, &tree_cache) {
-                candidates += 1;
+            for (id, cdist) in self.tree.nn_iter(&cq, ctx) {
+                ctx.count_candidates(1);
                 let lower = self.k as f64 * cdist;
                 if result.len() >= kq && lower >= result[kq - 1].1 {
                     break;
                 }
-                let set = record_cache
-                    .entry(id)
-                    .or_insert_with(|| self.store.get(id));
+                let set = record_cache.entry(id).or_insert_with(|| self.store.get(id, ctx));
                 let d = self.mm.distance_value(q, set);
-                refinements += 1;
+                ctx.count_refinements(1);
                 let entry = best.entry(id).or_insert(f64::INFINITY);
                 if d < *entry {
                     *entry = d;
@@ -114,13 +122,7 @@ impl FilterRefineIndex {
                 }
             }
         }
-        let stats = QueryStats {
-            cpu: t0.elapsed(),
-            io: self.stats.snapshot() - io0,
-            candidates,
-            refinements,
-        };
-        (result, stats)
+        result
     }
 
     /// ε-range query: all `(id, dist_mm)` with distance ≤ `eps`.
@@ -128,28 +130,29 @@ impl FilterRefineIndex {
     /// Filter step: ε-range on the centroid tree with radius `ε / k`
     /// (objects farther than that cannot qualify by Lemma 2).
     pub fn range_query(&self, q: &VectorSet, eps: f64) -> (Vec<(u64, f64)>, QueryStats) {
+        let ctx = QueryContext::ephemeral();
         let t0 = Instant::now();
-        let io0 = self.stats.snapshot();
+        let r = self.range_query_with(q, eps, &ctx);
+        (r, ctx.stats(t0.elapsed()))
+    }
+
+    /// [`range_query`](Self::range_query) against a caller-supplied
+    /// context.
+    pub fn range_query_with(&self, q: &VectorSet, eps: f64, ctx: &QueryContext) -> Vec<(u64, f64)> {
         let cq = extended_centroid(q, self.k, &self.omega);
-        let candidates = self.tree.range_query(&cq, eps / self.k as f64);
+        let candidates = self.tree.range_query(&cq, eps / self.k as f64, ctx);
+        ctx.count_candidates(candidates.len() as u64);
         let mut out = Vec::new();
-        let mut refinements = 0;
         for (id, _) in &candidates {
-            let set = self.store.get(*id);
+            let set = self.store.get(*id, ctx);
             let d = self.mm.distance_value(q, &set);
-            refinements += 1;
+            ctx.count_refinements(1);
             if d <= eps {
                 out.push((*id, d));
             }
         }
         out.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
-        let stats = QueryStats {
-            cpu: t0.elapsed(),
-            io: self.stats.snapshot() - io0,
-            candidates: candidates.len(),
-            refinements,
-        };
-        (out, stats)
+        out
     }
 
     /// Invariant ε-range query: all objects within `eps` of *any* of the
@@ -160,26 +163,35 @@ impl FilterRefineIndex {
         variants: &[VectorSet],
         eps: f64,
     ) -> (Vec<(u64, f64)>, QueryStats) {
+        let ctx = QueryContext::ephemeral();
         let t0 = Instant::now();
-        let io0 = self.stats.snapshot();
+        let r = self.range_query_invariant_with(variants, eps, &ctx);
+        (r, ctx.stats(t0.elapsed()))
+    }
+
+    /// [`range_query_invariant`](Self::range_query_invariant) against a
+    /// caller-supplied context.
+    pub fn range_query_invariant_with(
+        &self,
+        variants: &[VectorSet],
+        eps: f64,
+        ctx: &QueryContext,
+    ) -> Vec<(u64, f64)> {
         let mut best: std::collections::HashMap<u64, f64> = std::collections::HashMap::new();
-        let mut candidates = 0;
-        let mut refinements = 0;
-        let tree_cache = std::cell::RefCell::new(std::collections::HashSet::new());
         let mut record_cache: std::collections::HashMap<u64, VectorSet> =
             std::collections::HashMap::new();
         for q in variants {
             let cq = extended_centroid(q, self.k, &self.omega);
-            // Reuse the cached incremental ranking for the filter: stop
-            // at the Lemma 2 radius eps / k.
-            for (id, cdist) in self.tree.nn_iter_cached(&cq, &tree_cache) {
+            // Reuse the incremental ranking for the filter: stop at the
+            // Lemma 2 radius eps / k.
+            for (id, cdist) in self.tree.nn_iter(&cq, ctx) {
                 if cdist > eps / self.k as f64 {
                     break;
                 }
-                candidates += 1;
-                let set = record_cache.entry(id).or_insert_with(|| self.store.get(id));
+                ctx.count_candidates(1);
+                let set = record_cache.entry(id).or_insert_with(|| self.store.get(id, ctx));
                 let d = self.mm.distance_value(q, set);
-                refinements += 1;
+                ctx.count_refinements(1);
                 if d <= eps {
                     let e = best.entry(id).or_insert(f64::INFINITY);
                     if d < *e {
@@ -190,13 +202,7 @@ impl FilterRefineIndex {
         }
         let mut out: Vec<(u64, f64)> = best.into_iter().collect();
         out.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
-        let stats = QueryStats {
-            cpu: t0.elapsed(),
-            io: self.stats.snapshot() - io0,
-            candidates,
-            refinements,
-        };
-        (out, stats)
+        out
     }
 
     /// k-NN query via the optimal multi-step algorithm [29]: consume the
@@ -205,32 +211,30 @@ impl FilterRefineIndex {
     /// distance. Optimal in the number of refinements for a correct
     /// multi-step algorithm.
     pub fn knn(&self, q: &VectorSet, kq: usize) -> (Vec<(u64, f64)>, QueryStats) {
+        let ctx = QueryContext::ephemeral();
         let t0 = Instant::now();
-        let io0 = self.stats.snapshot();
+        let r = self.knn_with(q, kq, &ctx);
+        (r, ctx.stats(t0.elapsed()))
+    }
+
+    /// [`knn`](Self::knn) against a caller-supplied context.
+    pub fn knn_with(&self, q: &VectorSet, kq: usize, ctx: &QueryContext) -> Vec<(u64, f64)> {
         let cq = extended_centroid(q, self.k, &self.omega);
         let mut result: Vec<(u64, f64)> = Vec::new();
-        let mut candidates = 0;
-        let mut refinements = 0;
-        for (id, cdist) in self.tree.nn_iter(&cq) {
-            candidates += 1;
+        for (id, cdist) in self.tree.nn_iter(&cq, ctx) {
+            ctx.count_candidates(1);
             let lower = centroid_lower_bound(&cq, &cq, self.k).max(self.k as f64 * cdist);
             if result.len() >= kq && lower >= result[kq - 1].1 {
                 break; // no unexamined object can improve the result
             }
-            let set = self.store.get(id);
+            let set = self.store.get(id, ctx);
             let d = self.mm.distance_value(q, &set);
-            refinements += 1;
+            ctx.count_refinements(1);
             result.push((id, d));
             result.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
             result.truncate(kq);
         }
-        let stats = QueryStats {
-            cpu: t0.elapsed(),
-            io: self.stats.snapshot() - io0,
-            candidates,
-            refinements,
-        };
-        (result, stats)
+        result
     }
 }
 
@@ -256,11 +260,8 @@ mod tests {
 
     fn exact_knn(sets: &[VectorSet], q: &VectorSet, kq: usize) -> Vec<(u64, f64)> {
         let mm = MinimalMatching::vector_set_model();
-        let mut all: Vec<(u64, f64)> = sets
-            .iter()
-            .enumerate()
-            .map(|(i, s)| (i as u64, mm.distance_value(q, s)))
-            .collect();
+        let mut all: Vec<(u64, f64)> =
+            sets.iter().enumerate().map(|(i, s)| (i as u64, mm.distance_value(q, s))).collect();
         all.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
         all.truncate(kq);
         all
@@ -286,7 +287,7 @@ mod tests {
                 want.sort_unstable();
                 assert_eq!(got_ids, want, "eps {eps}");
                 // Filter effectiveness: the filter may not miss results.
-                assert!(stats.refinements >= got.len());
+                assert!(stats.refinements as usize >= got.len());
             }
         }
     }
@@ -300,12 +301,7 @@ mod tests {
             let want = exact_knn(&sets, &sets[qi], 10);
             assert_eq!(got.len(), 10);
             for (g, w) in got.iter().zip(&want) {
-                assert!(
-                    (g.1 - w.1).abs() < 1e-9,
-                    "query {qi}: got {:?} want {:?}",
-                    g,
-                    w
-                );
+                assert!((g.1 - w.1).abs() < 1e-9, "query {qi}: got {:?} want {:?}", g, w);
             }
             // Self-query: distance 0 to itself.
             assert_eq!(got[0].0, qi as u64);
@@ -319,7 +315,7 @@ mod tests {
         let idx = FilterRefineIndex::build(&sets, 6, 5);
         let (_, stats) = idx.knn(&sets[0], 10);
         assert!(
-            stats.refinements < sets.len() / 2,
+            (stats.refinements as usize) < sets.len() / 2,
             "refined {} of {} objects",
             stats.refinements,
             sets.len()
@@ -358,19 +354,13 @@ mod tests {
 
         // Brute-force invariant distances.
         let inv_dist = |o: &VectorSet| {
-            variants
-                .iter()
-                .map(|v| mm.distance_value(v, o))
-                .fold(f64::INFINITY, f64::min)
+            variants.iter().map(|v| mm.distance_value(v, o)).fold(f64::INFINITY, f64::min)
         };
 
         // kNN.
         let (got, _) = idx.knn_invariant(&variants, 8);
-        let mut want: Vec<(u64, f64)> = sets
-            .iter()
-            .enumerate()
-            .map(|(i, s)| (i as u64, inv_dist(s)))
-            .collect();
+        let mut want: Vec<(u64, f64)> =
+            sets.iter().enumerate().map(|(i, s)| (i as u64, inv_dist(s))).collect();
         want.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
         for (g, w) in got.iter().zip(&want) {
             assert!((g.1 - w.1).abs() < 1e-9, "knn {g:?} vs {w:?}");

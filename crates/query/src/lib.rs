@@ -13,8 +13,11 @@
 //! 3. [`OneVectorIndex`] — the `6k`-dimensional cover-sequence feature
 //!    vectors in an X-tree (the baseline the vector set model replaces).
 //!
-//! All paths report [`QueryStats`]: measured CPU time, simulated I/O,
-//! candidate and refinement counts.
+//! All paths report [`QueryStats`]: measured CPU time, simulated I/O
+//! through the shared buffer pool, candidate and refinement counts. The
+//! [`QueryExecutor`] fans batches of queries across worker threads with
+//! a configurable [`PoolPolicy`] (cold per-query pools vs. one shared
+//! warm pool).
 
 //! ```
 //! use vsim_query::{FilterRefineIndex, SequentialScanIndex};
@@ -32,11 +35,13 @@
 //! assert!(stats.refinements <= 50);
 //! ```
 
+pub mod executor;
 pub mod filter;
 pub mod onevector;
 pub mod scan;
 pub mod stats;
 
+pub use executor::{BatchResult, PoolPolicy, QueryExecutor, VectorSetQueries};
 pub use filter::FilterRefineIndex;
 pub use onevector::OneVectorIndex;
 pub use scan::SequentialScanIndex;

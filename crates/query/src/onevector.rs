@@ -5,29 +5,26 @@
 //! paper's comparison exposes.
 
 use crate::stats::QueryStats;
-use std::sync::Arc;
 use std::time::Instant;
-use vsim_index::{IoStats, XTree};
+use vsim_index::{QueryContext, XTree};
 use vsim_setdist::lp;
 
 /// An X-tree over one-vector (flattened) feature representations.
 pub struct OneVectorIndex {
     dim: usize,
     tree: XTree,
-    stats: Arc<IoStats>,
 }
 
 impl OneVectorIndex {
     pub fn build(vectors: &[Vec<f64>]) -> Self {
         assert!(!vectors.is_empty());
         let dim = vectors[0].len();
-        let stats = IoStats::new();
-        let mut tree = XTree::new(dim, Arc::clone(&stats));
+        let mut tree = XTree::new(dim);
         for (i, v) in vectors.iter().enumerate() {
             assert_eq!(v.len(), dim, "vector {i} has wrong dimension");
             tree.insert(v, i as u64);
         }
-        OneVectorIndex { dim, tree, stats }
+        OneVectorIndex { dim, tree }
     }
 
     pub fn len(&self) -> usize {
@@ -42,44 +39,50 @@ impl OneVectorIndex {
         self.dim
     }
 
-    pub fn io_stats(&self) -> &Arc<IoStats> {
-        &self.stats
-    }
-
     /// Index statistics for reporting (pages, supernodes).
     pub fn index_pages(&self) -> (usize, usize) {
         (self.tree.total_pages(), self.tree.supernode_count())
     }
 
-    /// Point-distance evaluations performed by queries so far.
-    pub fn distance_evaluations(&self) -> u64 {
-        self.tree.distance_evaluations()
+    pub fn knn(&self, q: &[f64], kq: usize) -> (Vec<(u64, f64)>, QueryStats) {
+        let ctx = QueryContext::ephemeral();
+        let t0 = Instant::now();
+        let r = self.knn_with(q, kq, &ctx);
+        (r, ctx.stats(t0.elapsed()))
     }
 
-    pub fn knn(&self, q: &[f64], kq: usize) -> (Vec<(u64, f64)>, QueryStats) {
-        let t0 = Instant::now();
-        let io0 = self.stats.snapshot();
-        let evals0 = self.tree.distance_evaluations();
-        let result = self.tree.knn(q, kq);
-        let stats = QueryStats {
-            cpu: t0.elapsed(),
-            io: self.stats.snapshot() - io0,
-            candidates: (self.tree.distance_evaluations() - evals0) as usize,
-            refinements: 0,
-        };
-        (result, stats)
+    /// [`knn`](Self::knn) against a caller-supplied context. Candidates
+    /// here are the point-distance evaluations the tree performs (there
+    /// is no refinement step on this path).
+    pub fn knn_with(&self, q: &[f64], kq: usize, ctx: &QueryContext) -> Vec<(u64, f64)> {
+        let evals0 = ctx.tracker().snapshot().distance_evals;
+        let result = self.tree.knn(q, kq, ctx);
+        ctx.count_candidates(ctx.tracker().snapshot().distance_evals - evals0);
+        result
     }
 
     /// Invariant k-NN (Section 3.2): run one X-tree k-NN per query
     /// variant ("48 different permutations of the query object at
     /// runtime") and merge by minimum distance.
     pub fn knn_invariant(&self, variants: &[Vec<f64>], kq: usize) -> (Vec<(u64, f64)>, QueryStats) {
+        let ctx = QueryContext::ephemeral();
         let t0 = Instant::now();
-        let io0 = self.stats.snapshot();
-        let evals0 = self.tree.distance_evaluations();
+        let r = self.knn_invariant_with(variants, kq, &ctx);
+        (r, ctx.stats(t0.elapsed()))
+    }
+
+    /// [`knn_invariant`](Self::knn_invariant) against a caller-supplied
+    /// context.
+    pub fn knn_invariant_with(
+        &self,
+        variants: &[Vec<f64>],
+        kq: usize,
+        ctx: &QueryContext,
+    ) -> Vec<(u64, f64)> {
+        let evals0 = ctx.tracker().snapshot().distance_evals;
         let mut best: std::collections::HashMap<u64, f64> = std::collections::HashMap::new();
         for q in variants {
-            for (id, d) in self.tree.knn(q, kq) {
+            for (id, d) in self.tree.knn(q, kq, ctx) {
                 let e = best.entry(id).or_insert(f64::INFINITY);
                 if d < *e {
                     *e = d;
@@ -89,36 +92,30 @@ impl OneVectorIndex {
         let mut result: Vec<(u64, f64)> = best.into_iter().collect();
         result.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
         result.truncate(kq);
-        let stats = QueryStats {
-            cpu: t0.elapsed(),
-            io: self.stats.snapshot() - io0,
-            candidates: (self.tree.distance_evaluations() - evals0) as usize,
-            refinements: 0,
-        };
-        (result, stats)
+        ctx.count_candidates(ctx.tracker().snapshot().distance_evals - evals0);
+        result
     }
 
     pub fn range_query(&self, q: &[f64], eps: f64) -> (Vec<(u64, f64)>, QueryStats) {
+        let ctx = QueryContext::ephemeral();
         let t0 = Instant::now();
-        let io0 = self.stats.snapshot();
-        let mut result = self.tree.range_query(q, eps);
+        let r = self.range_query_with(q, eps, &ctx);
+        (r, ctx.stats(t0.elapsed()))
+    }
+
+    /// [`range_query`](Self::range_query) against a caller-supplied
+    /// context.
+    pub fn range_query_with(&self, q: &[f64], eps: f64, ctx: &QueryContext) -> Vec<(u64, f64)> {
+        let mut result = self.tree.range_query(q, eps, ctx);
         result.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
-        let stats = QueryStats {
-            cpu: t0.elapsed(),
-            io: self.stats.snapshot() - io0,
-            candidates: result.len(),
-            refinements: 0,
-        };
-        (result, stats)
+        ctx.count_candidates(result.len() as u64);
+        result
     }
 
     /// Brute-force k-NN for validation.
     pub fn knn_linear(&self, vectors: &[Vec<f64>], q: &[f64], kq: usize) -> Vec<(u64, f64)> {
-        let mut all: Vec<(u64, f64)> = vectors
-            .iter()
-            .enumerate()
-            .map(|(i, v)| (i as u64, lp::euclidean(v, q)))
-            .collect();
+        let mut all: Vec<(u64, f64)> =
+            vectors.iter().enumerate().map(|(i, v)| (i as u64, lp::euclidean(v, q))).collect();
         all.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
         all.truncate(kq);
         all
@@ -132,9 +129,7 @@ mod tests {
 
     fn random_vectors(n: usize, dim: usize, seed: u64) -> Vec<Vec<f64>> {
         let mut rng = StdRng::seed_from_u64(seed);
-        (0..n)
-            .map(|_| (0..dim).map(|_| rng.gen_range(0.0..1.0)).collect())
-            .collect()
+        (0..n).map(|_| (0..dim).map(|_| rng.gen_range(0.0..1.0)).collect()).collect()
     }
 
     #[test]
@@ -154,7 +149,6 @@ mod tests {
     fn high_dim_tree_reads_large_page_fraction() {
         let vecs = random_vectors(1000, 42, 21);
         let idx = OneVectorIndex::build(&vecs);
-        idx.io_stats().reset();
         let (_, stats) = idx.knn(&vecs[0], 10);
         let (pages, supernodes) = idx.index_pages();
         assert!(supernodes > 0, "expected supernodes in 42-d");
@@ -177,9 +171,6 @@ mod tests {
             .filter(|(_, v)| lp::euclidean(v, q) <= 0.6)
             .map(|(i, _)| i as u64)
             .collect();
-        assert_eq!(
-            got.iter().map(|(i, _)| *i).collect::<std::collections::BTreeSet<_>>(),
-            want
-        );
+        assert_eq!(got.iter().map(|(i, _)| *i).collect::<std::collections::BTreeSet<_>>(), want);
     }
 }

@@ -1,71 +1,7 @@
 //! Per-query cost accounting, mirroring Table 2's columns.
+//!
+//! The stats type now lives in `vsim-store` so the buffer pool, the
+//! access methods, and the batch executor all share one accounting
+//! vocabulary; this module re-exports it for backward compatibility.
 
-use std::time::Duration;
-use vsim_index::{CostModel, IoSnapshot};
-
-/// Costs of one similarity query.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct QueryStats {
-    /// Measured wall-clock CPU time of the query.
-    pub cpu: Duration,
-    /// Simulated I/O counters accumulated by the access path.
-    pub io: IoSnapshot,
-    /// Objects surviving the filter step (for filter/refine paths) or
-    /// examined (for scans).
-    pub candidates: usize,
-    /// Exact (expensive) distance computations performed.
-    pub refinements: usize,
-}
-
-impl QueryStats {
-    /// Simulated I/O time in seconds under the given cost model.
-    pub fn io_seconds(&self, cm: &CostModel) -> f64 {
-        cm.seconds(self.io)
-    }
-
-    /// CPU + simulated I/O, the paper's "total time".
-    pub fn total_seconds(&self, cm: &CostModel) -> f64 {
-        self.cpu.as_secs_f64() + self.io_seconds(cm)
-    }
-
-    /// Accumulate another query's stats (for averaging over workloads).
-    pub fn accumulate(&mut self, other: &QueryStats) {
-        self.cpu += other.cpu;
-        self.io = self.io + other.io;
-        self.candidates += other.candidates;
-        self.refinements += other.refinements;
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn totals_combine_cpu_and_io() {
-        let s = QueryStats {
-            cpu: Duration::from_millis(100),
-            io: IoSnapshot { pages: 10, bytes: 0 },
-            candidates: 5,
-            refinements: 5,
-        };
-        let cm = CostModel::default();
-        assert!((s.io_seconds(&cm) - 0.08).abs() < 1e-12);
-        assert!((s.total_seconds(&cm) - 0.18).abs() < 1e-12);
-    }
-
-    #[test]
-    fn accumulate_sums_fields() {
-        let mut a = QueryStats {
-            cpu: Duration::from_millis(5),
-            io: IoSnapshot { pages: 1, bytes: 10 },
-            candidates: 2,
-            refinements: 1,
-        };
-        let b = a;
-        a.accumulate(&b);
-        assert_eq!(a.cpu, Duration::from_millis(10));
-        assert_eq!(a.io.pages, 2);
-        assert_eq!(a.candidates, 4);
-    }
-}
+pub use vsim_index::QueryStats;

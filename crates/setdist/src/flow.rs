@@ -56,7 +56,12 @@ impl MinCostFlow {
     /// augmenting path has non-negative cost — i.e. computes the
     /// *minimum-cost flow of any value* (used for min-weight bipartite
     /// matching in the link-distance reduction).
-    pub fn min_cost_flow_while_negative(&mut self, s: usize, t: usize, max_flow: i64) -> (i64, f64) {
+    pub fn min_cost_flow_while_negative(
+        &mut self,
+        s: usize,
+        t: usize,
+        max_flow: i64,
+    ) -> (i64, f64) {
         self.run(s, t, max_flow, true)
     }
 

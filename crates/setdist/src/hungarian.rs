@@ -147,11 +147,7 @@ pub fn solve_with(cost: &CostMatrix, ws: &mut Workspace) -> Assignment {
             row_to_col[ws.p[j] - 1] = j - 1;
         }
     }
-    let total = row_to_col
-        .iter()
-        .enumerate()
-        .map(|(i, &j)| cost.get(i, j))
-        .sum();
+    let total = row_to_col.iter().enumerate().map(|(i, &j)| cost.get(i, j)).sum();
     Assignment { row_to_col, cost: total }
 }
 
@@ -224,11 +220,7 @@ pub fn solve(cost: &CostMatrix) -> Assignment {
             row_to_col[p[j] - 1] = j - 1;
         }
     }
-    let total = row_to_col
-        .iter()
-        .enumerate()
-        .map(|(i, &j)| cost.get(i, j))
-        .sum();
+    let total = row_to_col.iter().enumerate().map(|(i, &j)| cost.get(i, j)).sum();
     Assignment { row_to_col, cost: total }
 }
 
@@ -244,6 +236,7 @@ pub fn solve_brute_force(cost: &CostMatrix) -> Assignment {
     let mut current = vec![usize::MAX; n];
     let mut used = vec![false; m];
 
+    #[allow(clippy::too_many_arguments)]
     fn rec(
         i: usize,
         n: usize,

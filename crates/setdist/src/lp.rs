@@ -47,20 +47,13 @@ pub fn manhattan(a: &[f64], b: &[f64]) -> f64 {
 #[inline]
 pub fn chebyshev(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len());
-    a.iter()
-        .zip(b)
-        .map(|(x, y)| (x - y).abs())
-        .fold(0.0, f64::max)
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
 }
 
 pub fn minkowski(a: &[f64], b: &[f64], p: f64) -> f64 {
     debug_assert_eq!(a.len(), b.len());
     assert!(p >= 1.0, "Minkowski distance requires p >= 1");
-    a.iter()
-        .zip(b)
-        .map(|(x, y)| (x - y).abs().powf(p))
-        .sum::<f64>()
-        .powf(1.0 / p)
+    a.iter().zip(b).map(|(x, y)| (x - y).abs().powf(p)).sum::<f64>().powf(1.0 / p)
 }
 
 /// Euclidean norm of a vector — the weight function `w_ω` of Definition 7
@@ -187,8 +180,18 @@ mod tests {
     fn trait_objects_dispatch() {
         let d: &dyn crate::Distance<[f64]> = &Euclidean;
         assert_eq!(d.distance(&[0.0], &[2.0]), 2.0);
-        let sample = vec![vec![0.0, 1.0], vec![3.0, -1.0], vec![2.0, 2.0]];
-        check_metric_axioms(&Euclidean, &sample.iter().map(|v| v.as_slice()).collect::<Vec<_>>()
-            .iter().map(|s| s.to_vec()).collect::<Vec<_>>(), 1e-12).unwrap();
+        let sample = [vec![0.0, 1.0], vec![3.0, -1.0], vec![2.0, 2.0]];
+        check_metric_axioms(
+            &Euclidean,
+            &sample
+                .iter()
+                .map(|v| v.as_slice())
+                .collect::<Vec<_>>()
+                .iter()
+                .map(|s| s.to_vec())
+                .collect::<Vec<_>>(),
+            1e-12,
+        )
+        .unwrap();
     }
 }

@@ -114,11 +114,8 @@ impl MinimalMatching {
         assert_eq!(x.dim(), y.dim(), "vector sets of different dimension");
         // Orient so that `big` is the larger set (its surplus elements pay
         // the weight penalty), per Definition 6 (w.l.o.g. |X| >= |Y|).
-        let (big, small, big_is_first) = if x.len() >= y.len() {
-            (x, y, true)
-        } else {
-            (y, x, false)
-        };
+        let (big, small, big_is_first) =
+            if x.len() >= y.len() { (x, y, true) } else { (y, x, false) };
         let m = big.len();
         let n = small.len();
 
@@ -221,11 +218,8 @@ pub fn partial_matching_distance(
 ) -> f64 {
     assert!(i >= 1, "partial similarity needs at least one pair");
     let out = mm.match_sets(x, y);
-    let mut pair_costs: Vec<f64> = out
-        .pairs
-        .iter()
-        .map(|&(a, b)| mm.point_distance.eval(x.get(a), y.get(b)))
-        .collect();
+    let mut pair_costs: Vec<f64> =
+        out.pairs.iter().map(|&(a, b)| mm.point_distance.eval(x.get(a), y.get(b))).collect();
     pair_costs.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let total: f64 = pair_costs.iter().take(i).sum();
     mm.finish(total)
@@ -234,11 +228,7 @@ pub fn partial_matching_distance(
 /// Brute-force minimal matching distance by enumerating all injections of
 /// the smaller set into the larger — `O(m!/(m-n)!)`; validation baseline
 /// and the paper's "consider all possible permutations" strawman.
-pub fn brute_force_matching_distance(
-    mm: &MinimalMatching,
-    x: &VectorSet,
-    y: &VectorSet,
-) -> f64 {
+pub fn brute_force_matching_distance(mm: &MinimalMatching, x: &VectorSet, y: &VectorSet) -> f64 {
     assert_eq!(x.dim(), y.dim());
     let (big, small) = if x.len() >= y.len() { (x, y) } else { (y, x) };
     let m = big.len();
@@ -335,9 +325,7 @@ mod tests {
         // Brute force over all 3! pairings of full concatenated vectors.
         let idx = [0usize, 1, 2];
         let mut best = f64::INFINITY;
-        let perms = [
-            [0, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0],
-        ];
+        let perms = [[0, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]];
         for p in perms {
             let mut sq = 0.0;
             for (i, &pi) in p.iter().enumerate() {

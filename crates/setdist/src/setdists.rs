@@ -19,11 +19,7 @@ pub fn hausdorff(x: &VectorSet, y: &VectorSet) -> f64 {
     assert!(!x.is_empty() && !y.is_empty(), "Hausdorff requires non-empty sets");
     let one_sided = |a: &VectorSet, b: &VectorSet| {
         a.iter()
-            .map(|p| {
-                b.iter()
-                    .map(|q| lp::euclidean(p, q))
-                    .fold(f64::INFINITY, f64::min)
-            })
+            .map(|p| b.iter().map(|q| lp::euclidean(p, q)).fold(f64::INFINITY, f64::min))
             .fold(0.0, f64::max)
     };
     one_sided(x, y).max(one_sided(y, x))
@@ -35,13 +31,7 @@ pub fn hausdorff(x: &VectorSet, y: &VectorSet) -> f64 {
 pub fn sum_of_min_distances(x: &VectorSet, y: &VectorSet) -> f64 {
     assert!(!x.is_empty() && !y.is_empty(), "SMD requires non-empty sets");
     let one_sided = |a: &VectorSet, b: &VectorSet| -> f64 {
-        a.iter()
-            .map(|p| {
-                b.iter()
-                    .map(|q| lp::euclidean(p, q))
-                    .fold(f64::INFINITY, f64::min)
-            })
-            .sum()
+        a.iter().map(|p| b.iter().map(|q| lp::euclidean(p, q)).fold(f64::INFINITY, f64::min)).sum()
     };
     0.5 * (one_sided(x, y) + one_sided(y, x))
 }
@@ -58,12 +48,7 @@ pub fn surjection(x: &VectorSet, y: &VectorSet) -> f64 {
     let m = big.len();
     let n = small.len();
     let row_min: Vec<f64> = (0..m)
-        .map(|i| {
-            small
-                .iter()
-                .map(|q| lp::euclidean(big.get(i), q))
-                .fold(f64::INFINITY, f64::min)
-        })
+        .map(|i| small.iter().map(|q| lp::euclidean(big.get(i), q)).fold(f64::INFINITY, f64::min))
         .collect();
     let cost = CostMatrix::from_fn(m, m, |i, j| {
         if j < n {
@@ -130,12 +115,10 @@ pub fn link_distance(x: &VectorSet, y: &VectorSet) -> f64 {
     let m = x.len();
     let n = y.len();
     let d = |i: usize, j: usize| lp::euclidean(x.get(i), y.get(j));
-    let min_x: Vec<f64> = (0..m)
-        .map(|i| (0..n).map(|j| d(i, j)).fold(f64::INFINITY, f64::min))
-        .collect();
-    let min_y: Vec<f64> = (0..n)
-        .map(|j| (0..m).map(|i| d(i, j)).fold(f64::INFINITY, f64::min))
-        .collect();
+    let min_x: Vec<f64> =
+        (0..m).map(|i| (0..n).map(|j| d(i, j)).fold(f64::INFINITY, f64::min)).collect();
+    let min_y: Vec<f64> =
+        (0..n).map(|j| (0..m).map(|i| d(i, j)).fold(f64::INFINITY, f64::min)).collect();
     let base: f64 = min_x.iter().sum::<f64>() + min_y.iter().sum::<f64>();
 
     // Min-weight matching over negative reduced costs only.
@@ -145,10 +128,10 @@ pub fn link_distance(x: &VectorSet, y: &VectorSet) -> f64 {
     let yoff = 2 + m;
     let mut net = MinCostFlow::new(2 + m + n);
     let mut any = false;
-    for i in 0..m {
+    for (i, &mxi) in min_x.iter().enumerate() {
         let mut attached = false;
-        for j in 0..n {
-            let r = d(i, j) - min_x[i] - min_y[j];
+        for (j, &myj) in min_y.iter().enumerate() {
+            let r = d(i, j) - mxi - myj;
             if r < -1e-15 {
                 net.add_edge(xoff + i, yoff + j, 1, r);
                 attached = true;
@@ -293,8 +276,8 @@ mod tests {
     proptest! {
         #[test]
         fn link_matches_brute_force(
-            xs in proptest::collection::vec(0.0f64..10.0, 3 * 1),
-            ys in proptest::collection::vec(0.0f64..10.0, 3 * 1),
+            xs in proptest::collection::vec(0.0f64..10.0, 3),
+            ys in proptest::collection::vec(0.0f64..10.0, 3),
         ) {
             let x = VectorSet::from_flat(1, xs);
             let y = VectorSet::from_flat(1, ys);

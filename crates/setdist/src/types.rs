@@ -26,7 +26,7 @@ impl VectorSet {
 
     /// Build from a flat buffer of `n · dim` values.
     pub fn from_flat(dim: usize, data: Vec<f64>) -> Self {
-        assert!(dim > 0 && data.len() % dim == 0, "flat length must be a multiple of dim");
+        assert!(dim > 0 && data.len().is_multiple_of(dim), "flat length must be a multiple of dim");
         VectorSet { dim, data }
     }
 

@@ -1,0 +1,117 @@
+//! Per-query execution context: which buffer pool to read through,
+//! and where to record costs.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::pool::{BufferPool, PinGuard};
+use crate::stats::QueryStats;
+use crate::tracker::IoTracker;
+use crate::StoreId;
+
+/// Threaded through every range/k-NN call. One context per query gives
+/// per-query stats; contexts are cheap (the pool is shared via `Arc`).
+#[derive(Debug)]
+pub struct QueryContext {
+    pool: Arc<BufferPool>,
+    tracker: IoTracker,
+}
+
+impl QueryContext {
+    /// Context with a fresh unbounded pool, private to this query.
+    /// Every first touch of a page is a charged miss — the paper's
+    /// cold-cache accounting.
+    pub fn ephemeral() -> Self {
+        QueryContext { pool: BufferPool::unbounded(), tracker: IoTracker::new() }
+    }
+
+    /// Context reading through a shared (possibly warm) pool.
+    pub fn with_pool(pool: Arc<BufferPool>) -> Self {
+        QueryContext { pool, tracker: IoTracker::new() }
+    }
+
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    pub fn tracker(&self) -> &IoTracker {
+        &self.tracker
+    }
+
+    /// Read `pages` consecutive pages through the pool; returns the
+    /// number of misses (charged to this query).
+    pub fn access(&self, store: StoreId, first: u64, pages: u64) -> u64 {
+        self.pool.access(store, first, pages, &self.tracker)
+    }
+
+    /// Read and pin one page; it stays resident until the guard drops.
+    pub fn pin(&self, store: StoreId, page: u64) -> PinGuard<'_> {
+        self.pool.pin(store, page, &self.tracker)
+    }
+
+    /// Charge `n` bytes read to this query.
+    pub fn record_bytes(&self, n: u64) {
+        self.tracker.record_bytes(n);
+    }
+
+    pub fn count_distance_evals(&self, n: u64) {
+        self.tracker.count_distance_evals(n);
+    }
+
+    pub fn count_candidates(&self, n: u64) {
+        self.tracker.count_candidates(n);
+    }
+
+    pub fn count_refinements(&self, n: u64) {
+        self.tracker.count_refinements(n);
+    }
+
+    /// Freeze this context's counters into per-query stats.
+    pub fn stats(&self, cpu: Duration) -> QueryStats {
+        QueryStats::from_snapshot(cpu, self.tracker.snapshot())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::{InMemoryPageStore, PageStore};
+
+    #[test]
+    fn ephemeral_contexts_are_independent() {
+        let store = InMemoryPageStore::new();
+        let a = QueryContext::ephemeral();
+        let b = QueryContext::ephemeral();
+        assert_eq!(a.access(store.id(), 0, 2), 2);
+        assert_eq!(b.access(store.id(), 0, 2), 2, "no sharing between ephemeral pools");
+        assert_eq!(a.stats(Duration::ZERO).io.pages, 2);
+    }
+
+    #[test]
+    fn shared_pool_contexts_split_stats() {
+        let store = InMemoryPageStore::new();
+        let pool = BufferPool::unbounded();
+        let a = QueryContext::with_pool(Arc::clone(&pool));
+        a.access(store.id(), 0, 3);
+        let b = QueryContext::with_pool(Arc::clone(&pool));
+        assert_eq!(b.access(store.id(), 0, 3), 0, "warm pool: all hits");
+        let sa = a.stats(Duration::ZERO);
+        let sb = b.stats(Duration::ZERO);
+        assert_eq!(sa.io.pages, 3);
+        assert_eq!(sb.io.pages, 0);
+        assert_eq!(sb.cache.hits, 3);
+    }
+
+    #[test]
+    fn stats_capture_all_counters() {
+        let ctx = QueryContext::ephemeral();
+        ctx.record_bytes(100);
+        ctx.count_distance_evals(4);
+        ctx.count_candidates(2);
+        ctx.count_refinements(1);
+        let s = ctx.stats(Duration::from_millis(3));
+        assert_eq!(s.io.bytes, 100);
+        assert_eq!((s.distance_evals, s.candidates, s.refinements), (4, 2, 1));
+        assert_eq!(s.cpu, Duration::from_millis(3));
+    }
+}

@@ -1,0 +1,69 @@
+//! The paper's simulated-I/O cost constants (Section 5.4).
+
+/// Page size used for node capacities and heap-file accounting.
+pub const PAGE_SIZE: usize = 4096;
+
+/// A point-in-time copy of charged I/O; subtract two snapshots to get
+/// the cost of one operation. `pages` counts page accesses that went to
+/// "disk" (buffer-pool misses); cache hits are free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IoSnapshot {
+    pub pages: u64,
+    pub bytes: u64,
+}
+
+impl std::ops::Sub for IoSnapshot {
+    type Output = IoSnapshot;
+    fn sub(self, o: IoSnapshot) -> IoSnapshot {
+        IoSnapshot { pages: self.pages - o.pages, bytes: self.bytes - o.bytes }
+    }
+}
+
+impl std::ops::Add for IoSnapshot {
+    type Output = IoSnapshot;
+    fn add(self, o: IoSnapshot) -> IoSnapshot {
+        IoSnapshot { pages: self.pages + o.pages, bytes: self.bytes + o.bytes }
+    }
+}
+
+/// The paper's cost constants.
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel {
+    pub ms_per_page: f64,
+    pub ns_per_byte: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        // Section 5.4: 8 ms per page access, 200 ns per byte.
+        CostModel { ms_per_page: 8.0, ns_per_byte: 200.0 }
+    }
+}
+
+impl CostModel {
+    /// Simulated I/O time in seconds for a counter delta.
+    pub fn seconds(&self, io: IoSnapshot) -> f64 {
+        io.pages as f64 * self.ms_per_page * 1e-3 + io.bytes as f64 * self.ns_per_byte * 1e-9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_arithmetic() {
+        let a = IoSnapshot { pages: 10, bytes: 500 };
+        let b = IoSnapshot { pages: 4, bytes: 100 };
+        assert_eq!(a - b, IoSnapshot { pages: 6, bytes: 400 });
+        assert_eq!(b + b, IoSnapshot { pages: 8, bytes: 200 });
+    }
+
+    #[test]
+    fn paper_cost_constants() {
+        let cm = CostModel::default();
+        // 1000 page accesses = 8 s; 5 MB = 1 s.
+        let t = cm.seconds(IoSnapshot { pages: 1000, bytes: 5_000_000 });
+        assert!((t - 9.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,51 @@
+//! Layered storage engine for the simulated-I/O evaluation
+//! (Section 5.4 of the paper).
+//!
+//! The paper runs everything in main memory and *charges* I/O costs —
+//! 8 ms per page access, 200 ns per byte read. This crate centralizes
+//! that accounting behind a page abstraction:
+//!
+//! * [`PageStore`] / [`InMemoryPageStore`] — page identity and
+//!   allocation for each persistent structure (index nodes, heap file).
+//! * [`BufferPool`] — an LRU page cache with pin/unpin. Access methods
+//!   read pages *through* the pool; only misses are charged to the
+//!   cost model, so a pool shared across queries models a warm cache
+//!   while a fresh per-query pool reproduces cold-cache accounting.
+//! * [`IoTracker`] / [`QueryContext`] — thread-safe per-query counters
+//!   (pages, bytes, cache hits/misses/evictions, distance evaluations,
+//!   filter candidates, refinements) threaded through query calls.
+//! * [`CostModel`] / [`QueryStats`] — turn counters into the paper's
+//!   simulated seconds and Table 2 columns.
+
+mod context;
+mod cost;
+mod page;
+mod pool;
+mod stats;
+mod tracker;
+
+pub use context::QueryContext;
+pub use cost::{CostModel, IoSnapshot, PAGE_SIZE};
+pub use page::{InMemoryPageStore, PageKey, PageStore, StoreId};
+pub use pool::{BufferPool, PinGuard, PoolStats};
+pub use stats::QueryStats;
+pub use tracker::{CacheCounts, IoTracker, TrackerSnapshot};
+
+/// Number of pages needed to hold `bytes` bytes.
+#[inline]
+pub fn pages_for(bytes: usize) -> u64 {
+    bytes.div_ceil(PAGE_SIZE) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pages_for_rounds_up() {
+        assert_eq!(pages_for(0), 0);
+        assert_eq!(pages_for(1), 1);
+        assert_eq!(pages_for(PAGE_SIZE), 1);
+        assert_eq!(pages_for(PAGE_SIZE + 1), 2);
+    }
+}

@@ -1,0 +1,333 @@
+//! LRU buffer pool over [`PageKey`]s.
+//!
+//! Charging policy: a lookup that *hits* the pool is free; a *miss* is
+//! charged as one page access to the query's [`IoTracker`] (the
+//! paper's 8 ms). A pool with `capacity >= working set` therefore
+//! issues zero simulated page costs on repeated queries, while a fresh
+//! pool per query reproduces cold-cache accounting.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use crate::page::{PageKey, StoreId};
+use crate::tracker::{CacheCounts, IoTracker};
+
+#[derive(Debug)]
+struct Frame {
+    last_use: u64,
+    pins: u32,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    frames: HashMap<PageKey, Frame>,
+    tick: u64,
+    totals: CacheCounts,
+}
+
+/// Shared LRU page cache with pin/unpin.
+#[derive(Debug)]
+pub struct BufferPool {
+    capacity: Option<usize>,
+    inner: Mutex<Inner>,
+}
+
+impl BufferPool {
+    /// Pool holding at most `capacity` pages (`capacity >= 1`).
+    pub fn new(capacity: usize) -> Arc<Self> {
+        assert!(capacity >= 1, "buffer pool capacity must be at least 1");
+        Arc::new(BufferPool { capacity: Some(capacity), inner: Mutex::new(Inner::default()) })
+    }
+
+    /// Pool that never evicts (models "everything fits in memory").
+    pub fn unbounded() -> Arc<Self> {
+        Arc::new(BufferPool { capacity: None, inner: Mutex::new(Inner::default()) })
+    }
+
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Pages currently resident.
+    pub fn resident(&self) -> usize {
+        self.inner.lock().unwrap().frames.len()
+    }
+
+    /// Lifetime hit/miss/eviction totals across all queries.
+    pub fn stats(&self) -> PoolStats {
+        let inner = self.inner.lock().unwrap();
+        PoolStats { counts: inner.totals, resident: inner.frames.len(), capacity: self.capacity }
+    }
+
+    pub fn contains(&self, store: StoreId, page: u64) -> bool {
+        self.inner.lock().unwrap().frames.contains_key(&PageKey { store, page })
+    }
+
+    /// Look up `pages` consecutive pages of `store` starting at
+    /// `first`. Misses are charged to `tracker` (one page access each)
+    /// and faulted in, evicting least-recently-used unpinned frames as
+    /// needed; if every frame is pinned the page is read through
+    /// without caching (still a charged miss). Returns the number of
+    /// misses.
+    pub fn access(&self, store: StoreId, first: u64, pages: u64, tracker: &IoTracker) -> u64 {
+        let mut inner = self.inner.lock().unwrap();
+        let mut missed = 0;
+        for page in first..first + pages {
+            if !inner.touch(PageKey { store, page }, 0, self.capacity, tracker) {
+                missed += 1;
+            }
+        }
+        missed
+    }
+
+    /// Like [`access`](Self::access) for a single page, but the page is
+    /// pinned on return: it cannot be evicted until the returned guard
+    /// drops. Pinning is reentrant (pin counts nest). If the pool is
+    /// full of other pinned pages, the page is read through and the
+    /// guard is a no-op.
+    pub fn pin<'a>(&'a self, store: StoreId, page: u64, tracker: &IoTracker) -> PinGuard<'a> {
+        let key = PageKey { store, page };
+        let mut inner = self.inner.lock().unwrap();
+        let hit = inner.touch(key, 1, self.capacity, tracker);
+        // The page may not be resident (read-through); only a resident
+        // pinned frame needs an unpin on drop.
+        let pinned = inner.frames.get(&key).is_some_and(|f| f.pins > 0);
+        PinGuard { pool: self, key: pinned.then_some(key), missed: !hit }
+    }
+
+    fn unpin(&self, key: PageKey) {
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(frame) = inner.frames.get_mut(&key) {
+            frame.pins = frame.pins.saturating_sub(1);
+        }
+    }
+}
+
+impl Inner {
+    /// Look up one page, faulting it in on miss; returns whether it was
+    /// a hit. `extra_pins` is added to the frame's pin count.
+    fn touch(
+        &mut self,
+        key: PageKey,
+        extra_pins: u32,
+        capacity: Option<usize>,
+        tracker: &IoTracker,
+    ) -> bool {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(frame) = self.frames.get_mut(&key) {
+            frame.last_use = tick;
+            frame.pins += extra_pins;
+            self.totals.hits += 1;
+            tracker.record_hit();
+            return true;
+        }
+        self.totals.misses += 1;
+        tracker.record_miss();
+        tracker.record_pages(1);
+        if let Some(cap) = capacity {
+            if self.frames.len() >= cap && !self.evict_lru(tracker) {
+                // Every frame is pinned: read through without caching.
+                return false;
+            }
+        }
+        self.frames.insert(key, Frame { last_use: tick, pins: extra_pins });
+        false
+    }
+
+    /// Evict the least-recently-used unpinned frame; false if all are
+    /// pinned.
+    fn evict_lru(&mut self, tracker: &IoTracker) -> bool {
+        let victim = self
+            .frames
+            .iter()
+            .filter(|(_, f)| f.pins == 0)
+            .min_by_key(|(_, f)| f.last_use)
+            .map(|(k, _)| *k);
+        match victim {
+            Some(key) => {
+                self.frames.remove(&key);
+                self.totals.evictions += 1;
+                tracker.record_eviction();
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+/// RAII pin: the page stays resident until this guard drops.
+#[derive(Debug)]
+pub struct PinGuard<'a> {
+    pool: &'a BufferPool,
+    key: Option<PageKey>,
+    missed: bool,
+}
+
+impl PinGuard<'_> {
+    /// Whether acquiring this pin faulted the page in (a charged miss).
+    pub fn missed(&self) -> bool {
+        self.missed
+    }
+}
+
+impl Drop for PinGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(key) = self.key {
+            self.pool.unpin(key);
+        }
+    }
+}
+
+/// Lifetime pool statistics.
+#[derive(Debug, Clone, Copy)]
+pub struct PoolStats {
+    pub counts: CacheCounts,
+    pub resident: usize,
+    pub capacity: Option<usize>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::{InMemoryPageStore, PageStore};
+
+    fn ids() -> (StoreId, IoTracker) {
+        (InMemoryPageStore::new().id(), IoTracker::new())
+    }
+
+    #[test]
+    fn repeat_access_hits_and_is_free() {
+        let (store, t) = ids();
+        let pool = BufferPool::unbounded();
+        assert_eq!(pool.access(store, 0, 3, &t), 3);
+        assert_eq!(pool.access(store, 0, 3, &t), 0);
+        let s = t.snapshot();
+        assert_eq!(s.io.pages, 3, "only misses are charged");
+        assert_eq!(s.cache, CacheCounts { hits: 3, misses: 3, evictions: 0 });
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let (store, t) = ids();
+        let pool = BufferPool::new(2);
+        pool.access(store, 0, 1, &t); // {0}
+        pool.access(store, 1, 1, &t); // {0, 1}
+        pool.access(store, 0, 1, &t); // touch 0 -> LRU is 1
+        pool.access(store, 2, 1, &t); // evicts 1 -> {0, 2}
+        assert!(pool.contains(store, 0));
+        assert!(!pool.contains(store, 1));
+        assert!(pool.contains(store, 2));
+        assert_eq!(t.snapshot().cache.evictions, 1);
+        assert_eq!(pool.resident(), 2);
+    }
+
+    #[test]
+    fn capacity_is_never_exceeded() {
+        let (store, t) = ids();
+        let pool = BufferPool::new(4);
+        for page in 0..100 {
+            pool.access(store, page, 1, &t);
+            assert!(pool.resident() <= 4);
+        }
+        assert_eq!(t.snapshot().cache.evictions, 96);
+    }
+
+    #[test]
+    fn pinned_pages_survive_eviction_pressure() {
+        let (store, t) = ids();
+        let pool = BufferPool::new(2);
+        let _guard = pool.pin(store, 7, &t);
+        for page in 0..50 {
+            pool.access(store, page, 1, &t);
+        }
+        assert!(pool.contains(store, 7), "pinned page must not be evicted");
+    }
+
+    #[test]
+    fn unpinned_page_becomes_evictable() {
+        let (store, t) = ids();
+        let pool = BufferPool::new(1);
+        {
+            let _guard = pool.pin(store, 7, &t);
+            // Full of pinned pages: this read goes through uncached.
+            assert_eq!(pool.access(store, 8, 1, &t), 1);
+            assert!(!pool.contains(store, 8));
+            assert!(pool.contains(store, 7));
+        }
+        pool.access(store, 9, 1, &t);
+        assert!(!pool.contains(store, 7), "dropped guard releases the pin");
+        assert!(pool.contains(store, 9));
+    }
+
+    #[test]
+    fn nested_pins_release_in_order() {
+        let (store, t) = ids();
+        let pool = BufferPool::new(1);
+        let a = pool.pin(store, 3, &t);
+        let b = pool.pin(store, 3, &t);
+        drop(a);
+        pool.access(store, 4, 1, &t);
+        assert!(pool.contains(store, 3), "still pinned by second guard");
+        drop(b);
+        pool.access(store, 5, 1, &t);
+        assert!(!pool.contains(store, 3));
+    }
+
+    #[test]
+    fn pin_reports_miss_then_hit() {
+        let (store, t) = ids();
+        let pool = BufferPool::unbounded();
+        let a = pool.pin(store, 0, &t);
+        assert!(a.missed());
+        let b = pool.pin(store, 0, &t);
+        assert!(!b.missed());
+    }
+
+    #[test]
+    fn two_stores_do_not_collide() {
+        let a = InMemoryPageStore::new();
+        let b = InMemoryPageStore::new();
+        let t = IoTracker::new();
+        let pool = BufferPool::unbounded();
+        pool.access(a.id(), 0, 1, &t);
+        assert_eq!(pool.access(b.id(), 0, 1, &t), 1, "same page number, different store");
+        assert_eq!(pool.resident(), 2);
+    }
+
+    #[test]
+    fn pool_totals_aggregate_across_trackers() {
+        let (store, _) = ids();
+        let pool = BufferPool::unbounded();
+        let t1 = IoTracker::new();
+        let t2 = IoTracker::new();
+        pool.access(store, 0, 2, &t1);
+        pool.access(store, 0, 2, &t2);
+        let stats = pool.stats();
+        assert_eq!(stats.counts, CacheCounts { hits: 2, misses: 2, evictions: 0 });
+        assert_eq!(t1.snapshot().cache.misses, 2);
+        assert_eq!(t2.snapshot().cache.hits, 2);
+    }
+
+    #[test]
+    fn concurrent_access_totals_are_consistent() {
+        let (store, _) = ids();
+        let pool = BufferPool::new(8);
+        std::thread::scope(|scope| {
+            for w in 0..4 {
+                let pool = &pool;
+                scope.spawn(move || {
+                    let t = IoTracker::new();
+                    for i in 0..500u64 {
+                        pool.access(store, (w * 37 + i * 13) % 64, 1, &t);
+                    }
+                    let s = t.snapshot().cache;
+                    assert_eq!(s.accesses(), 500);
+                });
+            }
+        });
+        let totals = pool.stats().counts;
+        assert_eq!(totals.accesses(), 2000);
+        assert!(pool.resident() <= 8);
+    }
+}

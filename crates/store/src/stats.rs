@@ -1,0 +1,94 @@
+//! Per-query cost accounting, mirroring Table 2's columns.
+
+use std::time::Duration;
+
+use crate::cost::{CostModel, IoSnapshot};
+use crate::tracker::{CacheCounts, TrackerSnapshot};
+
+/// Costs of one similarity query (or a sum over a workload).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QueryStats {
+    /// Measured wall-clock CPU time of the query.
+    pub cpu: Duration,
+    /// Simulated I/O charged by the cost model (pages = buffer-pool
+    /// misses; hits are free).
+    pub io: IoSnapshot,
+    /// Buffer-pool activity attributable to this query.
+    pub cache: CacheCounts,
+    /// Objects surviving the filter step (for filter/refine paths) or
+    /// examined (for scans).
+    pub candidates: u64,
+    /// Exact (expensive) distance computations performed.
+    pub refinements: u64,
+    /// Index-level distance-function evaluations.
+    pub distance_evals: u64,
+}
+
+impl QueryStats {
+    pub(crate) fn from_snapshot(cpu: Duration, snap: TrackerSnapshot) -> Self {
+        QueryStats {
+            cpu,
+            io: snap.io,
+            cache: snap.cache,
+            candidates: snap.candidates,
+            refinements: snap.refinements,
+            distance_evals: snap.distance_evals,
+        }
+    }
+
+    /// Simulated I/O time in seconds under the given cost model.
+    pub fn io_seconds(&self, cm: &CostModel) -> f64 {
+        cm.seconds(self.io)
+    }
+
+    /// CPU + simulated I/O, the paper's "total time".
+    pub fn total_seconds(&self, cm: &CostModel) -> f64 {
+        self.cpu.as_secs_f64() + self.io_seconds(cm)
+    }
+
+    /// Accumulate another query's stats (for averaging over workloads).
+    pub fn accumulate(&mut self, other: &QueryStats) {
+        self.cpu += other.cpu;
+        self.io = self.io + other.io;
+        self.cache = self.cache + other.cache;
+        self.candidates += other.candidates;
+        self.refinements += other.refinements;
+        self.distance_evals += other.distance_evals;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_combine_cpu_and_io() {
+        let s = QueryStats {
+            cpu: Duration::from_millis(100),
+            io: IoSnapshot { pages: 10, bytes: 0 },
+            ..Default::default()
+        };
+        let cm = CostModel::default();
+        assert!((s.io_seconds(&cm) - 0.08).abs() < 1e-12);
+        assert!((s.total_seconds(&cm) - 0.18).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accumulate_sums_fields() {
+        let mut a = QueryStats {
+            cpu: Duration::from_millis(5),
+            io: IoSnapshot { pages: 1, bytes: 10 },
+            cache: CacheCounts { hits: 3, misses: 1, evictions: 0 },
+            candidates: 2,
+            refinements: 1,
+            distance_evals: 9,
+        };
+        let b = a;
+        a.accumulate(&b);
+        assert_eq!(a.cpu, Duration::from_millis(10));
+        assert_eq!(a.io.pages, 2);
+        assert_eq!(a.cache.hits, 6);
+        assert_eq!(a.candidates, 4);
+        assert_eq!(a.distance_evals, 18);
+    }
+}

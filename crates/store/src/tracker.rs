@@ -1,0 +1,182 @@
+//! Per-query counters, safe to share across worker threads.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::cost::IoSnapshot;
+
+/// Buffer-pool activity attributable to one query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheCounts {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+}
+
+impl CacheCounts {
+    /// Total page lookups (`hits + misses`).
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+}
+
+impl std::ops::Add for CacheCounts {
+    type Output = CacheCounts;
+    fn add(self, o: CacheCounts) -> CacheCounts {
+        CacheCounts {
+            hits: self.hits + o.hits,
+            misses: self.misses + o.misses,
+            evictions: self.evictions + o.evictions,
+        }
+    }
+}
+
+/// Thread-safe counters for one query (or one workload when shared).
+/// The buffer pool records cache activity here; access methods record
+/// bytes and algorithmic counters.
+#[derive(Debug, Default)]
+pub struct IoTracker {
+    pages: AtomicU64,
+    bytes: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    distance_evals: AtomicU64,
+    candidates: AtomicU64,
+    refinements: AtomicU64,
+}
+
+impl IoTracker {
+    pub fn new() -> Self {
+        IoTracker::default()
+    }
+
+    /// Charge `n` page accesses to the cost model (called by the
+    /// buffer pool on misses).
+    #[inline]
+    pub fn record_pages(&self, n: u64) {
+        self.pages.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Charge `n` bytes read to the cost model.
+    #[inline]
+    pub fn record_bytes(&self, n: u64) {
+        self.bytes.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn record_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn record_miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn record_eviction(&self) {
+        self.evictions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count `n` distance-function evaluations (index CPU work).
+    #[inline]
+    pub fn count_distance_evals(&self, n: u64) {
+        self.distance_evals.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Count `n` objects surviving the filter step (or examined, for
+    /// scans).
+    #[inline]
+    pub fn count_candidates(&self, n: u64) {
+        self.candidates.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Count `n` exact (expensive) distance refinements.
+    #[inline]
+    pub fn count_refinements(&self, n: u64) {
+        self.refinements.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> TrackerSnapshot {
+        TrackerSnapshot {
+            io: IoSnapshot {
+                pages: self.pages.load(Ordering::Relaxed),
+                bytes: self.bytes.load(Ordering::Relaxed),
+            },
+            cache: CacheCounts {
+                hits: self.hits.load(Ordering::Relaxed),
+                misses: self.misses.load(Ordering::Relaxed),
+                evictions: self.evictions.load(Ordering::Relaxed),
+            },
+            distance_evals: self.distance_evals.load(Ordering::Relaxed),
+            candidates: self.candidates.load(Ordering::Relaxed),
+            refinements: self.refinements.load(Ordering::Relaxed),
+        }
+    }
+
+    pub fn reset(&self) {
+        self.pages.store(0, Ordering::Relaxed);
+        self.bytes.store(0, Ordering::Relaxed);
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
+        self.distance_evals.store(0, Ordering::Relaxed);
+        self.candidates.store(0, Ordering::Relaxed);
+        self.refinements.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of all tracker counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TrackerSnapshot {
+    pub io: IoSnapshot,
+    pub cache: CacheCounts,
+    pub distance_evals: u64,
+    pub candidates: u64,
+    pub refinements: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let t = IoTracker::new();
+        t.record_pages(3);
+        t.record_bytes(1000);
+        t.record_hit();
+        t.record_miss();
+        t.record_miss();
+        t.record_eviction();
+        t.count_distance_evals(7);
+        t.count_candidates(2);
+        t.count_refinements(1);
+        let s = t.snapshot();
+        assert_eq!(s.io, IoSnapshot { pages: 3, bytes: 1000 });
+        assert_eq!(s.cache, CacheCounts { hits: 1, misses: 2, evictions: 1 });
+        assert_eq!(s.cache.accesses(), 3);
+        assert_eq!((s.distance_evals, s.candidates, s.refinements), (7, 2, 1));
+        t.reset();
+        assert_eq!(t.snapshot(), TrackerSnapshot::default());
+    }
+
+    #[test]
+    fn concurrent_recording_is_exact() {
+        let t = IoTracker::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..1000 {
+                        t.record_pages(1);
+                        t.record_bytes(10);
+                        t.record_hit();
+                    }
+                });
+            }
+        });
+        let s = t.snapshot();
+        assert_eq!(s.io, IoSnapshot { pages: 4000, bytes: 40_000 });
+        assert_eq!(s.cache.hits, 4000);
+    }
+}

@@ -19,7 +19,7 @@ impl VoxelGrid {
     /// An all-empty grid of the given dimensions.
     pub fn new(nx: usize, ny: usize, nz: usize) -> Self {
         assert!(nx > 0 && ny > 0 && nz > 0, "grid dimensions must be positive");
-        let words = (nx * ny * nz + 63) / 64;
+        let words = (nx * ny * nz).div_ceil(64);
         VoxelGrid { nx, ny, nz, bits: vec![0; words] }
     }
 
@@ -98,11 +98,7 @@ impl VoxelGrid {
     /// volume difference `|O XOR S|` of the cover-sequence model.
     pub fn xor_count(&self, other: &VoxelGrid) -> usize {
         assert_eq!(self.dims(), other.dims(), "grid dimensions differ");
-        self.bits
-            .iter()
-            .zip(&other.bits)
-            .map(|(a, b)| (a ^ b).count_ones() as usize)
-            .sum()
+        self.bits.iter().zip(&other.bits).map(|(a, b)| (a ^ b).count_ones() as usize).sum()
     }
 
     /// True if the set voxel at `(x, y, z)` lies on the object surface,
@@ -113,16 +109,9 @@ impl VoxelGrid {
             return false;
         }
         let (xi, yi, zi) = (x as isize, y as isize, z as isize);
-        const N: [[isize; 3]; 6] = [
-            [1, 0, 0],
-            [-1, 0, 0],
-            [0, 1, 0],
-            [0, -1, 0],
-            [0, 0, 1],
-            [0, 0, -1],
-        ];
-        N.iter()
-            .any(|d| !self.get_i(xi + d[0], yi + d[1], zi + d[2]))
+        const N: [[isize; 3]; 6] =
+            [[1, 0, 0], [-1, 0, 0], [0, 1, 0], [0, -1, 0], [0, 0, 1], [0, 0, -1]];
+        N.iter().any(|d| !self.get_i(xi + d[0], yi + d[1], zi + d[2]))
     }
 
     /// Grid containing exactly the surface voxels `V̄ᵒ`.
@@ -225,7 +214,7 @@ impl VoxelGrid {
     /// Rebuild from raw parts; `words` must have exactly
     /// `ceil(nx·ny·nz / 64)` entries.
     pub fn from_words(nx: usize, ny: usize, nz: usize, words: Vec<u64>) -> Self {
-        let expect = (nx * ny * nz + 63) / 64;
+        let expect = (nx * ny * nz).div_ceil(64);
         assert_eq!(words.len(), expect, "word count mismatch");
         VoxelGrid { nx, ny, nz, bits: words }
     }

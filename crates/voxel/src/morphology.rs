@@ -7,15 +7,8 @@
 use crate::grid::VoxelGrid;
 
 /// 6-connected structuring element (face neighbors + center).
-const N6: [[isize; 3]; 7] = [
-    [0, 0, 0],
-    [1, 0, 0],
-    [-1, 0, 0],
-    [0, 1, 0],
-    [0, -1, 0],
-    [0, 0, 1],
-    [0, 0, -1],
-];
+const N6: [[isize; 3]; 7] =
+    [[0, 0, 0], [1, 0, 0], [-1, 0, 0], [0, 1, 0], [0, -1, 0], [0, 0, 1], [0, 0, -1]];
 
 /// Dilation with the 6-neighborhood: every voxel adjacent (or equal) to
 /// a set voxel becomes set.
@@ -45,9 +38,8 @@ pub fn erode(g: &VoxelGrid) -> VoxelGrid {
     let [nx, ny, nz] = g.dims();
     let mut out = VoxelGrid::new(nx, ny, nz);
     for [x, y, z] in g.iter_set() {
-        let ok = N6.iter().all(|d| {
-            g.get_i(x as isize + d[0], y as isize + d[1], z as isize + d[2])
-        });
+        let ok =
+            N6.iter().all(|d| g.get_i(x as isize + d[0], y as isize + d[1], z as isize + d[2]));
         if ok {
             out.set(x, y, z, true);
         }
@@ -90,7 +82,11 @@ pub fn connected_components(g: &VoxelGrid) -> (Vec<u32>, usize) {
                     continue;
                 }
                 let (qx, qy, qz) = (qx as usize, qy as usize, qz as usize);
-                if qx < nx && qy < ny && qz < nz && g.get(qx, qy, qz) && labels[idx(qx, qy, qz)] == 0
+                if qx < nx
+                    && qy < ny
+                    && qz < nz
+                    && g.get(qx, qy, qz)
+                    && labels[idx(qx, qy, qz)] == 0
                 {
                     labels[idx(qx, qy, qz)] = next;
                     stack.push([qx, qy, qz]);
@@ -115,12 +111,7 @@ pub fn largest_component(g: &VoxelGrid) -> VoxelGrid {
         sizes[l as usize] += 1;
     }
     sizes[0] = 0;
-    let best = sizes
-        .iter()
-        .enumerate()
-        .max_by_key(|(_, &s)| s)
-        .map(|(i, _)| i as u32)
-        .unwrap();
+    let best = sizes.iter().enumerate().max_by_key(|(_, &s)| s).map(|(i, _)| i as u32).unwrap();
     let mut out = VoxelGrid::new(nx, ny, nz);
     let idx = |x: usize, y: usize, z: usize| (z * ny + y) * nx + x;
     for [x, y, z] in g.iter_set() {
@@ -194,7 +185,7 @@ mod tests {
         let (labels, count) = connected_components(&g);
         assert_eq!(count, 3);
         // All voxels of the first block share one label.
-        let l0 = labels[(0 * 12 + 0) * 12 + 0];
+        let l0 = labels[0];
         assert!(l0 > 0);
         assert_eq!(labels[(3 * 12 + 3) * 12 + 3], l0);
         assert_ne!(labels[(9 * 12 + 9) * 12 + 9], l0);

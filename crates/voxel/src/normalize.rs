@@ -50,7 +50,12 @@ pub fn rotate_grid(grid: &VoxelGrid, m: &Mat3) -> VoxelGrid {
         let qy = (q.y + c).round() as isize;
         let qz = (q.z + c).round() as isize;
         debug_assert!(
-            qx >= 0 && qy >= 0 && qz >= 0 && (qx as usize) < r && (qy as usize) < r && (qz as usize) < r,
+            qx >= 0
+                && qy >= 0
+                && qz >= 0
+                && (qx as usize) < r
+                && (qy as usize) < r
+                && (qz as usize) < r,
             "signed permutation must map the grid onto itself"
         );
         out.set(qx as usize, qy as usize, qz as usize, true);
@@ -138,10 +143,7 @@ mod tests {
         let a = &ms[5];
         let b = &ms[17];
         let ab = *a * *b;
-        assert_eq!(
-            rotate_grid(&rotate_grid(&g, b), a),
-            rotate_grid(&g, &ab)
-        );
+        assert_eq!(rotate_grid(&rotate_grid(&g, b), a), rotate_grid(&g, &ab));
     }
 
     #[test]
@@ -156,10 +158,7 @@ mod tests {
     #[test]
     fn the_24_rotations_of_an_asymmetric_object_are_distinct() {
         let g = l_shape(8);
-        let rots: Vec<_> = Mat3::cube_rotations()
-            .iter()
-            .map(|m| rotate_grid(&g, m))
-            .collect();
+        let rots: Vec<_> = Mat3::cube_rotations().iter().map(|m| rotate_grid(&g, m)).collect();
         for i in 0..rots.len() {
             for j in (i + 1)..rots.len() {
                 assert_ne!(rots[i], rots[j], "rotations {i} and {j} coincide");
@@ -175,10 +174,8 @@ mod tests {
             g.set(p[0], p[1], p[2], true);
         }
         let reflected = rotate_grid(&g, &Mat3::reflect_x());
-        let rotations_of_g: Vec<_> = Mat3::cube_rotations()
-            .iter()
-            .map(|m| rotate_grid(&g, m))
-            .collect();
+        let rotations_of_g: Vec<_> =
+            Mat3::cube_rotations().iter().map(|m| rotate_grid(&g, m)).collect();
         let reflections_match = Mat3::cube_rotations()
             .iter()
             .map(|m| rotate_grid(&reflected, m))

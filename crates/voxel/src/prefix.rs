@@ -30,9 +30,8 @@ impl PrefixSum3d {
                 let mut row = 0u32;
                 for x in 1..=nx {
                     row += grid.get(x - 1, y - 1, z - 1) as u32;
-                    sums[at(x, y, z)] =
-                        row + sums[at(x, y, z - 1)] + sums[at(x, y - 1, z)]
-                            - sums[at(x, y - 1, z - 1)];
+                    sums[at(x, y, z)] = row + sums[at(x, y, z - 1)] + sums[at(x, y - 1, z)]
+                        - sums[at(x, y - 1, z - 1)];
                 }
             }
         }
@@ -47,7 +46,15 @@ impl PrefixSum3d {
     /// Number of set voxels in the half-open box
     /// `[x0, x1) × [y0, y1) × [z0, z1)`.
     #[inline]
-    pub fn box_count(&self, x0: usize, x1: usize, y0: usize, y1: usize, z0: usize, z1: usize) -> u32 {
+    pub fn box_count(
+        &self,
+        x0: usize,
+        x1: usize,
+        y0: usize,
+        y1: usize,
+        z0: usize,
+        z1: usize,
+    ) -> u32 {
         debug_assert!(x0 <= x1 && x1 <= self.nx);
         debug_assert!(y0 <= y1 && y1 <= self.ny);
         debug_assert!(z0 <= z1 && z1 <= self.nz);

@@ -76,16 +76,15 @@ pub fn voxelize_solid(solid: &dyn Solid, r: usize, mode: NormalizeMode) -> Voxel
     for z in 0..r {
         for y in 0..r {
             for x in 0..r {
-                let base = origin
-                    + Vec3::new(x as f64 * cell.x, y as f64 * cell.y, z as f64 * cell.z);
+                let base =
+                    origin + Vec3::new(x as f64 * cell.x, y as f64 * cell.y, z as f64 * cell.z);
                 let center = base + cell * 0.5;
                 let mut inside = solid.contains(center);
                 if !inside {
                     'probe: for sz in SUB {
                         for sy in SUB {
                             for sx in SUB {
-                                let p = base
-                                    + Vec3::new(sx * cell.x, sy * cell.y, sz * cell.z);
+                                let p = base + Vec3::new(sx * cell.x, sy * cell.y, sz * cell.z);
                                 if solid.contains(p) {
                                     inside = true;
                                     break 'probe;
@@ -157,7 +156,12 @@ pub fn voxelize_mesh(mesh: &TriMesh, r: usize, mode: NormalizeMode) -> Voxelizat
     // 2. Exterior flood fill (6-connectivity) from all boundary voxels.
     let mut exterior = VoxelGrid::cubic(r);
     let mut stack: Vec<[usize; 3]> = Vec::new();
-    let push = |g: &mut VoxelGrid, s: &mut Vec<[usize; 3]>, x: usize, y: usize, z: usize, surf: &VoxelGrid| {
+    let push = |g: &mut VoxelGrid,
+                s: &mut Vec<[usize; 3]>,
+                x: usize,
+                y: usize,
+                z: usize,
+                surf: &VoxelGrid| {
         if !surf.get(x, y, z) && !g.get(x, y, z) {
             g.set(x, y, z, true);
             s.push([x, y, z]);
@@ -165,28 +169,16 @@ pub fn voxelize_mesh(mesh: &TriMesh, r: usize, mode: NormalizeMode) -> Voxelizat
     };
     for a in 0..r {
         for b2 in 0..r {
-            for (x, y, z) in [
-                (0, a, b2),
-                (r - 1, a, b2),
-                (a, 0, b2),
-                (a, r - 1, b2),
-                (a, b2, 0),
-                (a, b2, r - 1),
-            ] {
+            for (x, y, z) in
+                [(0, a, b2), (r - 1, a, b2), (a, 0, b2), (a, r - 1, b2), (a, b2, 0), (a, b2, r - 1)]
+            {
                 push(&mut exterior, &mut stack, x, y, z, &surface);
             }
         }
     }
     while let Some([x, y, z]) = stack.pop() {
         let (xi, yi, zi) = (x as isize, y as isize, z as isize);
-        for d in [
-            [1isize, 0, 0],
-            [-1, 0, 0],
-            [0, 1, 0],
-            [0, -1, 0],
-            [0, 0, 1],
-            [0, 0, -1],
-        ] {
+        for d in [[1isize, 0, 0], [-1, 0, 0], [0, 1, 0], [0, -1, 0], [0, 0, 1], [0, 0, -1]] {
             let (nx, ny, nz) = (xi + d[0], yi + d[1], zi + d[2]);
             if nx < 0 || ny < 0 || nz < 0 {
                 continue;
@@ -287,11 +279,7 @@ mod tests {
 
     #[test]
     fn tri_box_basic_cases() {
-        let tri = [
-            Vec3::new(-1.0, -1.0, 0.0),
-            Vec3::new(1.0, -1.0, 0.0),
-            Vec3::new(0.0, 1.0, 0.0),
-        ];
+        let tri = [Vec3::new(-1.0, -1.0, 0.0), Vec3::new(1.0, -1.0, 0.0), Vec3::new(0.0, 1.0, 0.0)];
         // Box straddling the triangle plane and overlapping it.
         assert!(tri_box_overlap(Vec3::ZERO, Vec3::splat(0.5), &tri));
         // Box far away.
@@ -349,10 +337,7 @@ mod tests {
         // agreement within that tolerance.
         let diff = a.grid.xor_count(&b.grid);
         let surf = a.grid.surface().count();
-        assert!(
-            diff <= surf * 2,
-            "diff {diff} exceeds 2x surface voxels {surf}"
-        );
+        assert!(diff <= surf * 2, "diff {diff} exceeds 2x surface voxels {surf}");
         // The solid-based grid must be a subset of the mesh-based one.
         let mut sub = a.grid.clone();
         sub.subtract(&b.grid);

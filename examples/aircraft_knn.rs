@@ -10,10 +10,7 @@
 use vsim_core::prelude::*;
 
 fn main() {
-    let n: usize = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(1000);
+    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(1000);
     let k_covers = 7;
     let n_queries = 20;
     let knn = 10;
@@ -52,10 +49,12 @@ fn main() {
     }
 
     println!("\n{n_queries} x {knn}-NN queries (simulated I/O: 8 ms/page + 200 ns/byte):");
-    println!("{:22} {:>10} {:>10} {:>10} {:>12}", "access path", "CPU s", "I/O s", "total s", "refinements");
-    for (name, t) in ["1-Vect (X-tree)", "Vect.Set w. filter", "Vect.Set seq.scan"]
-        .iter()
-        .zip(&totals)
+    println!(
+        "{:22} {:>10} {:>10} {:>10} {:>12}",
+        "access path", "CPU s", "I/O s", "total s", "refinements"
+    );
+    for (name, t) in
+        ["1-Vect (X-tree)", "Vect.Set w. filter", "Vect.Set seq.scan"].iter().zip(&totals)
     {
         println!(
             "{:22} {:>10.3} {:>10.3} {:>10.3} {:>12}",

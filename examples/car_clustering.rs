@@ -8,10 +8,7 @@
 use vsim_core::prelude::*;
 
 fn main() {
-    let n: usize = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(200);
+    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(200);
 
     println!("generating {n} synthetic car parts...");
     let data = car_dataset(42, n);
@@ -55,11 +52,7 @@ fn main() {
         for &m in members {
             counts[labels[m]] += 1;
         }
-        let (best_label, best_count) = counts
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, &c)| c)
-            .unwrap();
+        let (best_label, best_count) = counts.iter().enumerate().max_by_key(|(_, &c)| c).unwrap();
         println!(
             "  cluster {ci:2}: {:3} objects, {:3}% {}",
             members.len(),

@@ -50,23 +50,14 @@ fn main() {
     let qset = model.extract(&voxelize_mesh(&query_mesh, 15, NormalizeMode::Uniform).grid);
 
     // Invariant query: 48 runtime permutations (Section 3.2).
-    let variants: Vec<VectorSet> = Mat3::cube_symmetries()
-        .iter()
-        .map(|m| transform_vector_set(&qset, m))
-        .collect();
+    let variants: Vec<VectorSet> =
+        Mat3::cube_symmetries().iter().map(|m| transform_vector_set(&qset, m)).collect();
     let (hits, stats) = index.knn_invariant(&variants, 3);
     println!("\ninvariant 3-NN of the rotated+reflected {}:", meshes[target].0);
     for (id, d) in &hits {
         println!("  {:12} d = {d:.4}", meshes[*id as usize].0);
     }
-    println!(
-        "({} exact evaluations across {} variants)",
-        stats.refinements,
-        variants.len()
-    );
+    println!("({} exact evaluations across {} variants)", stats.refinements, variants.len());
     assert_eq!(hits[0].0, target as u64, "the original box must be the top hit");
-    assert!(
-        meshes[hits[1].0 as usize].0.starts_with("box"),
-        "runner-up should be another box"
-    );
+    assert!(meshes[hits[1].0 as usize].0.starts_with("box"), "runner-up should be another box");
 }

@@ -8,10 +8,7 @@
 use vsim_core::prelude::*;
 
 fn main() {
-    let n: usize = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(120);
+    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(120);
 
     println!("generating {n} synthetic car parts...");
     let data = car_dataset(42, n);

@@ -21,7 +21,8 @@ fn permutation_distance_equivalence_on_real_covers() {
     for i in (0..sets.len()).step_by(5) {
         for j in (0..sets.len()).step_by(7) {
             let fast = mm.distance_value(&sets[i], &sets[j]);
-            let slow = vsim_setdist::matching::brute_force_matching_distance(&mm, &sets[i], &sets[j]);
+            let slow =
+                vsim_setdist::matching::brute_force_matching_distance(&mm, &sets[i], &sets[j]);
             assert!(
                 (fast - slow).abs() < 1e-9,
                 "Kuhn-Munkres {fast} vs brute force {slow} for pair ({i},{j})"
@@ -71,10 +72,7 @@ fn vector_set_distance_is_metric_on_real_data() {
     // Covers always have volume -> nonzero feature vectors.
     for s in &sets {
         for v in s.iter() {
-            assert!(
-                v[3] > 0.0 && v[4] > 0.0 && v[5] > 0.0,
-                "cover with zero extent found"
-            );
+            assert!(v[3] > 0.0 && v[4] > 0.0 && v[5] > 0.0, "cover with zero extent found");
         }
     }
     let mm = MinimalMatching::vector_set_model();
@@ -163,8 +161,5 @@ fn permutation_and_vector_set_models_rank_alike() {
         overlap_sum += a.intersection(&b).count() as f64 / 10.0;
     }
     let mean_overlap = overlap_sum / queries.len() as f64;
-    assert!(
-        mean_overlap >= 0.6,
-        "10-NN overlap between the two distances only {mean_overlap:.2}"
-    );
+    assert!(mean_overlap >= 0.6, "10-NN overlap between the two distances only {mean_overlap:.2}");
 }

@@ -54,11 +54,7 @@ fn similar_parts_are_closer_than_dissimilar_across_all_models() {
     ] {
         let same = model.grid_distance(&a15, &a30, &b15, &b30);
         let diff = model.grid_distance(&a15, &a30, &c15, &c30);
-        assert!(
-            same < diff,
-            "{}: similar {same} !< dissimilar {diff}",
-            model.name()
-        );
+        assert!(same < diff, "{}: similar {same} !< dissimilar {diff}", model.name());
     }
 }
 
@@ -92,9 +88,7 @@ fn rotation_invariance_end_to_end() {
     // distance and below typical intra-family distances.
     let vset = SimilarityModel::vector_set(7);
     let plain = vset.grid_distance(&g15, &g30, &r15, &r30);
-    let inv = vset
-        .with_invariance(Invariance::Rotation24)
-        .grid_distance(&g15, &g30, &r15, &r30);
+    let inv = vset.with_invariance(Invariance::Rotation24).grid_distance(&g15, &g30, &r15, &r30);
     assert!(inv < 0.5 * plain, "invariant {inv} vs plain {plain}");
     assert!(inv < 0.5, "rotated copy too far under invariant distance: {inv}");
 }
@@ -106,9 +100,7 @@ fn stl_roundtrip_preserves_features() {
     // exactly (binary STL quantizes to f32).
     let mesh = TriMesh::make_cylinder(1.0, 2.5, 48);
     let model = VectorSetModel::new(7);
-    let extract = |m: &TriMesh| {
-        model.extract(&voxelize_mesh(m, 15, NormalizeMode::Uniform).grid)
-    };
+    let extract = |m: &TriMesh| model.extract(&voxelize_mesh(m, 15, NormalizeMode::Uniform).grid);
     let original = extract(&mesh);
 
     let mut ascii = Vec::new();
@@ -119,8 +111,7 @@ fn stl_roundtrip_preserves_features() {
     let mut binary = Vec::new();
     vsim_geom::stl::write_stl_binary(&mesh, &mut binary).unwrap();
     let back_bin = vsim_geom::stl::read_stl(&binary[..]).unwrap();
-    let d = MinimalMatching::vector_set_model()
-        .distance_value(&extract(&back_bin), &original);
+    let d = MinimalMatching::vector_set_model().distance_value(&extract(&back_bin), &original);
     assert!(d < 1e-6, "binary STL roundtrip changed features by {d}");
 }
 

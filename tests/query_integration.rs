@@ -7,6 +7,7 @@ use std::sync::Arc;
 use vsim_core::prelude::*;
 use vsim_features::cover::transform_vector_set;
 use vsim_geom::Mat3;
+use vsim_index::PageStore;
 
 fn aircraft_sets(n: usize, k: usize, seed: u64) -> (Vec<VectorSet>, Vec<usize>) {
     let data = aircraft_dataset(seed, n);
@@ -27,7 +28,7 @@ fn filter_refine_equals_scan_on_real_data() {
         for (x, y) in a.iter().zip(&b) {
             assert!((x.1 - y.1).abs() < 1e-9, "query {q}");
         }
-        assert!(sa.refinements < sets.len(), "filter must prune");
+        assert!((sa.refinements as usize) < sets.len(), "filter must prune");
     }
 }
 
@@ -36,13 +37,14 @@ fn mtree_on_matching_distance_equals_scan() {
     let (sets, _) = aircraft_sets(200, 5, 10);
     let mm = MinimalMatching::vector_set_model();
     let dist: Arc<dyn vsim_setdist::Distance<VectorSet>> = Arc::new(mm.clone());
-    let mut mtree: MTree<VectorSet> = MTree::new(dist, 16, 344, IoStats::new());
+    let mut mtree: MTree<VectorSet> = MTree::new(dist, 16, 344);
     for (i, s) in sets.iter().enumerate() {
         mtree.insert(s.clone(), i as u64);
     }
     let scan = SequentialScanIndex::build(&sets);
     for q in [3usize, 77, 150] {
-        let got = mtree.knn(&sets[q], 8);
+        let ctx = QueryContext::ephemeral();
+        let got = mtree.knn(&sets[q], 8, &ctx);
         let (want, _) = scan.knn(&sets[q], 8);
         for (g, w) in got.iter().zip(&want) {
             assert!((g.1 - w.1).abs() < 1e-9, "query {q}: {g:?} vs {w:?}");
@@ -50,9 +52,9 @@ fn mtree_on_matching_distance_equals_scan() {
     }
     // Metric pruning must beat the trivial bound of evaluating the
     // routing objects of every node plus every leaf entry.
-    let before = mtree.distance_computations();
-    let _ = mtree.knn(&sets[0], 5);
-    let used = mtree.distance_computations() - before;
+    let ctx = QueryContext::ephemeral();
+    let _ = mtree.knn(&sets[0], 5, &ctx);
+    let used = ctx.stats(std::time::Duration::ZERO).distance_evals;
     assert!((used as usize) < 2 * sets.len());
 }
 
@@ -118,7 +120,7 @@ fn invariant_queries_via_48_runtime_permutations() {
         let tq = transform_vector_set(&rotated_query, &m);
         let (hits, _) = filter.knn(&tq, 1);
         if let Some(h) = hits.first() {
-            if best.map_or(true, |b| h.1 < b.1) {
+            if best.is_none_or(|b| h.1 < b.1) {
                 best = Some(*h);
             }
         }
@@ -126,6 +128,100 @@ fn invariant_queries_via_48_runtime_permutations() {
     let (id, d) = best.unwrap();
     assert_eq!(id, target as u64);
     assert!(d < 1e-9, "rotated query should match its original exactly");
+}
+
+#[test]
+fn batch_executor_is_bit_identical_to_per_query_path() {
+    // The parallel executor with cold per-query pools must reproduce the
+    // sequential wrappers exactly — hits AND simulated I/O.
+    let (sets, _) = aircraft_sets(500, 7, 15);
+    let filter = FilterRefineIndex::build(&sets, 6, 7);
+    let queries: Vec<VectorSet> = (0..25).map(|i| sets[i * 19].clone()).collect();
+    let batch = QueryExecutor::cold().batch_knn(&filter, &queries, 10);
+    for (i, q) in queries.iter().enumerate() {
+        let (seq, seq_stats) = filter.knn(q, 10);
+        assert_eq!(batch.hits[i], seq, "query {i}: hits must be bit-identical");
+        assert_eq!(batch.stats[i].io, seq_stats.io, "query {i}: simulated I/O");
+        assert_eq!(batch.stats[i].candidates, seq_stats.candidates);
+        assert_eq!(batch.stats[i].refinements, seq_stats.refinements);
+    }
+    let scan = SequentialScanIndex::build(&sets);
+    let sbatch = QueryExecutor::cold().batch_knn(&scan, &queries, 10);
+    for (b, s) in sbatch.hits.iter().zip(batch.hits.iter()) {
+        for (x, y) in b.iter().zip(s) {
+            assert!((x.1 - y.1).abs() < 1e-9);
+        }
+    }
+}
+
+#[test]
+fn counter_audit_scan_bytes_match_analytic_value() {
+    // Table 2 row consistency: the three access paths must account
+    // candidates, refinements, pages, and bytes on the same definitions.
+    let (sets, _) = aircraft_sets(300, 7, 16);
+    let n = sets.len();
+    let scan = SequentialScanIndex::build(&sets);
+    let filter = FilterRefineIndex::build(&sets, 6, 7);
+
+    // Sequential scan, cold pool: bytes == the packed heap file's exact
+    // byte size, pages == ceil(bytes / PAGE_SIZE), one candidate and one
+    // refinement per object.
+    let (_, ss) = scan.knn(&sets[0], 10);
+    let file_bytes: usize = sets.iter().map(|s| s.storage_bytes()).sum();
+    let page_size = vsim_index::PAGE_SIZE;
+    assert_eq!(ss.io.bytes as usize, file_bytes);
+    assert_eq!(ss.io.pages as usize, file_bytes.div_ceil(page_size));
+    assert_eq!(ss.candidates, n as u64);
+    assert_eq!(ss.refinements, n as u64);
+    assert_eq!(ss.cache.hits + ss.cache.misses, ss.cache.accesses());
+
+    // Filter path: every refinement was first a candidate, the filter
+    // prunes (refinements < n), and cache counters balance.
+    let (_, fs) = filter.knn(&sets[0], 10);
+    assert!(fs.refinements <= fs.candidates);
+    assert!(fs.refinements < n as u64);
+    assert_eq!(fs.cache.hits + fs.cache.misses, fs.cache.accesses());
+
+    // M-tree: pages are charged per node read, so the page count is
+    // bounded by the tree's node/page total; distance evaluations are
+    // counted on the same tracker.
+    let mm = MinimalMatching::vector_set_model();
+    let dist: Arc<dyn vsim_setdist::Distance<VectorSet>> = Arc::new(mm);
+    let mut mtree: MTree<VectorSet> = MTree::new(dist, 16, 344);
+    for (i, s) in sets.iter().enumerate() {
+        mtree.insert(s.clone(), i as u64);
+    }
+    let ctx = QueryContext::ephemeral();
+    let _ = mtree.knn(&sets[0], 10, &ctx);
+    let ms = ctx.stats(std::time::Duration::ZERO);
+    assert!(ms.io.pages > 0);
+    assert!(ms.io.pages <= mtree.page_store().page_count());
+    assert!(ms.distance_evals > 0);
+    assert_eq!(ms.cache.hits + ms.cache.misses, ms.cache.accesses());
+}
+
+#[test]
+fn knn_results_identical_across_buffer_capacities() {
+    // The buffer pool only changes what I/O costs, never what a query
+    // returns: capacities 1, 8, and unbounded must give identical hits.
+    let (sets, _) = aircraft_sets(250, 7, 17);
+    let filter = FilterRefineIndex::build(&sets, 6, 7);
+    let scan = SequentialScanIndex::build(&sets);
+    let queries: Vec<VectorSet> = (0..10).map(|i| sets[i * 23].clone()).collect();
+
+    let policies =
+        [PoolPolicy::PerQuery(Some(1)), PoolPolicy::PerQuery(Some(8)), PoolPolicy::PerQuery(None)];
+    let baseline_f = QueryExecutor::new(policies[0].clone()).batch_knn(&filter, &queries, 10);
+    let baseline_s = QueryExecutor::new(policies[0].clone()).batch_knn(&scan, &queries, 10);
+    for p in &policies[1..] {
+        let ex = QueryExecutor::new(p.clone());
+        assert_eq!(ex.batch_knn(&filter, &queries, 10).hits, baseline_f.hits, "{p:?}");
+        assert_eq!(ex.batch_knn(&scan, &queries, 10).hits, baseline_s.hits, "{p:?}");
+    }
+    // Tiny pools thrash: capacity 1 must cost at least as many page
+    // faults as unbounded on the filter path.
+    let unbounded = QueryExecutor::cold().batch_knn(&filter, &queries, 10);
+    assert!(baseline_f.aggregate.io.pages >= unbounded.aggregate.io.pages);
 }
 
 #[test]
@@ -140,10 +236,7 @@ fn centroid_filter_bound_holds_on_real_data() {
             let cj = extended_centroid(&sets[j], 7, &omega);
             let lb = centroid_lower_bound(&ci, &cj, 7);
             let exact = mm.distance_value(&sets[i], &sets[j]);
-            assert!(
-                lb <= exact + 1e-9,
-                "Lemma 2 violated for ({i},{j}): {lb} > {exact}"
-            );
+            assert!(lb <= exact + 1e-9, "Lemma 2 violated for ({i},{j}): {lb} > {exact}");
         }
     }
 }

@@ -1,0 +1,203 @@
+//! Offline stand-in for `bytes 1.x` — the API subset this workspace
+//! uses: little-endian put/get of scalars, `BytesMut` → `Bytes` freeze,
+//! and `Buf` cursor reads over `&[u8]`. See `vendor/README.md`.
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// Cheaply clonable immutable byte buffer.
+#[derive(Debug, Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes { data: v.into() }
+    }
+}
+
+/// Growable byte buffer.
+#[derive(Debug, Clone, Default)]
+pub struct BytesMut {
+    vec: Vec<u8>,
+}
+
+impl BytesMut {
+    pub fn new() -> Self {
+        BytesMut { vec: Vec::new() }
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut { vec: Vec::with_capacity(cap) }
+    }
+
+    pub fn len(&self) -> usize {
+        self.vec.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.vec.is_empty()
+    }
+
+    pub fn freeze(self) -> Bytes {
+        Bytes { data: self.vec.into() }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.vec
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.vec
+    }
+}
+
+/// Write access to a byte buffer (LE scalar puts used in-repo).
+pub trait BufMut {
+    fn put_slice(&mut self, src: &[u8]);
+
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    /// Append an entire readable buffer.
+    fn put<B: AsRef<[u8]>>(&mut self, src: B)
+    where
+        Self: Sized,
+    {
+        self.put_slice(src.as_ref());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.vec.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+/// Cursor-style read access (LE scalar gets used in-repo).
+pub trait Buf {
+    fn remaining(&self) -> usize;
+    fn chunk(&self) -> &[u8];
+    fn advance(&mut self, n: usize);
+
+    fn get_u8(&mut self) -> u8 {
+        let v = self.chunk()[0];
+        self.advance(1);
+        v
+    }
+    fn get_u16_le(&mut self) -> u16 {
+        let v = u16::from_le_bytes(self.chunk()[..2].try_into().unwrap());
+        self.advance(2);
+        v
+    }
+    fn get_u32_le(&mut self) -> u32 {
+        let v = u32::from_le_bytes(self.chunk()[..4].try_into().unwrap());
+        self.advance(4);
+        v
+    }
+    fn get_u64_le(&mut self) -> u64 {
+        let v = u64::from_le_bytes(self.chunk()[..8].try_into().unwrap());
+        self.advance(8);
+        v
+    }
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_u64_le())
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+    fn advance(&mut self, n: usize) {
+        *self = &self[n..];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrip() {
+        let mut b = BytesMut::with_capacity(64);
+        b.put_u8(7);
+        b.put_u16_le(0xabcd);
+        b.put_u32_le(0xdead_beef);
+        b.put_u64_le(0x0123_4567_89ab_cdef);
+        b.put_f64_le(-3.25);
+        b.put_slice(&[1, 2, 3]);
+        let frozen = b.freeze();
+        let mut r: &[u8] = &frozen;
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u16_le(), 0xabcd);
+        assert_eq!(r.get_u32_le(), 0xdead_beef);
+        assert_eq!(r.get_u64_le(), 0x0123_4567_89ab_cdef);
+        assert_eq!(r.get_f64_le(), -3.25);
+        assert_eq!(r.remaining(), 3);
+        r.advance(3);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn put_appends_a_frozen_buffer() {
+        let mut inner = BytesMut::new();
+        inner.put_u16_le(17);
+        let frozen = inner.freeze();
+        let mut outer = BytesMut::new();
+        outer.put_u8(1);
+        outer.put(frozen.clone());
+        assert_eq!(&outer[..], &[1, 17, 0]);
+        assert_eq!(frozen.len(), 2);
+    }
+}

@@ -1,0 +1,227 @@
+//! Offline stand-in for `criterion 0.5` — wall-clock benchmarking with
+//! the API subset this workspace uses. Reports the mean time per
+//! iteration for each benchmark (no statistics, no HTML reports). When
+//! invoked with `--test` (as `cargo test` does for `harness = false`
+//! bench targets) every benchmark runs exactly one iteration so the
+//! test suite stays fast. See `vendor/README.md`.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark identifier: `group/function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    pub fn new<F: ToString, P: ToString>(function: F, parameter: P) -> Self {
+        BenchmarkId { function: function.to_string(), parameter: parameter.to_string() }
+    }
+
+    pub fn from_parameter<P: ToString>(parameter: P) -> Self {
+        BenchmarkId { function: String::new(), parameter: parameter.to_string() }
+    }
+
+    fn label(&self) -> String {
+        if self.function.is_empty() {
+            self.parameter.clone()
+        } else if self.parameter.is_empty() {
+            self.function.clone()
+        } else {
+            format!("{}/{}", self.function, self.parameter)
+        }
+    }
+}
+
+/// Drives the timed closure. `iter` measures total wall-clock over the
+/// chosen number of iterations.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Top-level driver; holds the run mode parsed from CLI args.
+#[derive(Default)]
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Parse harness CLI args: `--test` → single-iteration smoke mode;
+    /// the first free (non-flag) argument is a substring filter.
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--test" => self.test_mode = true,
+                "--bench" | "--verbose" | "--quiet" | "--noplot" => {}
+                s if s.starts_with("--") => {
+                    // Flags with a value we don't model (e.g. --save-baseline x).
+                    if !s.contains('=') {
+                        let _ = args.next();
+                    }
+                }
+                s => self.filter = Some(s.to_string()),
+            }
+        }
+        self
+    }
+
+    pub fn benchmark_group<N: ToString>(&mut self, name: N) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_string(), sample_size: 100 }
+    }
+
+    fn run(&self, label: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+        if let Some(filter) = &self.filter {
+            if !label.contains(filter.as_str()) {
+                return;
+            }
+        }
+        if self.test_mode {
+            let mut b = Bencher { iterations: 1, elapsed: Duration::ZERO };
+            f(&mut b);
+            println!("Testing {label} ... ok");
+            return;
+        }
+        // Calibrate the per-sample iteration count so one sample takes
+        // roughly 10 ms (at least one iteration).
+        let mut b = Bencher { iterations: 1, elapsed: Duration::ZERO };
+        f(&mut b);
+        let per_iter = b.elapsed.max(Duration::from_nanos(1));
+        let iterations =
+            (Duration::from_millis(10).as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+        let samples = sample_size.clamp(1, 1000) as u64;
+        let mut total = Duration::ZERO;
+        let mut total_iters = 0u64;
+        for _ in 0..samples {
+            let mut b = Bencher { iterations, elapsed: Duration::ZERO };
+            f(&mut b);
+            total += b.elapsed;
+            total_iters += iterations;
+        }
+        let mean = total.as_secs_f64() / total_iters as f64;
+        println!(
+            "{label:<50} mean {} ({} samples x {} iters)",
+            format_time(mean),
+            samples,
+            iterations
+        );
+    }
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<N: ToString, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: N,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.to_string());
+        self.criterion.run(&label, self.sample_size, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.label());
+        self.criterion.run(&label, self.sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut calls = 0u64;
+        let mut b = Bencher { iterations: 5, elapsed: Duration::ZERO };
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 5);
+    }
+
+    #[test]
+    fn benchmark_id_labels() {
+        assert_eq!(BenchmarkId::new("f", 42).label(), "f/42");
+        assert_eq!(BenchmarkId::from_parameter("p").label(), "p");
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let c = Criterion { test_mode: true, filter: None };
+        let mut calls = 0u64;
+        c.run("g/x", 100, &mut |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn format_time_units() {
+        assert_eq!(format_time(2.0), "2.000 s");
+        assert_eq!(format_time(2.5e-3), "2.500 ms");
+        assert_eq!(format_time(2.5e-6), "2.500 µs");
+        assert_eq!(format_time(2.5e-9), "2.5 ns");
+    }
+}

@@ -6,7 +6,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::prelude::*;
 use vsim_setdist::matching::{brute_force_matching_distance, MinimalMatching};
-use vsim_setdist::VectorSet;
+use vsim_setdist::{MatchingEngine, VectorSet};
 
 fn random_set(rng: &mut StdRng, k: usize) -> VectorSet {
     let mut s = VectorSet::new(6);
@@ -70,10 +70,52 @@ fn bench_unbalanced_sets(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_engine_vs_naive(c: &mut Criterion) {
+    // The bounded allocation-free engine against the allocating
+    // `distance_value` path, at the paper's k range (acceptance: a
+    // measured speedup at k = 7).
+    let mut g = c.benchmark_group("matching_engine");
+    let mm = MinimalMatching::vector_set_model();
+    for k in [3usize, 7, 9] {
+        let mut rng = StdRng::seed_from_u64(200 + k as u64);
+        let a = random_set(&mut rng, k);
+        let b = random_set(&mut rng, k);
+        g.bench_with_input(BenchmarkId::new("naive_distance_value", k), &k, |bench, _| {
+            bench.iter(|| mm.distance_value(std::hint::black_box(&a), std::hint::black_box(&b)))
+        });
+        let mut engine = MatchingEngine::new(mm.clone());
+        engine.distance(&a, &b); // warm the scratch buffers
+        g.bench_with_input(BenchmarkId::new("engine", k), &k, |bench, _| {
+            bench.iter(|| engine.distance(std::hint::black_box(&a), std::hint::black_box(&b)))
+        });
+        let pa = engine.prepare(a.clone());
+        let pb = engine.prepare(b.clone());
+        g.bench_with_input(BenchmarkId::new("engine_prepared", k), &k, |bench, _| {
+            bench.iter(|| {
+                engine.distance_prepared(std::hint::black_box(&pa), std::hint::black_box(&pb))
+            })
+        });
+        // A tight bound (half the exact distance): measures the abort
+        // path the k-NN refinement takes on losing candidates.
+        let upper = mm.distance_value(&a, &b) * 0.5;
+        g.bench_with_input(BenchmarkId::new("engine_bounded_tight", k), &k, |bench, _| {
+            bench.iter(|| {
+                engine.distance_bounded(
+                    std::hint::black_box(&a),
+                    std::hint::black_box(&b),
+                    std::hint::black_box(upper),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_kuhn_munkres_vs_brute,
     bench_matching_scaling,
-    bench_unbalanced_sets
+    bench_unbalanced_sets,
+    bench_engine_vs_naive
 );
 criterion_main!(benches);

@@ -1,0 +1,181 @@
+//! Matching-kernel performance numbers → `BENCH_matching.json`.
+//!
+//! Seeds the perf trajectory for the bounded allocation-free
+//! [`MatchingEngine`]:
+//!
+//! * **kernel** — ns per minimal-matching distance at k ∈ {3, 7, 9}
+//!   (dim 6, the paper's cover vectors) for three paths: the allocating
+//!   `distance_value` baseline, the engine's cost-only path, and the
+//!   bounded kernel under a median bound (≈ half the calls abort).
+//! * **knn** — wall time of 10-NN filter/refine queries on the Aircraft
+//!   Dataset, unbounded baseline (`knn_naive`) vs. bounded refinement
+//!   (`knn`), plus the fraction of refinements the k-th-best bound
+//!   aborted.
+//!
+//! Both query paths return bit-identical results (asserted here), so
+//! the speedup is free of accuracy caveats.
+//!
+//! `cargo run --release -p vsim-bench --bin exp_bench_matching`
+//! (env: `AIRCRAFT_N` — dataset size, default 5000; `BENCH_OUT` —
+//! output path, default `BENCH_matching.json`)
+
+use rand::prelude::*;
+use std::time::Instant;
+use vsim_bench::processed_aircraft;
+use vsim_core::prelude::*;
+use vsim_setdist::matching::MinimalMatching;
+use vsim_setdist::{BoundedDistance, MatchingEngine, VectorSet};
+
+fn random_set(rng: &mut StdRng, k: usize) -> VectorSet {
+    let mut s = VectorSet::new(6);
+    for _ in 0..k {
+        let v: Vec<f64> = (0..6).map(|_| rng.gen_range(0.05..1.0)).collect();
+        s.push(&v);
+    }
+    s
+}
+
+struct KernelRow {
+    k: usize,
+    ns_naive: f64,
+    ns_engine: f64,
+    ns_bounded: f64,
+    bounded_pruned_fraction: f64,
+}
+
+/// Time the three kernel paths over a fixed pool of random pairs.
+fn kernel_row(k: usize) -> KernelRow {
+    const PAIRS: usize = 64;
+    const ROUNDS: usize = 200;
+    let mm = MinimalMatching::vector_set_model();
+    let mut rng = StdRng::seed_from_u64(k as u64 + 77);
+    let pairs: Vec<(VectorSet, VectorSet)> =
+        (0..PAIRS).map(|_| (random_set(&mut rng, k), random_set(&mut rng, k))).collect();
+
+    // Median exact distance = the bound: roughly half the bounded calls
+    // abort, mimicking a k-NN refinement stream.
+    let mut exact: Vec<f64> = pairs.iter().map(|(a, b)| mm.distance_value(a, b)).collect();
+    exact.sort_by(|a, b| a.total_cmp(b));
+    let bound = exact[exact.len() / 2];
+
+    let calls = (PAIRS * ROUNDS) as f64;
+
+    let t0 = Instant::now();
+    let mut acc = 0.0;
+    for _ in 0..ROUNDS {
+        for (a, b) in &pairs {
+            acc += mm.distance_value(std::hint::black_box(a), std::hint::black_box(b));
+        }
+    }
+    let ns_naive = t0.elapsed().as_nanos() as f64 / calls;
+
+    let mut engine = MatchingEngine::new(mm.clone());
+    let t0 = Instant::now();
+    for _ in 0..ROUNDS {
+        for (a, b) in &pairs {
+            acc += engine.distance(std::hint::black_box(a), std::hint::black_box(b));
+        }
+    }
+    let ns_engine = t0.elapsed().as_nanos() as f64 / calls;
+
+    let mut pruned = 0usize;
+    let t0 = Instant::now();
+    for _ in 0..ROUNDS {
+        for (a, b) in &pairs {
+            match engine.distance_bounded(std::hint::black_box(a), std::hint::black_box(b), bound) {
+                BoundedDistance::Exact(d) => acc += d,
+                BoundedDistance::Pruned => pruned += 1,
+            }
+        }
+    }
+    let ns_bounded = t0.elapsed().as_nanos() as f64 / calls;
+    assert!(acc.is_finite());
+
+    KernelRow { k, ns_naive, ns_engine, ns_bounded, bounded_pruned_fraction: pruned as f64 / calls }
+}
+
+fn main() {
+    eprintln!("[run ] kernel timings (dim 6) ...");
+    let kernel: Vec<KernelRow> = [3usize, 7, 9].into_iter().map(kernel_row).collect();
+    for r in &kernel {
+        eprintln!(
+            "[res ] k={}: naive {:.0} ns  engine {:.0} ns ({:.2}x)  bounded {:.0} ns (pruned {:.0}%)",
+            r.k,
+            r.ns_naive,
+            r.ns_engine,
+            r.ns_naive / r.ns_engine,
+            r.ns_bounded,
+            100.0 * r.bounded_pruned_fraction
+        );
+    }
+
+    // k-NN workload: filter/refine 10-NN on the aircraft dataset.
+    let k_covers = 7;
+    let knn = 10;
+    let n_queries = 25;
+    let p = processed_aircraft(k_covers);
+    let sets = p.vector_sets(k_covers);
+    eprintln!("[setup] building filter/refine index (n = {}) ...", sets.len());
+    let idx = FilterRefineIndex::build(&sets, 6, k_covers);
+
+    let mut rng = StdRng::seed_from_u64(0xbead);
+    let queries: Vec<usize> = (0..n_queries).map(|_| rng.gen_range(0..sets.len())).collect();
+
+    eprintln!("[run ] {n_queries} x {knn}-NN, unbounded baseline ...");
+    let t0 = Instant::now();
+    let naive: Vec<_> = queries.iter().map(|&q| idx.knn_naive(&sets[q], knn)).collect();
+    let wall_naive = t0.elapsed();
+
+    eprintln!("[run ] {n_queries} x {knn}-NN, bounded refinement ...");
+    let t0 = Instant::now();
+    let bounded: Vec<_> = queries.iter().map(|&q| idx.knn(&sets[q], knn)).collect();
+    let wall_bounded = t0.elapsed();
+
+    let mut refinements = 0u64;
+    let mut pruned = 0u64;
+    for ((rn, _sn), (rb, sb)) in naive.iter().zip(&bounded) {
+        assert_eq!(rn.len(), rb.len(), "bounded k-NN changed the result size");
+        for (a, b) in rn.iter().zip(rb) {
+            assert_eq!(a.0, b.0, "bounded k-NN changed the result ids");
+            assert_eq!(a.1.to_bits(), b.1.to_bits(), "bounded k-NN changed a distance");
+        }
+        refinements += sb.refinements;
+        pruned += sb.pruned;
+    }
+    let pruned_fraction = pruned as f64 / refinements.max(1) as f64;
+    eprintln!(
+        "[res ] kNN wall: naive {:.1} ms  bounded {:.1} ms  pruned {pruned}/{refinements} ({:.0}%)",
+        wall_naive.as_secs_f64() * 1e3,
+        wall_bounded.as_secs_f64() * 1e3,
+        100.0 * pruned_fraction
+    );
+
+    let kernel_json: Vec<String> = kernel
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"k\": {}, \"ns_naive\": {:.1}, \"ns_engine\": {:.1}, \"ns_bounded\": {:.1}, \"speedup_engine\": {:.3}, \"bounded_pruned_fraction\": {:.3}}}",
+                r.k,
+                r.ns_naive,
+                r.ns_engine,
+                r.ns_bounded,
+                r.ns_naive / r.ns_engine,
+                r.bounded_pruned_fraction
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"matching_kernel\",\n  \"dim\": 6,\n  \"kernel\": [\n{}\n  ],\n  \"knn\": {{\n    \"dataset\": \"aircraft\",\n    \"n\": {},\n    \"k_covers\": {k_covers},\n    \"queries\": {n_queries},\n    \"knn\": {knn},\n    \"wall_ms_naive\": {:.2},\n    \"wall_ms_bounded\": {:.2},\n    \"speedup\": {:.3},\n    \"refinements\": {refinements},\n    \"pruned\": {pruned},\n    \"pruned_fraction\": {:.4}\n  }}\n}}\n",
+        kernel_json.join(",\n"),
+        sets.len(),
+        wall_naive.as_secs_f64() * 1e3,
+        wall_bounded.as_secs_f64() * 1e3,
+        wall_naive.as_secs_f64() / wall_bounded.as_secs_f64(),
+        pruned_fraction
+    );
+
+    let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_matching.json".into());
+    std::fs::write(&out, &json).expect("cannot write BENCH output");
+    println!("{json}");
+    eprintln!("[done] written to {out}");
+}

@@ -87,8 +87,13 @@ pub fn run_optics(
     let optics = Optics { min_pts, eps: f64::INFINITY };
     match permutation_counter {
         None => {
-            let oracle = p.distance_oracle(model, &reprs);
-            optics.run(p.len(), oracle)
+            // Materialize the upper triangle once in parallel tiles
+            // (one matching engine per worker); OPTICS then re-reads
+            // frontier rows from memory instead of re-solving the
+            // O(k³) matching. Entries are bit-identical to the direct
+            // oracle, so the ordering is unchanged.
+            let matrix = p.pairwise_matrix(model, &reprs);
+            optics.run_matrix(&matrix)
         }
         Some((needed, total)) => {
             let oracle = |i: usize, j: usize| {

@@ -2,11 +2,12 @@
 //! cover sequences) done once, in parallel, and shared across models and
 //! experiments.
 
-use crate::model::{Repr, SimilarityModel};
+use crate::model::{Invariance, Repr, SimilarityModel};
 use crate::parallel::par_map_slice;
 use vsim_datagen::Dataset;
 use vsim_features::{greedy_cover_sequence, CoverSequence};
-use vsim_setdist::VectorSet;
+use vsim_optics::CondensedDistanceMatrix;
+use vsim_setdist::{MatchingEngine, PreparedSet, VectorSet};
 
 /// A dataset plus its precomputed cover sequences.
 ///
@@ -75,6 +76,36 @@ impl ProcessedDataset {
         reprs: &'a [Repr],
     ) -> impl Fn(usize, usize) -> f64 + Sync + 'a {
         move |i, j| model.distance(&reprs[i], &reprs[j])
+    }
+
+    /// Materialize the full pairwise distance matrix (upper triangle
+    /// only) in parallel tiles.
+    ///
+    /// For set-based models without pose invariance, each worker thread
+    /// holds one [`MatchingEngine`] and the per-object weight tables are
+    /// precomputed once ([`PreparedSet`]), so the whole build performs
+    /// no per-pair allocations. Entries are bit-identical to
+    /// [`SimilarityModel::distance`] on the same representations.
+    pub fn pairwise_matrix(
+        &self,
+        model: &SimilarityModel,
+        reprs: &[Repr],
+    ) -> CondensedDistanceMatrix {
+        let n = reprs.len();
+        let tile = 32;
+        if model.invariance == Invariance::None {
+            if let Some(mm) = model.matching() {
+                let prepared: Vec<PreparedSet> =
+                    reprs.iter().map(|r| PreparedSet::new(r.as_set().clone(), &mm)).collect();
+                return vsim_optics::pairwise_tiled(
+                    n,
+                    tile,
+                    || MatchingEngine::new(mm.clone()),
+                    |engine, i, j| engine.distance_prepared(&prepared[i], &prepared[j]),
+                );
+            }
+        }
+        vsim_optics::pairwise_tiled(n, tile, || (), |_, i, j| model.distance(&reprs[i], &reprs[j]))
     }
 }
 
@@ -152,6 +183,44 @@ mod tests {
             for j in [1usize, 7, 19] {
                 assert!((d(i, j) - d(j, i)).abs() < 1e-9);
             }
+        }
+    }
+
+    #[test]
+    fn pairwise_matrix_is_bit_identical_to_the_oracle() {
+        let p = small();
+        for model in [
+            SimilarityModel::vector_set(5),
+            SimilarityModel::cover_sequence_permutation(5),
+            SimilarityModel::volume(5),
+        ] {
+            let reprs = p.representations(&model);
+            let m = p.pairwise_matrix(&model, &reprs);
+            let d = p.distance_oracle(&model, &reprs);
+            assert_eq!(m.len(), p.len());
+            for i in 0..p.len() {
+                for j in (i + 1)..p.len() {
+                    assert_eq!(
+                        m.get(i, j).to_bits(),
+                        d(i, j).to_bits(),
+                        "{} pair ({i},{j})",
+                        model.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pairwise_matrix_honors_invariance_fallback() {
+        let p = small();
+        let model =
+            SimilarityModel::vector_set(4).with_invariance(crate::model::Invariance::Rotation24);
+        let reprs = p.representations(&model);
+        let m = p.pairwise_matrix(&model, &reprs);
+        let d = p.distance_oracle(&model, &reprs);
+        for (i, j) in [(0usize, 1usize), (3, 9), (5, 17)] {
+            assert_eq!(m.get(i, j).to_bits(), d(i, j).to_bits());
         }
     }
 

@@ -170,6 +170,20 @@ impl SimilarityModel {
         }
     }
 
+    /// The minimal-matching distance this model refines with, if it is
+    /// set-based (`None` for the one-vector models). The returned value
+    /// can seed a [`vsim_setdist::MatchingEngine`] so hot loops reuse
+    /// one workspace instead of re-allocating per distance call.
+    pub fn matching(&self) -> Option<MinimalMatching> {
+        match self.kind {
+            ModelKind::CoverSequencePermutation { .. } => {
+                Some(MinimalMatching::permutation_model())
+            }
+            ModelKind::VectorSet { .. } => Some(MinimalMatching::vector_set_model()),
+            _ => None,
+        }
+    }
+
     fn base_distance(&self, a: &Repr, b: &Repr) -> f64 {
         match self.kind {
             ModelKind::Volume { .. }

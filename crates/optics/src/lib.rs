@@ -32,6 +32,7 @@ pub mod dbscan;
 pub mod eval;
 pub mod hierarchy;
 pub mod optics;
+pub mod pairwise;
 pub mod plot;
 
 pub use cluster::{extract_clusters, Clustering};
@@ -39,4 +40,5 @@ pub use dbscan::extract_dbscan;
 pub use eval::{adjusted_rand_index, best_cut, pairwise_f1, purity, CutQuality, DEFAULT_GRID};
 pub use hierarchy::{cluster_tree, ClusterNode, TreeParams};
 pub use optics::{ClusterOrdering, Optics};
+pub use pairwise::{pairwise_tiled, CondensedDistanceMatrix};
 pub use plot::ReachabilityPlot;

@@ -57,10 +57,10 @@ impl Eq for Seed {}
 impl Ord for Seed {
     fn cmp(&self, o: &Self) -> Ordering {
         // Min-heap on reachability, tie-break on index for determinism.
-        o.reach
-            .partial_cmp(&self.reach)
-            .unwrap_or(Ordering::Equal)
-            .then_with(|| o.obj.cmp(&self.obj))
+        // `total_cmp` keeps the ordering total even if a misbehaving
+        // distance oracle produces NaN (which then sorts *after* every
+        // finite reachability instead of poisoning the heap order).
+        o.reach.total_cmp(&self.reach).then_with(|| o.obj.cmp(&self.obj))
     }
 }
 impl PartialOrd for Seed {
@@ -113,9 +113,7 @@ impl Optics {
                 let mut within: Vec<f64> = row.iter().copied().filter(|&d| d <= self.eps).collect();
                 let core = if within.len() >= self.min_pts {
                     within
-                        .select_nth_unstable_by(self.min_pts - 1, |a, b| {
-                            a.partial_cmp(b).unwrap_or(Ordering::Equal)
-                        })
+                        .select_nth_unstable_by(self.min_pts - 1, |a, b| a.total_cmp(b))
                         .1
                         .to_owned()
                 } else {

@@ -9,14 +9,37 @@ pub fn worker_count() -> usize {
 }
 
 /// Map `f` over `0..n` in parallel, preserving order.
+///
+/// Each worker collects its contiguous chunk directly into a `Vec<T>`
+/// which the caller thread splices in chunk order — no `Vec<Option<T>>`
+/// intermediate, no second unwrap pass over every element.
 pub fn par_map<T, F>(n: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
-    par_fill(&mut out, |i, slot| *slot = Some(f(i)));
-    out.into_iter().map(|o| o.unwrap()).collect()
+    if n == 0 {
+        return Vec::new();
+    }
+    let chunk = n.div_ceil(worker_count()).max(1);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n)
+            .step_by(chunk)
+            .map(|start| {
+                let f = &f;
+                let end = (start + chunk).min(n);
+                scope.spawn(move || (start..end).map(f).collect::<Vec<T>>())
+            })
+            .collect();
+        let mut out = Vec::with_capacity(n);
+        for h in handles {
+            match h.join() {
+                Ok(part) => out.extend(part),
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
+        }
+        out
+    })
 }
 
 /// Map `f` over the elements of a slice in parallel, preserving order.
@@ -50,6 +73,54 @@ where
             scope.spawn(move || {
                 for (off, slot) in slots.iter_mut().enumerate() {
                     f(ci * chunk + off, slot);
+                }
+            });
+        }
+    });
+}
+
+/// Visit every tile of the strict upper triangle `{(i, j) : i < j < n}`
+/// in parallel, with one worker-local state per thread.
+///
+/// The triangle is cut into `tile × tile` blocks; workers claim blocks
+/// dynamically through an atomic counter (diagonal blocks carry roughly
+/// half the work of off-diagonal ones, so static striping would
+/// imbalance). `visit` receives the worker's `&mut` state plus the
+/// block's row and column ranges; for diagonal blocks the caller must
+/// still skip pairs with `j <= i` — iterate
+/// `cols.start.max(i + 1)..cols.end`.
+///
+/// The per-thread state is what makes this the right substrate for the
+/// minimal-matching kernel: each worker holds one `MatchingEngine`
+/// (workspace + scratch buffers) and reuses it across every pair of its
+/// tiles, so the whole distance-matrix build is allocation-free after
+/// warm-up.
+pub fn par_tiles<S, FS, F>(n: usize, tile: usize, init: FS, visit: F)
+where
+    S: Send,
+    FS: Fn() -> S + Sync,
+    F: Fn(&mut S, std::ops::Range<usize>, std::ops::Range<usize>) + Sync,
+{
+    assert!(tile > 0, "tile size must be positive");
+    if n < 2 {
+        return;
+    }
+    // Upper-triangle blocks (bi <= bj), row-major.
+    let blocks: Vec<(usize, usize)> = (0..n.div_ceil(tile))
+        .flat_map(|bi| (bi..n.div_ceil(tile)).map(move |bj| (bi, bj)))
+        .collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..worker_count().min(blocks.len()) {
+            let (next, blocks, init, visit) = (&next, &blocks, &init, &visit);
+            scope.spawn(move || {
+                let mut state = init();
+                loop {
+                    let b = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let Some(&(bi, bj)) = blocks.get(b) else { break };
+                    let rows = bi * tile..((bi + 1) * tile).min(n);
+                    let cols = bj * tile..((bj + 1) * tile).min(n);
+                    visit(&mut state, rows, cols);
                 }
             });
         }
@@ -91,6 +162,63 @@ mod tests {
         for (i, x) in buf.iter().enumerate() {
             assert_eq!(*x, i + 1);
         }
+    }
+
+    #[test]
+    fn par_tiles_covers_the_strict_upper_triangle_exactly_once() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        for (n, tile) in [(0usize, 4usize), (1, 4), (2, 4), (9, 4), (16, 4), (33, 8), (7, 100)] {
+            let counts: Vec<AtomicU32> = (0..n * n).map(|_| AtomicU32::new(0)).collect();
+            par_tiles(
+                n,
+                tile,
+                || (),
+                |_, rows, cols| {
+                    for i in rows {
+                        for j in cols.start.max(i + 1)..cols.end {
+                            counts[i * n + j].fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                },
+            );
+            for i in 0..n {
+                for j in 0..n {
+                    let want = u32::from(i < j);
+                    assert_eq!(
+                        counts[i * n + j].load(Ordering::Relaxed),
+                        want,
+                        "n {n} tile {tile} pair ({i},{j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn par_tiles_worker_state_is_private_and_reused() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        // Each worker counts pairs in its own state; states are summed
+        // at drop time. Total must equal n(n-1)/2.
+        static TOTAL: AtomicUsize = AtomicUsize::new(0);
+        struct Tally(usize);
+        impl Drop for Tally {
+            fn drop(&mut self) {
+                TOTAL.fetch_add(self.0, Ordering::Relaxed);
+            }
+        }
+        let n = 57;
+        TOTAL.store(0, Ordering::Relaxed);
+        par_tiles(
+            n,
+            8,
+            || Tally(0),
+            |t, rows, cols| {
+                for i in rows {
+                    t.0 += (cols.start.max(i + 1)..cols.end).len();
+                }
+            },
+        );
+        assert_eq!(TOTAL.load(Ordering::Relaxed), n * (n - 1) / 2);
     }
 
     #[test]

@@ -5,7 +5,9 @@ use crate::stats::QueryStats;
 use std::time::Instant;
 use vsim_index::{QueryContext, VectorSetStore, XTree};
 use vsim_setdist::matching::{MinimalMatching, PointDistance, WeightFunction};
-use vsim_setdist::{centroid_lower_bound, extended_centroid, VectorSet};
+use vsim_setdist::{
+    centroid_lower_bound, extended_centroid, BoundedDistance, MatchingEngine, VectorSet,
+};
 
 /// Filter/refine index over vector sets.
 ///
@@ -68,6 +70,13 @@ impl FilterRefineIndex {
         self.mm.distance_value(a, b)
     }
 
+    /// A fresh matching engine for this index's refinement distance.
+    /// One engine per query amortizes all matching-kernel allocations
+    /// over the query's refinements.
+    fn engine(&self) -> MatchingEngine {
+        MatchingEngine::new(self.mm.clone())
+    }
+
     /// Invariant k-NN (Section 3.2): the query is posed in all supplied
     /// transformed variants ("48 different permutations of the query
     /// object at runtime") and the result is the top-k under
@@ -97,6 +106,7 @@ impl FilterRefineIndex {
         kq: usize,
         ctx: &QueryContext,
     ) -> Vec<(u64, f64)> {
+        let mut engine = self.engine();
         let mut best: std::collections::HashMap<u64, f64> = std::collections::HashMap::new();
         let mut result: Vec<(u64, f64)> = Vec::new(); // sorted top-k
         let mut record_cache: std::collections::HashMap<u64, VectorSet> =
@@ -110,14 +120,28 @@ impl FilterRefineIndex {
                     break;
                 }
                 let set = record_cache.entry(id).or_insert_with(|| self.store.get(id, ctx));
-                let d = self.mm.distance_value(q, set);
-                ctx.count_refinements(1);
+                // A refinement only matters if it beats both this id's
+                // best variant distance and (once the result is full)
+                // the global k-th distance — either gives a safe abort
+                // bound for the bounded kernel.
                 let entry = best.entry(id).or_insert(f64::INFINITY);
+                let mut upper = *entry;
+                if result.len() >= kq {
+                    upper = upper.min(result[kq - 1].1);
+                }
+                ctx.count_refinements(1);
+                let d = match engine.distance_bounded(q, set, upper) {
+                    BoundedDistance::Exact(d) => d,
+                    BoundedDistance::Pruned => {
+                        ctx.count_pruned(1);
+                        continue; // provably > upper: cannot change result or best
+                    }
+                };
                 if d < *entry {
                     *entry = d;
                     result.retain(|(i, _)| *i != id);
                     result.push((id, d));
-                    result.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+                    result.sort_by(|a, b| a.1.total_cmp(&b.1));
                     result.truncate(kq);
                 }
             }
@@ -139,19 +163,23 @@ impl FilterRefineIndex {
     /// [`range_query`](Self::range_query) against a caller-supplied
     /// context.
     pub fn range_query_with(&self, q: &VectorSet, eps: f64, ctx: &QueryContext) -> Vec<(u64, f64)> {
+        let mut engine = self.engine();
         let cq = extended_centroid(q, self.k, &self.omega);
         let candidates = self.tree.range_query(&cq, eps / self.k as f64, ctx);
         ctx.count_candidates(candidates.len() as u64);
         let mut out = Vec::new();
         for (id, _) in &candidates {
             let set = self.store.get(*id, ctx);
-            let d = self.mm.distance_value(q, &set);
             ctx.count_refinements(1);
-            if d <= eps {
-                out.push((*id, d));
+            // ε itself is the abort bound: a pruned candidate is
+            // provably beyond ε and would have been discarded anyway.
+            match engine.distance_bounded(q, &set, eps) {
+                BoundedDistance::Exact(d) if d <= eps => out.push((*id, d)),
+                BoundedDistance::Exact(_) => {}
+                BoundedDistance::Pruned => ctx.count_pruned(1),
             }
         }
-        out.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        out.sort_by(|a, b| a.1.total_cmp(&b.1));
         out
     }
 
@@ -177,6 +205,7 @@ impl FilterRefineIndex {
         eps: f64,
         ctx: &QueryContext,
     ) -> Vec<(u64, f64)> {
+        let mut engine = self.engine();
         let mut best: std::collections::HashMap<u64, f64> = std::collections::HashMap::new();
         let mut record_cache: std::collections::HashMap<u64, VectorSet> =
             std::collections::HashMap::new();
@@ -190,18 +219,24 @@ impl FilterRefineIndex {
                 }
                 ctx.count_candidates(1);
                 let set = record_cache.entry(id).or_insert_with(|| self.store.get(id, ctx));
-                let d = self.mm.distance_value(q, set);
+                // Abort beyond ε or beyond this id's current best
+                // variant distance — either way the outcome is moot.
+                let upper = eps.min(best.get(&id).copied().unwrap_or(f64::INFINITY));
                 ctx.count_refinements(1);
-                if d <= eps {
-                    let e = best.entry(id).or_insert(f64::INFINITY);
-                    if d < *e {
-                        *e = d;
+                match engine.distance_bounded(q, set, upper) {
+                    BoundedDistance::Exact(d) if d <= eps => {
+                        let e = best.entry(id).or_insert(f64::INFINITY);
+                        if d < *e {
+                            *e = d;
+                        }
                     }
+                    BoundedDistance::Exact(_) => {}
+                    BoundedDistance::Pruned => ctx.count_pruned(1),
                 }
             }
         }
         let mut out: Vec<(u64, f64)> = best.into_iter().collect();
-        out.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        out.sort_by(|a, b| a.1.total_cmp(&b.1));
         out
     }
 
@@ -218,7 +253,16 @@ impl FilterRefineIndex {
     }
 
     /// [`knn`](Self::knn) against a caller-supplied context.
+    ///
+    /// Candidates arrive in ascending filter (lower-bound) order from
+    /// the incremental ranking; once the result is full, the current
+    /// k-th exact distance is passed to the bounded matching kernel as
+    /// an abort bound. A pruned refinement is provably farther than the
+    /// k-th neighbor, so skipping it cannot change the result — the
+    /// returned top-k is bit-identical to the unbounded
+    /// [`knn_naive`](Self::knn_naive) path.
     pub fn knn_with(&self, q: &VectorSet, kq: usize, ctx: &QueryContext) -> Vec<(u64, f64)> {
+        let mut engine = self.engine();
         let cq = extended_centroid(q, self.k, &self.omega);
         let mut result: Vec<(u64, f64)> = Vec::new();
         for (id, cdist) in self.tree.nn_iter(&cq, ctx) {
@@ -228,10 +272,47 @@ impl FilterRefineIndex {
                 break; // no unexamined object can improve the result
             }
             let set = self.store.get(id, ctx);
+            let upper = if result.len() >= kq { result[kq - 1].1 } else { f64::INFINITY };
+            ctx.count_refinements(1);
+            match engine.distance_bounded(q, &set, upper) {
+                BoundedDistance::Exact(d) => {
+                    result.push((id, d));
+                    result.sort_by(|a, b| a.1.total_cmp(&b.1));
+                    result.truncate(kq);
+                }
+                BoundedDistance::Pruned => ctx.count_pruned(1),
+            }
+        }
+        result
+    }
+
+    /// The unbounded baseline: identical multi-step k-NN but every
+    /// refinement runs the full matching kernel via
+    /// [`MinimalMatching::distance_value`] (fresh allocations per call,
+    /// no early abort). Kept as the reference for benchmarks and the
+    /// bit-identity tests.
+    pub fn knn_naive(&self, q: &VectorSet, kq: usize) -> (Vec<(u64, f64)>, QueryStats) {
+        let ctx = QueryContext::ephemeral();
+        let t0 = Instant::now();
+        let r = self.knn_naive_with(q, kq, &ctx);
+        (r, ctx.stats(t0.elapsed()))
+    }
+
+    /// [`knn_naive`](Self::knn_naive) against a caller-supplied context.
+    pub fn knn_naive_with(&self, q: &VectorSet, kq: usize, ctx: &QueryContext) -> Vec<(u64, f64)> {
+        let cq = extended_centroid(q, self.k, &self.omega);
+        let mut result: Vec<(u64, f64)> = Vec::new();
+        for (id, cdist) in self.tree.nn_iter(&cq, ctx) {
+            ctx.count_candidates(1);
+            let lower = centroid_lower_bound(&cq, &cq, self.k).max(self.k as f64 * cdist);
+            if result.len() >= kq && lower >= result[kq - 1].1 {
+                break;
+            }
+            let set = self.store.get(id, ctx);
             let d = self.mm.distance_value(q, &set);
             ctx.count_refinements(1);
             result.push((id, d));
-            result.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+            result.sort_by(|a, b| a.1.total_cmp(&b.1));
             result.truncate(kq);
         }
         result
@@ -379,6 +460,44 @@ mod tests {
             got_r.iter().map(|(i, _)| *i).collect::<std::collections::BTreeSet<_>>(),
             want_ids
         );
+    }
+
+    #[test]
+    fn bounded_knn_is_bit_identical_to_naive_and_prunes() {
+        let sets = random_sets(500, 6, 7);
+        let idx = FilterRefineIndex::build(&sets, 6, 6);
+        let mut total_pruned = 0;
+        for qi in [0usize, 13, 77, 300] {
+            let (fast, fs) = idx.knn(&sets[qi], 10);
+            let (naive, ns) = idx.knn_naive(&sets[qi], 10);
+            assert_eq!(fast.len(), naive.len());
+            for (f, n) in fast.iter().zip(&naive) {
+                assert_eq!(f.0, n.0, "query {qi}");
+                assert_eq!(f.1.to_bits(), n.1.to_bits(), "query {qi}: {} vs {}", f.1, n.1);
+            }
+            // Same candidates examined, same refinements attempted —
+            // the bounded kernel only aborts them earlier.
+            assert_eq!(fs.refinements, ns.refinements, "query {qi}");
+            assert_eq!(ns.pruned, 0);
+            assert!(fs.pruned <= fs.refinements);
+            total_pruned += fs.pruned;
+        }
+        assert!(total_pruned > 0, "bounded refinement never aborted on 500 objects");
+    }
+
+    #[test]
+    fn range_query_counts_pruned_refinements() {
+        let sets = random_sets(400, 5, 8);
+        let idx = FilterRefineIndex::build(&sets, 6, 5);
+        let mut pruned = 0;
+        for qi in [0usize, 50, 200] {
+            for eps in [0.4, 0.8] {
+                let (_, stats) = idx.range_query(&sets[qi], eps);
+                assert!(stats.pruned <= stats.refinements);
+                pruned += stats.pruned;
+            }
+        }
+        assert!(pruned > 0, "ε bound never aborted a refinement");
     }
 
     #[test]

@@ -1,0 +1,364 @@
+//! The reusable minimal-matching engine: the `O(k³)` Kuhn–Munkres
+//! kernel of Section 4.2 stripped of every per-call allocation, plus a
+//! *bounded* variant that aborts as soon as the distance provably
+//! exceeds a caller-supplied upper bound.
+//!
+//! [`MinimalMatching::match_sets`] is the full-fidelity path: it builds
+//! a fresh [`CostMatrix`](crate::hungarian::CostMatrix), allocates
+//! solver buffers and materializes the matched pairs. The filter/refine
+//! query engine and OPTICS need none of that — they call the distance
+//! `O(n)`–`O(n²)` times and consume only the scalar. [`MatchingEngine`]
+//! serves that hot path:
+//!
+//! * the [`hungarian::Workspace`] and a scratch cost buffer live in the
+//!   engine and are reused across calls, so the steady state performs
+//!   **zero heap allocations per distance** (asserted by the
+//!   `alloc_free` integration test);
+//! * [`MatchingEngine::distance`] is cost-only — no `pairs`/`unmatched`
+//!   vectors, no permutation statistic;
+//! * [`MatchingEngine::distance_bounded`] exploits the monotone growth
+//!   of the partial-assignment cost under non-negative costs (the
+//!   Hungarian potential sum after each row insertion equals the
+//!   optimal cost of the rows inserted so far, which only grows as rows
+//!   are added) to return [`BoundedDistance::Pruned`] early — the
+//!   multi-step k-NN passes its current k-th-best distance as the
+//!   bound, OPTICS could pass ε;
+//! * per-set weights (`w(x) = ‖x‖₂` in the vector set model) are
+//!   computed once per call into a scratch table — or once per *object*
+//!   via [`PreparedSet`] — instead of once per unmatched-slot column.
+//!
+//! Results are bit-identical to [`MinimalMatching::match_sets`]
+//! wherever nothing is pruned (property-tested below for both paper
+//! models).
+
+use crate::hungarian::{self, Workspace};
+use crate::matching::MinimalMatching;
+use crate::types::VectorSet;
+
+/// Outcome of a bounded distance computation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BoundedDistance {
+    /// The exact distance (bit-identical to the unbounded kernel). Also
+    /// returned when the exact value exceeds the bound but the solver
+    /// happened to finish before the partial cost crossed it.
+    Exact(f64),
+    /// The distance provably exceeds the supplied upper bound; the
+    /// remaining row insertions were skipped.
+    Pruned,
+}
+
+impl BoundedDistance {
+    /// The exact value, if the computation was not pruned.
+    pub fn value(self) -> Option<f64> {
+        match self {
+            BoundedDistance::Exact(d) => Some(d),
+            BoundedDistance::Pruned => None,
+        }
+    }
+
+    pub fn is_pruned(self) -> bool {
+        matches!(self, BoundedDistance::Pruned)
+    }
+}
+
+/// A vector set with its per-element weights `w(xᵢ)` precomputed for
+/// one [`MinimalMatching`] model. In OPTICS every object participates
+/// in `O(n)` distance evaluations; preparing once turns every
+/// weight-column cost into a table lookup.
+#[derive(Debug, Clone)]
+pub struct PreparedSet {
+    set: VectorSet,
+    weights: Vec<f64>,
+}
+
+impl PreparedSet {
+    /// Precompute the weights of `set` under `mm`'s weight function.
+    pub fn new(set: VectorSet, mm: &MinimalMatching) -> Self {
+        let weights = set.iter().map(|v| mm.weight.eval(v)).collect();
+        PreparedSet { set, weights }
+    }
+
+    pub fn set(&self) -> &VectorSet {
+        &self.set
+    }
+
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Recover the underlying set.
+    pub fn into_set(self) -> VectorSet {
+        self.set
+    }
+}
+
+/// Reusable, allocation-free minimal-matching distance kernel. Not
+/// `Sync` — parallel callers hold one engine per worker thread (see
+/// `vsim_parallel::par_tiles`).
+#[derive(Debug)]
+pub struct MatchingEngine {
+    mm: MinimalMatching,
+    ws: Workspace,
+    /// Scratch `m × m` cost matrix, row-major.
+    cost: Vec<f64>,
+    /// Scratch weight table for the larger set when no [`PreparedSet`]
+    /// is supplied.
+    wbig: Vec<f64>,
+}
+
+impl MatchingEngine {
+    pub fn new(mm: MinimalMatching) -> Self {
+        MatchingEngine { mm, ws: Workspace::default(), cost: Vec::new(), wbig: Vec::new() }
+    }
+
+    /// The model this engine computes.
+    pub fn model(&self) -> &MinimalMatching {
+        &self.mm
+    }
+
+    /// Precompute the weight table of a set under this engine's model.
+    pub fn prepare(&self, set: VectorSet) -> PreparedSet {
+        PreparedSet::new(set, &self.mm)
+    }
+
+    /// Cost-only minimal matching distance; bit-identical to
+    /// `self.model().distance_value(x, y)` with zero steady-state
+    /// allocations.
+    pub fn distance(&mut self, x: &VectorSet, y: &VectorSet) -> f64 {
+        self.solve(x, None, y, None, f64::INFINITY).expect("unbounded solve cannot prune")
+    }
+
+    /// Bounded distance: returns [`BoundedDistance::Pruned`] as soon as
+    /// the running partial-matching cost proves the result exceeds
+    /// `upper`. Whenever the exact distance is ≤ `upper` the result is
+    /// `Exact` and bit-identical to [`MatchingEngine::distance`]; with
+    /// `upper = ∞` it never prunes (and skips the bound bookkeeping
+    /// entirely, so the unbounded fast path pays nothing).
+    pub fn distance_bounded(
+        &mut self,
+        x: &VectorSet,
+        y: &VectorSet,
+        upper: f64,
+    ) -> BoundedDistance {
+        match self.solve(x, None, y, None, self.internal_upper(upper)) {
+            Some(d) => BoundedDistance::Exact(d),
+            None => BoundedDistance::Pruned,
+        }
+    }
+
+    /// [`MatchingEngine::distance`] with precomputed weight tables.
+    pub fn distance_prepared(&mut self, x: &PreparedSet, y: &PreparedSet) -> f64 {
+        self.solve(&x.set, Some(&x.weights), &y.set, Some(&y.weights), f64::INFINITY)
+            .expect("unbounded solve cannot prune")
+    }
+
+    /// [`MatchingEngine::distance_bounded`] with precomputed weight
+    /// tables.
+    pub fn distance_bounded_prepared(
+        &mut self,
+        x: &PreparedSet,
+        y: &PreparedSet,
+        upper: f64,
+    ) -> BoundedDistance {
+        match self.solve(
+            &x.set,
+            Some(&x.weights),
+            &y.set,
+            Some(&y.weights),
+            self.internal_upper(upper),
+        ) {
+            Some(d) => BoundedDistance::Exact(d),
+            None => BoundedDistance::Pruned,
+        }
+    }
+
+    /// Translate a bound on the *finished* distance into a bound on the
+    /// raw matched sum (the permutation model takes a square root at the
+    /// end, Section 4.2).
+    fn internal_upper(&self, upper: f64) -> f64 {
+        if self.mm.sqrt_of_total && upper.is_finite() {
+            // The matched sum is non-negative, so a negative bound prunes
+            // everything either way; clamp to keep the square monotone.
+            let u = upper.max(0.0);
+            u * u
+        } else {
+            upper
+        }
+    }
+
+    /// Orient, fill the scratch cost matrix and run the bounded
+    /// cost-only Hungarian kernel. `None` = pruned.
+    fn solve(
+        &mut self,
+        x: &VectorSet,
+        wx: Option<&[f64]>,
+        y: &VectorSet,
+        wy: Option<&[f64]>,
+        upper: f64,
+    ) -> Option<f64> {
+        assert_eq!(x.dim(), y.dim(), "vector sets of different dimension");
+        // Orient so that `big` pays the weight penalty for its surplus
+        // elements (Definition 6, w.l.o.g. |X| >= |Y|) — the same
+        // orientation as `match_sets`, for bit-identical results.
+        let (big, small, wbig_opt) = if x.len() >= y.len() { (x, y, wx) } else { (y, x, wy) };
+        let m = big.len();
+        let n = small.len();
+
+        if m == 0 {
+            let total = 0.0;
+            return if total > upper { None } else { Some(self.mm.finish(total)) };
+        }
+
+        let MatchingEngine { mm, ws, cost, wbig } = self;
+
+        // Weight table for the larger set: precomputed, or filled into
+        // scratch (each w(xᵢ) evaluated once instead of once per
+        // unmatched-slot column).
+        let weights: &[f64] = match wbig_opt {
+            Some(w) => {
+                debug_assert_eq!(w.len(), m, "prepared weights out of sync with set");
+                w
+            }
+            None => {
+                wbig.clear();
+                wbig.extend(big.iter().map(|v| mm.weight.eval(v)));
+                wbig
+            }
+        };
+
+        // Square m × m cost matrix, identical layout to `match_sets`:
+        // first n columns are point distances, the rest weight slots.
+        cost.clear();
+        cost.resize(m * m, 0.0);
+        for i in 0..m {
+            let bi = big.get(i);
+            let row = &mut cost[i * m..(i + 1) * m];
+            for (j, slot) in row.iter_mut().take(n).enumerate() {
+                *slot = mm.point_distance.eval(bi, small.get(j));
+            }
+            let w = weights[i];
+            for slot in row.iter_mut().skip(n) {
+                *slot = w;
+            }
+        }
+
+        hungarian::solve_cost_slice_bounded(m, m, cost, ws, upper).map(|total| mm.finish(total))
+    }
+}
+
+impl From<MinimalMatching> for MatchingEngine {
+    fn from(mm: MinimalMatching) -> Self {
+        MatchingEngine::new(mm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn models() -> [MinimalMatching; 2] {
+        [MinimalMatching::vector_set_model(), MinimalMatching::permutation_model()]
+    }
+
+    fn set_from(dim: usize, vals: &[f64]) -> VectorSet {
+        VectorSet::from_flat(dim, vals.to_vec())
+    }
+
+    #[test]
+    fn empty_sets_and_bounds() {
+        let mut e = MatchingEngine::new(MinimalMatching::vector_set_model());
+        let empty = VectorSet::new(2);
+        let x = set_from(2, &[3.0, 4.0]);
+        assert_eq!(e.distance(&empty, &empty), 0.0);
+        assert_eq!(e.distance(&x, &empty), 5.0);
+        assert_eq!(e.distance_bounded(&x, &empty, 1.0), BoundedDistance::Pruned);
+        assert_eq!(e.distance_bounded(&x, &empty, 5.0), BoundedDistance::Exact(5.0));
+        assert_eq!(e.distance_bounded(&empty, &empty, f64::INFINITY).value(), Some(0.0));
+    }
+
+    #[test]
+    fn engine_reuse_across_sizes_is_sound() {
+        // Grow, shrink, grow again: stale scratch must never leak.
+        let mut e = MatchingEngine::new(MinimalMatching::vector_set_model());
+        let mm = MinimalMatching::vector_set_model();
+        let sizes = [(4usize, 2usize), (1, 1), (3, 5), (2, 2), (6, 1)];
+        for (round, &(a, b)) in sizes.iter().enumerate() {
+            let x = set_from(2, &(0..2 * a).map(|i| 0.1 + (i + round) as f64).collect::<Vec<_>>());
+            let y =
+                set_from(2, &(0..2 * b).map(|i| 0.7 + (i * 2 + round) as f64).collect::<Vec<_>>());
+            let want = mm.distance_value(&x, &y);
+            assert_eq!(e.distance(&x, &y).to_bits(), want.to_bits(), "round {round}");
+        }
+    }
+
+    proptest! {
+        /// The engine's cost-only path is bit-identical to
+        /// `match_sets` across both paper models, including unequal
+        /// cardinalities and argument order.
+        #[test]
+        fn engine_is_bit_identical_to_match_sets(
+            xs in proptest::collection::vec(-5.0f64..5.0, 1..=6),
+            ys in proptest::collection::vec(-5.0f64..5.0, 1..=4),
+            xs2 in proptest::collection::vec(-5.0f64..5.0, 6),
+            ys2 in proptest::collection::vec(-5.0f64..5.0, 4),
+        ) {
+            let x = VectorSet::from_rows(2, &xs.iter().zip(&xs2).map(|(a, b)| [*a, *b]).collect::<Vec<_>>()
+                .iter().map(|r| r.as_slice()).collect::<Vec<_>>());
+            let y = VectorSet::from_rows(2, &ys.iter().zip(&ys2).map(|(a, b)| [*a, *b]).collect::<Vec<_>>()
+                .iter().map(|r| r.as_slice()).collect::<Vec<_>>());
+            for mm in models() {
+                let naive = mm.match_sets(&x, &y).cost;
+                let mut e = MatchingEngine::new(mm.clone());
+                prop_assert_eq!(e.distance(&x, &y).to_bits(), naive.to_bits());
+                prop_assert_eq!(e.distance(&y, &x).to_bits(), naive.to_bits());
+                // Prepared path agrees too.
+                let px = e.prepare(x.clone());
+                let py = e.prepare(y.clone());
+                prop_assert_eq!(e.distance_prepared(&px, &py).to_bits(), naive.to_bits());
+            }
+        }
+
+        /// `distance_bounded` equals the exact distance whenever the
+        /// result is ≤ upper, never prunes for upper = ∞, and only
+        /// prunes when the exact distance really exceeds the bound.
+        #[test]
+        fn bounded_distance_contract(
+            xs in proptest::collection::vec(0.0f64..5.0, 2 * 5),
+            ys in proptest::collection::vec(0.0f64..5.0, 2 * 3),
+            frac in 0.0f64..1.5,
+        ) {
+            let x = VectorSet::from_flat(2, xs);
+            let y = VectorSet::from_flat(2, ys);
+            for mm in models() {
+                let exact = mm.distance_value(&x, &y);
+                let mut e = MatchingEngine::new(mm.clone());
+
+                // Never pruned at an infinite bound, bit-identical result.
+                let inf = e.distance_bounded(&x, &y, f64::INFINITY);
+                prop_assert_eq!(inf.value().unwrap().to_bits(), exact.to_bits());
+
+                // A bound at the exact distance must not prune.
+                let at = e.distance_bounded(&x, &y, exact);
+                prop_assert_eq!(at.value().unwrap().to_bits(), exact.to_bits());
+
+                // An arbitrary bound: Exact => bit-identical; Pruned =>
+                // the exact distance genuinely exceeds the bound.
+                let upper = exact * frac;
+                match e.distance_bounded(&x, &y, upper) {
+                    BoundedDistance::Exact(d) => prop_assert_eq!(d.to_bits(), exact.to_bits()),
+                    BoundedDistance::Pruned => prop_assert!(exact > upper,
+                        "pruned although exact {exact} <= upper {upper}"),
+                }
+
+                // Prepared variant honors the same contract.
+                let px = e.prepare(x.clone());
+                let py = e.prepare(y.clone());
+                match e.distance_bounded_prepared(&px, &py, upper) {
+                    BoundedDistance::Exact(d) => prop_assert_eq!(d.to_bits(), exact.to_bits()),
+                    BoundedDistance::Pruned => prop_assert!(exact > upper),
+                }
+            }
+        }
+    }
+}

@@ -62,7 +62,7 @@ impl CostMatrix {
 
 /// Reusable buffers for repeated assignment solving (OPTICS runs evaluate
 /// millions of matchings; per-call allocation is measurable). Use with
-/// [`solve_with`].
+/// [`solve_with`], [`solve_cost_with`] or the slice-based kernels.
 #[derive(Debug, Default)]
 pub struct Workspace {
     u: Vec<f64>,
@@ -73,11 +73,25 @@ pub struct Workspace {
     used: Vec<bool>,
 }
 
-/// Allocation-free variant of [`solve`]: buffers live in `ws` and are
-/// resized only when the instance grows.
-pub fn solve_with(cost: &CostMatrix, ws: &mut Workspace) -> Assignment {
-    let n = cost.rows();
-    let m = cost.cols();
+/// The shared shortest-augmenting-path core: inserts the `n` rows one by
+/// one, maintaining dual potentials `u`/`v` and the column matching
+/// `p[j]` (0 = unmatched) in `ws`.
+///
+/// When `upper` is finite, the running cost of the partial optimal
+/// assignment is checked after every row insertion; because the optimal
+/// cost over the first `i` rows is monotone non-decreasing in `i` for
+/// **non-negative costs**, exceeding `upper` proves the final cost will
+/// too, and the insertion loop aborts, returning `false`. With
+/// `upper = ∞` the check (and its `O(m)` per-row overhead) is skipped
+/// entirely, so the bounded and unbounded paths are bit-identical
+/// whenever nothing is pruned.
+fn sap_core<C: Fn(usize, usize) -> f64>(
+    n: usize,
+    m: usize,
+    cost: C,
+    ws: &mut Workspace,
+    upper: f64,
+) -> bool {
     const INF: f64 = f64::INFINITY;
 
     ws.u.clear();
@@ -107,7 +121,7 @@ pub fn solve_with(cost: &CostMatrix, ws: &mut Workspace) -> Assignment {
                 if ws.used[j] {
                     continue;
                 }
-                let cur = cost.get(i0 - 1, j - 1) - ws.u[i0] - ws.v[j];
+                let cur = cost(i0 - 1, j - 1) - ws.u[i0] - ws.v[j];
                 if cur < ws.minv[j] {
                     ws.minv[j] = cur;
                     ws.way[j] = j0;
@@ -131,6 +145,7 @@ pub fn solve_with(cost: &CostMatrix, ws: &mut Workspace) -> Assignment {
                 break;
             }
         }
+        // Unwind the alternating path.
         loop {
             let j1 = ws.way[j0];
             ws.p[j0] = ws.p[j1];
@@ -139,7 +154,62 @@ pub fn solve_with(cost: &CostMatrix, ws: &mut Workspace) -> Assignment {
                 break;
             }
         }
+
+        if upper < INF {
+            // Partial primal cost of the optimal assignment of rows
+            // 1..=i, summed in row order (at i = n this is bit-identical
+            // to the final [`matched_cost`] total, so a bound equal to
+            // the exact cost never prunes). `ws.minv` is dead between
+            // row insertions and doubles as the per-row cost buffer.
+            for j in 1..=m {
+                if ws.p[j] != 0 {
+                    ws.minv[ws.p[j]] = cost(ws.p[j] - 1, j - 1);
+                }
+            }
+            let mut partial = 0.0;
+            for r in 1..=i {
+                partial += ws.minv[r];
+            }
+            // Tiny relative slack: intermediate prefixes are ≤ the final
+            // cost in exact arithmetic but sum different edge sets, so
+            // rounding could otherwise cause a spurious prune at the
+            // boundary. Pruning less is always safe.
+            if partial > upper + 1e-9 * upper.abs() {
+                return false;
+            }
+        }
     }
+    true
+}
+
+/// Sum the matched edges in **row order** (bit-identical to summing an
+/// explicit `row_to_col` assignment) without allocating: `ws.minv` is
+/// dead after [`sap_core`] and doubles as the per-row cost buffer.
+fn matched_cost<C: Fn(usize, usize) -> f64>(
+    n: usize,
+    m: usize,
+    cost: C,
+    ws: &mut Workspace,
+) -> f64 {
+    for j in 1..=m {
+        if ws.p[j] != 0 {
+            ws.minv[ws.p[j]] = cost(ws.p[j] - 1, j - 1);
+        }
+    }
+    let mut total = 0.0;
+    for i in 1..=n {
+        total += ws.minv[i];
+    }
+    total
+}
+
+/// Allocation-free variant of [`solve`] (aside from the returned
+/// [`Assignment`]): buffers live in `ws` and are resized only when the
+/// instance grows.
+pub fn solve_with(cost: &CostMatrix, ws: &mut Workspace) -> Assignment {
+    let n = cost.rows();
+    let m = cost.cols();
+    sap_core(n, m, |i, j| cost.get(i, j), ws, f64::INFINITY);
 
     let mut row_to_col = vec![usize::MAX; n];
     for j in 1..=m {
@@ -154,74 +224,41 @@ pub fn solve_with(cost: &CostMatrix, ws: &mut Workspace) -> Assignment {
 /// Solve the min-cost assignment problem: match every row to a distinct
 /// column minimizing total cost. Requires `rows ≤ cols`.
 pub fn solve(cost: &CostMatrix) -> Assignment {
-    let n = cost.rows();
-    let m = cost.cols();
-    const INF: f64 = f64::INFINITY;
+    solve_with(cost, &mut Workspace::default())
+}
 
-    // 1-based arrays in the classical formulation; p[j] = row matched to
-    // column j (0 = none), u/v = dual potentials.
-    let mut u = vec![0.0f64; n + 1];
-    let mut v = vec![0.0f64; m + 1];
-    let mut p = vec![0usize; m + 1];
-    let mut way = vec![0usize; m + 1];
+/// Cost-only solve: no `row_to_col` materialization, zero heap
+/// allocations once `ws` has reached steady-state capacity.
+pub fn solve_cost_with(cost: &CostMatrix, ws: &mut Workspace) -> f64 {
+    let (n, m) = (cost.rows(), cost.cols());
+    sap_core(n, m, |i, j| cost.get(i, j), ws, f64::INFINITY);
+    matched_cost(n, m, |i, j| cost.get(i, j), ws)
+}
 
-    for i in 1..=n {
-        p[0] = i;
-        let mut j0 = 0usize;
-        let mut minv = vec![INF; m + 1];
-        let mut used = vec![false; m + 1];
-        loop {
-            used[j0] = true;
-            let i0 = p[j0];
-            let mut delta = INF;
-            let mut j1 = 0usize;
-            for j in 1..=m {
-                if used[j] {
-                    continue;
-                }
-                let cur = cost.get(i0 - 1, j - 1) - u[i0] - v[j];
-                if cur < minv[j] {
-                    minv[j] = cur;
-                    way[j] = j0;
-                }
-                if minv[j] < delta {
-                    delta = minv[j];
-                    j1 = j;
-                }
-            }
-            debug_assert!(delta.is_finite(), "no augmenting path found");
-            for j in 0..=m {
-                if used[j] {
-                    u[p[j]] += delta;
-                    v[j] -= delta;
-                } else {
-                    minv[j] -= delta;
-                }
-            }
-            j0 = j1;
-            if p[j0] == 0 {
-                break;
-            }
-        }
-        // Unwind the alternating path.
-        loop {
-            let j1 = way[j0];
-            p[j0] = p[j1];
-            j0 = j1;
-            if j0 == 0 {
-                break;
-            }
-        }
+/// Cost-only solve over a borrowed row-major `rows × cols` slice —
+/// the allocation-free kernel behind `MatchingEngine`.
+pub fn solve_cost_slice(rows: usize, cols: usize, data: &[f64], ws: &mut Workspace) -> f64 {
+    debug_assert!(rows > 0 && cols >= rows && data.len() == rows * cols);
+    sap_core(rows, cols, |i, j| data[i * cols + j], ws, f64::INFINITY);
+    matched_cost(rows, cols, |i, j| data[i * cols + j], ws)
+}
+
+/// Bounded cost-only solve over a borrowed slice: returns `None` as soon
+/// as the partial optimal cost provably exceeds `upper` (requires
+/// non-negative costs; see [`sap_core`]), `Some(total)` otherwise. The
+/// returned total is exact and bit-identical to [`solve_cost_slice`].
+pub fn solve_cost_slice_bounded(
+    rows: usize,
+    cols: usize,
+    data: &[f64],
+    ws: &mut Workspace,
+    upper: f64,
+) -> Option<f64> {
+    debug_assert!(rows > 0 && cols >= rows && data.len() == rows * cols);
+    if !sap_core(rows, cols, |i, j| data[i * cols + j], ws, upper) {
+        return None;
     }
-
-    let mut row_to_col = vec![usize::MAX; n];
-    for j in 1..=m {
-        if p[j] != 0 {
-            row_to_col[p[j] - 1] = j - 1;
-        }
-    }
-    let total = row_to_col.iter().enumerate().map(|(i, &j)| cost.get(i, j)).sum();
-    Assignment { row_to_col, cost: total }
+    Some(matched_cost(rows, cols, |i, j| data[i * cols + j], ws))
 }
 
 /// Brute-force assignment by enumerating all `cols! / (cols-rows)!`
@@ -342,7 +379,48 @@ mod tests {
         }
     }
 
+    #[test]
+    fn cost_only_solvers_match_reference() {
+        let mut ws = Workspace::default();
+        for (rows, cols, seed) in [(3usize, 3usize, 11u64), (5, 8, 12), (2, 2, 13), (9, 9, 14)] {
+            let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15);
+            let mut next = move || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (state >> 33) as f64 / 1e6
+            };
+            let c = CostMatrix::from_fn(rows, cols, |_, _| next());
+            let reference = solve(&c).cost;
+            assert_eq!(solve_cost_with(&c, &mut ws).to_bits(), reference.to_bits());
+            let flat: Vec<f64> = (0..rows)
+                .flat_map(|i| (0..cols).map(move |j| (i, j)))
+                .map(|(i, j)| c.get(i, j))
+                .collect();
+            assert_eq!(solve_cost_slice(rows, cols, &flat, &mut ws).to_bits(), reference.to_bits());
+        }
+    }
+
     proptest! {
+        #[test]
+        fn bounded_solver_is_exact_or_provably_above_bound(
+            vals in proptest::collection::vec(0.0f64..20.0, 30),
+            upper in 0.0f64..60.0,
+        ) {
+            let rows = 5;
+            let cols = 6;
+            let mut ws = Workspace::default();
+            let exact = solve_cost_slice(rows, cols, &vals, &mut ws);
+            match solve_cost_slice_bounded(rows, cols, &vals, &mut ws, upper) {
+                Some(total) => prop_assert_eq!(total.to_bits(), exact.to_bits()),
+                None => prop_assert!(exact > upper, "pruned although exact {exact} <= {upper}"),
+            }
+            // An infinite bound must never prune.
+            let unbounded = solve_cost_slice_bounded(rows, cols, &vals, &mut ws, f64::INFINITY);
+            prop_assert_eq!(unbounded.unwrap().to_bits(), exact.to_bits());
+            // A bound at (or above) the exact cost must not prune either.
+            let at_exact = solve_cost_slice_bounded(rows, cols, &vals, &mut ws, exact);
+            prop_assert_eq!(at_exact.unwrap().to_bits(), exact.to_bits());
+        }
+
         #[test]
         fn workspace_reuse_is_sound(
             vals in proptest::collection::vec(0.0f64..50.0, 36),

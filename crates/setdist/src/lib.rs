@@ -29,6 +29,7 @@
 //! ```
 
 pub mod centroid;
+pub mod engine;
 pub mod flow;
 pub mod hungarian;
 pub mod lp;
@@ -38,6 +39,7 @@ pub mod setdists;
 pub mod types;
 
 pub use centroid::{centroid_lower_bound, extended_centroid};
+pub use engine::{BoundedDistance, MatchingEngine, PreparedSet};
 pub use matching::{MatchOutcome, MinimalMatching};
 pub use metric::Distance;
 pub use types::VectorSet;

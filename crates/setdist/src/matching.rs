@@ -20,8 +20,9 @@ pub enum PointDistance {
 }
 
 impl PointDistance {
+    /// Evaluate the point distance (used by the matching kernels).
     #[inline]
-    fn eval(self, a: &[f64], b: &[f64]) -> f64 {
+    pub fn eval(self, a: &[f64], b: &[f64]) -> f64 {
         match self {
             PointDistance::Euclidean => lp::euclidean(a, b),
             PointDistance::SquaredEuclidean => lp::sq_euclidean(a, b),
@@ -45,8 +46,10 @@ pub enum WeightFunction {
 }
 
 impl WeightFunction {
+    /// Evaluate the unmatched-element weight (used by the matching
+    /// kernels and [`crate::engine::PreparedSet`]).
     #[inline]
-    fn eval(&self, x: &[f64]) -> f64 {
+    pub fn eval(&self, x: &[f64]) -> f64 {
         match self {
             WeightFunction::DistanceTo(w) => lp::euclidean(x, w),
             WeightFunction::Norm => lp::norm(x),
@@ -185,7 +188,7 @@ impl MinimalMatching {
         self.match_sets(x, y)
     }
 
-    fn finish(&self, total: f64) -> f64 {
+    pub(crate) fn finish(&self, total: f64) -> f64 {
         if self.sqrt_of_total {
             // Guard tiny negative rounding noise.
             total.max(0.0).sqrt()
@@ -220,7 +223,7 @@ pub fn partial_matching_distance(
     let out = mm.match_sets(x, y);
     let mut pair_costs: Vec<f64> =
         out.pairs.iter().map(|&(a, b)| mm.point_distance.eval(x.get(a), y.get(b))).collect();
-    pair_costs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    pair_costs.sort_by(|a, b| a.total_cmp(b));
     let total: f64 = pair_costs.iter().take(i).sum();
     mm.finish(total)
 }

@@ -1,0 +1,102 @@
+//! Counting-allocator proof that the matching engine's cost-only and
+//! bounded paths perform **zero heap allocations per distance call** in
+//! steady state (the acceptance criterion of the bounded-kernel PR).
+//!
+//! This file deliberately contains a single `#[test]` — the counting
+//! allocator is process-global, and a concurrent test would pollute the
+//! counters.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use vsim_setdist::engine::MatchingEngine;
+use vsim_setdist::matching::MinimalMatching;
+use vsim_setdist::VectorSet;
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+fn pseudo_random_set(dim: usize, card: usize, seed: u64) -> VectorSet {
+    let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        0.05 + (state >> 40) as f64 / (1u64 << 24) as f64
+    };
+    VectorSet::from_flat(dim, (0..dim * card).map(|_| next()).collect())
+}
+
+#[test]
+fn engine_distance_calls_are_allocation_free_in_steady_state() {
+    for mm in [MinimalMatching::vector_set_model(), MinimalMatching::permutation_model()] {
+        let mut engine = MatchingEngine::new(mm.clone());
+        // Sets of the paper's k range, including unequal cardinalities.
+        let sets: Vec<VectorSet> =
+            (0..8).map(|i| pseudo_random_set(6, 1 + (i % 7) + 1, 1000 + i as u64)).collect();
+        let prepared: Vec<_> = sets.iter().map(|s| engine.prepare(s.clone())).collect();
+
+        // Warm up: one pass grows every scratch buffer to its
+        // steady-state capacity.
+        let mut warm = 0.0;
+        for x in &sets {
+            for y in &sets {
+                warm += engine.distance(x, y);
+            }
+        }
+
+        // Steady state: cost-only, bounded and prepared paths must not
+        // touch the heap at all.
+        let before = ALLOCATIONS.load(Ordering::SeqCst);
+        let mut sum = 0.0;
+        let mut pruned = 0usize;
+        for round in 0..3 {
+            for x in &sets {
+                for y in &sets {
+                    sum += engine.distance(x, y);
+                    match engine.distance_bounded(x, y, 0.5 + round as f64) {
+                        vsim_setdist::BoundedDistance::Exact(d) => sum += d,
+                        vsim_setdist::BoundedDistance::Pruned => pruned += 1,
+                    }
+                }
+            }
+            for x in &prepared {
+                for y in &prepared {
+                    sum += engine.distance_prepared(x, y);
+                    if engine.distance_bounded_prepared(x, y, 0.25).is_pruned() {
+                        pruned += 1;
+                    }
+                }
+            }
+        }
+        let after = ALLOCATIONS.load(Ordering::SeqCst);
+
+        assert_eq!(
+            after - before,
+            0,
+            "{:?}: steady-state distance calls allocated (sum {sum}, warm {warm}, pruned {pruned})",
+            mm
+        );
+        // Sanity: the bounded path did exercise both outcomes.
+        assert!(pruned > 0, "bound never pruned — test bounds are miscalibrated");
+        assert!(sum.is_finite() && warm.is_finite());
+    }
+}

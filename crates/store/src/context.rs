@@ -66,6 +66,11 @@ impl QueryContext {
         self.tracker.count_refinements(n);
     }
 
+    /// Count `n` refinements aborted early by the bounded kernel.
+    pub fn count_pruned(&self, n: u64) {
+        self.tracker.count_pruned(n);
+    }
+
     /// Freeze this context's counters into per-query stats.
     pub fn stats(&self, cpu: Duration) -> QueryStats {
         QueryStats::from_snapshot(cpu, self.tracker.snapshot())

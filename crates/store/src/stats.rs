@@ -20,6 +20,9 @@ pub struct QueryStats {
     pub candidates: u64,
     /// Exact (expensive) distance computations performed.
     pub refinements: u64,
+    /// Refinements aborted early by the bounded matching kernel (a
+    /// subset of `refinements`).
+    pub pruned: u64,
     /// Index-level distance-function evaluations.
     pub distance_evals: u64,
 }
@@ -32,6 +35,7 @@ impl QueryStats {
             cache: snap.cache,
             candidates: snap.candidates,
             refinements: snap.refinements,
+            pruned: snap.pruned,
             distance_evals: snap.distance_evals,
         }
     }
@@ -53,6 +57,7 @@ impl QueryStats {
         self.cache = self.cache + other.cache;
         self.candidates += other.candidates;
         self.refinements += other.refinements;
+        self.pruned += other.pruned;
         self.distance_evals += other.distance_evals;
     }
 }
@@ -81,6 +86,7 @@ mod tests {
             cache: CacheCounts { hits: 3, misses: 1, evictions: 0 },
             candidates: 2,
             refinements: 1,
+            pruned: 1,
             distance_evals: 9,
         };
         let b = a;
@@ -89,6 +95,7 @@ mod tests {
         assert_eq!(a.io.pages, 2);
         assert_eq!(a.cache.hits, 6);
         assert_eq!(a.candidates, 4);
+        assert_eq!(a.pruned, 2);
         assert_eq!(a.distance_evals, 18);
     }
 }

@@ -43,6 +43,7 @@ pub struct IoTracker {
     distance_evals: AtomicU64,
     candidates: AtomicU64,
     refinements: AtomicU64,
+    pruned: AtomicU64,
 }
 
 impl IoTracker {
@@ -97,6 +98,15 @@ impl IoTracker {
         self.refinements.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Count `n` refinements aborted early by the bounded matching
+    /// kernel (a subset of `refinements`: every pruned evaluation is
+    /// still counted as a refinement, it just stopped before the full
+    /// `O(k³)` solve).
+    #[inline]
+    pub fn count_pruned(&self, n: u64) {
+        self.pruned.fetch_add(n, Ordering::Relaxed);
+    }
+
     pub fn snapshot(&self) -> TrackerSnapshot {
         TrackerSnapshot {
             io: IoSnapshot {
@@ -111,6 +121,7 @@ impl IoTracker {
             distance_evals: self.distance_evals.load(Ordering::Relaxed),
             candidates: self.candidates.load(Ordering::Relaxed),
             refinements: self.refinements.load(Ordering::Relaxed),
+            pruned: self.pruned.load(Ordering::Relaxed),
         }
     }
 
@@ -123,6 +134,7 @@ impl IoTracker {
         self.distance_evals.store(0, Ordering::Relaxed);
         self.candidates.store(0, Ordering::Relaxed);
         self.refinements.store(0, Ordering::Relaxed);
+        self.pruned.store(0, Ordering::Relaxed);
     }
 }
 
@@ -134,6 +146,8 @@ pub struct TrackerSnapshot {
     pub distance_evals: u64,
     pub candidates: u64,
     pub refinements: u64,
+    /// Refinements aborted early under a k-NN / range bound.
+    pub pruned: u64,
 }
 
 #[cfg(test)]
@@ -152,11 +166,12 @@ mod tests {
         t.count_distance_evals(7);
         t.count_candidates(2);
         t.count_refinements(1);
+        t.count_pruned(1);
         let s = t.snapshot();
         assert_eq!(s.io, IoSnapshot { pages: 3, bytes: 1000 });
         assert_eq!(s.cache, CacheCounts { hits: 1, misses: 2, evictions: 1 });
         assert_eq!(s.cache.accesses(), 3);
-        assert_eq!((s.distance_evals, s.candidates, s.refinements), (7, 2, 1));
+        assert_eq!((s.distance_evals, s.candidates, s.refinements, s.pruned), (7, 2, 1, 1));
         t.reset();
         assert_eq!(t.snapshot(), TrackerSnapshot::default());
     }

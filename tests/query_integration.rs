@@ -155,6 +155,37 @@ fn batch_executor_is_bit_identical_to_per_query_path() {
 }
 
 #[test]
+fn bounded_refinement_knn_is_bit_identical_to_unbounded_paths() {
+    // The bounded matching kernel (k-th-best abort bound) must reproduce
+    // both the legacy unbounded refinement and the PR-1 batch executor
+    // path exactly — ids, distances (to the bit) and refinement counts —
+    // while actually aborting a nonzero share of refinements.
+    let (sets, _) = aircraft_sets(400, 7, 18);
+    let filter = FilterRefineIndex::build(&sets, 6, 7);
+    let queries: Vec<VectorSet> = (0..20).map(|i| sets[i * 17].clone()).collect();
+
+    let batch = QueryExecutor::cold().batch_knn(&filter, &queries, 10);
+    let mut pruned_total = 0u64;
+    for (i, q) in queries.iter().enumerate() {
+        let (bounded, bs) = filter.knn(q, 10);
+        let (naive, ns) = filter.knn_naive(q, 10);
+        assert_eq!(bounded, naive, "query {i}: bounded vs naive hits");
+        assert_eq!(batch.hits[i], bounded, "query {i}: executor vs bounded hits");
+        for (b, n) in bounded.iter().zip(&naive) {
+            assert_eq!(b.1.to_bits(), n.1.to_bits(), "query {i}: distance bits");
+        }
+        // Same candidates examined, same refinements attempted; the
+        // bounded path only aborts some of them mid-solve.
+        assert_eq!(bs.candidates, ns.candidates, "query {i}");
+        assert_eq!(bs.refinements, ns.refinements, "query {i}");
+        assert_eq!(ns.pruned, 0, "naive path must never prune");
+        assert!(bs.pruned <= bs.refinements);
+        pruned_total += bs.pruned;
+    }
+    assert!(pruned_total > 0, "k-th-best bound never aborted a refinement");
+}
+
+#[test]
 fn counter_audit_scan_bytes_match_analytic_value() {
     // Table 2 row consistency: the three access paths must account
     // candidates, refinements, pages, and bytes on the same definitions.

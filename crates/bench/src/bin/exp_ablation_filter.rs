@@ -5,7 +5,8 @@
 //! distance computation).
 //!
 //! The per-(k, ε) query workloads run batched on the [`QueryExecutor`]
-//! with cold per-query buffer pools.
+//! with cold per-query buffer pools, on the access path the cost-based
+//! planner picks for each index (printed per k).
 //!
 //! `cargo run --release -p vsim-bench --bin exp_ablation_filter`
 
@@ -28,8 +29,9 @@ fn main() {
         let index = FilterRefineIndex::build(&sets, 6, k);
         let queries: Vec<VectorSet> =
             (0..n_queries).map(|qi| sets[(qi * 101) % n].clone()).collect();
+        eprintln!("[plan ] k = {k}: planner picks {}", index.plan_range().path);
         for eps in [0.1f64, 0.25, 0.5, 1.0] {
-            let batch = ex.batch_range(&index, &queries, eps);
+            let (batch, _path) = ex.batch_range_planned(&index, &queries, eps);
             let cands = batch.aggregate.refinements as usize;
             let results: usize = batch.hits.iter().map(|h| h.len()).sum();
             let pruned = 1.0 - cands as f64 / (n * n_queries) as f64;

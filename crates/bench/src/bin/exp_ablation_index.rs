@@ -6,7 +6,9 @@
 //!
 //! All three access paths run their query workload through the same
 //! [`QueryExecutor`] (cold per-query buffer pools), so the comparison is
-//! apples-to-apples down to the accounting.
+//! apples-to-apples down to the accounting. The filter/refine row runs
+//! on whichever access path the cost-based planner picks for each
+//! database size (shown in the row label).
 //!
 //! `cargo run --release -p vsim-bench --bin exp_ablation_index`
 //! (env: `AIRCRAFT_N` caps the largest size)
@@ -44,12 +46,13 @@ fn main() {
             (0..n_queries).map(|qi| sets[(qi * 53) % n].clone()).collect();
         let ex = QueryExecutor::cold();
 
-        // Filter/refine: distance computations = refinements.
+        // Filter/refine on the planner-chosen access path: distance
+        // computations = refinements.
         let filter = FilterRefineIndex::build(&sets, 6, k_covers);
-        let b = ex.batch_knn(&filter, &queries, knn);
+        let (b, path) = ex.batch_knn_planned(&filter, &queries, knn);
         report(
             n,
-            "centroid filter",
+            &format!("filter ({path})"),
             b.aggregate.refinements,
             b.aggregate.io_seconds(&cm),
             b.aggregate.cpu.as_secs_f64() * 1e3,

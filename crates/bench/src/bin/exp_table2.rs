@@ -69,6 +69,14 @@ fn main() {
         .map(|&q| syms.iter().map(|m| transform_feature_vector(&vectors[q], m)).collect())
         .collect();
 
+    // The cost-based planner picks the filter pipeline's access path
+    // for this dataset; the invariant merge then runs on it.
+    let plan = filter.plan_knn(knn);
+    eprintln!("[plan ] filter access path: {} ({:.2} ms est/query)", plan.path, plan.chosen_ms());
+    for (path, ms) in plan.est_ms {
+        eprintln!("[plan ]   {path}: {ms:.2} ms");
+    }
+
     let cm = CostModel::default();
     let ex = QueryExecutor::cold();
     eprintln!(
@@ -77,7 +85,7 @@ fn main() {
         vsim_core::parallel::worker_count()
     );
     let b0 = ex.run_batch(&vec_workloads, |v, ctx| one_vec.knn_invariant_with(v, knn, ctx));
-    let b1 = ex.batch_knn_invariant(&filter, &set_workloads, knn);
+    let (b1, _) = ex.batch_knn_invariant_planned(&filter, &set_workloads, knn);
     let b2 = ex.batch_knn_invariant(&scan, &set_workloads, knn);
     for (r1, r2) in b1.hits.iter().zip(&b2.hits) {
         for (a, b) in r1.iter().zip(r2) {

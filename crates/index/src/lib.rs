@@ -20,7 +20,12 @@
 //!   metric data, usable directly on vector sets with the minimal
 //!   matching distance (Section 4.3 suggests this).
 //! * [`storage`] — a paged heap file of vector sets for the refinement
-//!   step and the sequential-scan baseline.
+//!   step and the sequential-scan baseline, plus a flat [`PointFile`]
+//!   of fixed-dimension filter features.
+//! * [`cursor`] — the [`CandidateSource`] candidate-stream abstraction:
+//!   every access path exposed as an incremental `(id, filter_dist)`
+//!   ranking in nondecreasing order, the contract the optimal
+//!   multi-step k-NN engine in `vsim-query` builds on.
 
 //! ```
 //! use vsim_index::{QueryContext, XTree};
@@ -36,13 +41,15 @@
 //! assert!(ctx.stats(std::time::Duration::ZERO).io.pages > 0);
 //! ```
 
+pub mod cursor;
 pub mod mtree;
 pub mod storage;
 pub mod xtree;
 
-pub use mtree::MTree;
-pub use storage::VectorSetStore;
-pub use xtree::XTree;
+pub use cursor::{CandidateSource, Scaled, SortedScan};
+pub use mtree::{MTree, MTreeRankIter};
+pub use storage::{PointFile, VectorSetStore};
+pub use xtree::{NnIter, XTree};
 // The storage-engine layer these access methods are built on.
 pub use vsim_store::{
     BufferPool, CacheCounts, CostModel, InMemoryPageStore, IoSnapshot, IoTracker, PageKey,

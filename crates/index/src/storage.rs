@@ -10,6 +10,8 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 use vsim_setdist::VectorSet;
 use vsim_store::{InMemoryPageStore, PageStore, QueryContext, PAGE_SIZE};
 
+use crate::cursor::SortedScan;
+
 /// On-"disk" record image: `u32` dim, `u32` count, then `dim·count` f64s.
 fn encode(set: &VectorSet) -> Bytes {
     let mut b = BytesMut::with_capacity(8 + 8 * set.flat().len());
@@ -119,9 +121,90 @@ impl VectorSetStore {
     }
 }
 
+/// A paged flat file of fixed-dimension `f64` points with dense `u64`
+/// ids — the sequential-scan access path of the filter layer. Where
+/// [`VectorSetStore`] holds the variable-length vector sets for
+/// refinement, a `PointFile` holds the fixed-length filter features
+/// (e.g. the 6-d extended centroids): `8·dim` bytes per record, packed
+/// densely so a full scan charges exactly
+/// `ceil(8·dim·n / PAGE_SIZE)` pages.
+pub struct PointFile {
+    dim: usize,
+    /// Row-major `len · dim` coordinates.
+    data: Vec<f64>,
+    pages: InMemoryPageStore,
+}
+
+impl PointFile {
+    pub fn build(dim: usize, points: &[Vec<f64>]) -> Self {
+        assert!(dim > 0);
+        let mut data = Vec::with_capacity(points.len() * dim);
+        for p in points {
+            assert_eq!(p.len(), dim);
+            data.extend_from_slice(p);
+        }
+        let pages = InMemoryPageStore::new();
+        pages.allocate((data.len() * 8).div_ceil(PAGE_SIZE) as u64);
+        PointFile { dim, data, pages }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len() / self.dim
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The backing page store.
+    pub fn page_store(&self) -> &InMemoryPageStore {
+        &self.pages
+    }
+
+    pub fn total_bytes(&self) -> usize {
+        self.data.len() * 8
+    }
+
+    pub fn total_pages(&self) -> usize {
+        self.total_bytes().div_ceil(PAGE_SIZE)
+    }
+
+    /// Scan the whole file, computing the Euclidean distance of every
+    /// point to `center`, and return the result as a [`SortedScan`]
+    /// candidate stream. All pages and bytes are charged up front (the
+    /// defining cost shape of the scan access path); one distance
+    /// evaluation is counted per record.
+    pub fn scan_ranked(&self, center: &[f64], ctx: &QueryContext) -> SortedScan {
+        assert_eq!(center.len(), self.dim);
+        let total = self.total_bytes();
+        for page in 0..self.total_pages() as u64 {
+            if ctx.access(self.pages.id(), page, 1) > 0 {
+                let used = (total - page as usize * PAGE_SIZE).min(PAGE_SIZE);
+                ctx.record_bytes(used as u64);
+            }
+        }
+        ctx.count_distance_evals(self.len() as u64);
+        let cands: Vec<(u64, f64)> = self
+            .data
+            .chunks_exact(self.dim)
+            .enumerate()
+            .map(|(i, p)| {
+                let d2: f64 = p.iter().zip(center).map(|(a, b)| (a - b) * (a - b)).sum();
+                (i as u64, d2.sqrt())
+            })
+            .collect();
+        SortedScan::new(cands)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cursor::{drain, CandidateSource};
 
     fn sample_sets() -> Vec<VectorSet> {
         (0..20)
@@ -227,5 +310,54 @@ mod tests {
         assert!(store.is_empty());
         assert_eq!(store.total_pages(), 0);
         assert_eq!(store.scan(&ctx).count(), 0);
+    }
+
+    #[test]
+    fn point_file_scan_charges_whole_file_and_ranks() {
+        let points: Vec<Vec<f64>> =
+            (0..300).map(|i| (0..6).map(|d| ((i * 13 + d * 7) % 100) as f64).collect()).collect();
+        let pf = PointFile::build(6, &points);
+        assert_eq!(pf.len(), 300);
+        assert_eq!(pf.total_bytes(), 300 * 6 * 8);
+        let ctx = QueryContext::ephemeral();
+        let q = vec![50.0; 6];
+        let mut scan = pf.scan_ranked(&q, &ctx);
+        let snap = ctx.stats(std::time::Duration::ZERO);
+        assert_eq!(snap.io.pages as usize, pf.total_pages());
+        assert_eq!(snap.io.bytes as usize, pf.total_bytes());
+        assert_eq!(snap.distance_evals, 300);
+        let ranked = drain(&mut scan);
+        assert_eq!(ranked.len(), 300);
+        for w in ranked.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+        // Distances bit-match the X-tree leaf formula.
+        let (id0, d0) = ranked[0];
+        let p = &points[id0 as usize];
+        let want: f64 = p.iter().zip(&q).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
+        assert_eq!(d0.to_bits(), want.to_bits());
+    }
+
+    #[test]
+    fn point_file_warm_pool_rescan_is_free() {
+        let points: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64; 6]).collect();
+        let pf = PointFile::build(6, &points);
+        let ctx = QueryContext::ephemeral();
+        let _ = pf.scan_ranked(&[0.0; 6], &ctx);
+        let cold = ctx.stats(std::time::Duration::ZERO);
+        let _ = pf.scan_ranked(&[1.0; 6], &ctx);
+        let warm = ctx.stats(std::time::Duration::ZERO);
+        assert_eq!(warm.io.pages, cold.io.pages, "warm rescan reads no new pages");
+        assert_eq!(warm.io.bytes, cold.io.bytes);
+    }
+
+    #[test]
+    fn empty_point_file() {
+        let pf = PointFile::build(4, &[]);
+        assert!(pf.is_empty());
+        assert_eq!(pf.total_pages(), 0);
+        let ctx = QueryContext::ephemeral();
+        let mut s = pf.scan_ranked(&[0.0; 4], &ctx);
+        assert_eq!(s.next_candidate(), None);
     }
 }

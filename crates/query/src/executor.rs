@@ -7,6 +7,8 @@
 //! read through fresh cold pools — the paper's accounting — or one
 //! shared warm [`BufferPool`].
 
+use crate::filter::FilterRefineIndex;
+use crate::planner::AccessPath;
 use crate::stats::QueryStats;
 use std::sync::Arc;
 use std::time::Instant;
@@ -114,6 +116,51 @@ impl QueryExecutor {
         self.run_batch(queries, |q, ctx| index.range_ctx(q, eps, ctx))
     }
 
+    /// Batched k-NN over the filter/refine index on the access path the
+    /// cost-based planner picks for this dataset. Planning runs once for
+    /// the whole batch — the statistics are per-dataset, not per-query —
+    /// and the chosen [`AccessPath`] is returned next to the results.
+    /// Results are bit-identical to [`batch_knn`](Self::batch_knn); only
+    /// the charged I/O depends on the path.
+    pub fn batch_knn_planned(
+        &self,
+        index: &FilterRefineIndex,
+        queries: &[VectorSet],
+        k: usize,
+    ) -> (BatchResult, AccessPath) {
+        let path = index.plan_knn(k).path;
+        (self.run_batch(queries, |q, ctx| index.knn_via_with(path, q, k, ctx)), path)
+    }
+
+    /// Batched ε-range on the planner-chosen access path; the plan is
+    /// made once per batch, like [`batch_knn_planned`](Self::batch_knn_planned).
+    pub fn batch_range_planned(
+        &self,
+        index: &FilterRefineIndex,
+        queries: &[VectorSet],
+        eps: f64,
+    ) -> (BatchResult, AccessPath) {
+        let path = index.plan_range().path;
+        (self.run_batch(queries, |q, ctx| index.range_via_with(path, q, eps, ctx)), path)
+    }
+
+    /// Batched invariant k-NN on the planner-chosen access path (one
+    /// plan per batch, like [`batch_knn_planned`](Self::batch_knn_planned)).
+    pub fn batch_knn_invariant_planned<V: AsRef<[VectorSet]> + Sync>(
+        &self,
+        index: &FilterRefineIndex,
+        queries: &[V],
+        k: usize,
+    ) -> (BatchResult, AccessPath) {
+        let path = index.plan_knn(k).path;
+        (
+            self.run_batch(queries, |v, ctx| {
+                index.knn_invariant_via_with(path, v.as_ref(), k, ctx)
+            }),
+            path,
+        )
+    }
+
     /// Batched invariant k-NN: each query is a slice of transformed
     /// variants (Section 3.2's 48 runtime permutations); variants of one
     /// query share that query's context/buffer scope.
@@ -182,7 +229,7 @@ impl VectorSetQueries for MTree<VectorSet> {
     }
     fn range_ctx(&self, q: &VectorSet, eps: f64, ctx: &QueryContext) -> Vec<(u64, f64)> {
         let mut r = self.range_query(q, eps, ctx);
-        r.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        r.sort_by(|a, b| a.1.total_cmp(&b.1));
         ctx.count_candidates(r.len() as u64);
         r
     }
@@ -202,7 +249,7 @@ impl VectorSetQueries for MTree<VectorSet> {
             }
         }
         let mut out: Vec<(u64, f64)> = best.into_iter().collect();
-        out.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        out.sort_by(|a, b| a.1.total_cmp(&b.1));
         out.truncate(k);
         ctx.count_candidates(out.len() as u64);
         out
@@ -272,6 +319,27 @@ mod tests {
         assert_eq!(cold.aggregate.io.pages, file_pages * queries.len() as u64);
         assert_eq!(warm.aggregate.io.pages, file_pages);
         assert!(warm.aggregate.cache.hits > 0);
+    }
+
+    #[test]
+    fn planned_batches_match_the_default_path_bit_for_bit() {
+        let sets = random_sets(400, 5, 44);
+        let idx = FilterRefineIndex::build(&sets, 6, 5);
+        let queries: Vec<VectorSet> = (0..10).map(|i| sets[i * 31].clone()).collect();
+        let ex = QueryExecutor::cold();
+
+        let plain = ex.batch_knn(&idx, &queries, 8);
+        let (planned, path) = ex.batch_knn_planned(&idx, &queries, 8);
+        assert_eq!(path, idx.plan_knn(8).path);
+        assert_eq!(plain.hits, planned.hits, "planner choice must not change k-NN results");
+
+        let plain_r = ex.batch_range(&idx, &queries, 0.5);
+        let (planned_r, _) = ex.batch_range_planned(&idx, &queries, 0.5);
+        for (x, y) in plain_r.hits.iter().zip(&planned_r.hits) {
+            let xs: std::collections::BTreeSet<u64> = x.iter().map(|(i, _)| *i).collect();
+            let ys: std::collections::BTreeSet<u64> = y.iter().map(|(i, _)| *i).collect();
+            assert_eq!(xs, ys, "planner choice must not change range results");
+        }
     }
 
     #[test]

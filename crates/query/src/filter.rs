@@ -1,20 +1,27 @@
 //! The filter/refine access path of Section 4.3: 6-d extended centroids
-//! in an X-tree, exact minimal matching distance on demand.
+//! indexed for incremental ranking, exact minimal matching distance on
+//! demand via the optimal multi-step engine.
 
+use crate::multistep::{multi_step_knn, multi_step_range, TopK};
+use crate::planner::{AccessPath, DatasetStats, Plan, Planner};
 use crate::stats::QueryStats;
+use std::sync::Arc;
 use std::time::Instant;
-use vsim_index::{QueryContext, VectorSetStore, XTree};
-use vsim_setdist::matching::{MinimalMatching, PointDistance, WeightFunction};
-use vsim_setdist::{
-    centroid_lower_bound, extended_centroid, BoundedDistance, MatchingEngine, VectorSet,
+use vsim_index::{
+    CandidateSource, MTree, PointFile, QueryContext, Scaled, VectorSetStore, XTree, PAGE_SIZE,
 };
+use vsim_setdist::matching::{MinimalMatching, PointDistance, WeightFunction};
+use vsim_setdist::{extended_centroid, BoundedDistance, Distance, MatchingEngine, VectorSet};
 
 /// Filter/refine index over vector sets.
 ///
-/// * Filter: the extended centroid `C_{k,ω}` of every set, stored in a
-///   `d`-dimensional X-tree. By Lemma 2,
-///   `k · ‖C(X) − C(q)‖₂ ≤ dist_mm(X, q)`, so centroid distance `· k`
-///   lower-bounds the exact distance.
+/// * Filter: the extended centroid `C_{k,ω}` of every set, kept in
+///   *three* interchangeable access paths — an X-tree, an M-tree over
+///   the centroid metric, and a flat [`PointFile`] for sorted scans. By
+///   Lemma 2, `k · ‖C(X) − C(q)‖₂ ≤ dist_mm(X, q)`, so centroid
+///   distance `· k` lower-bounds the exact distance and every path can
+///   serve the same nondecreasing candidate stream
+///   (see [`FilterRefineIndex::with_candidate_source`]).
 /// * Refinement: load the candidate's vector set from the heap file and
 ///   evaluate the exact minimal matching distance (weight `w_ω`).
 ///
@@ -27,8 +34,19 @@ pub struct FilterRefineIndex {
     k: usize,
     omega: Vec<f64>,
     tree: XTree,
+    /// The same centroids under the metric M-tree (ranking traversal).
+    ctree: MTree<Vec<f64>>,
+    /// The same centroids as a flat file (sorted sequential scan).
+    cfile: PointFile,
     store: VectorSetStore,
     mm: MinimalMatching,
+}
+
+/// Euclidean distance with the exact operation order of the X-tree leaf
+/// scan — all three access paths must produce bit-identical filter
+/// distances for the planner's choice to be invisible in results.
+fn centroid_euclid(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
 }
 
 impl FilterRefineIndex {
@@ -37,17 +55,29 @@ impl FilterRefineIndex {
     /// volume, so the metric conditions of Lemma 1 hold).
     pub fn build(sets: &[VectorSet], dim: usize, k: usize) -> Self {
         let omega = vec![0.0; dim];
+        let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(sets.len());
         let mut tree = XTree::new(dim);
         for (i, s) in sets.iter().enumerate() {
             assert_eq!(s.dim(), dim, "set {i} has wrong dimension");
             let c = extended_centroid(s, k, &omega);
             tree.insert(&c, i as u64);
+            centroids.push(c);
         }
+        let entry_bytes = 8 * dim + 16;
+        let dist: Arc<dyn Distance<Vec<f64>>> =
+            Arc::new(|a: &Vec<f64>, b: &Vec<f64>| centroid_euclid(a, b));
+        let mut ctree = MTree::new(dist, (PAGE_SIZE / entry_bytes).max(4), entry_bytes);
+        for (i, c) in centroids.iter().enumerate() {
+            ctree.insert(c.clone(), i as u64);
+        }
+        let cfile = PointFile::build(dim, &centroids);
         let store = VectorSetStore::build(sets);
         FilterRefineIndex {
             k,
             omega,
             tree,
+            ctree,
+            cfile,
             store,
             mm: MinimalMatching {
                 point_distance: PointDistance::Euclidean,
@@ -75,6 +105,58 @@ impl FilterRefineIndex {
     /// over the query's refinements.
     fn engine(&self) -> MatchingEngine {
         MatchingEngine::new(self.mm.clone())
+    }
+
+    /// Statistics the [`Planner`] costs access paths against, gathered
+    /// from the built structures (no estimation involved).
+    pub fn dataset_stats(&self) -> DatasetStats {
+        let dim = self.tree.dim();
+        DatasetStats {
+            n: self.store.len(),
+            dim,
+            scan_pages: self.cfile.total_pages() as u64,
+            scan_bytes: self.cfile.total_bytes() as u64,
+            xtree_pages: self.tree.total_pages() as u64,
+            xtree_height: self.tree.height() as u64,
+            mtree_pages: self.ctree.total_pages() as u64,
+            mtree_entry_bytes: (8 * dim + 16) as u64,
+        }
+    }
+
+    /// Cost-based access-path choice for a `kq`-NN query under the
+    /// paper's cost model.
+    pub fn plan_knn(&self, kq: usize) -> Plan {
+        Planner::default().plan_knn(&self.dataset_stats(), kq)
+    }
+
+    /// Cost-based access-path choice for an ε-range query.
+    pub fn plan_range(&self) -> Plan {
+        Planner::default().plan_range(&self.dataset_stats())
+    }
+
+    /// Open the chosen access path as a candidate stream for the query
+    /// centroid `cq` and run `f` on it. The stream yields
+    /// `(id, k · ‖C(X) − C(q)‖)` — the Lemma 2 lower bound of the exact
+    /// distance — in nondecreasing order, with all page reads charged to
+    /// `ctx`. All three paths produce bit-identical bounds (same
+    /// Euclidean operation order, same `k ·` scaling), so the choice
+    /// affects cost, never results.
+    pub fn with_candidate_source<R>(
+        &self,
+        path: AccessPath,
+        cq: &[f64],
+        ctx: &QueryContext,
+        f: impl FnOnce(&mut dyn CandidateSource) -> R,
+    ) -> R {
+        let factor = self.k as f64;
+        match path {
+            AccessPath::XTreeCursor => f(&mut Scaled::new(self.tree.nn_iter(cq, ctx), factor)),
+            AccessPath::MTreeCursor => {
+                let cqv = cq.to_vec();
+                f(&mut Scaled::new(self.ctree.rank_iter(&cqv, ctx), factor))
+            }
+            AccessPath::SeqScan => f(&mut Scaled::new(self.cfile.scan_ranked(cq, ctx), factor)),
+        }
     }
 
     /// Invariant k-NN (Section 3.2): the query is posed in all supplied
@@ -106,6 +188,20 @@ impl FilterRefineIndex {
         kq: usize,
         ctx: &QueryContext,
     ) -> Vec<(u64, f64)> {
+        self.knn_invariant_via_with(AccessPath::XTreeCursor, variants, kq, ctx)
+    }
+
+    /// [`knn_invariant_with`](Self::knn_invariant_with) over an
+    /// explicitly chosen access path. Every variant opens its own
+    /// candidate stream on that path; the shared result set and record
+    /// cache work exactly as on the default path.
+    pub fn knn_invariant_via_with(
+        &self,
+        path: AccessPath,
+        variants: &[VectorSet],
+        kq: usize,
+        ctx: &QueryContext,
+    ) -> Vec<(u64, f64)> {
         let mut engine = self.engine();
         let mut best: std::collections::HashMap<u64, f64> = std::collections::HashMap::new();
         let mut result: Vec<(u64, f64)> = Vec::new(); // sorted top-k
@@ -113,38 +209,41 @@ impl FilterRefineIndex {
             std::collections::HashMap::new();
         for q in variants {
             let cq = extended_centroid(q, self.k, &self.omega);
-            for (id, cdist) in self.tree.nn_iter(&cq, ctx) {
-                ctx.count_candidates(1);
-                let lower = self.k as f64 * cdist;
-                if result.len() >= kq && lower >= result[kq - 1].1 {
-                    break;
-                }
-                let set = record_cache.entry(id).or_insert_with(|| self.store.get(id, ctx));
-                // A refinement only matters if it beats both this id's
-                // best variant distance and (once the result is full)
-                // the global k-th distance — either gives a safe abort
-                // bound for the bounded kernel.
-                let entry = best.entry(id).or_insert(f64::INFINITY);
-                let mut upper = *entry;
-                if result.len() >= kq {
-                    upper = upper.min(result[kq - 1].1);
-                }
-                ctx.count_refinements(1);
-                let d = match engine.distance_bounded(q, set, upper) {
-                    BoundedDistance::Exact(d) => d,
-                    BoundedDistance::Pruned => {
-                        ctx.count_pruned(1);
-                        continue; // provably > upper: cannot change result or best
+            self.with_candidate_source(path, &cq, ctx, |src| {
+                while let Some((id, lower)) = src.next_candidate() {
+                    ctx.count_filter_steps(1);
+                    ctx.count_candidates(1);
+                    if result.len() >= kq && lower >= result[kq - 1].1 {
+                        ctx.count_refinements_saved(1);
+                        break;
                     }
-                };
-                if d < *entry {
-                    *entry = d;
-                    result.retain(|(i, _)| *i != id);
-                    result.push((id, d));
-                    result.sort_by(|a, b| a.1.total_cmp(&b.1));
-                    result.truncate(kq);
+                    let set = record_cache.entry(id).or_insert_with(|| self.store.get(id, ctx));
+                    // A refinement only matters if it beats both this id's
+                    // best variant distance and (once the result is full)
+                    // the global k-th distance — either gives a safe abort
+                    // bound for the bounded kernel.
+                    let entry = best.entry(id).or_insert(f64::INFINITY);
+                    let mut upper = *entry;
+                    if result.len() >= kq {
+                        upper = upper.min(result[kq - 1].1);
+                    }
+                    ctx.count_refinements(1);
+                    let d = match engine.distance_bounded(q, set, upper) {
+                        BoundedDistance::Exact(d) => d,
+                        BoundedDistance::Pruned => {
+                            ctx.count_pruned(1);
+                            continue; // provably > upper: cannot change result or best
+                        }
+                    };
+                    if d < *entry {
+                        *entry = d;
+                        result.retain(|(i, _)| *i != id);
+                        result.push((id, d));
+                        result.sort_by(|a, b| a.1.total_cmp(&b.1));
+                        result.truncate(kq);
+                    }
                 }
-            }
+            });
         }
         result
     }
@@ -214,7 +313,9 @@ impl FilterRefineIndex {
             // Reuse the incremental ranking for the filter: stop at the
             // Lemma 2 radius eps / k.
             for (id, cdist) in self.tree.nn_iter(&cq, ctx) {
+                ctx.count_filter_steps(1);
                 if cdist > eps / self.k as f64 {
+                    ctx.count_refinements_saved(1);
                     break;
                 }
                 ctx.count_candidates(1);
@@ -252,7 +353,8 @@ impl FilterRefineIndex {
         (r, ctx.stats(t0.elapsed()))
     }
 
-    /// [`knn`](Self::knn) against a caller-supplied context.
+    /// [`knn`](Self::knn) against a caller-supplied context, on the
+    /// X-tree cursor (the default access path).
     ///
     /// Candidates arrive in ascending filter (lower-bound) order from
     /// the incremental ranking; once the result is full, the current
@@ -262,28 +364,62 @@ impl FilterRefineIndex {
     /// returned top-k is bit-identical to the unbounded
     /// [`knn_naive`](Self::knn_naive) path.
     pub fn knn_with(&self, q: &VectorSet, kq: usize, ctx: &QueryContext) -> Vec<(u64, f64)> {
+        self.knn_via_with(AccessPath::XTreeCursor, q, kq, ctx)
+    }
+
+    /// Optimal multi-step k-NN over an explicitly chosen access path.
+    /// All paths return bit-identical results; only the charged I/O
+    /// differs.
+    pub fn knn_via_with(
+        &self,
+        path: AccessPath,
+        q: &VectorSet,
+        kq: usize,
+        ctx: &QueryContext,
+    ) -> Vec<(u64, f64)> {
         let mut engine = self.engine();
         let cq = extended_centroid(q, self.k, &self.omega);
-        let mut result: Vec<(u64, f64)> = Vec::new();
-        for (id, cdist) in self.tree.nn_iter(&cq, ctx) {
-            ctx.count_candidates(1);
-            let lower = centroid_lower_bound(&cq, &cq, self.k).max(self.k as f64 * cdist);
-            if result.len() >= kq && lower >= result[kq - 1].1 {
-                break; // no unexamined object can improve the result
-            }
-            let set = self.store.get(id, ctx);
-            let upper = if result.len() >= kq { result[kq - 1].1 } else { f64::INFINITY };
-            ctx.count_refinements(1);
-            match engine.distance_bounded(q, &set, upper) {
-                BoundedDistance::Exact(d) => {
-                    result.push((id, d));
-                    result.sort_by(|a, b| a.1.total_cmp(&b.1));
-                    result.truncate(kq);
-                }
-                BoundedDistance::Pruned => ctx.count_pruned(1),
-            }
-        }
-        result
+        self.with_candidate_source(path, &cq, ctx, |src| {
+            multi_step_knn(src, kq, ctx, |id, upper| {
+                let set = self.store.get(id, ctx);
+                engine.distance_bounded(q, &set, upper).value()
+            })
+        })
+    }
+
+    /// k-NN on the access path the cost-based planner picks for this
+    /// dataset. Returns the hits, the per-query stats, and the chosen
+    /// path.
+    pub fn knn_planned(
+        &self,
+        q: &VectorSet,
+        kq: usize,
+    ) -> (Vec<(u64, f64)>, QueryStats, AccessPath) {
+        let path = self.plan_knn(kq).path;
+        let ctx = QueryContext::ephemeral();
+        let t0 = Instant::now();
+        let r = self.knn_via_with(path, q, kq, &ctx);
+        (r, ctx.stats(t0.elapsed()), path)
+    }
+
+    /// Optimal multi-step ε-range over an explicitly chosen access
+    /// path: pull candidates while the Lemma 2 lower bound stays within
+    /// ε, refine each with ε as the abort bound.
+    pub fn range_via_with(
+        &self,
+        path: AccessPath,
+        q: &VectorSet,
+        eps: f64,
+        ctx: &QueryContext,
+    ) -> Vec<(u64, f64)> {
+        let mut engine = self.engine();
+        let cq = extended_centroid(q, self.k, &self.omega);
+        self.with_candidate_source(path, &cq, ctx, |src| {
+            multi_step_range(src, eps, ctx, |id, upper| {
+                let set = self.store.get(id, ctx);
+                engine.distance_bounded(q, &set, upper).value()
+            })
+        })
     }
 
     /// The unbounded baseline: identical multi-step k-NN but every
@@ -298,24 +434,73 @@ impl FilterRefineIndex {
         (r, ctx.stats(t0.elapsed()))
     }
 
-    /// [`knn_naive`](Self::knn_naive) against a caller-supplied context.
+    /// [`knn_naive`](Self::knn_naive) against a caller-supplied context:
+    /// the same multi-step loop as [`knn_with`](Self::knn_with) — shared
+    /// via [`multi_step_knn`] — with the legacy unbounded kernel as the
+    /// refinement step.
     pub fn knn_naive_with(&self, q: &VectorSet, kq: usize, ctx: &QueryContext) -> Vec<(u64, f64)> {
         let cq = extended_centroid(q, self.k, &self.omega);
-        let mut result: Vec<(u64, f64)> = Vec::new();
-        for (id, cdist) in self.tree.nn_iter(&cq, ctx) {
-            ctx.count_candidates(1);
-            let lower = centroid_lower_bound(&cq, &cq, self.k).max(self.k as f64 * cdist);
-            if result.len() >= kq && lower >= result[kq - 1].1 {
-                break;
+        self.with_candidate_source(AccessPath::XTreeCursor, &cq, ctx, |src| {
+            multi_step_knn(src, kq, ctx, |id, _upper| {
+                let set = self.store.get(id, ctx);
+                Some(self.mm.distance_value(q, &set))
+            })
+        })
+    }
+
+    /// The batch (Korn-style) multi-step baseline the optimal algorithm
+    /// improves on: refine the first `kq` candidates of the ranking
+    /// unbounded, take the largest refined distance `d_max`, then
+    /// materialize and refine *every* candidate whose filter bound is
+    /// within `d_max`. Correct, and refines a superset of what
+    /// [`knn_with`](Self::knn_with) refines — on every query,
+    /// `refinements(batch) ≥ refinements(optimal)` with bit-identical
+    /// results (the benchmark `exp_bench_multistep` reports the gap).
+    pub fn knn_batch(&self, q: &VectorSet, kq: usize) -> (Vec<(u64, f64)>, QueryStats) {
+        let ctx = QueryContext::ephemeral();
+        let t0 = Instant::now();
+        let r = self.knn_batch_with(q, kq, &ctx);
+        (r, ctx.stats(t0.elapsed()))
+    }
+
+    /// [`knn_batch`](Self::knn_batch) against a caller-supplied context.
+    pub fn knn_batch_with(&self, q: &VectorSet, kq: usize, ctx: &QueryContext) -> Vec<(u64, f64)> {
+        let mut engine = self.engine();
+        let cq = extended_centroid(q, self.k, &self.omega);
+        self.with_candidate_source(AccessPath::XTreeCursor, &cq, ctx, |src| {
+            let mut result = TopK::new(kq);
+            // Phase 1: unbounded refinement of the kq filter-nearest
+            // candidates fixes the conservative cutoff d_max.
+            while !result.is_full() {
+                let Some((id, _)) = src.next_candidate() else {
+                    return result.into_vec();
+                };
+                ctx.count_filter_steps(1);
+                ctx.count_candidates(1);
+                ctx.count_refinements(1);
+                let set = self.store.get(id, ctx);
+                result.push(id, engine.distance(q, &set));
             }
-            let set = self.store.get(id, ctx);
-            let d = self.mm.distance_value(q, &set);
-            ctx.count_refinements(1);
-            result.push((id, d));
-            result.sort_by(|a, b| a.1.total_cmp(&b.1));
-            result.truncate(kq);
-        }
-        result
+            let dmax = result.bound();
+            // Phase 2: refine everything the filter cannot exclude at
+            // d_max. The optimal path instead tightens its bound after
+            // every refinement — that is exactly the refinement gap.
+            while let Some((id, lower)) = src.next_candidate() {
+                ctx.count_filter_steps(1);
+                ctx.count_candidates(1);
+                if lower > dmax {
+                    ctx.count_refinements_saved(1);
+                    break;
+                }
+                ctx.count_refinements(1);
+                let set = self.store.get(id, ctx);
+                match engine.distance_bounded(q, &set, dmax) {
+                    BoundedDistance::Exact(d) => result.push(id, d),
+                    BoundedDistance::Pruned => ctx.count_pruned(1),
+                }
+            }
+            result.into_vec()
+        })
     }
 }
 
@@ -498,6 +683,108 @@ mod tests {
             }
         }
         assert!(pruned > 0, "ε bound never aborted a refinement");
+    }
+
+    #[test]
+    fn all_access_paths_return_bit_identical_knn_results() {
+        let sets = random_sets(350, 5, 9);
+        let idx = FilterRefineIndex::build(&sets, 6, 5);
+        for qi in [0usize, 60, 170, 340] {
+            let q = &sets[qi];
+            let runs: Vec<Vec<(u64, f64)>> =
+                [AccessPath::XTreeCursor, AccessPath::MTreeCursor, AccessPath::SeqScan]
+                    .into_iter()
+                    .map(|path| {
+                        let ctx = QueryContext::ephemeral();
+                        idx.knn_via_with(path, q, 10, &ctx)
+                    })
+                    .collect();
+            for other in &runs[1..] {
+                assert_eq!(runs[0].len(), other.len(), "query {qi}");
+                for (a, b) in runs[0].iter().zip(other) {
+                    assert_eq!(a.0, b.0, "query {qi}");
+                    assert_eq!(a.1.to_bits(), b.1.to_bits(), "query {qi}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_access_paths_return_identical_range_results() {
+        let sets = random_sets(300, 5, 15);
+        let idx = FilterRefineIndex::build(&sets, 6, 5);
+        for qi in [4usize, 120, 260] {
+            let q = &sets[qi];
+            let runs: Vec<Vec<(u64, f64)>> =
+                [AccessPath::XTreeCursor, AccessPath::MTreeCursor, AccessPath::SeqScan]
+                    .into_iter()
+                    .map(|path| {
+                        let ctx = QueryContext::ephemeral();
+                        idx.range_via_with(path, q, 0.6, &ctx)
+                    })
+                    .collect();
+            for other in &runs[1..] {
+                assert_eq!(runs[0], other.clone(), "query {qi}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_baseline_never_refines_fewer_than_optimal() {
+        let sets = random_sets(500, 6, 16);
+        let idx = FilterRefineIndex::build(&sets, 6, 6);
+        let mut strictly_fewer = 0u32;
+        for qi in (0..500).step_by(25) {
+            let q = &sets[qi];
+            let (opt, os) = idx.knn(q, 10);
+            let (bat, bs) = idx.knn_batch(q, 10);
+            assert_eq!(opt.len(), bat.len(), "query {qi}");
+            for (a, b) in opt.iter().zip(&bat) {
+                assert_eq!(a.0, b.0, "query {qi}");
+                assert_eq!(a.1.to_bits(), b.1.to_bits(), "query {qi}");
+            }
+            assert!(
+                os.refinements <= bs.refinements,
+                "query {qi}: optimal refined {} > batch {}",
+                os.refinements,
+                bs.refinements
+            );
+            if os.refinements < bs.refinements {
+                strictly_fewer += 1;
+            }
+        }
+        assert!(strictly_fewer > 0, "optimal never beat the batch baseline on 20 queries");
+    }
+
+    #[test]
+    fn planner_picks_scan_for_tiny_and_xtree_for_large_datasets() {
+        let tiny = random_sets(25, 4, 17);
+        let tiny_idx = FilterRefineIndex::build(&tiny, 6, 4);
+        assert_eq!(tiny_idx.plan_knn(10).path, AccessPath::SeqScan);
+
+        let large = random_sets(2000, 4, 18);
+        let large_idx = FilterRefineIndex::build(&large, 6, 4);
+        assert_eq!(large_idx.plan_knn(10).path, AccessPath::XTreeCursor);
+
+        // Planner choice is invisible in results.
+        let (planned, stats, path) = large_idx.knn_planned(&large[7], 10);
+        let (default, _) = large_idx.knn(&large[7], 10);
+        assert_eq!(path, AccessPath::XTreeCursor);
+        assert_eq!(planned, default);
+        assert!(stats.filter_steps >= stats.refinements);
+    }
+
+    #[test]
+    fn stats_report_filter_steps_and_saved_refinements() {
+        let sets = random_sets(600, 5, 19);
+        let idx = FilterRefineIndex::build(&sets, 6, 5);
+        let (_, stats) = idx.knn(&sets[0], 10);
+        assert!(stats.filter_steps > 0);
+        assert_eq!(stats.filter_steps, stats.refinements + stats.refinements_saved);
+        assert!(
+            stats.refinements_saved > 0,
+            "the termination bound never dismissed a candidate on 600 objects"
+        );
     }
 
     #[test]

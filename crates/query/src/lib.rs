@@ -13,11 +13,22 @@
 //! 3. [`OneVectorIndex`] — the `6k`-dimensional cover-sequence feature
 //!    vectors in an X-tree (the baseline the vector set model replaces).
 //!
+//! The filter layer is built on an incremental **candidate-stream
+//! abstraction** (`CandidateSource` in `vsim-index`): every access path
+//! — X-tree cursor, M-tree ranking, sorted scan — yields candidates in
+//! nondecreasing filter-lower-bound order, and the [`multistep`] module
+//! runs the optimal multi-step k-NN/range algorithm over whichever
+//! stream the cost-based [`Planner`] picks for the dataset. Per-query
+//! [`QueryStats`] report `filter_steps` (candidates pulled from the
+//! stream) and `refinements_saved` (candidates dismissed by the filter
+//! bound alone) next to the refinement counts.
+//!
 //! All paths report [`QueryStats`]: measured CPU time, simulated I/O
 //! through the shared buffer pool, candidate and refinement counts. The
 //! [`QueryExecutor`] fans batches of queries across worker threads with
 //! a configurable [`PoolPolicy`] (cold per-query pools vs. one shared
-//! warm pool).
+//! warm pool), planning the access path once per batch for the planned
+//! variants.
 
 //! ```
 //! use vsim_query::{FilterRefineIndex, SequentialScanIndex};
@@ -37,12 +48,16 @@
 
 pub mod executor;
 pub mod filter;
+pub mod multistep;
 pub mod onevector;
+pub mod planner;
 pub mod scan;
 pub mod stats;
 
 pub use executor::{BatchResult, PoolPolicy, QueryExecutor, VectorSetQueries};
 pub use filter::FilterRefineIndex;
+pub use multistep::{multi_step_knn, multi_step_range, TopK};
 pub use onevector::OneVectorIndex;
+pub use planner::{AccessPath, DatasetStats, Plan, Planner};
 pub use scan::SequentialScanIndex;
 pub use stats::QueryStats;

@@ -1,0 +1,230 @@
+//! The optimal multi-step query engine [Seidl & Kriegel, SIGMOD'98]
+//! over any [`CandidateSource`].
+//!
+//! A multi-step algorithm answers exact similarity queries through a
+//! cheap filter: candidates arrive in nondecreasing filter-lower-bound
+//! order, each is refined with the exact distance, and the query stops
+//! as soon as the next lower bound proves that no unexamined object can
+//! enter the result. For k-NN the stopping bound is the running k-th
+//! exact distance; for ε-range it is ε itself. With a correct lower
+//! bound the algorithm is *optimal*: it refines exactly the candidates
+//! any correct multi-step algorithm must refine (see DESIGN.md §9 for
+//! the derivation from the centroid bound of Lemma 2).
+//!
+//! The cores here are access-path agnostic — the same loop drives the
+//! X-tree cursor, the M-tree ranking and the sorted scan — and they
+//! thread the new `filter_steps` / `refinements_saved` counters through
+//! the [`QueryContext`] so per-query stats show how deep into the
+//! ranking a query looked and how many exact evaluations the early
+//! termination avoided relative to a batch strategy.
+
+use vsim_index::{CandidateSource, QueryContext};
+
+/// A bounded result set: the `k` smallest `(id, distance)` pairs seen
+/// so far, kept sorted ascending. Ties keep insertion order (the sort
+/// is stable), matching the tie-breaking of a full sort-then-truncate —
+/// and the comparison is `total_cmp`, so a NaN distance ranks last
+/// instead of poisoning the order.
+#[derive(Debug, Clone)]
+pub struct TopK {
+    k: usize,
+    items: Vec<(u64, f64)>,
+}
+
+impl TopK {
+    pub fn new(k: usize) -> Self {
+        TopK { k, items: Vec::with_capacity(k.min(1024) + 1) }
+    }
+
+    /// Insert a candidate, keeping only the `k` smallest.
+    pub fn push(&mut self, id: u64, d: f64) {
+        self.items.push((id, d));
+        self.items.sort_by(|a, b| a.1.total_cmp(&b.1));
+        self.items.truncate(self.k);
+    }
+
+    /// Whether `k` results have been collected.
+    pub fn is_full(&self) -> bool {
+        self.items.len() >= self.k
+    }
+
+    /// The current pruning bound: the k-th smallest distance once full,
+    /// `+∞` before that.
+    pub fn bound(&self) -> f64 {
+        if self.is_full() && self.k > 0 {
+            self.items[self.k - 1].1
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The collected results, ascending by distance.
+    pub fn into_vec(self) -> Vec<(u64, f64)> {
+        self.items
+    }
+}
+
+/// Optimal multi-step k-NN over a candidate stream.
+///
+/// `refine(id, upper)` computes the exact distance of object `id`,
+/// allowed to abort (returning `None`) as soon as the distance provably
+/// exceeds `upper` — pruned refinements are counted by this core. The
+/// loop pulls candidates while the filter lower bound stays below the
+/// running k-th exact distance; the terminating candidate (and, for a
+/// finite stream, nothing else) is dismissed without refinement and
+/// counted as a saved refinement.
+pub fn multi_step_knn<S, F>(
+    source: &mut S,
+    kq: usize,
+    ctx: &QueryContext,
+    mut refine: F,
+) -> Vec<(u64, f64)>
+where
+    S: CandidateSource + ?Sized,
+    F: FnMut(u64, f64) -> Option<f64>,
+{
+    let mut result = TopK::new(kq);
+    while let Some((id, lower)) = source.next_candidate() {
+        ctx.count_filter_steps(1);
+        ctx.count_candidates(1);
+        if result.is_full() && lower >= result.bound() {
+            // No unexamined object can improve the result: every later
+            // candidate has an even larger lower bound.
+            ctx.count_refinements_saved(1);
+            break;
+        }
+        let upper = result.bound();
+        ctx.count_refinements(1);
+        match refine(id, upper) {
+            Some(d) => result.push(id, d),
+            None => ctx.count_pruned(1), // provably beyond the k-th best
+        }
+    }
+    result.into_vec()
+}
+
+/// Optimal multi-step ε-range over a candidate stream: refine while the
+/// filter lower bound is within ε, keep exact distances ≤ ε. Results
+/// ascending by distance.
+pub fn multi_step_range<S, F>(
+    source: &mut S,
+    eps: f64,
+    ctx: &QueryContext,
+    mut refine: F,
+) -> Vec<(u64, f64)>
+where
+    S: CandidateSource + ?Sized,
+    F: FnMut(u64, f64) -> Option<f64>,
+{
+    let mut out: Vec<(u64, f64)> = Vec::new();
+    while let Some((id, lower)) = source.next_candidate() {
+        ctx.count_filter_steps(1);
+        ctx.count_candidates(1);
+        if lower > eps {
+            ctx.count_refinements_saved(1);
+            break;
+        }
+        ctx.count_refinements(1);
+        match refine(id, eps) {
+            Some(d) if d <= eps => out.push((id, d)),
+            Some(_) => {}
+            None => ctx.count_pruned(1),
+        }
+    }
+    out.sort_by(|a, b| a.1.total_cmp(&b.1));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vsim_index::SortedScan;
+
+    #[test]
+    fn topk_keeps_smallest_and_breaks_ties_by_insertion() {
+        let mut t = TopK::new(3);
+        assert!(t.is_empty());
+        assert_eq!(t.bound(), f64::INFINITY);
+        for (id, d) in [(1, 5.0), (2, 1.0), (3, 3.0), (4, 1.0), (5, 0.5)] {
+            t.push(id, d);
+        }
+        assert!(t.is_full());
+        assert_eq!(t.bound(), 1.0);
+        // id 2 precedes id 4 at distance 1.0 (stable ties).
+        assert_eq!(t.into_vec(), vec![(5, 0.5), (2, 1.0), (4, 1.0)]);
+    }
+
+    #[test]
+    fn topk_zero_k_stays_empty() {
+        let mut t = TopK::new(0);
+        t.push(1, 1.0);
+        assert_eq!(t.len(), 0);
+        assert!(t.into_vec().is_empty());
+    }
+
+    #[test]
+    fn knn_stops_at_first_unbeatable_lower_bound() {
+        // Lower bounds equal exact distances: the stream IS the answer,
+        // so exactly kq refinements happen plus one saved step.
+        let mut src = SortedScan::new((0..100u64).map(|i| (i, i as f64)).collect());
+        let ctx = QueryContext::ephemeral();
+        let got = multi_step_knn(&mut src, 5, &ctx, |id, _| Some(id as f64));
+        assert_eq!(got.len(), 5);
+        assert_eq!(got[4], (4, 4.0));
+        let s = ctx.stats(std::time::Duration::ZERO);
+        assert_eq!(s.refinements, 5);
+        assert_eq!(s.filter_steps, 6, "5 refined + 1 terminating pull");
+        assert_eq!(s.refinements_saved, 1);
+        assert_eq!(s.pruned, 0);
+    }
+
+    #[test]
+    fn knn_pruned_refinements_do_not_enter_result() {
+        let mut src = SortedScan::new((0..10u64).map(|i| (i, 0.0)).collect());
+        let ctx = QueryContext::ephemeral();
+        // Exact distance = id; pretend the kernel prunes odd ids once a
+        // bound exists (their distance would exceed it anyway).
+        let got = multi_step_knn(&mut src, 3, &ctx, |id, upper| {
+            let d = id as f64;
+            if d > upper {
+                None
+            } else {
+                Some(d)
+            }
+        });
+        assert_eq!(got, vec![(0, 0.0), (1, 1.0), (2, 2.0)]);
+        let s = ctx.stats(std::time::Duration::ZERO);
+        assert_eq!(s.refinements, 10, "all lower bounds were 0: nothing terminates early");
+        assert_eq!(s.pruned, 7);
+    }
+
+    #[test]
+    fn range_refines_only_within_eps() {
+        let mut src = SortedScan::new((0..50u64).map(|i| (i, i as f64 * 0.5)).collect());
+        let ctx = QueryContext::ephemeral();
+        let got = multi_step_range(&mut src, 3.0, &ctx, |id, _| Some(id as f64 * 0.5));
+        // lower = exact here: ids 0..=6 have distance ≤ 3.0.
+        assert_eq!(got.len(), 7);
+        let s = ctx.stats(std::time::Duration::ZERO);
+        assert_eq!(s.refinements, 7);
+        assert_eq!(s.refinements_saved, 1);
+    }
+
+    #[test]
+    fn exhausted_stream_terminates_without_saved_refinement() {
+        let mut src = SortedScan::new((0..3u64).map(|i| (i, i as f64)).collect());
+        let ctx = QueryContext::ephemeral();
+        let got = multi_step_knn(&mut src, 10, &ctx, |id, _| Some(id as f64));
+        assert_eq!(got.len(), 3);
+        let s = ctx.stats(std::time::Duration::ZERO);
+        assert_eq!(s.refinements_saved, 0, "stream ended before the bound fired");
+    }
+}

@@ -2,6 +2,7 @@
 //! whole heap file is read and the exact minimal matching distance is
 //! evaluated against every object.
 
+use crate::multistep::TopK;
 use crate::stats::QueryStats;
 use std::time::Instant;
 use vsim_index::{QueryContext, VectorSetStore};
@@ -42,16 +43,14 @@ impl SequentialScanIndex {
 
     /// [`knn`](Self::knn) against a caller-supplied context.
     pub fn knn_with(&self, q: &VectorSet, kq: usize, ctx: &QueryContext) -> Vec<(u64, f64)> {
-        let mut result: Vec<(u64, f64)> = Vec::new();
+        let mut result = TopK::new(kq);
         for (id, set) in self.store.scan(ctx) {
             let d = self.mm.distance_value(q, &set);
             ctx.count_candidates(1);
             ctx.count_refinements(1);
-            result.push((id, d));
+            result.push(id, d);
         }
-        result.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
-        result.truncate(kq);
-        result
+        result.into_vec()
     }
 
     /// Invariant k-NN (Section 3.2): one pass over the file, evaluating
@@ -76,7 +75,7 @@ impl SequentialScanIndex {
         kq: usize,
         ctx: &QueryContext,
     ) -> Vec<(u64, f64)> {
-        let mut result: Vec<(u64, f64)> = Vec::new();
+        let mut result = TopK::new(kq);
         for (id, set) in self.store.scan(ctx) {
             let mut d = f64::INFINITY;
             for q in variants {
@@ -84,11 +83,9 @@ impl SequentialScanIndex {
                 ctx.count_refinements(1);
             }
             ctx.count_candidates(1);
-            result.push((id, d));
+            result.push(id, d);
         }
-        result.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
-        result.truncate(kq);
-        result
+        result.into_vec()
     }
 
     /// ε-range by exhaustive evaluation.
@@ -111,7 +108,7 @@ impl SequentialScanIndex {
                 result.push((id, d));
             }
         }
-        result.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        result.sort_by(|a, b| a.1.total_cmp(&b.1));
         result
     }
 }

@@ -1,0 +1,105 @@
+//! Property tests for the `CandidateSource` contract: every access path
+//! — X-tree cursor, M-tree ranking, sorted sequential scan — must emit
+//! candidates in nondecreasing filter-distance order and cover exactly
+//! the id set a full scan would produce. Checked for the paper's two
+//! feature models: 6-d extended centroids of vector sets (via
+//! `FilterRefineIndex::with_candidate_source`) and the `6k`-d
+//! one-vector cover-sequence features (the raw X-tree cursor).
+
+use proptest::prelude::*;
+use rand::prelude::*;
+use std::collections::BTreeSet;
+use vsim_index::{cursor, QueryContext, XTree};
+use vsim_query::{AccessPath, FilterRefineIndex};
+use vsim_setdist::VectorSet;
+
+fn random_sets(n: usize, k: usize, seed: u64) -> Vec<VectorSet> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let card = rng.gen_range(1..=k);
+            let mut s = VectorSet::new(6);
+            for _ in 0..card {
+                let v: Vec<f64> = (0..6).map(|_| rng.gen_range(0.05..1.0)).collect();
+                s.push(&v);
+            }
+            s
+        })
+        .collect()
+}
+
+const PATHS: [AccessPath; 3] =
+    [AccessPath::XTreeCursor, AccessPath::MTreeCursor, AccessPath::SeqScan];
+
+proptest! {
+    /// Vector-set model: each access path streams every id exactly once,
+    /// in nondecreasing lower-bound order, and all three paths emit
+    /// bit-identical bounds per id.
+    #[test]
+    fn all_paths_stream_the_full_id_set_in_order(
+        n in 1usize..120,
+        k in 1usize..5,
+        seed in 0u64..1000,
+        qseed in 0u64..1000,
+    ) {
+        let sets = random_sets(n, k, seed);
+        let idx = FilterRefineIndex::build(&sets, 6, k);
+        let q = &random_sets(1, k, qseed.wrapping_add(7777))[0];
+        let cq = vsim_setdist::extended_centroid(q, k, &[0.0; 6]);
+
+        let mut streams = Vec::new();
+        for path in PATHS {
+            let ctx = QueryContext::ephemeral();
+            let drained = idx.with_candidate_source(path, &cq, &ctx, |src| cursor::drain(src));
+            prop_assert_eq!(drained.len(), n, "{} must emit every object", path);
+            for w in drained.windows(2) {
+                prop_assert!(
+                    w[0].1 <= w[1].1,
+                    "{} emitted a decreasing pair: {:?} then {:?}", path, w[0], w[1]
+                );
+            }
+            let ids: BTreeSet<u64> = drained.iter().map(|(id, _)| *id).collect();
+            prop_assert_eq!(ids, (0..n as u64).collect::<BTreeSet<u64>>(), "{} id coverage", path);
+            streams.push(drained);
+        }
+
+        // Bounds are bit-identical across paths (per id — tie order may
+        // legitimately differ between a heap traversal and a sort).
+        let mut by_id = streams[0].clone();
+        by_id.sort_by_key(|(id, _)| *id);
+        for other in &streams[1..] {
+            let mut o = other.clone();
+            o.sort_by_key(|(id, _)| *id);
+            for (a, b) in by_id.iter().zip(&o) {
+                prop_assert_eq!(a.0, b.0);
+                prop_assert_eq!(a.1.to_bits(), b.1.to_bits(), "bound mismatch for id {}", a.0);
+            }
+        }
+    }
+
+    /// One-vector model: the raw X-tree cursor over `6k`-d cover
+    /// features obeys the same contract at high dimensionality.
+    #[test]
+    fn one_vector_xtree_cursor_obeys_the_contract(
+        n in 1usize..80,
+        seed in 0u64..1000,
+    ) {
+        let dim = 42; // 6 coordinates x 7 covers, the paper's setting
+        let mut rng = StdRng::seed_from_u64(seed);
+        let vectors: Vec<Vec<f64>> =
+            (0..n).map(|_| (0..dim).map(|_| rng.gen_range(0.0..1.0)).collect()).collect();
+        let mut tree = XTree::new(dim);
+        for (i, v) in vectors.iter().enumerate() {
+            tree.insert(v, i as u64);
+        }
+        let q: Vec<f64> = (0..dim).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let ctx = QueryContext::ephemeral();
+        let drained = cursor::drain(&mut tree.nn_iter(&q, &ctx));
+        prop_assert_eq!(drained.len(), n);
+        for w in drained.windows(2) {
+            prop_assert!(w[0].1 <= w[1].1, "decreasing pair {:?} {:?}", w[0], w[1]);
+        }
+        let ids: BTreeSet<u64> = drained.iter().map(|(id, _)| *id).collect();
+        prop_assert_eq!(ids, (0..n as u64).collect::<BTreeSet<u64>>());
+    }
+}

@@ -172,6 +172,22 @@ impl MatchingEngine {
         }
     }
 
+    /// [`MatchingEngine::distance_bounded`] with the weight table of
+    /// *one* side precomputed — the multi-step engine's shape: the query
+    /// set is prepared once per query, while each candidate streams in
+    /// from storage exactly once and is never worth preparing.
+    pub fn distance_bounded_half(
+        &mut self,
+        x: &PreparedSet,
+        y: &VectorSet,
+        upper: f64,
+    ) -> BoundedDistance {
+        match self.solve(&x.set, Some(&x.weights), y, None, self.internal_upper(upper)) {
+            Some(d) => BoundedDistance::Exact(d),
+            None => BoundedDistance::Pruned,
+        }
+    }
+
     /// Translate a bound on the *finished* distance into a bound on the
     /// raw matched sum (the permutation model takes a square root at the
     /// end, Section 4.2).
@@ -355,6 +371,17 @@ mod tests {
                 let px = e.prepare(x.clone());
                 let py = e.prepare(y.clone());
                 match e.distance_bounded_prepared(&px, &py, upper) {
+                    BoundedDistance::Exact(d) => prop_assert_eq!(d.to_bits(), exact.to_bits()),
+                    BoundedDistance::Pruned => prop_assert!(exact > upper),
+                }
+
+                // Half-prepared variant (query prepared, candidate raw)
+                // agrees bit-for-bit in both argument orders.
+                match e.distance_bounded_half(&px, &y, upper) {
+                    BoundedDistance::Exact(d) => prop_assert_eq!(d.to_bits(), exact.to_bits()),
+                    BoundedDistance::Pruned => prop_assert!(exact > upper),
+                }
+                match e.distance_bounded_half(&py, &x, upper) {
                     BoundedDistance::Exact(d) => prop_assert_eq!(d.to_bits(), exact.to_bits()),
                     BoundedDistance::Pruned => prop_assert!(exact > upper),
                 }

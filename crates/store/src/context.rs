@@ -71,6 +71,16 @@ impl QueryContext {
         self.tracker.count_pruned(n);
     }
 
+    /// Count `n` candidates pulled from an incremental candidate stream.
+    pub fn count_filter_steps(&self, n: u64) {
+        self.tracker.count_filter_steps(n);
+    }
+
+    /// Count `n` stream candidates dismissed by the filter bound alone.
+    pub fn count_refinements_saved(&self, n: u64) {
+        self.tracker.count_refinements_saved(n);
+    }
+
     /// Freeze this context's counters into per-query stats.
     pub fn stats(&self, cpu: Duration) -> QueryStats {
         QueryStats::from_snapshot(cpu, self.tracker.snapshot())

@@ -23,6 +23,13 @@ pub struct QueryStats {
     /// Refinements aborted early by the bounded matching kernel (a
     /// subset of `refinements`).
     pub pruned: u64,
+    /// Candidates pulled from an incremental candidate stream (one
+    /// filter ranking step per candidate; the multi-step engine's
+    /// measure of how deep into the ranking a query had to look).
+    pub filter_steps: u64,
+    /// Stream candidates dismissed by the filter lower bound alone —
+    /// pulled but never refined with the exact distance.
+    pub refinements_saved: u64,
     /// Index-level distance-function evaluations.
     pub distance_evals: u64,
 }
@@ -36,6 +43,8 @@ impl QueryStats {
             candidates: snap.candidates,
             refinements: snap.refinements,
             pruned: snap.pruned,
+            filter_steps: snap.filter_steps,
+            refinements_saved: snap.refinements_saved,
             distance_evals: snap.distance_evals,
         }
     }
@@ -58,6 +67,8 @@ impl QueryStats {
         self.candidates += other.candidates;
         self.refinements += other.refinements;
         self.pruned += other.pruned;
+        self.filter_steps += other.filter_steps;
+        self.refinements_saved += other.refinements_saved;
         self.distance_evals += other.distance_evals;
     }
 }
@@ -87,6 +98,8 @@ mod tests {
             candidates: 2,
             refinements: 1,
             pruned: 1,
+            filter_steps: 3,
+            refinements_saved: 2,
             distance_evals: 9,
         };
         let b = a;
@@ -96,6 +109,8 @@ mod tests {
         assert_eq!(a.cache.hits, 6);
         assert_eq!(a.candidates, 4);
         assert_eq!(a.pruned, 2);
+        assert_eq!(a.filter_steps, 6);
+        assert_eq!(a.refinements_saved, 4);
         assert_eq!(a.distance_evals, 18);
     }
 }

@@ -44,6 +44,8 @@ pub struct IoTracker {
     candidates: AtomicU64,
     refinements: AtomicU64,
     pruned: AtomicU64,
+    filter_steps: AtomicU64,
+    refinements_saved: AtomicU64,
 }
 
 impl IoTracker {
@@ -107,6 +109,22 @@ impl IoTracker {
         self.pruned.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Count `n` candidates drawn from an incremental candidate stream
+    /// (one ranking step of the filter's access path per candidate).
+    #[inline]
+    pub fn count_filter_steps(&self, n: u64) {
+        self.filter_steps.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Count `n` stream candidates dismissed by their filter lower
+    /// bound alone — pulled from the stream but never handed to the
+    /// exact `dist_mm` kernel (unlike `pruned`, which counts kernel
+    /// runs aborted mid-solve).
+    #[inline]
+    pub fn count_refinements_saved(&self, n: u64) {
+        self.refinements_saved.fetch_add(n, Ordering::Relaxed);
+    }
+
     pub fn snapshot(&self) -> TrackerSnapshot {
         TrackerSnapshot {
             io: IoSnapshot {
@@ -122,6 +140,8 @@ impl IoTracker {
             candidates: self.candidates.load(Ordering::Relaxed),
             refinements: self.refinements.load(Ordering::Relaxed),
             pruned: self.pruned.load(Ordering::Relaxed),
+            filter_steps: self.filter_steps.load(Ordering::Relaxed),
+            refinements_saved: self.refinements_saved.load(Ordering::Relaxed),
         }
     }
 
@@ -135,6 +155,8 @@ impl IoTracker {
         self.candidates.store(0, Ordering::Relaxed);
         self.refinements.store(0, Ordering::Relaxed);
         self.pruned.store(0, Ordering::Relaxed);
+        self.filter_steps.store(0, Ordering::Relaxed);
+        self.refinements_saved.store(0, Ordering::Relaxed);
     }
 }
 
@@ -148,6 +170,11 @@ pub struct TrackerSnapshot {
     pub refinements: u64,
     /// Refinements aborted early under a k-NN / range bound.
     pub pruned: u64,
+    /// Candidates pulled from an incremental candidate stream.
+    pub filter_steps: u64,
+    /// Stream candidates dismissed by the filter bound without an exact
+    /// refinement.
+    pub refinements_saved: u64,
 }
 
 #[cfg(test)]
@@ -167,11 +194,14 @@ mod tests {
         t.count_candidates(2);
         t.count_refinements(1);
         t.count_pruned(1);
+        t.count_filter_steps(5);
+        t.count_refinements_saved(4);
         let s = t.snapshot();
         assert_eq!(s.io, IoSnapshot { pages: 3, bytes: 1000 });
         assert_eq!(s.cache, CacheCounts { hits: 1, misses: 2, evictions: 1 });
         assert_eq!(s.cache.accesses(), 3);
         assert_eq!((s.distance_evals, s.candidates, s.refinements, s.pruned), (7, 2, 1, 1));
+        assert_eq!((s.filter_steps, s.refinements_saved), (5, 4));
         t.reset();
         assert_eq!(t.snapshot(), TrackerSnapshot::default());
     }

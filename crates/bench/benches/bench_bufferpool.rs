@@ -26,6 +26,7 @@ fn random_sets(n: usize, k: usize, seed: u64) -> Vec<VectorSet> {
 }
 
 /// Raw pool overhead: hit and miss paths on a synthetic page stream.
+// lint-allow: storage-boundary this benchmark measures BufferPool itself, below the QueryContext layer
 fn bench_pool_access(c: &mut Criterion) {
     let mut g = c.benchmark_group("bufferpool_access");
     g.sample_size(30);

@@ -53,7 +53,7 @@ fn main() {
         let mut prec_total = 0usize;
         for i in 0..n {
             let mut order: Vec<usize> = (0..n).filter(|&j| j != i).collect();
-            order.sort_by(|&a, &b| d[i][a].partial_cmp(&d[i][b]).unwrap());
+            order.sort_by(|&a, &b| d[i][a].total_cmp(&d[i][b]));
             if labels[order[0]] == labels[i] {
                 acc += 1;
             }

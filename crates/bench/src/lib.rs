@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # vsim-bench — the experiment harness
 //!
 //! One binary per table/figure of the paper's evaluation (Section 5):

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # vsim-core — similarity search on voxelized CAD objects
 //!
 //! A faithful reproduction of *"Using Sets of Feature Vectors for

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # vsim-datagen — synthetic CAD part datasets
 //!
 //! The paper evaluates on two proprietary datasets: ~200 parts from a

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # vsim-features — feature transforms for voxelized CAD objects
 //!
 //! Section 3 of the paper adapts three similarity models to voxelized

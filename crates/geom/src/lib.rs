@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # vsim-geom — 3-D geometry substrate
 //!
 //! Foundation layer for the voxelized-CAD similarity-search library:

@@ -156,7 +156,7 @@ impl Mat3 {
         }
         let mut pairs =
             [(a.rows[0][0], v.col(0)), (a.rows[1][1], v.col(1)), (a.rows[2][2], v.col(2))];
-        pairs.sort_by(|x, y| y.0.partial_cmp(&x.0).unwrap());
+        pairs.sort_by(|x, y| y.0.total_cmp(&x.0));
         ([pairs[0].0, pairs[1].0, pairs[2].0], Mat3::from_cols(pairs[0].1, pairs[1].1, pairs[2].1))
     }
 }

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # vsim-index — access methods with simulated I/O accounting
 //!
 //! The paper's efficiency experiment (Table 2) compares three access

@@ -361,7 +361,7 @@ impl<T: Clone> MTree<T> {
                         let d = self.dq(query, &e.obj, ctx);
                         if d < worst || result.len() < k {
                             result.push((e.id, d));
-                            result.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+                            result.sort_by(|a, b| a.1.total_cmp(&b.1));
                             result.truncate(k);
                             if result.len() == k {
                                 worst = result[k - 1].1;
@@ -428,7 +428,7 @@ impl PartialEq for MRankEntry {
 impl Eq for MRankEntry {}
 impl Ord for MRankEntry {
     fn cmp(&self, o: &Self) -> Ordering {
-        o.dist.partial_cmp(&self.dist).unwrap_or(Ordering::Equal)
+        o.dist.total_cmp(&self.dist)
     }
 }
 impl PartialOrd for MRankEntry {
@@ -484,7 +484,7 @@ impl PartialEq for MHeapEntry {
 impl Eq for MHeapEntry {}
 impl Ord for MHeapEntry {
     fn cmp(&self, o: &Self) -> Ordering {
-        o.dist.partial_cmp(&self.dist).unwrap_or(Ordering::Equal)
+        o.dist.total_cmp(&self.dist)
     }
 }
 impl PartialOrd for MHeapEntry {
@@ -559,7 +559,7 @@ mod tests {
             let got = t.knn(&q, 7, &ctx);
             let mut all: Vec<(u64, f64)> =
                 pts.iter().enumerate().map(|(i, p)| (i as u64, euclid2(p, &q))).collect();
-            all.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+            all.sort_by(|a, b| a.1.total_cmp(&b.1));
             assert_eq!(got.len(), 7);
             for (g, w) in got.iter().zip(all.iter()) {
                 assert!((g.1 - w.1).abs() < 1e-9);
@@ -703,7 +703,7 @@ mod tests {
         let got = t.knn(&q, 5, &ctx);
         let mut all: Vec<(u64, f64)> =
             pts.iter().enumerate().map(|(i, p)| (i as u64, l1(p, &q))).collect();
-        all.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        all.sort_by(|a, b| a.1.total_cmp(&b.1));
         for (g, w) in got.iter().zip(all.iter()) {
             assert!((g.1 - w.1).abs() < 1e-9);
         }

@@ -184,9 +184,7 @@ impl XTree {
             if idx.len() <= leaf_size || axis >= dim.min(3) {
                 return;
             }
-            idx.sort_by(|&a, &b| {
-                points[a][axis].partial_cmp(&points[b][axis]).unwrap_or(Ordering::Equal)
-            });
+            idx.sort_by(|&a, &b| points[a][axis].total_cmp(&points[b][axis]));
             let leaves = idx.len().div_ceil(leaf_size);
             let remaining = dim.min(3) - axis; // axes left including this one
             let slabs = (leaves as f64).powf(1.0 / remaining as f64).ceil() as usize;
@@ -339,9 +337,7 @@ impl XTree {
             self.nodes[node].points.chunks_exact(dim).map(|p| (p.to_vec(), p.to_vec())).collect();
         let (axis, split_at, _crossing) = choose_split(&rects, self.leaf_cap, n_entries);
         let mut order: Vec<usize> = (0..n_entries).collect();
-        order.sort_by(|&a, &b| {
-            rects[a].0[axis].partial_cmp(&rects[b].0[axis]).unwrap_or(Ordering::Equal)
-        });
+        order.sort_by(|&a, &b| rects[a].0[axis].total_cmp(&rects[b].0[axis]));
 
         let old_points = std::mem::take(&mut self.nodes[node].points);
         let old_ids = std::mem::take(&mut self.nodes[node].ids);
@@ -382,9 +378,9 @@ impl XTree {
         }
         let mut order: Vec<usize> = (0..n_entries).collect();
         order.sort_by(|&a, &b| {
-            (rects[a].0[axis], rects[a].1[axis])
-                .partial_cmp(&(rects[b].0[axis], rects[b].1[axis]))
-                .unwrap_or(Ordering::Equal)
+            rects[a].0[axis]
+                .total_cmp(&rects[b].0[axis])
+                .then_with(|| rects[a].1[axis].total_cmp(&rects[b].1[axis]))
         });
         let old_children = std::mem::take(&mut self.nodes[node].children);
         let mut right = Node::new(false, dim);
@@ -500,7 +496,7 @@ impl PartialEq for HeapEntry {
 impl Eq for HeapEntry {}
 impl Ord for HeapEntry {
     fn cmp(&self, o: &Self) -> Ordering {
-        o.dist.partial_cmp(&self.dist).unwrap_or(Ordering::Equal)
+        o.dist.total_cmp(&self.dist)
     }
 }
 impl PartialOrd for HeapEntry {
@@ -600,9 +596,9 @@ fn choose_split(
     for axis in 0..dim {
         let mut order: Vec<usize> = (0..n_entries).collect();
         order.sort_by(|&a, &b| {
-            (rects[a].0[axis], rects[a].1[axis])
-                .partial_cmp(&(rects[b].0[axis], rects[b].1[axis]))
-                .unwrap_or(Ordering::Equal)
+            rects[a].0[axis]
+                .total_cmp(&rects[b].0[axis])
+                .then_with(|| rects[a].1[axis].total_cmp(&rects[b].1[axis]))
         });
         let mut margin_sum = 0.0;
         for split_at in lo..=hi {
@@ -678,7 +674,7 @@ mod tests {
                 (i as u64, d2.sqrt())
             })
             .collect();
-        all.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        all.sort_by(|a, b| a.1.total_cmp(&b.1));
         all.truncate(k);
         all
     }

@@ -1,0 +1,216 @@
+#![forbid(unsafe_code)]
+//! # vsim-lint — workspace invariants, machine-enforced
+//!
+//! A self-contained static-analysis pass in the style of rustc's
+//! `tools/tidy`: it walks every `.rs` file in the workspace (line
+//! oriented, no `syn`, fully offline) and enforces the hand-maintained
+//! invariants established by the storage-engine, matching-kernel and
+//! multi-step-planner PRs — NaN-safe orderings on query paths, the
+//! allocation-free matching kernel, the `QueryContext` storage
+//! boundary, counter parity across the stats plumbing, unsafe hygiene,
+//! and experiment documentation. See `DESIGN.md` §10 for each rule's
+//! rationale and [`rules`] for the implementations.
+//!
+//! Violations can be suppressed with an inline waiver comment whose
+//! body is exactly `lint-allow:` followed by a rule id and a mandatory
+//! justification; written on its own line directly above an `fn`, the
+//! waiver covers the whole function. Scope tags (`lint-scope:` plus a
+//! scope name) opt a file into stricter rule sets — `no_alloc` marks
+//! the matching-kernel files whose steady-state paths must not
+//! allocate.
+//!
+//! Three frontends share this engine: the `vsim-lint` binary
+//! (`--list-rules`, `--json`), the `workspace_clean` integration test
+//! (so `cargo test` is a tier-1 gate), and a CI step with a seeded
+//! negative smoke check.
+
+pub mod rules;
+pub mod source;
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+pub use source::SourceFile;
+
+/// One rule violation.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    /// Workspace-relative path with `/` separators.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Rule id (kebab-case, stable — used in waivers).
+    pub rule: &'static str,
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}: {}", self.file, self.line, self.rule, self.message)
+    }
+}
+
+/// The analyzed workspace a lint run sees.
+pub struct Workspace {
+    pub files: Vec<SourceFile>,
+    /// `EXPERIMENTS.md`, when present at the root.
+    pub experiments_md: Option<String>,
+}
+
+impl Workspace {
+    /// Walk `root` and analyze every tracked `.rs` file. `vendor/` (the
+    /// offline stand-ins for external crates) and build output are not
+    /// ours to lint and are skipped.
+    pub fn load(root: &Path) -> Result<Workspace, String> {
+        let mut paths: Vec<PathBuf> = Vec::new();
+        for sub in ["crates", "tests", "examples"] {
+            let dir = root.join(sub);
+            if dir.is_dir() {
+                walk(&dir, &mut paths)?;
+            }
+        }
+        let mut files = Vec::with_capacity(paths.len());
+        for p in &paths {
+            let text = std::fs::read_to_string(p).map_err(|e| format!("{}: {e}", p.display()))?;
+            let rel = p
+                .strip_prefix(root)
+                .unwrap_or(p)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            files.push(SourceFile::new(&rel, &text));
+        }
+        let experiments_md = std::fs::read_to_string(root.join("EXPERIMENTS.md")).ok();
+        Ok(Workspace { files, experiments_md })
+    }
+
+    /// Build a workspace from in-memory sources — the fixture entry
+    /// point for rule tests.
+    pub fn from_sources(sources: &[(&str, &str)], experiments_md: Option<&str>) -> Workspace {
+        Workspace {
+            files: sources.iter().map(|(rel, text)| SourceFile::new(rel, text)).collect(),
+            experiments_md: experiments_md.map(str::to_owned),
+        }
+    }
+
+    /// The analyzed file at `rel`, if the workspace contains it.
+    pub fn file(&self, rel: &str) -> Option<&SourceFile> {
+        self.files.iter().find(|f| f.rel == rel)
+    }
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("{}: {e}", dir.display()))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default();
+        if path.is_dir() {
+            if name == "target" || name == "vendor" || name.starts_with('.') {
+                continue;
+            }
+            walk(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Run every rule over an analyzed workspace, apply waivers, and return
+/// the surviving diagnostics sorted by file, line and rule.
+pub fn check(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    for rule in rules::all() {
+        rule.check(ws, &mut diags);
+    }
+    diags.retain(|d| {
+        // The waiver validator must not be silenced by the thing it
+        // validates.
+        d.rule == rules::WAIVER_SYNTAX
+            || !ws.file(&d.file).is_some_and(|f| f.is_waived(d.rule, d.line))
+    });
+    diags.sort();
+    diags.dedup();
+    diags
+}
+
+/// Load the workspace at `root` and lint it.
+pub fn run(root: &Path) -> Result<Vec<Diagnostic>, String> {
+    Ok(check(&Workspace::load(root)?))
+}
+
+/// Render diagnostics as a JSON array (hand-rolled: the crate is
+/// dependency-free by design).
+pub fn render_json(diags: &[Diagnostic]) -> String {
+    fn esc(s: &str) -> String {
+        let mut out = String::with_capacity(s.len());
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+    let mut s = String::from("[\n");
+    for (i, d) in diags.iter().enumerate() {
+        s.push_str(&format!(
+            "  {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}{}\n",
+            esc(&d.file),
+            d.line,
+            d.rule,
+            esc(&d.message),
+            if i + 1 < diags.len() { "," } else { "" }
+        ));
+    }
+    s.push(']');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn waived_diagnostics_are_dropped_and_output_is_sorted() {
+        let ws = Workspace::from_sources(
+            &[(
+                "crates/demo/src/lib.rs",
+                "#![forbid(unsafe_code)]\n\
+                 fn b() {\n\
+                     let mut v = vec![(0u64, 0.0f64)];\n\
+                     v.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap()); // lint-allow: float-ordering fixture keys are finite\n\
+                     v.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());\n\
+                 }\n",
+            )],
+            None,
+        );
+        let diags = check(&ws);
+        assert_eq!(diags.len(), 1, "waived line suppressed, unwaived kept: {diags:?}");
+        assert_eq!(diags[0].line, 5);
+        assert_eq!(diags[0].rule, rules::FLOAT_ORDERING);
+    }
+
+    #[test]
+    fn json_rendering_escapes_and_lists() {
+        let diags = vec![Diagnostic {
+            file: "a.rs".into(),
+            line: 3,
+            rule: "float-ordering",
+            message: "say \"no\"".into(),
+        }];
+        let json = render_json(&diags);
+        assert!(json.contains("\"line\": 3"));
+        assert!(json.contains("say \\\"no\\\""));
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert_eq!(render_json(&[]), "[\n]");
+    }
+}

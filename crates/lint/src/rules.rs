@@ -1,0 +1,855 @@
+//! The rule set. Each rule guards an invariant introduced by an
+//! earlier PR; see DESIGN.md §10 for the full rationale table.
+
+use crate::source::{directive_words, find_word, SourceFile};
+use crate::{Diagnostic, Workspace};
+
+pub const FLOAT_ORDERING: &str = "float-ordering";
+pub const NO_ALLOC_KERNEL: &str = "no-alloc-kernel";
+pub const STORAGE_BOUNDARY: &str = "storage-boundary";
+pub const COUNTER_PARITY: &str = "counter-parity";
+pub const UNSAFE_HYGIENE: &str = "unsafe-hygiene";
+pub const EXPERIMENT_DOCS: &str = "experiment-docs";
+pub const WAIVER_SYNTAX: &str = "waiver-syntax";
+
+/// Rule ids a waiver may name. `waiver-syntax` is listed so a directive
+/// naming it parses, but the engine never suppresses it.
+pub const KNOWN_RULES: &[&str] = &[
+    FLOAT_ORDERING,
+    NO_ALLOC_KERNEL,
+    STORAGE_BOUNDARY,
+    COUNTER_PARITY,
+    UNSAFE_HYGIENE,
+    EXPERIMENT_DOCS,
+    WAIVER_SYNTAX,
+];
+
+/// Scope tags `lint-scope:` may declare.
+pub const KNOWN_SCOPES: &[&str] = &["no_alloc"];
+
+pub trait Rule {
+    fn id(&self) -> &'static str;
+    fn description(&self) -> &'static str;
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>);
+}
+
+/// Every rule, in the order they run.
+pub fn all() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(FloatOrdering),
+        Box::new(NoAllocKernel),
+        Box::new(StorageBoundary),
+        Box::new(CounterParity),
+        Box::new(UnsafeHygiene),
+        Box::new(ExperimentDocs),
+        Box::new(WaiverSyntax),
+    ]
+}
+
+fn diag(f: &SourceFile, line: usize, rule: &'static str, message: String) -> Diagnostic {
+    Diagnostic { file: f.rel.clone(), line, rule, message }
+}
+
+/// Byte index just past the `)` matching the `(` at `open`, scanning
+/// blanked code (so literal parens are already gone).
+fn skip_parens(code: &str, open: usize) -> Option<usize> {
+    let bytes = code.as_bytes();
+    debug_assert_eq!(bytes.get(open), Some(&b'('));
+    let mut depth = 0usize;
+    for (i, &b) in bytes.iter().enumerate().skip(open) {
+        match b {
+            b'(' => depth += 1,
+            b')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i + 1);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Number of top-level commas between the parens opening at `open`.
+fn toplevel_commas(code: &str, open: usize) -> usize {
+    let bytes = code.as_bytes();
+    let mut depth = 0usize;
+    let mut commas = 0usize;
+    for &b in bytes.iter().skip(open) {
+        match b {
+            b'(' | b'[' | b'{' => depth += 1,
+            b')' if depth == 1 => break,
+            b')' | b']' | b'}' => depth = depth.saturating_sub(1),
+            b',' if depth == 1 => commas += 1,
+            _ => {}
+        }
+    }
+    commas
+}
+
+fn skip_ws(code: &str, mut i: usize) -> usize {
+    let bytes = code.as_bytes();
+    while i < bytes.len() && (bytes[i] as char).is_ascii_whitespace() {
+        i += 1;
+    }
+    i
+}
+
+/// Whether the identifier-ish token at `at..at+len` starts at an
+/// identifier boundary (so `SmallVec::new` doesn't match `Vec::new`).
+fn starts_at_boundary(code: &str, at: usize) -> bool {
+    at == 0 || {
+        let c = code.as_bytes()[at - 1] as char;
+        !(c.is_ascii_alphanumeric() || c == '_')
+    }
+}
+
+/// Occurrences of `token` in `code` honouring a leading identifier
+/// boundary when the token starts with an identifier character.
+fn token_positions<'a>(code: &'a str, token: &'a str) -> impl Iterator<Item = usize> + 'a {
+    let needs_boundary =
+        token.chars().next().is_some_and(|c| c.is_ascii_alphanumeric() || c == '_');
+    let mut from = 0usize;
+    std::iter::from_fn(move || {
+        while from <= code.len() {
+            let rel = code[from..].find(token)?;
+            let at = from + rel;
+            from = at + token.len().max(1);
+            if !needs_boundary || starts_at_boundary(code, at) {
+                return Some(at);
+            }
+        }
+        None
+    })
+}
+
+/// The `{ … }` body (and the byte offset of its header) of the first
+/// item whose header contains `header` — good enough for the handful of
+/// store items L4 cross-references.
+fn item_body<'a>(code: &'a str, header: &str) -> Option<(usize, &'a str)> {
+    let at = code.find(header)?;
+    let open = at + code[at..].find('{')?;
+    let bytes = code.as_bytes();
+    let mut depth = 0usize;
+    for (i, &b) in bytes.iter().enumerate().skip(open) {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some((at, &code[open + 1..i]));
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// The word immediately before byte `at`, if any.
+fn word_before(code: &str, at: usize) -> Option<&str> {
+    let head = code[..at].trim_end();
+    let start = head.rfind(|c: char| !(c.is_ascii_alphanumeric() || c == '_')).map_or(0, |i| i + 1);
+    if start < head.len() {
+        Some(&head[start..])
+    } else {
+        None
+    }
+}
+
+// ---------------------------------------------------------------------
+// L1: float-ordering
+// ---------------------------------------------------------------------
+
+/// PR 2 made every query-path comparator NaN-safe with `total_cmp`
+/// after `partial_cmp(..).unwrap()` panicked on a NaN distance. This
+/// rule keeps the unsafe form from creeping back in.
+struct FloatOrdering;
+
+impl Rule for FloatOrdering {
+    fn id(&self) -> &'static str {
+        FLOAT_ORDERING
+    }
+
+    fn description(&self) -> &'static str {
+        "comparators must use total_cmp, never partial_cmp + unwrap/unwrap_or(Ordering)"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        for f in &ws.files {
+            for at in find_word(&f.code, "partial_cmp") {
+                // Definitions of `fn partial_cmp` (PartialOrd impls) are
+                // not call sites.
+                if word_before(&f.code, at) == Some("fn") {
+                    continue;
+                }
+                let after_name = skip_ws(&f.code, at + "partial_cmp".len());
+                if f.code.as_bytes().get(after_name) != Some(&b'(') {
+                    continue;
+                }
+                let Some(close) = skip_parens(&f.code, after_name) else { continue };
+                let rest = &f.code[skip_ws(&f.code, close)..];
+                let bad = ["unwrap()", "expect("]
+                    .iter()
+                    .any(|m| rest.strip_prefix('.').is_some_and(|r| r.trim_start().starts_with(m)))
+                    || ["unwrap_or(", "unwrap_or_else("].iter().any(|m| {
+                        rest.strip_prefix('.')
+                            .and_then(|r| r.trim_start().strip_prefix(m))
+                            .is_some_and(|args| args.contains("Ordering") || args.contains("Equal"))
+                    });
+                if bad {
+                    out.push(diag(
+                        f,
+                        f.line_of(at),
+                        FLOAT_ORDERING,
+                        "NaN-unsafe comparator: replace `partial_cmp(..).unwrap…` with \
+                         `total_cmp` (or waive with a reason)"
+                            .to_owned(),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// L2: no-alloc-kernel
+// ---------------------------------------------------------------------
+
+/// The matching kernel (PR 2) is allocation-free in steady state; a
+/// counting-allocator test proves it for the paths it exercises, and
+/// this rule covers new code paths at review time. Files opt in with
+/// `lint-scope: no_alloc`; constructors carry function-level waivers.
+struct NoAllocKernel;
+
+/// Files that must stay in the `no_alloc` scope (deleting the tag is
+/// itself a violation).
+const REQUIRED_NO_ALLOC: &[&str] =
+    &["crates/setdist/src/engine.rs", "crates/setdist/src/hungarian.rs"];
+
+const ALLOC_TOKENS: &[&str] =
+    &["Vec::new", "vec!", ".to_vec()", ".collect::<Vec", "Box::new", ".clone()", "String::new"];
+
+impl Rule for NoAllocKernel {
+    fn id(&self) -> &'static str {
+        NO_ALLOC_KERNEL
+    }
+
+    fn description(&self) -> &'static str {
+        "no allocation in files tagged `lint-scope: no_alloc` (the matching kernel)"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        for f in &ws.files {
+            let tagged = f.scopes.iter().any(|s| s == "no_alloc");
+            if REQUIRED_NO_ALLOC.contains(&f.rel.as_str()) && !tagged {
+                out.push(diag(
+                    f,
+                    1,
+                    NO_ALLOC_KERNEL,
+                    "kernel file must carry `lint-scope: no_alloc`".to_owned(),
+                ));
+            }
+            if !tagged {
+                continue;
+            }
+            for (i, line) in f.lines.iter().enumerate() {
+                if line.in_cfg_test {
+                    continue;
+                }
+                for tok in ALLOC_TOKENS {
+                    if token_positions(&line.code, tok).next().is_some() {
+                        out.push(diag(
+                            f,
+                            i + 1,
+                            NO_ALLOC_KERNEL,
+                            format!("`{tok}` allocates inside the no_alloc kernel scope"),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// L3: storage-boundary
+// ---------------------------------------------------------------------
+
+/// PR 1's layering rule: outside `crates/store`, page reads and cost
+/// accounting flow through `QueryContext` (3-argument `access`,
+/// 2-argument `pin`), never straight at a `BufferPool`/`IoTracker`.
+struct StorageBoundary;
+
+/// Tracker plumbing reserved for the buffer pool itself.
+const TRACKER_PLUMBING: &[&str] =
+    &[".record_pages(", ".record_hit(", ".record_miss(", ".record_eviction(", ".read_page("];
+
+impl Rule for StorageBoundary {
+    fn id(&self) -> &'static str {
+        STORAGE_BOUNDARY
+    }
+
+    fn description(&self) -> &'static str {
+        "outside crates/store, page access goes through QueryContext, not BufferPool/IoTracker"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        for f in &ws.files {
+            if f.rel.starts_with("crates/store/") {
+                continue;
+            }
+            for ctor in ["IoTracker::new", "IoTracker::default", "IoTracker {"] {
+                for at in token_positions(&f.code, ctor) {
+                    out.push(diag(
+                        f,
+                        f.line_of(at),
+                        STORAGE_BOUNDARY,
+                        "construct a QueryContext instead of a raw IoTracker".to_owned(),
+                    ));
+                }
+            }
+            for tok in TRACKER_PLUMBING {
+                for at in token_positions(&f.code, tok) {
+                    out.push(diag(
+                        f,
+                        f.line_of(at),
+                        STORAGE_BOUNDARY,
+                        format!(
+                            "`{}` is buffer-pool plumbing; record costs via QueryContext",
+                            &tok[1..tok.len() - 1]
+                        ),
+                    ));
+                }
+            }
+            // BufferPool::access/pin take a trailing `&IoTracker`; the
+            // QueryContext wrappers don't. Arg count tells them apart.
+            for (method, ctx_commas) in [("access", 2usize), ("pin", 1usize)] {
+                for at in find_word(&f.code, method) {
+                    if at == 0 || f.code.as_bytes()[at - 1] != b'.' {
+                        continue;
+                    }
+                    let open = skip_ws(&f.code, at + method.len());
+                    if f.code.as_bytes().get(open) != Some(&b'(') {
+                        continue;
+                    }
+                    if toplevel_commas(&f.code, open) > ctx_commas {
+                        out.push(diag(
+                            f,
+                            f.line_of(at),
+                            STORAGE_BOUNDARY,
+                            format!("direct BufferPool::{method} bypasses QueryContext accounting"),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// L4: counter-parity
+// ---------------------------------------------------------------------
+
+/// Both `pruned` (PR 2) and `filter_steps` (PR 3) initially landed
+/// half-threaded: counted on `IoTracker` but dropped on the floor
+/// before reaching `QueryStats`. This rule cross-references the three
+/// store files so a new counter must be wired end to end.
+struct CounterParity;
+
+const TRACKER_RS: &str = "crates/store/src/tracker.rs";
+const STATS_RS: &str = "crates/store/src/stats.rs";
+const CONTEXT_RS: &str = "crates/store/src/context.rs";
+
+impl Rule for CounterParity {
+    fn id(&self) -> &'static str {
+        COUNTER_PARITY
+    }
+
+    fn description(&self) -> &'static str {
+        "every IoTracker counter is threaded through snapshot/reset, QueryStats and QueryContext"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        let Some(tracker) = ws.file(TRACKER_RS) else { return };
+        let stats = ws.file(STATS_RS);
+        let context = ws.file(CONTEXT_RS);
+
+        let Some((_, tracker_body)) = item_body(&tracker.code, "struct IoTracker") else {
+            return;
+        };
+        let fields: Vec<&str> = tracker_body
+            .lines()
+            .filter_map(|l| l.trim().trim_end_matches(',').strip_suffix(": AtomicU64"))
+            .map(|name| name.trim().trim_start_matches("pub ").trim())
+            .collect();
+
+        let snapshot_body = item_body(&tracker.code, "fn snapshot").map(|(_, b)| b);
+        let reset_body = item_body(&tracker.code, "fn reset").map(|(_, b)| b);
+        for field in &fields {
+            let at = tracker.code.find(&format!("{field}: AtomicU64")).unwrap_or(0);
+            let line = tracker.line_of(at);
+            for (body, what) in [(snapshot_body, "snapshot()"), (reset_body, "reset()")] {
+                if body.is_some_and(|b| find_word(b, field).next().is_none()) {
+                    out.push(diag(
+                        tracker,
+                        line,
+                        COUNTER_PARITY,
+                        format!("IoTracker field `{field}` is missing from {what}"),
+                    ));
+                }
+            }
+        }
+
+        // Every `count_X` accessor must surface `X` all the way to
+        // QueryStats and the QueryContext forwarders.
+        let stats_struct = stats.and_then(|s| item_body(&s.code, "struct QueryStats"));
+        let from_snap = stats.and_then(|s| item_body(&s.code, "fn from_snapshot"));
+        let accumulate = stats.and_then(|s| item_body(&s.code, "fn accumulate"));
+        let snap_struct = item_body(&tracker.code, "struct TrackerSnapshot");
+        for at in token_positions(&tracker.code, "pub fn count_") {
+            let name_start = at + "pub fn ".len();
+            let rest = &tracker.code[name_start..];
+            let name_end =
+                rest.find(|c: char| !(c.is_ascii_alphanumeric() || c == '_')).unwrap_or(rest.len());
+            let method = &rest[..name_end];
+            let counter = &method["count_".len()..];
+            let line = tracker.line_of(at);
+            let mut missing: Vec<&str> = Vec::new();
+            if snap_struct.as_ref().is_some_and(|(_, b)| find_word(b, counter).next().is_none()) {
+                missing.push("TrackerSnapshot");
+            }
+            if stats_struct.as_ref().is_some_and(|(_, b)| find_word(b, counter).next().is_none()) {
+                missing.push("QueryStats");
+            }
+            if from_snap.as_ref().is_some_and(|(_, b)| find_word(b, counter).next().is_none()) {
+                missing.push("QueryStats::from_snapshot");
+            }
+            if accumulate.as_ref().is_some_and(|(_, b)| find_word(b, counter).next().is_none()) {
+                missing.push("QueryStats::accumulate");
+            }
+            if context.is_some_and(|c| !c.code.contains(&format!("fn {method}"))) {
+                missing.push("QueryContext");
+            }
+            if !missing.is_empty() {
+                out.push(diag(
+                    tracker,
+                    line,
+                    COUNTER_PARITY,
+                    format!("counter `{counter}` is not threaded through {}", missing.join(", ")),
+                ));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// L5: unsafe-hygiene
+// ---------------------------------------------------------------------
+
+/// Unsafe stays auditable: each `unsafe` keyword carries a `SAFETY:`
+/// comment, and crates that need none say so with
+/// `#![forbid(unsafe_code)]` so a future block can't land silently.
+struct UnsafeHygiene;
+
+impl Rule for UnsafeHygiene {
+    fn id(&self) -> &'static str {
+        UNSAFE_HYGIENE
+    }
+
+    fn description(&self) -> &'static str {
+        "`unsafe` requires a SAFETY: comment; unsafe-free crates declare forbid(unsafe_code)"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        let mut unsafe_crates: Vec<&str> = Vec::new();
+        for f in &ws.files {
+            let mut file_has_unsafe = false;
+            for (i, line) in f.lines.iter().enumerate() {
+                if find_word(&line.code, "unsafe").next().is_none() {
+                    continue;
+                }
+                file_has_unsafe = true;
+                if !f.comment_block_contains(i + 1, "SAFETY:") {
+                    out.push(diag(
+                        f,
+                        i + 1,
+                        UNSAFE_HYGIENE,
+                        "`unsafe` without a `// SAFETY:` comment on or above it".to_owned(),
+                    ));
+                }
+            }
+            if file_has_unsafe {
+                if let Some(name) = src_crate(&f.rel) {
+                    unsafe_crates.push(name);
+                }
+            }
+        }
+        for f in &ws.files {
+            let Some(name) = src_crate(&f.rel) else { continue };
+            if f.rel != format!("crates/{name}/src/lib.rs") {
+                continue;
+            }
+            if !unsafe_crates.contains(&name) && !f.code.contains("forbid(unsafe_code)") {
+                out.push(diag(
+                    f,
+                    1,
+                    UNSAFE_HYGIENE,
+                    format!("crate `{name}` uses no unsafe: declare #![forbid(unsafe_code)]"),
+                ));
+            }
+        }
+    }
+}
+
+/// `crates/<name>/src/…` → `<name>`.
+fn src_crate(rel: &str) -> Option<&str> {
+    let rest = rel.strip_prefix("crates/")?;
+    let (name, tail) = rest.split_once('/')?;
+    tail.starts_with("src/").then_some(name)
+}
+
+// ---------------------------------------------------------------------
+// L6: experiment-docs
+// ---------------------------------------------------------------------
+
+/// Every experiment binary must be written up: an `exp_*` binary nobody
+/// can interpret is dead weight in the reproduction.
+struct ExperimentDocs;
+
+impl Rule for ExperimentDocs {
+    fn id(&self) -> &'static str {
+        EXPERIMENT_DOCS
+    }
+
+    fn description(&self) -> &'static str {
+        "every crates/bench/src/bin/exp_*.rs binary is documented in EXPERIMENTS.md"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        for f in &ws.files {
+            let Some(name) = f.rel.strip_prefix("crates/bench/src/bin/") else { continue };
+            if !name.starts_with("exp_") {
+                continue;
+            }
+            let stem = name.trim_end_matches(".rs");
+            let documented = ws.experiments_md.as_deref().is_some_and(|md| md.contains(stem));
+            if !documented {
+                out.push(diag(
+                    f,
+                    1,
+                    EXPERIMENT_DOCS,
+                    format!("experiment binary `{stem}` has no section in EXPERIMENTS.md"),
+                ));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Meta: waiver-syntax
+// ---------------------------------------------------------------------
+
+/// A waiver that doesn't parse silently suppresses nothing — which
+/// looks exactly like working enforcement. This meta-rule makes
+/// malformed or unknown directives loud, and is itself unwaivable.
+struct WaiverSyntax;
+
+impl Rule for WaiverSyntax {
+    fn id(&self) -> &'static str {
+        WAIVER_SYNTAX
+    }
+
+    fn description(&self) -> &'static str {
+        "lint-allow/lint-scope directives must parse and name known rules/scopes"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        for f in &ws.files {
+            for e in &f.directive_errors {
+                out.push(diag(f, e.line, WAIVER_SYNTAX, e.message.clone()));
+            }
+            for w in &f.waivers {
+                if !KNOWN_RULES.contains(&w.rule.as_str()) {
+                    out.push(diag(
+                        f,
+                        w.first_line,
+                        WAIVER_SYNTAX,
+                        format!("lint-allow names unknown rule `{}`", w.rule),
+                    ));
+                }
+            }
+            for (i, line) in f.lines.iter().enumerate() {
+                if let Some(words) = directive_words(&line.comment, "lint-scope:") {
+                    if let Some(tag) = words.first() {
+                        if !KNOWN_SCOPES.contains(&tag.as_str()) {
+                            out.push(diag(
+                                f,
+                                i + 1,
+                                WAIVER_SYNTAX,
+                                format!("lint-scope names unknown scope `{tag}`"),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{check, rules, Workspace};
+
+    fn diags_for(sources: &[(&str, &str)]) -> Vec<crate::Diagnostic> {
+        check(&Workspace::from_sources(sources, None))
+    }
+
+    fn rules_hit(sources: &[(&str, &str)], rule: &str) -> Vec<usize> {
+        diags_for(sources).iter().filter(|d| d.rule == rule).map(|d| d.line).collect()
+    }
+
+    /// A minimal clean file so fixtures don't trip unrelated rules.
+    const CLEAN: &str = "#![forbid(unsafe_code)]\npub fn id(x: u64) -> u64 {\n    x\n}\n";
+
+    #[test]
+    fn l1_flags_unwrap_and_unwrap_or_ordering_variants() {
+        let bad = "#![forbid(unsafe_code)]\n\
+            fn s(v: &mut [f64]) {\n\
+                v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n\
+                v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));\n\
+                v.sort_by(|a, b| {\n\
+                    a.partial_cmp(b)\n\
+                        .unwrap()\n\
+                });\n\
+            }\n";
+        assert_eq!(
+            rules_hit(&[("crates/q/src/lib.rs", bad)], rules::FLOAT_ORDERING),
+            vec![3, 4, 6]
+        );
+    }
+
+    #[test]
+    fn l1_allows_total_cmp_handled_options_and_trait_impls() {
+        let good = "#![forbid(unsafe_code)]\n\
+            use std::cmp::Ordering;\n\
+            struct W(f64);\n\
+            impl PartialOrd for W {\n\
+                fn partial_cmp(&self, o: &Self) -> Option<Ordering> {\n\
+                    Some(self.0.total_cmp(&o.0))\n\
+                }\n\
+            }\n\
+            fn s(v: &mut [f64]) {\n\
+                v.sort_by(|a, b| a.total_cmp(b));\n\
+                let _ = 1.0f64.partial_cmp(&2.0).map(Ordering::reverse);\n\
+                let _ = 1.0f64.partial_cmp(&2.0).unwrap_or(Ordering::Less.reverse());\n\
+            }\n";
+        // The `unwrap_or(Ordering::…)` on line 12 *is* a violation; the
+        // rest must stay clean.
+        assert_eq!(rules_hit(&[("crates/q/src/lib.rs", good)], rules::FLOAT_ORDERING), vec![12]);
+    }
+
+    #[test]
+    fn l2_flags_allocation_only_in_tagged_files_outside_tests() {
+        let tagged = "#![forbid(unsafe_code)]\n\
+            // lint-scope: no_alloc\n\
+            fn hot(n: usize) -> usize {\n\
+                let v = vec![0u8; n];\n\
+                let w = v.to_vec();\n\
+                w.len()\n\
+            }\n\
+            #[cfg(test)]\n\
+            mod tests {\n\
+                fn t() {\n\
+                    let _ = Vec::<u8>::new();\n\
+                }\n\
+            }\n";
+        assert_eq!(
+            rules_hit(&[("crates/k/src/hot.rs", tagged)], rules::NO_ALLOC_KERNEL),
+            vec![4, 5]
+        );
+        // Same content untagged: no scope, no findings.
+        let untagged = tagged.replace("// lint-scope: no_alloc", "");
+        assert_eq!(
+            rules_hit(&[("crates/k/src/hot.rs", &untagged)], rules::NO_ALLOC_KERNEL),
+            vec![]
+        );
+    }
+
+    #[test]
+    fn l2_requires_the_kernel_files_to_stay_tagged() {
+        assert_eq!(
+            rules_hit(&[("crates/setdist/src/engine.rs", CLEAN)], rules::NO_ALLOC_KERNEL),
+            vec![1]
+        );
+    }
+
+    #[test]
+    fn l3_flags_raw_trackers_and_four_arg_access() {
+        let bad = "#![forbid(unsafe_code)]\n\
+            fn q(pool: &BufferPool, store: StoreId) {\n\
+                let t = IoTracker::default();\n\
+                pool.access(store, 0, 4, &t);\n\
+                t.record_hit();\n\
+            }\n";
+        assert_eq!(
+            rules_hit(&[("crates/q/src/lib.rs", bad)], rules::STORAGE_BOUNDARY),
+            vec![3, 4, 5]
+        );
+    }
+
+    #[test]
+    fn l3_allows_query_context_calls_and_store_internals() {
+        let good = "#![forbid(unsafe_code)]\n\
+            fn q(ctx: &QueryContext, store: StoreId) {\n\
+                ctx.access(store, 0, 4);\n\
+                let _guard = ctx.pin(store, 7);\n\
+                ctx.record_bytes(128);\n\
+            }\n";
+        assert_eq!(rules_hit(&[("crates/q/src/lib.rs", good)], rules::STORAGE_BOUNDARY), vec![]);
+        // The same raw-pool code *inside* crates/store is the pool's own
+        // business.
+        let internal = "fn f(pool: &BufferPool, s: StoreId, t: &IoTracker) {\n\
+            pool.access(s, 0, 1, t);\n\
+        }\n";
+        assert_eq!(
+            rules_hit(
+                &[("crates/store/src/pool.rs", internal), ("crates/store/src/lib.rs", CLEAN)],
+                rules::STORAGE_BOUNDARY
+            ),
+            vec![]
+        );
+    }
+
+    /// Fixture store files where `lost` is counted on the tracker but
+    /// never threaded to QueryStats/QueryContext.
+    fn parity_fixture(thread_everywhere: bool) -> Vec<(&'static str, String)> {
+        let extra_field = "    lost: AtomicU64,\n";
+        let tracker = format!(
+            "pub struct IoTracker {{\n    refinements: AtomicU64,\n{extra_field}}}\n\
+             impl IoTracker {{\n\
+                 pub fn count_refinements(&self, n: u64) {{ self.refinements.fetch_add(n, O); }}\n\
+                 pub fn count_lost(&self, n: u64) {{ self.lost.fetch_add(n, O); }}\n\
+                 pub fn snapshot(&self) -> TrackerSnapshot {{\n\
+                     TrackerSnapshot {{ refinements: self.refinements.load(O), {} }}\n\
+                 }}\n\
+                 pub fn reset(&self) {{ self.refinements.store(0, O); {} }}\n\
+             }}\n\
+             pub struct TrackerSnapshot {{\n    pub refinements: u64,\n{}}}\n",
+            if thread_everywhere { "lost: self.lost.load(O)" } else { "" },
+            if thread_everywhere { "self.lost.store(0, O);" } else { "" },
+            if thread_everywhere { "    pub lost: u64,\n" } else { "" },
+        );
+        let stats = format!(
+            "pub struct QueryStats {{\n    pub refinements: u64,\n{}}}\n\
+             impl QueryStats {{\n\
+                 fn from_snapshot(s: TrackerSnapshot) -> Self {{\n\
+                     QueryStats {{ refinements: s.refinements, {} }}\n\
+                 }}\n\
+                 pub fn accumulate(&mut self, o: &QueryStats) {{\n\
+                     self.refinements += o.refinements;\n{}\
+                 }}\n\
+             }}\n",
+            if thread_everywhere { "    pub lost: u64,\n" } else { "" },
+            if thread_everywhere { "lost: s.lost" } else { "" },
+            if thread_everywhere { "self.lost += o.lost;\n" } else { "" },
+        );
+        let context = format!(
+            "impl QueryContext {{\n\
+                 pub fn count_refinements(&self, n: u64) {{ self.t.count_refinements(n); }}\n{}\
+             }}\n",
+            if thread_everywhere {
+                "pub fn count_lost(&self, n: u64) { self.t.count_lost(n); }\n"
+            } else {
+                ""
+            },
+        );
+        vec![
+            ("crates/store/src/tracker.rs", tracker),
+            ("crates/store/src/stats.rs", stats),
+            ("crates/store/src/context.rs", context),
+            ("crates/store/src/lib.rs", CLEAN.to_owned()),
+        ]
+    }
+
+    #[test]
+    fn l4_flags_half_threaded_counters() {
+        let sources = parity_fixture(false);
+        let refs: Vec<(&str, &str)> = sources.iter().map(|(a, b)| (*a, b.as_str())).collect();
+        let hits: Vec<String> = diags_for(&refs)
+            .into_iter()
+            .filter(|d| d.rule == rules::COUNTER_PARITY)
+            .map(|d| d.message)
+            .collect();
+        assert!(hits.iter().any(|m| m.contains("`lost` is missing from snapshot()")), "{hits:?}");
+        assert!(hits.iter().any(|m| m.contains("`lost` is missing from reset()")), "{hits:?}");
+        assert!(
+            hits.iter().any(|m| m.contains("`lost` is not threaded through")
+                && m.contains("QueryStats")
+                && m.contains("QueryContext")),
+            "{hits:?}"
+        );
+    }
+
+    #[test]
+    fn l4_accepts_fully_threaded_counters() {
+        let sources = parity_fixture(true);
+        let refs: Vec<(&str, &str)> = sources.iter().map(|(a, b)| (*a, b.as_str())).collect();
+        assert_eq!(rules_hit(&refs, rules::COUNTER_PARITY), vec![]);
+    }
+
+    #[test]
+    fn l5_requires_safety_comments_and_forbid() {
+        let bad = "pub fn f(p: *const u8) -> u8 {\n\
+                unsafe { *p }\n\
+            }\n";
+        assert_eq!(rules_hit(&[("crates/u/src/lib.rs", bad)], rules::UNSAFE_HYGIENE), vec![2]);
+        // An unsafe-free crate without the forbid attribute is flagged at
+        // its lib.rs.
+        let no_forbid = "pub fn id(x: u64) -> u64 {\n    x\n}\n";
+        assert_eq!(
+            rules_hit(&[("crates/u/src/lib.rs", no_forbid)], rules::UNSAFE_HYGIENE),
+            vec![1]
+        );
+    }
+
+    #[test]
+    fn l5_accepts_documented_unsafe_and_forbid_crates() {
+        let good = "// SAFETY: `p` is valid for reads by the caller's contract.\n\
+            pub unsafe fn f(p: *const u8) -> u8 {\n\
+                // SAFETY: see function contract above.\n\
+                unsafe { *p }\n\
+            }\n";
+        assert_eq!(rules_hit(&[("crates/u/src/lib.rs", good)], rules::UNSAFE_HYGIENE), vec![]);
+        assert_eq!(rules_hit(&[("crates/u/src/lib.rs", CLEAN)], rules::UNSAFE_HYGIENE), vec![]);
+    }
+
+    #[test]
+    fn l6_requires_experiment_sections() {
+        let ws = Workspace::from_sources(
+            &[
+                ("crates/bench/src/bin/exp_documented.rs", CLEAN),
+                ("crates/bench/src/bin/exp_orphan.rs", CLEAN),
+                ("crates/bench/src/lib.rs", CLEAN),
+            ],
+            Some("## exp_documented\nMeasures things.\n"),
+        );
+        let hits: Vec<String> = check(&ws)
+            .into_iter()
+            .filter(|d| d.rule == rules::EXPERIMENT_DOCS)
+            .map(|d| d.file)
+            .collect();
+        assert_eq!(hits, vec!["crates/bench/src/bin/exp_orphan.rs".to_owned()]);
+    }
+
+    #[test]
+    fn waiver_syntax_is_loud_and_unwaivable() {
+        let bad = "#![forbid(unsafe_code)]\n\
+            // lint-allow: float-ordering\n\
+            // lint-allow: no-such-rule because reasons\n\
+            // lint-scope: no_such_scope\n\
+            fn f() {}\n";
+        assert_eq!(rules_hit(&[("crates/q/src/lib.rs", bad)], rules::WAIVER_SYNTAX), vec![2, 3, 4]);
+    }
+}

@@ -1,0 +1,36 @@
+//! The tier-1 gate: the actual workspace tree must lint clean, so
+//! `cargo test -q` enforces every rule without a separate CI wiring.
+
+use std::path::Path;
+
+#[test]
+fn the_workspace_lints_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let diags = vsim_lint::run(&root).expect("workspace walk failed");
+    let listing = diags.iter().map(ToString::to_string).collect::<Vec<_>>().join("\n");
+    assert!(diags.is_empty(), "vsim-lint found {} violation(s):\n{listing}", diags.len());
+}
+
+#[test]
+fn an_injected_violation_is_caught() {
+    // End-to-end negative check against a scratch tree, exercising the
+    // same walk + check path the CLI uses.
+    let dir = std::env::temp_dir().join(format!("vsim-lint-negative-{}", std::process::id()));
+    let src = dir.join("crates/demo/src");
+    std::fs::create_dir_all(&src).expect("scratch dir");
+    std::fs::write(
+        src.join("lib.rs"),
+        "pub fn worst(v: &[f64]) -> f64 {\n\
+             *v.iter().max_by(|a, b| a.partial_cmp(b).unwrap()).unwrap()\n\
+         }\n",
+    )
+    .expect("scratch file");
+    let diags = vsim_lint::run(&dir).expect("scratch walk failed");
+    std::fs::remove_dir_all(&dir).ok();
+    assert!(
+        diags.iter().any(|d| d.rule == vsim_lint::rules::FLOAT_ORDERING && d.line == 2),
+        "expected a float-ordering hit, got: {diags:?}"
+    );
+    // The missing #![forbid(unsafe_code)] is flagged too.
+    assert!(diags.iter().any(|d| d.rule == vsim_lint::rules::UNSAFE_HYGIENE), "{diags:?}");
+}

@@ -81,10 +81,12 @@ where
 {
     let len = n * n.saturating_sub(1) / 2;
     let mut data = vec![0.0f64; len];
-    // Workers write disjoint condensed ranges (each (i, j) pair belongs
-    // to exactly one tile), so handing out the base pointer is sound.
     struct Cells(*mut f64);
+    // SAFETY: workers write disjoint condensed ranges (each (i, j) pair
+    // belongs to exactly one tile), so moving the base pointer across
+    // threads cannot race.
     unsafe impl Send for Cells {}
+    // SAFETY: as above — concurrent writers always target disjoint cells.
     unsafe impl Sync for Cells {}
     let cells = Cells(data.as_mut_ptr());
     let cells = &cells;

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Minimal data-parallel helpers over `std::thread::scope` — no
 //! external thread-pool dependency. All helpers preserve input order,
 //! propagate worker panics, and cap the worker count at 16 (the

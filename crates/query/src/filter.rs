@@ -528,7 +528,7 @@ mod tests {
         let mm = MinimalMatching::vector_set_model();
         let mut all: Vec<(u64, f64)> =
             sets.iter().enumerate().map(|(i, s)| (i as u64, mm.distance_value(q, s))).collect();
-        all.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        all.sort_by(|a, b| a.1.total_cmp(&b.1));
         all.truncate(kq);
         all
     }
@@ -627,7 +627,7 @@ mod tests {
         let (got, _) = idx.knn_invariant(&variants, 8);
         let mut want: Vec<(u64, f64)> =
             sets.iter().enumerate().map(|(i, s)| (i as u64, inv_dist(s))).collect();
-        want.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        want.sort_by(|a, b| a.1.total_cmp(&b.1));
         for (g, w) in got.iter().zip(&want) {
             assert!((g.1 - w.1).abs() < 1e-9, "knn {g:?} vs {w:?}");
         }

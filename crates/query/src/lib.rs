@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # vsim-query — similarity query processing (Section 4.3)
 //!
 //! Three access paths for similarity queries over vector-set data, the

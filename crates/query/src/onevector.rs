@@ -90,7 +90,7 @@ impl OneVectorIndex {
             }
         }
         let mut result: Vec<(u64, f64)> = best.into_iter().collect();
-        result.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        result.sort_by(|a, b| a.1.total_cmp(&b.1));
         result.truncate(kq);
         ctx.count_candidates(ctx.tracker().snapshot().distance_evals - evals0);
         result
@@ -107,7 +107,7 @@ impl OneVectorIndex {
     /// context.
     pub fn range_query_with(&self, q: &[f64], eps: f64, ctx: &QueryContext) -> Vec<(u64, f64)> {
         let mut result = self.tree.range_query(q, eps, ctx);
-        result.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        result.sort_by(|a, b| a.1.total_cmp(&b.1));
         ctx.count_candidates(result.len() as u64);
         result
     }
@@ -116,7 +116,7 @@ impl OneVectorIndex {
     pub fn knn_linear(&self, vectors: &[Vec<f64>], q: &[f64], kq: usize) -> Vec<(u64, f64)> {
         let mut all: Vec<(u64, f64)> =
             vectors.iter().enumerate().map(|(i, v)| (i as u64, lp::euclidean(v, q))).collect();
-        all.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        all.sort_by(|a, b| a.1.total_cmp(&b.1));
         all.truncate(kq);
         all
     }

@@ -31,6 +31,8 @@
 //! wherever nothing is pruned (property-tested below for both paper
 //! models).
 
+// lint-scope: no_alloc
+
 use crate::hungarian::{self, Workspace};
 use crate::matching::MinimalMatching;
 use crate::types::VectorSet;
@@ -107,6 +109,7 @@ pub struct MatchingEngine {
 }
 
 impl MatchingEngine {
+    // lint-allow: no-alloc-kernel one-time constructor, not on the per-distance path
     pub fn new(mm: MinimalMatching) -> Self {
         MatchingEngine { mm, ws: Workspace::default(), cost: Vec::new(), wbig: Vec::new() }
     }

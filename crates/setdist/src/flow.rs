@@ -166,7 +166,7 @@ impl Eq for HeapItem {}
 impl Ord for HeapItem {
     fn cmp(&self, o: &Self) -> std::cmp::Ordering {
         // Min-heap on dist.
-        o.dist.partial_cmp(&self.dist).unwrap()
+        o.dist.total_cmp(&self.dist)
     }
 }
 impl PartialOrd for HeapItem {

@@ -7,6 +7,8 @@
 //! alternating tree, with a worst-case `O(n · m)` per insertion, i.e.
 //! `O(n² m)` in total (`O(k³)` for square instances).
 
+// lint-scope: no_alloc
+
 /// Result of an assignment problem.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Assignment {
@@ -25,6 +27,7 @@ pub struct CostMatrix {
 }
 
 impl CostMatrix {
+    // lint-allow: no-alloc-kernel matrix construction precedes the hot solve loop
     pub fn new(rows: usize, cols: usize) -> Self {
         assert!(rows > 0 && cols >= rows, "need 0 < rows <= cols");
         CostMatrix { rows, cols, data: vec![0.0; rows * cols] }
@@ -206,6 +209,7 @@ fn matched_cost<C: Fn(usize, usize) -> f64>(
 /// Allocation-free variant of [`solve`] (aside from the returned
 /// [`Assignment`]): buffers live in `ws` and are resized only when the
 /// instance grows.
+// lint-allow: no-alloc-kernel materializes the Assignment result; cost-only callers use solve_cost_with
 pub fn solve_with(cost: &CostMatrix, ws: &mut Workspace) -> Assignment {
     let n = cost.rows();
     let m = cost.cols();
@@ -264,6 +268,7 @@ pub fn solve_cost_slice_bounded(
 /// Brute-force assignment by enumerating all `cols! / (cols-rows)!`
 /// injections — exponential; only for validating [`solve`] on small
 /// instances and for the paper's "all k! permutations" baseline.
+// lint-allow: no-alloc-kernel validation baseline, never on the query path
 pub fn solve_brute_force(cost: &CostMatrix) -> Assignment {
     let n = cost.rows();
     let m = cost.cols();

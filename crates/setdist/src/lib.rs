@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # vsim-setdist — distances on feature vectors and vector sets
 //!
 //! This crate implements Section 4 of the paper: the *minimal matching

@@ -17,18 +17,28 @@ struct CountingAllocator;
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 
+// SAFETY: every operation delegates to `System`, adding only an atomic
+// counter bump, so all of `GlobalAlloc`'s contracts are inherited.
 unsafe impl GlobalAlloc for CountingAllocator {
+    // SAFETY: forwarded verbatim; the caller upholds the alloc contract.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: same layout the caller passed in.
         unsafe { System.alloc(layout) }
     }
 
+    // SAFETY: forwarded verbatim; the caller upholds the dealloc contract.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr` was allocated by this allocator (which is
+        // `System` underneath) with this layout.
         unsafe { System.dealloc(ptr, layout) }
     }
 
+    // SAFETY: forwarded verbatim; the caller upholds the realloc contract.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: `ptr`/`layout` come from this allocator; `new_size`
+        // is the caller's responsibility per the trait contract.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }

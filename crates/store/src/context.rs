@@ -83,6 +83,7 @@ impl QueryContext {
 
     /// Freeze this context's counters into per-query stats.
     pub fn stats(&self, cpu: Duration) -> QueryStats {
+        self.tracker.debug_check_invariants();
         QueryStats::from_snapshot(cpu, self.tracker.snapshot())
     }
 }

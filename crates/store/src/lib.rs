@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Layered storage engine for the simulated-I/O evaluation
 //! (Section 5.4 of the paper).
 //!

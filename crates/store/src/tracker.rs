@@ -145,6 +145,32 @@ impl IoTracker {
         }
     }
 
+    /// Debug-only check of the cross-counter identities the query
+    /// engine maintains: every pruned evaluation is a refinement, and
+    /// on streaming paths each candidate pulled from the filter stream
+    /// is either refined or dismissed by its lower bound, so
+    /// `filter_steps = refinements + refinements_saved`. (Batch filter
+    /// paths never pull from a stream and leave `filter_steps` at 0.)
+    pub fn debug_check_invariants(&self) {
+        #[cfg(debug_assertions)]
+        {
+            let s = self.snapshot();
+            debug_assert!(
+                s.pruned <= s.refinements,
+                "pruned ({}) must be a subset of refinements ({})",
+                s.pruned,
+                s.refinements,
+            );
+            debug_assert!(
+                s.filter_steps == 0 || s.filter_steps == s.refinements + s.refinements_saved,
+                "filter_steps ({}) != refinements ({}) + refinements_saved ({})",
+                s.filter_steps,
+                s.refinements,
+                s.refinements_saved,
+            );
+        }
+    }
+
     pub fn reset(&self) {
         self.pages.store(0, Ordering::Relaxed);
         self.bytes.store(0, Ordering::Relaxed);
@@ -204,6 +230,40 @@ mod tests {
         assert_eq!((s.filter_steps, s.refinements_saved), (5, 4));
         t.reset();
         assert_eq!(t.snapshot(), TrackerSnapshot::default());
+    }
+
+    #[test]
+    fn invariants_accept_consistent_stream_counters() {
+        let t = IoTracker::new();
+        t.count_filter_steps(5);
+        t.count_refinements(3);
+        t.count_pruned(1);
+        t.count_refinements_saved(2);
+        t.debug_check_invariants();
+        t.reset();
+        // Batch paths: refinements without stream pulls are fine too.
+        t.count_refinements(4);
+        t.debug_check_invariants();
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "filter_steps")]
+    fn invariants_catch_half_threaded_stream_counters() {
+        let t = IoTracker::new();
+        t.count_filter_steps(3);
+        t.count_refinements(1);
+        t.debug_check_invariants();
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "pruned")]
+    fn invariants_catch_pruned_exceeding_refinements() {
+        let t = IoTracker::new();
+        t.count_pruned(2);
+        t.count_refinements(1);
+        t.debug_check_invariants();
     }
 
     #[test]

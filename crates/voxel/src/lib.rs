@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # vsim-voxel — voxel grids, voxelization and normalization
 //!
 //! The paper (Section 3) operates on *voxelized* CAD objects: each part is

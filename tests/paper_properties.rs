@@ -152,7 +152,7 @@ fn permutation_and_vector_set_models_rank_alike() {
                 .enumerate()
                 .map(|(i, s)| (i as u64, mm.distance_value(&sets[q], s)))
                 .collect();
-            all.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+            all.sort_by(|a, b| a.1.total_cmp(&b.1));
             all.truncate(10);
             all.into_iter().map(|(i, _)| i).collect()
         };

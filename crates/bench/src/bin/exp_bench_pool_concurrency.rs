@@ -1,0 +1,245 @@
+//! Buffer-pool concurrency microbenchmark → `BENCH_pool_concurrency.json`.
+//!
+//! Measures page-lookup throughput of the lock-striped LRU buffer pool
+//! against a single-lock baseline (`with_shards(cap, 1)`), across
+//! worker-thread counts, cold (bounded, evicting) vs warm (unbounded,
+//! pre-faulted) pools, and all three page-store backends: simulated
+//! memory, the durable page file read with `pread`, and the same file
+//! read through a read-only mmap. Every worker drives the pool through
+//! its own `QueryContext` — the same read path the access methods use —
+//! and the run cross-checks that hits + misses equal the issued
+//! lookups and that warm runs take zero misses.
+//!
+//! Numbers are wall-clock on whatever machine runs this; the JSON
+//! records `nproc` so single-core containers (where extra threads only
+//! add scheduling overhead) read honestly.
+//!
+//! `cargo run --release -p vsim-bench --bin exp_bench_pool_concurrency`
+//! (env: `POOL_THREADS` — comma list, default `1,2,4,8`; `POOL_PAGES` —
+//! working-set pages, default 2048; `POOL_OPS` — lookups per thread,
+//! default 30000; `BENCH_OUT` — output path, default
+//! `BENCH_pool_concurrency.json`)
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+use vsim_index::{
+    BufferPool, FilePageStore, InMemoryPageStore, PageStore, QueryContext, PAGE_SIZE,
+};
+
+fn env_or(name: &str, default: u64) -> u64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+struct TempFile(PathBuf);
+impl Drop for TempFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+/// One measured configuration.
+struct Run {
+    backend: &'static str,
+    pool: &'static str,
+    shards: usize,
+    cache: &'static str,
+    threads: u64,
+    wall_ms: f64,
+    mops_per_s: f64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// Deterministic per-thread page sequence (xorshift64*), so every
+/// configuration replays the identical workload.
+fn page_at(seed: u64, i: u64, pages: u64) -> u64 {
+    let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (i.wrapping_add(1));
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    x % pages
+}
+
+fn measure(
+    store: &dyn PageStore,
+    pool: Arc<BufferPool>,
+    threads: u64,
+    ops: u64,
+    pages: u64,
+    expect_warm: bool,
+) -> (f64, u64, u64) {
+    let t0 = Instant::now();
+    let per_thread: Vec<(u64, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let pool = Arc::clone(&pool);
+                scope.spawn(move || {
+                    let ctx = QueryContext::with_pool(pool);
+                    for i in 0..ops {
+                        let page = page_at(t, i, pages);
+                        ctx.load(store, page).expect("page read failed");
+                    }
+                    let s = ctx.stats(std::time::Duration::ZERO);
+                    (s.cache.hits, s.cache.misses)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    });
+    let wall = t0.elapsed().as_secs_f64();
+    let (hits, misses) = per_thread.iter().fold((0, 0), |(h, m), &(th, tm)| (h + th, m + tm));
+    assert_eq!(hits + misses, threads * ops, "every lookup is a hit or a miss");
+    if expect_warm {
+        assert_eq!(misses, 0, "pre-faulted unbounded pool must not miss");
+    }
+    (wall, hits, misses)
+}
+
+fn main() {
+    let pages = env_or("POOL_PAGES", 2048);
+    let ops = env_or("POOL_OPS", 30_000);
+    let threads: Vec<u64> = std::env::var("POOL_THREADS")
+        .unwrap_or_else(|_| "1,2,4,8".into())
+        .split(',')
+        .filter_map(|t| t.trim().parse().ok())
+        .collect();
+    let nproc = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    eprintln!("[setup] pages {pages}, ops/thread {ops}, threads {threads:?}, nproc {nproc}");
+
+    let dir = std::env::temp_dir();
+    let file_path = TempFile(dir.join(format!("vsim_bench_pool_{}.vspf", std::process::id())));
+
+    // Memory store: allocated but contentless (simulated reads). File
+    // store: every page physically written so reads touch real data.
+    let mem = InMemoryPageStore::new();
+    mem.allocate(pages);
+    let file = FilePageStore::create(&file_path.0, pages).unwrap();
+    file.allocate(pages);
+    let image = vec![0x5au8; PAGE_SIZE];
+    for p in 0..pages {
+        file.write_page(p, &image).unwrap();
+    }
+    file.sync().unwrap();
+    let mmap = FilePageStore::open_mmap(&file_path.0).unwrap();
+
+    let stores: [(&'static str, &dyn PageStore); 3] =
+        [("memory", &mem), ("file", &file), ("mmap", &mmap)];
+    // Sharded = the default stripe count; single = one global lock.
+    let pool_kinds: [(&'static str, usize); 2] = [("single", 1), ("sharded", 8)];
+    let cold_capacity = (pages / 4).max(1) as usize;
+
+    let mut runs: Vec<Run> = Vec::new();
+    for (backend, store) in stores {
+        for (pool_name, shards) in pool_kinds {
+            for &t in &threads {
+                // Cold: bounded to a quarter of the working set, so the
+                // run continuously misses and evicts under contention.
+                let pool = BufferPool::with_shards(Some(cold_capacity), shards);
+                let (wall, hits, misses) = measure(store, Arc::clone(&pool), t, ops, pages, false);
+                let evictions = pool.stats().counts.evictions;
+                runs.push(Run {
+                    backend,
+                    pool: pool_name,
+                    shards: pool.shard_count(),
+                    cache: "cold",
+                    threads: t,
+                    wall_ms: wall * 1e3,
+                    mops_per_s: (t * ops) as f64 / wall / 1e6,
+                    hits,
+                    misses,
+                    evictions,
+                });
+
+                // Warm: unbounded and pre-faulted — pure lookup/lock cost.
+                let pool = BufferPool::with_shards(None, shards);
+                let warmer = QueryContext::with_pool(Arc::clone(&pool));
+                for p in 0..pages {
+                    warmer.load(store, p).expect("warm-up read failed");
+                }
+                let (wall, hits, misses) = measure(store, Arc::clone(&pool), t, ops, pages, true);
+                runs.push(Run {
+                    backend,
+                    pool: pool_name,
+                    shards: pool.shard_count(),
+                    cache: "warm",
+                    threads: t,
+                    wall_ms: wall * 1e3,
+                    mops_per_s: (t * ops) as f64 / wall / 1e6,
+                    hits,
+                    misses,
+                    evictions: 0,
+                });
+            }
+        }
+        eprintln!("[run  ] {backend}: {} configurations done", 4 * threads.len());
+    }
+
+    // Headline: sharded vs single-lock throughput at the highest
+    // thread count, per backend and cache temperature. Cold pools hold
+    // their shard lock across eviction, so that's where striping pays
+    // even on one core; warm lookups are lock-cheap and only separate
+    // once real cores run the threads.
+    let max_t = threads.iter().copied().max().unwrap_or(1);
+    let throughput = |backend: &str, pool: &str, cache: &str| {
+        runs.iter()
+            .find(|r| {
+                r.backend == backend && r.pool == pool && r.cache == cache && r.threads == max_t
+            })
+            .map(|r| r.mops_per_s)
+            .unwrap_or(f64::NAN)
+    };
+    let mut speedups = Vec::new();
+    for (backend, _) in stores {
+        for cache in ["cold", "warm"] {
+            let single = throughput(backend, "single", cache);
+            let sharded = throughput(backend, "sharded", cache);
+            eprintln!(
+                "[res  ] {backend} {cache} @ {max_t} threads: single {single:.2} Mops/s, \
+                 sharded {sharded:.2} Mops/s ({:.2}x)",
+                sharded / single
+            );
+            speedups.push(format!(
+                "    {{\"backend\": \"{backend}\", \"cache\": \"{cache}\", \
+                 \"single_mops\": {single:.3}, \"sharded_mops\": {sharded:.3}, \
+                 \"speedup\": {:.3}}}",
+                sharded / single
+            ));
+        }
+    }
+
+    let rows: Vec<String> = runs
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"backend\": \"{}\", \"pool\": \"{}\", \"shards\": {}, \
+                 \"cache\": \"{}\", \"threads\": {}, \"wall_ms\": {:.2}, \
+                 \"mops_per_s\": {:.3}, \"hits\": {}, \"misses\": {}, \"evictions\": {}}}",
+                r.backend,
+                r.pool,
+                r.shards,
+                r.cache,
+                r.threads,
+                r.wall_ms,
+                r.mops_per_s,
+                r.hits,
+                r.misses,
+                r.evictions
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"pool_concurrency\",\n  \"pages\": {pages},\n  \
+         \"ops_per_thread\": {ops},\n  \"cold_capacity\": {cold_capacity},\n  \
+         \"nproc\": {nproc},\n  \"results\": [\n{}\n  ],\n  \
+         \"speedup_at_max_threads\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n"),
+        speedups.join(",\n"),
+    );
+
+    let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_pool_concurrency.json".into());
+    std::fs::write(&out, &json).expect("cannot write BENCH output");
+    println!("{json}");
+    eprintln!("[done ] written to {out}");
+}

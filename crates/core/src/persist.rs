@@ -207,6 +207,28 @@ pub fn load<R: Read>(mut r: R) -> Result<ProcessedDataset, PersistError> {
     Ok(ProcessedDataset { dataset: Dataset { name, objects, class_names }, sequences, k_max })
 }
 
+/// Serialize a processed dataset into a checksummed page stream of
+/// `store` (page-level persistence: the stream detects a truncated or
+/// torn tail on read). Returns the stream's location.
+pub fn save_to_store(
+    p: &ProcessedDataset,
+    store: &dyn vsim_store::PageStore,
+) -> Result<vsim_store::StreamHandle, PersistError> {
+    let mut w = vsim_store::PageStreamWriter::new(store);
+    save(p, &mut w)?;
+    Ok(w.finish()?)
+}
+
+/// Deserialize a processed dataset from the page stream starting at
+/// `first`. Both the per-page stream checksums and the format's own
+/// trailing checksum must verify.
+pub fn load_from_store(
+    store: &dyn vsim_store::PageStore,
+    first: u64,
+) -> Result<ProcessedDataset, PersistError> {
+    load(vsim_store::PageStreamReader::open(store, first)?)
+}
+
 /// Load from `path` if present and valid, otherwise build via `make` and
 /// save. The standard pattern for experiment binaries:
 ///
@@ -301,6 +323,20 @@ mod tests {
         save(&p, &mut buf2).unwrap();
         buf2[0] ^= 0xff;
         assert!(load(&buf2[..]).is_err());
+    }
+
+    #[test]
+    fn page_stream_roundtrip_and_torn_tail_detection() {
+        use vsim_store::{InMemoryPageStore, PageStore};
+        let p = sample();
+        let store = InMemoryPageStore::new();
+        let handle = save_to_store(&p, &store).unwrap();
+        assert!(handle.pages >= 1);
+        let q = load_from_store(&store, handle.first).unwrap();
+        assert_eq!(p.vector_sets(5), q.vector_sets(5));
+        // Zeroing the tail page models a torn file tail after reopen.
+        store.free(handle.first + handle.pages - 1, 1);
+        assert!(load_from_store(&store, handle.first).is_err());
     }
 
     #[test]

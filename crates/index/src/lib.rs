@@ -44,15 +44,18 @@
 
 pub mod cursor;
 pub mod mtree;
+pub mod persist;
 pub mod storage;
 pub mod xtree;
 
 pub use cursor::{CandidateSource, Scaled, SortedScan};
 pub use mtree::{MTree, MTreeRankIter};
+pub use persist::PagePayload;
 pub use storage::{PointFile, VectorSetStore};
 pub use xtree::{NnIter, XTree};
 // The storage-engine layer these access methods are built on.
 pub use vsim_store::{
-    BufferPool, CacheCounts, CostModel, InMemoryPageStore, IoSnapshot, IoTracker, PageKey,
-    PageStore, PoolStats, QueryContext, QueryStats, StoreId, TrackerSnapshot, PAGE_SIZE,
+    Backend, BufferPool, CacheCounts, CostModel, FilePageStore, InMemoryPageStore, IoSnapshot,
+    IoTracker, PageKey, PageStore, PageStreamReader, PageStreamWriter, PoolStats, QueryContext,
+    QueryStats, StoreId, StreamHandle, TrackerSnapshot, PAGE_SIZE,
 };

@@ -6,9 +6,19 @@
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::io::{self, Read, Write};
 use std::sync::Arc;
+
 use vsim_setdist::Distance;
-use vsim_store::{InMemoryPageStore, PageStore, QueryContext};
+use vsim_store::{PageStore, PageStreamReader, PageStreamWriter, QueryContext, StreamHandle};
+
+use crate::persist::{
+    expect_tag, get_f64, get_len, get_u64, get_usize, invalid, put_f64, put_u64, NodeStore,
+    PagePayload,
+};
+
+/// Stream tag for a persisted M-tree ("MTRE" + format version).
+const MTREE_TAG: u64 = 0x4D54_5245_0000_0001;
 
 struct LeafEntry<T> {
     obj: T,
@@ -38,17 +48,30 @@ impl<T> MNode<T> {
 }
 
 /// An M-tree over objects of type `T` under a supplied metric. One node
-/// occupies one page of the tree's [`InMemoryPageStore`] (page number ==
-/// node index); queries read nodes through the buffer pool of the
-/// [`QueryContext`] they are given.
+/// occupies one page of the tree's page store (its number recorded in
+/// `node_pages`, fixed at save time for persisted trees); queries read
+/// nodes through the buffer pool of the [`QueryContext`] they are given.
 pub struct MTree<T> {
     dist: Arc<dyn Distance<T>>,
     nodes: Vec<MNode<T>>,
+    /// Page of node `i` in the backing store.
+    node_pages: Vec<u64>,
     root: usize,
     capacity: usize,
     bytes_per_entry: usize,
-    store: InMemoryPageStore,
+    store: NodeStore,
     len: usize,
+}
+
+impl<T> std::fmt::Debug for MTree<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MTree")
+            .field("len", &self.len)
+            .field("nodes", &self.nodes.len())
+            .field("capacity", &self.capacity)
+            .field("store", &self.store)
+            .finish_non_exhaustive()
+    }
 }
 
 impl<T: Clone> MTree<T> {
@@ -59,10 +82,11 @@ impl<T: Clone> MTree<T> {
         let mut tree = MTree {
             dist,
             nodes: Vec::new(),
+            node_pages: Vec::new(),
             root: 0,
             capacity,
             bytes_per_entry,
-            store: InMemoryPageStore::new(),
+            store: NodeStore::fresh(),
             len: 0,
         };
         tree.push_node(MNode::Leaf(Vec::new()));
@@ -78,8 +102,8 @@ impl<T: Clone> MTree<T> {
     }
 
     /// The backing page store.
-    pub fn page_store(&self) -> &InMemoryPageStore {
-        &self.store
+    pub fn page_store(&self) -> &dyn PageStore {
+        self.store.as_store()
     }
 
     /// Total pages of the tree (one node per page).
@@ -87,12 +111,11 @@ impl<T: Clone> MTree<T> {
         self.nodes.len()
     }
 
-    /// Append a node, allocating its page (page number == node index).
+    /// Append a node, allocating its page from the backing store.
     fn push_node(&mut self, node: MNode<T>) -> usize {
         let idx = self.nodes.len();
         self.nodes.push(node);
-        let page = self.store.allocate(1);
-        debug_assert_eq!(page, idx as u64);
+        self.node_pages.push(self.store.allocate(1));
         idx
     }
 
@@ -110,7 +133,7 @@ impl<T: Clone> MTree<T> {
     /// Read one node through the context's buffer pool: a miss charges
     /// one page plus the node's payload bytes; a hit is free.
     fn charge(&self, node: usize, ctx: &QueryContext) {
-        let missed = ctx.access(self.store.id(), node as u64, 1);
+        let missed = ctx.access(self.store.id(), self.node_pages[node], 1);
         if missed > 0 {
             ctx.record_bytes((self.nodes[node].len() * self.bytes_per_entry) as u64);
         }
@@ -401,6 +424,125 @@ impl<T: Clone> MTree<T> {
     }
 }
 
+impl<T: Clone + PagePayload> MTree<T> {
+    /// Persist the tree into `target`: each node gets one page allocated
+    /// in `target` *now* (so reopening never re-allocates), and the node
+    /// entries — objects included, via [`PagePayload`] — go into a
+    /// checksummed metadata stream. Returns the stream handle for a
+    /// directory. The metric itself is not serialized; the caller
+    /// supplies it again on [`load_from`](Self::load_from).
+    pub fn save_to(&self, target: &dyn PageStore) -> io::Result<StreamHandle> {
+        let pages: Vec<u64> = self.nodes.iter().map(|_| target.allocate(1)).collect();
+        let mut meta = Vec::new();
+        put_u64(&mut meta, MTREE_TAG);
+        put_u64(&mut meta, self.capacity as u64);
+        put_u64(&mut meta, self.bytes_per_entry as u64);
+        put_u64(&mut meta, self.root as u64);
+        put_u64(&mut meta, self.len as u64);
+        put_u64(&mut meta, self.nodes.len() as u64);
+        for (node, &page) in self.nodes.iter().zip(&pages) {
+            put_u64(&mut meta, page);
+            match node {
+                MNode::Leaf(entries) => {
+                    put_u64(&mut meta, 0);
+                    put_u64(&mut meta, entries.len() as u64);
+                    for e in entries {
+                        e.obj.encode_into(&mut meta);
+                        put_u64(&mut meta, e.id);
+                        put_f64(&mut meta, e.dist_to_parent);
+                    }
+                }
+                MNode::Internal(entries) => {
+                    put_u64(&mut meta, 1);
+                    put_u64(&mut meta, entries.len() as u64);
+                    for e in entries {
+                        e.obj.encode_into(&mut meta);
+                        put_f64(&mut meta, e.radius);
+                        put_f64(&mut meta, e.dist_to_parent);
+                        put_u64(&mut meta, e.child as u64);
+                    }
+                }
+            }
+        }
+        let mut w = PageStreamWriter::new(target);
+        w.write_all(&meta)?;
+        w.finish()
+    }
+
+    /// Reopen a tree persisted by [`save_to`](Self::save_to), supplying
+    /// the same metric it was built with (metrics are code, not data).
+    /// Queries charge the node pages recorded at save time, so page and
+    /// byte accounting is bit-identical to the tree that was saved.
+    pub fn load_from(
+        store: Arc<dyn PageStore>,
+        meta_first: u64,
+        dist: Arc<dyn Distance<T>>,
+    ) -> io::Result<Self> {
+        let mut r = PageStreamReader::open(store.as_ref(), meta_first)?;
+        let mut meta = Vec::new();
+        r.read_to_end(&mut meta)?;
+        let r = &mut &meta[..];
+        expect_tag(r, MTREE_TAG, "M-tree")?;
+        let capacity = get_len(r, "M-tree capacity")?;
+        let bytes_per_entry = get_len(r, "entry byte size")?;
+        let root = get_usize(r)?;
+        let len = get_len(r, "M-tree entry")?;
+        let n_nodes = get_len(r, "M-tree node")?;
+        if capacity < 4 || root >= n_nodes {
+            return Err(invalid("M-tree header is inconsistent"));
+        }
+        let mut nodes = Vec::with_capacity(n_nodes);
+        let mut node_pages = Vec::with_capacity(n_nodes);
+        for _ in 0..n_nodes {
+            let page = get_u64(r)?;
+            if page >= store.page_count() {
+                return Err(invalid("M-tree node page exceeds the page store"));
+            }
+            node_pages.push(page);
+            let kind = get_u64(r)?;
+            let n_entries = get_len(r, "node entry")?;
+            let node = match kind {
+                0 => {
+                    let mut entries = Vec::with_capacity(n_entries);
+                    for _ in 0..n_entries {
+                        let obj = T::decode_from(r)?;
+                        let id = get_u64(r)?;
+                        let dist_to_parent = get_f64(r)?;
+                        entries.push(LeafEntry { obj, id, dist_to_parent });
+                    }
+                    MNode::Leaf(entries)
+                }
+                1 => {
+                    let mut entries = Vec::with_capacity(n_entries);
+                    for _ in 0..n_entries {
+                        let obj = T::decode_from(r)?;
+                        let radius = get_f64(r)?;
+                        let dist_to_parent = get_f64(r)?;
+                        let child = get_usize(r)?;
+                        if child >= n_nodes {
+                            return Err(invalid("M-tree child index out of range"));
+                        }
+                        entries.push(RoutingEntry { obj, radius, dist_to_parent, child });
+                    }
+                    MNode::Internal(entries)
+                }
+                _ => return Err(invalid("M-tree node kind is neither leaf nor internal")),
+            };
+            nodes.push(node);
+        }
+        Ok(MTree {
+            dist,
+            nodes,
+            node_pages,
+            root,
+            capacity,
+            bytes_per_entry,
+            store: NodeStore::Shared(store),
+            len,
+        })
+    }
+}
+
 /// Incremental ranking iterator over an [`MTree`] — see
 /// [`MTree::rank_iter`].
 pub struct MTreeRankIter<'a, T> {
@@ -684,6 +826,52 @@ mod tests {
                 assert_eq!(got, want, "query {qi} eps {eps}");
             }
         }
+    }
+
+    #[test]
+    fn save_load_round_trips_with_identical_queries_and_charging() {
+        let pts = random_points(400, 3, 61);
+        let t = build(&pts);
+        let target: Arc<dyn PageStore> = Arc::new(vsim_store::InMemoryPageStore::new());
+        let handle = t.save_to(target.as_ref()).unwrap();
+        let dist: Arc<dyn Distance<Vec<f64>>> =
+            Arc::new(|a: &Vec<f64>, b: &Vec<f64>| euclid2(a, b));
+        let back = MTree::load_from(Arc::clone(&target), handle.first, dist).unwrap();
+        assert_eq!(back.len(), t.len());
+        assert_eq!(back.total_pages(), t.total_pages());
+        for q in random_points(5, 3, 62) {
+            let (ca, cb) = (QueryContext::ephemeral(), QueryContext::ephemeral());
+            let a = t.knn(&q, 8, &ca);
+            let b = back.knn(&q, 8, &cb);
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.0, y.0);
+                assert_eq!(x.1.to_bits(), y.1.to_bits(), "knn distance bits");
+            }
+            let (sa, sb) =
+                (ca.stats(std::time::Duration::ZERO), cb.stats(std::time::Duration::ZERO));
+            assert_eq!(sa.io.pages, sb.io.pages, "page charge");
+            assert_eq!(sa.io.bytes, sb.io.bytes, "byte charge");
+            assert_eq!(sa.distance_evals, sb.distance_evals);
+        }
+        let after_save = target.page_count();
+        let dist2: Arc<dyn Distance<Vec<f64>>> =
+            Arc::new(|a: &Vec<f64>, b: &Vec<f64>| euclid2(a, b));
+        let _ = MTree::<Vec<f64>>::load_from(Arc::clone(&target), handle.first, dist2).unwrap();
+        assert_eq!(target.page_count(), after_save, "load allocates no pages");
+    }
+
+    #[test]
+    fn corrupted_mtree_stream_is_rejected() {
+        let pts = random_points(100, 2, 63);
+        let t = build(&pts);
+        let target: Arc<dyn PageStore> = Arc::new(vsim_store::InMemoryPageStore::new());
+        let handle = t.save_to(target.as_ref()).unwrap();
+        target.write_page(handle.first, &[0u8; vsim_store::PAGE_SIZE]).unwrap();
+        let dist: Arc<dyn Distance<Vec<f64>>> =
+            Arc::new(|a: &Vec<f64>, b: &Vec<f64>| euclid2(a, b));
+        let err = MTree::<Vec<f64>>::load_from(target, handle.first, dist).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
     }
 
     #[test]

@@ -5,12 +5,33 @@
 //! of Table 2 reads the whole file. Records are serialized into a
 //! contiguous byte image (via `bytes`) so page-access and byte counts
 //! reflect a real layout, including records straddling page boundaries.
+//!
+//! Both files come in two backings: the classic in-memory image (pages
+//! are allocated for accounting only and never written), and a *shared*
+//! backing where the image occupies a span of a durable
+//! [`PageStore`](vsim_store::PageStore) — typically a
+//! [`FilePageStore`](vsim_store::FilePageStore) — and every access
+//! physically reads page bytes through the query's buffer pool. The
+//! two backings charge identical page/byte counts for identical access
+//! sequences and decode bit-identical `f64`s.
+
+use std::io::{self, Read, Write};
+use std::sync::Arc;
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use vsim_setdist::VectorSet;
-use vsim_store::{InMemoryPageStore, PageStore, QueryContext, PAGE_SIZE};
+use vsim_store::{
+    InMemoryPageStore, PageStore, PageStreamReader, PageStreamWriter, QueryContext, StreamHandle,
+    PAGE_SIZE,
+};
 
 use crate::cursor::SortedScan;
+use crate::persist::{expect_tag, get_len, get_u64, get_usize, invalid, put_u64};
+
+/// Stream tags distinguishing persisted structure kinds ("VSET"/"PNTF"
+/// plus a format version).
+const VSET_TAG: u64 = 0x5653_4554_0000_0001;
+const POINT_TAG: u64 = 0x504E_5446_0000_0001;
 
 /// On-"disk" record image: `u32` dim, `u32` count, then `dim·count` f64s.
 fn encode(set: &VectorSet) -> Bytes {
@@ -33,14 +54,72 @@ fn decode(mut buf: &[u8]) -> VectorSet {
     VectorSet::from_flat(dim, data)
 }
 
+/// Where a heap/point file's byte image lives.
+enum Backing {
+    /// Build-time default: the image is a RAM buffer; the page store
+    /// only provides identity and page numbers for simulated I/O.
+    Memory(InMemoryPageStore),
+    /// The image occupies pages `first..first+total_pages` of a shared
+    /// (usually durable) page store and is physically read on access.
+    Shared { store: Arc<dyn PageStore>, first: u64 },
+}
+
+impl std::fmt::Debug for Backing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Backing::Memory(s) => f.debug_tuple("Memory").field(&s.id()).finish(),
+            Backing::Shared { store, first } => {
+                f.debug_struct("Shared").field("store", &store.id()).field("first", first).finish()
+            }
+        }
+    }
+}
+
+impl Backing {
+    fn store(&self) -> &dyn PageStore {
+        match self {
+            Backing::Memory(s) => s,
+            Backing::Shared { store, .. } => store.as_ref(),
+        }
+    }
+}
+
+/// Write `image` into freshly allocated pages of `target` and return
+/// the first page of the span.
+fn write_image(target: &dyn PageStore, image: &[u8]) -> io::Result<u64> {
+    let pages = image.len().div_ceil(PAGE_SIZE) as u64;
+    let first = if pages > 0 { target.allocate(pages) } else { 0 };
+    for (p, chunk) in image.chunks(PAGE_SIZE).enumerate() {
+        target.write_page(first + p as u64, chunk)?;
+    }
+    Ok(first)
+}
+
+/// Physically read bytes `[0, total)` of an image span through the
+/// context's buffer pool, charging the used bytes of every missed page
+/// — the shared-backing twin of the simulated whole-file charge loop.
+fn load_image(store: &dyn PageStore, first: u64, total: usize, ctx: &QueryContext) -> Vec<u8> {
+    let mut img = Vec::with_capacity(total);
+    for page in 0..total.div_ceil(PAGE_SIZE) as u64 {
+        let (data, missed) = ctx.load(store, first + page).expect("heap-file page read failed");
+        let used = (total - page as usize * PAGE_SIZE).min(PAGE_SIZE);
+        if missed > 0 {
+            ctx.record_bytes(used as u64);
+        }
+        img.extend_from_slice(&data[..used]);
+    }
+    img
+}
+
 /// A read-only heap file of vector sets, addressed by dense `u64` ids.
-/// The file occupies a span of pages in an [`InMemoryPageStore`];
-/// queries read them through the buffer pool of a [`QueryContext`].
+/// The file occupies a span of pages in a page store; queries read them
+/// through the buffer pool of a [`QueryContext`].
+#[derive(Debug)]
 pub struct VectorSetStore {
     image: Bytes,
     /// Byte offset of record `i`; `offsets[len]` = total size.
     offsets: Vec<usize>,
-    pages: InMemoryPageStore,
+    backing: Backing,
 }
 
 impl VectorSetStore {
@@ -55,12 +134,63 @@ impl VectorSetStore {
         let image = image.freeze();
         let pages = InMemoryPageStore::new();
         pages.allocate(image.len().div_ceil(PAGE_SIZE) as u64);
-        VectorSetStore { image, offsets, pages }
+        VectorSetStore { image, offsets, backing: Backing::Memory(pages) }
     }
 
     /// The backing page store.
-    pub fn page_store(&self) -> &InMemoryPageStore {
-        &self.pages
+    pub fn page_store(&self) -> &dyn PageStore {
+        self.backing.store()
+    }
+
+    /// Persist the heap file into `target`: the raw image span first,
+    /// then a checksummed metadata stream (tag, image location, offset
+    /// table). Returns the metadata stream handle for a directory.
+    pub fn save_to(&self, target: &dyn PageStore) -> io::Result<StreamHandle> {
+        if matches!(self.backing, Backing::Shared { .. }) {
+            return Err(invalid("cannot re-save a heap file opened from a page store"));
+        }
+        let first = write_image(target, &self.image)?;
+        let mut meta = Vec::new();
+        put_u64(&mut meta, VSET_TAG);
+        put_u64(&mut meta, first);
+        put_u64(&mut meta, self.image.len() as u64);
+        put_u64(&mut meta, self.offsets.len() as u64);
+        for &o in &self.offsets {
+            put_u64(&mut meta, o as u64);
+        }
+        let mut w = PageStreamWriter::new(target);
+        w.write_all(&meta)?;
+        w.finish()
+    }
+
+    /// Reopen a heap file persisted by [`save_to`](Self::save_to).
+    /// Every field of the metadata stream is validated, so a truncated
+    /// or corrupted file surfaces as `InvalidData`, never as garbage
+    /// records.
+    pub fn open_from(store: Arc<dyn PageStore>, meta_first: u64) -> io::Result<Self> {
+        let mut r = PageStreamReader::open(store.as_ref(), meta_first)?;
+        let mut meta = Vec::new();
+        r.read_to_end(&mut meta)?;
+        let r = &mut &meta[..];
+        expect_tag(r, VSET_TAG, "vector-set heap file")?;
+        let first = get_u64(r)?;
+        let total = get_usize(r)?;
+        let n = get_len(r, "heap-file offset")?;
+        if n == 0 {
+            return Err(invalid("heap file is missing its offset table"));
+        }
+        let offsets: Vec<usize> = (0..n).map(|_| get_usize(r)).collect::<io::Result<_>>()?;
+        if offsets.windows(2).any(|w| w[0] > w[1]) || *offsets.last().unwrap() != total {
+            return Err(invalid("heap-file offset table is inconsistent"));
+        }
+        if first + total.div_ceil(PAGE_SIZE) as u64 > store.page_count() {
+            return Err(invalid("heap-file image span exceeds the page store"));
+        }
+        Ok(VectorSetStore {
+            image: Bytes::default(),
+            offsets,
+            backing: Backing::Shared { store, first },
+        })
     }
 
     pub fn len(&self) -> usize {
@@ -73,12 +203,12 @@ impl VectorSetStore {
 
     /// Total size of the file image in bytes.
     pub fn total_bytes(&self) -> usize {
-        self.image.len()
+        *self.offsets.last().unwrap()
     }
 
     /// Pages occupied by the file.
     pub fn total_pages(&self) -> usize {
-        self.image.len().div_ceil(PAGE_SIZE)
+        self.total_bytes().div_ceil(PAGE_SIZE)
     }
 
     /// Size of record `id` in bytes.
@@ -96,11 +226,32 @@ impl VectorSetStore {
         let (start, end) = (self.offsets[i], self.offsets[i + 1]);
         let first_page = (start / PAGE_SIZE) as u64;
         let last_page = ((end - 1) / PAGE_SIZE) as u64;
-        let missed = ctx.access(self.pages.id(), first_page, last_page - first_page + 1);
-        if missed > 0 {
-            ctx.record_bytes((end - start) as u64);
+        match &self.backing {
+            Backing::Memory(pages) => {
+                let missed = ctx.access(pages.id(), first_page, last_page - first_page + 1);
+                if missed > 0 {
+                    ctx.record_bytes((end - start) as u64);
+                }
+                decode(&self.image[start..end])
+            }
+            Backing::Shared { store, first } => {
+                let mut missed = 0;
+                let mut buf = Vec::with_capacity(end - start);
+                for page in first_page..=last_page {
+                    let (data, m) =
+                        ctx.load(store.as_ref(), first + page).expect("heap-file page read failed");
+                    missed += m;
+                    let base = page as usize * PAGE_SIZE;
+                    buf.extend_from_slice(
+                        &data[start.max(base) - base..end.min(base + PAGE_SIZE) - base],
+                    );
+                }
+                if missed > 0 {
+                    ctx.record_bytes((end - start) as u64);
+                }
+                decode(&buf)
+            }
         }
-        decode(&self.image[start..end])
     }
 
     /// Sequential scan: reads every page of the file through the
@@ -108,15 +259,27 @@ impl VectorSetStore {
     /// total pages and bytes), then yields `(id, set)` pairs.
     pub fn scan<'a>(&'a self, ctx: &QueryContext) -> impl Iterator<Item = (u64, VectorSet)> + 'a {
         let total = self.total_bytes();
-        for page in 0..self.total_pages() as u64 {
-            if ctx.access(self.pages.id(), page, 1) > 0 {
-                let used = (total - page as usize * PAGE_SIZE).min(PAGE_SIZE);
-                ctx.record_bytes(used as u64);
+        let assembled: Option<Vec<u8>> = match &self.backing {
+            Backing::Memory(pages) => {
+                for page in 0..self.total_pages() as u64 {
+                    if ctx.access(pages.id(), page, 1) > 0 {
+                        let used = (total - page as usize * PAGE_SIZE).min(PAGE_SIZE);
+                        ctx.record_bytes(used as u64);
+                    }
+                }
+                None
             }
-        }
+            Backing::Shared { store, first } => {
+                Some(load_image(store.as_ref(), *first, total, ctx))
+            }
+        };
         (0..self.len()).map(move |i| {
             let (start, end) = (self.offsets[i], self.offsets[i + 1]);
-            (i as u64, decode(&self.image[start..end]))
+            let buf: &[u8] = match &assembled {
+                Some(img) => &img[start..end],
+                None => &self.image[start..end],
+            };
+            (i as u64, decode(buf))
         })
     }
 }
@@ -128,11 +291,13 @@ impl VectorSetStore {
 /// (e.g. the 6-d extended centroids): `8·dim` bytes per record, packed
 /// densely so a full scan charges exactly
 /// `ceil(8·dim·n / PAGE_SIZE)` pages.
+#[derive(Debug)]
 pub struct PointFile {
     dim: usize,
-    /// Row-major `len · dim` coordinates.
+    len: usize,
+    /// Row-major `len · dim` coordinates (empty in shared backing).
     data: Vec<f64>,
-    pages: InMemoryPageStore,
+    backing: Backing,
 }
 
 impl PointFile {
@@ -145,15 +310,56 @@ impl PointFile {
         }
         let pages = InMemoryPageStore::new();
         pages.allocate((data.len() * 8).div_ceil(PAGE_SIZE) as u64);
-        PointFile { dim, data, pages }
+        PointFile { dim, len: points.len(), data, backing: Backing::Memory(pages) }
+    }
+
+    /// Persist the point file into `target`: the packed LE image span,
+    /// then a metadata stream. `f64` bits round-trip exactly.
+    pub fn save_to(&self, target: &dyn PageStore) -> io::Result<StreamHandle> {
+        if matches!(self.backing, Backing::Shared { .. }) {
+            return Err(invalid("cannot re-save a point file opened from a page store"));
+        }
+        let mut image = Vec::with_capacity(self.data.len() * 8);
+        for &v in &self.data {
+            image.extend_from_slice(&v.to_le_bytes());
+        }
+        let first = write_image(target, &image)?;
+        let mut meta = Vec::new();
+        put_u64(&mut meta, POINT_TAG);
+        put_u64(&mut meta, self.dim as u64);
+        put_u64(&mut meta, self.len as u64);
+        put_u64(&mut meta, first);
+        let mut w = PageStreamWriter::new(target);
+        w.write_all(&meta)?;
+        w.finish()
+    }
+
+    /// Reopen a point file persisted by [`save_to`](Self::save_to).
+    pub fn open_from(store: Arc<dyn PageStore>, meta_first: u64) -> io::Result<Self> {
+        let mut r = PageStreamReader::open(store.as_ref(), meta_first)?;
+        let mut meta = Vec::new();
+        r.read_to_end(&mut meta)?;
+        let r = &mut &meta[..];
+        expect_tag(r, POINT_TAG, "point file")?;
+        let dim = get_len(r, "point-file dim")?;
+        let len = get_len(r, "point-file record")?;
+        let first = get_u64(r)?;
+        if dim == 0 {
+            return Err(invalid("point file has zero dimension"));
+        }
+        let pages = (len * dim * 8).div_ceil(PAGE_SIZE) as u64;
+        if first + pages > store.page_count() {
+            return Err(invalid("point-file image span exceeds the page store"));
+        }
+        Ok(PointFile { dim, len, data: Vec::new(), backing: Backing::Shared { store, first } })
     }
 
     pub fn len(&self) -> usize {
-        self.data.len() / self.dim
+        self.len
     }
 
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.len == 0
     }
 
     pub fn dim(&self) -> usize {
@@ -161,12 +367,12 @@ impl PointFile {
     }
 
     /// The backing page store.
-    pub fn page_store(&self) -> &InMemoryPageStore {
-        &self.pages
+    pub fn page_store(&self) -> &dyn PageStore {
+        self.backing.store()
     }
 
     pub fn total_bytes(&self) -> usize {
-        self.data.len() * 8
+        self.len * self.dim * 8
     }
 
     pub fn total_pages(&self) -> usize {
@@ -181,15 +387,28 @@ impl PointFile {
     pub fn scan_ranked(&self, center: &[f64], ctx: &QueryContext) -> SortedScan {
         assert_eq!(center.len(), self.dim);
         let total = self.total_bytes();
-        for page in 0..self.total_pages() as u64 {
-            if ctx.access(self.pages.id(), page, 1) > 0 {
-                let used = (total - page as usize * PAGE_SIZE).min(PAGE_SIZE);
-                ctx.record_bytes(used as u64);
+        let loaded: Option<Vec<f64>> = match &self.backing {
+            Backing::Memory(pages) => {
+                for page in 0..self.total_pages() as u64 {
+                    if ctx.access(pages.id(), page, 1) > 0 {
+                        let used = (total - page as usize * PAGE_SIZE).min(PAGE_SIZE);
+                        ctx.record_bytes(used as u64);
+                    }
+                }
+                None
             }
-        }
+            Backing::Shared { store, first } => {
+                let img = load_image(store.as_ref(), *first, total, ctx);
+                Some(
+                    img.chunks_exact(8)
+                        .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+                        .collect(),
+                )
+            }
+        };
+        let data: &[f64] = loaded.as_deref().unwrap_or(&self.data);
         ctx.count_distance_evals(self.len() as u64);
-        let cands: Vec<(u64, f64)> = self
-            .data
+        let cands: Vec<(u64, f64)> = data
             .chunks_exact(self.dim)
             .enumerate()
             .map(|(i, p)| {
@@ -359,5 +578,99 @@ mod tests {
         let ctx = QueryContext::ephemeral();
         let mut s = pf.scan_ranked(&[0.0; 4], &ctx);
         assert_eq!(s.next_candidate(), None);
+    }
+
+    // ---- shared (file-backed) backing ----
+
+    fn shared(store: InMemoryPageStore) -> Arc<dyn PageStore> {
+        Arc::new(store)
+    }
+
+    #[test]
+    fn vset_save_open_round_trips_with_identical_charging() {
+        let sets = sample_sets();
+        let mem = VectorSetStore::build(&sets);
+        let target = shared(InMemoryPageStore::new());
+        let handle = mem.save_to(target.as_ref()).unwrap();
+        let opened = VectorSetStore::open_from(Arc::clone(&target), handle.first).unwrap();
+        assert_eq!(opened.len(), mem.len());
+        assert_eq!(opened.total_bytes(), mem.total_bytes());
+
+        // get(): identical records, identical page/byte accounting.
+        for i in 0..sets.len() as u64 {
+            let (ca, cb) = (QueryContext::ephemeral(), QueryContext::ephemeral());
+            assert_eq!(mem.get(i, &ca), opened.get(i, &cb));
+            let (sa, sb) =
+                (ca.stats(std::time::Duration::ZERO), cb.stats(std::time::Duration::ZERO));
+            assert_eq!(sa.io.pages, sb.io.pages, "record {i} page charge");
+            assert_eq!(sa.io.bytes, sb.io.bytes, "record {i} byte charge");
+        }
+
+        // scan(): identical sequence and whole-file accounting.
+        let (ca, cb) = (QueryContext::ephemeral(), QueryContext::ephemeral());
+        let a: Vec<_> = mem.scan(&ca).collect();
+        let b: Vec<_> = opened.scan(&cb).collect();
+        assert_eq!(a, b);
+        let (sa, sb) = (ca.stats(std::time::Duration::ZERO), cb.stats(std::time::Duration::ZERO));
+        assert_eq!(sa.io.pages, sb.io.pages);
+        assert_eq!(sa.io.bytes, sb.io.bytes);
+    }
+
+    #[test]
+    fn point_file_save_open_ranks_bit_identically() {
+        let points: Vec<Vec<f64>> =
+            (0..150).map(|i| (0..6).map(|d| (i * 17 + d * 3) as f64 * 0.25).collect()).collect();
+        let mem = PointFile::build(6, &points);
+        let target = shared(InMemoryPageStore::new());
+        let handle = mem.save_to(target.as_ref()).unwrap();
+        let opened = PointFile::open_from(Arc::clone(&target), handle.first).unwrap();
+        assert_eq!(opened.len(), mem.len());
+        assert_eq!(opened.dim(), mem.dim());
+
+        let q = vec![10.0; 6];
+        let (ca, cb) = (QueryContext::ephemeral(), QueryContext::ephemeral());
+        let a = drain(&mut mem.scan_ranked(&q, &ca));
+        let b = drain(&mut opened.scan_ranked(&q, &cb));
+        assert_eq!(a.len(), b.len());
+        for ((ia, da), (ib, db)) in a.iter().zip(&b) {
+            assert_eq!(ia, ib);
+            assert_eq!(da.to_bits(), db.to_bits(), "distance bits for id {ia}");
+        }
+        let (sa, sb) = (ca.stats(std::time::Duration::ZERO), cb.stats(std::time::Duration::ZERO));
+        assert_eq!(sa.io.pages, sb.io.pages);
+        assert_eq!(sa.io.bytes, sb.io.bytes);
+        assert_eq!(sa.distance_evals, sb.distance_evals);
+    }
+
+    #[test]
+    fn corrupted_metadata_stream_is_rejected() {
+        let sets = sample_sets();
+        let mem = VectorSetStore::build(&sets);
+        let target = shared(InMemoryPageStore::new());
+        let handle = mem.save_to(target.as_ref()).unwrap();
+        // Zero out the metadata stream's first page: checksum mismatch.
+        target.write_page(handle.first, &[0u8; PAGE_SIZE]).unwrap();
+        let err = VectorSetStore::open_from(target, handle.first).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn wrong_structure_tag_is_rejected() {
+        let points: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64; 4]).collect();
+        let pf = PointFile::build(4, &points);
+        let target = shared(InMemoryPageStore::new());
+        let handle = pf.save_to(target.as_ref()).unwrap();
+        let err = VectorSetStore::open_from(target, handle.first).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("tag"), "{err}");
+    }
+
+    #[test]
+    fn reopened_file_cannot_be_resaved() {
+        let mem = VectorSetStore::build(&sample_sets());
+        let target = shared(InMemoryPageStore::new());
+        let handle = mem.save_to(target.as_ref()).unwrap();
+        let opened = VectorSetStore::open_from(Arc::clone(&target), handle.first).unwrap();
+        assert!(opened.save_to(target.as_ref()).is_err());
     }
 }

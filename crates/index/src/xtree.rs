@@ -20,7 +20,19 @@
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
-use vsim_store::{InMemoryPageStore, PageStore, QueryContext, PAGE_SIZE};
+use std::io::{self, Read, Write};
+use std::sync::Arc;
+
+use vsim_store::{
+    PageStore, PageStreamReader, PageStreamWriter, QueryContext, StreamHandle, PAGE_SIZE,
+};
+
+use crate::persist::{
+    expect_tag, get_f64, get_len, get_u64, get_usize, invalid, put_f64, put_u64, NodeStore,
+};
+
+/// Stream tag for a persisted X-tree ("XTRE" + format version).
+const XTREE_TAG: u64 = 0x5854_5245_0000_0001;
 
 /// Minimum fill fraction per split half.
 const MIN_FILL: f64 = 0.4;
@@ -65,9 +77,12 @@ impl Node {
 }
 
 /// A point X-tree over `dim`-dimensional `f64` points with `u64` payload
-/// ids. Node pages live in an [`InMemoryPageStore`]; queries read them
-/// through the buffer pool of the [`QueryContext`] they are given, so
-/// all I/O accounting is per query.
+/// ids. Node pages live in a page store — an owned in-memory one at
+/// build time, or a span of a shared durable store after
+/// [`save_to`](Self::save_to)/[`load_from`](Self::load_from); queries
+/// read them through the buffer pool of the [`QueryContext`] they are
+/// given, so all I/O accounting is per query.
+#[derive(Debug)]
 pub struct XTree {
     dim: usize,
     nodes: Vec<Node>,
@@ -77,7 +92,7 @@ pub struct XTree {
     /// Split-overlap threshold above which a directory node becomes a
     /// supernode (the X-tree paper suggests ~20%).
     pub max_overlap: f64,
-    store: InMemoryPageStore,
+    store: NodeStore,
     len: usize,
 }
 
@@ -98,7 +113,7 @@ impl XTree {
             leaf_cap,
             dir_cap,
             max_overlap: 0.2,
-            store: InMemoryPageStore::new(),
+            store: NodeStore::fresh(),
             len: 0,
         };
         tree.nodes.push(Node::new(true, dim));
@@ -129,8 +144,116 @@ impl XTree {
     }
 
     /// The backing page store (for inspecting allocation totals).
-    pub fn page_store(&self) -> &InMemoryPageStore {
-        &self.store
+    pub fn page_store(&self) -> &dyn PageStore {
+        self.store.as_store()
+    }
+
+    /// Persist the tree into `target`: each node gets a page span
+    /// allocated in `target` *now* (so reopening never re-allocates or
+    /// grows the file), and the topology — with those span locations —
+    /// goes into a checksummed metadata stream. Returns the stream
+    /// handle for a directory.
+    pub fn save_to(&self, target: &dyn PageStore) -> io::Result<StreamHandle> {
+        let spans: Vec<u64> = self.nodes.iter().map(|n| target.allocate(n.pages as u64)).collect();
+        let mut meta = Vec::new();
+        put_u64(&mut meta, XTREE_TAG);
+        put_u64(&mut meta, self.dim as u64);
+        put_u64(&mut meta, self.root as u64);
+        put_u64(&mut meta, self.len as u64);
+        put_u64(&mut meta, self.leaf_cap as u64);
+        put_u64(&mut meta, self.dir_cap as u64);
+        put_f64(&mut meta, self.max_overlap);
+        put_u64(&mut meta, self.nodes.len() as u64);
+        for (n, &first) in self.nodes.iter().zip(&spans) {
+            put_u64(&mut meta, n.leaf as u64);
+            put_u64(&mut meta, n.pages as u64);
+            put_u64(&mut meta, first);
+            for &v in n.mbr_min.iter().chain(&n.mbr_max) {
+                put_f64(&mut meta, v);
+            }
+            put_u64(&mut meta, n.ids.len() as u64);
+            for &v in &n.points {
+                put_f64(&mut meta, v);
+            }
+            for &id in &n.ids {
+                put_u64(&mut meta, id);
+            }
+            put_u64(&mut meta, n.children.len() as u64);
+            for &c in &n.children {
+                put_u64(&mut meta, c as u64);
+            }
+        }
+        let mut w = PageStreamWriter::new(target);
+        w.write_all(&meta)?;
+        w.finish()
+    }
+
+    /// Reopen a tree persisted by [`save_to`](Self::save_to). Queries on
+    /// the reopened tree charge the spans recorded at save time, so page
+    /// and byte accounting is bit-identical to the tree that was saved.
+    /// Every structural field is validated; a corrupted stream surfaces
+    /// as `InvalidData`. Inserting into a reopened tree works (new spans
+    /// come from the shared store) but requires a re-save to persist.
+    pub fn load_from(store: Arc<dyn PageStore>, meta_first: u64) -> io::Result<Self> {
+        let mut r = PageStreamReader::open(store.as_ref(), meta_first)?;
+        let mut meta = Vec::new();
+        r.read_to_end(&mut meta)?;
+        let r = &mut &meta[..];
+        expect_tag(r, XTREE_TAG, "X-tree")?;
+        let dim = get_len(r, "X-tree dim")?;
+        if dim == 0 {
+            return Err(invalid("X-tree dimension must be positive"));
+        }
+        let root = get_usize(r)?;
+        let len = get_len(r, "X-tree entry")?;
+        let leaf_cap = get_len(r, "leaf capacity")?;
+        let dir_cap = get_len(r, "directory capacity")?;
+        let max_overlap = get_f64(r)?;
+        let n_nodes = get_len(r, "X-tree node")?;
+        if root >= n_nodes || leaf_cap == 0 || dir_cap == 0 {
+            return Err(invalid("X-tree header is inconsistent"));
+        }
+        let mut nodes = Vec::with_capacity(n_nodes);
+        for _ in 0..n_nodes {
+            let leaf = match get_u64(r)? {
+                0 => false,
+                1 => true,
+                _ => return Err(invalid("X-tree node flag is neither leaf nor directory")),
+            };
+            let pages = get_len(r, "node page")?.max(1);
+            let first_page = get_u64(r)?;
+            if first_page + pages as u64 > store.page_count() {
+                return Err(invalid("X-tree node span exceeds the page store"));
+            }
+            let mut node = Node::new(leaf, dim);
+            node.pages = pages;
+            node.first_page = first_page;
+            for v in node.mbr_min.iter_mut().chain(node.mbr_max.iter_mut()) {
+                *v = get_f64(r)?;
+            }
+            let entries = get_len(r, "leaf entry")?;
+            node.points = (0..entries * dim).map(|_| get_f64(r)).collect::<io::Result<_>>()?;
+            node.ids = (0..entries).map(|_| get_u64(r)).collect::<io::Result<_>>()?;
+            let n_children = get_len(r, "child")?;
+            for _ in 0..n_children {
+                let c = get_usize(r)?;
+                if c >= n_nodes {
+                    return Err(invalid("X-tree child index out of range"));
+                }
+                node.children.push(c);
+            }
+            nodes.push(node);
+        }
+        Ok(XTree {
+            dim,
+            nodes,
+            root,
+            leaf_cap,
+            dir_cap,
+            max_overlap,
+            store: NodeStore::Shared(store),
+            len,
+        })
     }
 
     /// (Re)allocate a node's page span after its page count changed.
@@ -874,6 +997,61 @@ mod tests {
         assert_eq!(one.len(), 1);
         let ctx = QueryContext::ephemeral();
         assert_eq!(one.knn(&[0.0, 0.0, 0.0], 1, &ctx)[0].0, 0);
+    }
+
+    #[test]
+    fn save_load_round_trips_with_identical_queries_and_charging() {
+        let pts = random_points(600, 4, 21);
+        let t = build(&pts);
+        let target: Arc<dyn PageStore> = Arc::new(vsim_store::InMemoryPageStore::new());
+        let handle = t.save_to(target.as_ref()).unwrap();
+        let back = XTree::load_from(Arc::clone(&target), handle.first).unwrap();
+        assert_eq!(back.len(), t.len());
+        assert_eq!(back.total_pages(), t.total_pages());
+        for q in random_points(5, 4, 22) {
+            let (ca, cb) = (QueryContext::ephemeral(), QueryContext::ephemeral());
+            let a = t.knn(&q, 10, &ca);
+            let b = back.knn(&q, 10, &cb);
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.0, y.0);
+                assert_eq!(x.1.to_bits(), y.1.to_bits(), "knn distance bits");
+            }
+            let (sa, sb) =
+                (ca.stats(std::time::Duration::ZERO), cb.stats(std::time::Duration::ZERO));
+            assert_eq!(sa.io.pages, sb.io.pages, "page charge");
+            assert_eq!(sa.io.bytes, sb.io.bytes, "byte charge");
+            assert_eq!(sa.distance_evals, sb.distance_evals);
+        }
+        // Reopening must not have allocated anything beyond the save.
+        let after_save = target.page_count();
+        let again = XTree::load_from(Arc::clone(&target), handle.first).unwrap();
+        assert_eq!(target.page_count(), after_save, "load allocates no pages");
+        assert_eq!(again.total_pages(), t.total_pages());
+    }
+
+    #[test]
+    fn loaded_tree_accepts_inserts_from_the_shared_store() {
+        let pts = random_points(200, 3, 23);
+        let t = build(&pts);
+        let target: Arc<dyn PageStore> = Arc::new(vsim_store::InMemoryPageStore::new());
+        let handle = t.save_to(target.as_ref()).unwrap();
+        let mut back = XTree::load_from(target, handle.first).unwrap();
+        back.insert(&[1.0, 2.0, 3.0], 999);
+        assert_eq!(back.len(), 201);
+        let ctx = QueryContext::ephemeral();
+        assert_eq!(back.knn(&[1.0, 2.0, 3.0], 1, &ctx)[0].0, 999);
+    }
+
+    #[test]
+    fn corrupted_tree_stream_is_rejected() {
+        let pts = random_points(100, 2, 24);
+        let t = build(&pts);
+        let target: Arc<dyn PageStore> = Arc::new(vsim_store::InMemoryPageStore::new());
+        let handle = t.save_to(target.as_ref()).unwrap();
+        target.write_page(handle.first, &[0u8; PAGE_SIZE]).unwrap();
+        let err = XTree::load_from(target, handle.first).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
     }
 
     #[test]

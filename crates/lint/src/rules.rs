@@ -361,6 +361,7 @@ struct CounterParity;
 const TRACKER_RS: &str = "crates/store/src/tracker.rs";
 const STATS_RS: &str = "crates/store/src/stats.rs";
 const CONTEXT_RS: &str = "crates/store/src/context.rs";
+const POOL_RS: &str = "crates/store/src/pool.rs";
 
 impl Rule for CounterParity {
     fn id(&self) -> &'static str {
@@ -375,6 +376,46 @@ impl Rule for CounterParity {
         let Some(tracker) = ws.file(TRACKER_RS) else { return };
         let stats = ws.file(STATS_RS);
         let context = ws.file(CONTEXT_RS);
+
+        // The buffer pool keeps one `CacheCounts` per lock shard and
+        // sums them with `Add` into `PoolStats`, so a field that misses
+        // either side silently reads zero exactly when the pool is
+        // sharded — the concurrency configuration the tests exercise
+        // least. Cross-reference every field against both.
+        if let Some((cache_at, cache_body)) = item_body(&tracker.code, "struct CacheCounts") {
+            let pool = ws.file(POOL_RS);
+            let add_body = item_body(&tracker.code, "fn add").map(|(_, b)| b);
+            let cache_fields = cache_body
+                .lines()
+                .filter_map(|l| l.trim().trim_end_matches(',').strip_suffix(": u64"))
+                .map(|name| name.trim().trim_start_matches("pub ").trim());
+            for field in cache_fields {
+                let at = tracker.code.find(&format!("{field}: u64")).unwrap_or(cache_at);
+                let line = tracker.line_of(at);
+                if add_body.is_some_and(|b| find_word(b, field).next().is_none()) {
+                    out.push(diag(
+                        tracker,
+                        line,
+                        COUNTER_PARITY,
+                        format!(
+                            "CacheCounts field `{field}` is missing from the Add impl, \
+                             so per-shard totals would drop it"
+                        ),
+                    ));
+                }
+                if pool.is_some_and(|p| find_word(&p.code, field).next().is_none()) {
+                    out.push(diag(
+                        tracker,
+                        line,
+                        COUNTER_PARITY,
+                        format!(
+                            "CacheCounts field `{field}` is never maintained by the \
+                             buffer pool's shards"
+                        ),
+                    ));
+                }
+            }
+        }
 
         let Some((_, tracker_body)) = item_body(&tracker.code, "struct IoTracker") else {
             return;
@@ -795,6 +836,59 @@ mod tests {
     #[test]
     fn l4_accepts_fully_threaded_counters() {
         let sources = parity_fixture(true);
+        let refs: Vec<(&str, &str)> = sources.iter().map(|(a, b)| (*a, b.as_str())).collect();
+        assert_eq!(rules_hit(&refs, rules::COUNTER_PARITY), vec![]);
+    }
+
+    /// Fixture store files with a per-shard `CacheCounts` whose `stale`
+    /// field is (optionally) dropped by the `Add` impl and the pool.
+    fn cache_fixture(thread_everywhere: bool) -> Vec<(&'static str, String)> {
+        let tracker = format!(
+            "pub struct CacheCounts {{\n    pub hits: u64,\n    pub stale: u64,\n}}\n\
+             impl std::ops::Add for CacheCounts {{\n\
+                 type Output = CacheCounts;\n\
+                 fn add(self, o: CacheCounts) -> CacheCounts {{\n\
+                     CacheCounts {{ hits: self.hits + o.hits, {} }}\n\
+                 }}\n\
+             }}\n",
+            if thread_everywhere { "stale: self.stale + o.stale" } else { "..self" },
+        );
+        let pool = format!(
+            "impl BufferPool {{\n\
+                 fn touch(&self) {{ self.totals.hits += 1; {} }}\n\
+             }}\n",
+            if thread_everywhere { "self.totals.stale += 1;" } else { "" },
+        );
+        vec![
+            ("crates/store/src/tracker.rs", tracker),
+            ("crates/store/src/pool.rs", pool),
+            ("crates/store/src/lib.rs", CLEAN.to_owned()),
+        ]
+    }
+
+    #[test]
+    fn l4_flags_cache_fields_dropped_by_shard_summing() {
+        let sources = cache_fixture(false);
+        let refs: Vec<(&str, &str)> = sources.iter().map(|(a, b)| (*a, b.as_str())).collect();
+        let hits: Vec<String> = diags_for(&refs)
+            .into_iter()
+            .filter(|d| d.rule == rules::COUNTER_PARITY)
+            .map(|d| d.message)
+            .collect();
+        assert!(
+            hits.iter().any(|m| m.contains("`stale` is missing from the Add impl")),
+            "{hits:?}"
+        );
+        assert!(
+            hits.iter().any(|m| m.contains("`stale` is never maintained by the buffer pool")),
+            "{hits:?}"
+        );
+        assert!(!hits.iter().any(|m| m.contains("`hits`")), "{hits:?}");
+    }
+
+    #[test]
+    fn l4_accepts_fully_summed_cache_fields() {
+        let sources = cache_fixture(true);
         let refs: Vec<(&str, &str)> = sources.iter().map(|(a, b)| (*a, b.as_str())).collect();
         assert_eq!(rules_hit(&refs, rules::COUNTER_PARITY), vec![]);
     }

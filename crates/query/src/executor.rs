@@ -55,7 +55,22 @@ impl QueryExecutor {
         QueryExecutor::new(PoolPolicy::PerQuery(None))
     }
 
-    /// Executor whose queries share one unbounded warm pool.
+    /// Executor whose queries share one warm pool capped at
+    /// `capacity_pages` cached pages. The capacity is distributed
+    /// across the pool's lock shards; when a shard fills, its
+    /// least-recently-used page is evicted (and counted in the batch's
+    /// `cache.evictions`). Eviction changes *cost* only — a re-faulted
+    /// page is a fresh miss — never results. This is the default way to
+    /// share a pool; reach for [`shared_unbounded`](Self::shared_unbounded)
+    /// only when modeling "everything fits in memory".
+    pub fn shared(capacity_pages: usize) -> Self {
+        QueryExecutor::new(PoolPolicy::Shared(BufferPool::new(capacity_pages)))
+    }
+
+    /// Executor whose queries share one unbounded warm pool: nothing is
+    /// ever evicted, so memory grows with every distinct page touched.
+    /// Prefer [`shared`](Self::shared) with an explicit budget unless
+    /// the workload is known to fit.
     pub fn shared_unbounded() -> Self {
         QueryExecutor::new(PoolPolicy::Shared(BufferPool::unbounded()))
     }
@@ -319,6 +334,24 @@ mod tests {
         assert_eq!(cold.aggregate.io.pages, file_pages * queries.len() as u64);
         assert_eq!(warm.aggregate.io.pages, file_pages);
         assert!(warm.aggregate.cache.hits > 0);
+    }
+
+    #[test]
+    fn bounded_shared_pool_evicts_without_changing_results() {
+        let sets = random_sets(200, 4, 42);
+        let idx = SequentialScanIndex::build(&sets);
+        let queries: Vec<VectorSet> = (0..6).map(|i| sets[i * 17].clone()).collect();
+        let cold = QueryExecutor::cold().batch_knn(&idx, &queries, 5);
+        // A pool far smaller than the scan's working set must thrash...
+        let tiny = QueryExecutor::shared(2).batch_knn(&idx, &queries, 5);
+        assert_eq!(cold.hits, tiny.hits, "eviction must not change results");
+        assert!(tiny.aggregate.cache.evictions > 0, "{:?}", tiny.aggregate.cache);
+        // ...while one sized for the file behaves like the unbounded pool.
+        let file_pages = cold.stats[0].io.pages;
+        let roomy = QueryExecutor::shared(file_pages as usize * 2).batch_knn(&idx, &queries, 5);
+        assert_eq!(cold.hits, roomy.hits);
+        assert_eq!(roomy.aggregate.io.pages, file_pages);
+        assert_eq!(roomy.aggregate.cache.evictions, 0);
     }
 
     #[test]

@@ -5,13 +5,33 @@
 use crate::multistep::{multi_step_knn, multi_step_range, TopK};
 use crate::planner::{AccessPath, DatasetStats, Plan, Planner};
 use crate::stats::QueryStats;
+use std::io::{self, Read, Write};
+use std::path::Path;
 use std::sync::Arc;
 use std::time::Instant;
 use vsim_index::{
-    CandidateSource, MTree, PointFile, QueryContext, Scaled, VectorSetStore, XTree, PAGE_SIZE,
+    Backend, CandidateSource, FilePageStore, MTree, PageStore, PageStreamReader, PageStreamWriter,
+    PointFile, QueryContext, Scaled, VectorSetStore, XTree, PAGE_SIZE,
 };
 use vsim_setdist::matching::{MinimalMatching, PointDistance, WeightFunction};
 use vsim_setdist::{extended_centroid, BoundedDistance, Distance, MatchingEngine, VectorSet};
+
+/// Directory-stream tag of a persisted filter/refine index ("FRIX" v1).
+const INDEX_TAG: u64 = 0x4652_4958_0000_0001;
+
+fn rd_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn rd_f64(r: &mut impl Read) -> io::Result<f64> {
+    Ok(f64::from_bits(rd_u64(r)?))
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
 
 /// Filter/refine index over vector sets.
 ///
@@ -95,6 +115,102 @@ impl FilterRefineIndex {
         self.store.is_empty()
     }
 
+    /// The medium this index reads from: [`Backend::Memory`] for a
+    /// freshly built index, `File`/`Mmap` after [`open`](Self::open) /
+    /// [`open_mmap`](Self::open_mmap).
+    pub fn backend(&self) -> Backend {
+        self.store.page_store().backend()
+    }
+
+    /// Persist the whole index — X-tree, centroid M-tree, centroid point
+    /// file, and the vector-set heap file — into one durable page file
+    /// at `path`, finished by a root directory stream whose location
+    /// goes into the file header. The file is checksummed and fsynced;
+    /// a crash mid-save leaves an unopenable file, never a silently
+    /// wrong one.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let data_pages = (self.tree.total_pages()
+            + self.ctree.total_pages()
+            + self.cfile.total_pages()
+            + self.store.total_pages()) as u64;
+        // Streams re-serialize the structures' contents, so budget a
+        // generous multiple of the data spans plus fixed headroom.
+        let file = FilePageStore::create(path, data_pages * 4 + 64)?;
+        let t = self.tree.save_to(&file)?;
+        let c = self.ctree.save_to(&file)?;
+        let f = self.cfile.save_to(&file)?;
+        let s = self.store.save_to(&file)?;
+        let mut meta = Vec::new();
+        for v in [INDEX_TAG, self.k as u64, self.omega.len() as u64] {
+            meta.extend_from_slice(&v.to_le_bytes());
+        }
+        for &w in &self.omega {
+            meta.extend_from_slice(&w.to_le_bytes());
+        }
+        for v in [t.first, c.first, f.first, s.first] {
+            meta.extend_from_slice(&v.to_le_bytes());
+        }
+        let mut w = PageStreamWriter::new(&file);
+        w.write_all(&meta)?;
+        let dir = w.finish()?;
+        file.set_root(dir.first);
+        file.sync()
+    }
+
+    /// Reopen an index persisted by [`save`](Self::save), reading pages
+    /// through `pread`. Queries return bit-identical results to the
+    /// index that was saved, with identical page/byte accounting.
+    pub fn open(path: &Path) -> io::Result<Self> {
+        Self::open_store(FilePageStore::open(path)?)
+    }
+
+    /// Like [`open`](Self::open) but with a read-only memory mapping as
+    /// the read path (`pread` fallback past the mapped length).
+    pub fn open_mmap(path: &Path) -> io::Result<Self> {
+        Self::open_store(FilePageStore::open_mmap(path)?)
+    }
+
+    fn open_store(file: FilePageStore) -> io::Result<Self> {
+        let dir = file.root().ok_or_else(|| bad("index file has no root directory"))?;
+        let store: Arc<dyn PageStore> = Arc::new(file);
+        let mut r = PageStreamReader::open(store.as_ref(), dir)?;
+        let mut meta = Vec::new();
+        r.read_to_end(&mut meta)?;
+        let rd = &mut &meta[..];
+        if rd_u64(rd)? != INDEX_TAG {
+            return Err(bad("not a filter/refine index file"));
+        }
+        let k = rd_u64(rd)? as usize;
+        let dim = rd_u64(rd)? as usize;
+        if k == 0 || dim == 0 || dim > 4096 {
+            return Err(bad("index directory header is inconsistent"));
+        }
+        let omega: Vec<f64> = (0..dim).map(|_| rd_f64(rd)).collect::<io::Result<_>>()?;
+        let (t, c, f, s) = (rd_u64(rd)?, rd_u64(rd)?, rd_u64(rd)?, rd_u64(rd)?);
+        let tree = XTree::load_from(Arc::clone(&store), t)?;
+        if tree.dim() != dim {
+            return Err(bad("X-tree dimension disagrees with the index directory"));
+        }
+        let dist: Arc<dyn Distance<Vec<f64>>> =
+            Arc::new(|a: &Vec<f64>, b: &Vec<f64>| centroid_euclid(a, b));
+        let ctree = MTree::load_from(Arc::clone(&store), c, dist)?;
+        let cfile = PointFile::open_from(Arc::clone(&store), f)?;
+        let vstore = VectorSetStore::open_from(store, s)?;
+        Ok(FilterRefineIndex {
+            k,
+            omega,
+            tree,
+            ctree,
+            cfile,
+            store: vstore,
+            mm: MinimalMatching {
+                point_distance: PointDistance::Euclidean,
+                weight: WeightFunction::Norm,
+                sqrt_of_total: false,
+            },
+        })
+    }
+
     /// The exact distance used for refinement.
     pub fn exact_distance(&self, a: &VectorSet, b: &VectorSet) -> f64 {
         self.mm.distance_value(a, b)
@@ -120,6 +236,7 @@ impl FilterRefineIndex {
             xtree_height: self.tree.height() as u64,
             mtree_pages: self.ctree.total_pages() as u64,
             mtree_entry_bytes: (8 * dim + 16) as u64,
+            backend: self.backend(),
         }
     }
 

@@ -27,7 +27,7 @@
 //! filter files, and the M-tree taking over when `dim` drives the
 //! X-tree's amplification past the M-tree's overlap penalty.
 
-use vsim_index::{CostModel, IoSnapshot};
+use vsim_index::{Backend, CostModel, IoSnapshot};
 
 /// The access paths a multi-step query can pull candidates from. All
 /// three implement the same `CandidateSource` contract, so the choice
@@ -72,6 +72,12 @@ pub struct DatasetStats {
     pub mtree_pages: u64,
     /// Bytes per M-tree entry (charged on node misses).
     pub mtree_entry_bytes: u64,
+    /// The medium the filter structures read from. Simulated (memory)
+    /// backends are costed with the paper's charged constants; durable
+    /// backends with the measured-device constants of
+    /// [`CostModel::for_backend`], so an index reopened from a page file
+    /// is planned against its actual page costs.
+    pub backend: Backend,
 }
 
 /// The planner's decision: the chosen path plus the estimated cost of
@@ -100,13 +106,24 @@ impl Planner {
         Planner { cost }
     }
 
-    fn ms(&self, pages: u64, bytes: u64) -> f64 {
-        self.cost.seconds(IoSnapshot { pages, bytes }) * 1e3
+    /// Per-backend cost constants: the planner's own model (the paper's
+    /// charged constants by default) for simulated backends, the
+    /// measured-device model for durable ones.
+    fn cost_for(&self, backend: Backend) -> CostModel {
+        if backend.is_simulated() {
+            self.cost
+        } else {
+            CostModel::for_backend(backend)
+        }
+    }
+
+    fn ms(&self, backend: Backend, pages: u64, bytes: u64) -> f64 {
+        self.cost_for(backend).seconds(IoSnapshot { pages, bytes }) * 1e3
     }
 
     /// Estimated cost of scanning the whole filter file once.
     fn scan_ms(&self, s: &DatasetStats) -> f64 {
-        self.ms(s.scan_pages, s.scan_bytes)
+        self.ms(s.backend, s.scan_pages, s.scan_bytes)
     }
 
     /// Estimated cost of pulling ~`cand` candidates through the X-tree
@@ -114,11 +131,11 @@ impl Planner {
     /// the candidates live on. Page-only — the X-tree charges no bytes.
     fn xtree_ms(&self, s: &DatasetStats, cand: f64) -> f64 {
         if s.n == 0 {
-            return self.ms(s.xtree_height, 0);
+            return self.ms(s.backend, s.xtree_height, 0);
         }
         let frac = (cand / s.n as f64).min(1.0);
         let leaf_pages = (frac * s.xtree_pages as f64).ceil() as u64;
-        self.ms(s.xtree_height + leaf_pages, 0)
+        self.ms(s.backend, s.xtree_height + leaf_pages, 0)
     }
 
     /// Estimated cost of pulling ~`cand` candidates through the M-tree
@@ -132,7 +149,7 @@ impl Planner {
         let pages = 1 + (frac * s.mtree_pages as f64).ceil() as u64;
         let per_page_entries = (s.n as f64 / s.mtree_pages.max(1) as f64).ceil() as u64;
         let bytes = pages * per_page_entries * s.mtree_entry_bytes;
-        2.0 * self.ms(pages, bytes)
+        2.0 * self.ms(s.backend, pages, bytes)
     }
 
     /// Expected candidates a k-NN query must examine on the X-tree:
@@ -194,6 +211,7 @@ mod tests {
             xtree_height: height,
             mtree_pages,
             mtree_entry_bytes: (dim * 8 + 16) as u64,
+            backend: Backend::Memory,
         }
     }
 
@@ -230,6 +248,25 @@ mod tests {
         let plan = Planner::default().plan_knn(&stats(2000, 6), 10);
         let min = plan.est_ms.iter().map(|(_, c)| *c).fold(f64::INFINITY, f64::min);
         assert_eq!(plan.chosen_ms(), min);
+    }
+
+    #[test]
+    fn durable_backends_are_costed_with_measured_constants() {
+        let planner = Planner::default();
+        let mem = stats(2000, 6);
+        let mut file = mem;
+        file.backend = Backend::File;
+        let mut mmap = mem;
+        mmap.backend = Backend::Mmap;
+        // Same shape, vastly cheaper estimates on real devices.
+        let (pm, pf, pp) =
+            (planner.plan_knn(&mem, 10), planner.plan_knn(&file, 10), planner.plan_knn(&mmap, 10));
+        assert!(pf.chosen_ms() < pm.chosen_ms() / 10.0, "{} vs {}", pf.chosen_ms(), pm.chosen_ms());
+        assert!(pp.chosen_ms() < pf.chosen_ms(), "{} vs {}", pp.chosen_ms(), pf.chosen_ms());
+        // The ranking itself stays sane: a large low-d dataset still
+        // prefers the X-tree on every backend.
+        assert_eq!(pf.path, AccessPath::XTreeCursor);
+        assert_eq!(pp.path, AccessPath::XTreeCursor);
     }
 
     #[test]

@@ -1,0 +1,152 @@
+//! End-to-end durability: a filter/refine index saved to a real page
+//! file and reopened — via `pread` and via mmap — must answer every
+//! query class bit-identically to the in-memory index it was built as,
+//! and the two durable read paths must charge identical simulated I/O.
+
+use rand::prelude::*;
+use std::path::PathBuf;
+use vsim_index::{Backend, QueryContext};
+use vsim_query::{AccessPath, FilterRefineIndex, QueryExecutor};
+use vsim_setdist::VectorSet;
+
+fn random_sets(n: usize, k: usize, seed: u64) -> Vec<VectorSet> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let card = rng.gen_range(1..=k);
+            let mut s = VectorSet::new(6);
+            for _ in 0..card {
+                let v: Vec<f64> = (0..6).map(|_| rng.gen_range(0.05..1.0)).collect();
+                s.push(&v);
+            }
+            s
+        })
+        .collect()
+}
+
+fn temp_index(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("vsim_file_backed_{tag}_{}.vsix", std::process::id()))
+}
+
+struct TempFile(PathBuf);
+impl Drop for TempFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+fn assert_hits_bit_identical(a: &[(u64, f64)], b: &[(u64, f64)], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: hit counts differ");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.0, y.0, "{what}: ids diverge");
+        assert_eq!(x.1.to_bits(), y.1.to_bits(), "{what}: distances not bit-identical");
+    }
+}
+
+#[test]
+fn saved_index_answers_every_query_class_bit_identically() {
+    let sets = random_sets(300, 5, 71);
+    let built = FilterRefineIndex::build(&sets, 6, 5);
+    let path = TempFile(temp_index("queries"));
+    built.save(&path.0).unwrap();
+
+    let file = FilterRefineIndex::open(&path.0).unwrap();
+    let mmap = FilterRefineIndex::open_mmap(&path.0).unwrap();
+    assert_eq!(built.backend(), Backend::Memory);
+    assert_eq!(file.backend(), Backend::File);
+    assert_eq!(mmap.backend(), Backend::Mmap);
+    assert_eq!(file.len(), built.len());
+
+    let queries: Vec<VectorSet> = (0..12).map(|i| sets[i * 23].clone()).collect();
+    for (qi, q) in queries.iter().enumerate() {
+        // k-NN on every access path.
+        for ap in [AccessPath::XTreeCursor, AccessPath::MTreeCursor, AccessPath::SeqScan] {
+            let (cb, cf, cp) =
+                (QueryContext::ephemeral(), QueryContext::ephemeral(), QueryContext::ephemeral());
+            let hb = built.knn_via_with(ap, q, 8, &cb);
+            let hf = file.knn_via_with(ap, q, 8, &cf);
+            let hp = mmap.knn_via_with(ap, q, 8, &cp);
+            assert_hits_bit_identical(&hb, &hf, &format!("knn q{qi} {ap} file"));
+            assert_hits_bit_identical(&hb, &hp, &format!("knn q{qi} {ap} mmap"));
+            // Identical touch logic → identical charging on all media.
+            let z = std::time::Duration::ZERO;
+            let (sb, sf, sp) = (cb.stats(z), cf.stats(z), cp.stats(z));
+            assert_eq!(sb.io, sf.io, "knn q{qi} {ap}: file charging diverged");
+            assert_eq!(sf.io, sp.io, "knn q{qi} {ap}: mmap charging diverged");
+            assert_eq!(sf.distance_evals, sb.distance_evals);
+        }
+        // ε-range and invariant k-NN on the default path.
+        let (rb, _) = built.range_query(q, 0.5);
+        let (rf, _) = file.range_query(q, 0.5);
+        let (rp, _) = mmap.range_query(q, 0.5);
+        assert_hits_bit_identical(&rb, &rf, &format!("range q{qi} file"));
+        assert_hits_bit_identical(&rb, &rp, &format!("range q{qi} mmap"));
+
+        let variants = [q.clone()];
+        let (ib, _) = built.knn_invariant(&variants, 6);
+        let (if_, _) = file.knn_invariant(&variants, 6);
+        let (ip, _) = mmap.knn_invariant(&variants, 6);
+        assert_hits_bit_identical(&ib, &if_, &format!("invariant q{qi} file"));
+        assert_hits_bit_identical(&ib, &ip, &format!("invariant q{qi} mmap"));
+    }
+}
+
+#[test]
+fn reopened_index_plans_against_its_real_backend() {
+    let sets = random_sets(250, 4, 72);
+    let built = FilterRefineIndex::build(&sets, 6, 4);
+    let path = TempFile(temp_index("planner"));
+    built.save(&path.0).unwrap();
+    let file = FilterRefineIndex::open(&path.0).unwrap();
+
+    assert_eq!(built.dataset_stats().backend, Backend::Memory);
+    assert_eq!(file.dataset_stats().backend, Backend::File);
+    // Durable estimates use measured device constants — far below the
+    // simulated 8 ms/page model — without changing the chosen ranking's
+    // results.
+    let (pm, pf) = (built.plan_knn(8), file.plan_knn(8));
+    assert!(pf.chosen_ms() < pm.chosen_ms(), "{} vs {}", pf.chosen_ms(), pm.chosen_ms());
+    let q = &sets[17];
+    let ctx_m = QueryContext::ephemeral();
+    let ctx_f = QueryContext::ephemeral();
+    let hm = built.knn_via_with(pm.path, q, 8, &ctx_m);
+    let hf = file.knn_via_with(pf.path, q, 8, &ctx_f);
+    assert_hits_bit_identical(&hm, &hf, "planned knn");
+}
+
+#[test]
+fn executor_batches_are_bit_identical_across_backends() {
+    let sets = random_sets(220, 4, 73);
+    let built = FilterRefineIndex::build(&sets, 6, 4);
+    let path = TempFile(temp_index("executor"));
+    built.save(&path.0).unwrap();
+    let file = FilterRefineIndex::open(&path.0).unwrap();
+    let mmap = FilterRefineIndex::open_mmap(&path.0).unwrap();
+
+    let queries: Vec<VectorSet> = (0..8).map(|i| sets[i * 19].clone()).collect();
+    // A bounded shared pool exercises concurrent reads of one durable
+    // store, including evictions, without perturbing results.
+    for ex in [QueryExecutor::cold(), QueryExecutor::shared(64)] {
+        let bm = ex.batch_knn(&built, &queries, 6);
+        let bf = ex.batch_knn(&file, &queries, 6);
+        let bp = ex.batch_knn(&mmap, &queries, 6);
+        for i in 0..queries.len() {
+            assert_hits_bit_identical(&bm.hits[i], &bf.hits[i], &format!("batch q{i} file"));
+            assert_hits_bit_identical(&bm.hits[i], &bp.hits[i], &format!("batch q{i} mmap"));
+        }
+        assert_eq!(bf.aggregate.io, bp.aggregate.io, "file/mmap batches charge alike");
+    }
+}
+
+#[test]
+fn open_rejects_a_missing_or_damaged_file() {
+    let path = TempFile(temp_index("damaged"));
+    assert!(FilterRefineIndex::open(&path.0).is_err(), "missing file must not open");
+
+    let sets = random_sets(60, 3, 74);
+    FilterRefineIndex::build(&sets, 6, 3).save(&path.0).unwrap();
+    // Truncating the tail must surface as an error, not wrong answers.
+    let full = std::fs::read(&path.0).unwrap();
+    std::fs::write(&path.0, &full[..full.len() / 2]).unwrap();
+    assert!(FilterRefineIndex::open(&path.0).is_err(), "truncated file must not open");
+}

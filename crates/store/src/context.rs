@@ -4,6 +4,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
+use crate::page::PageStore;
 use crate::pool::{BufferPool, PinGuard};
 use crate::stats::QueryStats;
 use crate::tracker::IoTracker;
@@ -47,6 +48,14 @@ impl QueryContext {
     /// Read and pin one page; it stays resident until the guard drops.
     pub fn pin(&self, store: StoreId, page: u64) -> PinGuard<'_> {
         self.pool.pin(store, page, &self.tracker)
+    }
+
+    /// Read one page's *contents* through the pool, charged exactly
+    /// like a one-page [`access`](Self::access). Returns the page image
+    /// and the number of charged misses (0 or 1), so access methods can
+    /// keep byte charges tied to misses.
+    pub fn load(&self, store: &dyn PageStore, page: u64) -> std::io::Result<(Arc<[u8]>, u64)> {
+        self.pool.load(store, page, &self.tracker)
     }
 
     /// Charge `n` bytes read to this query.
@@ -116,6 +125,21 @@ mod tests {
         assert_eq!(sa.io.pages, 3);
         assert_eq!(sb.io.pages, 0);
         assert_eq!(sb.cache.hits, 3);
+    }
+
+    #[test]
+    fn load_charges_like_access() {
+        let store = InMemoryPageStore::new();
+        let page = store.allocate(1);
+        store.write_page(page, &[0x42u8; 16]).unwrap();
+        let ctx = QueryContext::ephemeral();
+        let (data, missed) = ctx.load(&store, page).unwrap();
+        assert_eq!((missed, data[0]), (1, 0x42));
+        let (_, missed) = ctx.load(&store, page).unwrap();
+        assert_eq!(missed, 0);
+        let s = ctx.stats(Duration::ZERO);
+        assert_eq!(s.io.pages, 1);
+        assert_eq!((s.cache.hits, s.cache.misses), (1, 1));
     }
 
     #[test]

@@ -1,0 +1,564 @@
+//! Durable page file: the real-I/O counterpart of
+//! [`InMemoryPageStore`](crate::InMemoryPageStore).
+//!
+//! # On-disk layout
+//!
+//! ```text
+//! physical page 0            header (magic, version, page size,
+//!                            free-map size, data-page high-water,
+//!                            root pointer, FNV-1a checksum)
+//! physical pages 1..=F       free map: one bit per data page
+//!                            (1 = allocated), F fixed at create time
+//! physical pages F+1..       data pages; logical data page p lives at
+//!                            byte offset (1 + F + p) * PAGE_SIZE
+//! ```
+//!
+//! Data pages are addressed logically from 0, so page numbers are
+//! interchangeable with the in-memory store's and the buffer pool never
+//! sees the header or free map. Allocation is first-fit over the bitmap
+//! and spans are contiguous; [`PageStore::free`] clears bits so the
+//! space is genuinely reused. Metadata (header + free map) is written
+//! by [`PageStore::sync`] under a checksum covering both; [`open`]
+//! verifies magic, version, page size, and checksum, and rejects files
+//! whose metadata region is truncated. A torn *data* tail (file cut
+//! mid-page) reads as zeros, which the length-prefixed, checksummed
+//! record streams above this layer detect — see `stream.rs`.
+//!
+//! [`open`]: FilePageStore::open
+
+use std::fs::{File, OpenOptions};
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::cost::PAGE_SIZE;
+use crate::page::{Backend, PageStore, StoreId};
+use crate::stream::fnv1a;
+
+const FILE_MAGIC: u32 = 0x5653_5046; // "VSPF"
+const FILE_VERSION: u32 = 1;
+const HEADER_LEN: usize = 40;
+
+/// Data pages addressable per free-map page (one bit each).
+const PAGES_PER_MAP_PAGE: u64 = (PAGE_SIZE * 8) as u64;
+
+#[derive(Debug)]
+struct FreeState {
+    /// One bit per data page, 1 = allocated. Length is fixed at create
+    /// time (`freemap_pages * PAGE_SIZE` bytes).
+    bitmap: Vec<u8>,
+    /// High-water mark: data pages backed by file space so far.
+    data_pages: u64,
+}
+
+impl FreeState {
+    fn bit(&self, page: u64) -> bool {
+        self.bitmap[(page / 8) as usize] & (1 << (page % 8)) != 0
+    }
+
+    fn set_bit(&mut self, page: u64, on: bool) {
+        let (byte, mask) = ((page / 8) as usize, 1u8 << (page % 8));
+        if on {
+            self.bitmap[byte] |= mask;
+        } else {
+            self.bitmap[byte] &= !mask;
+        }
+    }
+
+    /// First-fit search for a contiguous run of `pages` free bits.
+    fn find_run(&self, pages: u64, capacity: u64) -> Option<u64> {
+        let mut run_start = 0u64;
+        let mut run_len = 0u64;
+        for page in 0..capacity {
+            if self.bit(page) {
+                run_len = 0;
+                run_start = page + 1;
+            } else {
+                run_len += 1;
+                if run_len == pages {
+                    return Some(run_start);
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(unix)]
+mod mmap {
+    use std::ffi::c_void;
+    use std::io;
+    use std::os::unix::io::AsRawFd;
+
+    const PROT_READ: i32 = 1;
+    const MAP_SHARED: i32 = 1;
+
+    extern "C" {
+        fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        fn munmap(addr: *mut c_void, len: usize) -> i32;
+    }
+
+    /// Read-only shared mapping of the front of the page file. Pages
+    /// past the mapped length (the file grew after opening) fall back
+    /// to `pread` in the caller.
+    #[derive(Debug)]
+    pub struct Map {
+        ptr: *mut c_void,
+        len: usize,
+    }
+
+    // SAFETY: the mapping is PROT_READ/MAP_SHARED over a regular file;
+    // the pointer is only ever read, never handed out mutably, and the
+    // region stays valid until Drop unmaps it, so concurrent reads from
+    // multiple threads are safe.
+    unsafe impl Send for Map {}
+    // SAFETY: as above — shared read-only access to an immutable-length
+    // mapping needs no synchronization.
+    unsafe impl Sync for Map {}
+
+    impl Map {
+        pub fn new(file: &std::fs::File, len: usize) -> io::Result<Map> {
+            if len == 0 {
+                return Ok(Map { ptr: std::ptr::null_mut(), len: 0 });
+            }
+            // SAFETY: mmap is called with a valid open fd, a length we
+            // just measured, and no fixed address; the result is checked
+            // against MAP_FAILED before use.
+            let ptr = unsafe {
+                mmap(std::ptr::null_mut(), len, PROT_READ, MAP_SHARED, file.as_raw_fd(), 0)
+            };
+            if ptr as isize == -1 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Map { ptr, len })
+        }
+
+        pub fn len(&self) -> usize {
+            self.len
+        }
+
+        /// Copy `buf.len()` bytes starting at `offset`; the caller must
+        /// keep `offset + buf.len() <= self.len()`.
+        pub fn read(&self, offset: usize, buf: &mut [u8]) {
+            assert!(offset + buf.len() <= self.len);
+            // SAFETY: the assert above keeps the source range inside the
+            // live mapping, and src/dst do not overlap (buf is a caller
+            // buffer, never the mapping itself).
+            unsafe {
+                std::ptr::copy_nonoverlapping(
+                    (self.ptr as *const u8).add(offset),
+                    buf.as_mut_ptr(),
+                    buf.len(),
+                );
+            }
+        }
+    }
+
+    impl Drop for Map {
+        fn drop(&mut self) {
+            if !self.ptr.is_null() {
+                // SAFETY: ptr/len came from a successful mmap in new()
+                // and are unmapped exactly once.
+                unsafe {
+                    munmap(self.ptr, self.len);
+                }
+            }
+        }
+    }
+}
+
+/// A single-file durable page store with a free map for page reuse and
+/// an optional read-only mmap fast path. See the module docs for the
+/// on-disk layout and recovery story.
+#[derive(Debug)]
+pub struct FilePageStore {
+    id: StoreId,
+    file: File,
+    freemap_pages: u64,
+    state: Mutex<FreeState>,
+    /// User-defined root pointer persisted in the header (e.g. the first
+    /// page of a directory stream).
+    root: AtomicU64,
+    #[cfg(unix)]
+    map: Option<mmap::Map>,
+}
+
+impl FilePageStore {
+    /// Create a fresh page file able to hold at least `capacity_pages`
+    /// data pages (rounded up to whole free-map pages; one free-map
+    /// page covers 32768 data pages = 128 MiB). Truncates any existing
+    /// file at `path`.
+    pub fn create(path: &Path, capacity_pages: u64) -> io::Result<FilePageStore> {
+        let freemap_pages = capacity_pages.div_ceil(PAGES_PER_MAP_PAGE).max(1);
+        let file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(true).open(path)?;
+        let store = FilePageStore {
+            id: StoreId::fresh(),
+            file,
+            freemap_pages,
+            state: Mutex::new(FreeState {
+                bitmap: vec![0; (freemap_pages * PAGE_SIZE as u64) as usize],
+                data_pages: 0,
+            }),
+            root: AtomicU64::new(u64::MAX),
+            #[cfg(unix)]
+            map: None,
+        };
+        store.sync()?;
+        Ok(store)
+    }
+
+    /// Open an existing page file, verifying magic, version, page size,
+    /// and the metadata checksum. A file whose header or free map is
+    /// truncated or corrupted is rejected here; a truncated data tail
+    /// is only detectable by the checksummed record streams above.
+    pub fn open(path: &Path) -> io::Result<FilePageStore> {
+        Self::open_inner(path, false)
+    }
+
+    /// Like [`open`](Self::open), but reads go through a read-only
+    /// memory mapping of the file (pages appended after opening fall
+    /// back to `pread`).
+    pub fn open_mmap(path: &Path) -> io::Result<FilePageStore> {
+        Self::open_inner(path, true)
+    }
+
+    fn open_inner(path: &Path, want_map: bool) -> io::Result<FilePageStore> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        let file_len = file.metadata()?.len();
+        let corrupt = |what: &str| io::Error::new(io::ErrorKind::InvalidData, what.to_string());
+        if file_len < PAGE_SIZE as u64 {
+            return Err(corrupt("page file shorter than its header"));
+        }
+        let mut header = vec![0u8; PAGE_SIZE];
+        read_exact_at(&file, &mut header, 0)?;
+        let u32_at = |o: usize| u32::from_le_bytes(header[o..o + 4].try_into().unwrap());
+        let u64_at = |o: usize| u64::from_le_bytes(header[o..o + 8].try_into().unwrap());
+        if u32_at(0) != FILE_MAGIC {
+            return Err(corrupt("not a vsim page file (bad magic)"));
+        }
+        if u32_at(4) != FILE_VERSION {
+            return Err(corrupt("unsupported page-file version"));
+        }
+        if u32_at(8) as usize != PAGE_SIZE {
+            return Err(corrupt("page file written with a different page size"));
+        }
+        let freemap_pages = u32_at(12) as u64;
+        let data_pages = u64_at(16);
+        let root = u64_at(24);
+        let stored_checksum = u64_at(32);
+        if freemap_pages == 0 || data_pages > freemap_pages * PAGES_PER_MAP_PAGE {
+            return Err(corrupt("page-file header out of range"));
+        }
+        if file_len < (1 + freemap_pages) * PAGE_SIZE as u64 {
+            return Err(corrupt("page file truncated inside its free map"));
+        }
+        let mut bitmap = vec![0u8; (freemap_pages * PAGE_SIZE as u64) as usize];
+        read_exact_at(&file, &mut bitmap, PAGE_SIZE as u64)?;
+        let mut meta = header[..HEADER_LEN - 8].to_vec();
+        meta.extend_from_slice(&bitmap);
+        if fnv1a(&meta) != stored_checksum {
+            return Err(corrupt("page-file metadata checksum mismatch"));
+        }
+        let map = if want_map { Some(mmap::Map::new(&file, file_len as usize)?) } else { None };
+        Ok(FilePageStore {
+            id: StoreId::fresh(),
+            file,
+            freemap_pages,
+            state: Mutex::new(FreeState { bitmap, data_pages }),
+            root: AtomicU64::new(root),
+            #[cfg(unix)]
+            map,
+        })
+    }
+
+    /// Maximum data pages this file can ever hold (fixed at create).
+    pub fn capacity_pages(&self) -> u64 {
+        self.freemap_pages * PAGES_PER_MAP_PAGE
+    }
+
+    /// Data pages currently marked allocated in the free map.
+    pub fn allocated_pages(&self) -> u64 {
+        let state = self.state.lock().unwrap();
+        state.bitmap.iter().map(|b| b.count_ones() as u64).sum()
+    }
+
+    /// The persisted root pointer, or `None` if never set.
+    pub fn root(&self) -> Option<u64> {
+        match self.root.load(Ordering::Relaxed) {
+            u64::MAX => None,
+            page => Some(page),
+        }
+    }
+
+    /// Set the root pointer; persisted on the next [`PageStore::sync`].
+    pub fn set_root(&self, page: u64) {
+        self.root.store(page, Ordering::Relaxed);
+    }
+
+    fn data_offset(&self, page: u64) -> u64 {
+        (1 + self.freemap_pages + page) * PAGE_SIZE as u64
+    }
+}
+
+impl PageStore for FilePageStore {
+    fn id(&self) -> StoreId {
+        self.id
+    }
+
+    fn page_count(&self) -> u64 {
+        self.state.lock().unwrap().data_pages
+    }
+
+    fn backend(&self) -> Backend {
+        #[cfg(unix)]
+        if self.map.is_some() {
+            return Backend::Mmap;
+        }
+        Backend::File
+    }
+
+    fn allocate(&self, pages: u64) -> u64 {
+        assert!(pages >= 1, "cannot allocate an empty span");
+        let mut state = self.state.lock().unwrap();
+        let capacity = self.capacity_pages();
+        let first = state
+            .find_run(pages, capacity)
+            .unwrap_or_else(|| panic!("page file full ({capacity} page capacity)"));
+        for page in first..first + pages {
+            state.set_bit(page, true);
+        }
+        if first + pages > state.data_pages {
+            state.data_pages = first + pages;
+            // Extend so even never-written pages are readable (zeros).
+            let _ = self.file.set_len(self.data_offset(state.data_pages));
+        }
+        first
+    }
+
+    fn free(&self, first: u64, pages: u64) {
+        let mut state = self.state.lock().unwrap();
+        for page in first..first + pages {
+            state.set_bit(page, false);
+        }
+    }
+
+    fn read_into(&self, page: u64, buf: &mut [u8]) -> io::Result<()> {
+        let buf = &mut buf[..PAGE_SIZE];
+        let offset = self.data_offset(page);
+        #[cfg(unix)]
+        if let Some(map) = &self.map {
+            if offset as usize + PAGE_SIZE <= map.len() {
+                map.read(offset as usize, buf);
+                return Ok(());
+            }
+        }
+        buf.fill(0);
+        read_up_to_at(&self.file, buf, offset)
+    }
+
+    fn write_page(&self, page: u64, data: &[u8]) -> io::Result<()> {
+        assert!(data.len() <= PAGE_SIZE, "page write of {} bytes", data.len());
+        {
+            let state = self.state.lock().unwrap();
+            assert!(page < state.data_pages, "write to unallocated page {page}");
+        }
+        write_all_at(&self.file, data, self.data_offset(page))
+    }
+
+    fn sync(&self) -> io::Result<()> {
+        let (bitmap, data_pages) = {
+            let state = self.state.lock().unwrap();
+            (state.bitmap.clone(), state.data_pages)
+        };
+        let mut meta = Vec::with_capacity(HEADER_LEN - 8 + bitmap.len());
+        meta.extend_from_slice(&FILE_MAGIC.to_le_bytes());
+        meta.extend_from_slice(&FILE_VERSION.to_le_bytes());
+        meta.extend_from_slice(&(PAGE_SIZE as u32).to_le_bytes());
+        meta.extend_from_slice(&(self.freemap_pages as u32).to_le_bytes());
+        meta.extend_from_slice(&data_pages.to_le_bytes());
+        meta.extend_from_slice(&self.root.load(Ordering::Relaxed).to_le_bytes());
+        meta.extend_from_slice(&bitmap);
+        let checksum = fnv1a(&meta);
+        let (header_prefix, bitmap_slice) = meta.split_at(HEADER_LEN - 8);
+        let mut header = vec![0u8; PAGE_SIZE];
+        header[..HEADER_LEN - 8].copy_from_slice(header_prefix);
+        header[HEADER_LEN - 8..HEADER_LEN].copy_from_slice(&checksum.to_le_bytes());
+        write_all_at(&self.file, &header, 0)?;
+        write_all_at(&self.file, bitmap_slice, PAGE_SIZE as u64)?;
+        self.file.sync_all()
+    }
+}
+
+impl Drop for FilePageStore {
+    fn drop(&mut self) {
+        // Best-effort durability for callers that forget to sync.
+        let _ = self.sync();
+    }
+}
+
+#[cfg(unix)]
+fn read_exact_at(file: &File, buf: &mut [u8], offset: u64) -> io::Result<()> {
+    std::os::unix::fs::FileExt::read_exact_at(file, buf, offset)
+}
+
+#[cfg(unix)]
+fn write_all_at(file: &File, buf: &[u8], offset: u64) -> io::Result<()> {
+    std::os::unix::fs::FileExt::write_all_at(file, buf, offset)
+}
+
+/// Read up to `buf.len()` bytes at `offset`; bytes past EOF are left
+/// untouched (callers pre-zero), so a short tail reads as zeros.
+#[cfg(unix)]
+fn read_up_to_at(file: &File, mut buf: &mut [u8], mut offset: u64) -> io::Result<()> {
+    use std::os::unix::fs::FileExt;
+    while !buf.is_empty() {
+        match file.read_at(buf, offset)? {
+            0 => return Ok(()),
+            n => {
+                buf = &mut buf[n..];
+                offset += n as u64;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(not(unix))]
+compile_error!("FilePageStore currently requires a unix target (pread/pwrite)");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PAGE_SIZE;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("vsim_file_store_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn write_read_round_trip_survives_reopen() {
+        let path = tmp("round_trip.vspf");
+        let payload: Vec<u8> = (0..PAGE_SIZE).map(|i| (i % 251) as u8).collect();
+        {
+            let store = FilePageStore::create(&path, 64).unwrap();
+            let first = store.allocate(3);
+            store.write_page(first + 1, &payload).unwrap();
+            store.set_root(first);
+            store.sync().unwrap();
+        }
+        let store = FilePageStore::open(&path).unwrap();
+        assert_eq!(store.page_count(), 3);
+        assert_eq!(store.root(), Some(0));
+        assert_eq!(store.backend(), Backend::File);
+        let mut buf = vec![0u8; PAGE_SIZE];
+        store.read_into(1, &mut buf).unwrap();
+        assert_eq!(buf, payload);
+        store.read_into(0, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 0), "never-written page is zeros");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn mmap_reads_match_pread() {
+        let path = tmp("mmap.vspf");
+        {
+            let store = FilePageStore::create(&path, 16).unwrap();
+            let first = store.allocate(2);
+            store.write_page(first, &[0xabu8; 100]).unwrap();
+            store.write_page(first + 1, &[0xcdu8; PAGE_SIZE]).unwrap();
+            store.sync().unwrap();
+        }
+        let plain = FilePageStore::open(&path).unwrap();
+        let mapped = FilePageStore::open_mmap(&path).unwrap();
+        assert_eq!(mapped.backend(), Backend::Mmap);
+        let (mut a, mut b) = (vec![0u8; PAGE_SIZE], vec![0u8; PAGE_SIZE]);
+        for page in 0..2 {
+            plain.read_into(page, &mut a).unwrap();
+            mapped.read_into(page, &mut b).unwrap();
+            assert_eq!(a, b, "page {page} differs between pread and mmap");
+        }
+        // A page appended after mapping falls back to pread.
+        let extra = mapped.allocate(1);
+        mapped.write_page(extra, &[9u8; 8]).unwrap();
+        mapped.read_into(extra, &mut b).unwrap();
+        assert_eq!(&b[..8], &[9u8; 8][..]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn freed_spans_are_reused_first_fit() {
+        let path = tmp("reuse.vspf");
+        let store = FilePageStore::create(&path, 64).unwrap();
+        let a = store.allocate(2); // [0, 1]
+        let b = store.allocate(3); // [2, 4]
+        assert_eq!((a, b), (0, 2));
+        store.free(a, 2);
+        assert_eq!(store.allocate(1), 0, "freed space is reused");
+        assert_eq!(store.allocate(1), 1);
+        assert_eq!(store.allocate(2), 5, "no free run of 2 before the high-water mark");
+        assert_eq!(store.page_count(), 7);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupted_metadata_is_rejected() {
+        let path = tmp("corrupt.vspf");
+        {
+            let store = FilePageStore::create(&path, 16).unwrap();
+            store.allocate(1);
+            store.sync().unwrap();
+        }
+        // Flip one free-map byte without updating the checksum.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[PAGE_SIZE + 100] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = FilePageStore::open(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("checksum"));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncated_metadata_is_rejected() {
+        let path = tmp("truncated.vspf");
+        {
+            FilePageStore::create(&path, 16).unwrap();
+        }
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..PAGE_SIZE / 2]).unwrap();
+        let err = FilePageStore::open(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncated_data_tail_reads_as_zeros() {
+        let path = tmp("torn_tail.vspf");
+        {
+            let store = FilePageStore::create(&path, 16).unwrap();
+            let first = store.allocate(1);
+            store.write_page(first, &[7u8; PAGE_SIZE]).unwrap();
+            store.sync().unwrap();
+        }
+        // Cut the file mid data page (simulates a torn append).
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - PAGE_SIZE / 2]).unwrap();
+        let store = FilePageStore::open(&path).unwrap();
+        let mut buf = vec![0u8; PAGE_SIZE];
+        store.read_into(0, &mut buf).unwrap();
+        assert_eq!(&buf[..PAGE_SIZE / 2], &[7u8; PAGE_SIZE / 2][..]);
+        assert!(buf[PAGE_SIZE / 2..].iter().all(|&b| b == 0), "torn tail reads as zeros");
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,35 +1,51 @@
-#![forbid(unsafe_code)]
-//! Layered storage engine for the simulated-I/O evaluation
-//! (Section 5.4 of the paper).
+//! Layered storage engine: the paper's simulated-I/O evaluation
+//! (Section 5.4) plus a real file-backed page store.
 //!
 //! The paper runs everything in main memory and *charges* I/O costs —
 //! 8 ms per page access, 200 ns per byte read. This crate centralizes
-//! that accounting behind a page abstraction:
+//! that accounting behind a page abstraction, and since the durability
+//! refactor also implements it for real:
 //!
-//! * [`PageStore`] / [`InMemoryPageStore`] — page identity and
-//!   allocation for each persistent structure (index nodes, heap file).
-//! * [`BufferPool`] — an LRU page cache with pin/unpin. Access methods
-//!   read pages *through* the pool; only misses are charged to the
-//!   cost model, so a pool shared across queries models a warm cache
-//!   while a fresh per-query pool reproduces cold-cache accounting.
+//! * [`PageStore`] / [`InMemoryPageStore`] / [`FilePageStore`] — page
+//!   identity, allocation, and page-granular contents for each
+//!   persistent structure (index nodes, heap file). The file store is
+//!   a single durable page file with a free map and an optional mmap
+//!   read path ([`FilePageStore::open_mmap`]).
+//! * [`BufferPool`] — a lock-striped LRU page cache with pin/unpin and
+//!   a physical read-through path ([`BufferPool::load`]). Access
+//!   methods read pages *through* the pool; only misses are charged to
+//!   the cost model, so a pool shared across queries models a warm
+//!   cache while a fresh per-query pool reproduces cold-cache
+//!   accounting.
+//! * [`PageStreamWriter`] / [`PageStreamReader`] — checksummed,
+//!   length-prefixed record streams over any page store; the unit of
+//!   crash-safe serialization (torn tails are detected, never decoded).
 //! * [`IoTracker`] / [`QueryContext`] — thread-safe per-query counters
 //!   (pages, bytes, cache hits/misses/evictions, distance evaluations,
 //!   filter candidates, refinements) threaded through query calls.
 //! * [`CostModel`] / [`QueryStats`] — turn counters into the paper's
-//!   simulated seconds and Table 2 columns.
+//!   simulated seconds and Table 2 columns; per-[`Backend`] constants
+//!   via [`CostModel::for_backend`] keep charges *charged* on the
+//!   memory backend and *measured-class* on file/mmap.
 
 mod context;
 mod cost;
+mod file;
 mod page;
 mod pool;
 mod stats;
+mod stream;
 mod tracker;
 
 pub use context::QueryContext;
 pub use cost::{CostModel, IoSnapshot, PAGE_SIZE};
-pub use page::{InMemoryPageStore, PageKey, PageStore, StoreId};
-pub use pool::{BufferPool, PinGuard, PoolStats};
+pub use file::FilePageStore;
+pub use page::{Backend, InMemoryPageStore, PageKey, PageStore, StoreId};
+pub use pool::{BufferPool, PinGuard, PoolStats, SHARD_THRESHOLD};
 pub use stats::QueryStats;
+pub use stream::{
+    fnv1a, free_stream, PageStreamReader, PageStreamWriter, StreamHandle, STREAM_PAYLOAD,
+};
 pub use tracker::{CacheCounts, IoTracker, TrackerSnapshot};
 
 /// Number of pages needed to hold `bytes` bytes.

@@ -1,14 +1,21 @@
-//! Page identity and allocation.
+//! Page identity, allocation, and page-granular contents.
 //!
 //! Every persistent structure (an index, the vector-set heap file)
 //! owns a page store; the store hands out page numbers and a unique
 //! [`StoreId`] so the shared [`BufferPool`](crate::BufferPool) can
-//! cache pages from many structures without collisions. The actual
-//! node/tuple payloads stay in the owning structure — the paper's
-//! evaluation simulates I/O rather than performing it, so the store
-//! tracks *which* pages exist, not their contents.
+//! cache pages from many structures without collisions. Since the
+//! file-backed refactor a store also holds page *contents*: the
+//! in-memory backend keeps written pages in a map (structures that only
+//! simulate I/O never write any), while
+//! [`FilePageStore`](crate::FilePageStore) puts them in a real page
+//! file.
 
+use std::collections::HashMap;
+use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::cost::PAGE_SIZE;
 
 static NEXT_STORE_ID: AtomicU64 = AtomicU64::new(1);
 
@@ -17,8 +24,12 @@ static NEXT_STORE_ID: AtomicU64 = AtomicU64::new(1);
 pub struct StoreId(u64);
 
 impl StoreId {
-    fn fresh() -> Self {
+    pub(crate) fn fresh() -> Self {
         StoreId(NEXT_STORE_ID.fetch_add(1, Ordering::Relaxed))
+    }
+
+    pub(crate) fn raw(self) -> u64 {
+        self.0
     }
 }
 
@@ -29,38 +40,88 @@ pub struct PageKey {
     pub page: u64,
 }
 
-/// A source of pages that the buffer pool can cache.
+/// Which medium a page store reads from. Decides whether the cost model
+/// *charges* the paper's simulated constants (memory) or estimates
+/// *measured* device costs (file/mmap) — see
+/// [`CostModel::for_backend`](crate::CostModel::for_backend).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// Main-memory store; I/O is simulated and charged.
+    Memory,
+    /// Page file read through `pread`.
+    File,
+    /// Page file with a read-only memory mapping.
+    Mmap,
+}
+
+impl Backend {
+    /// Whether I/O on this backend is simulated (charged) rather than
+    /// physically performed and measured.
+    pub fn is_simulated(self) -> bool {
+        matches!(self, Backend::Memory)
+    }
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Backend::Memory => "memory",
+            Backend::File => "file",
+            Backend::Mmap => "mmap",
+        })
+    }
+}
+
+/// A source of pages that the buffer pool can cache: identity and
+/// allocation plus page-granular read/write.
 pub trait PageStore: Send + Sync {
     /// Process-unique identity, used as the cache-key namespace.
     fn id(&self) -> StoreId;
-    /// Number of pages allocated so far.
+    /// Number of pages allocated so far (high-water mark).
     fn page_count(&self) -> u64;
+    /// The medium this store reads from.
+    fn backend(&self) -> Backend;
+    /// Allocate a contiguous span of `pages` pages; returns the first
+    /// page number of the span.
+    fn allocate(&self, pages: u64) -> u64;
+    /// Return a span to the store for reuse. Backends without reuse
+    /// (the bump-allocating memory store) only drop the contents.
+    fn free(&self, first: u64, pages: u64);
+    /// Read one page into `buf` (at least [`PAGE_SIZE`] bytes). Pages
+    /// that were allocated but never written read as zeros.
+    fn read_into(&self, page: u64, buf: &mut [u8]) -> io::Result<()>;
+    /// Write one page (`data.len() <= PAGE_SIZE`; a short write leaves
+    /// the page tail unspecified — record layouts carry their lengths).
+    fn write_page(&self, page: u64, data: &[u8]) -> io::Result<()>;
+    /// Persist store metadata (free map, header). No-op in memory.
+    fn sync(&self) -> io::Result<()>;
 }
 
-/// Page allocator for a main-memory structure. Thread-safe: allocation
+/// Page store for a main-memory structure. Thread-safe: allocation
 /// uses an atomic bump pointer, so index nodes can allocate fresh page
 /// spans (e.g. X-tree supernode growth) from behind a shared reference.
+/// Contents are kept only for pages actually written — the simulated-I/O
+/// access methods allocate spans for accounting and never write them.
 #[derive(Debug)]
 pub struct InMemoryPageStore {
     id: StoreId,
     pages: AtomicU64,
-}
-
-impl InMemoryPageStore {
-    pub fn new() -> Self {
-        InMemoryPageStore { id: StoreId::fresh(), pages: AtomicU64::new(0) }
-    }
-
-    /// Allocate a fresh contiguous span of `pages` pages; returns the
-    /// first page number of the span.
-    pub fn allocate(&self, pages: u64) -> u64 {
-        self.pages.fetch_add(pages, Ordering::Relaxed)
-    }
+    data: Mutex<HashMap<u64, Box<[u8]>>>,
 }
 
 impl Default for InMemoryPageStore {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+impl InMemoryPageStore {
+    pub fn new() -> Self {
+        InMemoryPageStore {
+            id: StoreId::fresh(),
+            pages: AtomicU64::new(0),
+            data: Mutex::new(HashMap::new()),
+        }
     }
 }
 
@@ -71,6 +132,42 @@ impl PageStore for InMemoryPageStore {
 
     fn page_count(&self) -> u64 {
         self.pages.load(Ordering::Relaxed)
+    }
+
+    fn backend(&self) -> Backend {
+        Backend::Memory
+    }
+
+    fn allocate(&self, pages: u64) -> u64 {
+        self.pages.fetch_add(pages, Ordering::Relaxed)
+    }
+
+    /// The bump allocator never reuses page numbers; freeing only drops
+    /// the stored contents.
+    fn free(&self, first: u64, pages: u64) {
+        let mut data = self.data.lock().unwrap();
+        for page in first..first + pages {
+            data.remove(&page);
+        }
+    }
+
+    fn read_into(&self, page: u64, buf: &mut [u8]) -> io::Result<()> {
+        let buf = &mut buf[..PAGE_SIZE];
+        buf.fill(0);
+        if let Some(d) = self.data.lock().unwrap().get(&page) {
+            buf[..d.len()].copy_from_slice(d);
+        }
+        Ok(())
+    }
+
+    fn write_page(&self, page: u64, data: &[u8]) -> io::Result<()> {
+        assert!(data.len() <= PAGE_SIZE, "page write of {} bytes", data.len());
+        self.data.lock().unwrap().insert(page, data.into());
+        Ok(())
+    }
+
+    fn sync(&self) -> io::Result<()> {
+        Ok(())
     }
 }
 
@@ -108,5 +205,38 @@ mod tests {
         firsts.dedup();
         assert_eq!(firsts.len(), 400);
         assert_eq!(s.page_count(), 800);
+    }
+
+    #[test]
+    fn written_pages_read_back_and_unwritten_read_zero() {
+        let s = InMemoryPageStore::new();
+        let first = s.allocate(2);
+        s.write_page(first, &[7u8; 100]).unwrap();
+        let mut buf = vec![0xffu8; PAGE_SIZE];
+        s.read_into(first, &mut buf).unwrap();
+        assert_eq!(&buf[..100], &[7u8; 100][..]);
+        assert!(buf[100..].iter().all(|&b| b == 0), "page tail reads as zeros");
+        s.read_into(first + 1, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 0), "never-written page reads as zeros");
+    }
+
+    #[test]
+    fn free_drops_contents_without_reusing_numbers() {
+        let s = InMemoryPageStore::new();
+        let first = s.allocate(1);
+        s.write_page(first, &[1u8; 8]).unwrap();
+        s.free(first, 1);
+        let mut buf = vec![0u8; PAGE_SIZE];
+        s.read_into(first, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 0));
+        assert_eq!(s.allocate(1), 1, "bump allocation is not rewound by free");
+    }
+
+    #[test]
+    fn backend_is_memory_and_simulated() {
+        let s = InMemoryPageStore::new();
+        assert_eq!(s.backend(), Backend::Memory);
+        assert!(s.backend().is_simulated());
+        assert!(!Backend::File.is_simulated());
     }
 }

@@ -1,21 +1,47 @@
-//! LRU buffer pool over [`PageKey`]s.
+//! Lock-striped LRU buffer pool over [`PageKey`]s.
 //!
 //! Charging policy: a lookup that *hits* the pool is free; a *miss* is
 //! charged as one page access to the query's [`IoTracker`] (the
 //! paper's 8 ms). A pool with `capacity >= working set` therefore
 //! issues zero simulated page costs on repeated queries, while a fresh
 //! pool per query reproduces cold-cache accounting.
+//!
+//! # Sharding
+//!
+//! The pool is split into power-of-two *shards*, each an independently
+//! locked LRU over a slice of the capacity; a page's shard is fixed by
+//! a hash of its [`PageKey`], so concurrent queries touching different
+//! pages rarely contend on the same mutex. Small pools (below
+//! [`SHARD_THRESHOLD`] pages) collapse to a single shard so eviction
+//! order stays exactly global LRU — the shard-local approximation only
+//! kicks in at capacities where it is statistically irrelevant.
+//! Per-shard [`CacheCounts`] totals are summed into [`PoolStats`], so
+//! the counter-parity invariant (pool totals = Σ per-query trackers)
+//! is preserved.
 
 use std::collections::HashMap;
+use std::io;
 use std::sync::{Arc, Mutex};
 
-use crate::page::{PageKey, StoreId};
+use crate::cost::PAGE_SIZE;
+use crate::page::{PageKey, PageStore, StoreId};
 use crate::tracker::{CacheCounts, IoTracker};
+
+/// Below this capacity the pool uses one shard (exact global LRU).
+pub const SHARD_THRESHOLD: usize = 128;
+
+/// Shards used by bounded pools at or above [`SHARD_THRESHOLD`], and by
+/// unbounded pools.
+const DEFAULT_SHARDS: usize = 8;
 
 #[derive(Debug)]
 struct Frame {
     last_use: u64,
     pins: u32,
+    /// Page contents, present once the page has been physically read
+    /// through [`BufferPool::load`]. Simulated-I/O access paths never
+    /// read contents, so their frames stay data-free.
+    data: Option<Arc<[u8]>>,
 }
 
 #[derive(Debug, Default)]
@@ -25,42 +51,94 @@ struct Inner {
     totals: CacheCounts,
 }
 
-/// Shared LRU page cache with pin/unpin.
 #[derive(Debug)]
-pub struct BufferPool {
+struct Shard {
     capacity: Option<usize>,
     inner: Mutex<Inner>,
 }
 
+/// Shared lock-striped LRU page cache with pin/unpin and a physical
+/// read-through path.
+#[derive(Debug)]
+pub struct BufferPool {
+    capacity: Option<usize>,
+    shards: Vec<Shard>,
+}
+
 impl BufferPool {
-    /// Pool holding at most `capacity` pages (`capacity >= 1`).
+    /// Pool holding at most `capacity` pages (`capacity >= 1`). Small
+    /// pools get a single shard (exact LRU); larger ones are striped
+    /// across [`DEFAULT_SHARDS`] locks.
     pub fn new(capacity: usize) -> Arc<Self> {
         assert!(capacity >= 1, "buffer pool capacity must be at least 1");
-        Arc::new(BufferPool { capacity: Some(capacity), inner: Mutex::new(Inner::default()) })
+        let shards = if capacity < SHARD_THRESHOLD { 1 } else { DEFAULT_SHARDS };
+        Self::with_shards(Some(capacity), shards)
     }
 
     /// Pool that never evicts (models "everything fits in memory").
     pub fn unbounded() -> Arc<Self> {
-        Arc::new(BufferPool { capacity: None, inner: Mutex::new(Inner::default()) })
+        Self::with_shards(None, DEFAULT_SHARDS)
+    }
+
+    /// Pool with an explicit shard count (rounded up to a power of
+    /// two, clamped so every shard holds at least one page). The
+    /// concurrency benchmark uses `with_shards(cap, 1)` as the
+    /// single-lock baseline.
+    pub fn with_shards(capacity: Option<usize>, shards: usize) -> Arc<Self> {
+        let mut count = shards.max(1).next_power_of_two();
+        if let Some(cap) = capacity {
+            assert!(cap >= 1, "buffer pool capacity must be at least 1");
+            while count > 1 && cap / count == 0 {
+                count /= 2;
+            }
+        }
+        let shards = (0..count)
+            .map(|i| Shard {
+                // Distribute the capacity exactly: cap = Σ shard caps.
+                capacity: capacity.map(|cap| cap / count + usize::from(i < cap % count)),
+                inner: Mutex::new(Inner::default()),
+            })
+            .collect();
+        Arc::new(BufferPool { capacity, shards })
     }
 
     pub fn capacity(&self) -> Option<usize> {
         self.capacity
     }
 
-    /// Pages currently resident.
-    pub fn resident(&self) -> usize {
-        self.inner.lock().unwrap().frames.len()
+    /// Number of lock stripes.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
     }
 
-    /// Lifetime hit/miss/eviction totals across all queries.
+    fn shard(&self, key: PageKey) -> &Shard {
+        // Fibonacci hash over (store, page); high bits select the shard.
+        let mixed =
+            (key.store.raw() ^ key.page.rotate_left(29)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        &self.shards[(mixed >> 56) as usize & (self.shards.len() - 1)]
+    }
+
+    /// Pages currently resident.
+    pub fn resident(&self) -> usize {
+        self.shards.iter().map(|s| s.inner.lock().unwrap().frames.len()).sum()
+    }
+
+    /// Lifetime hit/miss/eviction totals across all queries, summed
+    /// over shards.
     pub fn stats(&self) -> PoolStats {
-        let inner = self.inner.lock().unwrap();
-        PoolStats { counts: inner.totals, resident: inner.frames.len(), capacity: self.capacity }
+        let mut counts = CacheCounts::default();
+        let mut resident = 0;
+        for shard in &self.shards {
+            let inner = shard.inner.lock().unwrap();
+            counts = counts + inner.totals;
+            resident += inner.frames.len();
+        }
+        PoolStats { counts, resident, capacity: self.capacity }
     }
 
     pub fn contains(&self, store: StoreId, page: u64) -> bool {
-        self.inner.lock().unwrap().frames.contains_key(&PageKey { store, page })
+        let key = PageKey { store, page };
+        self.shard(key).inner.lock().unwrap().frames.contains_key(&key)
     }
 
     /// Look up `pages` consecutive pages of `store` starting at
@@ -70,14 +148,46 @@ impl BufferPool {
     /// without caching (still a charged miss). Returns the number of
     /// misses.
     pub fn access(&self, store: StoreId, first: u64, pages: u64, tracker: &IoTracker) -> u64 {
-        let mut inner = self.inner.lock().unwrap();
         let mut missed = 0;
         for page in first..first + pages {
-            if !inner.touch(PageKey { store, page }, 0, self.capacity, tracker) {
+            let key = PageKey { store, page };
+            let shard = self.shard(key);
+            let mut inner = shard.inner.lock().unwrap();
+            if !inner.touch(key, 0, shard.capacity, tracker) {
                 missed += 1;
             }
         }
         missed
+    }
+
+    /// Read one page's *contents* through the pool: charged exactly
+    /// like a one-page [`access`](Self::access), but on a miss (or a
+    /// hit on a frame that was only ever touched by simulated access)
+    /// the page is physically read from `store` and cached in the
+    /// frame. Returns the contents and the number of charged misses
+    /// (0 or 1).
+    pub fn load(
+        &self,
+        store: &dyn PageStore,
+        page: u64,
+        tracker: &IoTracker,
+    ) -> io::Result<(Arc<[u8]>, u64)> {
+        let key = PageKey { store: store.id(), page };
+        let shard = self.shard(key);
+        let mut inner = shard.inner.lock().unwrap();
+        let missed = if inner.touch(key, 0, shard.capacity, tracker) { 0 } else { 1 };
+        if let Some(data) = inner.frames.get(&key).and_then(|f| f.data.clone()) {
+            return Ok((data, missed));
+        }
+        let mut buf = vec![0u8; PAGE_SIZE];
+        store.read_into(page, &mut buf)?;
+        let data: Arc<[u8]> = Arc::from(buf.into_boxed_slice());
+        // Cache the contents unless the frame was read through
+        // uncached (pool full of pins).
+        if let Some(frame) = inner.frames.get_mut(&key) {
+            frame.data = Some(Arc::clone(&data));
+        }
+        Ok((data, missed))
     }
 
     /// Like [`access`](Self::access) for a single page, but the page is
@@ -87,8 +197,9 @@ impl BufferPool {
     /// guard is a no-op.
     pub fn pin<'a>(&'a self, store: StoreId, page: u64, tracker: &IoTracker) -> PinGuard<'a> {
         let key = PageKey { store, page };
-        let mut inner = self.inner.lock().unwrap();
-        let hit = inner.touch(key, 1, self.capacity, tracker);
+        let shard = self.shard(key);
+        let mut inner = shard.inner.lock().unwrap();
+        let hit = inner.touch(key, 1, shard.capacity, tracker);
         // The page may not be resident (read-through); only a resident
         // pinned frame needs an unpin on drop.
         let pinned = inner.frames.get(&key).is_some_and(|f| f.pins > 0);
@@ -96,7 +207,7 @@ impl BufferPool {
     }
 
     fn unpin(&self, key: PageKey) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.shard(key).inner.lock().unwrap();
         if let Some(frame) = inner.frames.get_mut(&key) {
             frame.pins = frame.pins.saturating_sub(1);
         }
@@ -131,7 +242,7 @@ impl Inner {
                 return false;
             }
         }
-        self.frames.insert(key, Frame { last_use: tick, pins: extra_pins });
+        self.frames.insert(key, Frame { last_use: tick, pins: extra_pins, data: None });
         false
     }
 
@@ -329,5 +440,124 @@ mod tests {
         let totals = pool.stats().counts;
         assert_eq!(totals.accesses(), 2000);
         assert!(pool.resident() <= 8);
+    }
+
+    #[test]
+    fn small_pools_are_single_shard_large_pools_are_striped() {
+        assert_eq!(BufferPool::new(8).shard_count(), 1, "exact LRU below the threshold");
+        assert_eq!(BufferPool::new(SHARD_THRESHOLD).shard_count(), DEFAULT_SHARDS);
+        assert_eq!(BufferPool::unbounded().shard_count(), DEFAULT_SHARDS);
+        assert_eq!(BufferPool::with_shards(Some(1024), 1).shard_count(), 1);
+        assert_eq!(BufferPool::with_shards(None, 5).shard_count(), 8, "rounded to a power of two");
+        assert_eq!(BufferPool::with_shards(Some(2), 8).shard_count(), 2, "clamped to capacity");
+    }
+
+    #[test]
+    fn sharded_capacity_is_distributed_exactly() {
+        let pool = BufferPool::with_shards(Some(130), 8);
+        let per_shard: usize = pool.shards.iter().map(|s| s.capacity.unwrap()).sum();
+        assert_eq!(per_shard, 130, "shard capacities sum to the pool capacity");
+        let (store, t) = ids();
+        for page in 0..1000 {
+            pool.access(store, page, 1, &t);
+        }
+        assert!(pool.resident() <= 130);
+        let s = pool.stats();
+        assert_eq!(s.counts.misses, 1000);
+        assert_eq!(s.counts.misses - s.counts.evictions, s.resident as u64);
+    }
+
+    #[test]
+    fn sharded_totals_match_tracker_counts() {
+        let store = InMemoryPageStore::new();
+        let pool = BufferPool::with_shards(Some(256), 8);
+        let t = IoTracker::new();
+        for round in 0..3 {
+            for page in 0..200 {
+                pool.access(store.id(), page, 1, &t);
+            }
+            let s = pool.stats().counts;
+            let q = t.snapshot().cache;
+            assert_eq!(s, q, "pool totals equal the single query's counts (round {round})");
+        }
+    }
+
+    #[test]
+    fn load_reads_through_and_caches_contents() {
+        let store = InMemoryPageStore::new();
+        let page = store.allocate(1);
+        store.write_page(page, &[0x5au8; 64]).unwrap();
+        let pool = BufferPool::unbounded();
+        let t = IoTracker::new();
+        let (cold, missed) = pool.load(&store, page, &t).unwrap();
+        assert_eq!(missed, 1);
+        assert_eq!(&cold[..64], &[0x5au8; 64][..]);
+        assert_eq!(cold.len(), PAGE_SIZE);
+        let (warm, missed) = pool.load(&store, page, &t).unwrap();
+        assert_eq!(missed, 0, "second load is a free hit");
+        assert_eq!(warm, cold);
+        let s = t.snapshot();
+        assert_eq!(s.io.pages, 1, "contents served from cache are not re-charged");
+        assert_eq!(s.cache, CacheCounts { hits: 1, misses: 1, evictions: 0 });
+    }
+
+    #[test]
+    fn load_after_simulated_access_fills_in_contents() {
+        let store = InMemoryPageStore::new();
+        let page = store.allocate(1);
+        store.write_page(page, &[3u8; 10]).unwrap();
+        let pool = BufferPool::unbounded();
+        let t = IoTracker::new();
+        // Simulated access faults the frame in without contents...
+        assert_eq!(pool.access(store.id(), page, 1, &t), 1);
+        // ...so the first load hits (no new charge) but still reads.
+        let (data, missed) = pool.load(&store, page, &t).unwrap();
+        assert_eq!(missed, 0);
+        assert_eq!(&data[..10], &[3u8; 10][..]);
+        assert_eq!(t.snapshot().io.pages, 1);
+    }
+
+    #[test]
+    fn eviction_drops_cached_contents() {
+        let store = InMemoryPageStore::new();
+        let first = store.allocate(3);
+        for page in first..first + 3 {
+            store.write_page(page, &[page as u8; 4]).unwrap();
+        }
+        let pool = BufferPool::new(1);
+        let t = IoTracker::new();
+        for page in first..first + 3 {
+            let (data, missed) = pool.load(&store, page, &t).unwrap();
+            assert_eq!(missed, 1, "capacity 1: every new page misses");
+            assert_eq!(data[0], page as u8);
+        }
+        assert_eq!(pool.resident(), 1);
+        assert_eq!(t.snapshot().cache.evictions, 2);
+    }
+
+    #[test]
+    fn concurrent_loads_return_identical_contents() {
+        let store = InMemoryPageStore::new();
+        let first = store.allocate(16);
+        for page in first..first + 16 {
+            store.write_page(page, &[page as u8; 32]).unwrap();
+        }
+        let pool = BufferPool::with_shards(Some(256), 8);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let (pool, store) = (&pool, &store);
+                scope.spawn(move || {
+                    let t = IoTracker::new();
+                    for i in 0..200u64 {
+                        let page = i % 16;
+                        let (data, _) = pool.load(store, page, &t).unwrap();
+                        assert_eq!(data[0], page as u8);
+                    }
+                });
+            }
+        });
+        let s = pool.stats().counts;
+        assert_eq!(s.accesses(), 800);
+        assert_eq!(s.misses, 16, "each page faults exactly once across threads");
     }
 }

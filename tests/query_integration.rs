@@ -7,7 +7,6 @@ use std::sync::Arc;
 use vsim_core::prelude::*;
 use vsim_features::cover::transform_vector_set;
 use vsim_geom::Mat3;
-use vsim_index::PageStore;
 
 fn aircraft_sets(n: usize, k: usize, seed: u64) -> (Vec<VectorSet>, Vec<usize>) {
     let data = aircraft_dataset(seed, n);

@@ -31,7 +31,7 @@ fn bench_pool_access(c: &mut Criterion) {
     let mut g = c.benchmark_group("bufferpool_access");
     g.sample_size(30);
     let store = InMemoryPageStore::new();
-    store.allocate(1024);
+    store.allocate(1024).unwrap();
 
     g.bench_function("hits_resident_working_set", |b| {
         let pool = BufferPool::new(256);

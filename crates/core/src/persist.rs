@@ -335,7 +335,7 @@ mod tests {
         let q = load_from_store(&store, handle.first).unwrap();
         assert_eq!(p.vector_sets(5), q.vector_sets(5));
         // Zeroing the tail page models a torn file tail after reopen.
-        store.free(handle.first + handle.pages - 1, 1);
+        store.free(handle.first + handle.pages - 1, 1).unwrap();
         assert!(load_from_store(&store, handle.first).is_err());
     }
 

@@ -55,7 +55,8 @@ pub use storage::{PointFile, VectorSetStore};
 pub use xtree::{NnIter, XTree};
 // The storage-engine layer these access methods are built on.
 pub use vsim_store::{
-    Backend, BufferPool, CacheCounts, CostModel, FilePageStore, InMemoryPageStore, IoSnapshot,
-    IoTracker, PageKey, PageStore, PageStreamReader, PageStreamWriter, PoolStats, QueryContext,
-    QueryStats, StoreId, StreamHandle, TrackerSnapshot, PAGE_SIZE,
+    Backend, BufferPool, CacheCounts, CostModel, Fault, FaultInjectingPageStore, FaultPlan,
+    FilePageStore, InMemoryPageStore, IoSnapshot, IoTracker, PageKey, PageStore, PageStreamReader,
+    PageStreamWriter, PoolStats, QueryContext, QueryStats, StoreError, StoreErrorKind, StoreId,
+    StoreResult, StreamHandle, TrackerSnapshot, PAGE_SIZE,
 };

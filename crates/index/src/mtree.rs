@@ -432,7 +432,8 @@ impl<T: Clone + PagePayload> MTree<T> {
     /// directory. The metric itself is not serialized; the caller
     /// supplies it again on [`load_from`](Self::load_from).
     pub fn save_to(&self, target: &dyn PageStore) -> io::Result<StreamHandle> {
-        let pages: Vec<u64> = self.nodes.iter().map(|_| target.allocate(1)).collect();
+        let pages: Vec<u64> =
+            self.nodes.iter().map(|_| target.allocate(1)).collect::<Result<_, _>>()?;
         let mut meta = Vec::new();
         put_u64(&mut meta, MTREE_TAG);
         put_u64(&mut meta, self.capacity as u64);

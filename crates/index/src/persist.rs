@@ -152,9 +152,10 @@ impl NodeStore {
 
     /// Allocate a node span. Works in both modes, so trees mutated
     /// after a load still get valid pages (they must be re-saved for
-    /// the new spans to persist).
+    /// the new spans to persist). Build-time node stores are unbounded
+    /// in-memory stores, so allocation cannot legitimately fail here.
     pub(crate) fn allocate(&self, pages: u64) -> u64 {
-        self.as_store().allocate(pages)
+        self.as_store().allocate(pages).expect("node page allocation failed")
     }
 }
 

@@ -21,17 +21,17 @@ use std::sync::Arc;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use vsim_setdist::VectorSet;
 use vsim_store::{
-    InMemoryPageStore, PageStore, PageStreamReader, PageStreamWriter, QueryContext, StreamHandle,
-    PAGE_SIZE,
+    fnv1a, InMemoryPageStore, PageStore, PageStreamReader, PageStreamWriter, QueryContext,
+    StoreError, StoreResult, StreamHandle, PAGE_SIZE,
 };
 
 use crate::cursor::SortedScan;
 use crate::persist::{expect_tag, get_len, get_u64, get_usize, invalid, put_u64};
 
 /// Stream tags distinguishing persisted structure kinds ("VSET"/"PNTF"
-/// plus a format version).
-const VSET_TAG: u64 = 0x5653_4554_0000_0001;
-const POINT_TAG: u64 = 0x504E_5446_0000_0001;
+/// plus a format version — v2 added per-page image checksums).
+const VSET_TAG: u64 = 0x5653_4554_0000_0002;
+const POINT_TAG: u64 = 0x504E_5446_0000_0002;
 
 /// On-"disk" record image: `u32` dim, `u32` count, then `dim·count` f64s.
 fn encode(set: &VectorSet) -> Bytes {
@@ -84,31 +84,73 @@ impl Backing {
     }
 }
 
-/// Write `image` into freshly allocated pages of `target` and return
-/// the first page of the span.
-fn write_image(target: &dyn PageStore, image: &[u8]) -> io::Result<u64> {
+/// Write `image` into freshly allocated pages of `target`; returns the
+/// first page of the span plus one FNV-1a checksum per page (computed
+/// over the zero-padded full-page image, exactly what reads return).
+fn write_image(target: &dyn PageStore, image: &[u8]) -> io::Result<(u64, Vec<u64>)> {
     let pages = image.len().div_ceil(PAGE_SIZE) as u64;
-    let first = if pages > 0 { target.allocate(pages) } else { 0 };
+    let first = if pages > 0 { target.allocate(pages)? } else { 0 };
+    let mut sums = Vec::with_capacity(pages as usize);
+    let mut padded = vec![0u8; PAGE_SIZE];
     for (p, chunk) in image.chunks(PAGE_SIZE).enumerate() {
         target.write_page(first + p as u64, chunk)?;
+        padded[..chunk.len()].copy_from_slice(chunk);
+        padded[chunk.len()..].fill(0);
+        sums.push(fnv1a(&padded));
     }
-    Ok(first)
+    Ok((first, sums))
+}
+
+/// Checksum-failed image pages are invalidated in the pool and re-read
+/// this many extra times before corruption is declared permanent — a
+/// transient bad transfer heals, bad media does not.
+const IMAGE_READ_RETRIES: usize = 2;
+
+/// Read one image page through the context's buffer pool and verify it
+/// against its saved checksum. On mismatch the cached frame is dropped
+/// ([`QueryContext::invalidate`]) and the page physically re-read;
+/// persistent mismatch is a typed corruption error.
+fn load_verified(
+    store: &dyn PageStore,
+    page: u64,
+    sum: u64,
+    ctx: &QueryContext,
+) -> StoreResult<(Arc<[u8]>, u64)> {
+    let mut missed_total = 0;
+    let mut found = 0;
+    for _ in 0..=IMAGE_READ_RETRIES {
+        let (data, missed) = ctx.load(store, page)?;
+        missed_total += missed;
+        found = fnv1a(&data);
+        if found == sum {
+            return Ok((data, missed_total));
+        }
+        ctx.invalidate(store.id(), page);
+    }
+    Err(StoreError::Corruption { page, expected: sum, found })
 }
 
 /// Physically read bytes `[0, total)` of an image span through the
-/// context's buffer pool, charging the used bytes of every missed page
-/// — the shared-backing twin of the simulated whole-file charge loop.
-fn load_image(store: &dyn PageStore, first: u64, total: usize, ctx: &QueryContext) -> Vec<u8> {
+/// context's buffer pool, verifying every page against `sums` and
+/// charging the used bytes of every missed page — the shared-backing
+/// twin of the simulated whole-file charge loop.
+fn load_image(
+    store: &dyn PageStore,
+    first: u64,
+    total: usize,
+    sums: &[u64],
+    ctx: &QueryContext,
+) -> StoreResult<Vec<u8>> {
     let mut img = Vec::with_capacity(total);
     for page in 0..total.div_ceil(PAGE_SIZE) as u64 {
-        let (data, missed) = ctx.load(store, first + page).expect("heap-file page read failed");
+        let (data, missed) = load_verified(store, first + page, sums[page as usize], ctx)?;
         let used = (total - page as usize * PAGE_SIZE).min(PAGE_SIZE);
         if missed > 0 {
             ctx.record_bytes(used as u64);
         }
         img.extend_from_slice(&data[..used]);
     }
-    img
+    Ok(img)
 }
 
 /// A read-only heap file of vector sets, addressed by dense `u64` ids.
@@ -119,6 +161,9 @@ pub struct VectorSetStore {
     image: Bytes,
     /// Byte offset of record `i`; `offsets[len]` = total size.
     offsets: Vec<usize>,
+    /// Per-page FNV-1a checksums of the image span (shared backing
+    /// only; empty for the in-memory backing, which is never torn).
+    page_sums: Vec<u64>,
     backing: Backing,
 }
 
@@ -133,8 +178,10 @@ impl VectorSetStore {
         offsets.push(image.len());
         let image = image.freeze();
         let pages = InMemoryPageStore::new();
-        pages.allocate(image.len().div_ceil(PAGE_SIZE) as u64);
-        VectorSetStore { image, offsets, backing: Backing::Memory(pages) }
+        pages
+            .allocate(image.len().div_ceil(PAGE_SIZE) as u64)
+            .expect("in-memory page-charge allocation failed");
+        VectorSetStore { image, offsets, page_sums: Vec::new(), backing: Backing::Memory(pages) }
     }
 
     /// The backing page store.
@@ -149,7 +196,7 @@ impl VectorSetStore {
         if matches!(self.backing, Backing::Shared { .. }) {
             return Err(invalid("cannot re-save a heap file opened from a page store"));
         }
-        let first = write_image(target, &self.image)?;
+        let (first, sums) = write_image(target, &self.image)?;
         let mut meta = Vec::new();
         put_u64(&mut meta, VSET_TAG);
         put_u64(&mut meta, first);
@@ -157,6 +204,9 @@ impl VectorSetStore {
         put_u64(&mut meta, self.offsets.len() as u64);
         for &o in &self.offsets {
             put_u64(&mut meta, o as u64);
+        }
+        for &s in &sums {
+            put_u64(&mut meta, s);
         }
         let mut w = PageStreamWriter::new(target);
         w.write_all(&meta)?;
@@ -183,12 +233,15 @@ impl VectorSetStore {
         if offsets.windows(2).any(|w| w[0] > w[1]) || *offsets.last().unwrap() != total {
             return Err(invalid("heap-file offset table is inconsistent"));
         }
-        if first + total.div_ceil(PAGE_SIZE) as u64 > store.page_count() {
+        let pages = total.div_ceil(PAGE_SIZE);
+        if first + pages as u64 > store.page_count() {
             return Err(invalid("heap-file image span exceeds the page store"));
         }
+        let page_sums: Vec<u64> = (0..pages).map(|_| get_u64(r)).collect::<io::Result<_>>()?;
         Ok(VectorSetStore {
             image: Bytes::default(),
             offsets,
+            page_sums,
             backing: Backing::Shared { store, first },
         })
     }
@@ -220,8 +273,11 @@ impl VectorSetStore {
     /// Random access: reads the page(s) the record spans through the
     /// context's buffer pool, then decodes it. Missed pages are charged
     /// by the pool; the record's bytes are charged iff at least one of
-    /// its pages missed (a fully resident record costs nothing).
-    pub fn get(&self, id: u64, ctx: &QueryContext) -> VectorSet {
+    /// its pages missed (a fully resident record costs nothing). On the
+    /// shared backing every page is verified against its saved checksum
+    /// (with bounded invalidate-and-reread) before decoding, so a torn
+    /// or flipped page surfaces as a typed error, never a garbage set.
+    pub fn get(&self, id: u64, ctx: &QueryContext) -> StoreResult<VectorSet> {
         let i = id as usize;
         let (start, end) = (self.offsets[i], self.offsets[i + 1]);
         let first_page = (start / PAGE_SIZE) as u64;
@@ -232,14 +288,18 @@ impl VectorSetStore {
                 if missed > 0 {
                     ctx.record_bytes((end - start) as u64);
                 }
-                decode(&self.image[start..end])
+                Ok(decode(&self.image[start..end]))
             }
             Backing::Shared { store, first } => {
                 let mut missed = 0;
                 let mut buf = Vec::with_capacity(end - start);
                 for page in first_page..=last_page {
-                    let (data, m) =
-                        ctx.load(store.as_ref(), first + page).expect("heap-file page read failed");
+                    let (data, m) = load_verified(
+                        store.as_ref(),
+                        first + page,
+                        self.page_sums[page as usize],
+                        ctx,
+                    )?;
                     missed += m;
                     let base = page as usize * PAGE_SIZE;
                     buf.extend_from_slice(
@@ -249,15 +309,19 @@ impl VectorSetStore {
                 if missed > 0 {
                     ctx.record_bytes((end - start) as u64);
                 }
-                decode(&buf)
+                Ok(decode(&buf))
             }
         }
     }
 
     /// Sequential scan: reads every page of the file through the
     /// context's buffer pool (a cold pool charges exactly the file's
-    /// total pages and bytes), then yields `(id, set)` pairs.
-    pub fn scan<'a>(&'a self, ctx: &QueryContext) -> impl Iterator<Item = (u64, VectorSet)> + 'a {
+    /// total pages and bytes), then yields `(id, set)` pairs. The
+    /// shared backing verifies page checksums up front.
+    pub fn scan<'a>(
+        &'a self,
+        ctx: &QueryContext,
+    ) -> StoreResult<impl Iterator<Item = (u64, VectorSet)> + 'a> {
         let total = self.total_bytes();
         let assembled: Option<Vec<u8>> = match &self.backing {
             Backing::Memory(pages) => {
@@ -270,17 +334,17 @@ impl VectorSetStore {
                 None
             }
             Backing::Shared { store, first } => {
-                Some(load_image(store.as_ref(), *first, total, ctx))
+                Some(load_image(store.as_ref(), *first, total, &self.page_sums, ctx)?)
             }
         };
-        (0..self.len()).map(move |i| {
+        Ok((0..self.len()).map(move |i| {
             let (start, end) = (self.offsets[i], self.offsets[i + 1]);
             let buf: &[u8] = match &assembled {
                 Some(img) => &img[start..end],
                 None => &self.image[start..end],
             };
             (i as u64, decode(buf))
-        })
+        }))
     }
 }
 
@@ -297,6 +361,9 @@ pub struct PointFile {
     len: usize,
     /// Row-major `len · dim` coordinates (empty in shared backing).
     data: Vec<f64>,
+    /// Per-page FNV-1a checksums of the image span (shared backing
+    /// only; empty for the in-memory backing, which is never torn).
+    page_sums: Vec<u64>,
     backing: Backing,
 }
 
@@ -309,8 +376,16 @@ impl PointFile {
             data.extend_from_slice(p);
         }
         let pages = InMemoryPageStore::new();
-        pages.allocate((data.len() * 8).div_ceil(PAGE_SIZE) as u64);
-        PointFile { dim, len: points.len(), data, backing: Backing::Memory(pages) }
+        pages
+            .allocate((data.len() * 8).div_ceil(PAGE_SIZE) as u64)
+            .expect("in-memory page-charge allocation failed");
+        PointFile {
+            dim,
+            len: points.len(),
+            data,
+            page_sums: Vec::new(),
+            backing: Backing::Memory(pages),
+        }
     }
 
     /// Persist the point file into `target`: the packed LE image span,
@@ -323,12 +398,15 @@ impl PointFile {
         for &v in &self.data {
             image.extend_from_slice(&v.to_le_bytes());
         }
-        let first = write_image(target, &image)?;
+        let (first, sums) = write_image(target, &image)?;
         let mut meta = Vec::new();
         put_u64(&mut meta, POINT_TAG);
         put_u64(&mut meta, self.dim as u64);
         put_u64(&mut meta, self.len as u64);
         put_u64(&mut meta, first);
+        for &s in &sums {
+            put_u64(&mut meta, s);
+        }
         let mut w = PageStreamWriter::new(target);
         w.write_all(&meta)?;
         w.finish()
@@ -347,11 +425,18 @@ impl PointFile {
         if dim == 0 {
             return Err(invalid("point file has zero dimension"));
         }
-        let pages = (len * dim * 8).div_ceil(PAGE_SIZE) as u64;
-        if first + pages > store.page_count() {
+        let pages = (len * dim * 8).div_ceil(PAGE_SIZE);
+        if first + pages as u64 > store.page_count() {
             return Err(invalid("point-file image span exceeds the page store"));
         }
-        Ok(PointFile { dim, len, data: Vec::new(), backing: Backing::Shared { store, first } })
+        let page_sums: Vec<u64> = (0..pages).map(|_| get_u64(r)).collect::<io::Result<_>>()?;
+        Ok(PointFile {
+            dim,
+            len,
+            data: Vec::new(),
+            page_sums,
+            backing: Backing::Shared { store, first },
+        })
     }
 
     pub fn len(&self) -> usize {
@@ -383,8 +468,9 @@ impl PointFile {
     /// point to `center`, and return the result as a [`SortedScan`]
     /// candidate stream. All pages and bytes are charged up front (the
     /// defining cost shape of the scan access path); one distance
-    /// evaluation is counted per record.
-    pub fn scan_ranked(&self, center: &[f64], ctx: &QueryContext) -> SortedScan {
+    /// evaluation is counted per record. The shared backing verifies
+    /// page checksums before any distance is computed.
+    pub fn scan_ranked(&self, center: &[f64], ctx: &QueryContext) -> StoreResult<SortedScan> {
         assert_eq!(center.len(), self.dim);
         let total = self.total_bytes();
         let loaded: Option<Vec<f64>> = match &self.backing {
@@ -398,10 +484,10 @@ impl PointFile {
                 None
             }
             Backing::Shared { store, first } => {
-                let img = load_image(store.as_ref(), *first, total, ctx);
+                let img = load_image(store.as_ref(), *first, total, &self.page_sums, ctx)?;
                 Some(
                     img.chunks_exact(8)
-                        .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+                        .map(|c| f64::from_le_bytes(c.try_into().expect("8-byte chunk")))
                         .collect(),
                 )
             }
@@ -416,7 +502,7 @@ impl PointFile {
                 (i as u64, d2.sqrt())
             })
             .collect();
-        SortedScan::new(cands)
+        Ok(SortedScan::new(cands))
     }
 }
 
@@ -445,7 +531,7 @@ mod tests {
         let ctx = QueryContext::ephemeral();
         assert_eq!(store.len(), sets.len());
         for (i, s) in sets.iter().enumerate() {
-            assert_eq!(&store.get(i as u64, &ctx), s);
+            assert_eq!(&store.get(i as u64, &ctx).unwrap(), s);
         }
     }
 
@@ -490,7 +576,7 @@ mod tests {
         let sets = sample_sets();
         let store = VectorSetStore::build(&sets);
         let ctx = QueryContext::ephemeral();
-        let n = store.scan(&ctx).count();
+        let n = store.scan(&ctx).unwrap().count();
         assert_eq!(n, sets.len());
         let snap = ctx.stats(std::time::Duration::ZERO);
         assert_eq!(snap.io.pages as usize, store.total_pages());
@@ -528,7 +614,7 @@ mod tests {
         let ctx = QueryContext::ephemeral();
         assert!(store.is_empty());
         assert_eq!(store.total_pages(), 0);
-        assert_eq!(store.scan(&ctx).count(), 0);
+        assert_eq!(store.scan(&ctx).unwrap().count(), 0);
     }
 
     #[test]
@@ -540,7 +626,7 @@ mod tests {
         assert_eq!(pf.total_bytes(), 300 * 6 * 8);
         let ctx = QueryContext::ephemeral();
         let q = vec![50.0; 6];
-        let mut scan = pf.scan_ranked(&q, &ctx);
+        let mut scan = pf.scan_ranked(&q, &ctx).unwrap();
         let snap = ctx.stats(std::time::Duration::ZERO);
         assert_eq!(snap.io.pages as usize, pf.total_pages());
         assert_eq!(snap.io.bytes as usize, pf.total_bytes());
@@ -576,7 +662,7 @@ mod tests {
         assert!(pf.is_empty());
         assert_eq!(pf.total_pages(), 0);
         let ctx = QueryContext::ephemeral();
-        let mut s = pf.scan_ranked(&[0.0; 4], &ctx);
+        let mut s = pf.scan_ranked(&[0.0; 4], &ctx).unwrap();
         assert_eq!(s.next_candidate(), None);
     }
 
@@ -599,7 +685,7 @@ mod tests {
         // get(): identical records, identical page/byte accounting.
         for i in 0..sets.len() as u64 {
             let (ca, cb) = (QueryContext::ephemeral(), QueryContext::ephemeral());
-            assert_eq!(mem.get(i, &ca), opened.get(i, &cb));
+            assert_eq!(mem.get(i, &ca).unwrap(), opened.get(i, &cb).unwrap());
             let (sa, sb) =
                 (ca.stats(std::time::Duration::ZERO), cb.stats(std::time::Duration::ZERO));
             assert_eq!(sa.io.pages, sb.io.pages, "record {i} page charge");
@@ -608,8 +694,8 @@ mod tests {
 
         // scan(): identical sequence and whole-file accounting.
         let (ca, cb) = (QueryContext::ephemeral(), QueryContext::ephemeral());
-        let a: Vec<_> = mem.scan(&ca).collect();
-        let b: Vec<_> = opened.scan(&cb).collect();
+        let a: Vec<_> = mem.scan(&ca).unwrap().collect();
+        let b: Vec<_> = opened.scan(&cb).unwrap().collect();
         assert_eq!(a, b);
         let (sa, sb) = (ca.stats(std::time::Duration::ZERO), cb.stats(std::time::Duration::ZERO));
         assert_eq!(sa.io.pages, sb.io.pages);
@@ -629,8 +715,8 @@ mod tests {
 
         let q = vec![10.0; 6];
         let (ca, cb) = (QueryContext::ephemeral(), QueryContext::ephemeral());
-        let a = drain(&mut mem.scan_ranked(&q, &ca));
-        let b = drain(&mut opened.scan_ranked(&q, &cb));
+        let a = drain(&mut mem.scan_ranked(&q, &ca).unwrap());
+        let b = drain(&mut opened.scan_ranked(&q, &cb).unwrap());
         assert_eq!(a.len(), b.len());
         for ((ia, da), (ib, db)) in a.iter().zip(&b) {
             assert_eq!(ia, ib);

@@ -154,7 +154,8 @@ impl XTree {
     /// goes into a checksummed metadata stream. Returns the stream
     /// handle for a directory.
     pub fn save_to(&self, target: &dyn PageStore) -> io::Result<StreamHandle> {
-        let spans: Vec<u64> = self.nodes.iter().map(|n| target.allocate(n.pages as u64)).collect();
+        let spans: Vec<u64> =
+            self.nodes.iter().map(|n| target.allocate(n.pages as u64)).collect::<Result<_, _>>()?;
         let mut meta = Vec::new();
         put_u64(&mut meta, XTREE_TAG);
         put_u64(&mut meta, self.dim as u64);

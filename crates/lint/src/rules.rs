@@ -10,6 +10,7 @@ pub const STORAGE_BOUNDARY: &str = "storage-boundary";
 pub const COUNTER_PARITY: &str = "counter-parity";
 pub const UNSAFE_HYGIENE: &str = "unsafe-hygiene";
 pub const EXPERIMENT_DOCS: &str = "experiment-docs";
+pub const STORE_ERROR_HYGIENE: &str = "store-error-hygiene";
 pub const WAIVER_SYNTAX: &str = "waiver-syntax";
 
 /// Rule ids a waiver may name. `waiver-syntax` is listed so a directive
@@ -21,6 +22,7 @@ pub const KNOWN_RULES: &[&str] = &[
     COUNTER_PARITY,
     UNSAFE_HYGIENE,
     EXPERIMENT_DOCS,
+    STORE_ERROR_HYGIENE,
     WAIVER_SYNTAX,
 ];
 
@@ -42,6 +44,7 @@ pub fn all() -> Vec<Box<dyn Rule>> {
         Box::new(CounterParity),
         Box::new(UnsafeHygiene),
         Box::new(ExperimentDocs),
+        Box::new(StoreErrorHygiene),
         Box::new(WaiverSyntax),
     ]
 }
@@ -589,6 +592,61 @@ impl Rule for ExperimentDocs {
 }
 
 // ---------------------------------------------------------------------
+// L7: store-error-hygiene
+// ---------------------------------------------------------------------
+
+/// The fault-injection PR made every storage fallibility typed: page
+/// stores return `StoreResult`, lock poisoning is recovered with
+/// `unwrap_or_else(PoisonError::into_inner)`, and callers see
+/// `StoreError` instead of a panic. A single `.unwrap()` on an I/O path
+/// inside `crates/store` would turn an injectable, testable fault back
+/// into an abort, so none are allowed outside `#[cfg(test)]` code.
+struct StoreErrorHygiene;
+
+impl Rule for StoreErrorHygiene {
+    fn id(&self) -> &'static str {
+        STORE_ERROR_HYGIENE
+    }
+
+    fn description(&self) -> &'static str {
+        "crates/store propagates StoreError: no unwrap/expect (incl. on locks) outside tests"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        for f in &ws.files {
+            // Integration tests under crates/store/tests/ are all test
+            // code; only the shipped sources are held to the standard.
+            if !f.rel.starts_with("crates/store/src/") {
+                continue;
+            }
+            for (i, line) in f.lines.iter().enumerate() {
+                if line.in_cfg_test {
+                    continue;
+                }
+                for tok in [".unwrap()", ".expect("] {
+                    for at in token_positions(&line.code, tok) {
+                        let on_lock = line.code[..at].trim_end().ends_with(".lock()");
+                        let message = if on_lock {
+                            format!(
+                                "panicking on a poisoned lock: recover with \
+                                 `lock().unwrap_or_else(PoisonError::into_inner)` \
+                                 instead of `{tok}`"
+                            )
+                        } else {
+                            format!(
+                                "`{tok}` in crates/store outside tests: propagate a \
+                                 typed StoreError (or waive with a reason)"
+                            )
+                        };
+                        out.push(diag(f, i + 1, STORE_ERROR_HYGIENE, message));
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Meta: waiver-syntax
 // ---------------------------------------------------------------------
 
@@ -935,6 +993,62 @@ mod tests {
             .map(|d| d.file)
             .collect();
         assert_eq!(hits, vec!["crates/bench/src/bin/exp_orphan.rs".to_owned()]);
+    }
+
+    #[test]
+    fn l7_flags_store_unwraps_outside_tests() {
+        let bad = "#![forbid(unsafe_code)]\n\
+            fn f(file: &std::fs::File, m: &std::sync::Mutex<u64>) -> u64 {\n\
+                file.sync_all().unwrap();\n\
+                let n = file.metadata().expect(\"stat\");\n\
+                let g = m.lock().unwrap();\n\
+                *g + n.len()\n\
+            }\n\
+            #[cfg(test)]\n\
+            mod tests {\n\
+                fn t() {\n\
+                    std::fs::read(\"x\").unwrap();\n\
+                }\n\
+            }\n";
+        assert_eq!(
+            rules_hit(&[("crates/store/src/file.rs", bad)], rules::STORE_ERROR_HYGIENE),
+            vec![3, 4, 5]
+        );
+        // Lock-poisoning sites get the targeted recovery hint.
+        let msgs: Vec<String> = diags_for(&[("crates/store/src/file.rs", bad)])
+            .into_iter()
+            .filter(|d| d.rule == rules::STORE_ERROR_HYGIENE && d.line == 5)
+            .map(|d| d.message)
+            .collect();
+        assert!(msgs.iter().any(|m| m.contains("PoisonError::into_inner")), "{msgs:?}");
+    }
+
+    #[test]
+    fn l7_allows_recovery_idioms_waivers_and_other_crates() {
+        let good = "#![forbid(unsafe_code)]\n\
+            use std::sync::PoisonError;\n\
+            fn f(m: &std::sync::Mutex<u64>) -> u64 {\n\
+                let g = m.lock().unwrap_or_else(PoisonError::into_inner);\n\
+                let n = std::fs::read(\"x\").unwrap_or_default().len() as u64;\n\
+                *g + n\n\
+            }\n\
+            fn waived(m: &std::sync::Mutex<u64>) -> u64 {\n\
+                *m.lock().unwrap() // lint-allow: store-error-hygiene demo of a justified panic\n\
+            }\n";
+        assert_eq!(
+            rules_hit(&[("crates/store/src/pool.rs", good)], rules::STORE_ERROR_HYGIENE),
+            vec![]
+        );
+        // The same unwraps outside crates/store are not this rule's
+        // business.
+        let elsewhere = "#![forbid(unsafe_code)]\n\
+            fn f() {\n\
+                std::fs::read(\"x\").unwrap();\n\
+            }\n";
+        assert_eq!(
+            rules_hit(&[("crates/query/src/lib.rs", elsewhere)], rules::STORE_ERROR_HYGIENE),
+            vec![]
+        );
     }
 
     #[test]

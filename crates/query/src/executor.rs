@@ -12,7 +12,7 @@ use crate::planner::AccessPath;
 use crate::stats::QueryStats;
 use std::sync::Arc;
 use std::time::Instant;
-use vsim_index::{BufferPool, MTree, QueryContext};
+use vsim_index::{BufferPool, MTree, QueryContext, StoreResult};
 use vsim_setdist::VectorSet;
 
 /// How batch queries obtain their buffer pool.
@@ -29,6 +29,11 @@ pub enum PoolPolicy {
 
 /// Result of a query batch: per-query hits and stats, plus the
 /// aggregate over the whole workload.
+///
+/// A query that hit a storage error contributes empty `hits` and a
+/// stats entry whose [`QueryStats::error`] names the failure — the
+/// rest of the batch is unaffected (and keeps serving from the shared
+/// pool under [`PoolPolicy::Shared`]).
 #[derive(Debug)]
 pub struct BatchResult {
     /// `hits[i]` answers `queries[i]`, in input order.
@@ -37,6 +42,13 @@ pub struct BatchResult {
     pub stats: Vec<QueryStats>,
     /// Sum of all per-query stats (CPU sums query time, not wall time).
     pub aggregate: QueryStats,
+}
+
+impl BatchResult {
+    /// Indices of queries that failed with a storage error.
+    pub fn failed(&self) -> Vec<usize> {
+        (0..self.stats.len()).filter(|&i| self.stats[i].error.is_some()).collect()
+    }
 }
 
 /// Fans independent queries across worker threads.
@@ -89,16 +101,22 @@ impl QueryExecutor {
 
     /// Run one closure per query in parallel, each against its own
     /// context. The generic core under the `batch_*` conveniences.
+    ///
+    /// Failure isolation: a closure that returns a storage error fails
+    /// *that query only*. Its slot reports empty hits plus the costs
+    /// incurred before the error, with the error kind recorded in
+    /// [`QueryStats::error`]; every other query (and the shared buffer
+    /// pool, if any) continues unaffected.
     pub fn run_batch<Q, F>(&self, queries: &[Q], run: F) -> BatchResult
     where
         Q: Sync,
-        F: Fn(&Q, &QueryContext) -> Vec<(u64, f64)> + Sync,
+        F: Fn(&Q, &QueryContext) -> StoreResult<Vec<(u64, f64)>> + Sync,
     {
         let per_query = vsim_parallel::par_map_slice(queries, |_, q| {
             let ctx = self.context();
             let t0 = Instant::now();
-            let hits = run(q, &ctx);
-            (hits, ctx.stats(t0.elapsed()))
+            let outcome = run(q, &ctx);
+            crate::stats::settle(outcome, &ctx, t0)
         });
         let mut hits = Vec::with_capacity(per_query.len());
         let mut stats = Vec::with_capacity(per_query.len());
@@ -190,23 +208,34 @@ impl QueryExecutor {
 }
 
 /// A vector-set access path the executor can drive: k-NN, ε-range, and
-/// invariant k-NN against a caller-supplied context.
+/// invariant k-NN against a caller-supplied context. All methods are
+/// fallible so file-backed paths can surface storage errors per query.
 pub trait VectorSetQueries: Sync {
-    fn knn_ctx(&self, q: &VectorSet, k: usize, ctx: &QueryContext) -> Vec<(u64, f64)>;
-    fn range_ctx(&self, q: &VectorSet, eps: f64, ctx: &QueryContext) -> Vec<(u64, f64)>;
+    fn knn_ctx(&self, q: &VectorSet, k: usize, ctx: &QueryContext) -> StoreResult<Vec<(u64, f64)>>;
+    fn range_ctx(
+        &self,
+        q: &VectorSet,
+        eps: f64,
+        ctx: &QueryContext,
+    ) -> StoreResult<Vec<(u64, f64)>>;
     fn knn_invariant_ctx(
         &self,
         variants: &[VectorSet],
         k: usize,
         ctx: &QueryContext,
-    ) -> Vec<(u64, f64)>;
+    ) -> StoreResult<Vec<(u64, f64)>>;
 }
 
 impl VectorSetQueries for crate::filter::FilterRefineIndex {
-    fn knn_ctx(&self, q: &VectorSet, k: usize, ctx: &QueryContext) -> Vec<(u64, f64)> {
+    fn knn_ctx(&self, q: &VectorSet, k: usize, ctx: &QueryContext) -> StoreResult<Vec<(u64, f64)>> {
         self.knn_with(q, k, ctx)
     }
-    fn range_ctx(&self, q: &VectorSet, eps: f64, ctx: &QueryContext) -> Vec<(u64, f64)> {
+    fn range_ctx(
+        &self,
+        q: &VectorSet,
+        eps: f64,
+        ctx: &QueryContext,
+    ) -> StoreResult<Vec<(u64, f64)>> {
         self.range_query_with(q, eps, ctx)
     }
     fn knn_invariant_ctx(
@@ -214,16 +243,21 @@ impl VectorSetQueries for crate::filter::FilterRefineIndex {
         variants: &[VectorSet],
         k: usize,
         ctx: &QueryContext,
-    ) -> Vec<(u64, f64)> {
+    ) -> StoreResult<Vec<(u64, f64)>> {
         self.knn_invariant_with(variants, k, ctx)
     }
 }
 
 impl VectorSetQueries for crate::scan::SequentialScanIndex {
-    fn knn_ctx(&self, q: &VectorSet, k: usize, ctx: &QueryContext) -> Vec<(u64, f64)> {
+    fn knn_ctx(&self, q: &VectorSet, k: usize, ctx: &QueryContext) -> StoreResult<Vec<(u64, f64)>> {
         self.knn_with(q, k, ctx)
     }
-    fn range_ctx(&self, q: &VectorSet, eps: f64, ctx: &QueryContext) -> Vec<(u64, f64)> {
+    fn range_ctx(
+        &self,
+        q: &VectorSet,
+        eps: f64,
+        ctx: &QueryContext,
+    ) -> StoreResult<Vec<(u64, f64)>> {
         self.range_query_with(q, eps, ctx)
     }
     fn knn_invariant_ctx(
@@ -231,29 +265,34 @@ impl VectorSetQueries for crate::scan::SequentialScanIndex {
         variants: &[VectorSet],
         k: usize,
         ctx: &QueryContext,
-    ) -> Vec<(u64, f64)> {
+    ) -> StoreResult<Vec<(u64, f64)>> {
         self.knn_invariant_with(variants, k, ctx)
     }
 }
 
 impl VectorSetQueries for MTree<VectorSet> {
-    fn knn_ctx(&self, q: &VectorSet, k: usize, ctx: &QueryContext) -> Vec<(u64, f64)> {
+    fn knn_ctx(&self, q: &VectorSet, k: usize, ctx: &QueryContext) -> StoreResult<Vec<(u64, f64)>> {
         let r = self.knn(q, k, ctx);
         ctx.count_candidates(r.len() as u64);
-        r
+        Ok(r)
     }
-    fn range_ctx(&self, q: &VectorSet, eps: f64, ctx: &QueryContext) -> Vec<(u64, f64)> {
+    fn range_ctx(
+        &self,
+        q: &VectorSet,
+        eps: f64,
+        ctx: &QueryContext,
+    ) -> StoreResult<Vec<(u64, f64)>> {
         let mut r = self.range_query(q, eps, ctx);
         r.sort_by(|a, b| a.1.total_cmp(&b.1));
         ctx.count_candidates(r.len() as u64);
-        r
+        Ok(r)
     }
     fn knn_invariant_ctx(
         &self,
         variants: &[VectorSet],
         k: usize,
         ctx: &QueryContext,
-    ) -> Vec<(u64, f64)> {
+    ) -> StoreResult<Vec<(u64, f64)>> {
         let mut best: std::collections::HashMap<u64, f64> = std::collections::HashMap::new();
         for q in variants {
             for (id, d) in self.knn(q, k, ctx) {
@@ -267,7 +306,7 @@ impl VectorSetQueries for MTree<VectorSet> {
         out.sort_by(|a, b| a.1.total_cmp(&b.1));
         out.truncate(k);
         ctx.count_candidates(out.len() as u64);
-        out
+        Ok(out)
     }
 }
 

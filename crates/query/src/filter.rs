@@ -4,14 +4,16 @@
 
 use crate::multistep::{multi_step_knn, multi_step_range, TopK};
 use crate::planner::{AccessPath, DatasetStats, Plan, Planner};
-use crate::stats::QueryStats;
+use crate::stats::{settle, QueryStats};
+use std::collections::hash_map::Entry;
 use std::io::{self, Read, Write};
 use std::path::Path;
 use std::sync::Arc;
 use std::time::Instant;
 use vsim_index::{
-    Backend, CandidateSource, FilePageStore, MTree, PageStore, PageStreamReader, PageStreamWriter,
-    PointFile, QueryContext, Scaled, VectorSetStore, XTree, PAGE_SIZE,
+    Backend, CandidateSource, FaultInjectingPageStore, FaultPlan, FilePageStore, MTree, PageStore,
+    PageStreamReader, PageStreamWriter, PointFile, QueryContext, Scaled, StoreResult,
+    VectorSetStore, XTree, PAGE_SIZE,
 };
 use vsim_setdist::matching::{MinimalMatching, PointDistance, WeightFunction};
 use vsim_setdist::{extended_centroid, BoundedDistance, Distance, MatchingEngine, VectorSet};
@@ -31,6 +33,22 @@ fn rd_f64(r: &mut impl Read) -> io::Result<f64> {
 
 fn bad(msg: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+/// How [`FilterRefineIndex::save_with`] makes a save crash-atomic: both
+/// protocols guarantee that a reopen after a crash at *any* point sees
+/// either the complete previous index or the complete new one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SaveProtocol {
+    /// Write the whole index to a `.tmp` sibling, fsync it, then
+    /// atomically rename over the target and fsync the parent
+    /// directory. The previous file is never touched in place.
+    Rename,
+    /// Write the new snapshot into free pages of the *existing* file,
+    /// switch the root with one header commit (the page store's
+    /// generation-counted double-slot sync), then free the old
+    /// snapshot's pages. No second file is needed.
+    ShadowHeader,
 }
 
 /// Filter/refine index over vector sets.
@@ -124,22 +142,51 @@ impl FilterRefineIndex {
 
     /// Persist the whole index — X-tree, centroid M-tree, centroid point
     /// file, and the vector-set heap file — into one durable page file
-    /// at `path`, finished by a root directory stream whose location
-    /// goes into the file header. The file is checksummed and fsynced;
-    /// a crash mid-save leaves an unopenable file, never a silently
-    /// wrong one.
+    /// at `path` via the [`SaveProtocol::Rename`] protocol. A crash at
+    /// any point leaves either the previous file untouched or the
+    /// complete new index, never a torn mix.
     pub fn save(&self, path: &Path) -> io::Result<()> {
+        self.save_with(path, SaveProtocol::Rename, FaultPlan::none())?;
+        Ok(())
+    }
+
+    /// Crash-atomic save under an explicit [`SaveProtocol`], with every
+    /// page-store operation routed through a [`FaultPlan`] (pass
+    /// [`FaultPlan::none`] for a plain save). Returns the number of
+    /// page-store operations the save executed — the crash-recovery
+    /// harness records this count once, then replays the save with
+    /// `crash_at(n)` for every `n` below it.
+    pub fn save_with(
+        &self,
+        path: &Path,
+        protocol: SaveProtocol,
+        plan: FaultPlan,
+    ) -> StoreResult<u64> {
+        match protocol {
+            SaveProtocol::Rename => self.save_rename(path, plan),
+            SaveProtocol::ShadowHeader => self.save_shadow(path, plan),
+        }
+    }
+
+    /// Page budget for a fresh index file: streams re-serialize the
+    /// structures' contents, and a shadow-header re-save needs the old
+    /// and the new snapshot to coexist until the old one is freed, so
+    /// budget generously.
+    fn capacity_budget(&self) -> u64 {
         let data_pages = (self.tree.total_pages()
             + self.ctree.total_pages()
             + self.cfile.total_pages()
             + self.store.total_pages()) as u64;
-        // Streams re-serialize the structures' contents, so budget a
-        // generous multiple of the data spans plus fixed headroom.
-        let file = FilePageStore::create(path, data_pages * 4 + 64)?;
-        let t = self.tree.save_to(&file)?;
-        let c = self.ctree.save_to(&file)?;
-        let f = self.cfile.save_to(&file)?;
-        let s = self.store.save_to(&file)?;
+        data_pages * 8 + 64
+    }
+
+    /// Serialize all four structures plus the directory stream into
+    /// `target`; returns the directory's first page (the new root).
+    fn write_streams(&self, target: &dyn PageStore) -> io::Result<u64> {
+        let t = self.tree.save_to(target)?;
+        let c = self.ctree.save_to(target)?;
+        let f = self.cfile.save_to(target)?;
+        let s = self.store.save_to(target)?;
         let mut meta = Vec::new();
         for v in [INDEX_TAG, self.k as u64, self.omega.len() as u64] {
             meta.extend_from_slice(&v.to_le_bytes());
@@ -150,11 +197,86 @@ impl FilterRefineIndex {
         for v in [t.first, c.first, f.first, s.first] {
             meta.extend_from_slice(&v.to_le_bytes());
         }
-        let mut w = PageStreamWriter::new(&file);
+        let mut w = PageStreamWriter::new(target);
         w.write_all(&meta)?;
-        let dir = w.finish()?;
-        file.set_root(dir.first);
-        file.sync()
+        Ok(w.finish()?.first)
+    }
+
+    /// Write-to-temp + fsync + rename + fsync-parent-directory. The
+    /// target path is only ever touched by the atomic rename, so a crash
+    /// anywhere in the save leaves the previous file bit-identical; the
+    /// stray `.tmp` sibling is removed on failure (and harmlessly
+    /// overwritten by the next attempt if removal itself dies).
+    fn save_rename(&self, path: &Path, plan: FaultPlan) -> StoreResult<u64> {
+        let mut tmp_name = path.file_name().map(|n| n.to_os_string()).unwrap_or_default();
+        tmp_name.push(".tmp");
+        let tmp = path.with_file_name(tmp_name);
+        let store = FaultInjectingPageStore::new(
+            FilePageStore::create(&tmp, self.capacity_budget())?,
+            plan,
+        );
+        let outcome = (|| {
+            let dir = self.write_streams(&store)?;
+            store.inner().set_root(dir);
+            store.sync()?;
+            Ok(store.ops())
+        })();
+        match outcome {
+            Ok(ops) => {
+                store.into_inner().abandon(); // already synced; close without re-commit
+                std::fs::rename(&tmp, path)?;
+                if let Some(parent) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+                    std::fs::File::open(parent)?.sync_all()?;
+                }
+                Ok(ops)
+            }
+            Err(e) => {
+                // The simulated process died: no sync-on-drop, no commit.
+                store.into_inner().abandon();
+                let _ = std::fs::remove_file(&tmp);
+                Err(e)
+            }
+        }
+    }
+
+    /// In-place shadow-header save: the new snapshot is written into
+    /// *free* pages of the existing file, so the committed old snapshot
+    /// is never overwritten; one header sync (the store's generation-
+    /// counted double-slot commit) atomically switches the root, then
+    /// the old snapshot's spans are freed and the free map re-synced. A
+    /// crash before the commit sync reopens as the complete old index
+    /// (at worst with a few leaked pages); a crash after it reopens as
+    /// the complete new one. Falls back to the rename protocol when
+    /// `path` does not exist yet (there is no old snapshot to preserve).
+    fn save_shadow(&self, path: &Path, plan: FaultPlan) -> StoreResult<u64> {
+        if !path.exists() {
+            return self.save_rename(path, plan);
+        }
+        let file = FilePageStore::open(path)?;
+        let old_spans = file.allocated_spans();
+        let store = FaultInjectingPageStore::new(file, plan);
+        let outcome = (|| {
+            let dir = self.write_streams(&store)?;
+            store.inner().set_root(dir);
+            store.sync()?; // atomic commit: new root + free map, next generation
+            for &(first, len) in &old_spans {
+                store.free(first, len)?;
+            }
+            // A crash between the two syncs leaves the old spans
+            // allocated but unreferenced; the next shadow save's
+            // old-spans snapshot includes them, so they are reclaimed.
+            store.sync()?;
+            Ok(store.ops())
+        })();
+        match outcome {
+            Ok(ops) => Ok(ops),
+            Err(e) => {
+                // The simulated process died: no sync-on-drop, so the
+                // file keeps whatever the last successful sync committed.
+                store.into_inner().abandon();
+                Err(e)
+            }
+        }
     }
 
     /// Reopen an index persisted by [`save`](Self::save), reading pages
@@ -258,13 +380,17 @@ impl FilterRefineIndex {
     /// `ctx`. All three paths produce bit-identical bounds (same
     /// Euclidean operation order, same `k ·` scaling), so the choice
     /// affects cost, never results.
+    ///
+    /// `f` is fallible so refinement reads inside the closure can
+    /// propagate storage errors; opening the sorted scan itself can also
+    /// fail (it materializes the centroid file through `ctx`).
     pub fn with_candidate_source<R>(
         &self,
         path: AccessPath,
         cq: &[f64],
         ctx: &QueryContext,
-        f: impl FnOnce(&mut dyn CandidateSource) -> R,
-    ) -> R {
+        f: impl FnOnce(&mut dyn CandidateSource) -> StoreResult<R>,
+    ) -> StoreResult<R> {
         let factor = self.k as f64;
         match path {
             AccessPath::XTreeCursor => f(&mut Scaled::new(self.tree.nn_iter(cq, ctx), factor)),
@@ -272,7 +398,7 @@ impl FilterRefineIndex {
                 let cqv = cq.to_vec();
                 f(&mut Scaled::new(self.ctree.rank_iter(&cqv, ctx), factor))
             }
-            AccessPath::SeqScan => f(&mut Scaled::new(self.cfile.scan_ranked(cq, ctx), factor)),
+            AccessPath::SeqScan => f(&mut Scaled::new(self.cfile.scan_ranked(cq, ctx)?, factor)),
         }
     }
 
@@ -290,7 +416,7 @@ impl FilterRefineIndex {
         let ctx = QueryContext::ephemeral();
         let t0 = Instant::now();
         let r = self.knn_invariant_with(variants, kq, &ctx);
-        (r, ctx.stats(t0.elapsed()))
+        settle(r, &ctx, t0)
     }
 
     /// [`knn_invariant`](Self::knn_invariant) against a caller-supplied
@@ -304,7 +430,7 @@ impl FilterRefineIndex {
         variants: &[VectorSet],
         kq: usize,
         ctx: &QueryContext,
-    ) -> Vec<(u64, f64)> {
+    ) -> StoreResult<Vec<(u64, f64)>> {
         self.knn_invariant_via_with(AccessPath::XTreeCursor, variants, kq, ctx)
     }
 
@@ -318,7 +444,7 @@ impl FilterRefineIndex {
         variants: &[VectorSet],
         kq: usize,
         ctx: &QueryContext,
-    ) -> Vec<(u64, f64)> {
+    ) -> StoreResult<Vec<(u64, f64)>> {
         let mut engine = self.engine();
         let mut best: std::collections::HashMap<u64, f64> = std::collections::HashMap::new();
         let mut result: Vec<(u64, f64)> = Vec::new(); // sorted top-k
@@ -334,7 +460,10 @@ impl FilterRefineIndex {
                         ctx.count_refinements_saved(1);
                         break;
                     }
-                    let set = record_cache.entry(id).or_insert_with(|| self.store.get(id, ctx));
+                    let set = match record_cache.entry(id) {
+                        Entry::Occupied(e) => e.into_mut(),
+                        Entry::Vacant(v) => v.insert(self.store.get(id, ctx)?),
+                    };
                     // A refinement only matters if it beats both this id's
                     // best variant distance and (once the result is full)
                     // the global k-th distance — either gives a safe abort
@@ -360,9 +489,10 @@ impl FilterRefineIndex {
                         result.truncate(kq);
                     }
                 }
-            });
+                Ok(())
+            })?;
         }
-        result
+        Ok(result)
     }
 
     /// ε-range query: all `(id, dist_mm)` with distance ≤ `eps`.
@@ -373,19 +503,24 @@ impl FilterRefineIndex {
         let ctx = QueryContext::ephemeral();
         let t0 = Instant::now();
         let r = self.range_query_with(q, eps, &ctx);
-        (r, ctx.stats(t0.elapsed()))
+        settle(r, &ctx, t0)
     }
 
     /// [`range_query`](Self::range_query) against a caller-supplied
     /// context.
-    pub fn range_query_with(&self, q: &VectorSet, eps: f64, ctx: &QueryContext) -> Vec<(u64, f64)> {
+    pub fn range_query_with(
+        &self,
+        q: &VectorSet,
+        eps: f64,
+        ctx: &QueryContext,
+    ) -> StoreResult<Vec<(u64, f64)>> {
         let mut engine = self.engine();
         let cq = extended_centroid(q, self.k, &self.omega);
         let candidates = self.tree.range_query(&cq, eps / self.k as f64, ctx);
         ctx.count_candidates(candidates.len() as u64);
         let mut out = Vec::new();
         for (id, _) in &candidates {
-            let set = self.store.get(*id, ctx);
+            let set = self.store.get(*id, ctx)?;
             ctx.count_refinements(1);
             // ε itself is the abort bound: a pruned candidate is
             // provably beyond ε and would have been discarded anyway.
@@ -396,7 +531,7 @@ impl FilterRefineIndex {
             }
         }
         out.sort_by(|a, b| a.1.total_cmp(&b.1));
-        out
+        Ok(out)
     }
 
     /// Invariant ε-range query: all objects within `eps` of *any* of the
@@ -410,7 +545,7 @@ impl FilterRefineIndex {
         let ctx = QueryContext::ephemeral();
         let t0 = Instant::now();
         let r = self.range_query_invariant_with(variants, eps, &ctx);
-        (r, ctx.stats(t0.elapsed()))
+        settle(r, &ctx, t0)
     }
 
     /// [`range_query_invariant`](Self::range_query_invariant) against a
@@ -420,7 +555,7 @@ impl FilterRefineIndex {
         variants: &[VectorSet],
         eps: f64,
         ctx: &QueryContext,
-    ) -> Vec<(u64, f64)> {
+    ) -> StoreResult<Vec<(u64, f64)>> {
         let mut engine = self.engine();
         let mut best: std::collections::HashMap<u64, f64> = std::collections::HashMap::new();
         let mut record_cache: std::collections::HashMap<u64, VectorSet> =
@@ -436,7 +571,10 @@ impl FilterRefineIndex {
                     break;
                 }
                 ctx.count_candidates(1);
-                let set = record_cache.entry(id).or_insert_with(|| self.store.get(id, ctx));
+                let set = match record_cache.entry(id) {
+                    Entry::Occupied(e) => e.into_mut(),
+                    Entry::Vacant(v) => v.insert(self.store.get(id, ctx)?),
+                };
                 // Abort beyond ε or beyond this id's current best
                 // variant distance — either way the outcome is moot.
                 let upper = eps.min(best.get(&id).copied().unwrap_or(f64::INFINITY));
@@ -455,7 +593,7 @@ impl FilterRefineIndex {
         }
         let mut out: Vec<(u64, f64)> = best.into_iter().collect();
         out.sort_by(|a, b| a.1.total_cmp(&b.1));
-        out
+        Ok(out)
     }
 
     /// k-NN query via the optimal multi-step algorithm [29]: consume the
@@ -467,7 +605,7 @@ impl FilterRefineIndex {
         let ctx = QueryContext::ephemeral();
         let t0 = Instant::now();
         let r = self.knn_with(q, kq, &ctx);
-        (r, ctx.stats(t0.elapsed()))
+        settle(r, &ctx, t0)
     }
 
     /// [`knn`](Self::knn) against a caller-supplied context, on the
@@ -480,7 +618,12 @@ impl FilterRefineIndex {
     /// k-th neighbor, so skipping it cannot change the result — the
     /// returned top-k is bit-identical to the unbounded
     /// [`knn_naive`](Self::knn_naive) path.
-    pub fn knn_with(&self, q: &VectorSet, kq: usize, ctx: &QueryContext) -> Vec<(u64, f64)> {
+    pub fn knn_with(
+        &self,
+        q: &VectorSet,
+        kq: usize,
+        ctx: &QueryContext,
+    ) -> StoreResult<Vec<(u64, f64)>> {
         self.knn_via_with(AccessPath::XTreeCursor, q, kq, ctx)
     }
 
@@ -493,13 +636,13 @@ impl FilterRefineIndex {
         q: &VectorSet,
         kq: usize,
         ctx: &QueryContext,
-    ) -> Vec<(u64, f64)> {
+    ) -> StoreResult<Vec<(u64, f64)>> {
         let mut engine = self.engine();
         let cq = extended_centroid(q, self.k, &self.omega);
         self.with_candidate_source(path, &cq, ctx, |src| {
             multi_step_knn(src, kq, ctx, |id, upper| {
-                let set = self.store.get(id, ctx);
-                engine.distance_bounded(q, &set, upper).value()
+                let set = self.store.get(id, ctx)?;
+                Ok(engine.distance_bounded(q, &set, upper).value())
             })
         })
     }
@@ -516,7 +659,8 @@ impl FilterRefineIndex {
         let ctx = QueryContext::ephemeral();
         let t0 = Instant::now();
         let r = self.knn_via_with(path, q, kq, &ctx);
-        (r, ctx.stats(t0.elapsed()), path)
+        let (hits, stats) = settle(r, &ctx, t0);
+        (hits, stats, path)
     }
 
     /// Optimal multi-step ε-range over an explicitly chosen access
@@ -528,13 +672,13 @@ impl FilterRefineIndex {
         q: &VectorSet,
         eps: f64,
         ctx: &QueryContext,
-    ) -> Vec<(u64, f64)> {
+    ) -> StoreResult<Vec<(u64, f64)>> {
         let mut engine = self.engine();
         let cq = extended_centroid(q, self.k, &self.omega);
         self.with_candidate_source(path, &cq, ctx, |src| {
             multi_step_range(src, eps, ctx, |id, upper| {
-                let set = self.store.get(id, ctx);
-                engine.distance_bounded(q, &set, upper).value()
+                let set = self.store.get(id, ctx)?;
+                Ok(engine.distance_bounded(q, &set, upper).value())
             })
         })
     }
@@ -548,19 +692,24 @@ impl FilterRefineIndex {
         let ctx = QueryContext::ephemeral();
         let t0 = Instant::now();
         let r = self.knn_naive_with(q, kq, &ctx);
-        (r, ctx.stats(t0.elapsed()))
+        settle(r, &ctx, t0)
     }
 
     /// [`knn_naive`](Self::knn_naive) against a caller-supplied context:
     /// the same multi-step loop as [`knn_with`](Self::knn_with) — shared
     /// via [`multi_step_knn`] — with the legacy unbounded kernel as the
     /// refinement step.
-    pub fn knn_naive_with(&self, q: &VectorSet, kq: usize, ctx: &QueryContext) -> Vec<(u64, f64)> {
+    pub fn knn_naive_with(
+        &self,
+        q: &VectorSet,
+        kq: usize,
+        ctx: &QueryContext,
+    ) -> StoreResult<Vec<(u64, f64)>> {
         let cq = extended_centroid(q, self.k, &self.omega);
         self.with_candidate_source(AccessPath::XTreeCursor, &cq, ctx, |src| {
             multi_step_knn(src, kq, ctx, |id, _upper| {
-                let set = self.store.get(id, ctx);
-                Some(self.mm.distance_value(q, &set))
+                let set = self.store.get(id, ctx)?;
+                Ok(Some(self.mm.distance_value(q, &set)))
             })
         })
     }
@@ -577,11 +726,16 @@ impl FilterRefineIndex {
         let ctx = QueryContext::ephemeral();
         let t0 = Instant::now();
         let r = self.knn_batch_with(q, kq, &ctx);
-        (r, ctx.stats(t0.elapsed()))
+        settle(r, &ctx, t0)
     }
 
     /// [`knn_batch`](Self::knn_batch) against a caller-supplied context.
-    pub fn knn_batch_with(&self, q: &VectorSet, kq: usize, ctx: &QueryContext) -> Vec<(u64, f64)> {
+    pub fn knn_batch_with(
+        &self,
+        q: &VectorSet,
+        kq: usize,
+        ctx: &QueryContext,
+    ) -> StoreResult<Vec<(u64, f64)>> {
         let mut engine = self.engine();
         let cq = extended_centroid(q, self.k, &self.omega);
         self.with_candidate_source(AccessPath::XTreeCursor, &cq, ctx, |src| {
@@ -590,12 +744,12 @@ impl FilterRefineIndex {
             // candidates fixes the conservative cutoff d_max.
             while !result.is_full() {
                 let Some((id, _)) = src.next_candidate() else {
-                    return result.into_vec();
+                    return Ok(result.into_vec());
                 };
                 ctx.count_filter_steps(1);
                 ctx.count_candidates(1);
                 ctx.count_refinements(1);
-                let set = self.store.get(id, ctx);
+                let set = self.store.get(id, ctx)?;
                 result.push(id, engine.distance(q, &set));
             }
             let dmax = result.bound();
@@ -610,13 +764,13 @@ impl FilterRefineIndex {
                     break;
                 }
                 ctx.count_refinements(1);
-                let set = self.store.get(id, ctx);
+                let set = self.store.get(id, ctx)?;
                 match engine.distance_bounded(q, &set, dmax) {
                     BoundedDistance::Exact(d) => result.push(id, d),
                     BoundedDistance::Pruned => ctx.count_pruned(1),
                 }
             }
-            result.into_vec()
+            Ok(result.into_vec())
         })
     }
 }
@@ -813,7 +967,7 @@ mod tests {
                     .into_iter()
                     .map(|path| {
                         let ctx = QueryContext::ephemeral();
-                        idx.knn_via_with(path, q, 10, &ctx)
+                        idx.knn_via_with(path, q, 10, &ctx).unwrap()
                     })
                     .collect();
             for other in &runs[1..] {
@@ -837,7 +991,7 @@ mod tests {
                     .into_iter()
                     .map(|path| {
                         let ctx = QueryContext::ephemeral();
-                        idx.range_via_with(path, q, 0.6, &ctx)
+                        idx.range_via_with(path, q, 0.6, &ctx).unwrap()
                     })
                     .collect();
             for other in &runs[1..] {

@@ -56,7 +56,7 @@ pub mod scan;
 pub mod stats;
 
 pub use executor::{BatchResult, PoolPolicy, QueryExecutor, VectorSetQueries};
-pub use filter::FilterRefineIndex;
+pub use filter::{FilterRefineIndex, SaveProtocol};
 pub use multistep::{multi_step_knn, multi_step_range, TopK};
 pub use onevector::OneVectorIndex;
 pub use planner::{AccessPath, DatasetStats, Plan, Planner};

@@ -18,7 +18,7 @@
 //! ranking a query looked and how many exact evaluations the early
 //! termination avoided relative to a batch strategy.
 
-use vsim_index::{CandidateSource, QueryContext};
+use vsim_index::{CandidateSource, QueryContext, StoreResult};
 
 /// A bounded result set: the `k` smallest `(id, distance)` pairs seen
 /// so far, kept sorted ascending. Ties keep insertion order (the sort
@@ -75,21 +75,23 @@ impl TopK {
 /// Optimal multi-step k-NN over a candidate stream.
 ///
 /// `refine(id, upper)` computes the exact distance of object `id`,
-/// allowed to abort (returning `None`) as soon as the distance provably
-/// exceeds `upper` — pruned refinements are counted by this core. The
-/// loop pulls candidates while the filter lower bound stays below the
-/// running k-th exact distance; the terminating candidate (and, for a
-/// finite stream, nothing else) is dismissed without refinement and
-/// counted as a saved refinement.
+/// allowed to abort (returning `Ok(None)`) as soon as the distance
+/// provably exceeds `upper` — pruned refinements are counted by this
+/// core — and to fail with a [`StoreError`](vsim_index::StoreError)
+/// when the object's pages cannot be read; the error aborts this query
+/// only. The loop pulls candidates while the filter lower bound stays
+/// below the running k-th exact distance; the terminating candidate
+/// (and, for a finite stream, nothing else) is dismissed without
+/// refinement and counted as a saved refinement.
 pub fn multi_step_knn<S, F>(
     source: &mut S,
     kq: usize,
     ctx: &QueryContext,
     mut refine: F,
-) -> Vec<(u64, f64)>
+) -> StoreResult<Vec<(u64, f64)>>
 where
     S: CandidateSource + ?Sized,
-    F: FnMut(u64, f64) -> Option<f64>,
+    F: FnMut(u64, f64) -> StoreResult<Option<f64>>,
 {
     let mut result = TopK::new(kq);
     while let Some((id, lower)) = source.next_candidate() {
@@ -103,12 +105,12 @@ where
         }
         let upper = result.bound();
         ctx.count_refinements(1);
-        match refine(id, upper) {
+        match refine(id, upper)? {
             Some(d) => result.push(id, d),
             None => ctx.count_pruned(1), // provably beyond the k-th best
         }
     }
-    result.into_vec()
+    Ok(result.into_vec())
 }
 
 /// Optimal multi-step ε-range over a candidate stream: refine while the
@@ -119,10 +121,10 @@ pub fn multi_step_range<S, F>(
     eps: f64,
     ctx: &QueryContext,
     mut refine: F,
-) -> Vec<(u64, f64)>
+) -> StoreResult<Vec<(u64, f64)>>
 where
     S: CandidateSource + ?Sized,
-    F: FnMut(u64, f64) -> Option<f64>,
+    F: FnMut(u64, f64) -> StoreResult<Option<f64>>,
 {
     let mut out: Vec<(u64, f64)> = Vec::new();
     while let Some((id, lower)) = source.next_candidate() {
@@ -133,14 +135,14 @@ where
             break;
         }
         ctx.count_refinements(1);
-        match refine(id, eps) {
+        match refine(id, eps)? {
             Some(d) if d <= eps => out.push((id, d)),
             Some(_) => {}
             None => ctx.count_pruned(1),
         }
     }
     out.sort_by(|a, b| a.1.total_cmp(&b.1));
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -176,7 +178,7 @@ mod tests {
         // so exactly kq refinements happen plus one saved step.
         let mut src = SortedScan::new((0..100u64).map(|i| (i, i as f64)).collect());
         let ctx = QueryContext::ephemeral();
-        let got = multi_step_knn(&mut src, 5, &ctx, |id, _| Some(id as f64));
+        let got = multi_step_knn(&mut src, 5, &ctx, |id, _| Ok(Some(id as f64))).unwrap();
         assert_eq!(got.len(), 5);
         assert_eq!(got[4], (4, 4.0));
         let s = ctx.stats(std::time::Duration::ZERO);
@@ -195,11 +197,12 @@ mod tests {
         let got = multi_step_knn(&mut src, 3, &ctx, |id, upper| {
             let d = id as f64;
             if d > upper {
-                None
+                Ok(None)
             } else {
-                Some(d)
+                Ok(Some(d))
             }
-        });
+        })
+        .unwrap();
         assert_eq!(got, vec![(0, 0.0), (1, 1.0), (2, 2.0)]);
         let s = ctx.stats(std::time::Duration::ZERO);
         assert_eq!(s.refinements, 10, "all lower bounds were 0: nothing terminates early");
@@ -210,7 +213,7 @@ mod tests {
     fn range_refines_only_within_eps() {
         let mut src = SortedScan::new((0..50u64).map(|i| (i, i as f64 * 0.5)).collect());
         let ctx = QueryContext::ephemeral();
-        let got = multi_step_range(&mut src, 3.0, &ctx, |id, _| Some(id as f64 * 0.5));
+        let got = multi_step_range(&mut src, 3.0, &ctx, |id, _| Ok(Some(id as f64 * 0.5))).unwrap();
         // lower = exact here: ids 0..=6 have distance ≤ 3.0.
         assert_eq!(got.len(), 7);
         let s = ctx.stats(std::time::Duration::ZERO);
@@ -222,7 +225,7 @@ mod tests {
     fn exhausted_stream_terminates_without_saved_refinement() {
         let mut src = SortedScan::new((0..3u64).map(|i| (i, i as f64)).collect());
         let ctx = QueryContext::ephemeral();
-        let got = multi_step_knn(&mut src, 10, &ctx, |id, _| Some(id as f64));
+        let got = multi_step_knn(&mut src, 10, &ctx, |id, _| Ok(Some(id as f64))).unwrap();
         assert_eq!(got.len(), 3);
         let s = ctx.stats(std::time::Duration::ZERO);
         assert_eq!(s.refinements_saved, 0, "stream ended before the bound fired");

@@ -6,7 +6,7 @@
 
 use crate::stats::QueryStats;
 use std::time::Instant;
-use vsim_index::{QueryContext, XTree};
+use vsim_index::{QueryContext, StoreResult, XTree};
 use vsim_setdist::lp;
 
 /// An X-tree over one-vector (flattened) feature representations.
@@ -48,17 +48,25 @@ impl OneVectorIndex {
         let ctx = QueryContext::ephemeral();
         let t0 = Instant::now();
         let r = self.knn_with(q, kq, &ctx);
-        (r, ctx.stats(t0.elapsed()))
+        crate::stats::settle(r, &ctx, t0)
     }
 
     /// [`knn`](Self::knn) against a caller-supplied context. Candidates
     /// here are the point-distance evaluations the tree performs (there
-    /// is no refinement step on this path).
-    pub fn knn_with(&self, q: &[f64], kq: usize, ctx: &QueryContext) -> Vec<(u64, f64)> {
+    /// is no refinement step on this path). The tree nodes live in
+    /// memory, so this path cannot hit storage errors — the `Result` is
+    /// for signature parity with the other access paths in the batch
+    /// executor.
+    pub fn knn_with(
+        &self,
+        q: &[f64],
+        kq: usize,
+        ctx: &QueryContext,
+    ) -> StoreResult<Vec<(u64, f64)>> {
         let evals0 = ctx.tracker().snapshot().distance_evals;
         let result = self.tree.knn(q, kq, ctx);
         ctx.count_candidates(ctx.tracker().snapshot().distance_evals - evals0);
-        result
+        Ok(result)
     }
 
     /// Invariant k-NN (Section 3.2): run one X-tree k-NN per query
@@ -68,7 +76,7 @@ impl OneVectorIndex {
         let ctx = QueryContext::ephemeral();
         let t0 = Instant::now();
         let r = self.knn_invariant_with(variants, kq, &ctx);
-        (r, ctx.stats(t0.elapsed()))
+        crate::stats::settle(r, &ctx, t0)
     }
 
     /// [`knn_invariant`](Self::knn_invariant) against a caller-supplied
@@ -78,7 +86,7 @@ impl OneVectorIndex {
         variants: &[Vec<f64>],
         kq: usize,
         ctx: &QueryContext,
-    ) -> Vec<(u64, f64)> {
+    ) -> StoreResult<Vec<(u64, f64)>> {
         let evals0 = ctx.tracker().snapshot().distance_evals;
         let mut best: std::collections::HashMap<u64, f64> = std::collections::HashMap::new();
         for q in variants {
@@ -93,23 +101,28 @@ impl OneVectorIndex {
         result.sort_by(|a, b| a.1.total_cmp(&b.1));
         result.truncate(kq);
         ctx.count_candidates(ctx.tracker().snapshot().distance_evals - evals0);
-        result
+        Ok(result)
     }
 
     pub fn range_query(&self, q: &[f64], eps: f64) -> (Vec<(u64, f64)>, QueryStats) {
         let ctx = QueryContext::ephemeral();
         let t0 = Instant::now();
         let r = self.range_query_with(q, eps, &ctx);
-        (r, ctx.stats(t0.elapsed()))
+        crate::stats::settle(r, &ctx, t0)
     }
 
     /// [`range_query`](Self::range_query) against a caller-supplied
     /// context.
-    pub fn range_query_with(&self, q: &[f64], eps: f64, ctx: &QueryContext) -> Vec<(u64, f64)> {
+    pub fn range_query_with(
+        &self,
+        q: &[f64],
+        eps: f64,
+        ctx: &QueryContext,
+    ) -> StoreResult<Vec<(u64, f64)>> {
         let mut result = self.tree.range_query(q, eps, ctx);
         result.sort_by(|a, b| a.1.total_cmp(&b.1));
         ctx.count_candidates(result.len() as u64);
-        result
+        Ok(result)
     }
 
     /// Brute-force k-NN for validation.

@@ -5,7 +5,7 @@
 use crate::multistep::TopK;
 use crate::stats::QueryStats;
 use std::time::Instant;
-use vsim_index::{QueryContext, VectorSetStore};
+use vsim_index::{QueryContext, StoreResult, VectorSetStore};
 use vsim_setdist::matching::MinimalMatching;
 use vsim_setdist::VectorSet;
 
@@ -38,19 +38,24 @@ impl SequentialScanIndex {
         let ctx = QueryContext::ephemeral();
         let t0 = Instant::now();
         let r = self.knn_with(q, kq, &ctx);
-        (r, ctx.stats(t0.elapsed()))
+        crate::stats::settle(r, &ctx, t0)
     }
 
     /// [`knn`](Self::knn) against a caller-supplied context.
-    pub fn knn_with(&self, q: &VectorSet, kq: usize, ctx: &QueryContext) -> Vec<(u64, f64)> {
+    pub fn knn_with(
+        &self,
+        q: &VectorSet,
+        kq: usize,
+        ctx: &QueryContext,
+    ) -> StoreResult<Vec<(u64, f64)>> {
         let mut result = TopK::new(kq);
-        for (id, set) in self.store.scan(ctx) {
+        for (id, set) in self.store.scan(ctx)? {
             let d = self.mm.distance_value(q, &set);
             ctx.count_candidates(1);
             ctx.count_refinements(1);
             result.push(id, d);
         }
-        result.into_vec()
+        Ok(result.into_vec())
     }
 
     /// Invariant k-NN (Section 3.2): one pass over the file, evaluating
@@ -64,7 +69,7 @@ impl SequentialScanIndex {
         let ctx = QueryContext::ephemeral();
         let t0 = Instant::now();
         let r = self.knn_invariant_with(variants, kq, &ctx);
-        (r, ctx.stats(t0.elapsed()))
+        crate::stats::settle(r, &ctx, t0)
     }
 
     /// [`knn_invariant`](Self::knn_invariant) against a caller-supplied
@@ -74,9 +79,9 @@ impl SequentialScanIndex {
         variants: &[VectorSet],
         kq: usize,
         ctx: &QueryContext,
-    ) -> Vec<(u64, f64)> {
+    ) -> StoreResult<Vec<(u64, f64)>> {
         let mut result = TopK::new(kq);
-        for (id, set) in self.store.scan(ctx) {
+        for (id, set) in self.store.scan(ctx)? {
             let mut d = f64::INFINITY;
             for q in variants {
                 d = d.min(self.mm.distance_value(q, &set));
@@ -85,7 +90,7 @@ impl SequentialScanIndex {
             ctx.count_candidates(1);
             result.push(id, d);
         }
-        result.into_vec()
+        Ok(result.into_vec())
     }
 
     /// ε-range by exhaustive evaluation.
@@ -93,14 +98,19 @@ impl SequentialScanIndex {
         let ctx = QueryContext::ephemeral();
         let t0 = Instant::now();
         let r = self.range_query_with(q, eps, &ctx);
-        (r, ctx.stats(t0.elapsed()))
+        crate::stats::settle(r, &ctx, t0)
     }
 
     /// [`range_query`](Self::range_query) against a caller-supplied
     /// context.
-    pub fn range_query_with(&self, q: &VectorSet, eps: f64, ctx: &QueryContext) -> Vec<(u64, f64)> {
+    pub fn range_query_with(
+        &self,
+        q: &VectorSet,
+        eps: f64,
+        ctx: &QueryContext,
+    ) -> StoreResult<Vec<(u64, f64)>> {
         let mut result: Vec<(u64, f64)> = Vec::new();
-        for (id, set) in self.store.scan(ctx) {
+        for (id, set) in self.store.scan(ctx)? {
             let d = self.mm.distance_value(q, &set);
             ctx.count_candidates(1);
             ctx.count_refinements(1);
@@ -109,7 +119,7 @@ impl SequentialScanIndex {
             }
         }
         result.sort_by(|a, b| a.1.total_cmp(&b.1));
-        result
+        Ok(result)
     }
 }
 

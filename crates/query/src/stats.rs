@@ -4,4 +4,28 @@
 //! access methods, and the batch executor all share one accounting
 //! vocabulary; this module re-exports it for backward compatibility.
 
+use std::time::Instant;
+use vsim_index::{QueryContext, StoreResult};
+
 pub use vsim_index::QueryStats;
+
+/// Turn a fallible query outcome into the classic `(hits, stats)` pair:
+/// a storage error yields no hits but still reports the costs the query
+/// incurred before failing, with the error kind recorded in
+/// [`QueryStats::error`]. The convenience entry points (`knn`,
+/// `range_query`, ...) go through here so a single bad page degrades one
+/// query instead of panicking the process.
+pub(crate) fn settle(
+    outcome: StoreResult<Vec<(u64, f64)>>,
+    ctx: &QueryContext,
+    t0: Instant,
+) -> (Vec<(u64, f64)>, QueryStats) {
+    let mut stats = ctx.stats(t0.elapsed());
+    match outcome {
+        Ok(hits) => (hits, stats),
+        Err(e) => {
+            stats.error = Some(e.kind());
+            (Vec::new(), stats)
+        }
+    }
+}

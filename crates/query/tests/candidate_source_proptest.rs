@@ -50,7 +50,8 @@ proptest! {
         let mut streams = Vec::new();
         for path in PATHS {
             let ctx = QueryContext::ephemeral();
-            let drained = idx.with_candidate_source(path, &cq, &ctx, |src| cursor::drain(src));
+            let drained =
+                idx.with_candidate_source(path, &cq, &ctx, |src| Ok(cursor::drain(src))).unwrap();
             prop_assert_eq!(drained.len(), n, "{} must emit every object", path);
             for w in drained.windows(2) {
                 prop_assert!(

@@ -1,0 +1,250 @@
+//! Crash-recovery torture tests for the durable index save path.
+//!
+//! The harness records the number of page-store operations a real save
+//! executes, then replays that save with a simulated crash at *every*
+//! operation index. After each crash the file must reopen as either the
+//! complete old index or the complete new one — never a torn mix — and
+//! the cost-based planner plus the batch executor must return planned
+//! k-NN results bit-identical to one of the two complete states. Both
+//! crash-atomicity protocols ([`SaveProtocol::Rename`] and
+//! [`SaveProtocol::ShadowHeader`]) pass the full matrix.
+//!
+//! Alongside the matrix: an injected-`ENOSPC` save must fail cleanly
+//! (old index intact), and a corrupt record page must fail exactly the
+//! batch queries that touch it while the rest of the shared-pool batch
+//! completes with correct results.
+
+use rand::prelude::*;
+use std::path::{Path, PathBuf};
+use vsim_index::{Fault, FaultPlan, FilePageStore, StoreErrorKind};
+use vsim_query::{FilterRefineIndex, QueryExecutor, SaveProtocol};
+use vsim_setdist::VectorSet;
+
+fn random_sets(n: usize, k: usize, seed: u64) -> Vec<VectorSet> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let card = rng.gen_range(1..=k);
+            let mut s = VectorSet::new(6);
+            for _ in 0..card {
+                let v: Vec<f64> = (0..6).map(|_| rng.gen_range(0.05..1.0)).collect();
+                s.push(&v);
+            }
+            s
+        })
+        .collect()
+}
+
+fn temp_index(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("vsim_crash_recovery_{tag}_{}.vsix", std::process::id()))
+}
+
+struct TempFile(PathBuf);
+impl Drop for TempFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+        let mut tmp = self.0.file_name().map(|n| n.to_os_string()).unwrap_or_default();
+        tmp.push(".tmp");
+        let _ = std::fs::remove_file(self.0.with_file_name(tmp));
+    }
+}
+
+/// Planned k-NN over the whole query workload through the batch
+/// executor — the paths the recovery matrix must keep bit-identical.
+fn planned_hits(path: &Path, queries: &[VectorSet], k: usize) -> Vec<Vec<(u64, f64)>> {
+    let idx = FilterRefineIndex::open(path).expect("recovered file must open");
+    let (batch, _) = QueryExecutor::cold().batch_knn_planned(&idx, queries, k);
+    for s in &batch.stats {
+        assert_eq!(s.error, None, "recovered index must answer without storage errors");
+    }
+    batch.hits
+}
+
+fn bits_equal(a: &[Vec<(u64, f64)>], b: &[Vec<(u64, f64)>]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| {
+            x.len() == y.len()
+                && x.iter().zip(y).all(|(p, q)| p.0 == q.0 && p.1.to_bits() == q.1.to_bits())
+        })
+}
+
+#[test]
+fn crash_at_every_op_reopens_complete_old_or_complete_new() {
+    let old_sets = random_sets(60, 4, 91);
+    let new_sets = random_sets(60, 4, 92);
+    let old_idx = FilterRefineIndex::build(&old_sets, 6, 4);
+    let new_idx = FilterRefineIndex::build(&new_sets, 6, 4);
+    // Queries drawn from both generations so old and new answers differ.
+    let queries: Vec<VectorSet> = (0..3)
+        .map(|i| old_sets[i * 17].clone())
+        .chain((0..3).map(|i| new_sets[i * 13].clone()))
+        .collect();
+
+    for protocol in [SaveProtocol::Rename, SaveProtocol::ShadowHeader] {
+        let tag = format!("matrix_{protocol:?}");
+        let path = TempFile(temp_index(&tag));
+
+        // Install the old generation, then snapshot its bytes and its
+        // answers: every crashed re-save restarts from this exact state.
+        old_idx.save_with(&path.0, SaveProtocol::Rename, FaultPlan::none()).unwrap();
+        let old_bytes = std::fs::read(&path.0).unwrap();
+        let old_hits = planned_hits(&path.0, &queries, 8);
+
+        // One clean run of the save under test fixes the op count and
+        // the complete-new reference answers.
+        let total_ops = new_idx.save_with(&path.0, protocol, FaultPlan::none()).unwrap();
+        assert!(total_ops > 10, "{tag}: a real save must execute many page-store ops");
+        let new_hits = planned_hits(&path.0, &queries, 8);
+        assert!(
+            !bits_equal(&old_hits, &new_hits),
+            "{tag}: old and new generations must answer differently for the matrix to mean anything"
+        );
+
+        let (mut saw_old, mut saw_new) = (0u64, 0u64);
+        for n in 0..total_ops {
+            std::fs::write(&path.0, &old_bytes).unwrap();
+            let err = new_idx
+                .save_with(&path.0, protocol, FaultPlan::crash_at(n))
+                .expect_err(&format!("{tag}: crash at op {n} must fail the save"));
+            assert_eq!(err.kind(), StoreErrorKind::Crashed, "{tag}: op {n}");
+
+            let hits = planned_hits(&path.0, &queries, 8);
+            let is_old = bits_equal(&hits, &old_hits);
+            let is_new = bits_equal(&hits, &new_hits);
+            assert!(
+                is_old || is_new,
+                "{tag}: crash at op {n} of {total_ops} recovered to neither complete state"
+            );
+            saw_old += is_old as u64;
+            saw_new += is_new as u64;
+        }
+        // Every pre-commit crash rolls back; the shadow protocol also
+        // exposes post-commit crash points that roll *forward*.
+        assert!(saw_old > 0, "{tag}: no crash point recovered the old state");
+        if protocol == SaveProtocol::ShadowHeader {
+            assert!(saw_new > 0, "{tag}: no post-commit crash point recovered the new state");
+        }
+    }
+}
+
+#[test]
+fn enospc_during_save_fails_cleanly_and_preserves_the_old_index() {
+    let old_sets = random_sets(50, 4, 93);
+    let new_sets = random_sets(50, 4, 94);
+    let old_idx = FilterRefineIndex::build(&old_sets, 6, 4);
+    let new_idx = FilterRefineIndex::build(&new_sets, 6, 4);
+    let queries: Vec<VectorSet> = (0..4).map(|i| old_sets[i * 11].clone()).collect();
+
+    for protocol in [SaveProtocol::Rename, SaveProtocol::ShadowHeader] {
+        let path = TempFile(temp_index(&format!("enospc_{protocol:?}")));
+        old_idx.save_with(&path.0, SaveProtocol::Rename, FaultPlan::none()).unwrap();
+        let old_bytes = std::fs::read(&path.0).unwrap();
+        let old_hits = planned_hits(&path.0, &queries, 6);
+        let total_ops = new_idx.save_with(&path.0, protocol, FaultPlan::none()).unwrap();
+
+        // The device fills up at every possible point of the save. An
+        // ENOSPC plan only bites on allocate/write ops — at read, free,
+        // and sync indices the save runs to completion, which is fine —
+        // but every bitten save must fail cleanly with the old index
+        // intact.
+        let mut bitten = 0u64;
+        for op in 0..total_ops {
+            std::fs::write(&path.0, &old_bytes).unwrap();
+            let plan = FaultPlan::none().with_fault(op, Fault::Enospc);
+            match new_idx.save_with(&path.0, protocol, plan) {
+                Ok(_) => continue, // op `op` was not an allocate/write
+                Err(err) => {
+                    assert_eq!(err.kind(), StoreErrorKind::Io, "{protocol:?}: op {op}");
+                    bitten += 1;
+                }
+            }
+            let hits = planned_hits(&path.0, &queries, 6);
+            assert!(
+                bits_equal(&hits, &old_hits),
+                "{protocol:?}: ENOSPC at op {op} must leave the old index untouched"
+            );
+        }
+        assert!(bitten > 0, "{protocol:?}: no save op was susceptible to ENOSPC");
+    }
+}
+
+#[test]
+fn shadow_header_resaves_reclaim_the_previous_snapshot() {
+    let sets = random_sets(60, 4, 95);
+    let idx = FilterRefineIndex::build(&sets, 6, 4);
+    let path = TempFile(temp_index("reclaim"));
+    idx.save(&path.0).unwrap();
+    let baseline = FilePageStore::open(&path.0).unwrap().allocated_pages();
+    // Repeated in-place saves must not grow the allocation: each one
+    // frees the snapshot it replaces.
+    for round in 0..3 {
+        idx.save_with(&path.0, SaveProtocol::ShadowHeader, FaultPlan::none()).unwrap();
+        let now = FilePageStore::open(&path.0).unwrap().allocated_pages();
+        assert_eq!(now, baseline, "round {round}: shadow save leaked pages");
+    }
+    // And the result still answers like the original.
+    let reopened = FilterRefineIndex::open(&path.0).unwrap();
+    let (a, _) = idx.knn(&sets[5], 8);
+    let (b, _) = reopened.knn(&sets[5], 8);
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.0, y.0);
+        assert_eq!(x.1.to_bits(), y.1.to_bits());
+    }
+}
+
+#[test]
+fn a_corrupt_record_page_fails_only_the_queries_that_touch_it() {
+    let sets = random_sets(120, 4, 96);
+    let built = FilterRefineIndex::build(&sets, 6, 4);
+    let path = TempFile(temp_index("isolation"));
+    built.save(&path.0).unwrap();
+
+    let queries: Vec<VectorSet> = (0..6).map(|i| sets[i * 19].clone()).collect();
+    let baseline = {
+        let idx = FilterRefineIndex::open(&path.0).unwrap();
+        let batch = QueryExecutor::shared(256).batch_knn(&idx, &queries, 4);
+        assert!(batch.failed().is_empty(), "clean file must not error");
+        batch.hits
+    };
+
+    // Flip one bit in successive data pages until the damage lands in a
+    // vector-set record some query refines. Index structures are decoded
+    // at open time, so only record reads can be hit at query time.
+    let pristine = std::fs::read(&path.0).unwrap();
+    let page_size = 4096;
+    let data_start = 4 * page_size; // 2 header slots + 2 free-map copies
+    let mut exercised = false;
+    for page in 0..(pristine.len() - data_start) / page_size {
+        let mut bytes = pristine.clone();
+        bytes[data_start + page * page_size + 100] ^= 0x40;
+        std::fs::write(&path.0, &bytes).unwrap();
+        let Ok(idx) = FilterRefineIndex::open(&path.0) else {
+            continue; // damage hit a structure stream: detected at open
+        };
+        let batch = QueryExecutor::shared(256).batch_knn(&idx, &queries, 4);
+        let failed = batch.failed();
+        if failed.is_empty() || failed.len() == queries.len() {
+            // Page untouched by this workload, or so central that every
+            // query refines a record on it — keep looking for one with
+            // partial reach.
+            continue;
+        }
+        for (i, expected) in baseline.iter().enumerate() {
+            if failed.contains(&i) {
+                assert_eq!(batch.stats[i].error, Some(StoreErrorKind::Corruption));
+                assert!(batch.hits[i].is_empty(), "a failed query reports no hits");
+            } else {
+                assert_eq!(batch.stats[i].error, None);
+                assert_eq!(
+                    &batch.hits[i], expected,
+                    "page {page}: unaffected query {i} must stay bit-identical"
+                );
+            }
+        }
+        exercised = true;
+        break;
+    }
+    assert!(exercised, "no data page corruption reached a refined record");
+    std::fs::write(&path.0, &pristine).unwrap();
+}

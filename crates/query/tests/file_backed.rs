@@ -63,9 +63,9 @@ fn saved_index_answers_every_query_class_bit_identically() {
         for ap in [AccessPath::XTreeCursor, AccessPath::MTreeCursor, AccessPath::SeqScan] {
             let (cb, cf, cp) =
                 (QueryContext::ephemeral(), QueryContext::ephemeral(), QueryContext::ephemeral());
-            let hb = built.knn_via_with(ap, q, 8, &cb);
-            let hf = file.knn_via_with(ap, q, 8, &cf);
-            let hp = mmap.knn_via_with(ap, q, 8, &cp);
+            let hb = built.knn_via_with(ap, q, 8, &cb).unwrap();
+            let hf = file.knn_via_with(ap, q, 8, &cf).unwrap();
+            let hp = mmap.knn_via_with(ap, q, 8, &cp).unwrap();
             assert_hits_bit_identical(&hb, &hf, &format!("knn q{qi} {ap} file"));
             assert_hits_bit_identical(&hb, &hp, &format!("knn q{qi} {ap} mmap"));
             // Identical touch logic → identical charging on all media.
@@ -109,8 +109,8 @@ fn reopened_index_plans_against_its_real_backend() {
     let q = &sets[17];
     let ctx_m = QueryContext::ephemeral();
     let ctx_f = QueryContext::ephemeral();
-    let hm = built.knn_via_with(pm.path, q, 8, &ctx_m);
-    let hf = file.knn_via_with(pf.path, q, 8, &ctx_f);
+    let hm = built.knn_via_with(pm.path, q, 8, &ctx_m).unwrap();
+    let hf = file.knn_via_with(pf.path, q, 8, &ctx_f).unwrap();
     assert_hits_bit_identical(&hm, &hf, "planned knn");
 }
 

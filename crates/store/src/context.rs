@@ -4,6 +4,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
+use crate::error::StoreResult;
 use crate::page::PageStore;
 use crate::pool::{BufferPool, PinGuard};
 use crate::stats::QueryStats;
@@ -54,8 +55,14 @@ impl QueryContext {
     /// like a one-page [`access`](Self::access). Returns the page image
     /// and the number of charged misses (0 or 1), so access methods can
     /// keep byte charges tied to misses.
-    pub fn load(&self, store: &dyn PageStore, page: u64) -> std::io::Result<(Arc<[u8]>, u64)> {
+    pub fn load(&self, store: &dyn PageStore, page: u64) -> StoreResult<(Arc<[u8]>, u64)> {
         self.pool.load(store, page, &self.tracker)
+    }
+
+    /// Drop a page's cached contents so the next [`load`](Self::load)
+    /// re-reads it — see [`BufferPool::invalidate`].
+    pub fn invalidate(&self, store: StoreId, page: u64) -> bool {
+        self.pool.invalidate(store, page)
     }
 
     /// Charge `n` bytes read to this query.
@@ -130,7 +137,7 @@ mod tests {
     #[test]
     fn load_charges_like_access() {
         let store = InMemoryPageStore::new();
-        let page = store.allocate(1);
+        let page = store.allocate(1).unwrap();
         store.write_page(page, &[0x42u8; 16]).unwrap();
         let ctx = QueryContext::ephemeral();
         let (data, missed) = ctx.load(&store, page).unwrap();

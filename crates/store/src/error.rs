@@ -1,0 +1,176 @@
+//! Typed storage errors.
+//!
+//! Every fallible operation in this crate returns [`StoreResult`]: a
+//! fault in one page store — an I/O error, a checksum mismatch, a full
+//! page file, a poisoned lock, a simulated crash — surfaces as a value
+//! the query layer can attach to one query's stats instead of aborting
+//! the process. The index layer still speaks `io::Result`, so
+//! [`StoreError`] converts *losslessly* in both directions: wrapping
+//! into an `io::Error` preserves the typed value as the error source,
+//! and converting back recovers it by downcast. A typed error born in
+//! the page store therefore survives the trip through `io::Read`-based
+//! deserialization code unchanged.
+
+use std::fmt;
+use std::io;
+
+/// Result of a storage operation.
+pub type StoreResult<T> = Result<T, StoreError>;
+
+/// What went wrong in a page store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An underlying I/O operation failed (includes injected `ENOSPC`
+    /// and sync failures).
+    Io(io::Error),
+    /// A page's contents failed checksum verification, and bounded
+    /// re-reads did not help.
+    Corruption {
+        /// The page whose checksum did not verify.
+        page: u64,
+        /// The checksum recorded when the page was written.
+        expected: u64,
+        /// The checksum computed over the bytes actually read.
+        found: u64,
+    },
+    /// Allocation would exceed the store's fixed capacity.
+    Full {
+        /// Pages the caller asked for.
+        requested: u64,
+        /// Total data pages the store can ever hold.
+        capacity: u64,
+    },
+    /// A storage mutex was poisoned by a thread that panicked while
+    /// holding it, and the guarded state cannot be trusted.
+    Poisoned,
+    /// The store simulated a power loss (fault injection): this and
+    /// every subsequent operation is rejected.
+    Crashed,
+}
+
+/// Payload-free classification of a [`StoreError`], suitable for
+/// embedding in `Copy` stats structs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StoreErrorKind {
+    Io,
+    Corruption,
+    Full,
+    Poisoned,
+    Crashed,
+}
+
+impl StoreError {
+    /// The payload-free classification of this error.
+    pub fn kind(&self) -> StoreErrorKind {
+        match self {
+            StoreError::Io(_) => StoreErrorKind::Io,
+            StoreError::Corruption { .. } => StoreErrorKind::Corruption,
+            StoreError::Full { .. } => StoreErrorKind::Full,
+            StoreError::Poisoned => StoreErrorKind::Poisoned,
+            StoreError::Crashed => StoreErrorKind::Crashed,
+        }
+    }
+
+    /// The [`io::ErrorKind`] this error maps to when crossing an
+    /// `io::Result` boundary.
+    pub fn io_kind(&self) -> io::ErrorKind {
+        match self {
+            StoreError::Io(e) => e.kind(),
+            StoreError::Corruption { .. } => io::ErrorKind::InvalidData,
+            StoreError::Full { .. } => io::ErrorKind::StorageFull,
+            StoreError::Poisoned | StoreError::Crashed => io::ErrorKind::Other,
+        }
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "storage I/O error: {e}"),
+            StoreError::Corruption { page, expected, found } => write!(
+                f,
+                "page {page} checksum mismatch (torn write?): \
+                 expected {expected:#018x}, found {found:#018x}"
+            ),
+            StoreError::Full { requested, capacity } => {
+                write!(f, "page store full: requested {requested} pages, capacity {capacity}")
+            }
+            StoreError::Poisoned => f.write_str("storage state poisoned by a panicked thread"),
+            StoreError::Crashed => f.write_str("store crashed (simulated power loss)"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StoreError> for io::Error {
+    /// Wrap a typed error for `io::Result` layers; the typed value is
+    /// kept as the error's source so [`From<io::Error>`] can recover it.
+    fn from(e: StoreError) -> io::Error {
+        match e {
+            StoreError::Io(inner) => inner,
+            other => io::Error::new(other.io_kind(), other),
+        }
+    }
+}
+
+impl From<io::Error> for StoreError {
+    /// Recover a typed error previously wrapped by
+    /// [`From<StoreError>`]; anything else is a plain I/O fault.
+    fn from(e: io::Error) -> StoreError {
+        if e.get_ref().is_some_and(|r| r.is::<StoreError>()) {
+            if let Some(Ok(typed)) = e.into_inner().map(|b| b.downcast::<StoreError>()) {
+                return *typed;
+            }
+            // get_ref() proved the downcast succeeds, so this branch is
+            // unreachable; report the (lost) error as a poisoned state
+            // rather than panicking.
+            return StoreError::Poisoned;
+        }
+        StoreError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typed_errors_survive_the_io_error_round_trip() {
+        let e = StoreError::Corruption { page: 7, expected: 1, found: 2 };
+        let io: io::Error = e.into();
+        assert_eq!(io.kind(), io::ErrorKind::InvalidData);
+        match StoreError::from(io) {
+            StoreError::Corruption { page: 7, expected: 1, found: 2 } => {}
+            other => panic!("lost the typed error: {other:?}"),
+        }
+        let full: io::Error = StoreError::Full { requested: 3, capacity: 8 }.into();
+        assert!(matches!(StoreError::from(full), StoreError::Full { requested: 3, capacity: 8 }));
+        let crash: io::Error = StoreError::Crashed.into();
+        assert!(matches!(StoreError::from(crash), StoreError::Crashed));
+    }
+
+    #[test]
+    fn plain_io_errors_map_to_the_io_variant() {
+        let e = StoreError::from(io::Error::new(io::ErrorKind::NotFound, "nope"));
+        assert!(matches!(&e, StoreError::Io(inner) if inner.kind() == io::ErrorKind::NotFound));
+        assert_eq!(e.kind(), StoreErrorKind::Io);
+    }
+
+    #[test]
+    fn display_names_the_fault() {
+        let c = StoreError::Corruption { page: 3, expected: 0xaa, found: 0xbb };
+        assert!(c.to_string().contains("checksum"));
+        assert!(c.to_string().contains("page 3"));
+        let f = StoreError::Full { requested: 2, capacity: 16 };
+        assert!(f.to_string().contains("full"));
+        assert_eq!(f.kind(), StoreErrorKind::Full);
+    }
+}

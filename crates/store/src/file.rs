@@ -1,47 +1,85 @@
 //! Durable page file: the real-I/O counterpart of
 //! [`InMemoryPageStore`](crate::InMemoryPageStore).
 //!
-//! # On-disk layout
+//! # On-disk layout (version 2, shadow metadata)
 //!
 //! ```text
-//! physical page 0            header (magic, version, page size,
+//! physical page 0            header slot A (magic, version, page size,
 //!                            free-map size, data-page high-water,
-//!                            root pointer, FNV-1a checksum)
-//! physical pages 1..=F       free map: one bit per data page
+//!                            root pointer, generation, checksum)
+//! physical page 1            header slot B (same fields)
+//! physical pages 2..2+F      free-map copy A: one bit per data page
 //!                            (1 = allocated), F fixed at create time
-//! physical pages F+1..       data pages; logical data page p lives at
-//!                            byte offset (1 + F + p) * PAGE_SIZE
+//! physical pages 2+F..2+2F   free-map copy B
+//! physical pages 2+2F..      data pages; logical data page p lives at
+//!                            byte offset (2 + 2F + p) * PAGE_SIZE
 //! ```
 //!
 //! Data pages are addressed logically from 0, so page numbers are
 //! interchangeable with the in-memory store's and the buffer pool never
 //! sees the header or free map. Allocation is first-fit over the bitmap
 //! and spans are contiguous; [`PageStore::free`] clears bits so the
-//! space is genuinely reused. Metadata (header + free map) is written
-//! by [`PageStore::sync`] under a checksum covering both; [`open`]
-//! verifies magic, version, page size, and checksum, and rejects files
-//! whose metadata region is truncated. A torn *data* tail (file cut
-//! mid-page) reads as zeros, which the length-prefixed, checksummed
-//! record streams above this layer detect — see `stream.rs`.
+//! space is genuinely reused.
+//!
+//! # Crash atomicity
+//!
+//! Metadata commits alternate between the two header/free-map slots
+//! under a monotonically increasing *generation* counter:
+//! [`PageStore::sync`] first makes all data-page writes durable
+//! (`fdatasync`), then writes free-map copy and header for slot
+//! `generation % 2` — never the slot holding the last committed state —
+//! and ends with `fsync`. Each header's checksum covers the header
+//! fields *and* that slot's free-map copy, so a crash anywhere mid-sync
+//! leaves the previous slot byte-identical and valid: [`open`] validates
+//! both slots and adopts the valid one with the highest generation.
+//! The committed state therefore moves atomically from one complete
+//! metadata snapshot to the next, and because data is flushed *before*
+//! the commit record, a committed root never points at unwritten pages.
+//! A torn *data* tail (file cut mid-page) reads as zeros, which the
+//! length-prefixed, checksummed record streams above this layer detect —
+//! see `stream.rs`.
 //!
 //! [`open`]: FilePageStore::open
 
 use std::fs::{File, OpenOptions};
 use std::io;
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
 
 use crate::cost::PAGE_SIZE;
+use crate::error::{StoreError, StoreResult};
 use crate::page::{Backend, PageStore, StoreId};
 use crate::stream::fnv1a;
 
 const FILE_MAGIC: u32 = 0x5653_5046; // "VSPF"
-const FILE_VERSION: u32 = 1;
-const HEADER_LEN: usize = 40;
+const FILE_VERSION: u32 = 2;
+const HEADER_LEN: usize = 48;
+/// Physical pages before the free-map copies (the two header slots).
+const HEADER_SLOTS: u64 = 2;
 
 /// Data pages addressable per free-map page (one bit each).
 const PAGES_PER_MAP_PAGE: u64 = (PAGE_SIZE * 8) as u64;
+
+/// Upper bound on the free-map size a header may claim (64 Ki map pages
+/// ⇒ 8 TiB of data); anything larger is a corrupted header, not a file
+/// this store could have written.
+const MAX_FREEMAP_PAGES: u64 = 1 << 16;
+
+/// Little-endian field readers over a buffer that is always a full
+/// page; offsets are compile-time constants `< HEADER_LEN <<
+/// PAGE_SIZE`, so these never slice out of bounds.
+fn le_u32(buf: &[u8], offset: usize) -> u32 {
+    let mut v = [0u8; 4];
+    v.copy_from_slice(&buf[offset..offset + 4]);
+    u32::from_le_bytes(v)
+}
+
+fn le_u64(buf: &[u8], offset: usize) -> u64 {
+    let mut v = [0u8; 8];
+    v.copy_from_slice(&buf[offset..offset + 8]);
+    u64::from_le_bytes(v)
+}
 
 #[derive(Debug)]
 struct FreeState {
@@ -82,6 +120,17 @@ impl FreeState {
             }
         }
         None
+    }
+
+    /// Highest allocated bit + 1, i.e. the smallest consistent
+    /// high-water mark for this bitmap.
+    fn min_data_pages(&self) -> u64 {
+        for (byte_idx, &byte) in self.bitmap.iter().enumerate().rev() {
+            if byte != 0 {
+                return byte_idx as u64 * 8 + (8 - byte.leading_zeros() as u64);
+            }
+        }
+        0
     }
 }
 
@@ -175,9 +224,10 @@ mod mmap {
     }
 }
 
-/// A single-file durable page store with a free map for page reuse and
-/// an optional read-only mmap fast path. See the module docs for the
-/// on-disk layout and recovery story.
+/// A single-file durable page store with a free map for page reuse,
+/// shadow-slot crash-atomic metadata commits, and an optional read-only
+/// mmap fast path. See the module docs for the on-disk layout and
+/// recovery story.
 #[derive(Debug)]
 pub struct FilePageStore {
     id: StoreId,
@@ -187,8 +237,22 @@ pub struct FilePageStore {
     /// User-defined root pointer persisted in the header (e.g. the first
     /// page of a directory stream).
     root: AtomicU64,
+    /// Generation of the last committed metadata snapshot.
+    generation: AtomicU64,
+    /// Whether allocations/frees/root changes happened since the last
+    /// sync (Drop only syncs a dirty store, so generations don't churn).
+    dirty: AtomicBool,
     #[cfg(unix)]
     map: Option<mmap::Map>,
+}
+
+/// One parsed-and-validated header slot.
+struct Slot {
+    freemap_pages: u64,
+    data_pages: u64,
+    root: u64,
+    generation: u64,
+    bitmap: Vec<u8>,
 }
 
 impl FilePageStore {
@@ -196,7 +260,7 @@ impl FilePageStore {
     /// data pages (rounded up to whole free-map pages; one free-map
     /// page covers 32768 data pages = 128 MiB). Truncates any existing
     /// file at `path`.
-    pub fn create(path: &Path, capacity_pages: u64) -> io::Result<FilePageStore> {
+    pub fn create(path: &Path, capacity_pages: u64) -> StoreResult<FilePageStore> {
         let freemap_pages = capacity_pages.div_ceil(PAGES_PER_MAP_PAGE).max(1);
         let file =
             OpenOptions::new().read(true).write(true).create(true).truncate(true).open(path)?;
@@ -209,6 +273,8 @@ impl FilePageStore {
                 data_pages: 0,
             }),
             root: AtomicU64::new(u64::MAX),
+            generation: AtomicU64::new(0),
+            dirty: AtomicBool::new(false),
             #[cfg(unix)]
             map: None,
         };
@@ -216,65 +282,102 @@ impl FilePageStore {
         Ok(store)
     }
 
-    /// Open an existing page file, verifying magic, version, page size,
-    /// and the metadata checksum. A file whose header or free map is
-    /// truncated or corrupted is rejected here; a truncated data tail
-    /// is only detectable by the checksummed record streams above.
-    pub fn open(path: &Path) -> io::Result<FilePageStore> {
+    /// Open an existing page file: both header slots are validated
+    /// (magic, version, page size, plausible free-map size, checksum
+    /// over header + free-map copy) and the valid slot with the highest
+    /// generation wins, so a crash during the previous [`sync`] rolls
+    /// back to the last complete commit. A file where *no* slot is
+    /// valid — truncated, garbage, or corrupted in both slots — is
+    /// rejected with a typed error. A truncated data tail is only
+    /// detectable by the checksummed record streams above.
+    ///
+    /// [`sync`]: PageStore::sync
+    pub fn open(path: &Path) -> StoreResult<FilePageStore> {
         Self::open_inner(path, false)
     }
 
     /// Like [`open`](Self::open), but reads go through a read-only
     /// memory mapping of the file (pages appended after opening fall
     /// back to `pread`).
-    pub fn open_mmap(path: &Path) -> io::Result<FilePageStore> {
+    pub fn open_mmap(path: &Path) -> StoreResult<FilePageStore> {
         Self::open_inner(path, true)
     }
 
-    fn open_inner(path: &Path, want_map: bool) -> io::Result<FilePageStore> {
-        let file = OpenOptions::new().read(true).write(true).open(path)?;
-        let file_len = file.metadata()?.len();
-        let corrupt = |what: &str| io::Error::new(io::ErrorKind::InvalidData, what.to_string());
-        if file_len < PAGE_SIZE as u64 {
-            return Err(corrupt("page file shorter than its header"));
-        }
+    /// Parse and validate one header slot; `Err` carries the reason the
+    /// slot is unusable.
+    fn read_slot(file: &File, file_len: u64, slot: u64) -> StoreResult<Slot> {
+        let corrupt = |what: &str| {
+            StoreError::Io(io::Error::new(io::ErrorKind::InvalidData, what.to_string()))
+        };
+        // Short files read as zeros past EOF, so a truncated header
+        // fails the magic check instead of slicing out of bounds.
         let mut header = vec![0u8; PAGE_SIZE];
-        read_exact_at(&file, &mut header, 0)?;
-        let u32_at = |o: usize| u32::from_le_bytes(header[o..o + 4].try_into().unwrap());
-        let u64_at = |o: usize| u64::from_le_bytes(header[o..o + 8].try_into().unwrap());
-        if u32_at(0) != FILE_MAGIC {
+        read_up_to_at(file, &mut header, slot * PAGE_SIZE as u64)?;
+        if le_u32(&header, 0) != FILE_MAGIC {
             return Err(corrupt("not a vsim page file (bad magic)"));
         }
-        if u32_at(4) != FILE_VERSION {
+        if le_u32(&header, 4) != FILE_VERSION {
             return Err(corrupt("unsupported page-file version"));
         }
-        if u32_at(8) as usize != PAGE_SIZE {
+        if le_u32(&header, 8) as usize != PAGE_SIZE {
             return Err(corrupt("page file written with a different page size"));
         }
-        let freemap_pages = u32_at(12) as u64;
-        let data_pages = u64_at(16);
-        let root = u64_at(24);
-        let stored_checksum = u64_at(32);
-        if freemap_pages == 0 || data_pages > freemap_pages * PAGES_PER_MAP_PAGE {
+        let freemap_pages = le_u32(&header, 12) as u64;
+        let data_pages = le_u64(&header, 16);
+        let root = le_u64(&header, 24);
+        let generation = le_u64(&header, 32);
+        let stored_checksum = le_u64(&header, 40);
+        if freemap_pages == 0
+            || freemap_pages > MAX_FREEMAP_PAGES
+            || data_pages > freemap_pages * PAGES_PER_MAP_PAGE
+        {
             return Err(corrupt("page-file header out of range"));
         }
-        if file_len < (1 + freemap_pages) * PAGE_SIZE as u64 {
+        if file_len < (HEADER_SLOTS + 2 * freemap_pages) * PAGE_SIZE as u64 {
             return Err(corrupt("page file truncated inside its free map"));
         }
         let mut bitmap = vec![0u8; (freemap_pages * PAGE_SIZE as u64) as usize];
-        read_exact_at(&file, &mut bitmap, PAGE_SIZE as u64)?;
+        let map_offset = (HEADER_SLOTS + slot * freemap_pages) * PAGE_SIZE as u64;
+        read_exact_at(file, &mut bitmap, map_offset)?;
         let mut meta = header[..HEADER_LEN - 8].to_vec();
         meta.extend_from_slice(&bitmap);
-        if fnv1a(&meta) != stored_checksum {
-            return Err(corrupt("page-file metadata checksum mismatch"));
+        let found = fnv1a(&meta);
+        if found != stored_checksum {
+            return Err(StoreError::Corruption { page: slot, expected: stored_checksum, found });
         }
+        let state = FreeState { bitmap, data_pages };
+        if state.min_data_pages() > data_pages {
+            return Err(corrupt("free map allocates pages beyond the recorded page count"));
+        }
+        Ok(Slot { freemap_pages, data_pages, root, generation, bitmap: state.bitmap })
+    }
+
+    fn open_inner(path: &Path, want_map: bool) -> StoreResult<FilePageStore> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        let file_len = file.metadata()?.len();
+        let slots = [Self::read_slot(&file, file_len, 0), Self::read_slot(&file, file_len, 1)];
+        let best = match slots {
+            [Ok(a), Ok(b)] => {
+                if a.generation >= b.generation {
+                    a
+                } else {
+                    b
+                }
+            }
+            [Ok(a), Err(_)] => a,
+            [Err(_), Ok(b)] => b,
+            // Neither slot is usable; report the first slot's reason.
+            [Err(a), Err(_)] => return Err(a),
+        };
         let map = if want_map { Some(mmap::Map::new(&file, file_len as usize)?) } else { None };
         Ok(FilePageStore {
             id: StoreId::fresh(),
             file,
-            freemap_pages,
-            state: Mutex::new(FreeState { bitmap, data_pages }),
-            root: AtomicU64::new(root),
+            freemap_pages: best.freemap_pages,
+            state: Mutex::new(FreeState { bitmap: best.bitmap, data_pages: best.data_pages }),
+            root: AtomicU64::new(best.root),
+            generation: AtomicU64::new(best.generation),
+            dirty: AtomicBool::new(false),
             #[cfg(unix)]
             map,
         })
@@ -287,8 +390,32 @@ impl FilePageStore {
 
     /// Data pages currently marked allocated in the free map.
     pub fn allocated_pages(&self) -> u64 {
-        let state = self.state.lock().unwrap();
+        let state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         state.bitmap.iter().map(|b| b.count_ones() as u64).sum()
+    }
+
+    /// Maximal runs of currently allocated data pages as `(first, len)`
+    /// spans, ascending. The shadow-header save protocol snapshots this
+    /// before writing a replacement index so it can free the previous
+    /// snapshot after the atomic root switch.
+    pub fn allocated_spans(&self) -> Vec<(u64, u64)> {
+        let state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut spans: Vec<(u64, u64)> = Vec::new();
+        for page in 0..state.data_pages {
+            if !state.bit(page) {
+                continue;
+            }
+            match spans.last_mut() {
+                Some((first, len)) if *first + *len == page => *len += 1,
+                _ => spans.push((page, 1)),
+            }
+        }
+        spans
+    }
+
+    /// Generation of the last committed metadata snapshot.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Relaxed)
     }
 
     /// The persisted root pointer, or `None` if never set.
@@ -302,10 +429,20 @@ impl FilePageStore {
     /// Set the root pointer; persisted on the next [`PageStore::sync`].
     pub fn set_root(&self, page: u64) {
         self.root.store(page, Ordering::Relaxed);
+        self.dirty.store(true, Ordering::Relaxed);
+    }
+
+    /// Close this store *without* the best-effort sync-on-drop: the
+    /// on-disk state stays exactly what the last successful
+    /// [`sync`](PageStore::sync) committed. Crash simulation uses this
+    /// to model a process that died before it could flush — a failed
+    /// save must not commit its partial work on the way out.
+    pub fn abandon(self) {
+        self.dirty.store(false, Ordering::Relaxed);
     }
 
     fn data_offset(&self, page: u64) -> u64 {
-        (1 + self.freemap_pages + page) * PAGE_SIZE as u64
+        (HEADER_SLOTS + 2 * self.freemap_pages + page) * PAGE_SIZE as u64
     }
 }
 
@@ -315,7 +452,8 @@ impl PageStore for FilePageStore {
     }
 
     fn page_count(&self) -> u64 {
-        self.state.lock().unwrap().data_pages
+        // Reading one u64 is safe even if a writer panicked mid-update.
+        self.state.lock().unwrap_or_else(PoisonError::into_inner).data_pages
     }
 
     fn backend(&self) -> Backend {
@@ -326,32 +464,35 @@ impl PageStore for FilePageStore {
         Backend::File
     }
 
-    fn allocate(&self, pages: u64) -> u64 {
+    fn allocate(&self, pages: u64) -> StoreResult<u64> {
         assert!(pages >= 1, "cannot allocate an empty span");
-        let mut state = self.state.lock().unwrap();
+        let mut state = self.state.lock().map_err(|_| StoreError::Poisoned)?;
         let capacity = self.capacity_pages();
-        let first = state
-            .find_run(pages, capacity)
-            .unwrap_or_else(|| panic!("page file full ({capacity} page capacity)"));
+        let Some(first) = state.find_run(pages, capacity) else {
+            return Err(StoreError::Full { requested: pages, capacity });
+        };
         for page in first..first + pages {
             state.set_bit(page, true);
         }
+        self.dirty.store(true, Ordering::Relaxed);
         if first + pages > state.data_pages {
             state.data_pages = first + pages;
             // Extend so even never-written pages are readable (zeros).
-            let _ = self.file.set_len(self.data_offset(state.data_pages));
+            self.file.set_len(self.data_offset(state.data_pages))?;
         }
-        first
+        Ok(first)
     }
 
-    fn free(&self, first: u64, pages: u64) {
-        let mut state = self.state.lock().unwrap();
+    fn free(&self, first: u64, pages: u64) -> StoreResult<()> {
+        let mut state = self.state.lock().map_err(|_| StoreError::Poisoned)?;
         for page in first..first + pages {
             state.set_bit(page, false);
         }
+        self.dirty.store(true, Ordering::Relaxed);
+        Ok(())
     }
 
-    fn read_into(&self, page: u64, buf: &mut [u8]) -> io::Result<()> {
+    fn read_into(&self, page: u64, buf: &mut [u8]) -> StoreResult<()> {
         let buf = &mut buf[..PAGE_SIZE];
         let offset = self.data_offset(page);
         #[cfg(unix)]
@@ -362,23 +503,35 @@ impl PageStore for FilePageStore {
             }
         }
         buf.fill(0);
-        read_up_to_at(&self.file, buf, offset)
+        read_up_to_at(&self.file, buf, offset)?;
+        Ok(())
     }
 
-    fn write_page(&self, page: u64, data: &[u8]) -> io::Result<()> {
+    fn write_page(&self, page: u64, data: &[u8]) -> StoreResult<()> {
         assert!(data.len() <= PAGE_SIZE, "page write of {} bytes", data.len());
         {
-            let state = self.state.lock().unwrap();
+            let state = self.state.lock().map_err(|_| StoreError::Poisoned)?;
             assert!(page < state.data_pages, "write to unallocated page {page}");
         }
-        write_all_at(&self.file, data, self.data_offset(page))
+        write_all_at(&self.file, data, self.data_offset(page))?;
+        Ok(())
     }
 
-    fn sync(&self) -> io::Result<()> {
+    /// Commit the current metadata atomically: flush data pages, then
+    /// write free-map copy and header into the *other* slot at the next
+    /// generation, then flush again. A crash at any point leaves the
+    /// previous slot intact, so [`open`](FilePageStore::open) recovers
+    /// either the old or the new complete state, never a mix.
+    fn sync(&self) -> StoreResult<()> {
         let (bitmap, data_pages) = {
-            let state = self.state.lock().unwrap();
+            let state = self.state.lock().map_err(|_| StoreError::Poisoned)?;
             (state.bitmap.clone(), state.data_pages)
         };
+        // 1. Data first: the commit record must never become durable
+        //    before the pages it points at.
+        self.file.sync_data()?;
+        let generation = self.generation.load(Ordering::Relaxed) + 1;
+        let slot = generation % 2;
         let mut meta = Vec::with_capacity(HEADER_LEN - 8 + bitmap.len());
         meta.extend_from_slice(&FILE_MAGIC.to_le_bytes());
         meta.extend_from_slice(&FILE_VERSION.to_le_bytes());
@@ -386,22 +539,32 @@ impl PageStore for FilePageStore {
         meta.extend_from_slice(&(self.freemap_pages as u32).to_le_bytes());
         meta.extend_from_slice(&data_pages.to_le_bytes());
         meta.extend_from_slice(&self.root.load(Ordering::Relaxed).to_le_bytes());
+        meta.extend_from_slice(&generation.to_le_bytes());
         meta.extend_from_slice(&bitmap);
         let checksum = fnv1a(&meta);
         let (header_prefix, bitmap_slice) = meta.split_at(HEADER_LEN - 8);
         let mut header = vec![0u8; PAGE_SIZE];
         header[..HEADER_LEN - 8].copy_from_slice(header_prefix);
         header[HEADER_LEN - 8..HEADER_LEN].copy_from_slice(&checksum.to_le_bytes());
-        write_all_at(&self.file, &header, 0)?;
-        write_all_at(&self.file, bitmap_slice, PAGE_SIZE as u64)?;
-        self.file.sync_all()
+        let map_offset = (HEADER_SLOTS + slot * self.freemap_pages) * PAGE_SIZE as u64;
+        write_all_at(&self.file, bitmap_slice, map_offset)?;
+        write_all_at(&self.file, &header, slot * PAGE_SIZE as u64)?;
+        // 2. Commit: both slot writes become durable; if this fsync
+        //    never completes, the other slot still holds the last
+        //    committed generation.
+        self.file.sync_all()?;
+        self.generation.store(generation, Ordering::Relaxed);
+        self.dirty.store(false, Ordering::Relaxed);
+        Ok(())
     }
 }
 
 impl Drop for FilePageStore {
     fn drop(&mut self) {
         // Best-effort durability for callers that forget to sync.
-        let _ = self.sync();
+        if self.dirty.load(Ordering::Relaxed) {
+            let _ = self.sync();
+        }
     }
 }
 
@@ -446,13 +609,19 @@ mod tests {
         dir.join(name)
     }
 
+    /// Byte offset of slot `slot`'s free-map copy in a file with one
+    /// free-map page per copy (the capacity every test here uses).
+    fn map_offset(slot: u64) -> usize {
+        ((HEADER_SLOTS + slot) * PAGE_SIZE as u64) as usize
+    }
+
     #[test]
     fn write_read_round_trip_survives_reopen() {
         let path = tmp("round_trip.vspf");
         let payload: Vec<u8> = (0..PAGE_SIZE).map(|i| (i % 251) as u8).collect();
         {
             let store = FilePageStore::create(&path, 64).unwrap();
-            let first = store.allocate(3);
+            let first = store.allocate(3).unwrap();
             store.write_page(first + 1, &payload).unwrap();
             store.set_root(first);
             store.sync().unwrap();
@@ -474,7 +643,7 @@ mod tests {
         let path = tmp("mmap.vspf");
         {
             let store = FilePageStore::create(&path, 16).unwrap();
-            let first = store.allocate(2);
+            let first = store.allocate(2).unwrap();
             store.write_page(first, &[0xabu8; 100]).unwrap();
             store.write_page(first + 1, &[0xcdu8; PAGE_SIZE]).unwrap();
             store.sync().unwrap();
@@ -489,7 +658,7 @@ mod tests {
             assert_eq!(a, b, "page {page} differs between pread and mmap");
         }
         // A page appended after mapping falls back to pread.
-        let extra = mapped.allocate(1);
+        let extra = mapped.allocate(1).unwrap();
         mapped.write_page(extra, &[9u8; 8]).unwrap();
         mapped.read_into(extra, &mut b).unwrap();
         assert_eq!(&b[..8], &[9u8; 8][..]);
@@ -500,32 +669,90 @@ mod tests {
     fn freed_spans_are_reused_first_fit() {
         let path = tmp("reuse.vspf");
         let store = FilePageStore::create(&path, 64).unwrap();
-        let a = store.allocate(2); // [0, 1]
-        let b = store.allocate(3); // [2, 4]
+        let a = store.allocate(2).unwrap(); // [0, 1]
+        let b = store.allocate(3).unwrap(); // [2, 4]
         assert_eq!((a, b), (0, 2));
-        store.free(a, 2);
-        assert_eq!(store.allocate(1), 0, "freed space is reused");
-        assert_eq!(store.allocate(1), 1);
-        assert_eq!(store.allocate(2), 5, "no free run of 2 before the high-water mark");
+        store.free(a, 2).unwrap();
+        assert_eq!(store.allocate(1).unwrap(), 0, "freed space is reused");
+        assert_eq!(store.allocate(1).unwrap(), 1);
+        assert_eq!(store.allocate(2).unwrap(), 5, "no free run of 2 before the high-water mark");
         assert_eq!(store.page_count(), 7);
+        drop(store);
         std::fs::remove_file(&path).unwrap();
     }
 
     #[test]
-    fn corrupted_metadata_is_rejected() {
+    fn exhausted_capacity_is_a_typed_error_not_a_panic() {
+        let path = tmp("full.vspf");
+        let store = FilePageStore::create(&path, 8).unwrap();
+        let capacity = store.capacity_pages();
+        // One allocation larger than the whole file.
+        match store.allocate(capacity + 1) {
+            Err(StoreError::Full { requested, capacity: cap }) => {
+                assert_eq!(requested, capacity + 1);
+                assert_eq!(cap, capacity);
+            }
+            other => panic!("expected Full, got {other:?}"),
+        }
+        // The store keeps working after the failed allocation.
+        let first = store.allocate(1).unwrap();
+        store.write_page(first, &[1u8; 4]).unwrap();
+        drop(store);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn both_slots_corrupted_is_rejected() {
         let path = tmp("corrupt.vspf");
         {
             let store = FilePageStore::create(&path, 16).unwrap();
-            store.allocate(1);
+            store.allocate(1).unwrap();
             store.sync().unwrap();
         }
-        // Flip one free-map byte without updating the checksum.
+        // Flip one byte in each free-map copy, leaving the checksums.
         let mut bytes = std::fs::read(&path).unwrap();
-        bytes[PAGE_SIZE + 100] ^= 0xff;
+        bytes[map_offset(0) + 100] ^= 0xff;
+        bytes[map_offset(1) + 100] ^= 0xff;
         std::fs::write(&path, &bytes).unwrap();
         let err = FilePageStore::open(&path).unwrap_err();
-        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
-        assert!(err.to_string().contains("checksum"));
+        assert!(err.to_string().contains("checksum"), "got: {err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupting_the_newest_slot_falls_back_to_the_previous_commit() {
+        let path = tmp("fallback.vspf");
+        {
+            let store = FilePageStore::create(&path, 16).unwrap(); // gen 1, slot 1
+            assert_eq!(store.generation(), 1);
+            store.allocate(2).unwrap();
+            store.sync().unwrap(); // gen 2, slot 0
+            assert_eq!(store.generation(), 2);
+        }
+        // Corrupt the newest commit (generation 2 lives in slot 0).
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[map_offset(0)] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        let store = FilePageStore::open(&path).unwrap();
+        assert_eq!(store.generation(), 1, "rolled back to the surviving commit");
+        assert_eq!(store.allocated_pages(), 0, "generation 1 predates the allocation");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn sync_alternates_slots_and_open_picks_the_newest() {
+        let path = tmp("alternate.vspf");
+        {
+            let store = FilePageStore::create(&path, 16).unwrap();
+            store.allocate(1).unwrap();
+            store.sync().unwrap();
+            store.allocate(1).unwrap();
+            store.sync().unwrap();
+            assert_eq!(store.generation(), 3);
+        }
+        let store = FilePageStore::open(&path).unwrap();
+        assert_eq!(store.generation(), 3);
+        assert_eq!(store.allocated_pages(), 2);
         std::fs::remove_file(&path).unwrap();
     }
 
@@ -538,7 +765,58 @@ mod tests {
         let bytes = std::fs::read(&path).unwrap();
         std::fs::write(&path, &bytes[..PAGE_SIZE / 2]).unwrap();
         let err = FilePageStore::open(&path).unwrap_err();
-        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let io: io::Error = err.into();
+        assert_eq!(io.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn garbage_and_out_of_range_headers_are_rejected() {
+        let path = tmp("garbage.vspf");
+        // Arbitrary garbage: bad magic in both slots.
+        std::fs::write(&path, vec![0x5au8; 3 * PAGE_SIZE]).unwrap();
+        let err = FilePageStore::open(&path).unwrap_err();
+        assert!(err.to_string().contains("magic"), "got: {err}");
+
+        // A structurally valid header claiming an impossible free-map
+        // size must be rejected before any huge allocation happens.
+        let mut header = vec![0u8; PAGE_SIZE];
+        header[0..4].copy_from_slice(&FILE_MAGIC.to_le_bytes());
+        header[4..8].copy_from_slice(&FILE_VERSION.to_le_bytes());
+        header[8..12].copy_from_slice(&(PAGE_SIZE as u32).to_le_bytes());
+        header[12..16].copy_from_slice(&u32::MAX.to_le_bytes()); // freemap_pages
+        let mut bytes = vec![0u8; 3 * PAGE_SIZE];
+        bytes[..PAGE_SIZE].copy_from_slice(&header);
+        std::fs::write(&path, &bytes).unwrap();
+        let err = FilePageStore::open(&path).unwrap_err();
+        assert!(err.to_string().contains("out of range"), "got: {err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn freemap_page_count_mismatch_is_rejected() {
+        let path = tmp("mismatch.vspf");
+        {
+            let store = FilePageStore::create(&path, 16).unwrap();
+            store.allocate(1).unwrap();
+            store.sync().unwrap(); // gen 2 in slot 0
+        }
+        // Mark a page allocated beyond the recorded page count in both
+        // slots and fix up both checksums, so only the semantic check
+        // can catch the mismatch.
+        let mut bytes = std::fs::read(&path).unwrap();
+        for slot in 0..2usize {
+            let m = map_offset(slot as u64);
+            bytes[m + 2] |= 0x80; // data page 23, page count is <= 2
+            let mut meta = bytes[slot * PAGE_SIZE..slot * PAGE_SIZE + HEADER_LEN - 8].to_vec();
+            meta.extend_from_slice(&bytes[m..m + PAGE_SIZE]);
+            let sum = fnv1a(&meta);
+            bytes[slot * PAGE_SIZE + HEADER_LEN - 8..slot * PAGE_SIZE + HEADER_LEN]
+                .copy_from_slice(&sum.to_le_bytes());
+        }
+        std::fs::write(&path, &bytes).unwrap();
+        let err = FilePageStore::open(&path).unwrap_err();
+        assert!(err.to_string().contains("beyond the recorded page count"), "got: {err}");
         std::fs::remove_file(&path).unwrap();
     }
 
@@ -547,7 +825,7 @@ mod tests {
         let path = tmp("torn_tail.vspf");
         {
             let store = FilePageStore::create(&path, 16).unwrap();
-            let first = store.allocate(1);
+            let first = store.allocate(1).unwrap();
             store.write_page(first, &[7u8; PAGE_SIZE]).unwrap();
             store.sync().unwrap();
         }

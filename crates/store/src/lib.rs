@@ -20,6 +20,10 @@
 //! * [`PageStreamWriter`] / [`PageStreamReader`] — checksummed,
 //!   length-prefixed record streams over any page store; the unit of
 //!   crash-safe serialization (torn tails are detected, never decoded).
+//! * [`StoreError`] / [`FaultInjectingPageStore`] — typed storage
+//!   failures (I/O, corruption, exhaustion, crash) propagated as
+//!   `Result`s instead of panics, and a deterministic fault-injection
+//!   wrapper ([`FaultPlan`]) that exercises every failure path.
 //! * [`IoTracker`] / [`QueryContext`] — thread-safe per-query counters
 //!   (pages, bytes, cache hits/misses/evictions, distance evaluations,
 //!   filter candidates, refinements) threaded through query calls.
@@ -30,6 +34,8 @@
 
 mod context;
 mod cost;
+mod error;
+mod fault;
 mod file;
 mod page;
 mod pool;
@@ -39,6 +45,8 @@ mod tracker;
 
 pub use context::QueryContext;
 pub use cost::{CostModel, IoSnapshot, PAGE_SIZE};
+pub use error::{StoreError, StoreErrorKind, StoreResult};
+pub use fault::{Fault, FaultInjectingPageStore, FaultPlan};
 pub use file::FilePageStore;
 pub use page::{Backend, InMemoryPageStore, PageKey, PageStore, StoreId};
 pub use pool::{BufferPool, PinGuard, PoolStats, SHARD_THRESHOLD};

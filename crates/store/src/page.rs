@@ -11,11 +11,11 @@
 //! file.
 
 use std::collections::HashMap;
-use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use crate::cost::PAGE_SIZE;
+use crate::error::StoreResult;
 
 static NEXT_STORE_ID: AtomicU64 = AtomicU64::new(1);
 
@@ -82,19 +82,21 @@ pub trait PageStore: Send + Sync {
     /// The medium this store reads from.
     fn backend(&self) -> Backend;
     /// Allocate a contiguous span of `pages` pages; returns the first
-    /// page number of the span.
-    fn allocate(&self, pages: u64) -> u64;
+    /// page number of the span. Fails with
+    /// [`StoreError::Full`](crate::StoreError::Full) when no run of
+    /// that length exists in a bounded store.
+    fn allocate(&self, pages: u64) -> StoreResult<u64>;
     /// Return a span to the store for reuse. Backends without reuse
     /// (the bump-allocating memory store) only drop the contents.
-    fn free(&self, first: u64, pages: u64);
+    fn free(&self, first: u64, pages: u64) -> StoreResult<()>;
     /// Read one page into `buf` (at least [`PAGE_SIZE`] bytes). Pages
     /// that were allocated but never written read as zeros.
-    fn read_into(&self, page: u64, buf: &mut [u8]) -> io::Result<()>;
+    fn read_into(&self, page: u64, buf: &mut [u8]) -> StoreResult<()>;
     /// Write one page (`data.len() <= PAGE_SIZE`; a short write leaves
     /// the page tail unspecified — record layouts carry their lengths).
-    fn write_page(&self, page: u64, data: &[u8]) -> io::Result<()>;
+    fn write_page(&self, page: u64, data: &[u8]) -> StoreResult<()>;
     /// Persist store metadata (free map, header). No-op in memory.
-    fn sync(&self) -> io::Result<()>;
+    fn sync(&self) -> StoreResult<()>;
 }
 
 /// Page store for a main-memory structure. Thread-safe: allocation
@@ -123,6 +125,13 @@ impl InMemoryPageStore {
             data: Mutex::new(HashMap::new()),
         }
     }
+
+    /// The content map holds independent per-page entries, so a writer
+    /// that panicked mid-operation cannot leave it torn; recover the
+    /// guard instead of propagating the poison.
+    fn contents(&self) -> MutexGuard<'_, HashMap<u64, Box<[u8]>>> {
+        self.data.lock().unwrap_or_else(PoisonError::into_inner)
+    }
 }
 
 impl PageStore for InMemoryPageStore {
@@ -138,35 +147,36 @@ impl PageStore for InMemoryPageStore {
         Backend::Memory
     }
 
-    fn allocate(&self, pages: u64) -> u64 {
-        self.pages.fetch_add(pages, Ordering::Relaxed)
+    fn allocate(&self, pages: u64) -> StoreResult<u64> {
+        Ok(self.pages.fetch_add(pages, Ordering::Relaxed))
     }
 
     /// The bump allocator never reuses page numbers; freeing only drops
     /// the stored contents.
-    fn free(&self, first: u64, pages: u64) {
-        let mut data = self.data.lock().unwrap();
+    fn free(&self, first: u64, pages: u64) -> StoreResult<()> {
+        let mut data = self.contents();
         for page in first..first + pages {
             data.remove(&page);
         }
+        Ok(())
     }
 
-    fn read_into(&self, page: u64, buf: &mut [u8]) -> io::Result<()> {
+    fn read_into(&self, page: u64, buf: &mut [u8]) -> StoreResult<()> {
         let buf = &mut buf[..PAGE_SIZE];
         buf.fill(0);
-        if let Some(d) = self.data.lock().unwrap().get(&page) {
+        if let Some(d) = self.contents().get(&page) {
             buf[..d.len()].copy_from_slice(d);
         }
         Ok(())
     }
 
-    fn write_page(&self, page: u64, data: &[u8]) -> io::Result<()> {
+    fn write_page(&self, page: u64, data: &[u8]) -> StoreResult<()> {
         assert!(data.len() <= PAGE_SIZE, "page write of {} bytes", data.len());
-        self.data.lock().unwrap().insert(page, data.into());
+        self.contents().insert(page, data.into());
         Ok(())
     }
 
-    fn sync(&self) -> io::Result<()> {
+    fn sync(&self) -> StoreResult<()> {
         Ok(())
     }
 }
@@ -185,9 +195,9 @@ mod tests {
     #[test]
     fn allocation_is_contiguous_and_counted() {
         let s = InMemoryPageStore::new();
-        assert_eq!(s.allocate(3), 0);
-        assert_eq!(s.allocate(1), 3);
-        assert_eq!(s.allocate(2), 4);
+        assert_eq!(s.allocate(3).unwrap(), 0);
+        assert_eq!(s.allocate(1).unwrap(), 3);
+        assert_eq!(s.allocate(2).unwrap(), 4);
         assert_eq!(s.page_count(), 6);
     }
 
@@ -196,7 +206,10 @@ mod tests {
         let s = InMemoryPageStore::new();
         let spans: Vec<(u64, u64)> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..4)
-                .map(|_| scope.spawn(|| (0..100).map(|_| (s.allocate(2), 2)).collect::<Vec<_>>()))
+                .map(|_| {
+                    scope
+                        .spawn(|| (0..100).map(|_| (s.allocate(2).unwrap(), 2)).collect::<Vec<_>>())
+                })
                 .collect();
             handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
         });
@@ -210,7 +223,7 @@ mod tests {
     #[test]
     fn written_pages_read_back_and_unwritten_read_zero() {
         let s = InMemoryPageStore::new();
-        let first = s.allocate(2);
+        let first = s.allocate(2).unwrap();
         s.write_page(first, &[7u8; 100]).unwrap();
         let mut buf = vec![0xffu8; PAGE_SIZE];
         s.read_into(first, &mut buf).unwrap();
@@ -223,13 +236,13 @@ mod tests {
     #[test]
     fn free_drops_contents_without_reusing_numbers() {
         let s = InMemoryPageStore::new();
-        let first = s.allocate(1);
+        let first = s.allocate(1).unwrap();
         s.write_page(first, &[1u8; 8]).unwrap();
-        s.free(first, 1);
+        s.free(first, 1).unwrap();
         let mut buf = vec![0u8; PAGE_SIZE];
         s.read_into(first, &mut buf).unwrap();
         assert!(buf.iter().all(|&b| b == 0));
-        assert_eq!(s.allocate(1), 1, "bump allocation is not rewound by free");
+        assert_eq!(s.allocate(1).unwrap(), 1, "bump allocation is not rewound by free");
     }
 
     #[test]

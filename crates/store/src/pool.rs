@@ -20,10 +20,10 @@
 //! is preserved.
 
 use std::collections::HashMap;
-use std::io;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use crate::cost::PAGE_SIZE;
+use crate::error::StoreResult;
 use crate::page::{PageKey, PageStore, StoreId};
 use crate::tracker::{CacheCounts, IoTracker};
 
@@ -55,6 +55,17 @@ struct Inner {
 struct Shard {
     capacity: Option<usize>,
     inner: Mutex<Inner>,
+}
+
+impl Shard {
+    /// The pool is a pure cache: every frame is independently
+    /// re-readable from its backing store, so state guarded by a
+    /// poisoned lock is still safe to serve. Recover the guard instead
+    /// of propagating the poison — one panicking query must not take
+    /// the shared pool down with it.
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
 }
 
 /// Shared lock-striped LRU page cache with pin/unpin and a physical
@@ -120,7 +131,7 @@ impl BufferPool {
 
     /// Pages currently resident.
     pub fn resident(&self) -> usize {
-        self.shards.iter().map(|s| s.inner.lock().unwrap().frames.len()).sum()
+        self.shards.iter().map(|s| s.lock().frames.len()).sum()
     }
 
     /// Lifetime hit/miss/eviction totals across all queries, summed
@@ -129,7 +140,7 @@ impl BufferPool {
         let mut counts = CacheCounts::default();
         let mut resident = 0;
         for shard in &self.shards {
-            let inner = shard.inner.lock().unwrap();
+            let inner = shard.lock();
             counts = counts + inner.totals;
             resident += inner.frames.len();
         }
@@ -138,7 +149,7 @@ impl BufferPool {
 
     pub fn contains(&self, store: StoreId, page: u64) -> bool {
         let key = PageKey { store, page };
-        self.shard(key).inner.lock().unwrap().frames.contains_key(&key)
+        self.shard(key).lock().frames.contains_key(&key)
     }
 
     /// Look up `pages` consecutive pages of `store` starting at
@@ -152,7 +163,7 @@ impl BufferPool {
         for page in first..first + pages {
             let key = PageKey { store, page };
             let shard = self.shard(key);
-            let mut inner = shard.inner.lock().unwrap();
+            let mut inner = shard.lock();
             if !inner.touch(key, 0, shard.capacity, tracker) {
                 missed += 1;
             }
@@ -171,10 +182,10 @@ impl BufferPool {
         store: &dyn PageStore,
         page: u64,
         tracker: &IoTracker,
-    ) -> io::Result<(Arc<[u8]>, u64)> {
+    ) -> StoreResult<(Arc<[u8]>, u64)> {
         let key = PageKey { store: store.id(), page };
         let shard = self.shard(key);
-        let mut inner = shard.inner.lock().unwrap();
+        let mut inner = shard.lock();
         let missed = if inner.touch(key, 0, shard.capacity, tracker) { 0 } else { 1 };
         if let Some(data) = inner.frames.get(&key).and_then(|f| f.data.clone()) {
             return Ok((data, missed));
@@ -198,7 +209,7 @@ impl BufferPool {
     pub fn pin<'a>(&'a self, store: StoreId, page: u64, tracker: &IoTracker) -> PinGuard<'a> {
         let key = PageKey { store, page };
         let shard = self.shard(key);
-        let mut inner = shard.inner.lock().unwrap();
+        let mut inner = shard.lock();
         let hit = inner.touch(key, 1, shard.capacity, tracker);
         // The page may not be resident (read-through); only a resident
         // pinned frame needs an unpin on drop.
@@ -207,9 +218,32 @@ impl BufferPool {
     }
 
     fn unpin(&self, key: PageKey) {
-        let mut inner = self.shard(key).inner.lock().unwrap();
+        let mut inner = self.shard(key).lock();
         if let Some(frame) = inner.frames.get_mut(&key) {
             frame.pins = frame.pins.saturating_sub(1);
+        }
+    }
+
+    /// Drop a page's cached contents so the next [`load`](Self::load)
+    /// re-reads it from the backing store — the retry path when a
+    /// loaded page fails checksum verification. An unpinned frame is
+    /// removed outright; a pinned frame only loses its contents (its
+    /// residency is owed to the pin guard). Counters are untouched:
+    /// this is damage control, not an eviction. Returns whether a frame
+    /// was found.
+    pub fn invalidate(&self, store: StoreId, page: u64) -> bool {
+        let key = PageKey { store, page };
+        let mut inner = self.shard(key).lock();
+        match inner.frames.get_mut(&key) {
+            Some(frame) if frame.pins > 0 => {
+                frame.data = None;
+                true
+            }
+            Some(_) => {
+                inner.frames.remove(&key);
+                true
+            }
+            None => false,
         }
     }
 }
@@ -485,7 +519,7 @@ mod tests {
     #[test]
     fn load_reads_through_and_caches_contents() {
         let store = InMemoryPageStore::new();
-        let page = store.allocate(1);
+        let page = store.allocate(1).unwrap();
         store.write_page(page, &[0x5au8; 64]).unwrap();
         let pool = BufferPool::unbounded();
         let t = IoTracker::new();
@@ -504,7 +538,7 @@ mod tests {
     #[test]
     fn load_after_simulated_access_fills_in_contents() {
         let store = InMemoryPageStore::new();
-        let page = store.allocate(1);
+        let page = store.allocate(1).unwrap();
         store.write_page(page, &[3u8; 10]).unwrap();
         let pool = BufferPool::unbounded();
         let t = IoTracker::new();
@@ -520,7 +554,7 @@ mod tests {
     #[test]
     fn eviction_drops_cached_contents() {
         let store = InMemoryPageStore::new();
-        let first = store.allocate(3);
+        let first = store.allocate(3).unwrap();
         for page in first..first + 3 {
             store.write_page(page, &[page as u8; 4]).unwrap();
         }
@@ -536,9 +570,66 @@ mod tests {
     }
 
     #[test]
+    fn invalidate_forces_a_physical_reread() {
+        let store = InMemoryPageStore::new();
+        let page = store.allocate(1).unwrap();
+        store.write_page(page, &[1u8; 8]).unwrap();
+        let pool = BufferPool::unbounded();
+        let t = IoTracker::new();
+        let (before, _) = pool.load(&store, page, &t).unwrap();
+        assert_eq!(before[0], 1);
+        // Rewrite behind the pool's back: a plain load still serves the
+        // stale cached image, an invalidated one re-reads.
+        store.write_page(page, &[2u8; 8]).unwrap();
+        let (stale, _) = pool.load(&store, page, &t).unwrap();
+        assert_eq!(stale[0], 1, "cache still holds the old image");
+        assert!(pool.invalidate(store.id(), page));
+        assert!(!pool.contains(store.id(), page));
+        let (fresh, _) = pool.load(&store, page, &t).unwrap();
+        assert_eq!(fresh[0], 2, "invalidate dropped the cached image");
+        assert!(!pool.invalidate(store.id(), 999), "unknown page reports false");
+    }
+
+    #[test]
+    fn pinned_frames_survive_invalidate_but_lose_contents() {
+        let store = InMemoryPageStore::new();
+        let page = store.allocate(1).unwrap();
+        store.write_page(page, &[3u8; 8]).unwrap();
+        let pool = BufferPool::unbounded();
+        let t = IoTracker::new();
+        let _guard = pool.pin(store.id(), page, &t);
+        pool.load(&store, page, &t).unwrap();
+        assert!(pool.invalidate(store.id(), page));
+        assert!(pool.contains(store.id(), page), "pinned frame stays resident");
+        let (data, _) = pool.load(&store, page, &t).unwrap();
+        assert_eq!(data[0], 3, "contents re-read after invalidation");
+    }
+
+    #[test]
+    fn poisoned_shard_lock_is_recovered_not_propagated() {
+        let (store, t) = ids();
+        let pool = BufferPool::with_shards(Some(64), 1);
+        pool.access(store, 0, 4, &t);
+        // Poison the single shard's mutex by panicking while holding it.
+        let res = std::thread::scope(|scope| {
+            scope
+                .spawn(|| {
+                    let _guard = pool.shards[0].inner.lock().unwrap();
+                    panic!("poison the pool");
+                })
+                .join()
+        });
+        assert!(res.is_err(), "the poisoning thread panicked");
+        // The pool keeps serving: lookups, loads, and stats all recover.
+        assert_eq!(pool.access(store, 0, 4, &t), 0, "cached pages still hit");
+        assert!(pool.stats().counts.accesses() >= 8);
+        assert_eq!(pool.resident(), 4);
+    }
+
+    #[test]
     fn concurrent_loads_return_identical_contents() {
         let store = InMemoryPageStore::new();
-        let first = store.allocate(16);
+        let first = store.allocate(16).unwrap();
         for page in first..first + 16 {
             store.write_page(page, &[page as u8; 32]).unwrap();
         }

@@ -3,6 +3,7 @@
 use std::time::Duration;
 
 use crate::cost::{CostModel, IoSnapshot};
+use crate::error::StoreErrorKind;
 use crate::tracker::{CacheCounts, TrackerSnapshot};
 
 /// Costs of one similarity query (or a sum over a workload).
@@ -32,6 +33,10 @@ pub struct QueryStats {
     pub refinements_saved: u64,
     /// Index-level distance-function evaluations.
     pub distance_evals: u64,
+    /// Why this query failed, if it did. A failed query still reports
+    /// the costs it incurred before the error; batch runners record the
+    /// kind here instead of aborting the whole workload.
+    pub error: Option<StoreErrorKind>,
 }
 
 impl QueryStats {
@@ -46,6 +51,7 @@ impl QueryStats {
             filter_steps: snap.filter_steps,
             refinements_saved: snap.refinements_saved,
             distance_evals: snap.distance_evals,
+            error: None,
         }
     }
 
@@ -70,6 +76,7 @@ impl QueryStats {
         self.filter_steps += other.filter_steps;
         self.refinements_saved += other.refinements_saved;
         self.distance_evals += other.distance_evals;
+        self.error = self.error.or(other.error);
     }
 }
 
@@ -101,6 +108,7 @@ mod tests {
             filter_steps: 3,
             refinements_saved: 2,
             distance_evals: 9,
+            error: None,
         };
         let b = a;
         a.accumulate(&b);
@@ -112,5 +120,14 @@ mod tests {
         assert_eq!(a.filter_steps, 6);
         assert_eq!(a.refinements_saved, 4);
         assert_eq!(a.distance_evals, 18);
+    }
+
+    #[test]
+    fn accumulate_keeps_the_first_error() {
+        let mut a = QueryStats::default();
+        assert_eq!(a.error, None);
+        a.accumulate(&QueryStats { error: Some(StoreErrorKind::Corruption), ..Default::default() });
+        a.accumulate(&QueryStats { error: Some(StoreErrorKind::Io), ..Default::default() });
+        assert_eq!(a.error, Some(StoreErrorKind::Corruption), "first error wins");
     }
 }

@@ -21,6 +21,7 @@
 use std::io::{self, Read, Write};
 
 use crate::cost::PAGE_SIZE;
+use crate::error::StoreError;
 use crate::page::PageStore;
 
 /// Bytes of stream header per page.
@@ -81,7 +82,7 @@ impl<'a> PageStreamWriter<'a> {
     /// Move the full buffer into `pending`, flushing the previously
     /// pending page now that its `next` pointer is known.
     fn seal_page(&mut self) -> io::Result<()> {
-        let page = self.store.allocate(1);
+        let page = self.store.allocate(1)?;
         self.first.get_or_insert(page);
         self.pages += 1;
         let payload = std::mem::replace(&mut self.buf, Vec::with_capacity(STREAM_PAYLOAD));
@@ -98,9 +99,15 @@ impl<'a> PageStreamWriter<'a> {
         if self.pending.is_none() || !self.buf.is_empty() {
             self.seal_page()?;
         }
-        let (page, payload) = self.pending.take().expect("seal_page always sets pending");
+        // seal_page always leaves a pending page and records the first
+        // page of the chain; a missing one means the writer itself is
+        // broken, which is reported rather than unwrapped.
+        let Some((page, payload)) = self.pending.take() else {
+            return Err(io::Error::other("stream writer sealed no page"));
+        };
         write_stream_page(self.store, page, NO_PAGE, FLAG_LAST, &payload)?;
-        Ok(StreamHandle { first: self.first.unwrap(), pages: self.pages, bytes: self.bytes })
+        let first = self.first.unwrap_or(page);
+        Ok(StreamHandle { first, pages: self.pages, bytes: self.bytes })
     }
 }
 
@@ -138,7 +145,8 @@ fn write_stream_page(
     image.extend_from_slice(&flags.to_le_bytes());
     image.extend_from_slice(&fnv1a(payload).to_le_bytes());
     image.extend_from_slice(payload);
-    store.write_page(page, &image)
+    store.write_page(page, &image)?;
+    Ok(())
 }
 
 /// One decoded stream page.
@@ -147,17 +155,53 @@ struct StreamPage {
     payload: Vec<u8>,
 }
 
+/// Checksum-failed pages are re-read this many extra times before the
+/// corruption is declared permanent — a transient fault (a bad transfer
+/// rather than bad media) heals on retry.
+const READ_RETRIES: usize = 2;
+
+/// Little-endian field readers over the page image (always a full
+/// [`PAGE_SIZE`] buffer, so the constant offsets cannot slice out of
+/// bounds).
+fn le_u64(buf: &[u8], offset: usize) -> u64 {
+    let mut v = [0u8; 8];
+    v.copy_from_slice(&buf[offset..offset + 8]);
+    u64::from_le_bytes(v)
+}
+
+fn le_u16(buf: &[u8], offset: usize) -> u16 {
+    let mut v = [0u8; 2];
+    v.copy_from_slice(&buf[offset..offset + 2]);
+    u16::from_le_bytes(v)
+}
+
 fn decode_stream_page(store: &dyn PageStore, page: u64) -> io::Result<StreamPage> {
+    let mut attempt = 0;
+    loop {
+        match decode_stream_page_once(store, page) {
+            Err(e) if attempt < READ_RETRIES && is_checksum_mismatch(&e) => attempt += 1,
+            result => return result,
+        }
+    }
+}
+
+fn is_checksum_mismatch(e: &io::Error) -> bool {
+    e.get_ref().is_some_and(|r| {
+        matches!(r.downcast_ref::<StoreError>(), Some(StoreError::Corruption { .. }))
+    })
+}
+
+fn decode_stream_page_once(store: &dyn PageStore, page: u64) -> io::Result<StreamPage> {
     let bad = |what: String| io::Error::new(io::ErrorKind::InvalidData, what);
     if page >= store.page_count() {
         return Err(bad(format!("stream page {page} out of bounds (truncated page file?)")));
     }
     let mut image = vec![0u8; PAGE_SIZE];
     store.read_into(page, &mut image)?;
-    let next = u64::from_le_bytes(image[0..8].try_into().unwrap());
-    let len = u16::from_le_bytes(image[8..10].try_into().unwrap()) as usize;
-    let flags = u16::from_le_bytes(image[10..12].try_into().unwrap());
-    let checksum = u64::from_le_bytes(image[12..20].try_into().unwrap());
+    let next = le_u64(&image, 0);
+    let len = le_u16(&image, 8) as usize;
+    let flags = le_u16(&image, 10);
+    let checksum = le_u64(&image, 12);
     if len > STREAM_PAYLOAD {
         return Err(bad(format!("stream page {page} has impossible length {len}")));
     }
@@ -166,8 +210,9 @@ fn decode_stream_page(store: &dyn PageStore, page: u64) -> io::Result<StreamPage
         return Err(bad(format!("stream page {page} has inconsistent tail marker")));
     }
     let payload = image[STREAM_HEADER..STREAM_HEADER + len].to_vec();
-    if fnv1a(&payload) != checksum {
-        return Err(bad(format!("stream page {page} checksum mismatch (torn write?)")));
+    let found = fnv1a(&payload);
+    if found != checksum {
+        return Err(StoreError::Corruption { page, expected: checksum, found }.into());
     }
     Ok(StreamPage { next: (!last).then_some(next), payload })
 }
@@ -257,7 +302,7 @@ pub fn free_stream(store: &dyn PageStore, first: u64) -> io::Result<u64> {
             ));
         }
         next = decode_stream_page(store, page)?.next;
-        store.free(page, 1);
+        store.free(page, 1)?;
         freed += 1;
     }
     Ok(freed)
@@ -316,7 +361,7 @@ mod tests {
         let handle = w.finish().unwrap();
         // Zero the last page: this is exactly what a torn file tail
         // reads as after reopen.
-        store.free(handle.first + 2, 1);
+        store.free(handle.first + 2, 1).unwrap();
         let mut r = PageStreamReader::open(&store, handle.first).unwrap();
         let err = r.read_to_end(&mut Vec::new()).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);

@@ -8,7 +8,10 @@ use proptest::prelude::*;
 use std::io::{Read, Write};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use vsim_store::{FilePageStore, PageStore, PageStreamReader, PageStreamWriter, PAGE_SIZE};
+use vsim_store::{
+    Fault, FaultInjectingPageStore, FaultPlan, FilePageStore, InMemoryPageStore, PageStore,
+    PageStreamReader, PageStreamWriter, PAGE_SIZE,
+};
 
 static SEQ: AtomicU64 = AtomicU64::new(0);
 
@@ -38,9 +41,9 @@ fn span_shape() -> impl Strategy<Value = (u64, usize)> {
     (0u64..3 * PAGE_SIZE as u64).prop_map(|x| (1 + x % 3, 1 + (x / 3) as usize % PAGE_SIZE))
 }
 
-/// Metadata bytes of a fresh single-map-page file: header page 0 plus
-/// one free-map page.
-const META_BYTES: usize = 2 * PAGE_SIZE;
+/// Metadata bytes of a fresh single-map-page file: two header slot
+/// pages plus two free-map copies (one page each). Data starts here.
+const META_BYTES: usize = 4 * PAGE_SIZE;
 
 proptest! {
     #[test]
@@ -53,7 +56,7 @@ proptest! {
         {
             let store = FilePageStore::create(&path.0, 256).unwrap();
             for (s, &(pages, len)) in spans.iter().enumerate() {
-                let first = store.allocate(pages);
+                let first = store.allocate(pages).unwrap();
                 for p in 0..pages {
                     store.write_page(first + p, &page_image(s, p, len)).unwrap();
                 }
@@ -88,12 +91,12 @@ proptest! {
     ) {
         let path = temp_file("reuse");
         let store = FilePageStore::create(&path.0, 256).unwrap();
-        let spans: Vec<u64> = (0..count).map(|_| store.allocate(span)).collect();
+        let spans: Vec<u64> = (0..count).map(|_| store.allocate(span).unwrap()).collect();
         let high_water = store.page_count();
         let mut released = 0;
         for (i, &first) in spans.iter().enumerate() {
             if freed[i] {
-                store.free(first, span);
+                store.free(first, span).unwrap();
                 released += 1;
             }
         }
@@ -101,7 +104,7 @@ proptest! {
         // Same-size reallocation fits exactly into the holes: the
         // high-water mark (and hence the file) must not move.
         for _ in 0..released {
-            let first = store.allocate(span);
+            let first = store.allocate(span).unwrap();
             prop_assert!(first + span <= high_water, "freed space was not reused");
         }
         prop_assert_eq!(store.page_count(), high_water);
@@ -109,42 +112,65 @@ proptest! {
     }
 
     #[test]
-    fn flipping_any_checksummed_metadata_byte_is_detected(
+    fn corrupting_the_live_slot_falls_back_and_both_slots_is_rejected(
         in_header in proptest::bool::ANY,
         offset in 0usize..PAGE_SIZE,
         mask in 1u8..=255,
     ) {
         let path = temp_file("corrupt");
         {
+            // create() itself commits generation 1 (empty) into slot 1;
+            // the explicit sync commits generation 2 into slot 0.
             let store = FilePageStore::create(&path.0, 64).unwrap();
-            store.allocate(3);
+            store.allocate(3).unwrap();
             store.set_root(1);
             store.sync().unwrap();
         }
-        // The checksum covers the 40-byte header prefix (including the
-        // checksum field itself at 32..40) and the whole free map.
-        let target = if in_header { offset % 40 } else { PAGE_SIZE + offset };
+        // Flip a checksummed byte of the live slot (header page 0,
+        // bytes 0..48, or free-map copy A at page 2): open must adopt
+        // the stale-but-valid generation 1 snapshot, never the corrupt
+        // generation 2.
+        let live = if in_header { offset % 48 } else { 2 * PAGE_SIZE + offset };
         let mut bytes = std::fs::read(&path.0).unwrap();
-        bytes[target] ^= mask;
+        bytes[live] ^= mask;
+        std::fs::write(&path.0, &bytes).unwrap();
+        {
+            let store = FilePageStore::open(&path.0).unwrap();
+            prop_assert_eq!(store.generation(), 1);
+            prop_assert_eq!(store.root(), None);
+            prop_assert_eq!(store.allocated_pages(), 0);
+        }
+        // Flip the same byte of the stale slot too (header page 1 or
+        // free-map copy B at page 3): no adoptable slot remains.
+        let stale = if in_header { PAGE_SIZE + offset % 48 } else { 3 * PAGE_SIZE + offset };
+        bytes[stale] ^= mask;
         std::fs::write(&path.0, &bytes).unwrap();
         for open in [FilePageStore::open, FilePageStore::open_mmap] {
             let err = open(&path.0).unwrap_err();
-            prop_assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+            prop_assert_eq!(err.io_kind(), std::io::ErrorKind::InvalidData);
         }
     }
 
     #[test]
-    fn truncation_inside_the_metadata_region_is_detected(cut in 0usize..META_BYTES) {
+    fn truncation_destroying_both_slots_is_detected(
+        cut in 0usize..PAGE_SIZE + 41,
+    ) {
         let path = temp_file("meta_trunc");
         {
             let store = FilePageStore::create(&path.0, 64).unwrap();
-            store.allocate(2);
+            store.allocate(2).unwrap();
             store.sync().unwrap();
         }
+        // Any cut short of slot 1's full header (byte PAGE_SIZE + 40
+        // ends its checksum field) zeroes at least that checksum, and
+        // always zeroes slot 0's nonempty free-map copy at page 2 — so
+        // neither slot verifies. Longer cuts can leave the (empty)
+        // generation-1 slot fully intact, which is legitimate fallback,
+        // not silent acceptance of damage.
         let bytes = std::fs::read(&path.0).unwrap();
         std::fs::write(&path.0, &bytes[..cut]).unwrap();
         let err = FilePageStore::open(&path.0).unwrap_err();
-        prop_assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        prop_assert_eq!(err.io_kind(), std::io::ErrorKind::InvalidData);
     }
 
     #[test]
@@ -187,4 +213,108 @@ proptest! {
             .and_then(|mut r| r.read_to_end(&mut got));
         prop_assert!(outcome.is_err(), "torn stream tail must be an error");
     }
+
+    /// An empty [`FaultPlan`] makes the wrapper a transparent
+    /// pass-through: the same workload against a bare store and a
+    /// wrapped one observes identical placements, identical read-back
+    /// bytes, and identical page counts (memory backend).
+    #[test]
+    fn empty_fault_plan_is_bit_identical_to_the_bare_memory_store(
+        spans in proptest::collection::vec(span_shape(), 2..10),
+    ) {
+        let bare = InMemoryPageStore::new();
+        let wrapped = FaultInjectingPageStore::new(InMemoryPageStore::new(), FaultPlan::none());
+        let a = run_workload(&bare, &spans);
+        let b = run_workload(&wrapped, &spans);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Same pass-through property on the durable backend, strengthened
+    /// to the on-disk image: after identical workloads plus a sync, the
+    /// bare store's file and the wrapped store's file are bit-identical,
+    /// and an mmap reopen of the wrapped file (itself re-wrapped) reads
+    /// back the same observables.
+    #[test]
+    fn empty_fault_plan_is_bit_identical_on_file_and_mmap(
+        spans in proptest::collection::vec(span_shape(), 2..8),
+    ) {
+        let (pa, pb) = (temp_file("ident_bare"), temp_file("ident_wrap"));
+        let a = run_workload(&FilePageStore::create(&pa.0, 256).unwrap(), &spans);
+        let wrapped = FaultInjectingPageStore::new(
+            FilePageStore::create(&pb.0, 256).unwrap(),
+            FaultPlan::none(),
+        );
+        let b = run_workload(&wrapped, &spans);
+        drop(wrapped);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(
+            std::fs::read(&pa.0).unwrap(),
+            std::fs::read(&pb.0).unwrap(),
+            "wrapped and bare stores must leave bit-identical files"
+        );
+        let mmap = FaultInjectingPageStore::new(
+            FilePageStore::open_mmap(&pb.0).unwrap(),
+            FaultPlan::none(),
+        );
+        prop_assert_eq!(replay_reads(&mmap, &spans, &a.0), a.1);
+    }
+
+    /// A persistent (write-side) bit flip anywhere in the checksummed
+    /// extent of a stream page — the stored checksum itself or the
+    /// payload — is always caught when the stream is read back; a
+    /// corrupt page never decodes into wrong bytes.
+    #[test]
+    fn injected_write_corruption_is_always_caught_by_stream_checksums(
+        seed in 0u8..=255,
+        bit in 12 * 8..PAGE_SIZE * 8,
+    ) {
+        // One full-page payload: op 0 allocates the page, op 1 writes
+        // it — the flip lands in the written image and stays on media.
+        let payload: Vec<u8> =
+            (0..vsim_store::STREAM_PAYLOAD).map(|i| 1 + (seed as usize + i) as u8 % 255).collect();
+        let store = FaultInjectingPageStore::new(
+            InMemoryPageStore::new(),
+            FaultPlan::none().with_fault(1, Fault::BitFlip { bit }),
+        );
+        let mut w = PageStreamWriter::new(&store);
+        w.write_all(&payload).unwrap();
+        let h = w.finish().unwrap();
+        let mut got = Vec::new();
+        let outcome = PageStreamReader::open(store.inner(), h.first)
+            .and_then(|mut r| r.read_to_end(&mut got));
+        prop_assert!(outcome.is_err(), "flipped bit decoded as valid");
+        prop_assert_eq!(outcome.unwrap_err().kind(), std::io::ErrorKind::InvalidData);
+    }
+}
+
+/// Drive a fixed workload (allocate + write every span, free the first
+/// span, read everything else back, sync) and collect every observable:
+/// span placements, read-back images, and the final page count.
+fn run_workload(store: &dyn PageStore, spans: &[(u64, usize)]) -> (Vec<u64>, Vec<u8>, u64) {
+    let mut firsts = Vec::new();
+    for (s, &(pages, len)) in spans.iter().enumerate() {
+        let first = store.allocate(pages).unwrap();
+        for p in 0..pages {
+            store.write_page(first + p, &page_image(s, p, len)).unwrap();
+        }
+        firsts.push(first);
+    }
+    store.free(firsts[0], spans[0].0).unwrap();
+    store.sync().unwrap();
+    let readback = replay_reads(store, spans, &firsts);
+    (firsts, readback, store.page_count())
+}
+
+/// Re-read the surviving spans of [`run_workload`]'s layout (the first
+/// span was freed) and concatenate the raw page images.
+fn replay_reads(store: &dyn PageStore, spans: &[(u64, usize)], firsts: &[u64]) -> Vec<u8> {
+    let mut readback = Vec::new();
+    let mut buf = vec![0u8; PAGE_SIZE];
+    for (&first, &(pages, _)) in firsts.iter().zip(spans).skip(1) {
+        for p in 0..pages {
+            store.read_into(first + p, &mut buf).unwrap();
+            readback.extend_from_slice(&buf);
+        }
+    }
+    readback
 }

@@ -4,9 +4,16 @@
 //! [`MatchingEngine`]:
 //!
 //! * **kernel** — ns per minimal-matching distance at k ∈ {3, 7, 9}
-//!   (dim 6, the paper's cover vectors) for three paths: the allocating
-//!   `distance_value` baseline, the engine's cost-only path, and the
-//!   bounded kernel under a median bound (≈ half the calls abort).
+//!   (dim 6, the paper's cover vectors) for five paths: the allocating
+//!   `distance_value` baseline, the pre-SIMD scalar engine
+//!   (`distance_reference` — the branchy kernel with the old per-row
+//!   bound re-summation, kept verbatim for an honest within-run
+//!   baseline), the SIMD lane engine, the bounded SIMD kernel under a
+//!   median bound (≈ half the calls abort), and the mixed-precision
+//!   path where an `f32` prefilter dismisses over-bound pairs before
+//!   the exact f64 solve. `f32_verify_fraction` is the share of calls
+//!   the f32 stage could *not* dismiss — the ones that paid for the
+//!   exact verification.
 //! * **knn** — wall time of 10-NN filter/refine queries on the Aircraft
 //!   Dataset, unbounded baseline (`knn_naive`) vs. bounded refinement
 //!   (`knn`), plus the fraction of refinements the k-th-best bound
@@ -24,7 +31,7 @@ use std::time::Instant;
 use vsim_bench::processed_aircraft;
 use vsim_core::prelude::*;
 use vsim_setdist::matching::MinimalMatching;
-use vsim_setdist::{BoundedDistance, MatchingEngine, VectorSet};
+use vsim_setdist::{BoundedDistance, MatchingEngine, PrefilteredDistance, VectorSet};
 
 fn random_set(rng: &mut StdRng, k: usize) -> VectorSet {
     let mut s = VectorSet::new(6);
@@ -39,14 +46,21 @@ struct KernelRow {
     k: usize,
     ns_naive: f64,
     ns_engine: f64,
+    ns_simd: f64,
     ns_bounded: f64,
+    ns_bounded_f32: f64,
     bounded_pruned_fraction: f64,
+    f32_verify_fraction: f64,
 }
 
-/// Time the three kernel paths over a fixed pool of random pairs.
+/// Time the five kernel paths over a fixed pool of random pairs. Each
+/// path is timed `REPS` times and the minimum is reported — the
+/// least-noise estimate, so the `ns_bounded <= ns_engine` smoke
+/// assertion below does not flake on scheduler jitter.
 fn kernel_row(k: usize) -> KernelRow {
     const PAIRS: usize = 64;
     const ROUNDS: usize = 200;
+    const REPS: usize = 5;
     let mm = MinimalMatching::vector_set_model();
     let mut rng = StdRng::seed_from_u64(k as u64 + 77);
     let pairs: Vec<(VectorSet, VectorSet)> =
@@ -59,39 +73,98 @@ fn kernel_row(k: usize) -> KernelRow {
     let bound = exact[exact.len() / 2];
 
     let calls = (PAIRS * ROUNDS) as f64;
-
-    let t0 = Instant::now();
     let mut acc = 0.0;
-    for _ in 0..ROUNDS {
-        for (a, b) in &pairs {
-            acc += mm.distance_value(std::hint::black_box(a), std::hint::black_box(b));
+    // min-of-REPS ns/call for one timed pass over the pair pool.
+    let time = |acc: &mut f64, body: &mut dyn FnMut(&mut f64)| -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..REPS {
+            let t0 = Instant::now();
+            body(acc);
+            best = best.min(t0.elapsed().as_nanos() as f64 / calls);
         }
-    }
-    let ns_naive = t0.elapsed().as_nanos() as f64 / calls;
+        best
+    };
 
-    let mut engine = MatchingEngine::new(mm.clone());
-    let t0 = Instant::now();
-    for _ in 0..ROUNDS {
-        for (a, b) in &pairs {
-            acc += engine.distance(std::hint::black_box(a), std::hint::black_box(b));
-        }
-    }
-    let ns_engine = t0.elapsed().as_nanos() as f64 / calls;
-
-    let mut pruned = 0usize;
-    let t0 = Instant::now();
-    for _ in 0..ROUNDS {
-        for (a, b) in &pairs {
-            match engine.distance_bounded(std::hint::black_box(a), std::hint::black_box(b), bound) {
-                BoundedDistance::Exact(d) => acc += d,
-                BoundedDistance::Pruned => pruned += 1,
+    let ns_naive = time(&mut acc, &mut |acc| {
+        for _ in 0..ROUNDS {
+            for (a, b) in &pairs {
+                *acc += mm.distance_value(std::hint::black_box(a), std::hint::black_box(b));
             }
         }
-    }
-    let ns_bounded = t0.elapsed().as_nanos() as f64 / calls;
+    });
+
+    // The pre-SIMD engine: scalar lp sums, branchy augmenting-path
+    // scans, per-row bound re-summation. Same workspace reuse as the
+    // lane engine, so the delta is the kernel alone.
+    let mut engine = MatchingEngine::new(mm.clone());
+    let ns_engine = time(&mut acc, &mut |acc| {
+        for _ in 0..ROUNDS {
+            for (a, b) in &pairs {
+                *acc += engine.distance_reference(std::hint::black_box(a), std::hint::black_box(b));
+            }
+        }
+    });
+
+    let mut engine = MatchingEngine::new(mm.clone());
+    let ns_simd = time(&mut acc, &mut |acc| {
+        for _ in 0..ROUNDS {
+            for (a, b) in &pairs {
+                *acc += engine.distance(std::hint::black_box(a), std::hint::black_box(b));
+            }
+        }
+    });
+
+    let mut pruned = 0usize;
+    let ns_bounded = time(&mut acc, &mut |acc| {
+        pruned = 0;
+        for _ in 0..ROUNDS {
+            for (a, b) in &pairs {
+                match engine.distance_bounded(
+                    std::hint::black_box(a),
+                    std::hint::black_box(b),
+                    bound,
+                ) {
+                    BoundedDistance::Exact(d) => *acc += d,
+                    BoundedDistance::Pruned => pruned += 1,
+                }
+            }
+        }
+    });
+
+    // Mixed precision: the f32 prefilter dismisses most over-bound
+    // pairs before the exact f64 solve runs.
+    let mut verified = 0usize;
+    let ns_bounded_f32 = time(&mut acc, &mut |acc| {
+        verified = 0;
+        for _ in 0..ROUNDS {
+            for (a, b) in &pairs {
+                match engine.distance_bounded_prefiltered(
+                    std::hint::black_box(a),
+                    std::hint::black_box(b),
+                    bound,
+                ) {
+                    PrefilteredDistance::Exact(d) => {
+                        *acc += d;
+                        verified += 1;
+                    }
+                    PrefilteredDistance::Pruned => verified += 1,
+                    PrefilteredDistance::PrunedByF32 => {}
+                }
+            }
+        }
+    });
     assert!(acc.is_finite());
 
-    KernelRow { k, ns_naive, ns_engine, ns_bounded, bounded_pruned_fraction: pruned as f64 / calls }
+    KernelRow {
+        k,
+        ns_naive,
+        ns_engine,
+        ns_simd,
+        ns_bounded,
+        ns_bounded_f32,
+        bounded_pruned_fraction: pruned as f64 / calls,
+        f32_verify_fraction: verified as f64 / calls,
+    }
 }
 
 fn main() {
@@ -99,14 +172,31 @@ fn main() {
     let kernel: Vec<KernelRow> = [3usize, 7, 9].into_iter().map(kernel_row).collect();
     for r in &kernel {
         eprintln!(
-            "[res ] k={}: naive {:.0} ns  engine {:.0} ns ({:.2}x)  bounded {:.0} ns (pruned {:.0}%)",
+            "[res ] k={}: naive {:.0} ns  engine {:.0} ns  simd {:.0} ns ({:.2}x)  bounded {:.0} ns (pruned {:.0}%)  f32 {:.0} ns (verify {:.0}%)",
             r.k,
             r.ns_naive,
             r.ns_engine,
-            r.ns_naive / r.ns_engine,
+            r.ns_simd,
+            r.ns_engine / r.ns_simd,
             r.ns_bounded,
-            100.0 * r.bounded_pruned_fraction
+            100.0 * r.bounded_pruned_fraction,
+            r.ns_bounded_f32,
+            100.0 * r.f32_verify_fraction
         );
+        // The bounded SIMD kernel must beat the pre-SIMD engine at
+        // every k — this is the regression the hoisted `-v[0]` bound
+        // check fixed at k = 9; fail loudly if it ever comes back.
+        // `BENCH_SKIP_SMOKE` bypasses the check for local profiling
+        // runs only; CI never sets it.
+        if std::env::var_os("BENCH_SKIP_SMOKE").is_none() {
+            assert!(
+                r.ns_bounded <= r.ns_engine,
+                "k={}: bounded kernel ({:.0} ns) regressed past the scalar engine ({:.0} ns)",
+                r.k,
+                r.ns_bounded,
+                r.ns_engine
+            );
+        }
     }
 
     // k-NN workload: filter/refine 10-NN on the aircraft dataset.
@@ -133,6 +223,7 @@ fn main() {
 
     let mut refinements = 0u64;
     let mut pruned = 0u64;
+    let mut f32_prefilter = 0u64;
     for ((rn, _sn), (rb, sb)) in naive.iter().zip(&bounded) {
         assert_eq!(rn.len(), rb.len(), "bounded k-NN changed the result size");
         for (a, b) in rn.iter().zip(rb) {
@@ -141,10 +232,11 @@ fn main() {
         }
         refinements += sb.refinements;
         pruned += sb.pruned;
+        f32_prefilter += sb.f32_prefilter;
     }
     let pruned_fraction = pruned as f64 / refinements.max(1) as f64;
     eprintln!(
-        "[res ] kNN wall: naive {:.1} ms  bounded {:.1} ms  pruned {pruned}/{refinements} ({:.0}%)",
+        "[res ] kNN wall: naive {:.1} ms  bounded {:.1} ms  pruned {pruned}/{refinements} ({:.0}%, {f32_prefilter} by f32)",
         wall_naive.as_secs_f64() * 1e3,
         wall_bounded.as_secs_f64() * 1e3,
         100.0 * pruned_fraction
@@ -154,18 +246,22 @@ fn main() {
         .iter()
         .map(|r| {
             format!(
-                "    {{\"k\": {}, \"ns_naive\": {:.1}, \"ns_engine\": {:.1}, \"ns_bounded\": {:.1}, \"speedup_engine\": {:.3}, \"bounded_pruned_fraction\": {:.3}}}",
+                "    {{\"k\": {}, \"ns_naive\": {:.1}, \"ns_engine\": {:.1}, \"ns_simd\": {:.1}, \"ns_bounded\": {:.1}, \"ns_bounded_f32\": {:.1}, \"speedup_engine\": {:.3}, \"speedup_simd\": {:.3}, \"bounded_pruned_fraction\": {:.3}, \"f32_verify_fraction\": {:.3}}}",
                 r.k,
                 r.ns_naive,
                 r.ns_engine,
+                r.ns_simd,
                 r.ns_bounded,
+                r.ns_bounded_f32,
                 r.ns_naive / r.ns_engine,
-                r.bounded_pruned_fraction
+                r.ns_engine / r.ns_simd,
+                r.bounded_pruned_fraction,
+                r.f32_verify_fraction
             )
         })
         .collect();
     let json = format!(
-        "{{\n  \"bench\": \"matching_kernel\",\n  \"dim\": 6,\n  \"kernel\": [\n{}\n  ],\n  \"knn\": {{\n    \"dataset\": \"aircraft\",\n    \"n\": {},\n    \"k_covers\": {k_covers},\n    \"queries\": {n_queries},\n    \"knn\": {knn},\n    \"wall_ms_naive\": {:.2},\n    \"wall_ms_bounded\": {:.2},\n    \"speedup\": {:.3},\n    \"refinements\": {refinements},\n    \"pruned\": {pruned},\n    \"pruned_fraction\": {:.4}\n  }}\n}}\n",
+        "{{\n  \"bench\": \"matching_kernel\",\n  \"dim\": 6,\n  \"kernel\": [\n{}\n  ],\n  \"knn\": {{\n    \"dataset\": \"aircraft\",\n    \"n\": {},\n    \"k_covers\": {k_covers},\n    \"queries\": {n_queries},\n    \"knn\": {knn},\n    \"wall_ms_naive\": {:.2},\n    \"wall_ms_bounded\": {:.2},\n    \"speedup\": {:.3},\n    \"refinements\": {refinements},\n    \"pruned\": {pruned},\n    \"f32_prefilter\": {f32_prefilter},\n    \"pruned_fraction\": {:.4}\n  }}\n}}\n",
         kernel_json.join(",\n"),
         sets.len(),
         wall_naive.as_secs_f64() * 1e3,

@@ -16,7 +16,9 @@ use vsim_index::{
     VectorSetStore, XTree, PAGE_SIZE,
 };
 use vsim_setdist::matching::{MinimalMatching, PointDistance, WeightFunction};
-use vsim_setdist::{extended_centroid, BoundedDistance, Distance, MatchingEngine, VectorSet};
+use vsim_setdist::{
+    extended_centroid, BoundedDistance, Distance, MatchingEngine, PrefilteredDistance, VectorSet,
+};
 
 /// Directory-stream tag of a persisted filter/refine index ("FRIX" v1).
 const INDEX_TAG: u64 = 0x4652_4958_0000_0001;
@@ -123,6 +125,16 @@ impl FilterRefineIndex {
                 sqrt_of_total: false,
             },
         }
+    }
+
+    /// Swap the refinement matching model (e.g. the paper's permutation
+    /// variant). The filter structures are model-independent — the
+    /// centroid ranking only orders candidates, and both the optimal
+    /// multi-step loop and the naive baseline consume the same ranking —
+    /// so no rebuild is needed.
+    pub fn with_model(mut self, mm: MinimalMatching) -> Self {
+        self.mm = mm;
+        self
     }
 
     pub fn len(&self) -> usize {
@@ -638,11 +650,25 @@ impl FilterRefineIndex {
         ctx: &QueryContext,
     ) -> StoreResult<Vec<(u64, f64)>> {
         let mut engine = self.engine();
+        // Prepare the query once per query: weight tables plus padded
+        // f64/f32 lane rows for the mixed-precision kernel.
+        let pq = engine.prepare(q.clone());
         let cq = extended_centroid(q, self.k, &self.omega);
         self.with_candidate_source(path, &cq, ctx, |src| {
             multi_step_knn(src, kq, ctx, |id, upper| {
                 let set = self.store.get(id, ctx)?;
-                Ok(engine.distance_bounded(q, &set, upper).value())
+                // The f32 filter stage dismisses most over-bound
+                // candidates before the exact f64 kernel runs; its
+                // δ margin guarantees no false prunes, so results stay
+                // bit-identical to the pure-f64 path (engine proptests).
+                match engine.distance_bounded_prefiltered_half(&pq, &set, upper) {
+                    PrefilteredDistance::Exact(d) => Ok(Some(d)),
+                    PrefilteredDistance::PrunedByF32 => {
+                        ctx.count_f32_prefilter(1);
+                        Ok(None)
+                    }
+                    PrefilteredDistance::Pruned => Ok(None),
+                }
             })
         })
     }
@@ -674,11 +700,19 @@ impl FilterRefineIndex {
         ctx: &QueryContext,
     ) -> StoreResult<Vec<(u64, f64)>> {
         let mut engine = self.engine();
+        let pq = engine.prepare(q.clone());
         let cq = extended_centroid(q, self.k, &self.omega);
         self.with_candidate_source(path, &cq, ctx, |src| {
             multi_step_range(src, eps, ctx, |id, upper| {
                 let set = self.store.get(id, ctx)?;
-                Ok(engine.distance_bounded(q, &set, upper).value())
+                match engine.distance_bounded_prefiltered_half(&pq, &set, upper) {
+                    PrefilteredDistance::Exact(d) => Ok(Some(d)),
+                    PrefilteredDistance::PrunedByF32 => {
+                        ctx.count_f32_prefilter(1);
+                        Ok(None)
+                    }
+                    PrefilteredDistance::Pruned => Ok(None),
+                }
             })
         })
     }

@@ -77,7 +77,10 @@ impl TopK {
 /// `refine(id, upper)` computes the exact distance of object `id`,
 /// allowed to abort (returning `Ok(None)`) as soon as the distance
 /// provably exceeds `upper` — pruned refinements are counted by this
-/// core — and to fail with a [`StoreError`](vsim_index::StoreError)
+/// core; a refine that dismisses the candidate with the `f32`
+/// filter-precision kernel additionally counts `f32_prefilter` itself
+/// before returning `Ok(None)`, keeping `f32_prefilter ⊆ pruned` — and
+/// to fail with a [`StoreError`](vsim_index::StoreError)
 /// when the object's pages cannot be read; the error aborts this query
 /// only. The loop pulls candidates while the filter lower bound stays
 /// below the running k-th exact distance; the terminating candidate

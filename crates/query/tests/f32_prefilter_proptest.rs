@@ -1,0 +1,91 @@
+//! Bit-identity of the mixed-precision refinement path: multi-step
+//! k-NN with the `f32` filter-precision prefilter must return exactly
+//! the ids, distances and tie order of the pure-f64 naive baseline, for
+//! both paper models (minimal-matching over vector sets and the
+//! permutation/sqrt variant). The prefilter's δ margin makes every f32
+//! prune provably sound, so the only observable difference is in the
+//! counters — checked here too: `f32_prefilter ⊆ pruned`, and on a
+//! realistic workload the f32 stage actually fires.
+
+use proptest::prelude::*;
+use rand::prelude::*;
+use vsim_query::FilterRefineIndex;
+use vsim_setdist::matching::MinimalMatching;
+use vsim_setdist::VectorSet;
+
+fn random_sets(n: usize, k: usize, seed: u64) -> Vec<VectorSet> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let card = rng.gen_range(1..=k);
+            let mut s = VectorSet::new(6);
+            for _ in 0..card {
+                let v: Vec<f64> = (0..6).map(|_| rng.gen_range(0.05..1.0)).collect();
+                s.push(&v);
+            }
+            s
+        })
+        .collect()
+}
+
+fn models() -> [MinimalMatching; 2] {
+    [MinimalMatching::vector_set_model(), MinimalMatching::permutation_model()]
+}
+
+proptest! {
+    /// Random databases, random queries, both models: the prefiltered
+    /// k-NN and the naive pure-f64 k-NN agree bit for bit — same ids in
+    /// the same order (ties included) and identical distance bits.
+    #[test]
+    fn f32_prefiltered_knn_is_bit_identical_to_pure_f64(
+        n in 30usize..100,
+        k in 1usize..5,
+        kq in 1usize..12,
+        seed in 0u64..1000,
+        qseed in 0u64..1000,
+    ) {
+        let sets = random_sets(n, k, seed);
+        let q = &random_sets(1, k, qseed.wrapping_add(424242))[0];
+        for mm in models() {
+            let idx = FilterRefineIndex::build(&sets, 6, k).with_model(mm.clone());
+            let (fast, fs) = idx.knn(q, kq);
+            let (naive, ns) = idx.knn_naive(q, kq);
+            prop_assert_eq!(fast.len(), naive.len(), "{:?}", mm);
+            for (f, nv) in fast.iter().zip(&naive) {
+                prop_assert_eq!(f.0, nv.0, "{:?}: id/tie order diverged", mm);
+                prop_assert_eq!(
+                    f.1.to_bits(), nv.1.to_bits(),
+                    "{:?}: distance bits diverged for id {}: {} vs {}", mm, f.0, f.1, nv.1
+                );
+            }
+            // Same optimal multi-step loop on both sides: identical
+            // refinement schedule, and every f32 dismissal is a prune.
+            prop_assert_eq!(fs.refinements, ns.refinements, "{:?}", mm);
+            prop_assert!(fs.f32_prefilter <= fs.pruned, "{:?}", mm);
+        }
+    }
+}
+
+/// Deterministic companion: on a database large enough that bounds
+/// bite, the f32 stage must actually dismiss refinements for both
+/// models — otherwise the proptest above would be vacuous.
+#[test]
+fn f32_prefilter_fires_on_realistic_workloads() {
+    let sets = random_sets(500, 6, 11);
+    for mm in models() {
+        let idx = FilterRefineIndex::build(&sets, 6, 6).with_model(mm.clone());
+        let mut f32_prunes = 0;
+        for qi in [0usize, 42, 199, 387] {
+            let (fast, fs) = idx.knn(&sets[qi], 10);
+            let (naive, _) = idx.knn_naive(&sets[qi], 10);
+            assert_eq!(fast.len(), naive.len());
+            for (f, nv) in fast.iter().zip(&naive) {
+                assert_eq!(f.0, nv.0, "{mm:?} query {qi}");
+                assert_eq!(f.1.to_bits(), nv.1.to_bits(), "{mm:?} query {qi}");
+            }
+            assert!(fs.f32_prefilter <= fs.pruned, "{mm:?} query {qi}");
+            f32_prunes += fs.f32_prefilter;
+        }
+        assert!(f32_prunes > 0, "{mm:?}: f32 prefilter never fired on 500 objects");
+    }
+}

@@ -35,6 +35,17 @@ impl MinCostFlow {
         self.graph.len()
     }
 
+    /// Reset the network to `nodes` empty adjacency buckets, keeping
+    /// their allocated capacity — repeated solves (the netflow baseline
+    /// sweep calls this once per object pair) reuse the buffers instead
+    /// of rebuilding the `Vec<Vec<Edge>>` from scratch each time.
+    pub fn reset(&mut self, nodes: usize) {
+        for bucket in &mut self.graph {
+            bucket.clear();
+        }
+        self.graph.resize_with(nodes, Vec::new);
+    }
+
     /// Add a directed edge `from → to` with capacity `cap` and per-unit
     /// cost `cost`.
     pub fn add_edge(&mut self, from: usize, to: usize, cap: i64, cost: f64) {
@@ -181,6 +192,19 @@ impl PartialOrd for HeapItem {
 /// or by flow to/from the neutral element ω. With unit supplies this
 /// coincides with the minimal matching distance (tested).
 pub fn netflow_distance(x: &VectorSet, y: &VectorSet, omega: &[f64]) -> f64 {
+    netflow_distance_with(x, y, omega, &mut MinCostFlow::default())
+}
+
+/// [`netflow_distance`] with a caller-owned network: the adjacency
+/// buckets are [`reset`](MinCostFlow::reset) and refilled in place, so a
+/// sweep over many object pairs reuses the edge buffers instead of
+/// rebuilding the network per call.
+pub fn netflow_distance_with(
+    x: &VectorSet,
+    y: &VectorSet,
+    omega: &[f64],
+    net: &mut MinCostFlow,
+) -> f64 {
     assert_eq!(x.dim(), y.dim());
     assert_eq!(omega.len(), x.dim());
     let m = x.len();
@@ -197,7 +221,7 @@ pub fn netflow_distance(x: &VectorSet, y: &VectorSet, omega: &[f64]) -> f64 {
     let neutral = 2;
     let xoff = 3;
     let yoff = 3 + m;
-    let mut net = MinCostFlow::new(3 + m + n);
+    net.reset(3 + m + n);
     let total = m.max(n) as i64;
     for i in 0..m {
         net.add_edge(source, xoff + i, 1, 0.0);

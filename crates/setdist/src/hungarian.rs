@@ -6,8 +6,27 @@
 //! formulation: each of the `n` rows is inserted by growing an
 //! alternating tree, with a worst-case `O(n · m)` per insertion, i.e.
 //! `O(n² m)` in total (`O(k³)` for square instances).
+//!
+//! Since the SIMD PR the core is **branch-free and lane-parallel**: the
+//! `used[]` bookkeeping of the textbook formulation is replaced by a
+//! `+∞` sentinel written into `mask`/`minv` when a column joins the
+//! alternating tree, so the relaxation + argmin scan
+//! ([`crate::simd::relax_scan_f64`]) and the `minv -= delta` shift run
+//! as straight-line vector code over the whole column range. The
+//! bounded variant's per-row cost check is **O(1)**: the running
+//! optimal partial-assignment cost equals `-v[0]`, the dual potential
+//! of the virtual root column (DESIGN.md §13 derives this), instead of
+//! the previous `O(m)` per-row primal re-summation — which made
+//! `distance_bounded` *slower* than the unbounded kernel at k = 9.
+//!
+//! A `f32` twin of the core ([`solve_cost_slice_bounded_f32`]) backs
+//! the filter-precision pre-check of the multi-step engine; the
+//! original scalar kernel survives verbatim in [`reference`] as the
+//! speedup baseline and cross-validation oracle.
 
 // lint-scope: no_alloc
+
+use crate::simd;
 
 /// Result of an assignment problem.
 #[derive(Debug, Clone, PartialEq)]
@@ -61,11 +80,18 @@ impl CostMatrix {
     pub fn cols(&self) -> usize {
         self.cols
     }
+
+    /// The row-major backing slice (the kernels operate on slices).
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
 }
 
 /// Reusable buffers for repeated assignment solving (OPTICS runs evaluate
 /// millions of matchings; per-call allocation is measurable). Use with
-/// [`solve_with`], [`solve_cost_with`] or the slice-based kernels.
+/// [`solve_with`], [`solve_cost_with`] or the slice-based kernels. The
+/// `f`-suffixed twins back the `f32` filter-precision core; the integer
+/// buffers (`p`, `way`, `used_list`) are shared by both precisions.
 #[derive(Debug, Default)]
 pub struct Workspace {
     u: Vec<f64>,
@@ -73,138 +99,216 @@ pub struct Workspace {
     p: Vec<usize>,
     way: Vec<usize>,
     minv: Vec<f64>,
-    used: Vec<bool>,
+    /// `+∞` for columns in the alternating tree, `0.0` otherwise — the
+    /// branch-free replacement for the textbook `used[]` bitmap.
+    mask: Vec<f64>,
+    /// Columns added to the alternating tree this row insertion, in
+    /// order (the dual update walks exactly these).
+    used_list: Vec<usize>,
+    uf: Vec<f32>,
+    vf: Vec<f32>,
+    minvf: Vec<f32>,
+    maskf: Vec<f32>,
 }
 
-/// The shared shortest-augmenting-path core: inserts the `n` rows one by
-/// one, maintaining dual potentials `u`/`v` and the column matching
-/// `p[j]` (0 = unmatched) in `ws`.
-///
-/// When `upper` is finite, the running cost of the partial optimal
-/// assignment is checked after every row insertion; because the optimal
-/// cost over the first `i` rows is monotone non-decreasing in `i` for
-/// **non-negative costs**, exceeding `upper` proves the final cost will
-/// too, and the insertion loop aborts, returning `false`. With
-/// `upper = ∞` the check (and its `O(m)` per-row overhead) is skipped
-/// entirely, so the bounded and unbounded paths are bit-identical
-/// whenever nothing is pruned.
-fn sap_core<C: Fn(usize, usize) -> f64>(
-    n: usize,
+/// Row access for the SAP core: eager (a fully built cost slice) or
+/// lazy (rows materialized on first touch). The augmenting search only
+/// ever re-reads rows that were already inserted, so a lazy source that
+/// fills row `i` at its first access observes exactly the values an
+/// eager fill would have produced — and when the bound check aborts
+/// after `r` rows, rows `r+1..` are never computed at all.
+trait RowSource<T> {
+    /// Row `i` (0-based), `m` entries.
+    fn row(&mut self, i: usize) -> &[T];
+}
+
+struct EagerRows<'a, T> {
+    data: &'a [T],
+    stride: usize,
     m: usize,
-    cost: C,
-    ws: &mut Workspace,
-    upper: f64,
-) -> bool {
-    const INF: f64 = f64::INFINITY;
-
-    ws.u.clear();
-    ws.u.resize(n + 1, 0.0);
-    ws.v.clear();
-    ws.v.resize(m + 1, 0.0);
-    ws.p.clear();
-    ws.p.resize(m + 1, 0);
-    ws.way.clear();
-    ws.way.resize(m + 1, 0);
-    ws.minv.resize(m + 1, INF);
-    ws.used.resize(m + 1, false);
-
-    for i in 1..=n {
-        ws.p[0] = i;
-        let mut j0 = 0usize;
-        for j in 0..=m {
-            ws.minv[j] = INF;
-            ws.used[j] = false;
-        }
-        loop {
-            ws.used[j0] = true;
-            let i0 = ws.p[j0];
-            let mut delta = INF;
-            let mut j1 = 0usize;
-            for j in 1..=m {
-                if ws.used[j] {
-                    continue;
-                }
-                let cur = cost(i0 - 1, j - 1) - ws.u[i0] - ws.v[j];
-                if cur < ws.minv[j] {
-                    ws.minv[j] = cur;
-                    ws.way[j] = j0;
-                }
-                if ws.minv[j] < delta {
-                    delta = ws.minv[j];
-                    j1 = j;
-                }
-            }
-            debug_assert!(delta.is_finite(), "no augmenting path found");
-            for j in 0..=m {
-                if ws.used[j] {
-                    ws.u[ws.p[j]] += delta;
-                    ws.v[j] -= delta;
-                } else {
-                    ws.minv[j] -= delta;
-                }
-            }
-            j0 = j1;
-            if ws.p[j0] == 0 {
-                break;
-            }
-        }
-        // Unwind the alternating path.
-        loop {
-            let j1 = ws.way[j0];
-            ws.p[j0] = ws.p[j1];
-            j0 = j1;
-            if j0 == 0 {
-                break;
-            }
-        }
-
-        if upper < INF {
-            // Partial primal cost of the optimal assignment of rows
-            // 1..=i, summed in row order (at i = n this is bit-identical
-            // to the final [`matched_cost`] total, so a bound equal to
-            // the exact cost never prunes). `ws.minv` is dead between
-            // row insertions and doubles as the per-row cost buffer.
-            for j in 1..=m {
-                if ws.p[j] != 0 {
-                    ws.minv[ws.p[j]] = cost(ws.p[j] - 1, j - 1);
-                }
-            }
-            let mut partial = 0.0;
-            for r in 1..=i {
-                partial += ws.minv[r];
-            }
-            // Tiny relative slack: intermediate prefixes are ≤ the final
-            // cost in exact arithmetic but sum different edge sets, so
-            // rounding could otherwise cause a spurious prune at the
-            // boundary. Pruning less is always safe.
-            if partial > upper + 1e-9 * upper.abs() {
-                return false;
-            }
-        }
-    }
-    true
 }
+
+impl<T> RowSource<T> for EagerRows<'_, T> {
+    #[inline]
+    fn row(&mut self, i: usize) -> &[T] {
+        &self.data[i * self.stride..i * self.stride + self.m]
+    }
+}
+
+struct LazyRows<'a, T, F> {
+    data: &'a mut [T],
+    stride: usize,
+    m: usize,
+    filled: usize,
+    fill: F,
+}
+
+impl<T, F: FnMut(usize, &mut [T])> RowSource<T> for LazyRows<'_, T, F> {
+    #[inline]
+    fn row(&mut self, i: usize) -> &[T] {
+        while self.filled <= i {
+            let base = self.filled * self.stride;
+            (self.fill)(self.filled, &mut self.data[base..base + self.m]);
+            self.filled += 1;
+        }
+        &self.data[i * self.stride..i * self.stride + self.m]
+    }
+}
+
+/// The shared shortest-augmenting-path core over a [`RowSource`]:
+/// inserts the `n` rows one by one, maintaining dual potentials `u`/`v`
+/// and the column matching `p[j]` (0 = unmatched).
+///
+/// When `upper` is finite, the optimal cost of the partial assignment
+/// built so far — available in **O(1)** as `-v[0]`, see DESIGN.md §13 —
+/// is checked once per row insertion; because that cost is monotone
+/// non-decreasing in the row count for **non-negative costs**, exceeding
+/// `upper` proves the final cost will too, and the insertion loop aborts,
+/// returning `false`. With `upper = ∞` the comparison is a single dead
+/// branch per row, so the bounded and unbounded paths are bit-identical
+/// whenever nothing is pruned — and essentially equally fast.
+macro_rules! sap_core_impl {
+    ($name:ident, $f:ty, $relax:path,
+     $u:ident, $v:ident, $minv:ident, $mask:ident, $slack:expr) => {
+        fn $name<R: RowSource<$f>>(
+            n: usize,
+            m: usize,
+            src: &mut R,
+            ws: &mut Workspace,
+            upper: $f,
+        ) -> bool {
+            const INF: $f = <$f>::INFINITY;
+            debug_assert!(n > 0 && m >= n);
+
+            ws.$u.clear();
+            ws.$u.resize(n + 1, 0.0);
+            ws.$v.clear();
+            ws.$v.resize(m + 1, 0.0);
+            ws.p.clear();
+            ws.p.resize(m + 1, 0);
+            // `way[j]` is written (via the relax scan) before any read on
+            // every augmenting path — a column can only be walked in the
+            // unwind after its `minv` improved this insertion — so stale
+            // contents never leak and no per-call zeroing is needed.
+            if ws.way.len() < m + 1 {
+                ws.way.resize(m + 1, 0);
+            }
+            ws.$minv.resize(m + 1, INF);
+            // `mask` is all-zero on entry (the invariant below restores
+            // it before every return), so only growth needs writing.
+            if ws.$mask.len() < m + 1 {
+                ws.$mask.resize(m + 1, 0.0);
+            }
+            ws.used_list.reserve(m + 1);
+
+            for i in 1..=n {
+                ws.p[0] = i;
+                let mut j0 = 0usize;
+                for j in 0..=m {
+                    ws.$minv[j] = INF;
+                }
+                ws.used_list.clear();
+                loop {
+                    // Sentinel-INF write instead of `used[j0] = true`:
+                    // the column drops out of every strict `<` in the
+                    // scan below without a branch.
+                    ws.$mask[j0] = INF;
+                    ws.$minv[j0] = INF;
+                    ws.used_list.push(j0);
+                    let i0 = ws.p[j0];
+                    let u0 = ws.$u[i0];
+                    let row = src.row(i0 - 1);
+                    let (delta, jarg) = $relax(
+                        row,
+                        u0,
+                        &ws.$v[1..=m],
+                        &ws.$mask[1..=m],
+                        &mut ws.$minv[1..=m],
+                        &mut ws.way[1..=m],
+                        j0,
+                    );
+                    let j1 = jarg + 1;
+                    debug_assert!(delta.is_finite(), "no augmenting path found");
+                    // Unconditional shift — tree columns hold the +INF
+                    // sentinel and `INF - delta = INF`, so no mask is
+                    // needed and the loop vectorizes.
+                    for mv in ws.$minv[1..=m].iter_mut() {
+                        *mv -= delta;
+                    }
+                    // Dual update only walks the columns actually in the
+                    // alternating tree (`t` of them after `t` scans)
+                    // instead of testing all `m + 1` per iteration.
+                    for &ju in &ws.used_list {
+                        ws.$u[ws.p[ju]] += delta;
+                        ws.$v[ju] -= delta;
+                    }
+                    j0 = j1;
+                    if ws.p[j0] == 0 {
+                        break;
+                    }
+                }
+                // Unwind the alternating path.
+                loop {
+                    let j1 = ws.way[j0];
+                    ws.p[j0] = ws.p[j1];
+                    j0 = j1;
+                    if j0 == 0 {
+                        break;
+                    }
+                }
+
+                // Restore the all-zero `mask` invariant by touching only
+                // the columns this insertion actually masked — cheaper
+                // than the full `0..=m` sweep, and it runs before either
+                // return below so the invariant holds on the pruned path
+                // too.
+                for &ju in &ws.used_list {
+                    ws.$mask[ju] = 0.0;
+                }
+
+                // Hoisted O(1) bound check: `-v[0]` accumulates every
+                // `delta` of every insertion so far, which equals the
+                // optimal cost of assigning rows `1..=i` (DESIGN.md
+                // §13). Tiny relative slack: the dual total and the
+                // final row-order primal sum round differently, and
+                // pruning less is always safe.
+                if upper < INF {
+                    let partial = -ws.$v[0];
+                    if partial > upper + $slack * upper.abs() {
+                        return false;
+                    }
+                }
+            }
+            true
+        }
+    };
+}
+
+sap_core_impl!(sap_core, f64, simd::relax_scan_f64, u, v, minv, mask, 1e-9);
+sap_core_impl!(sap_core_f32, f32, simd::relax_scan_f32, uf, vf, minvf, maskf, 1e-5);
 
 /// Sum the matched edges in **row order** (bit-identical to summing an
 /// explicit `row_to_col` assignment) without allocating: `ws.minv` is
 /// dead after [`sap_core`] and doubles as the per-row cost buffer.
-fn matched_cost<C: Fn(usize, usize) -> f64>(
-    n: usize,
-    m: usize,
-    cost: C,
-    ws: &mut Workspace,
-) -> f64 {
-    for j in 1..=m {
-        if ws.p[j] != 0 {
-            ws.minv[ws.p[j]] = cost(ws.p[j] - 1, j - 1);
+macro_rules! matched_cost_impl {
+    ($name:ident, $f:ty, $minv:ident) => {
+        fn $name(n: usize, m: usize, stride: usize, data: &[$f], ws: &mut Workspace) -> $f {
+            for j in 1..=m {
+                if ws.p[j] != 0 {
+                    ws.$minv[ws.p[j]] = data[(ws.p[j] - 1) * stride + (j - 1)];
+                }
+            }
+            let mut total = 0.0;
+            for i in 1..=n {
+                total += ws.$minv[i];
+            }
+            total
         }
-    }
-    let mut total = 0.0;
-    for i in 1..=n {
-        total += ws.minv[i];
-    }
-    total
+    };
 }
+
+matched_cost_impl!(matched_cost, f64, minv);
+matched_cost_impl!(matched_cost_f32, f32, minvf);
 
 /// Allocation-free variant of [`solve`] (aside from the returned
 /// [`Assignment`]): buffers live in `ws` and are resized only when the
@@ -213,16 +317,36 @@ fn matched_cost<C: Fn(usize, usize) -> f64>(
 pub fn solve_with(cost: &CostMatrix, ws: &mut Workspace) -> Assignment {
     let n = cost.rows();
     let m = cost.cols();
-    sap_core(n, m, |i, j| cost.get(i, j), ws, f64::INFINITY);
-
     let mut row_to_col = vec![usize::MAX; n];
+    let total = solve_slice_into(n, m, cost.data(), ws, &mut row_to_col);
+    Assignment { row_to_col, cost: total }
+}
+
+/// Slice-based full solve into a caller-owned assignment buffer — the
+/// `Workspace`-backed path behind [`solve_with`] and the non-engine
+/// matching entry points (`match_sets`, the surjection distances), which
+/// previously paid a `CostMatrix` + solver-buffer allocation per call.
+/// Returns the optimal cost summed in row order.
+pub fn solve_slice_into(
+    n: usize,
+    m: usize,
+    data: &[f64],
+    ws: &mut Workspace,
+    row_to_col: &mut Vec<usize>,
+) -> f64 {
+    sap_core(n, m, &mut EagerRows { data, stride: m, m }, ws, f64::INFINITY);
+    row_to_col.clear();
+    row_to_col.resize(n, usize::MAX);
     for j in 1..=m {
         if ws.p[j] != 0 {
             row_to_col[ws.p[j] - 1] = j - 1;
         }
     }
-    let total = row_to_col.iter().enumerate().map(|(i, &j)| cost.get(i, j)).sum();
-    Assignment { row_to_col, cost: total }
+    let mut total = 0.0;
+    for (i, &j) in row_to_col.iter().enumerate() {
+        total += data[i * m + j];
+    }
+    total
 }
 
 /// Solve the min-cost assignment problem: match every row to a distinct
@@ -235,16 +359,16 @@ pub fn solve(cost: &CostMatrix) -> Assignment {
 /// allocations once `ws` has reached steady-state capacity.
 pub fn solve_cost_with(cost: &CostMatrix, ws: &mut Workspace) -> f64 {
     let (n, m) = (cost.rows(), cost.cols());
-    sap_core(n, m, |i, j| cost.get(i, j), ws, f64::INFINITY);
-    matched_cost(n, m, |i, j| cost.get(i, j), ws)
+    sap_core(n, m, &mut EagerRows { data: cost.data(), stride: m, m }, ws, f64::INFINITY);
+    matched_cost(n, m, m, cost.data(), ws)
 }
 
 /// Cost-only solve over a borrowed row-major `rows × cols` slice —
 /// the allocation-free kernel behind `MatchingEngine`.
 pub fn solve_cost_slice(rows: usize, cols: usize, data: &[f64], ws: &mut Workspace) -> f64 {
     debug_assert!(rows > 0 && cols >= rows && data.len() == rows * cols);
-    sap_core(rows, cols, |i, j| data[i * cols + j], ws, f64::INFINITY);
-    matched_cost(rows, cols, |i, j| data[i * cols + j], ws)
+    sap_core(rows, cols, &mut EagerRows { data, stride: cols, m: cols }, ws, f64::INFINITY);
+    matched_cost(rows, cols, cols, data, ws)
 }
 
 /// Bounded cost-only solve over a borrowed slice: returns `None` as soon
@@ -259,10 +383,54 @@ pub fn solve_cost_slice_bounded(
     upper: f64,
 ) -> Option<f64> {
     debug_assert!(rows > 0 && cols >= rows && data.len() == rows * cols);
-    if !sap_core(rows, cols, |i, j| data[i * cols + j], ws, upper) {
+    if !sap_core(rows, cols, &mut EagerRows { data, stride: cols, m: cols }, ws, upper) {
         return None;
     }
-    Some(matched_cost(rows, cols, |i, j| data[i * cols + j], ws))
+    Some(matched_cost(rows, cols, cols, data, ws))
+}
+
+/// Bounded cost-only solve that materializes each cost row on demand,
+/// immediately before that row's insertion: when the O(1) dual bound
+/// check aborts after `r` rows, rows `r+1..` are never computed. The
+/// augmenting search only re-reads rows already inserted, so the filled
+/// prefix — and, on the non-pruned path, the result, bit for bit —
+/// matches [`solve_cost_slice_bounded`] over an eagerly built matrix.
+/// `fill_row(i, out)` must write all `cols` entries of row `i`.
+pub fn solve_cost_slice_bounded_lazy(
+    rows: usize,
+    cols: usize,
+    data: &mut [f64],
+    ws: &mut Workspace,
+    upper: f64,
+    fill_row: impl FnMut(usize, &mut [f64]),
+) -> Option<f64> {
+    debug_assert!(rows > 0 && cols >= rows && data.len() == rows * cols);
+    let mut src = LazyRows { data, stride: cols, m: cols, filled: 0, fill: fill_row };
+    if !sap_core(rows, cols, &mut src, ws, upper) {
+        return None;
+    }
+    Some(matched_cost(rows, cols, cols, src.data, ws))
+}
+
+/// `f32` filter-precision twin of [`solve_cost_slice_bounded`]: the
+/// same branch-free core over an `f32` cost slice. `None` means the
+/// partial cost exceeded `upper` (callers fold the ±δ conversion margin
+/// into `upper` — see `MatchingEngine::distance_bounded_f32`);
+/// `Some(total)` is the f32-precision optimal cost. Shares the integer
+/// buffers of `ws` with the f64 core, so one workspace serves both
+/// precisions without growing twice.
+pub fn solve_cost_slice_bounded_f32(
+    rows: usize,
+    cols: usize,
+    data: &[f32],
+    ws: &mut Workspace,
+    upper: f32,
+) -> Option<f32> {
+    debug_assert!(rows > 0 && cols >= rows && data.len() == rows * cols);
+    if !sap_core_f32(rows, cols, &mut EagerRows { data, stride: cols, m: cols }, ws, upper) {
+        return None;
+    }
+    Some(matched_cost_f32(rows, cols, cols, data, ws))
 }
 
 /// Brute-force assignment by enumerating all `cols! / (cols-rows)!`
@@ -309,6 +477,154 @@ pub fn solve_brute_force(cost: &CostMatrix) -> Assignment {
 
     rec(0, n, m, cost, &mut current, &mut used, 0.0, &mut best_cost, &mut best);
     Assignment { row_to_col: best, cost: best_cost }
+}
+
+/// The pre-SIMD scalar kernel, kept verbatim as the measurement baseline
+/// (`exp_bench_matching` reports `ns_engine` from this path, so the
+/// SIMD speedup is an apples-to-apples within-run comparison) and as a
+/// cross-validation oracle for the branch-free core.
+pub mod reference {
+    /// The original solver buffers, including the branchy `used[]`
+    /// bitmap the branch-free core replaced.
+    #[derive(Debug, Default)]
+    pub struct RefWorkspace {
+        u: Vec<f64>,
+        v: Vec<f64>,
+        p: Vec<usize>,
+        way: Vec<usize>,
+        minv: Vec<f64>,
+        used: Vec<bool>,
+    }
+
+    /// The original scalar shortest-augmenting-path core, with the
+    /// original `O(m)` per-row primal bound re-summation.
+    fn sap_core_ref<C: Fn(usize, usize) -> f64>(
+        n: usize,
+        m: usize,
+        cost: C,
+        ws: &mut RefWorkspace,
+        upper: f64,
+    ) -> bool {
+        const INF: f64 = f64::INFINITY;
+
+        ws.u.clear();
+        ws.u.resize(n + 1, 0.0);
+        ws.v.clear();
+        ws.v.resize(m + 1, 0.0);
+        ws.p.clear();
+        ws.p.resize(m + 1, 0);
+        ws.way.clear();
+        ws.way.resize(m + 1, 0);
+        ws.minv.resize(m + 1, INF);
+        ws.used.resize(m + 1, false);
+
+        for i in 1..=n {
+            ws.p[0] = i;
+            let mut j0 = 0usize;
+            for j in 0..=m {
+                ws.minv[j] = INF;
+                ws.used[j] = false;
+            }
+            loop {
+                ws.used[j0] = true;
+                let i0 = ws.p[j0];
+                let mut delta = INF;
+                let mut j1 = 0usize;
+                for j in 1..=m {
+                    if ws.used[j] {
+                        continue;
+                    }
+                    let cur = cost(i0 - 1, j - 1) - ws.u[i0] - ws.v[j];
+                    if cur < ws.minv[j] {
+                        ws.minv[j] = cur;
+                        ws.way[j] = j0;
+                    }
+                    if ws.minv[j] < delta {
+                        delta = ws.minv[j];
+                        j1 = j;
+                    }
+                }
+                debug_assert!(delta.is_finite(), "no augmenting path found");
+                for j in 0..=m {
+                    if ws.used[j] {
+                        ws.u[ws.p[j]] += delta;
+                        ws.v[j] -= delta;
+                    } else {
+                        ws.minv[j] -= delta;
+                    }
+                }
+                j0 = j1;
+                if ws.p[j0] == 0 {
+                    break;
+                }
+            }
+            loop {
+                let j1 = ws.way[j0];
+                ws.p[j0] = ws.p[j1];
+                j0 = j1;
+                if j0 == 0 {
+                    break;
+                }
+            }
+
+            if upper < INF {
+                for j in 1..=m {
+                    if ws.p[j] != 0 {
+                        ws.minv[ws.p[j]] = cost(ws.p[j] - 1, j - 1);
+                    }
+                }
+                let mut partial = 0.0;
+                for r in 1..=i {
+                    partial += ws.minv[r];
+                }
+                if partial > upper + 1e-9 * upper.abs() {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    fn matched_cost_ref<C: Fn(usize, usize) -> f64>(
+        n: usize,
+        m: usize,
+        cost: C,
+        ws: &mut RefWorkspace,
+    ) -> f64 {
+        for j in 1..=m {
+            if ws.p[j] != 0 {
+                ws.minv[ws.p[j]] = cost(ws.p[j] - 1, j - 1);
+            }
+        }
+        let mut total = 0.0;
+        for i in 1..=n {
+            total += ws.minv[i];
+        }
+        total
+    }
+
+    /// Cost-only solve with the original scalar kernel.
+    pub fn solve_cost_slice(rows: usize, cols: usize, data: &[f64], ws: &mut RefWorkspace) -> f64 {
+        debug_assert!(rows > 0 && cols >= rows && data.len() == rows * cols);
+        sap_core_ref(rows, cols, |i, j| data[i * cols + j], ws, f64::INFINITY);
+        matched_cost_ref(rows, cols, |i, j| data[i * cols + j], ws)
+    }
+
+    /// Bounded cost-only solve with the original scalar kernel and its
+    /// original `O(m)` per-row bound check.
+    pub fn solve_cost_slice_bounded(
+        rows: usize,
+        cols: usize,
+        data: &[f64],
+        ws: &mut RefWorkspace,
+        upper: f64,
+    ) -> Option<f64> {
+        debug_assert!(rows > 0 && cols >= rows && data.len() == rows * cols);
+        if !sap_core_ref(rows, cols, |i, j| data[i * cols + j], ws, upper) {
+            return None;
+        }
+        Some(matched_cost_ref(rows, cols, |i, j| data[i * cols + j], ws))
+    }
 }
 
 #[cfg(test)]
@@ -424,6 +740,64 @@ mod tests {
             // A bound at (or above) the exact cost must not prune either.
             let at_exact = solve_cost_slice_bounded(rows, cols, &vals, &mut ws, exact);
             prop_assert_eq!(at_exact.unwrap().to_bits(), exact.to_bits());
+        }
+
+        /// The branch-free lane core agrees with the preserved scalar
+        /// kernel on every instance (the optimal cost is unique even
+        /// when the optimal matching is not; tie-breaking may differ,
+        /// so the comparison is on totals, to f64 tolerance).
+        #[test]
+        fn branch_free_core_matches_scalar_reference(
+            vals in proptest::collection::vec(0.0f64..50.0, 42),
+        ) {
+            let mut ws = Workspace::default();
+            let mut rws = reference::RefWorkspace::default();
+            for (rows, cols) in [(6usize, 7usize), (3, 14), (1, 42), (6, 6)] {
+                let take = rows * cols;
+                let new = solve_cost_slice(rows, cols, &vals[..take], &mut ws);
+                let old = reference::solve_cost_slice(rows, cols, &vals[..take], &mut rws);
+                prop_assert!((new - old).abs() < 1e-9, "lane {new} vs scalar {old}");
+            }
+        }
+
+        /// The O(1) dual bound check prunes exactly when the old O(m)
+        /// primal re-summation would: never when `exact <= upper`.
+        #[test]
+        fn dual_bound_check_agrees_with_reference_on_prunes(
+            vals in proptest::collection::vec(0.0f64..20.0, 36),
+            frac in 0.0f64..1.5,
+        ) {
+            let mut ws = Workspace::default();
+            let mut rws = reference::RefWorkspace::default();
+            let exact = solve_cost_slice(6, 6, &vals, &mut ws);
+            let upper = exact * frac;
+            let new = solve_cost_slice_bounded(6, 6, &vals, &mut ws, upper);
+            let old = reference::solve_cost_slice_bounded(6, 6, &vals, &mut rws, upper);
+            // Both must satisfy the contract...
+            if let Some(total) = new { prop_assert_eq!(total.to_bits(), exact.to_bits()); }
+            if new.is_none() { prop_assert!(exact > upper); }
+            if old.is_none() { prop_assert!(exact > upper); }
+            // ...and a bound at the exact cost never prunes on either.
+            prop_assert!(solve_cost_slice_bounded(6, 6, &vals, &mut ws, exact).is_some());
+        }
+
+        /// The f32 core tracks the f64 optimum within f32 noise and
+        /// honors its bound contract.
+        #[test]
+        fn f32_core_tracks_f64_optimum(
+            vals in proptest::collection::vec(0.0f64..10.0, 36),
+        ) {
+            let mut ws = Workspace::default();
+            let exact = solve_cost_slice(6, 6, &vals, &mut ws);
+            let vals32: Vec<f32> = vals.iter().map(|&x| x as f32).collect();
+            let approx = solve_cost_slice_bounded_f32(6, 6, &vals32, &mut ws, f32::INFINITY)
+                .expect("infinite bound cannot prune");
+            let scale = vals.iter().cloned().fold(1.0, f64::max);
+            prop_assert!((approx as f64 - exact).abs() <= 1e-4 * 36.0 * scale,
+                "f32 {approx} strayed from f64 {exact}");
+            // A bound comfortably above the optimum must not prune.
+            let wide = (exact as f32) + 1e-2 * (scale as f32) + 1.0;
+            prop_assert!(solve_cost_slice_bounded_f32(6, 6, &vals32, &mut ws, wide).is_some());
         }
 
         #[test]

@@ -37,10 +37,11 @@ pub mod lp;
 pub mod matching;
 pub mod metric;
 pub mod setdists;
+pub mod simd;
 pub mod types;
 
 pub use centroid::{centroid_lower_bound, extended_centroid};
-pub use engine::{BoundedDistance, MatchingEngine, PreparedSet};
-pub use matching::{MatchOutcome, MinimalMatching};
+pub use engine::{BoundedDistance, MatchingEngine, PrefilteredDistance, PreparedSet};
+pub use matching::{MatchOutcome, MatchScratch, MinimalMatching};
 pub use metric::Distance;
 pub use types::VectorSet;

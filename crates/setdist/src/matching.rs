@@ -2,9 +2,10 @@
 //! minimum Euclidean distance under permutation (Definition 4) derived
 //! from it (Section 4.2).
 
-use crate::hungarian::{self, CostMatrix};
+use crate::hungarian::{self, CostMatrix, Workspace};
 use crate::lp;
 use crate::metric::Distance;
+use crate::simd;
 use crate::types::VectorSet;
 
 /// Point distance used inside the matching.
@@ -21,8 +22,56 @@ pub enum PointDistance {
 
 impl PointDistance {
     /// Evaluate the point distance (used by the matching kernels).
+    ///
+    /// For `dim ≤ 8` — which covers both paper feature models — this
+    /// routes through the fixed-reduction-order lane kernels of
+    /// [`crate::simd`], so per-pair calls here, the engine's padded-row
+    /// fill and the prepared weight tables all produce bit-identical
+    /// values for the same vectors (see the module contract in
+    /// `simd.rs`). Larger dimensions fall back to the sequential
+    /// [`crate::lp`] sums.
     #[inline]
     pub fn eval(self, a: &[f64], b: &[f64]) -> f64 {
+        if a.len() <= simd::LANES && b.len() <= simd::LANES {
+            let (pa, pb) = (simd::pad(a), simd::pad(b));
+            return match self {
+                PointDistance::Euclidean => simd::l2_f64(&pa, &pb),
+                PointDistance::SquaredEuclidean => simd::sq_l2_f64(&pa, &pb),
+                PointDistance::Manhattan => simd::l1_f64(&pa, &pb),
+            };
+        }
+        match self {
+            PointDistance::Euclidean => lp::euclidean(a, b),
+            PointDistance::SquaredEuclidean => lp::sq_euclidean(a, b),
+            PointDistance::Manhattan => lp::manhattan(a, b),
+        }
+    }
+
+    /// Evaluate over pre-padded lane blocks (the engine's hot fill) —
+    /// bit-identical to [`PointDistance::eval`] on the unpadded vectors.
+    #[inline]
+    pub(crate) fn eval_lanes(self, a: &[f64; simd::LANES], b: &[f64; simd::LANES]) -> f64 {
+        match self {
+            PointDistance::Euclidean => simd::l2_f64(a, b),
+            PointDistance::SquaredEuclidean => simd::sq_l2_f64(a, b),
+            PointDistance::Manhattan => simd::l1_f64(a, b),
+        }
+    }
+
+    /// The `f32` filter-precision twin of [`PointDistance::eval_lanes`].
+    #[inline]
+    pub(crate) fn eval_lanes_f32(self, a: &[f32; simd::LANES], b: &[f32; simd::LANES]) -> f32 {
+        match self {
+            PointDistance::Euclidean => simd::l2_f32(a, b),
+            PointDistance::SquaredEuclidean => simd::sq_l2_f32(a, b),
+            PointDistance::Manhattan => simd::l1_f32(a, b),
+        }
+    }
+
+    /// The pre-SIMD sequential evaluation, preserved for the engine's
+    /// reference (baseline) path — never mixed with the lane path.
+    #[inline]
+    pub(crate) fn eval_scalar(self, a: &[f64], b: &[f64]) -> f64 {
         match self {
             PointDistance::Euclidean => lp::euclidean(a, b),
             PointDistance::SquaredEuclidean => lp::sq_euclidean(a, b),
@@ -47,9 +96,49 @@ pub enum WeightFunction {
 
 impl WeightFunction {
     /// Evaluate the unmatched-element weight (used by the matching
-    /// kernels and [`crate::engine::PreparedSet`]).
+    /// kernels and [`crate::engine::PreparedSet`]). Routed through the
+    /// lane kernels for `dim ≤ 8`, like [`PointDistance::eval`].
     #[inline]
     pub fn eval(&self, x: &[f64]) -> f64 {
+        if x.len() <= simd::LANES {
+            return match self {
+                WeightFunction::DistanceTo(w) if w.len() <= simd::LANES => {
+                    simd::l2_f64(&simd::pad(x), &simd::pad(w))
+                }
+                WeightFunction::DistanceTo(w) => lp::euclidean(x, w),
+                WeightFunction::Norm => simd::norm_f64(&simd::pad(x)),
+                WeightFunction::SqNorm => simd::sq_norm_f64(&simd::pad(x)),
+                WeightFunction::Constant(c) => *c,
+            };
+        }
+        match self {
+            WeightFunction::DistanceTo(w) => lp::euclidean(x, w),
+            WeightFunction::Norm => lp::norm(x),
+            WeightFunction::SqNorm => lp::sq_norm(x),
+            WeightFunction::Constant(c) => *c,
+        }
+    }
+
+    /// [`WeightFunction::eval`] from an already lane-padded row: the
+    /// engine computes the big set's weight table straight from its
+    /// padded rows, skipping the per-point pad. Bit-identical to `eval`
+    /// on the unpadded point — same lane kernels, and zero-padding is
+    /// exact. Caller guarantees `dim ≤ LANES` (so any `DistanceTo`
+    /// anchor fits a lane block too).
+    #[inline]
+    pub(crate) fn eval_row(&self, row: &[f64; simd::LANES]) -> f64 {
+        match self {
+            WeightFunction::DistanceTo(w) => simd::l2_f64(row, &simd::pad(w)),
+            WeightFunction::Norm => simd::norm_f64(row),
+            WeightFunction::SqNorm => simd::sq_norm_f64(row),
+            WeightFunction::Constant(c) => *c,
+        }
+    }
+
+    /// The pre-SIMD sequential evaluation, preserved for the engine's
+    /// reference (baseline) path.
+    #[inline]
+    pub(crate) fn eval_scalar(&self, x: &[f64]) -> f64 {
         match self {
             WeightFunction::DistanceTo(w) => lp::euclidean(x, w),
             WeightFunction::Norm => lp::norm(x),
@@ -74,6 +163,17 @@ pub struct MatchOutcome {
     /// identity matching (`x_i ↔ y_i`). This is the statistic behind the
     /// paper's Table 1 ("percentage of proper permutations").
     pub permutation_needed: bool,
+}
+
+/// Reusable buffers for [`MinimalMatching::match_sets_with`]: the flat
+/// cost matrix, the Hungarian solver workspace and the assignment
+/// vector. One scratch amortizes every per-call allocation the old
+/// `CostMatrix::from_fn` + `hungarian::solve` path paid.
+#[derive(Debug, Default)]
+pub struct MatchScratch {
+    cost: Vec<f64>,
+    ws: Workspace,
+    row_to_col: Vec<usize>,
 }
 
 /// The minimal matching distance `dist_mm^{w, dist}` (Definition 6),
@@ -114,6 +214,17 @@ impl MinimalMatching {
 
     /// Full outcome including the matching itself.
     pub fn match_sets(&self, x: &VectorSet, y: &VectorSet) -> MatchOutcome {
+        self.match_sets_with(x, y, &mut MatchScratch::default())
+    }
+
+    /// [`MinimalMatching::match_sets`] with caller-owned scratch: zero
+    /// steady-state allocations beyond the returned [`MatchOutcome`].
+    pub fn match_sets_with(
+        &self,
+        x: &VectorSet,
+        y: &VectorSet,
+        scratch: &mut MatchScratch,
+    ) -> MatchOutcome {
         assert_eq!(x.dim(), y.dim(), "vector sets of different dimension");
         // Orient so that `big` is the larger set (its surplus elements pay
         // the weight penalty), per Definition 6 (w.l.o.g. |X| >= |Y|).
@@ -134,19 +245,33 @@ impl MinimalMatching {
 
         // Square m x m cost matrix: the first n columns are the elements
         // of the smaller set, the remaining m - n are "unmatched" slots
-        // whose cost is the weight of the row element.
-        let cost = CostMatrix::from_fn(m, m, |i, j| {
-            if j < n {
-                self.point_distance.eval(big.get(i), small.get(j))
-            } else {
-                self.weight.eval(big.get(i))
+        // whose cost is the weight of the row element. Filled flat into
+        // scratch and solved over the slice — no CostMatrix or solver
+        // buffers allocated per call.
+        scratch.cost.clear();
+        scratch.cost.resize(m * m, 0.0);
+        for i in 0..m {
+            let bi = big.get(i);
+            let row = &mut scratch.cost[i * m..(i + 1) * m];
+            for (j, slot) in row.iter_mut().take(n).enumerate() {
+                *slot = self.point_distance.eval(bi, small.get(j));
             }
-        });
-        let sol = hungarian::solve(&cost);
+            let w = self.weight.eval(bi);
+            for slot in row.iter_mut().skip(n) {
+                *slot = w;
+            }
+        }
+        let sol_cost = hungarian::solve_slice_into(
+            m,
+            m,
+            &scratch.cost,
+            &mut scratch.ws,
+            &mut scratch.row_to_col,
+        );
 
         let mut pairs = Vec::with_capacity(n);
         let mut unmatched = Vec::with_capacity(m - n);
-        for (i, &j) in sol.row_to_col.iter().enumerate() {
+        for (i, &j) in scratch.row_to_col.iter().enumerate() {
             if j < n {
                 if big_is_first {
                     pairs.push((i, j));
@@ -167,10 +292,10 @@ impl MinimalMatching {
         for i in n..m {
             id_cost += self.weight.eval(big.get(i));
         }
-        let permutation_needed = sol.cost < id_cost - 1e-9;
+        let permutation_needed = sol_cost < id_cost - 1e-9;
 
         MatchOutcome {
-            cost: self.finish(sol.cost),
+            cost: self.finish(sol_cost),
             pairs,
             unmatched,
             unmatched_side: if big_is_first { 0 } else { 1 },

@@ -9,7 +9,7 @@
 //! experiments quantify the paper's argument).
 
 use crate::flow::MinCostFlow;
-use crate::hungarian::{self, CostMatrix};
+use crate::hungarian;
 use crate::lp;
 use crate::types::VectorSet;
 
@@ -43,21 +43,34 @@ pub fn sum_of_min_distances(x: &VectorSet, y: &VectorSet) -> f64 {
 /// problem reduces to an assignment with `m - n` free columns priced at
 /// the row minimum.
 pub fn surjection(x: &VectorSet, y: &VectorSet) -> f64 {
+    surjection_with(x, y, &mut hungarian::Workspace::default())
+}
+
+/// [`surjection`] with a caller-owned solver workspace: the cost matrix
+/// is filled flat and solved over the slice, so repeated calls (e.g. a
+/// baseline sweep over all object pairs) amortize every allocation the
+/// old `CostMatrix::from_fn` + `hungarian::solve` path paid per call.
+pub fn surjection_with(x: &VectorSet, y: &VectorSet, ws: &mut hungarian::Workspace) -> f64 {
     assert!(!x.is_empty() && !y.is_empty(), "surjection requires non-empty sets");
     let (big, small) = if x.len() >= y.len() { (x, y) } else { (y, x) };
     let m = big.len();
     let n = small.len();
-    let row_min: Vec<f64> = (0..m)
-        .map(|i| small.iter().map(|q| lp::euclidean(big.get(i), q)).fold(f64::INFINITY, f64::min))
-        .collect();
-    let cost = CostMatrix::from_fn(m, m, |i, j| {
-        if j < n {
-            lp::euclidean(big.get(i), small.get(j))
-        } else {
-            row_min[i]
+    // Square m × m: the first n columns are point distances, the rest
+    // are "free" columns priced at the row minimum (each surplus source
+    // maps to its individually-cheapest target).
+    let mut cost = vec![0.0; m * m];
+    for i in 0..m {
+        let row = &mut cost[i * m..(i + 1) * m];
+        let mut row_min = f64::INFINITY;
+        for (j, slot) in row.iter_mut().take(n).enumerate() {
+            *slot = lp::euclidean(big.get(i), small.get(j));
+            row_min = row_min.min(*slot);
         }
-    });
-    hungarian::solve(&cost).cost
+        for slot in row.iter_mut().skip(n) {
+            *slot = row_min;
+        }
+    }
+    hungarian::solve_cost_slice(m, m, &cost, ws)
 }
 
 /// Fair surjection distance: like [`surjection`] but every target must

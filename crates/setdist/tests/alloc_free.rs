@@ -64,20 +64,29 @@ fn engine_distance_calls_are_allocation_free_in_steady_state() {
             (0..8).map(|i| pseudo_random_set(6, 1 + (i % 7) + 1, 1000 + i as u64)).collect();
         let prepared: Vec<_> = sets.iter().map(|s| engine.prepare(s.clone())).collect();
 
-        // Warm up: one pass grows every scratch buffer to its
-        // steady-state capacity.
+        // Warm up: one pass grows every scratch buffer — including the
+        // f64/f32 lane pads and the f32 cost matrix of the prefilter
+        // stage — to its steady-state capacity.
         let mut warm = 0.0;
         for x in &sets {
             for y in &sets {
                 warm += engine.distance(x, y);
+                let _ = engine.distance_bounded_prefiltered(x, y, 0.5);
+                warm += engine.distance_bounded_f32(x, y, f64::INFINITY).unwrap_or(0.0);
+            }
+        }
+        for x in &prepared {
+            for y in &sets {
+                let _ = engine.distance_bounded_prefiltered_half(x, y, 0.5);
             }
         }
 
-        // Steady state: cost-only, bounded and prepared paths must not
-        // touch the heap at all.
+        // Steady state: cost-only, bounded, prepared, SIMD-prefiltered
+        // and f32 filter-precision paths must not touch the heap at all.
         let before = ALLOCATIONS.load(Ordering::SeqCst);
         let mut sum = 0.0;
         let mut pruned = 0usize;
+        let mut pruned_f32 = 0usize;
         for round in 0..3 {
             for x in &sets {
                 for y in &sets {
@@ -86,6 +95,15 @@ fn engine_distance_calls_are_allocation_free_in_steady_state() {
                         vsim_setdist::BoundedDistance::Exact(d) => sum += d,
                         vsim_setdist::BoundedDistance::Pruned => pruned += 1,
                     }
+                    match engine.distance_bounded_prefiltered(x, y, 0.5 + round as f64) {
+                        vsim_setdist::PrefilteredDistance::Exact(d) => sum += d,
+                        vsim_setdist::PrefilteredDistance::PrunedByF32 => pruned_f32 += 1,
+                        vsim_setdist::PrefilteredDistance::Pruned => pruned += 1,
+                    }
+                    match engine.distance_bounded_f32(x, y, 0.5 + round as f64) {
+                        Some(d) => sum += d,
+                        None => pruned_f32 += 1,
+                    }
                 }
             }
             for x in &prepared {
@@ -93,6 +111,11 @@ fn engine_distance_calls_are_allocation_free_in_steady_state() {
                     sum += engine.distance_prepared(x, y);
                     if engine.distance_bounded_prepared(x, y, 0.25).is_pruned() {
                         pruned += 1;
+                    }
+                }
+                for y in &sets {
+                    if engine.distance_bounded_prefiltered_half(x, y, 0.25).pruned_by_f32() {
+                        pruned_f32 += 1;
                     }
                 }
             }
@@ -105,8 +128,10 @@ fn engine_distance_calls_are_allocation_free_in_steady_state() {
             "{:?}: steady-state distance calls allocated (sum {sum}, warm {warm}, pruned {pruned})",
             mm
         );
-        // Sanity: the bounded path did exercise both outcomes.
+        // Sanity: the bounded paths did exercise every outcome,
+        // including prunes decided by the f32 stage alone.
         assert!(pruned > 0, "bound never pruned — test bounds are miscalibrated");
+        assert!(pruned_f32 > 0, "f32 stage never pruned — prefilter not exercised");
         assert!(sum.is_finite() && warm.is_finite());
     }
 }

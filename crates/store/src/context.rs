@@ -97,6 +97,12 @@ impl QueryContext {
         self.tracker.count_refinements_saved(n);
     }
 
+    /// Count `n` refinements dismissed by the `f32` filter-precision
+    /// kernel alone (subset of `pruned`).
+    pub fn count_f32_prefilter(&self, n: u64) {
+        self.tracker.count_f32_prefilter(n);
+    }
+
     /// Freeze this context's counters into per-query stats.
     pub fn stats(&self, cpu: Duration) -> QueryStats {
         self.tracker.debug_check_invariants();

@@ -31,6 +31,10 @@ pub struct QueryStats {
     /// Stream candidates dismissed by the filter lower bound alone —
     /// pulled but never refined with the exact distance.
     pub refinements_saved: u64,
+    /// Refinements dismissed by the `f32` filter-precision matching
+    /// kernel alone — the exact `f64` solve never ran (a subset of
+    /// `pruned`).
+    pub f32_prefilter: u64,
     /// Index-level distance-function evaluations.
     pub distance_evals: u64,
     /// Why this query failed, if it did. A failed query still reports
@@ -50,6 +54,7 @@ impl QueryStats {
             pruned: snap.pruned,
             filter_steps: snap.filter_steps,
             refinements_saved: snap.refinements_saved,
+            f32_prefilter: snap.f32_prefilter,
             distance_evals: snap.distance_evals,
             error: None,
         }
@@ -75,6 +80,7 @@ impl QueryStats {
         self.pruned += other.pruned;
         self.filter_steps += other.filter_steps;
         self.refinements_saved += other.refinements_saved;
+        self.f32_prefilter += other.f32_prefilter;
         self.distance_evals += other.distance_evals;
         self.error = self.error.or(other.error);
     }
@@ -107,6 +113,7 @@ mod tests {
             pruned: 1,
             filter_steps: 3,
             refinements_saved: 2,
+            f32_prefilter: 1,
             distance_evals: 9,
             error: None,
         };
@@ -119,6 +126,7 @@ mod tests {
         assert_eq!(a.pruned, 2);
         assert_eq!(a.filter_steps, 6);
         assert_eq!(a.refinements_saved, 4);
+        assert_eq!(a.f32_prefilter, 2);
         assert_eq!(a.distance_evals, 18);
     }
 

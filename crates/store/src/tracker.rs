@@ -46,6 +46,7 @@ pub struct IoTracker {
     pruned: AtomicU64,
     filter_steps: AtomicU64,
     refinements_saved: AtomicU64,
+    f32_prefilter: AtomicU64,
 }
 
 impl IoTracker {
@@ -125,6 +126,15 @@ impl IoTracker {
         self.refinements_saved.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Count `n` refinements dismissed by the `f32` filter-precision
+    /// matching kernel alone — the exact `f64` solve never ran. A subset
+    /// of `pruned` (an f32-stage prune is still a pruned refinement; this
+    /// counter records which stage decided it).
+    #[inline]
+    pub fn count_f32_prefilter(&self, n: u64) {
+        self.f32_prefilter.fetch_add(n, Ordering::Relaxed);
+    }
+
     pub fn snapshot(&self) -> TrackerSnapshot {
         TrackerSnapshot {
             io: IoSnapshot {
@@ -142,6 +152,7 @@ impl IoTracker {
             pruned: self.pruned.load(Ordering::Relaxed),
             filter_steps: self.filter_steps.load(Ordering::Relaxed),
             refinements_saved: self.refinements_saved.load(Ordering::Relaxed),
+            f32_prefilter: self.f32_prefilter.load(Ordering::Relaxed),
         }
     }
 
@@ -168,6 +179,12 @@ impl IoTracker {
                 s.refinements,
                 s.refinements_saved,
             );
+            debug_assert!(
+                s.f32_prefilter <= s.pruned,
+                "f32_prefilter ({}) must be a subset of pruned ({})",
+                s.f32_prefilter,
+                s.pruned,
+            );
         }
     }
 
@@ -183,6 +200,7 @@ impl IoTracker {
         self.pruned.store(0, Ordering::Relaxed);
         self.filter_steps.store(0, Ordering::Relaxed);
         self.refinements_saved.store(0, Ordering::Relaxed);
+        self.f32_prefilter.store(0, Ordering::Relaxed);
     }
 }
 
@@ -201,6 +219,9 @@ pub struct TrackerSnapshot {
     /// Stream candidates dismissed by the filter bound without an exact
     /// refinement.
     pub refinements_saved: u64,
+    /// Refinements dismissed by the `f32` filter-precision kernel alone
+    /// (subset of `pruned`).
+    pub f32_prefilter: u64,
 }
 
 #[cfg(test)]
@@ -222,12 +243,13 @@ mod tests {
         t.count_pruned(1);
         t.count_filter_steps(5);
         t.count_refinements_saved(4);
+        t.count_f32_prefilter(1);
         let s = t.snapshot();
         assert_eq!(s.io, IoSnapshot { pages: 3, bytes: 1000 });
         assert_eq!(s.cache, CacheCounts { hits: 1, misses: 2, evictions: 1 });
         assert_eq!(s.cache.accesses(), 3);
         assert_eq!((s.distance_evals, s.candidates, s.refinements, s.pruned), (7, 2, 1, 1));
-        assert_eq!((s.filter_steps, s.refinements_saved), (5, 4));
+        assert_eq!((s.filter_steps, s.refinements_saved, s.f32_prefilter), (5, 4, 1));
         t.reset();
         assert_eq!(t.snapshot(), TrackerSnapshot::default());
     }
@@ -263,6 +285,17 @@ mod tests {
         let t = IoTracker::new();
         t.count_pruned(2);
         t.count_refinements(1);
+        t.debug_check_invariants();
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "f32_prefilter")]
+    fn invariants_catch_f32_prefilter_exceeding_pruned() {
+        let t = IoTracker::new();
+        t.count_refinements(2);
+        t.count_pruned(1);
+        t.count_f32_prefilter(2);
         t.debug_check_invariants();
     }
 

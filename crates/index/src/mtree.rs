@@ -20,12 +20,14 @@ use crate::persist::{
 /// Stream tag for a persisted M-tree ("MTRE" + format version).
 const MTREE_TAG: u64 = 0x4D54_5245_0000_0001;
 
+#[derive(Clone)]
 struct LeafEntry<T> {
     obj: T,
     id: u64,
     dist_to_parent: f64,
 }
 
+#[derive(Clone)]
 struct RoutingEntry<T> {
     obj: T,
     radius: f64,
@@ -33,6 +35,7 @@ struct RoutingEntry<T> {
     child: usize,
 }
 
+#[derive(Clone)]
 enum MNode<T> {
     Leaf(Vec<LeafEntry<T>>),
     Internal(Vec<RoutingEntry<T>>),
@@ -99,6 +102,22 @@ impl<T: Clone> MTree<T> {
 
     pub fn is_empty(&self) -> bool {
         self.len == 0
+    }
+
+    /// Deep copy with a fresh page-store identity and the same page
+    /// span (see `XTree::snapshot`). Only in-memory trees can be
+    /// snapshotted; the metric is shared via `Arc`.
+    pub fn snapshot(&self) -> std::io::Result<MTree<T>> {
+        Ok(MTree {
+            dist: Arc::clone(&self.dist),
+            nodes: self.nodes.clone(),
+            node_pages: self.node_pages.clone(),
+            root: self.root,
+            capacity: self.capacity,
+            bytes_per_entry: self.bytes_per_entry,
+            store: self.store.snapshot()?,
+            len: self.len,
+        })
     }
 
     /// The backing page store.
@@ -227,6 +246,69 @@ impl<T: Clone> MTree<T> {
                     }
                 }
                 None
+            }
+        }
+    }
+
+    /// Remove the entry for `(obj, id)` if present; returns whether one
+    /// was removed. Descent follows every routing entry whose covering
+    /// radius could contain `obj` (`d(obj, routing) ≤ radius`), so the
+    /// *stored* object must be supplied — a leaf entry matches on its id
+    /// plus zero metric distance (identity of indiscernibles). Covering
+    /// radii are not re-tightened after removal: over-coverage never
+    /// affects correctness, only pruning, and periodic epoch rebuilds
+    /// restore compactness. Emptied nodes are unlinked from their
+    /// parents and a single-entry internal root is collapsed
+    /// (`dist_to_parent` is unused at the root, so collapsing is safe).
+    pub fn delete(&mut self, obj: &T, id: u64) -> bool {
+        if self.len == 0 || !self.delete_rec(self.root, obj, id) {
+            return false;
+        }
+        self.len -= 1;
+        loop {
+            match &self.nodes[self.root] {
+                MNode::Internal(entries) if entries.len() == 1 => {
+                    self.root = entries[0].child;
+                }
+                MNode::Internal(entries) if entries.is_empty() => {
+                    let idx = self.push_node(MNode::Leaf(Vec::new()));
+                    self.root = idx;
+                    break;
+                }
+                _ => break,
+            }
+        }
+        true
+    }
+
+    fn delete_rec(&mut self, node: usize, obj: &T, id: u64) -> bool {
+        match &self.nodes[node] {
+            MNode::Leaf(entries) => {
+                let pos = entries.iter().position(|e| e.id == id && self.d(&e.obj, obj) == 0.0);
+                let Some(pos) = pos else { return false };
+                if let MNode::Leaf(entries) = &mut self.nodes[node] {
+                    entries.remove(pos);
+                }
+                true
+            }
+            MNode::Internal(entries) => {
+                let candidates: Vec<(usize, usize)> = entries
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, e)| self.d(&e.obj, obj) <= e.radius)
+                    .map(|(i, e)| (i, e.child))
+                    .collect();
+                for (i, child) in candidates {
+                    if self.delete_rec(child, obj, id) {
+                        if self.nodes[child].len() == 0 {
+                            if let MNode::Internal(entries) = &mut self.nodes[node] {
+                                entries.remove(i);
+                            }
+                        }
+                        return true;
+                    }
+                }
+                false
             }
         }
     }
@@ -827,6 +909,67 @@ mod tests {
                 assert_eq!(got, want, "query {qi} eps {eps}");
             }
         }
+    }
+
+    #[test]
+    fn delete_matches_brute_force_after_churn() {
+        let pts = random_points(400, 3, 201);
+        let mut t = build(&pts);
+        assert!(!t.delete(&vec![777.0, 0.0, 0.0], 0), "absent object");
+        assert!(!t.delete(&pts[2], 9999), "wrong id");
+        let mut live: Vec<(u64, Vec<f64>)> =
+            pts.iter().enumerate().map(|(i, p)| (i as u64, p.clone())).collect();
+        for i in (0..400).step_by(3) {
+            assert!(t.delete(&pts[i], i as u64), "point {i} must be present");
+        }
+        live.retain(|(id, _)| id % 3 != 0);
+        for (j, p) in random_points(50, 3, 202).into_iter().enumerate() {
+            let id = 1000 + j as u64;
+            t.insert(p.clone(), id);
+            live.push((id, p));
+        }
+        assert_eq!(t.len(), live.len());
+        for q in random_points(5, 3, 203) {
+            let ctx = QueryContext::ephemeral();
+            let got = t.knn(&q, 10, &ctx);
+            let mut want: Vec<(u64, f64)> =
+                live.iter().map(|(id, p)| (*id, euclid2(p, &q))).collect();
+            want.sort_by(|a, b| a.1.total_cmp(&b.1));
+            for (g, w) in got.iter().zip(&want) {
+                assert!((g.1 - w.1).abs() < 1e-9, "{g:?} vs {w:?}");
+            }
+            let mut ids: Vec<u64> =
+                t.range_query(&q, 30.0, &ctx).into_iter().map(|(id, _)| id).collect();
+            ids.sort_unstable();
+            let mut want_ids: Vec<u64> =
+                live.iter().filter(|(_, p)| euclid2(p, &q) <= 30.0).map(|(id, _)| *id).collect();
+            want_ids.sort_unstable();
+            assert_eq!(ids, want_ids);
+            // The incremental ranking must cover exactly the live set.
+            let mut ranked: Vec<u64> = t.rank_iter(&q, &ctx).map(|(id, _)| id).collect();
+            ranked.sort_unstable();
+            let mut all: Vec<u64> = live.iter().map(|(id, _)| *id).collect();
+            all.sort_unstable();
+            assert_eq!(ranked, all);
+        }
+    }
+
+    #[test]
+    fn delete_to_empty_then_reinsert() {
+        let pts = random_points(80, 2, 205);
+        let mut t = build(&pts);
+        for (i, p) in pts.iter().enumerate() {
+            assert!(t.delete(p, i as u64));
+        }
+        assert!(t.is_empty());
+        let ctx = QueryContext::ephemeral();
+        assert!(t.knn(&vec![0.0, 0.0], 3, &ctx).is_empty());
+        assert!(t.range_query(&vec![0.0, 0.0], 1e9, &ctx).is_empty());
+        for (i, p) in pts.iter().enumerate() {
+            t.insert(p.clone(), i as u64);
+        }
+        assert_eq!(t.len(), 80);
+        assert_eq!(t.knn(&pts[5], 1, &ctx)[0].0, 5);
     }
 
     #[test]

@@ -139,6 +139,26 @@ impl NodeStore {
         NodeStore::Owned(InMemoryPageStore::new())
     }
 
+    /// A fresh in-memory store with the same page span allocated, so
+    /// node page numbers recorded by the owning tree stay valid in the
+    /// copy. The new store has its own identity: a deep-copied tree is
+    /// a distinct file to every buffer pool. Shared (durable) stores
+    /// cannot be snapshotted — dynamic epochs are in-memory only.
+    pub(crate) fn snapshot(&self) -> io::Result<NodeStore> {
+        match self {
+            NodeStore::Owned(s) => {
+                let fresh = InMemoryPageStore::new();
+                if s.page_count() > 0 {
+                    fresh.allocate(s.page_count())?;
+                }
+                Ok(NodeStore::Owned(fresh))
+            }
+            NodeStore::Shared(_) => {
+                Err(invalid("cannot snapshot an index opened from a page store"))
+            }
+        }
+    }
+
     pub(crate) fn as_store(&self) -> &dyn PageStore {
         match self {
             NodeStore::Owned(s) => s,

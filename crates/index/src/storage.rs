@@ -153,14 +153,22 @@ fn load_image(
     Ok(img)
 }
 
-/// A read-only heap file of vector sets, addressed by dense `u64` ids.
-/// The file occupies a span of pages in a page store; queries read them
-/// through the buffer pool of a [`QueryContext`].
+/// A heap file of vector sets, addressed by dense `u64` ids. The file
+/// occupies a span of pages in a page store; queries read them through
+/// the buffer pool of a [`QueryContext`]. The in-memory backing is
+/// *dynamic*: records can be [`append`](Self::append)ed at the tail and
+/// [`tombstone`](Self::tombstone)d in place; tombstoned bytes keep
+/// occupying their pages (and keep being charged by scans) until the
+/// owning index is compacted into a fresh save — see the epoch layer.
 #[derive(Debug)]
 pub struct VectorSetStore {
-    image: Bytes,
+    image: BytesMut,
     /// Byte offset of record `i`; `offsets[len]` = total size.
     offsets: Vec<usize>,
+    /// Tombstone flags: `dead[i]` marks record `i` deleted. Dead records
+    /// are skipped by [`scan`](Self::scan) but their bytes stay in the
+    /// image until compaction.
+    dead: Vec<bool>,
     /// Per-page FNV-1a checksums of the image span (shared backing
     /// only; empty for the in-memory backing, which is never torn).
     page_sums: Vec<u64>,
@@ -176,12 +184,83 @@ impl VectorSetStore {
             image.put(encode(s));
         }
         offsets.push(image.len());
-        let image = image.freeze();
         let pages = InMemoryPageStore::new();
         pages
             .allocate(image.len().div_ceil(PAGE_SIZE) as u64)
             .expect("in-memory page-charge allocation failed");
-        VectorSetStore { image, offsets, page_sums: Vec::new(), backing: Backing::Memory(pages) }
+        VectorSetStore {
+            image,
+            offsets,
+            dead: vec![false; sets.len()],
+            page_sums: Vec::new(),
+            backing: Backing::Memory(pages),
+        }
+    }
+
+    /// Append one record at the tail of the heap file and return its new
+    /// id (`== len()` before the call). New pages are allocated for the
+    /// grown image so scan charges stay byte-accurate. Only the
+    /// in-memory backing is appendable; a file opened from a page store
+    /// is a read-only snapshot.
+    pub fn append(&mut self, set: &VectorSet) -> io::Result<u64> {
+        let Backing::Memory(pages) = &self.backing else {
+            return Err(invalid("cannot append to a heap file opened from a page store"));
+        };
+        let id = self.len() as u64;
+        let old_pages = self.total_pages() as u64;
+        self.image.put(encode(set));
+        self.offsets.push(self.image.len());
+        self.dead.push(false);
+        let new_pages = self.image.len().div_ceil(PAGE_SIZE) as u64;
+        if new_pages > old_pages {
+            pages.allocate(new_pages - old_pages)?;
+        }
+        Ok(id)
+    }
+
+    /// Mark record `id` deleted. Returns `false` if the id is out of
+    /// range or already dead. The record's bytes are *not* reclaimed
+    /// here — they keep occupying (and charging) their pages until the
+    /// index is compacted into a fresh save.
+    pub fn tombstone(&mut self, id: u64) -> bool {
+        match self.dead.get_mut(id as usize) {
+            Some(d @ false) => {
+                *d = true;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Whether record `id` exists and is not tombstoned.
+    pub fn is_live(&self, id: u64) -> bool {
+        matches!(self.dead.get(id as usize), Some(false))
+    }
+
+    /// Number of live (non-tombstoned) records.
+    pub fn live_len(&self) -> usize {
+        self.dead.iter().filter(|&&d| !d).count()
+    }
+
+    /// Deep copy with a fresh page-store identity and the same page
+    /// span, so access charges are identical but the copy's pages are
+    /// distinct to every buffer pool. Only the in-memory backing can be
+    /// snapshotted.
+    pub fn snapshot(&self) -> io::Result<Self> {
+        let Backing::Memory(pages) = &self.backing else {
+            return Err(invalid("cannot snapshot a heap file opened from a page store"));
+        };
+        let fresh = InMemoryPageStore::new();
+        if pages.page_count() > 0 {
+            fresh.allocate(pages.page_count())?;
+        }
+        Ok(VectorSetStore {
+            image: self.image.clone(),
+            offsets: self.offsets.clone(),
+            dead: self.dead.clone(),
+            page_sums: self.page_sums.clone(),
+            backing: Backing::Memory(fresh),
+        })
     }
 
     /// The backing page store.
@@ -195,6 +274,12 @@ impl VectorSetStore {
     pub fn save_to(&self, target: &dyn PageStore) -> io::Result<StreamHandle> {
         if matches!(self.backing, Backing::Shared { .. }) {
             return Err(invalid("cannot re-save a heap file opened from a page store"));
+        }
+        if self.dead.iter().any(|&d| d) {
+            // Persisting tombstone holes would skew the dense-id contract
+            // shared with the trees; the dynamic save path compacts the
+            // whole index (rebuilding dense ids) before it gets here.
+            return Err(invalid("cannot save a heap file with tombstoned records; compact first"));
         }
         let (first, sums) = write_image(target, &self.image)?;
         let mut meta = Vec::new();
@@ -238,9 +323,11 @@ impl VectorSetStore {
             return Err(invalid("heap-file image span exceeds the page store"));
         }
         let page_sums: Vec<u64> = (0..pages).map(|_| get_u64(r)).collect::<io::Result<_>>()?;
+        let dead = vec![false; offsets.len() - 1];
         Ok(VectorSetStore {
-            image: Bytes::default(),
+            image: BytesMut::new(),
             offsets,
+            dead,
             page_sums,
             backing: Backing::Shared { store, first },
         })
@@ -279,6 +366,7 @@ impl VectorSetStore {
     /// or flipped page surfaces as a typed error, never a garbage set.
     pub fn get(&self, id: u64, ctx: &QueryContext) -> StoreResult<VectorSet> {
         let i = id as usize;
+        assert!(!self.dead[i], "record {id} is tombstoned");
         let (start, end) = (self.offsets[i], self.offsets[i + 1]);
         let first_page = (start / PAGE_SIZE) as u64;
         let last_page = ((end - 1) / PAGE_SIZE) as u64;
@@ -316,8 +404,10 @@ impl VectorSetStore {
 
     /// Sequential scan: reads every page of the file through the
     /// context's buffer pool (a cold pool charges exactly the file's
-    /// total pages and bytes), then yields `(id, set)` pairs. The
-    /// shared backing verifies page checksums up front.
+    /// total pages and bytes — tombstoned bytes included, the honest
+    /// cost of un-reclaimed space), then yields `(id, set)` pairs for
+    /// live records only. The shared backing verifies page checksums
+    /// up front.
     pub fn scan<'a>(
         &'a self,
         ctx: &QueryContext,
@@ -337,7 +427,7 @@ impl VectorSetStore {
                 Some(load_image(store.as_ref(), *first, total, &self.page_sums, ctx)?)
             }
         };
-        Ok((0..self.len()).map(move |i| {
+        Ok((0..self.len()).filter(move |&i| !self.dead[i]).map(move |i| {
             let (start, end) = (self.offsets[i], self.offsets[i + 1]);
             let buf: &[u8] = match &assembled {
                 Some(img) => &img[start..end],
@@ -361,6 +451,9 @@ pub struct PointFile {
     len: usize,
     /// Row-major `len · dim` coordinates (empty in shared backing).
     data: Vec<f64>,
+    /// Tombstone flags, parallel to records; dead points are skipped by
+    /// [`scan_ranked`](Self::scan_ranked) but keep occupying pages.
+    dead: Vec<bool>,
     /// Per-page FNV-1a checksums of the image span (shared backing
     /// only; empty for the in-memory backing, which is never torn).
     page_sums: Vec<u64>,
@@ -383,9 +476,83 @@ impl PointFile {
             dim,
             len: points.len(),
             data,
+            dead: vec![false; points.len()],
             page_sums: Vec::new(),
             backing: Backing::Memory(pages),
         }
+    }
+
+    /// Append one point at the tail of the file and return its new id.
+    /// Only the in-memory backing is appendable.
+    pub fn append(&mut self, point: &[f64]) -> io::Result<u64> {
+        assert_eq!(point.len(), self.dim);
+        let Backing::Memory(pages) = &self.backing else {
+            return Err(invalid("cannot append to a point file opened from a page store"));
+        };
+        let id = self.len as u64;
+        let old_pages = self.total_pages() as u64;
+        self.data.extend_from_slice(point);
+        self.len += 1;
+        self.dead.push(false);
+        let new_pages = (self.data.len() * 8).div_ceil(PAGE_SIZE) as u64;
+        if new_pages > old_pages {
+            pages.allocate(new_pages - old_pages)?;
+        }
+        Ok(id)
+    }
+
+    /// Mark point `id` deleted; scans stop yielding it. Returns `false`
+    /// if the id is out of range or already dead.
+    pub fn tombstone(&mut self, id: u64) -> bool {
+        match self.dead.get_mut(id as usize) {
+            Some(d @ false) => {
+                *d = true;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Whether point `id` exists and is not tombstoned.
+    pub fn is_live(&self, id: u64) -> bool {
+        matches!(self.dead.get(id as usize), Some(false))
+    }
+
+    /// Number of live (non-tombstoned) points.
+    pub fn live_len(&self) -> usize {
+        self.dead.iter().filter(|&&d| !d).count()
+    }
+
+    /// The stored coordinates of point `id`, tombstoned or not — the
+    /// exact bits that were appended, so deleting from the trees can use
+    /// the identical key. In-memory backing only (the shared backing
+    /// holds no resident coordinates); `None` when unavailable.
+    pub fn point(&self, id: u64) -> Option<&[f64]> {
+        let i = id as usize;
+        if matches!(self.backing, Backing::Shared { .. }) || i >= self.len {
+            return None;
+        }
+        Some(&self.data[i * self.dim..(i + 1) * self.dim])
+    }
+
+    /// Deep copy with a fresh page-store identity and the same page
+    /// span (see [`VectorSetStore::snapshot`]). In-memory backing only.
+    pub fn snapshot(&self) -> io::Result<Self> {
+        let Backing::Memory(pages) = &self.backing else {
+            return Err(invalid("cannot snapshot a point file opened from a page store"));
+        };
+        let fresh = InMemoryPageStore::new();
+        if pages.page_count() > 0 {
+            fresh.allocate(pages.page_count())?;
+        }
+        Ok(PointFile {
+            dim: self.dim,
+            len: self.len,
+            data: self.data.clone(),
+            dead: self.dead.clone(),
+            page_sums: self.page_sums.clone(),
+            backing: Backing::Memory(fresh),
+        })
     }
 
     /// Persist the point file into `target`: the packed LE image span,
@@ -393,6 +560,9 @@ impl PointFile {
     pub fn save_to(&self, target: &dyn PageStore) -> io::Result<StreamHandle> {
         if matches!(self.backing, Backing::Shared { .. }) {
             return Err(invalid("cannot re-save a point file opened from a page store"));
+        }
+        if self.dead.iter().any(|&d| d) {
+            return Err(invalid("cannot save a point file with tombstoned records; compact first"));
         }
         let mut image = Vec::with_capacity(self.data.len() * 8);
         for &v in &self.data {
@@ -434,6 +604,7 @@ impl PointFile {
             dim,
             len,
             data: Vec::new(),
+            dead: vec![false; len],
             page_sums,
             backing: Backing::Shared { store, first },
         })
@@ -465,10 +636,11 @@ impl PointFile {
     }
 
     /// Scan the whole file, computing the Euclidean distance of every
-    /// point to `center`, and return the result as a [`SortedScan`]
-    /// candidate stream. All pages and bytes are charged up front (the
-    /// defining cost shape of the scan access path); one distance
-    /// evaluation is counted per record. The shared backing verifies
+    /// *live* point to `center`, and return the result as a
+    /// [`SortedScan`] candidate stream. All pages and bytes are charged
+    /// up front — tombstoned bytes included, the honest cost of
+    /// un-reclaimed space — but distance evaluations are only counted
+    /// (and computed) for live records. The shared backing verifies
     /// page checksums before any distance is computed.
     pub fn scan_ranked(&self, center: &[f64], ctx: &QueryContext) -> StoreResult<SortedScan> {
         assert_eq!(center.len(), self.dim);
@@ -493,10 +665,11 @@ impl PointFile {
             }
         };
         let data: &[f64] = loaded.as_deref().unwrap_or(&self.data);
-        ctx.count_distance_evals(self.len() as u64);
+        ctx.count_distance_evals(self.live_len() as u64);
         let cands: Vec<(u64, f64)> = data
             .chunks_exact(self.dim)
             .enumerate()
+            .filter(|(i, _)| !self.dead[*i])
             .map(|(i, p)| {
                 let d2: f64 = p.iter().zip(center).map(|(a, b)| (a - b) * (a - b)).sum();
                 (i as u64, d2.sqrt())
@@ -664,6 +837,117 @@ mod tests {
         let ctx = QueryContext::ephemeral();
         let mut s = pf.scan_ranked(&[0.0; 4], &ctx).unwrap();
         assert_eq!(s.next_candidate(), None);
+    }
+
+    // ---- dynamic (append/tombstone) operations ----
+
+    #[test]
+    fn append_extends_heap_file_with_accurate_charges() {
+        let sets = sample_sets();
+        let mut store = VectorSetStore::build(&sets[..10]);
+        for (i, s) in sets[10..].iter().enumerate() {
+            let id = store.append(s).unwrap();
+            assert_eq!(id, (10 + i) as u64);
+        }
+        let built = VectorSetStore::build(&sets);
+        assert_eq!(store.len(), built.len());
+        assert_eq!(store.total_bytes(), built.total_bytes());
+        assert_eq!(store.total_pages(), built.total_pages());
+        let ctx = QueryContext::ephemeral();
+        for (i, s) in sets.iter().enumerate() {
+            assert_eq!(&store.get(i as u64, &ctx).unwrap(), s);
+        }
+        // A cold scan of the appended store charges exactly what a
+        // freshly built store of the same records charges.
+        let (ca, cb) = (QueryContext::ephemeral(), QueryContext::ephemeral());
+        let a: Vec<_> = store.scan(&ca).unwrap().collect();
+        let b: Vec<_> = built.scan(&cb).unwrap().collect();
+        assert_eq!(a, b);
+        let (sa, sb) = (ca.stats(std::time::Duration::ZERO), cb.stats(std::time::Duration::ZERO));
+        assert_eq!(sa.io.pages, sb.io.pages);
+        assert_eq!(sa.io.bytes, sb.io.bytes);
+    }
+
+    #[test]
+    fn tombstone_hides_records_but_keeps_charging_their_pages() {
+        let sets = sample_sets();
+        let mut store = VectorSetStore::build(&sets);
+        assert!(store.tombstone(3));
+        assert!(!store.tombstone(3), "second tombstone is a no-op");
+        assert!(store.tombstone(7));
+        assert!(!store.tombstone(999), "out of range");
+        assert_eq!(store.live_len(), sets.len() - 2);
+        assert!(!store.is_live(3) && store.is_live(4));
+        let ctx = QueryContext::ephemeral();
+        let ids: Vec<u64> = store.scan(&ctx).unwrap().map(|(id, _)| id).collect();
+        assert!(!ids.contains(&3) && !ids.contains(&7));
+        assert_eq!(ids.len(), sets.len() - 2);
+        // Un-reclaimed space still costs: the scan charges the whole
+        // file, dead bytes included.
+        let snap = ctx.stats(std::time::Duration::ZERO);
+        assert_eq!(snap.io.pages as usize, store.total_pages());
+        assert_eq!(snap.io.bytes as usize, store.total_bytes());
+    }
+
+    #[test]
+    fn tombstoned_files_refuse_to_save_uncompacted() {
+        let mut store = VectorSetStore::build(&sample_sets());
+        store.tombstone(0);
+        let target = InMemoryPageStore::new();
+        assert!(store.save_to(&target).is_err());
+
+        let mut pf = PointFile::build(4, &[vec![0.0; 4], vec![1.0; 4]]);
+        pf.tombstone(1);
+        assert!(pf.save_to(&target).is_err());
+    }
+
+    #[test]
+    fn reopened_files_refuse_append() {
+        let mem = VectorSetStore::build(&sample_sets());
+        let target = shared(InMemoryPageStore::new());
+        let handle = mem.save_to(target.as_ref()).unwrap();
+        let mut opened = VectorSetStore::open_from(Arc::clone(&target), handle.first).unwrap();
+        assert!(opened.append(&sample_sets()[0]).is_err());
+
+        let pf = PointFile::build(4, &[vec![0.0; 4]]);
+        let handle = pf.save_to(target.as_ref()).unwrap();
+        let mut opened = PointFile::open_from(target, handle.first).unwrap();
+        assert!(opened.append(&[1.0; 4]).is_err());
+    }
+
+    #[test]
+    fn point_file_append_and_tombstone_shape_the_ranking() {
+        let mut pf = PointFile::build(2, &[vec![0.0, 0.0], vec![3.0, 4.0]]);
+        assert_eq!(pf.append(&[6.0, 8.0]).unwrap(), 2);
+        assert_eq!(pf.len(), 3);
+        assert!(pf.tombstone(1));
+        assert_eq!(pf.live_len(), 2);
+        let ctx = QueryContext::ephemeral();
+        let ranked = drain(&mut pf.scan_ranked(&[0.0, 0.0], &ctx).unwrap());
+        assert_eq!(ranked.iter().map(|&(id, _)| id).collect::<Vec<_>>(), vec![0, 2]);
+        let snap = ctx.stats(std::time::Duration::ZERO);
+        assert_eq!(snap.distance_evals, 2, "dead points cost no distance evals");
+        assert_eq!(snap.io.pages as usize, pf.total_pages(), "but their pages still charge");
+    }
+
+    #[test]
+    fn point_file_append_allocates_pages_like_build() {
+        // 6-d points are 48 bytes: appending past 4096/48 ≈ 85 records
+        // must grow the page span exactly as a fresh build would.
+        let points: Vec<Vec<f64>> = (0..200).map(|i| vec![i as f64; 6]).collect();
+        let mut grown = PointFile::build(6, &points[..50]);
+        for p in &points[50..] {
+            grown.append(p).unwrap();
+        }
+        let built = PointFile::build(6, &points);
+        assert_eq!(grown.total_pages(), built.total_pages());
+        let (ca, cb) = (QueryContext::ephemeral(), QueryContext::ephemeral());
+        let a = drain(&mut grown.scan_ranked(&[7.0; 6], &ca).unwrap());
+        let b = drain(&mut built.scan_ranked(&[7.0; 6], &cb).unwrap());
+        assert_eq!(a, b);
+        let (sa, sb) = (ca.stats(std::time::Duration::ZERO), cb.stats(std::time::Duration::ZERO));
+        assert_eq!(sa.io.pages, sb.io.pages);
+        assert_eq!(sa.io.bytes, sb.io.bytes);
     }
 
     // ---- shared (file-backed) backing ----

@@ -121,6 +121,23 @@ impl XTree {
         tree
     }
 
+    /// Deep copy with a fresh page-store identity and the same page
+    /// span: queries on the copy return bit-identical results with
+    /// identical charging, but its pages are distinct to every buffer
+    /// pool. Only in-memory trees can be snapshotted.
+    pub fn snapshot(&self) -> std::io::Result<XTree> {
+        Ok(XTree {
+            dim: self.dim,
+            nodes: self.nodes.clone(),
+            root: self.root,
+            leaf_cap: self.leaf_cap,
+            dir_cap: self.dir_cap,
+            max_overlap: self.max_overlap,
+            store: self.store.snapshot()?,
+            len: self.len,
+        })
+    }
+
     pub fn len(&self) -> usize {
         self.len
     }
@@ -405,6 +422,75 @@ impl XTree {
         None
     }
 
+    /// Remove the entry `(point, id)` if present; returns whether an
+    /// entry was removed. The tree stays query-correct after any
+    /// interleaving of inserts and deletes: MBRs are recomputed exactly
+    /// along the deletion path, emptied nodes are unlinked from their
+    /// parents, supernodes shed pages they no longer need, and a
+    /// single-child directory root is collapsed so the height can shrink
+    /// back. (No R*-style reinsertion — underfull nodes are legal and
+    /// only cost packing, which the epoch layer reclaims on rebuild.)
+    pub fn delete(&mut self, point: &[f64], id: u64) -> bool {
+        assert_eq!(point.len(), self.dim);
+        if self.len == 0 || !self.delete_rec(self.root, point, id) {
+            return false;
+        }
+        self.len -= 1;
+        while !self.nodes[self.root].leaf && self.nodes[self.root].children.len() == 1 {
+            self.root = self.nodes[self.root].children[0];
+        }
+        if !self.nodes[self.root].leaf && self.nodes[self.root].children.is_empty() {
+            // Every descendant vanished: restart from an empty leaf root.
+            let idx = self.nodes.len();
+            self.nodes.push(Node::new(true, self.dim));
+            self.place_node(idx);
+            self.root = idx;
+        }
+        true
+    }
+
+    fn delete_rec(&mut self, node: usize, point: &[f64], id: u64) -> bool {
+        let dim = self.dim;
+        if self.nodes[node].leaf {
+            let pos = {
+                let n = &self.nodes[node];
+                (0..n.ids.len())
+                    .find(|&i| n.ids[i] == id && n.points[i * dim..(i + 1) * dim] == *point)
+            };
+            let Some(pos) = pos else { return false };
+            let n = &mut self.nodes[node];
+            n.ids.remove(pos);
+            n.points.drain(pos * dim..(pos + 1) * dim);
+            self.shrink_node(node);
+            self.recompute_mbr(node);
+            return true;
+        }
+        let children = self.nodes[node].children.clone();
+        for c in children {
+            if contains(&self.nodes[c].mbr_min, &self.nodes[c].mbr_max, point)
+                && self.delete_rec(c, point, id)
+            {
+                if self.nodes[c].len() == 0 {
+                    self.nodes[node].children.retain(|&x| x != c);
+                    self.shrink_node(node);
+                }
+                self.recompute_mbr(node);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Release supernode pages a node no longer needs after shrinking.
+    fn shrink_node(&mut self, node: usize) {
+        let cap = if self.nodes[node].leaf { self.leaf_cap } else { self.dir_cap };
+        let want = pages_for(self.nodes[node].len(), cap);
+        if want < self.nodes[node].pages {
+            self.nodes[node].pages = want;
+            self.place_node(node);
+        }
+    }
+
     fn choose_subtree(&self, node: usize, point: &[f64]) -> usize {
         let mut best = usize::MAX;
         let mut best_enl = f64::INFINITY;
@@ -453,13 +539,26 @@ impl XTree {
         self.nodes[node].mbr_max = mx;
     }
 
-    /// R*-style topological split of a leaf. Leaves always split.
+    /// R*-style topological split of a leaf — or supernode growth when
+    /// even the best split leaves more than `max_overlap` of the entries
+    /// intersecting both halves (the X-tree split policy). For point
+    /// entries a crossing requires exact ties on the split axis, so
+    /// continuous data still always splits; clustered or duplicate-heavy
+    /// data — which the packed bulk-load shape absorbs by construction —
+    /// grows leaf supernodes on the insert path instead of producing a
+    /// pair of fully overlapping leaves.
     fn split_leaf(&mut self, node: usize) -> Option<usize> {
         let dim = self.dim;
         let n_entries = self.nodes[node].len();
         let rects: Vec<(Vec<f64>, Vec<f64>)> =
             self.nodes[node].points.chunks_exact(dim).map(|p| (p.to_vec(), p.to_vec())).collect();
-        let (axis, split_at, _crossing) = choose_split(&rects, self.leaf_cap, n_entries);
+        let (axis, split_at, crossing) = choose_split(&rects, self.leaf_cap, n_entries);
+        if crossing > self.max_overlap {
+            // Supernode: extend by one page instead of splitting.
+            self.nodes[node].pages += 1;
+            self.place_node(node);
+            return None;
+        }
         let mut order: Vec<usize> = (0..n_entries).collect();
         order.sort_by(|&a, &b| rects[a].0[axis].total_cmp(&rects[b].0[axis]));
 
@@ -682,6 +781,11 @@ fn expand_mbr_box(mn: &mut [f64], mx: &mut [f64], omin: &[f64], omax: &[f64]) {
         mn[d] = mn[d].min(omin[d]);
         mx[d] = mx[d].max(omax[d]);
     }
+}
+
+#[inline]
+fn contains(mn: &[f64], mx: &[f64], p: &[f64]) -> bool {
+    p.iter().zip(mn.iter().zip(mx)).all(|(&v, (&lo, &hi))| v >= lo && v <= hi)
 }
 
 #[inline]
@@ -969,6 +1073,135 @@ mod tests {
             rb.sort_unstable();
             assert_eq!(ra, rb);
         }
+    }
+
+    /// Tight clusters on a coarse grid: many exact coordinate ties, so
+    /// insert-path splits see high crossing fractions — the shape where
+    /// the insert and bulk-load builds previously diverged (the insert
+    /// path forced fully-overlapping leaf pairs instead of supernodes).
+    fn clustered_points(n: usize, dim: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let centers: Vec<Vec<f64>> =
+            (0..8).map(|_| (0..dim).map(|_| rng.gen_range(0.0..100.0)).collect()).collect();
+        (0..n)
+            .map(|i| {
+                let c = &centers[i % centers.len()];
+                c.iter().map(|&v| v + rng.gen_range(0..3) as f64).collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn bulk_load_queries_match_insert_build_on_adversarial_clusters() {
+        let pts = clustered_points(800, 5, 71);
+        let inserted = build(&pts);
+        let bulk = XTree::bulk_load(5, &pts);
+        assert_eq!(inserted.len(), 800);
+        assert!(
+            inserted.supernode_count() > 0,
+            "clustered ties must drive the insert path into leaf supernodes"
+        );
+        for q in clustered_points(5, 5, 72) {
+            let ctx = QueryContext::ephemeral();
+            let a = inserted.knn(&q, 10, &ctx);
+            let b = bulk.knn(&q, 10, &ctx);
+            for (x, y) in a.iter().zip(&b) {
+                assert!((x.1 - y.1).abs() < 1e-9);
+            }
+            let mut ra: Vec<u64> =
+                inserted.range_query(&q, 6.0, &ctx).into_iter().map(|(i, _)| i).collect();
+            let mut rb: Vec<u64> =
+                bulk.range_query(&q, 6.0, &ctx).into_iter().map(|(i, _)| i).collect();
+            ra.sort_unstable();
+            rb.sort_unstable();
+            assert_eq!(ra, rb);
+        }
+    }
+
+    #[test]
+    fn delete_matches_brute_force_after_churn() {
+        let pts = random_points(400, 3, 51);
+        let mut t = build(&pts);
+        // Delete every third point, then reinsert a fresh batch.
+        let mut live: Vec<(u64, Vec<f64>)> =
+            pts.iter().enumerate().map(|(i, p)| (i as u64, p.clone())).collect();
+        for i in (0..400).step_by(3) {
+            assert!(t.delete(&pts[i], i as u64), "point {i} must be present");
+        }
+        live.retain(|(id, _)| id % 3 != 0);
+        for (j, p) in random_points(50, 3, 52).into_iter().enumerate() {
+            let id = 1000 + j as u64;
+            t.insert(&p, id);
+            live.push((id, p));
+        }
+        assert_eq!(t.len(), live.len());
+        for q in random_points(5, 3, 53) {
+            let ctx = QueryContext::ephemeral();
+            let got = t.knn(&q, 10, &ctx);
+            let mut want: Vec<(u64, f64)> = live
+                .iter()
+                .map(|(id, p)| {
+                    let d2: f64 = p.iter().zip(&q).map(|(a, b)| (a - b) * (a - b)).sum();
+                    (*id, d2.sqrt())
+                })
+                .collect();
+            want.sort_by(|a, b| a.1.total_cmp(&b.1));
+            for (g, w) in got.iter().zip(&want) {
+                assert!((g.1 - w.1).abs() < 1e-9, "{g:?} vs {w:?}");
+            }
+            let mut ids: Vec<u64> =
+                t.range_query(&q, 30.0, &ctx).into_iter().map(|(id, _)| id).collect();
+            ids.sort_unstable();
+            let mut want_ids: Vec<u64> = live
+                .iter()
+                .filter(|(_, p)| {
+                    p.iter().zip(&q).map(|(a, b)| (a - b) * (a - b)).sum::<f64>() <= 900.0
+                })
+                .map(|(id, _)| *id)
+                .collect();
+            want_ids.sort_unstable();
+            assert_eq!(ids, want_ids);
+        }
+    }
+
+    #[test]
+    fn delete_to_empty_then_reinsert() {
+        let pts = random_points(60, 2, 55);
+        let mut t = build(&pts);
+        assert!(!t.delete(&[1234.0, 0.0], 0), "absent point");
+        assert!(!t.delete(&pts[1], 999), "wrong id");
+        for (i, p) in pts.iter().enumerate() {
+            assert!(t.delete(p, i as u64));
+        }
+        assert!(t.is_empty());
+        let ctx = QueryContext::ephemeral();
+        assert!(t.knn(&[50.0, 50.0], 5, &ctx).is_empty());
+        assert!(t.range_query(&[50.0, 50.0], 100.0, &ctx).is_empty());
+        for (i, p) in pts.iter().enumerate() {
+            t.insert(p, i as u64);
+        }
+        assert_eq!(t.len(), 60);
+        let hits = t.knn(&pts[0], 1, &ctx);
+        assert_eq!(hits[0].0, 0);
+    }
+
+    #[test]
+    fn delete_shrinks_leaf_supernodes() {
+        // Enough duplicates to overflow a dim-2 leaf (cap 170) into a
+        // supernode, then delete most of them: pages must come back.
+        let mut t = XTree::new(2);
+        for i in 0..400 {
+            t.insert(&[1.0, 1.0], i);
+        }
+        assert!(t.supernode_count() > 0, "duplicates must form a leaf supernode");
+        let before = t.total_pages();
+        for i in 0..390 {
+            assert!(t.delete(&[1.0, 1.0], i));
+        }
+        assert_eq!(t.len(), 10);
+        assert!(t.total_pages() < before, "supernode pages must shrink after deletes");
+        let ctx = QueryContext::ephemeral();
+        assert_eq!(t.range_query(&[1.0, 1.0], 0.0, &ctx).len(), 10);
     }
 
     #[test]

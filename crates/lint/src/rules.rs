@@ -901,6 +901,101 @@ mod tests {
         assert_eq!(rules_hit(&refs, rules::COUNTER_PARITY), vec![]);
     }
 
+    /// Fixture store files carrying the dynamic-lifecycle counters
+    /// (`inserts`/`deletes`/`epoch_pins`), each half-threaded in a
+    /// *different* place when `thread_everywhere` is false: `inserts`
+    /// never reaches snapshot()/reset(), `deletes` is dropped between
+    /// TrackerSnapshot and QueryStats, and `epoch_pins` lacks its
+    /// QueryContext forwarder.
+    fn dynamic_parity_fixture(thread_everywhere: bool) -> Vec<(&'static str, String)> {
+        let t = thread_everywhere;
+        let tracker = format!(
+            "pub struct IoTracker {{\n    inserts: AtomicU64,\n    deletes: AtomicU64,\n\
+             \x20   epoch_pins: AtomicU64,\n}}\n\
+             impl IoTracker {{\n\
+                 pub fn count_inserts(&self, n: u64) {{ self.inserts.fetch_add(n, O); }}\n\
+                 pub fn count_deletes(&self, n: u64) {{ self.deletes.fetch_add(n, O); }}\n\
+                 pub fn count_epoch_pins(&self, n: u64) {{ self.epoch_pins.fetch_add(n, O); }}\n\
+                 pub fn snapshot(&self) -> TrackerSnapshot {{\n\
+                     TrackerSnapshot {{ {} deletes: self.deletes.load(O), \
+                      epoch_pins: self.epoch_pins.load(O) }}\n\
+                 }}\n\
+                 pub fn reset(&self) {{ {} self.deletes.store(0, O); \
+                  self.epoch_pins.store(0, O); }}\n\
+             }}\n\
+             pub struct TrackerSnapshot {{\n{}    pub deletes: u64,\n    pub epoch_pins: u64,\n}}\n",
+            if t { "inserts: self.inserts.load(O)," } else { "" },
+            if t { "self.inserts.store(0, O);" } else { "" },
+            if t { "    pub inserts: u64,\n" } else { "" },
+        );
+        let stats = format!(
+            "pub struct QueryStats {{\n    pub inserts: u64,\n{}    pub epoch_pins: u64,\n}}\n\
+             impl QueryStats {{\n\
+                 fn from_snapshot(s: TrackerSnapshot) -> Self {{\n\
+                     QueryStats {{ inserts: s.inserts, {} epoch_pins: s.epoch_pins }}\n\
+                 }}\n\
+                 pub fn accumulate(&mut self, o: &QueryStats) {{\n\
+                     self.inserts += o.inserts;\n{}\
+                     self.epoch_pins += o.epoch_pins;\n\
+                 }}\n\
+             }}\n",
+            if t { "    pub deletes: u64,\n" } else { "" },
+            if t { "deletes: s.deletes," } else { "" },
+            if t { "self.deletes += o.deletes;\n" } else { "" },
+        );
+        let context = format!(
+            "impl QueryContext {{\n\
+                 pub fn count_inserts(&self, n: u64) {{ self.t.count_inserts(n); }}\n\
+                 pub fn count_deletes(&self, n: u64) {{ self.t.count_deletes(n); }}\n{}\
+             }}\n",
+            if t {
+                "pub fn count_epoch_pins(&self, n: u64) { self.t.count_epoch_pins(n); }\n"
+            } else {
+                ""
+            },
+        );
+        vec![
+            ("crates/store/src/tracker.rs", tracker),
+            ("crates/store/src/stats.rs", stats),
+            ("crates/store/src/context.rs", context),
+            ("crates/store/src/lib.rs", CLEAN.to_owned()),
+        ]
+    }
+
+    #[test]
+    fn l4_flags_half_threaded_dynamic_lifecycle_counters() {
+        let sources = dynamic_parity_fixture(false);
+        let refs: Vec<(&str, &str)> = sources.iter().map(|(a, b)| (*a, b.as_str())).collect();
+        let hits: Vec<String> = diags_for(&refs)
+            .into_iter()
+            .filter(|d| d.rule == rules::COUNTER_PARITY)
+            .map(|d| d.message)
+            .collect();
+        assert!(
+            hits.iter().any(|m| m.contains("`inserts` is missing from snapshot()")),
+            "{hits:?}"
+        );
+        assert!(hits.iter().any(|m| m.contains("`inserts` is missing from reset()")), "{hits:?}");
+        assert!(
+            hits.iter().any(
+                |m| m.contains("`deletes` is not threaded through") && m.contains("QueryStats")
+            ),
+            "{hits:?}"
+        );
+        assert!(
+            hits.iter().any(|m| m.contains("`epoch_pins` is not threaded through")
+                && m.contains("QueryContext")),
+            "{hits:?}"
+        );
+    }
+
+    #[test]
+    fn l4_accepts_fully_threaded_dynamic_lifecycle_counters() {
+        let sources = dynamic_parity_fixture(true);
+        let refs: Vec<(&str, &str)> = sources.iter().map(|(a, b)| (*a, b.as_str())).collect();
+        assert_eq!(rules_hit(&refs, rules::COUNTER_PARITY), vec![]);
+    }
+
     /// Fixture store files with a per-shard `CacheCounts` whose `stale`
     /// field is (optionally) dropped by the `Add` impl and the pool.
     fn cache_fixture(thread_everywhere: bool) -> Vec<(&'static str, String)> {

@@ -165,6 +165,32 @@ impl QueryExecutor {
         (self.run_batch(queries, |q, ctx| index.knn_via_with(path, q, k, ctx)), path)
     }
 
+    /// Batched k-NN against a [`DynamicIndex`]: each query pins the
+    /// latest published epoch through its own context (counted in that
+    /// query's `epoch_pins`) and runs entirely against the pinned
+    /// snapshot, so a writer thread can insert, delete, and publish
+    /// concurrently without ever blocking a reader or leaking a partial
+    /// update into one. Returns the per-query pinned generations next to
+    /// the batch result: `generations[i]` is the epoch `queries[i]` saw,
+    /// and its hits are bit-identical to a from-scratch rebuild of that
+    /// epoch's insert/delete history.
+    pub fn batch_knn_epoch(
+        &self,
+        index: &crate::epoch::DynamicIndex,
+        queries: &[VectorSet],
+        k: usize,
+    ) -> (BatchResult, Vec<u64>) {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let generations: Vec<AtomicU64> = queries.iter().map(|_| AtomicU64::new(0)).collect();
+        let items: Vec<(usize, &VectorSet)> = queries.iter().enumerate().collect();
+        let batch = self.run_batch(&items, |&(i, q), ctx| {
+            let epoch = index.pin(ctx);
+            generations[i].store(epoch.generation(), Ordering::Relaxed);
+            epoch.index().knn_with(q, k, ctx)
+        });
+        (batch, generations.into_iter().map(AtomicU64::into_inner).collect())
+    }
+
     /// Batched ε-range on the planner-chosen access path; the plan is
     /// made once per batch, like [`batch_knn_planned`](Self::batch_knn_planned).
     pub fn batch_range_planned(

@@ -137,8 +137,76 @@ impl FilterRefineIndex {
         self
     }
 
+    /// Insert one vector set into all four structures — heap file,
+    /// centroid point file, X-tree, and M-tree — and return its stable
+    /// id. Ids are append-order dense and never reused, so results stay
+    /// comparable across epochs. In-memory indexes only (an index
+    /// opened from a page file is a read-only snapshot).
+    pub fn insert(&mut self, set: &VectorSet) -> io::Result<u64> {
+        assert_eq!(set.dim(), self.tree.dim(), "inserted set has wrong dimension");
+        assert!(set.len() <= self.k, "inserted set exceeds the index cardinality bound k");
+        let c = extended_centroid(set, self.k, &self.omega);
+        let id = self.store.append(set)?;
+        let fid = self.cfile.append(&c)?;
+        debug_assert_eq!(id, fid, "heap file and point file ids diverged");
+        self.tree.insert(&c, id);
+        self.ctree.insert(c, id);
+        Ok(id)
+    }
+
+    /// Delete object `id`: remove its centroid from both trees and
+    /// tombstone its records in the point and heap files. The bytes are
+    /// reclaimed when the index is next compacted into a save. Returns
+    /// `Ok(false)` if the id is unknown or already deleted.
+    pub fn delete(&mut self, id: u64) -> io::Result<bool> {
+        if !self.store.is_live(id) {
+            return Ok(false);
+        }
+        // The point file holds the exact centroid bits that were
+        // inserted, so the tree deletions match on identical keys.
+        let c: Vec<f64> = self
+            .cfile
+            .point(id)
+            .ok_or_else(|| bad("dynamic deletes require the in-memory backing"))?
+            .to_vec();
+        let in_xtree = self.tree.delete(&c, id);
+        let in_mtree = self.ctree.delete(&c, id);
+        debug_assert!(in_xtree && in_mtree, "trees out of sync with the heap file on id {id}");
+        self.cfile.tombstone(id);
+        self.store.tombstone(id);
+        Ok(true)
+    }
+
+    /// Deep copy of the whole index with fresh page-store identities:
+    /// queries return bit-identical results with identical charging,
+    /// but every buffer pool treats the copy's pages as distinct files.
+    /// This is how the epoch layer publishes immutable snapshots while
+    /// the writer keeps mutating the original. In-memory indexes only.
+    pub fn snapshot(&self) -> io::Result<Self> {
+        Ok(FilterRefineIndex {
+            k: self.k,
+            omega: self.omega.clone(),
+            tree: self.tree.snapshot()?,
+            ctree: self.ctree.snapshot()?,
+            cfile: self.cfile.snapshot()?,
+            store: self.store.snapshot()?,
+            mm: self.mm.clone(),
+        })
+    }
+
+    /// Total records in the heap file, tombstoned ones included.
     pub fn len(&self) -> usize {
         self.store.len()
+    }
+
+    /// Live (non-deleted) objects.
+    pub fn live_len(&self) -> usize {
+        self.store.live_len()
+    }
+
+    /// Whether `id` names a live object.
+    pub fn is_live(&self, id: u64) -> bool {
+        self.store.is_live(id)
     }
 
     pub fn is_empty(&self) -> bool {
@@ -358,11 +426,13 @@ impl FilterRefineIndex {
     }
 
     /// Statistics the [`Planner`] costs access paths against, gathered
-    /// from the built structures (no estimation involved).
+    /// from the built structures (no estimation involved). `n` counts
+    /// live objects; the scan sizes include tombstoned bytes — exactly
+    /// what a sequential scan still has to read before compaction.
     pub fn dataset_stats(&self) -> DatasetStats {
         let dim = self.tree.dim();
         DatasetStats {
-            n: self.store.len(),
+            n: self.store.live_len(),
             dim,
             scan_pages: self.cfile.total_pages() as u64,
             scan_bytes: self.cfile.total_bytes() as u64,
@@ -372,6 +442,17 @@ impl FilterRefineIndex {
             mtree_entry_bytes: (8 * dim + 16) as u64,
             backend: self.backend(),
         }
+    }
+
+    /// Refresh the tree-derived fields of `stats` from the live
+    /// structures. Splits and supernode growth change these counters
+    /// non-locally, so the epoch layer's incrementally maintained stats
+    /// re-read them after every mutation instead of deriving deltas;
+    /// `n` and the scan sizes *are* maintained by pure arithmetic.
+    pub fn refresh_tree_stats(&self, stats: &mut DatasetStats) {
+        stats.xtree_pages = self.tree.total_pages() as u64;
+        stats.xtree_height = self.tree.height() as u64;
+        stats.mtree_pages = self.ctree.total_pages() as u64;
     }
 
     /// Cost-based access-path choice for a `kq`-NN query under the

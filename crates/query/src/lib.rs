@@ -47,6 +47,7 @@
 //! assert!(stats.refinements <= 50);
 //! ```
 
+pub mod epoch;
 pub mod executor;
 pub mod filter;
 pub mod multistep;
@@ -55,6 +56,7 @@ pub mod planner;
 pub mod scan;
 pub mod stats;
 
+pub use epoch::{DynamicIndex, IndexEpoch, REPLAN_DRIFT};
 pub use executor::{BatchResult, PoolPolicy, QueryExecutor, VectorSetQueries};
 pub use filter::{FilterRefineIndex, SaveProtocol};
 pub use multistep::{multi_step_knn, multi_step_range, TopK};

@@ -103,6 +103,21 @@ impl QueryContext {
         self.tracker.count_f32_prefilter(n);
     }
 
+    /// Count `n` objects inserted into a dynamic index.
+    pub fn count_inserts(&self, n: u64) {
+        self.tracker.count_inserts(n);
+    }
+
+    /// Count `n` objects deleted (tombstoned) from a dynamic index.
+    pub fn count_deletes(&self, n: u64) {
+        self.tracker.count_deletes(n);
+    }
+
+    /// Count `n` epoch-snapshot pins taken by dynamic-index readers.
+    pub fn count_epoch_pins(&self, n: u64) {
+        self.tracker.count_epoch_pins(n);
+    }
+
     /// Freeze this context's counters into per-query stats.
     pub fn stats(&self, cpu: Duration) -> QueryStats {
         self.tracker.debug_check_invariants();

@@ -35,6 +35,13 @@ pub struct QueryStats {
     /// kernel alone — the exact `f64` solve never ran (a subset of
     /// `pruned`).
     pub f32_prefilter: u64,
+    /// Objects inserted into a dynamic index during this operation.
+    pub inserts: u64,
+    /// Objects deleted (tombstoned) from a dynamic index.
+    pub deletes: u64,
+    /// Epoch-snapshot pins taken by readers of a dynamic index (one per
+    /// query that latched a consistent snapshot before filtering).
+    pub epoch_pins: u64,
     /// Index-level distance-function evaluations.
     pub distance_evals: u64,
     /// Why this query failed, if it did. A failed query still reports
@@ -55,6 +62,9 @@ impl QueryStats {
             filter_steps: snap.filter_steps,
             refinements_saved: snap.refinements_saved,
             f32_prefilter: snap.f32_prefilter,
+            inserts: snap.inserts,
+            deletes: snap.deletes,
+            epoch_pins: snap.epoch_pins,
             distance_evals: snap.distance_evals,
             error: None,
         }
@@ -81,6 +91,9 @@ impl QueryStats {
         self.filter_steps += other.filter_steps;
         self.refinements_saved += other.refinements_saved;
         self.f32_prefilter += other.f32_prefilter;
+        self.inserts += other.inserts;
+        self.deletes += other.deletes;
+        self.epoch_pins += other.epoch_pins;
         self.distance_evals += other.distance_evals;
         self.error = self.error.or(other.error);
     }
@@ -114,6 +127,9 @@ mod tests {
             filter_steps: 3,
             refinements_saved: 2,
             f32_prefilter: 1,
+            inserts: 4,
+            deletes: 2,
+            epoch_pins: 1,
             distance_evals: 9,
             error: None,
         };
@@ -127,6 +143,7 @@ mod tests {
         assert_eq!(a.filter_steps, 6);
         assert_eq!(a.refinements_saved, 4);
         assert_eq!(a.f32_prefilter, 2);
+        assert_eq!((a.inserts, a.deletes, a.epoch_pins), (8, 4, 2));
         assert_eq!(a.distance_evals, 18);
     }
 

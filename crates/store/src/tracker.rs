@@ -47,6 +47,9 @@ pub struct IoTracker {
     filter_steps: AtomicU64,
     refinements_saved: AtomicU64,
     f32_prefilter: AtomicU64,
+    inserts: AtomicU64,
+    deletes: AtomicU64,
+    epoch_pins: AtomicU64,
 }
 
 impl IoTracker {
@@ -135,6 +138,25 @@ impl IoTracker {
         self.f32_prefilter.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Count `n` objects inserted into a dynamic index.
+    #[inline]
+    pub fn count_inserts(&self, n: u64) {
+        self.inserts.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Count `n` objects deleted (tombstoned) from a dynamic index.
+    #[inline]
+    pub fn count_deletes(&self, n: u64) {
+        self.deletes.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Count `n` epoch-snapshot pins taken by readers of a dynamic
+    /// index (one per query that latches a consistent snapshot).
+    #[inline]
+    pub fn count_epoch_pins(&self, n: u64) {
+        self.epoch_pins.fetch_add(n, Ordering::Relaxed);
+    }
+
     pub fn snapshot(&self) -> TrackerSnapshot {
         TrackerSnapshot {
             io: IoSnapshot {
@@ -153,6 +175,9 @@ impl IoTracker {
             filter_steps: self.filter_steps.load(Ordering::Relaxed),
             refinements_saved: self.refinements_saved.load(Ordering::Relaxed),
             f32_prefilter: self.f32_prefilter.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            deletes: self.deletes.load(Ordering::Relaxed),
+            epoch_pins: self.epoch_pins.load(Ordering::Relaxed),
         }
     }
 
@@ -201,6 +226,9 @@ impl IoTracker {
         self.filter_steps.store(0, Ordering::Relaxed);
         self.refinements_saved.store(0, Ordering::Relaxed);
         self.f32_prefilter.store(0, Ordering::Relaxed);
+        self.inserts.store(0, Ordering::Relaxed);
+        self.deletes.store(0, Ordering::Relaxed);
+        self.epoch_pins.store(0, Ordering::Relaxed);
     }
 }
 
@@ -222,6 +250,12 @@ pub struct TrackerSnapshot {
     /// Refinements dismissed by the `f32` filter-precision kernel alone
     /// (subset of `pruned`).
     pub f32_prefilter: u64,
+    /// Objects inserted into a dynamic index.
+    pub inserts: u64,
+    /// Objects deleted (tombstoned) from a dynamic index.
+    pub deletes: u64,
+    /// Epoch-snapshot pins taken by readers of a dynamic index.
+    pub epoch_pins: u64,
 }
 
 #[cfg(test)]
@@ -244,12 +278,16 @@ mod tests {
         t.count_filter_steps(5);
         t.count_refinements_saved(4);
         t.count_f32_prefilter(1);
+        t.count_inserts(6);
+        t.count_deletes(3);
+        t.count_epoch_pins(2);
         let s = t.snapshot();
         assert_eq!(s.io, IoSnapshot { pages: 3, bytes: 1000 });
         assert_eq!(s.cache, CacheCounts { hits: 1, misses: 2, evictions: 1 });
         assert_eq!(s.cache.accesses(), 3);
         assert_eq!((s.distance_evals, s.candidates, s.refinements, s.pruned), (7, 2, 1, 1));
         assert_eq!((s.filter_steps, s.refinements_saved, s.f32_prefilter), (5, 4, 1));
+        assert_eq!((s.inserts, s.deletes, s.epoch_pins), (6, 3, 2));
         t.reset();
         assert_eq!(t.snapshot(), TrackerSnapshot::default());
     }

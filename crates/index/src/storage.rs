@@ -187,7 +187,7 @@ impl VectorSetStore {
         let pages = InMemoryPageStore::new();
         pages
             .allocate(image.len().div_ceil(PAGE_SIZE) as u64)
-            .expect("in-memory page-charge allocation failed");
+            .expect("in-memory page-charge allocation failed"); // lint-allow: store-error-hygiene the unbounded in-memory store cannot fail to allocate
         VectorSetStore {
             image,
             offsets,
@@ -315,7 +315,7 @@ impl VectorSetStore {
             return Err(invalid("heap file is missing its offset table"));
         }
         let offsets: Vec<usize> = (0..n).map(|_| get_usize(r)).collect::<io::Result<_>>()?;
-        if offsets.windows(2).any(|w| w[0] > w[1]) || *offsets.last().unwrap() != total {
+        if offsets.windows(2).any(|w| w[0] > w[1]) || offsets.last() != Some(&total) {
             return Err(invalid("heap-file offset table is inconsistent"));
         }
         let pages = total.div_ceil(PAGE_SIZE);
@@ -343,7 +343,7 @@ impl VectorSetStore {
 
     /// Total size of the file image in bytes.
     pub fn total_bytes(&self) -> usize {
-        *self.offsets.last().unwrap()
+        self.offsets.last().copied().unwrap_or(0)
     }
 
     /// Pages occupied by the file.
@@ -471,7 +471,7 @@ impl PointFile {
         let pages = InMemoryPageStore::new();
         pages
             .allocate((data.len() * 8).div_ceil(PAGE_SIZE) as u64)
-            .expect("in-memory page-charge allocation failed");
+            .expect("in-memory page-charge allocation failed"); // lint-allow: store-error-hygiene the unbounded in-memory store cannot fail to allocate
         PointFile {
             dim,
             len: points.len(),
@@ -659,7 +659,7 @@ impl PointFile {
                 let img = load_image(store.as_ref(), *first, total, &self.page_sums, ctx)?;
                 Some(
                     img.chunks_exact(8)
-                        .map(|c| f64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+                        .map(|c| f64::from_le_bytes(c.try_into().expect("8-byte chunk"))) // lint-allow: store-error-hygiene chunks_exact(8) guarantees the width
                         .collect(),
                 )
             }

@@ -24,6 +24,7 @@
 //! (so `cargo test` is a tier-1 gate), and a CI step with a seeded
 //! negative smoke check.
 
+pub mod model;
 pub mod rules;
 pub mod source;
 
@@ -122,10 +123,16 @@ fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
 
 /// Run every rule over an analyzed workspace, apply waivers, and return
 /// the surviving diagnostics sorted by file, line and rule.
+///
+/// This is the two-phase engine: phase one builds the cross-file
+/// [`model::WorkspaceModel`] (functions, lock acquisitions with guard
+/// live-ranges, the acquisition-order graph, atomic-op sites, the
+/// counter model) exactly once; phase two hands it to every rule.
 pub fn check(ws: &Workspace) -> Vec<Diagnostic> {
+    let model = model::WorkspaceModel::build(ws);
     let mut diags: Vec<Diagnostic> = Vec::new();
     for rule in rules::all() {
-        rule.check(ws, &mut diags);
+        rule.check(ws, &model, &mut diags);
     }
     diags.retain(|d| {
         // The waiver validator must not be silenced by the thing it
@@ -133,7 +140,16 @@ pub fn check(ws: &Workspace) -> Vec<Diagnostic> {
         d.rule == rules::WAIVER_SYNTAX
             || !ws.file(&d.file).is_some_and(|f| f.is_waived(d.rule, d.line))
     });
-    diags.sort();
+    // Rules emit in whatever order they walk the workspace; the output
+    // contract (and CI's lint-output diffs) is (file, line, rule).
+    diags.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.rule, a.message.as_str()).cmp(&(
+            b.file.as_str(),
+            b.line,
+            b.rule,
+            b.message.as_str(),
+        ))
+    });
     diags.dedup();
     diags
 }
@@ -197,6 +213,29 @@ mod tests {
         assert_eq!(diags.len(), 1, "waived line suppressed, unwaived kept: {diags:?}");
         assert_eq!(diags[0].line, 5);
         assert_eq!(diags[0].rule, rules::FLOAT_ORDERING);
+    }
+
+    #[test]
+    fn findings_across_files_come_out_in_path_line_rule_order() {
+        // Two files, loaded in reverse path order, each with violations
+        // on interleaving line numbers: the output (and therefore the
+        // `--json` dump CI diffs) must still sort by (file, line, rule).
+        let bad = "#![forbid(unsafe_code)]\n\
+             fn s(v: &mut [(f64, f64)]) {\n\
+                 v.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());\n\
+                 v.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());\n\
+             }\n";
+        let ws = Workspace::from_sources(
+            &[("crates/zz/src/lib.rs", bad), ("crates/aa/src/lib.rs", bad)],
+            None,
+        );
+        let diags = check(&ws);
+        let keys: Vec<(String, usize)> = diags.iter().map(|d| (d.file.clone(), d.line)).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted, "diagnostics must be stably ordered");
+        assert_eq!(keys[0].0, "crates/aa/src/lib.rs");
+        assert!(keys.iter().filter(|(f, _)| f.starts_with("crates/zz")).count() >= 2);
     }
 
     #[test]

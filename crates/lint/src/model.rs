@@ -1,0 +1,1182 @@
+//! Phase one of the two-phase analyzer: a cross-file model of the
+//! workspace's concurrency structure.
+//!
+//! The line-oriented lexer in [`source`](crate::source) tells code from
+//! comments; this module reads the *code* views once more and extracts
+//! the facts the concurrency rules need:
+//!
+//! - **Functions** — name, signature, body line range and crate, coarse
+//!   enough to attribute a lock acquisition to the function holding it
+//!   and to resolve same-crate calls by name.
+//! - **Lock acquisitions** — every `.lock()` / `.read()` / `.write()`
+//!   site classified into a named *lock class* (see [`LOCK_CLASSES`]),
+//!   either by the receiver field (`self.working.lock()` → the writer
+//!   mutex) or through a *guard-returning helper* of the same crate
+//!   (`shard.lock()` resolves through `Shard::lock(&self) ->
+//!   MutexGuard<…>` → the pool-shard class). Each site carries a guard
+//!   *live range* derived from brace depth: a `let`-bound guard lives
+//!   to the end of its enclosing block (or an explicit `drop(guard)`),
+//!   an `if let`/`while let` guard lives inside the block its condition
+//!   opens, and an unbound temporary lives to the end of its statement.
+//! - **Lock-order edges** — while a guard of class `A` is live, any
+//!   classified acquisition of class `B` (directly, or one call level
+//!   down through the call graph) contributes the edge `A → B` to the
+//!   global acquisition-order graph. The `lock-order` rule reports any
+//!   cycle in that graph as a deadlock risk.
+//! - **Atomic operations** — every `.load(..)`/`.store(..)`/RMW call
+//!   whose arguments name a `std::sync::atomic` `Ordering`, with the
+//!   orderings used, for the `atomics-discipline` rule.
+//! - **The counter model** — the `IoTracker` / `TrackerSnapshot` /
+//!   `QueryStats` / `CacheCounts` field lists parsed from the struct
+//!   bodies themselves, so the counter-parity and atomics rules derive
+//!   their ground truth from the code instead of hand-maintained lists.
+//!
+//! Everything here is lexical: the model is deliberately coarse (no
+//! types, no borrows) but errs toward *missing* facts rather than
+//! inventing them — an unclassifiable `m.lock()` is ignored, never
+//! guessed. The rules built on top are therefore underapproximate and
+//! waivable, like every other `vsim-lint` rule.
+
+use crate::source::{find_word, SourceFile};
+use crate::Workspace;
+
+/// How a lock class is entered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockOp {
+    /// `Mutex::lock` (or a guard-returning helper around it).
+    Lock,
+    /// `RwLock::read`.
+    Read,
+    /// `RwLock::write`.
+    Write,
+}
+
+/// A named lock class: one logical lock (or family of locks, for the
+/// striped pool shards) with a fixed position in the acquisition-order
+/// lattice.
+#[derive(Debug)]
+pub struct LockClassDef {
+    /// Stable kebab-case name used in diagnostics and the DOT dump.
+    pub name: &'static str,
+    /// Lattice position: lower ranks are *colder* (outer, long critical
+    /// sections), higher ranks are *hotter* (inner, per-page critical
+    /// sections). The intended acquisition order is rank-increasing.
+    pub rank: u32,
+    /// Hot classes additionally ban blocking work (page I/O, `save_*`,
+    /// allocation-heavy calls, further lock acquisition) while held —
+    /// the `no-blocking-under-lock` rule.
+    pub hot: bool,
+    /// Receiver field names whose `.lock()`/`.read()`/`.write()` means
+    /// this class (`self.<field>.lock()`).
+    pub fields: &'static [&'static str],
+    /// Only classify field matches in files whose path contains this
+    /// substring (`""` = anywhere) — belt and braces against generic
+    /// field names like `inner` appearing in unrelated crates.
+    pub file_hint: &'static str,
+}
+
+/// The workspace's lock classes, ordered by rank (coldest first). The
+/// lattice mirrors the systems built in PRs 6–9: the `DynamicIndex`
+/// writer mutex is the outermost (one writer, long deep-copy critical
+/// sections), the published-epoch `RwLock` nests inside it (`publish`
+/// swaps the pointer while still holding the writer lock), the file
+/// store's free-map and the in-memory store's page map are store
+/// internal, and the buffer-pool shard mutexes are the hottest — every
+/// page access on every query path takes one, so they must stay tiny
+/// and never nest.
+pub const LOCK_CLASSES: &[LockClassDef] = &[
+    LockClassDef {
+        name: "writer-mutex",
+        rank: 0,
+        hot: false,
+        fields: &["working"],
+        file_hint: "crates/query/",
+    },
+    LockClassDef {
+        name: "epoch-rwlock",
+        rank: 1,
+        hot: false,
+        fields: &["published"],
+        file_hint: "crates/query/",
+    },
+    LockClassDef {
+        name: "free-state",
+        rank: 2,
+        hot: false,
+        fields: &["state"],
+        file_hint: "crates/store/",
+    },
+    LockClassDef {
+        name: "page-data",
+        rank: 3,
+        hot: false,
+        fields: &["data"],
+        file_hint: "crates/store/",
+    },
+    LockClassDef {
+        name: "pool-shard",
+        rank: 4,
+        hot: true,
+        fields: &["inner"],
+        file_hint: "crates/store/",
+    },
+];
+
+/// Index into [`LOCK_CLASSES`].
+pub type ClassId = usize;
+
+pub fn class_by_name(name: &str) -> Option<ClassId> {
+    LOCK_CLASSES.iter().position(|c| c.name == name)
+}
+
+/// One function (or method) in the workspace.
+#[derive(Debug)]
+pub struct FnInfo {
+    pub name: String,
+    /// Index into `Workspace::files`.
+    pub file: usize,
+    /// `crates/<name>` prefix (or the top-level dir) the file lives in —
+    /// the resolution scope for calls by name.
+    pub krate: String,
+    /// 0-based line of the `fn` keyword.
+    pub sig_line: usize,
+    /// 0-based line of the body's closing brace.
+    pub end_line: usize,
+    /// Brace depth just outside the body.
+    pub base_depth: u32,
+    /// Signature text from `fn` up to the opening brace, whitespace
+    /// collapsed.
+    pub sig: String,
+    /// Classes this function acquires *directly* (any op).
+    pub acquires: Vec<ClassId>,
+    /// Whether the return type is a std lock guard (`MutexGuard`,
+    /// `RwLockReadGuard`, `RwLockWriteGuard`) — callers of such a
+    /// helper are acquisition sites themselves.
+    pub returns_guard: bool,
+}
+
+/// One classified lock-acquisition site.
+#[derive(Debug)]
+pub struct Acquisition {
+    pub class: ClassId,
+    pub op: LockOp,
+    /// Index into `Workspace::files`.
+    pub file: usize,
+    /// 0-based line of the site.
+    pub line: usize,
+    /// Byte offset of the method name in the file's joined `code`.
+    pub at: usize,
+    /// 0-based inclusive line range the guard is live for.
+    pub live_from: usize,
+    pub live_to: usize,
+    /// Enclosing function (index into `WorkspaceModel::fns`), if any.
+    pub fn_idx: Option<usize>,
+    pub in_cfg_test: bool,
+}
+
+/// One edge of the acquisition-order graph: a `to`-class acquisition
+/// observed while a `from`-class guard was live.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LockEdge {
+    pub from: ClassId,
+    pub to: ClassId,
+    /// Witness: file index + 0-based line of the inner acquisition.
+    pub file: usize,
+    pub line: usize,
+    pub in_cfg_test: bool,
+}
+
+/// One atomic memory operation with an explicit `Ordering` argument.
+#[derive(Debug)]
+pub struct AtomicOp {
+    pub file: usize,
+    /// 0-based line of the method call.
+    pub line: usize,
+    /// `load`, `store`, `fetch_add`, …
+    pub method: String,
+    /// Receiver identifier directly before the call (`self.pages.load`
+    /// → `pages`), when one exists.
+    pub receiver: Option<String>,
+    /// Every `Ordering::X` variant named in the argument list.
+    pub orderings: Vec<String>,
+    pub in_cfg_test: bool,
+}
+
+/// Field lists of the counter-plumbing structs, parsed from the struct
+/// bodies so a new counter is in the model the moment it is declared.
+#[derive(Debug, Default)]
+pub struct CounterModel {
+    /// `(field, 0-based line)` of every `AtomicU64` field of `IoTracker`.
+    pub tracker_fields: Vec<(String, usize)>,
+    /// `(field, 0-based line)` of every `u64` field of the per-shard
+    /// `CacheCounts`.
+    pub cache_fields: Vec<(String, usize)>,
+    /// Field names of `TrackerSnapshot`.
+    pub snapshot_fields: Vec<String>,
+    /// Field names of `QueryStats`.
+    pub stats_fields: Vec<String>,
+}
+
+/// The cross-file model phase two runs over.
+#[derive(Debug)]
+pub struct WorkspaceModel {
+    pub fns: Vec<FnInfo>,
+    pub acquisitions: Vec<Acquisition>,
+    pub edges: Vec<LockEdge>,
+    pub atomics: Vec<AtomicOp>,
+    pub counters: CounterModel,
+}
+
+fn krate_of(rel: &str) -> String {
+    let mut parts = rel.split('/');
+    match (parts.next(), parts.next()) {
+        (Some("crates"), Some(name)) => format!("crates/{name}"),
+        (Some(top), _) => top.to_owned(),
+        _ => String::new(),
+    }
+}
+
+/// The identifier ending at byte `end` of `code`, if any.
+fn ident_ending_at(code: &str, end: usize) -> Option<&str> {
+    let bytes = code.as_bytes();
+    let mut start = end;
+    while start > 0 {
+        let c = bytes[start - 1] as char;
+        if c.is_ascii_alphanumeric() || c == '_' {
+            start -= 1;
+        } else {
+            break;
+        }
+    }
+    (start < end).then(|| &code[start..end])
+}
+
+/// Brace depth of `file` at byte offset `at` of its joined code.
+fn depth_at(file: &SourceFile, at: usize) -> i64 {
+    let line = file.line_of(at) - 1;
+    let mut depth = file.lines[line].depth_start as i64;
+    for b in file.code[file.line_start(line)..at].bytes() {
+        match b {
+            b'{' => depth += 1,
+            b'}' => depth -= 1,
+            _ => {}
+        }
+    }
+    depth
+}
+
+/// 0-based line of the `}` closing the innermost block around position
+/// `(line, col)` at depth `start_depth` — the first point at or after
+/// the position where brace depth drops below `below`. With
+/// `opened == false` the scan first waits for depth to *reach* `below`
+/// (used for `if let … {` guards, whose block opens after the
+/// condition).
+fn close_of_block(
+    f: &SourceFile,
+    line: usize,
+    col: usize,
+    start_depth: i64,
+    below: i64,
+    mut opened: bool,
+) -> usize {
+    let mut depth = start_depth;
+    for i in line..f.lines.len() {
+        let text =
+            if i == line { f.lines[i].code.get(col..).unwrap_or("") } else { &f.lines[i].code };
+        for b in text.bytes() {
+            match b {
+                b'{' => {
+                    depth += 1;
+                    if depth >= below {
+                        opened = true;
+                    }
+                }
+                b'}' => {
+                    depth -= 1;
+                    if opened && depth < below {
+                        return i;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    f.lines.len().saturating_sub(1)
+}
+
+/// First 0-based line `>= line` ending the statement at `(line, col)`:
+/// the next `;` — or `}`, for a tail expression closing its block.
+fn statement_end(f: &SourceFile, line: usize, col: usize) -> usize {
+    for (i, l) in f.lines.iter().enumerate().skip(line) {
+        let hay = if i == line { l.code.get(col..).unwrap_or("") } else { &l.code };
+        if hay.contains(';') || hay.contains('}') {
+            return i;
+        }
+    }
+    f.lines.len().saturating_sub(1)
+}
+
+/// Start column of the statement containing column `col` (after the
+/// last `;` / `{` / `}` before it).
+fn statement_start(code: &str, col: usize) -> usize {
+    code[..col].rfind([';', '{', '}']).map_or(0, |i| i + 1)
+}
+
+/// `let [mut] <name> =` → `<name>` for simple identifier patterns.
+fn binding_name(head: &str) -> Option<String> {
+    let rest = head.strip_prefix("let")?.trim_start();
+    let rest = rest.strip_prefix("mut ").map(str::trim_start).unwrap_or(rest);
+    let name: String =
+        rest.chars().take_while(|c| c.is_ascii_alphanumeric() || *c == '_').collect();
+    (!name.is_empty() && rest[name.len()..].trim_start().starts_with('=')).then_some(name)
+}
+
+/// 0-based inclusive live range of the guard produced by the
+/// acquisition whose method name starts at byte `at`.
+fn guard_live_range(f: &SourceFile, at: usize) -> (usize, usize) {
+    let line = f.line_of(at) - 1;
+    let col = at - f.line_start(line);
+    let depth = depth_at(f, at);
+    let head = {
+        let code = &f.lines[line].code;
+        code[statement_start(code, col)..col].trim_start().to_owned()
+    };
+    if head.starts_with("if let") || head.starts_with("while let") {
+        // Guard scoped to the block the condition opens.
+        return (line, close_of_block(f, line, col, depth, depth + 1, false));
+    }
+    if head.starts_with("let") {
+        // `let [mut] name = <acquisition>…;` — live to the end of the
+        // enclosing block, or an explicit `drop(name)`.
+        let end = close_of_block(f, line, col, depth, depth, true);
+        if let Some(name) = binding_name(&head) {
+            let drop_tok = format!("drop({name})");
+            for (i, l) in f.lines.iter().enumerate().skip(line).take(end - line + 1) {
+                let hay = if i == line { l.code.get(col..).unwrap_or("") } else { &l.code };
+                if hay.contains(&drop_tok) {
+                    return (line, i);
+                }
+            }
+        }
+        return (line, end);
+    }
+    // Unbound temporary: lives to the end of its statement.
+    (line, statement_end(f, line, col))
+}
+
+/// Whether the `name(` occurrence at `at` is a call site (method or
+/// free), not a definition.
+fn at_call_boundary(code: &str, at: usize) -> bool {
+    if at == 0 {
+        return true;
+    }
+    let before = code.as_bytes()[at - 1] as char;
+    if before.is_ascii_alphanumeric() || before == '_' {
+        return false;
+    }
+    // `fn name(` is a definition.
+    let head = code[..at].trim_end();
+    !(head.ends_with("fn")
+        && head[..head.len() - 2]
+            .chars()
+            .next_back()
+            .is_none_or(|c| !(c.is_ascii_alphanumeric() || c == '_')))
+}
+
+impl WorkspaceModel {
+    pub fn build(ws: &Workspace) -> WorkspaceModel {
+        let mut model = WorkspaceModel {
+            fns: Vec::new(),
+            acquisitions: Vec::new(),
+            edges: Vec::new(),
+            atomics: Vec::new(),
+            counters: CounterModel::default(),
+        };
+        for (fi, f) in ws.files.iter().enumerate() {
+            model.collect_fns(fi, f);
+        }
+        // Pass 1: field-classified acquisitions (these also determine
+        // which helpers are guard-returning acquirers).
+        for (fi, f) in ws.files.iter().enumerate() {
+            model.collect_field_acquisitions(fi, f);
+        }
+        model.summarize_fns();
+        // Pass 2: acquisitions through guard-returning helper calls
+        // (`shard.lock()`, `self.working()`), resolved per crate.
+        for (fi, f) in ws.files.iter().enumerate() {
+            model.collect_helper_acquisitions(fi, f);
+        }
+        model.summarize_fns();
+        model.collect_edges(&ws.files);
+        for (fi, f) in ws.files.iter().enumerate() {
+            model.collect_atomics(fi, f);
+        }
+        model.acquisitions.sort_by_key(|a| (a.file, a.at));
+        model.counters = CounterModel::parse(ws);
+        model
+    }
+
+    /// Extract `fn` items with their body ranges and signatures.
+    fn collect_fns(&mut self, fi: usize, f: &SourceFile) {
+        let krate = krate_of(&f.rel);
+        let bytes = f.code.as_bytes();
+        for at in find_word(&f.code, "fn") {
+            let name: String = f.code[at + 2..]
+                .trim_start()
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect();
+            if name.is_empty() {
+                continue;
+            }
+            // The body's opening brace: the first `{` after the
+            // signature outside the parameter list; a `;` first means a
+            // bodiless declaration.
+            let mut open = None;
+            let mut nesting = 0i32;
+            let mut i = at;
+            while i < bytes.len() {
+                match bytes[i] {
+                    b'(' | b'[' => nesting += 1,
+                    b')' | b']' => nesting -= 1,
+                    b'{' if nesting == 0 => {
+                        open = Some(i);
+                        break;
+                    }
+                    b';' if nesting == 0 => break,
+                    _ => {}
+                }
+                i += 1;
+            }
+            let Some(open) = open else { continue };
+            // The matching closing brace.
+            let mut depth = 0i32;
+            let mut close = bytes.len().saturating_sub(1);
+            for (j, &b) in bytes.iter().enumerate().skip(open) {
+                match b {
+                    b'{' => depth += 1,
+                    b'}' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            close = j;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            let sig = f.code[at..open].split_whitespace().collect::<Vec<_>>().join(" ");
+            let returns_guard = sig.split("->").nth(1).is_some_and(|ret| {
+                ["MutexGuard", "RwLockReadGuard", "RwLockWriteGuard"]
+                    .iter()
+                    .any(|g| ret.contains(g))
+            });
+            self.fns.push(FnInfo {
+                name,
+                file: fi,
+                krate: krate.clone(),
+                sig_line: f.line_of(at) - 1,
+                end_line: f.line_of(close) - 1,
+                base_depth: depth_at(f, at).max(0) as u32,
+                sig,
+                acquires: Vec::new(),
+                returns_guard,
+            });
+        }
+    }
+
+    /// The innermost function containing 0-based `line` of file `fi`.
+    pub fn fn_at(&self, fi: usize, line: usize) -> Option<usize> {
+        self.fns
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| g.file == fi && g.sig_line <= line && line <= g.end_line)
+            .max_by_key(|(_, g)| g.base_depth)
+            .map(|(i, _)| i)
+    }
+
+    fn push_acquisition(
+        &mut self,
+        fi: usize,
+        f: &SourceFile,
+        at: usize,
+        class: ClassId,
+        op: LockOp,
+    ) {
+        let line = f.line_of(at) - 1;
+        let (live_from, live_to) = guard_live_range(f, at);
+        self.acquisitions.push(Acquisition {
+            class,
+            op,
+            file: fi,
+            line,
+            at,
+            live_from,
+            live_to,
+            fn_idx: self.fn_at(fi, line),
+            in_cfg_test: f.lines[line].in_cfg_test,
+        });
+    }
+
+    fn collect_field_acquisitions(&mut self, fi: usize, f: &SourceFile) {
+        for (method, op) in
+            [("lock", LockOp::Lock), ("read", LockOp::Read), ("write", LockOp::Write)]
+        {
+            let needle = format!(".{method}(");
+            let mut from = 0usize;
+            while let Some(rel) = f.code[from..].find(&needle) {
+                let at = from + rel;
+                from = at + needle.len();
+                let Some(recv) = ident_ending_at(&f.code, at) else { continue };
+                let class = LOCK_CLASSES.iter().position(|c| {
+                    c.fields.contains(&recv)
+                        && (c.file_hint.is_empty() || f.rel.contains(c.file_hint))
+                });
+                if let Some(class) = class {
+                    self.push_acquisition(fi, f, at + 1, class, op);
+                }
+            }
+        }
+    }
+
+    /// Fold each function's direct acquisitions into its summary.
+    fn summarize_fns(&mut self) {
+        for g in &mut self.fns {
+            g.acquires.clear();
+        }
+        for a in &self.acquisitions {
+            if let Some(idx) = a.fn_idx {
+                if !self.fns[idx].acquires.contains(&a.class) {
+                    self.fns[idx].acquires.push(a.class);
+                }
+            }
+        }
+    }
+
+    /// Guard-returning functions that acquire exactly one class are
+    /// *acquirer helpers*: a call to one is an acquisition at the call
+    /// site. Resolution is by bare name within the defining crate; a
+    /// name defined twice with different classes is ambiguous and
+    /// dropped.
+    fn acquirer_helpers(&self) -> Vec<(String, String, ClassId, LockOp)> {
+        let mut out: Vec<(String, String, ClassId, LockOp)> = Vec::new();
+        let mut ambiguous: Vec<(String, String)> = Vec::new();
+        for g in &self.fns {
+            if !g.returns_guard || g.acquires.len() != 1 {
+                continue;
+            }
+            let op = if g.sig.contains("RwLockWriteGuard") {
+                LockOp::Write
+            } else if g.sig.contains("RwLockReadGuard") {
+                LockOp::Read
+            } else {
+                LockOp::Lock
+            };
+            let key = (g.name.clone(), g.krate.clone());
+            if let Some(prev) = out.iter().find(|e| e.0 == key.0 && e.1 == key.1) {
+                if prev.2 != g.acquires[0] {
+                    ambiguous.push(key);
+                }
+                continue;
+            }
+            out.push((key.0, key.1, g.acquires[0], op));
+        }
+        out.retain(|e| !ambiguous.iter().any(|k| k.0 == e.0 && k.1 == e.1));
+        out
+    }
+
+    fn collect_helper_acquisitions(&mut self, fi: usize, f: &SourceFile) {
+        let helpers = self.acquirer_helpers();
+        let krate = krate_of(&f.rel);
+        for (name, helper_krate, class, op) in helpers {
+            if helper_krate != krate {
+                continue;
+            }
+            let needle = format!(".{name}(");
+            let mut from = 0usize;
+            while let Some(rel) = f.code[from..].find(&needle) {
+                let at = from + rel;
+                from = at + needle.len();
+                // A site pass 1 already classified by its field keeps
+                // that (more precise) classification.
+                let site = at + 1;
+                if self.acquisitions.iter().any(|a| a.file == fi && a.at == site) {
+                    continue;
+                }
+                self.push_acquisition(fi, f, site, class, op);
+            }
+        }
+    }
+
+    /// Callable names that resolve, per crate, to a single non-empty
+    /// set of directly-acquired classes. Same-named functions with
+    /// *different* acquisition sets (e.g. each `PageStore` impl's
+    /// `allocate`) are ambiguous and excluded rather than unioned,
+    /// which would invent cross-store edges no execution can take.
+    fn acquiring_callees(&self) -> Vec<(String, String, Vec<ClassId>)> {
+        let mut out: Vec<(String, String, Vec<ClassId>)> = Vec::new();
+        let mut ambiguous: Vec<(String, String)> = Vec::new();
+        for g in &self.fns {
+            if g.acquires.is_empty() {
+                continue;
+            }
+            let mut acq = g.acquires.clone();
+            acq.sort_unstable();
+            let key = (g.name.clone(), g.krate.clone());
+            if let Some(prev) = out.iter().find(|e| e.0 == key.0 && e.1 == key.1) {
+                if prev.2 != acq {
+                    ambiguous.push(key);
+                }
+                continue;
+            }
+            out.push((key.0, key.1, acq));
+        }
+        out.retain(|e| !ambiguous.iter().any(|k| k.0 == e.0 && k.1 == e.1));
+        out
+    }
+
+    /// Build the acquisition-order graph: inner acquisitions and
+    /// one-level callee acquisitions observed inside each guard's live
+    /// range.
+    fn collect_edges(&mut self, files: &[SourceFile]) {
+        let callees = self.acquiring_callees();
+        let mut edges: Vec<LockEdge> = Vec::new();
+        for outer in &self.acquisitions {
+            let f = &files[outer.file];
+            // Direct nesting: another classified acquisition strictly
+            // after the outer site, inside its live range.
+            for inner in &self.acquisitions {
+                if inner.file == outer.file
+                    && inner.at > outer.at
+                    && inner.line >= outer.live_from
+                    && inner.line <= outer.live_to
+                {
+                    edges.push(LockEdge {
+                        from: outer.class,
+                        to: inner.class,
+                        file: inner.file,
+                        line: inner.line,
+                        in_cfg_test: inner.in_cfg_test || outer.in_cfg_test,
+                    });
+                }
+            }
+            // One-level call propagation: a call to a same-crate
+            // function that directly acquires some class.
+            let krate = krate_of(&f.rel);
+            for (name, callee_krate, acquires) in &callees {
+                if *callee_krate != krate {
+                    continue;
+                }
+                let needle = format!("{name}(");
+                let mut from = 0usize;
+                while let Some(rel) = f.code[from..].find(&needle) {
+                    let at = from + rel;
+                    from = at + needle.len();
+                    if !at_call_boundary(&f.code, at) {
+                        continue;
+                    }
+                    // The callee's acquire set came from `self.<field>`
+                    // sites, so propagation is only sound when the call
+                    // target is the same object: `self.name(…)` or a
+                    // bare `name(…)`. `other.insert(…)` merely shares a
+                    // method name with a lock-taking type.
+                    if f.code[..at].ends_with('.') && !f.code[..at].ends_with("self.") {
+                        continue;
+                    }
+                    let line = f.line_of(at) - 1;
+                    if line < outer.live_from || line > outer.live_to || at <= outer.at {
+                        continue;
+                    }
+                    // Sites already counted as direct acquisitions
+                    // (helper calls, the outer's own producing call) are
+                    // not *additional* callee edges.
+                    if self.acquisitions.iter().any(|a| a.file == outer.file && a.at == at) {
+                        continue;
+                    }
+                    for &class in acquires {
+                        edges.push(LockEdge {
+                            from: outer.class,
+                            to: class,
+                            file: outer.file,
+                            line,
+                            in_cfg_test: f.lines[line].in_cfg_test || outer.in_cfg_test,
+                        });
+                    }
+                }
+            }
+        }
+        edges.sort_by_key(|e| (e.from, e.to, e.file, e.line, e.in_cfg_test));
+        edges.dedup();
+        self.edges = edges;
+    }
+
+    fn collect_atomics(&mut self, fi: usize, f: &SourceFile) {
+        const METHODS: &[&str] = &[
+            "load",
+            "store",
+            "swap",
+            "fetch_add",
+            "fetch_sub",
+            "fetch_and",
+            "fetch_or",
+            "fetch_xor",
+            "fetch_update",
+            "compare_exchange",
+            "compare_exchange_weak",
+        ];
+        for method in METHODS {
+            let needle = format!(".{method}(");
+            let mut from = 0usize;
+            while let Some(rel) = f.code[from..].find(&needle) {
+                let at = from + rel;
+                from = at + needle.len();
+                let open = at + needle.len() - 1;
+                let Some(close) = crate::rules::skip_parens(&f.code, open) else { continue };
+                let args = &f.code[open + 1..close - 1];
+                if !args.contains("Ordering::") {
+                    continue; // not an atomic op (e.g. `pool.load(…)`)
+                }
+                let mut orderings = Vec::new();
+                let mut scan = 0usize;
+                while let Some(o) = args[scan..].find("Ordering::") {
+                    let start = scan + o + "Ordering::".len();
+                    let name: String = args[start..]
+                        .chars()
+                        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                        .collect();
+                    scan = start + name.len().max(1);
+                    if !name.is_empty() && !orderings.contains(&name) {
+                        orderings.push(name);
+                    }
+                }
+                let line = f.line_of(at) - 1;
+                self.atomics.push(AtomicOp {
+                    file: fi,
+                    line,
+                    method: method.to_string(),
+                    receiver: ident_ending_at(&f.code, at).map(str::to_owned),
+                    orderings,
+                    in_cfg_test: f.lines[line].in_cfg_test,
+                });
+            }
+        }
+        self.atomics.sort_by_key(|a| (a.file, a.line));
+    }
+
+    /// Non-test acquisition sites observed for `class`.
+    pub fn class_site_count(&self, class: ClassId) -> usize {
+        self.acquisitions.iter().filter(|a| a.class == class && !a.in_cfg_test).count()
+    }
+
+    /// Depth-first search for a cycle in the acquisition-order graph
+    /// over non-test edges. Returns the class sequence of one cycle
+    /// (first == last) or `None` when the graph is acyclic. Self-loops
+    /// are cycles of length one.
+    pub fn find_cycle(&self) -> Option<Vec<ClassId>> {
+        let n = LOCK_CLASSES.len();
+        let mut adj = vec![Vec::new(); n];
+        for e in self.edges.iter().filter(|e| !e.in_cfg_test) {
+            if !adj[e.from].contains(&e.to) {
+                adj[e.from].push(e.to);
+            }
+        }
+        fn dfs(
+            v: ClassId,
+            adj: &[Vec<ClassId>],
+            state: &mut [u8],
+            stack: &mut Vec<ClassId>,
+        ) -> Option<Vec<ClassId>> {
+            state[v] = 1; // on stack
+            stack.push(v);
+            for &w in &adj[v] {
+                if state[w] == 1 {
+                    let start = stack.iter().position(|&x| x == w).unwrap_or(0);
+                    let mut cycle = stack[start..].to_vec();
+                    cycle.push(w);
+                    return Some(cycle);
+                }
+                if state[w] == 0 {
+                    if let Some(c) = dfs(w, adj, state, stack) {
+                        return Some(c);
+                    }
+                }
+            }
+            stack.pop();
+            state[v] = 2; // done
+            None
+        }
+        let mut state = vec![0u8; n];
+        let mut stack: Vec<ClassId> = Vec::new();
+        for v in 0..n {
+            if state[v] == 0 {
+                if let Some(c) = dfs(v, &adj, &mut state, &mut stack) {
+                    return Some(c);
+                }
+            }
+        }
+        None
+    }
+
+    /// Whether the non-test graph has a path `from → … → to`.
+    pub fn has_path(&self, from: ClassId, to: ClassId) -> bool {
+        let mut seen = vec![false; LOCK_CLASSES.len()];
+        let mut work = vec![from];
+        while let Some(v) = work.pop() {
+            if v == to {
+                return true;
+            }
+            if std::mem::replace(&mut seen[v], true) {
+                continue;
+            }
+            for e in self.edges.iter().filter(|e| !e.in_cfg_test && e.from == v) {
+                work.push(e.to);
+            }
+        }
+        false
+    }
+
+    /// Graphviz DOT rendering of the acquisition-order graph: every
+    /// class is a node labelled with its rank and observed site count;
+    /// every non-test edge carries its first witness `file:line`.
+    pub fn render_lock_graph_dot(&self, files: &[SourceFile]) -> String {
+        let mut s = String::from("digraph lock_order {\n  rankdir=LR;\n");
+        for (id, c) in LOCK_CLASSES.iter().enumerate() {
+            s.push_str(&format!(
+                "  \"{}\" [label=\"{}\\nrank {} / {} site(s){}\"];\n",
+                c.name,
+                c.name,
+                c.rank,
+                self.class_site_count(id),
+                if c.hot { " / hot" } else { "" },
+            ));
+        }
+        let mut seen: Vec<(ClassId, ClassId)> = Vec::new();
+        for e in self.edges.iter().filter(|e| !e.in_cfg_test) {
+            if seen.contains(&(e.from, e.to)) {
+                continue;
+            }
+            seen.push((e.from, e.to));
+            s.push_str(&format!(
+                "  \"{}\" -> \"{}\" [label=\"{}:{}\"];\n",
+                LOCK_CLASSES[e.from].name,
+                LOCK_CLASSES[e.to].name,
+                files.get(e.file).map(|f| f.rel.as_str()).unwrap_or("?"),
+                e.line + 1,
+            ));
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
+impl CounterModel {
+    /// Parse the store's counter structs. Missing files (fixture
+    /// workspaces) leave the corresponding lists empty.
+    pub fn parse(ws: &Workspace) -> CounterModel {
+        let mut m = CounterModel::default();
+        if let Some(tracker) = ws.file("crates/store/src/tracker.rs") {
+            m.tracker_fields = struct_fields(tracker, "struct IoTracker", "AtomicU64");
+            m.cache_fields = struct_fields(tracker, "struct CacheCounts", "u64");
+            m.snapshot_fields = struct_fields(tracker, "struct TrackerSnapshot", "")
+                .into_iter()
+                .map(|(n, _)| n)
+                .collect();
+        }
+        if let Some(stats) = ws.file("crates/store/src/stats.rs") {
+            m.stats_fields =
+                struct_fields(stats, "struct QueryStats", "").into_iter().map(|(n, _)| n).collect();
+        }
+        m
+    }
+
+    /// Whether `field` names one of the `IoTracker` atomic counters.
+    pub fn is_tracker_counter(&self, field: &str) -> bool {
+        self.tracker_fields.iter().any(|(n, _)| n == field)
+    }
+}
+
+/// `(name, 0-based line)` of every field of the first struct whose
+/// header contains `header`. With a non-empty `ty`, only fields of
+/// exactly that type are kept. Fields are assumed one per line — true
+/// of every rustfmt-formatted struct in this workspace.
+pub fn struct_fields(f: &SourceFile, header: &str, ty: &str) -> Vec<(String, usize)> {
+    let Some(at) = f.code.find(header) else { return Vec::new() };
+    let start = f.line_of(at) - 1;
+    let base = depth_at(f, at);
+    let end = close_of_block(f, start, at - f.line_start(start), base, base + 1, false);
+    let mut out = Vec::new();
+    for (i, l) in f.lines.iter().enumerate().take(end + 1).skip(start) {
+        let t = l.code.trim().trim_end_matches(',');
+        let Some((name, field_ty)) = t.split_once(':') else { continue };
+        let name = name.trim().strip_prefix("pub ").unwrap_or(name.trim()).trim();
+        if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+            continue;
+        }
+        if !ty.is_empty() && field_ty.trim() != ty {
+            continue;
+        }
+        if ty.is_empty() && field_ty.trim().is_empty() {
+            continue;
+        }
+        out.push((name.to_owned(), i));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model_for(sources: &[(&str, &str)]) -> WorkspaceModel {
+        WorkspaceModel::build(&Workspace::from_sources(sources, None))
+    }
+
+    #[test]
+    fn let_bound_guard_lives_to_its_block_end() {
+        let src = "\
+struct S { inner: std::sync::Mutex<u64> }
+impl S {
+    fn f(&self) -> u64 {
+        let g = self.inner.lock().unwrap();
+        let x = *g + 1;
+        x
+    }
+}
+";
+        let m = model_for(&[("crates/store/src/pool.rs", src)]);
+        assert_eq!(m.acquisitions.len(), 1);
+        let a = &m.acquisitions[0];
+        assert_eq!(LOCK_CLASSES[a.class].name, "pool-shard");
+        // 0-based: acquired on line 3, enclosing block closes on line 6.
+        assert_eq!((a.live_from, a.live_to), (3, 6));
+        assert_eq!(m.fns[a.fn_idx.unwrap()].name, "f");
+    }
+
+    #[test]
+    fn underscore_bindings_and_explicit_drop_terminate_the_range() {
+        let src = "\
+struct S { inner: std::sync::Mutex<u64> }
+impl S {
+    fn f(&self) {
+        let _guard = self.inner.lock().unwrap();
+        touch();
+        drop(_guard);
+        after();
+    }
+}
+";
+        let m = model_for(&[("crates/store/src/pool.rs", src)]);
+        let a = &m.acquisitions[0];
+        assert_eq!((a.live_from, a.live_to), (3, 5), "drop(_guard) ends the range");
+    }
+
+    #[test]
+    fn if_let_guards_are_scoped_to_the_condition_block() {
+        let src = "\
+struct S { inner: std::sync::Mutex<u64> }
+impl S {
+    fn f(&self) -> u64 {
+        if let Ok(g) = self.inner.lock() {
+            return *g;
+        }
+        0
+    }
+}
+";
+        let m = model_for(&[("crates/store/src/pool.rs", src)]);
+        let a = &m.acquisitions[0];
+        assert_eq!((a.live_from, a.live_to), (3, 5), "guard dies at the if-let close brace");
+    }
+
+    #[test]
+    fn sibling_branches_do_not_leak_guard_ranges() {
+        // The `} else {` line both closes and opens a block; the first
+        // branch's guard must not stay live into the second.
+        let src = "\
+struct S { inner: std::sync::Mutex<u64> }
+impl S {
+    fn f(&self, flip: bool) {
+        if flip {
+            let g = self.inner.lock().unwrap();
+            touch(&g);
+        } else {
+            let h = self.inner.lock().unwrap();
+            touch(&h);
+        }
+    }
+}
+";
+        let m = model_for(&[("crates/store/src/pool.rs", src)]);
+        assert_eq!(m.acquisitions.len(), 2);
+        assert_eq!((m.acquisitions[0].live_from, m.acquisitions[0].live_to), (4, 6));
+        assert_eq!((m.acquisitions[1].live_from, m.acquisitions[1].live_to), (7, 9));
+        assert!(m.edges.is_empty(), "sequential branches are not nested: {:?}", m.edges);
+    }
+
+    #[test]
+    fn temporary_guards_end_mid_expression_with_their_statement() {
+        let src = "\
+struct S { inner: std::sync::Mutex<u64> }
+impl S {
+    fn peek(&self) -> u64 {
+        *self.inner.lock().unwrap()
+    }
+    fn two(&self) -> u64 {
+        self.inner.lock().unwrap().checked_add(1).unwrap_or(0);
+        0
+    }
+}
+";
+        let m = model_for(&[("crates/store/src/pool.rs", src)]);
+        assert_eq!(m.acquisitions.len(), 2);
+        // Tail expression: the temporary cannot outlive its line (the
+        // enclosing block closes on the next).
+        assert_eq!((m.acquisitions[0].live_from, m.acquisitions[0].live_to), (3, 4));
+        // Statement temporary: dies at its own `;`.
+        assert_eq!((m.acquisitions[1].live_from, m.acquisitions[1].live_to), (6, 6));
+    }
+
+    #[test]
+    fn one_line_fn_bodies_are_modeled() {
+        let src = "\
+struct Shard { inner: std::sync::Mutex<u64> }
+impl Shard {
+    fn lock(&self) -> std::sync::MutexGuard<'_, u64> { self.inner.lock().unwrap() }
+}
+";
+        let m = model_for(&[("crates/store/src/pool.rs", src)]);
+        let f = m.fns.iter().find(|f| f.name == "lock").expect("fn lock modeled");
+        assert_eq!((f.sig_line, f.end_line), (2, 2));
+        assert!(f.returns_guard);
+        assert_eq!(f.acquires.len(), 1);
+    }
+
+    #[test]
+    fn helper_calls_are_acquisition_sites_in_their_own_crate_only() {
+        let pool = "\
+pub struct Shard { inner: std::sync::Mutex<u64> }
+impl Shard {
+    pub fn lock(&self) -> std::sync::MutexGuard<'_, u64> { self.inner.lock().unwrap() }
+}
+pub struct Pool { shards: Vec<Shard> }
+impl Pool {
+    pub fn get(&self, i: usize) -> u64 {
+        let g = self.shards[i].lock();
+        *g
+    }
+}
+";
+        let other = "\
+fn elsewhere(m: &std::sync::Mutex<u64>) -> u64 {
+    *m.lock().unwrap()
+}
+";
+        let m =
+            model_for(&[("crates/store/src/pool.rs", pool), ("crates/query/src/exec.rs", other)]);
+        // Two sites: the helper's own field acquisition and the call in
+        // `get` — and nothing for the unrelated mutex in crates/query.
+        assert_eq!(m.acquisitions.len(), 2, "{:?}", m.acquisitions);
+        assert!(m.acquisitions.iter().all(|a| LOCK_CLASSES[a.class].name == "pool-shard"));
+    }
+
+    #[test]
+    fn locks_inside_par_tiles_closures_are_scoped_to_the_closure() {
+        let src = "\
+struct S { inner: std::sync::Mutex<u64> }
+impl S {
+    fn f(&self, tiles: &[u64]) {
+        par_tiles(tiles, |t| {
+            let g = self.inner.lock().unwrap();
+            consume(*g + t);
+        });
+        after(self);
+    }
+}
+";
+        let m = model_for(&[("crates/store/src/pool.rs", src)]);
+        let a = &m.acquisitions[0];
+        assert_eq!((a.live_from, a.live_to), (4, 6), "guard ends at the closure brace");
+        assert_eq!(m.fns[a.fn_idx.unwrap()].name, "f");
+    }
+
+    #[test]
+    fn nested_acquisitions_produce_lock_order_edges_and_cycles_are_found() {
+        let good = "\
+struct D { working: std::sync::Mutex<u64>, published: std::sync::RwLock<u64> }
+impl D {
+    fn publish(&self) {
+        let g = self.working.lock().unwrap();
+        *self.published.write().unwrap() = *g;
+    }
+}
+";
+        let m = model_for(&[("crates/query/src/epoch.rs", good)]);
+        let w = class_by_name("writer-mutex").unwrap();
+        let e = class_by_name("epoch-rwlock").unwrap();
+        assert!(m.edges.iter().any(|x| x.from == w && x.to == e), "{:?}", m.edges);
+        assert!(m.find_cycle().is_none());
+
+        let bad = format!(
+            "{good}\
+impl D {{
+    fn invert(&self) {{
+        let p = self.published.write().unwrap();
+        let g = self.working.lock().unwrap();
+        consume(*p + *g);
+    }}
+}}
+"
+        );
+        let m = model_for(&[("crates/query/src/epoch.rs", &bad)]);
+        let cycle = m.find_cycle().expect("inverted order forms a cycle");
+        assert_eq!(cycle.first(), cycle.last());
+        assert!(cycle.len() >= 3);
+        assert!(m.has_path(e, w) && m.has_path(w, e));
+    }
+
+    #[test]
+    fn counter_model_derives_fields_from_struct_bodies() {
+        let tracker = "\
+pub struct IoTracker {
+    pages: AtomicU64,
+    hits: AtomicU64,
+}
+pub struct TrackerSnapshot {
+    pub pages: u64,
+    pub hits: u64,
+}
+pub struct CacheCounts {
+    pub hits: u64,
+}
+";
+        let ws = Workspace::from_sources(&[("crates/store/src/tracker.rs", tracker)], None);
+        let m = CounterModel::parse(&ws);
+        let names: Vec<&str> = m.tracker_fields.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["pages", "hits"]);
+        assert_eq!(m.snapshot_fields, vec!["pages", "hits"]);
+        assert_eq!(m.cache_fields.len(), 1);
+        assert!(m.is_tracker_counter("pages") && !m.is_tracker_counter("misses"));
+    }
+
+    #[test]
+    fn atomic_ops_are_collected_with_orderings_and_plain_loads_are_not() {
+        let src = "\
+use std::sync::atomic::{AtomicU64, Ordering};
+struct T { n: AtomicU64 }
+impl T {
+    fn f(&self, pool: &Pool) {
+        self.n.fetch_add(1, Ordering::Relaxed);
+        let _ = self.n.load(Ordering::SeqCst);
+        pool.load(7);
+    }
+}
+";
+        let m = model_for(&[("crates/store/src/tracker.rs", src)]);
+        assert_eq!(m.atomics.len(), 2, "{:?}", m.atomics);
+        let fetch = m.atomics.iter().find(|a| a.method == "fetch_add").unwrap();
+        assert_eq!(fetch.orderings, vec!["Relaxed"]);
+        assert_eq!(fetch.receiver.as_deref(), Some("n"));
+        let load = m.atomics.iter().find(|a| a.method == "load").unwrap();
+        assert_eq!(load.orderings, vec!["SeqCst"]);
+    }
+}

@@ -1,6 +1,7 @@
 //! The rule set. Each rule guards an invariant introduced by an
 //! earlier PR; see DESIGN.md §10 for the full rationale table.
 
+use crate::model::{self, LockOp, WorkspaceModel, LOCK_CLASSES};
 use crate::source::{directive_words, find_word, SourceFile};
 use crate::{Diagnostic, Workspace};
 
@@ -11,6 +12,10 @@ pub const COUNTER_PARITY: &str = "counter-parity";
 pub const UNSAFE_HYGIENE: &str = "unsafe-hygiene";
 pub const EXPERIMENT_DOCS: &str = "experiment-docs";
 pub const STORE_ERROR_HYGIENE: &str = "store-error-hygiene";
+pub const LOCK_ORDER: &str = "lock-order";
+pub const NO_BLOCKING_UNDER_LOCK: &str = "no-blocking-under-lock";
+pub const ATOMICS_DISCIPLINE: &str = "atomics-discipline";
+pub const EPOCH_PROTOCOL: &str = "epoch-protocol";
 pub const WAIVER_SYNTAX: &str = "waiver-syntax";
 
 /// Rule ids a waiver may name. `waiver-syntax` is listed so a directive
@@ -23,6 +28,10 @@ pub const KNOWN_RULES: &[&str] = &[
     UNSAFE_HYGIENE,
     EXPERIMENT_DOCS,
     STORE_ERROR_HYGIENE,
+    LOCK_ORDER,
+    NO_BLOCKING_UNDER_LOCK,
+    ATOMICS_DISCIPLINE,
+    EPOCH_PROTOCOL,
     WAIVER_SYNTAX,
 ];
 
@@ -32,7 +41,9 @@ pub const KNOWN_SCOPES: &[&str] = &["no_alloc"];
 pub trait Rule {
     fn id(&self) -> &'static str;
     fn description(&self) -> &'static str;
-    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>);
+    /// Phase two: report violations against the prebuilt cross-file
+    /// model (phase one, built once per run in [`crate::check`]).
+    fn check(&self, ws: &Workspace, model: &WorkspaceModel, out: &mut Vec<Diagnostic>);
 }
 
 /// Every rule, in the order they run.
@@ -45,6 +56,10 @@ pub fn all() -> Vec<Box<dyn Rule>> {
         Box::new(UnsafeHygiene),
         Box::new(ExperimentDocs),
         Box::new(StoreErrorHygiene),
+        Box::new(LockOrder),
+        Box::new(NoBlockingUnderLock),
+        Box::new(AtomicsDiscipline),
+        Box::new(EpochProtocol),
         Box::new(WaiverSyntax),
     ]
 }
@@ -55,7 +70,7 @@ fn diag(f: &SourceFile, line: usize, rule: &'static str, message: String) -> Dia
 
 /// Byte index just past the `)` matching the `(` at `open`, scanning
 /// blanked code (so literal parens are already gone).
-fn skip_parens(code: &str, open: usize) -> Option<usize> {
+pub(crate) fn skip_parens(code: &str, open: usize) -> Option<usize> {
     let bytes = code.as_bytes();
     debug_assert_eq!(bytes.get(open), Some(&b'('));
     let mut depth = 0usize;
@@ -179,7 +194,7 @@ impl Rule for FloatOrdering {
         "comparators must use total_cmp, never partial_cmp + unwrap/unwrap_or(Ordering)"
     }
 
-    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    fn check(&self, ws: &Workspace, _model: &WorkspaceModel, out: &mut Vec<Diagnostic>) {
         for f in &ws.files {
             for at in find_word(&f.code, "partial_cmp") {
                 // Definitions of `fn partial_cmp` (PartialOrd impls) are
@@ -246,7 +261,7 @@ impl Rule for NoAllocKernel {
         "no allocation in files tagged `lint-scope: no_alloc` (the matching kernel)"
     }
 
-    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    fn check(&self, ws: &Workspace, _model: &WorkspaceModel, out: &mut Vec<Diagnostic>) {
         for f in &ws.files {
             let tagged = f.scopes.iter().any(|s| s == "no_alloc");
             if REQUIRED_NO_ALLOC.contains(&f.rel.as_str()) && !tagged {
@@ -301,7 +316,7 @@ impl Rule for StorageBoundary {
         "outside crates/store, page access goes through QueryContext, not BufferPool/IoTracker"
     }
 
-    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    fn check(&self, ws: &Workspace, _model: &WorkspaceModel, out: &mut Vec<Diagnostic>) {
         for f in &ws.files {
             if f.rel.starts_with("crates/store/") {
                 continue;
@@ -378,26 +393,27 @@ impl Rule for CounterParity {
         "every IoTracker counter is threaded through snapshot/reset, QueryStats and QueryContext"
     }
 
-    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    fn check(&self, ws: &Workspace, model: &WorkspaceModel, out: &mut Vec<Diagnostic>) {
         let Some(tracker) = ws.file(TRACKER_RS) else { return };
         let stats = ws.file(STATS_RS);
         let context = ws.file(CONTEXT_RS);
+
+        // The field lists come from the phase-one counter model, which
+        // parses the struct bodies — a newly declared counter is under
+        // parity enforcement the moment it exists, with no list to
+        // update by hand.
+        let counters = &model.counters;
 
         // The buffer pool keeps one `CacheCounts` per lock shard and
         // sums them with `Add` into `PoolStats`, so a field that misses
         // either side silently reads zero exactly when the pool is
         // sharded — the concurrency configuration the tests exercise
         // least. Cross-reference every field against both.
-        if let Some((cache_at, cache_body)) = item_body(&tracker.code, "struct CacheCounts") {
+        {
             let pool = ws.file(POOL_RS);
             let add_body = item_body(&tracker.code, "fn add").map(|(_, b)| b);
-            let cache_fields = cache_body
-                .lines()
-                .filter_map(|l| l.trim().trim_end_matches(',').strip_suffix(": u64"))
-                .map(|name| name.trim().trim_start_matches("pub ").trim());
-            for field in cache_fields {
-                let at = tracker.code.find(&format!("{field}: u64")).unwrap_or(cache_at);
-                let line = tracker.line_of(at);
+            for (field, line0) in &counters.cache_fields {
+                let line = line0 + 1;
                 if add_body.is_some_and(|b| find_word(b, field).next().is_none()) {
                     out.push(diag(
                         tracker,
@@ -423,20 +439,10 @@ impl Rule for CounterParity {
             }
         }
 
-        let Some((_, tracker_body)) = item_body(&tracker.code, "struct IoTracker") else {
-            return;
-        };
-        let fields: Vec<&str> = tracker_body
-            .lines()
-            .filter_map(|l| l.trim().trim_end_matches(',').strip_suffix(": AtomicU64"))
-            .map(|name| name.trim().trim_start_matches("pub ").trim())
-            .collect();
-
         let snapshot_body = item_body(&tracker.code, "fn snapshot").map(|(_, b)| b);
         let reset_body = item_body(&tracker.code, "fn reset").map(|(_, b)| b);
-        for field in &fields {
-            let at = tracker.code.find(&format!("{field}: AtomicU64")).unwrap_or(0);
-            let line = tracker.line_of(at);
+        for (field, line0) in &counters.tracker_fields {
+            let line = line0 + 1;
             for (body, what) in [(snapshot_body, "snapshot()"), (reset_body, "reset()")] {
                 if body.is_some_and(|b| find_word(b, field).next().is_none()) {
                     out.push(diag(
@@ -446,6 +452,30 @@ impl Rule for CounterParity {
                         format!("IoTracker field `{field}` is missing from {what}"),
                     ));
                 }
+            }
+            // A counter nothing can increment is dead weight that reads
+            // zero forever: every field needs a `count_<field>` or
+            // `record_<field>` accessor (singular forms accepted, e.g.
+            // `hits` → `record_hit`).
+            let mut names = vec![format!("count_{field}"), format!("record_{field}")];
+            if let Some(stem) = field.strip_suffix("es") {
+                names.push(format!("record_{stem}"));
+                names.push(format!("count_{stem}"));
+            }
+            if let Some(stem) = field.strip_suffix('s') {
+                names.push(format!("record_{stem}"));
+                names.push(format!("count_{stem}"));
+            }
+            if !names.iter().any(|n| tracker.code.contains(&format!("fn {n}("))) {
+                out.push(diag(
+                    tracker,
+                    line,
+                    COUNTER_PARITY,
+                    format!(
+                        "IoTracker field `{field}` has no count_/record_ accessor, \
+                         so nothing can ever increment it"
+                    ),
+                ));
             }
         }
 
@@ -509,7 +539,7 @@ impl Rule for UnsafeHygiene {
         "`unsafe` requires a SAFETY: comment; unsafe-free crates declare forbid(unsafe_code)"
     }
 
-    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    fn check(&self, ws: &Workspace, _model: &WorkspaceModel, out: &mut Vec<Diagnostic>) {
         let mut unsafe_crates: Vec<&str> = Vec::new();
         for f in &ws.files {
             let mut file_has_unsafe = false;
@@ -574,7 +604,7 @@ impl Rule for ExperimentDocs {
         "every crates/bench/src/bin/exp_*.rs binary is documented in EXPERIMENTS.md"
     }
 
-    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    fn check(&self, ws: &Workspace, _model: &WorkspaceModel, out: &mut Vec<Diagnostic>) {
         for f in &ws.files {
             let Some(name) = f.rel.strip_prefix("crates/bench/src/bin/") else { continue };
             if !name.starts_with("exp_") {
@@ -612,14 +642,19 @@ impl Rule for StoreErrorHygiene {
     }
 
     fn description(&self) -> &'static str {
-        "crates/store propagates StoreError: no unwrap/expect (incl. on locks) outside tests"
+        "store/query/index library code propagates typed errors: no unwrap/expect outside tests"
     }
 
-    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    fn check(&self, ws: &Workspace, _model: &WorkspaceModel, out: &mut Vec<Diagnostic>) {
+        // Promoted from crates/store alone once the query and index
+        // layers grew their own lock- and I/O-bearing paths: everything
+        // downstream of a page store can see an injected fault, so the
+        // same no-panic standard applies. Integration tests under
+        // `tests/` are all test code; only shipped sources are held to
+        // it.
+        const COVERED: &[&str] = &["crates/store/src/", "crates/query/src/", "crates/index/src/"];
         for f in &ws.files {
-            // Integration tests under crates/store/tests/ are all test
-            // code; only the shipped sources are held to the standard.
-            if !f.rel.starts_with("crates/store/src/") {
+            if !COVERED.iter().any(|p| f.rel.starts_with(p)) {
                 continue;
             }
             for (i, line) in f.lines.iter().enumerate() {
@@ -637,12 +672,326 @@ impl Rule for StoreErrorHygiene {
                             )
                         } else {
                             format!(
-                                "`{tok}` in crates/store outside tests: propagate a \
-                                 typed StoreError (or waive with a reason)"
+                                "`{tok}` in library code outside tests: propagate a \
+                                 typed error (or waive with a reason)"
                             )
                         };
                         out.push(diag(f, i + 1, STORE_ERROR_HYGIENE, message));
                     }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// L8: lock-order
+// ---------------------------------------------------------------------
+
+/// The concurrency PRs (6–9) established one global acquisition order
+/// over the named lock classes (writer mutex, before the epoch RwLock,
+/// before the store-internal locks, before the pool shards). Two code
+/// paths that acquire two classes in opposite orders can deadlock under
+/// exactly the concurrent load the tests exercise least, so any cycle
+/// in the observed acquisition-order graph is an error — and the hot
+/// pool-shard locks must never nest inside themselves at all.
+struct LockOrder;
+
+impl Rule for LockOrder {
+    fn id(&self) -> &'static str {
+        LOCK_ORDER
+    }
+
+    fn description(&self) -> &'static str {
+        "the acquisition-order graph over named lock classes stays acyclic; shard locks never self-nest"
+    }
+
+    fn check(&self, ws: &Workspace, model: &WorkspaceModel, out: &mut Vec<Diagnostic>) {
+        for e in model.edges.iter().filter(|e| !e.in_cfg_test) {
+            let Some(f) = ws.files.get(e.file) else { continue };
+            let (from, to) = (&LOCK_CLASSES[e.from], &LOCK_CLASSES[e.to]);
+            if e.from == e.to {
+                let detail = if from.hot {
+                    "shard-lock self-nesting: a second shard can map to the same stripe \
+                     and deadlock"
+                } else {
+                    "re-acquiring a held lock class self-deadlocks on the same instance"
+                };
+                out.push(diag(
+                    f,
+                    e.line + 1,
+                    LOCK_ORDER,
+                    format!("`{}` acquired while already held — {detail}", from.name),
+                ));
+                continue;
+            }
+            // A cycle exists iff some rank-decreasing edge closes a loop
+            // back to itself (rank-increasing edges alone are acyclic by
+            // construction). Anchoring the report on the inverted edge
+            // makes it the waivable site.
+            if from.rank > to.rank && model.has_path(e.to, e.from) {
+                out.push(diag(
+                    f,
+                    e.line + 1,
+                    LOCK_ORDER,
+                    format!(
+                        "lock-order cycle: acquiring `{}` (rank {}) while holding `{}` \
+                         (rank {}) inverts the workspace acquisition order — deadlock risk",
+                        to.name, to.rank, from.name, from.rank
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// L9: no-blocking-under-lock
+// ---------------------------------------------------------------------
+
+/// The pool-shard mutexes sit on every page access of every query
+/// thread: a critical section that does page I/O, saves an index, or
+/// allocates a page-sized buffer turns one slow store into a stall for
+/// every thread hashing to that stripe. Hot classes therefore admit
+/// only pointer work while held.
+struct NoBlockingUnderLock;
+
+/// Calls that do (or can do) I/O-sized work.
+const BLOCKING_CALLS: &[&str] = &[
+    ".read_into(",
+    ".write_page(",
+    ".read_page(",
+    ".sync(",
+    ".sync_all(",
+    ".sync_data(",
+    ".set_len(",
+    ".flush(",
+    ".persist(",
+    "save_",
+];
+
+/// Allocation-heavy constructors (Arc/Rc clones are fine; page-sized
+/// buffers are not).
+const HEAVY_ALLOC: &[&str] = &["vec!", "Vec::new", "Vec::with_capacity", ".to_vec()", "Box::new"];
+
+impl Rule for NoBlockingUnderLock {
+    fn id(&self) -> &'static str {
+        NO_BLOCKING_UNDER_LOCK
+    }
+
+    fn description(&self) -> &'static str {
+        "no page I/O, save_*, heavy allocation, or second lock while a hot-class guard is live"
+    }
+
+    fn check(&self, ws: &Workspace, model: &WorkspaceModel, out: &mut Vec<Diagnostic>) {
+        for a in &model.acquisitions {
+            if !LOCK_CLASSES[a.class].hot || a.in_cfg_test {
+                continue;
+            }
+            let Some(f) = ws.files.get(a.file) else { continue };
+            let holder = LOCK_CLASSES[a.class].name;
+            for i in a.live_from..=a.live_to.min(f.lines.len() - 1) {
+                let line = &f.lines[i];
+                for tok in BLOCKING_CALLS.iter().chain(HEAVY_ALLOC) {
+                    if token_positions(&line.code, tok).next().is_some() {
+                        out.push(diag(
+                            f,
+                            i + 1,
+                            NO_BLOCKING_UNDER_LOCK,
+                            format!(
+                                "`{}` while the hot `{holder}` lock is held (acquired on \
+                                 line {}): move the work outside the critical section",
+                                tok.trim_start_matches('.').trim_end_matches('('),
+                                a.line + 1
+                            ),
+                        ));
+                    }
+                }
+            }
+            // Taking any second lock under a hot guard blocks every
+            // thread on this stripe behind the other lock's holder.
+            for inner in &model.acquisitions {
+                if inner.file == a.file
+                    && inner.at > a.at
+                    && inner.line >= a.live_from
+                    && inner.line <= a.live_to
+                {
+                    out.push(diag(
+                        f,
+                        inner.line + 1,
+                        NO_BLOCKING_UNDER_LOCK,
+                        format!(
+                            "acquiring `{}` while the hot `{holder}` lock is held \
+                             (acquired on line {})",
+                            LOCK_CLASSES[inner.class].name,
+                            a.line + 1
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// L10: atomics-discipline
+// ---------------------------------------------------------------------
+
+/// The statistics counters are deliberately `Relaxed` — they count, they
+/// don't synchronize; publication ordering comes from the locks and the
+/// epoch RwLock. A stray `SeqCst` on a counter taxes every hot-path
+/// increment for nothing, and a load-bearing `Acquire`/`Release` that
+/// *does* synchronize deserves the same visible justification that
+/// `unsafe` blocks carry. Mirroring `unsafe-hygiene`: any non-Relaxed
+/// ordering needs an adjacent `// ORDERING:` comment saying what it
+/// orders, and the tracker counters must stay Relaxed outright.
+struct AtomicsDiscipline;
+
+impl Rule for AtomicsDiscipline {
+    fn id(&self) -> &'static str {
+        ATOMICS_DISCIPLINE
+    }
+
+    fn description(&self) -> &'static str {
+        "counters use Relaxed; any SeqCst/Acquire/Release needs an `// ORDERING:` justification"
+    }
+
+    fn check(&self, ws: &Workspace, model: &WorkspaceModel, out: &mut Vec<Diagnostic>) {
+        for op in &model.atomics {
+            let Some(f) = ws.files.get(op.file) else { continue };
+            let non_relaxed: Vec<&str> = op
+                .orderings
+                .iter()
+                .filter(|o| o.as_str() != "Relaxed")
+                .map(String::as_str)
+                .collect();
+            if non_relaxed.is_empty() {
+                continue;
+            }
+            let counter =
+                op.receiver.as_deref().is_some_and(|r| model.counters.is_tracker_counter(r));
+            if counter {
+                out.push(diag(
+                    f,
+                    op.line + 1,
+                    ATOMICS_DISCIPLINE,
+                    format!(
+                        "tracker counter `{}` uses Ordering::{} — statistics counters \
+                         are Relaxed by design (locks provide all publication ordering)",
+                        op.receiver.as_deref().unwrap_or("?"),
+                        non_relaxed.join("/"),
+                    ),
+                ));
+            } else if !f.comment_block_contains(op.line + 1, "ORDERING:") {
+                out.push(diag(
+                    f,
+                    op.line + 1,
+                    ATOMICS_DISCIPLINE,
+                    format!(
+                        "`{}` with Ordering::{} has no `// ORDERING:` comment \
+                         justifying the stronger-than-Relaxed ordering",
+                        op.method,
+                        non_relaxed.join("/"),
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// L11: epoch-protocol
+// ---------------------------------------------------------------------
+
+/// The dynamic-index snapshot protocol (PR 9) has exactly two safe
+/// doors: readers reach an `IndexEpoch` only through `pin()` (which
+/// clones the published `Arc` under the epoch RwLock), and `publish()`
+/// swaps the pointer only while the writer mutex is held so generations
+/// publish in order. Code that constructs an epoch elsewhere, or
+/// touches the `published` slot directly, or writes the slot without
+/// the writer lock, silently breaks snapshot isolation.
+struct EpochProtocol;
+
+const EPOCH_RS: &str = "crates/query/src/epoch.rs";
+
+impl Rule for EpochProtocol {
+    fn id(&self) -> &'static str {
+        EPOCH_PROTOCOL
+    }
+
+    fn description(&self) -> &'static str {
+        "IndexEpoch is reached via pin() outside epoch.rs; publishing requires the writer lock"
+    }
+
+    fn check(&self, ws: &Workspace, model: &WorkspaceModel, out: &mut Vec<Diagnostic>) {
+        let Some(writer) = model::class_by_name("writer-mutex") else { return };
+        let Some(epoch) = model::class_by_name("epoch-rwlock") else { return };
+        for (fi, f) in ws.files.iter().enumerate() {
+            if f.rel == EPOCH_RS {
+                // Inside the module: every write acquisition of the
+                // published slot must happen under a live writer-mutex
+                // guard, or generations can publish out of order.
+                for a in &model.acquisitions {
+                    if a.file != fi || a.class != epoch || a.op != LockOp::Write || a.in_cfg_test {
+                        continue;
+                    }
+                    let held = model.acquisitions.iter().any(|w| {
+                        w.file == fi
+                            && w.class == writer
+                            && w.at < a.at
+                            && w.live_from <= a.line
+                            && a.line <= w.live_to
+                    });
+                    if !held {
+                        out.push(diag(
+                            f,
+                            a.line + 1,
+                            EPOCH_PROTOCOL,
+                            "publishing an epoch (write-locking `published`) without \
+                             holding the writer mutex: generations can publish out of order"
+                                .to_owned(),
+                        ));
+                    }
+                }
+                continue;
+            }
+            // Outside the module: no constructing epochs, no reaching
+            // the published slot. Mentioning the *type* (signatures,
+            // `Arc<IndexEpoch>` fields) is fine.
+            for at in find_word(&f.code, "IndexEpoch") {
+                let rest = &f.code[at + "IndexEpoch".len()..];
+                let next = rest.trim_start().chars().next();
+                let construct = next == Some('{')
+                    || rest.trim_start().starts_with("::new(")
+                    || rest.trim_start().starts_with("::default(");
+                if construct {
+                    out.push(diag(
+                        f,
+                        f.line_of(at),
+                        EPOCH_PROTOCOL,
+                        "IndexEpoch constructed outside epoch.rs: snapshots are built \
+                         and published only by the writer path"
+                            .to_owned(),
+                    ));
+                }
+            }
+            for at in token_positions(&f.code, ".published") {
+                // Word boundary: `.published_generation(…)` is an
+                // accessor, not the slot.
+                let end = at + ".published".len();
+                let boundary = f.code[end..]
+                    .chars()
+                    .next()
+                    .is_none_or(|c| !(c.is_ascii_alphanumeric() || c == '_'));
+                if boundary {
+                    out.push(diag(
+                        f,
+                        f.line_of(at),
+                        EPOCH_PROTOCOL,
+                        "direct access to the published-epoch slot outside epoch.rs: \
+                         readers go through pin()"
+                            .to_owned(),
+                    ));
                 }
             }
         }
@@ -667,7 +1016,7 @@ impl Rule for WaiverSyntax {
         "lint-allow/lint-scope directives must parse and name known rules/scopes"
     }
 
-    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    fn check(&self, ws: &Workspace, _model: &WorkspaceModel, out: &mut Vec<Diagnostic>) {
         for f in &ws.files {
             for e in &f.directive_errors {
                 out.push(diag(f, e.line, WAIVER_SYNTAX, e.message.clone()));
@@ -1137,15 +1486,214 @@ mod tests {
             rules_hit(&[("crates/store/src/pool.rs", good)], rules::STORE_ERROR_HYGIENE),
             vec![]
         );
-        // The same unwraps outside crates/store are not this rule's
-        // business.
+        // The same unwraps outside the covered library crates (store,
+        // query, index) are not this rule's business.
         let elsewhere = "#![forbid(unsafe_code)]\n\
             fn f() {\n\
                 std::fs::read(\"x\").unwrap();\n\
             }\n";
         assert_eq!(
-            rules_hit(&[("crates/query/src/lib.rs", elsewhere)], rules::STORE_ERROR_HYGIENE),
+            rules_hit(&[("crates/bench/src/lib.rs", elsewhere)], rules::STORE_ERROR_HYGIENE),
             vec![]
+        );
+        // ... but query and index library code is now covered.
+        assert_eq!(
+            rules_hit(&[("crates/query/src/planner.rs", elsewhere)], rules::STORE_ERROR_HYGIENE),
+            vec![3]
+        );
+        assert_eq!(
+            rules_hit(&[("crates/index/src/storage.rs", elsewhere)], rules::STORE_ERROR_HYGIENE),
+            vec![3]
+        );
+    }
+
+    #[test]
+    fn l8_flags_lock_order_cycles_and_shard_self_nesting() {
+        // The good direction alone — writer mutex, then the epoch
+        // RwLock — is rank-increasing and clean.
+        let publish_only = "#![forbid(unsafe_code)]\n\
+            impl Handle {\n\
+                fn publish(&self) {\n\
+                    let w = self.working.lock().unwrap();\n\
+                    let mut slot = self.published.write().unwrap();\n\
+                    *slot = w.snapshot();\n\
+                }\n\
+            }\n";
+        assert_eq!(
+            rules_hit(&[("crates/query/src/epoch.rs", publish_only)], rules::LOCK_ORDER),
+            vec![]
+        );
+        // Add a path that takes the same two classes in the opposite
+        // order and the graph has a cycle; the inverted (rank-
+        // decreasing) edge is the reported site.
+        let with_inversion = "#![forbid(unsafe_code)]\n\
+            impl Handle {\n\
+                fn publish(&self) {\n\
+                    let w = self.working.lock().unwrap();\n\
+                    let mut slot = self.published.write().unwrap();\n\
+                    *slot = w.snapshot();\n\
+                }\n\
+                fn inverted(&self) {\n\
+                    let p = self.published.write().unwrap();\n\
+                    let w = self.working.lock().unwrap();\n\
+                    drop(w);\n\
+                    drop(p);\n\
+                }\n\
+            }\n";
+        assert_eq!(
+            rules_hit(&[("crates/query/src/epoch.rs", with_inversion)], rules::LOCK_ORDER),
+            vec![10]
+        );
+        // Shard locks must never nest inside themselves, cycle or not.
+        let self_nest = "#![forbid(unsafe_code)]\n\
+            impl Pool {\n\
+                fn rehash(&self, other: &Shard) {\n\
+                    let a = self.inner.lock().unwrap();\n\
+                    let b = other.inner.lock().unwrap();\n\
+                    a.merge(&b);\n\
+                }\n\
+            }\n";
+        let hits = rules_hit(&[("crates/store/src/pool.rs", self_nest)], rules::LOCK_ORDER);
+        assert_eq!(hits, vec![5]);
+        let msgs: Vec<String> = diags_for(&[("crates/store/src/pool.rs", self_nest)])
+            .into_iter()
+            .filter(|d| d.rule == rules::LOCK_ORDER)
+            .map(|d| d.message)
+            .collect();
+        assert!(msgs[0].contains("self-nesting"), "{msgs:?}");
+    }
+
+    #[test]
+    fn l9_flags_io_allocation_and_second_locks_under_a_hot_guard() {
+        let bad = "#![forbid(unsafe_code)]\n\
+            impl Shard {\n\
+                fn fill(&self, store: &Store, id: u64) {\n\
+                    let mut g = self.inner.lock().unwrap();\n\
+                    let buf = vec![0u8; 4096];\n\
+                    store.read_into(id, &mut g.frame);\n\
+                    let d = self.data.lock().unwrap();\n\
+                    g.install(buf, &d);\n\
+                }\n\
+            }\n";
+        assert_eq!(
+            rules_hit(&[("crates/store/src/pool.rs", bad)], rules::NO_BLOCKING_UNDER_LOCK),
+            vec![5, 6, 7]
+        );
+        // The same work staged *before* the guard is fine, as are the
+        // colder classes (writer mutex) doing I/O-sized work.
+        let good = "#![forbid(unsafe_code)]\n\
+            impl Shard {\n\
+                fn fill(&self, store: &Store, id: u64) {\n\
+                    let mut buf = vec![0u8; 4096];\n\
+                    store.read_into(id, &mut buf);\n\
+                    let mut g = self.inner.lock().unwrap();\n\
+                    g.install(buf);\n\
+                }\n\
+            }\n";
+        assert_eq!(
+            rules_hit(&[("crates/store/src/pool.rs", good)], rules::NO_BLOCKING_UNDER_LOCK),
+            vec![]
+        );
+        let cold = "#![forbid(unsafe_code)]\n\
+            impl Writer {\n\
+                fn rebuild(&self) {\n\
+                    let w = self.working.lock().unwrap();\n\
+                    let buf = vec![0u8; 4096];\n\
+                    w.save_index(buf);\n\
+                }\n\
+            }\n";
+        assert_eq!(
+            rules_hit(&[("crates/query/src/writer.rs", cold)], rules::NO_BLOCKING_UNDER_LOCK),
+            vec![]
+        );
+    }
+
+    #[test]
+    fn l10_atomics_need_relaxed_counters_and_justified_strong_orderings() {
+        let tracker = "#![forbid(unsafe_code)]\n\
+            use std::sync::atomic::{AtomicU64, Ordering};\n\
+            pub struct IoTracker {\n\
+                hits: AtomicU64,\n\
+            }\n\
+            impl IoTracker {\n\
+                pub fn count_hits(&self) {\n\
+                    self.hits.fetch_add(1, Ordering::SeqCst);\n\
+                }\n\
+            }\n";
+        // A tracker counter with a strong ordering is wrong even if
+        // somebody writes a justification comment.
+        let hits =
+            rules_hit(&[("crates/store/src/tracker.rs", tracker)], rules::ATOMICS_DISCIPLINE);
+        assert_eq!(hits, vec![8]);
+        let elsewhere = "#![forbid(unsafe_code)]\n\
+            use std::sync::atomic::{AtomicU64, Ordering};\n\
+            fn gen(flag: &AtomicU64) -> u64 {\n\
+                flag.load(Ordering::Acquire)\n\
+            }\n\
+            fn publish(flag: &AtomicU64) {\n\
+                // ORDERING: Release pairs with the Acquire load in gen().\n\
+                flag.store(1, Ordering::Release);\n\
+            }\n\
+            fn relaxed(n: &AtomicU64) -> u64 {\n\
+                n.load(Ordering::Relaxed)\n\
+            }\n";
+        // Line 4 has no ORDERING: comment; line 8 does; Relaxed is
+        // always fine.
+        assert_eq!(
+            rules_hit(&[("crates/query/src/epochs.rs", elsewhere)], rules::ATOMICS_DISCIPLINE),
+            vec![4]
+        );
+        // Non-atomic `.load(…)` calls (no Ordering argument) are not
+        // atomic ops at all.
+        let pool = "#![forbid(unsafe_code)]\n\
+            fn f(pool: &Pool) -> Page {\n\
+                pool.load(7).unwrap_or_default()\n\
+            }\n";
+        assert_eq!(
+            rules_hit(&[("crates/bench/src/lib.rs", pool)], rules::ATOMICS_DISCIPLINE),
+            vec![]
+        );
+    }
+
+    #[test]
+    fn l11_epoch_protocol_guards_construction_publication_and_the_slot() {
+        // Outside epoch.rs: constructing an epoch or reaching the
+        // published slot directly is flagged; mentioning the type or
+        // calling the generation accessor is not.
+        let outside = "#![forbid(unsafe_code)]\n\
+            fn steal(h: &Handle) -> u64 {\n\
+                let e = IndexEpoch { generation: 0 };\n\
+                let g = h.published.read().unwrap();\n\
+                e.generation + g.generation + h.published_generation()\n\
+            }\n\
+            fn fine(h: &Handle) -> std::sync::Arc<IndexEpoch> {\n\
+                h.pin()\n\
+            }\n";
+        assert_eq!(
+            rules_hit(&[("crates/index/src/lib.rs", outside)], rules::EPOCH_PROTOCOL),
+            vec![3, 4]
+        );
+        // Inside epoch.rs: write-locking the published slot without the
+        // writer mutex held is flagged; the pin() read path and the
+        // guarded publish path are the sanctioned doors.
+        let inside = "#![forbid(unsafe_code)]\n\
+            impl Handle {\n\
+                fn pin(&self) -> Arc<IndexEpoch> {\n\
+                    self.published.read().unwrap().clone()\n\
+                }\n\
+                fn publish(&self) {\n\
+                    let w = self.working.lock().unwrap();\n\
+                    let mut slot = self.published.write().unwrap();\n\
+                    *slot = w.snapshot();\n\
+                }\n\
+                fn rogue(&self) {\n\
+                    let mut slot = self.published.write().unwrap();\n\
+                    *slot = Arc::default();\n\
+                }\n\
+            }\n";
+        assert_eq!(
+            rules_hit(&[("crates/query/src/epoch.rs", inside)], rules::EPOCH_PROTOCOL),
+            vec![12]
         );
     }
 

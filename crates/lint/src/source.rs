@@ -432,6 +432,11 @@ impl SourceFile {
         (i, j)
     }
 
+    /// Byte offset in `self.code` where 0-based `line` starts.
+    pub fn line_start(&self, line: usize) -> usize {
+        self.line_offsets.get(line).copied().unwrap_or(self.code.len())
+    }
+
     /// 1-based line number containing byte offset `at` of `self.code`.
     pub fn line_of(&self, at: usize) -> usize {
         match self.line_offsets.binary_search(&at) {

@@ -34,3 +34,30 @@ fn an_injected_violation_is_caught() {
     // The missing #![forbid(unsafe_code)] is flagged too.
     assert!(diags.iter().any(|d| d.rule == vsim_lint::rules::UNSAFE_HYGIENE), "{diags:?}");
 }
+
+#[test]
+fn the_workspace_lock_graph_is_acyclic_and_covers_the_named_classes() {
+    // The acceptance bar for the concurrency lints: the acquisition-
+    // order graph observed on the real tree has no cycle (so there is a
+    // consistent global lock order), and the model actually *sees* the
+    // three load-bearing classes — if a refactor renamed the fields out
+    // from under the registry, site counts dropping to zero would make
+    // every lock rule silently vacuous.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let ws = vsim_lint::Workspace::load(&root).expect("workspace walk failed");
+    let model = vsim_lint::model::WorkspaceModel::build(&ws);
+    assert_eq!(model.find_cycle(), None, "lock-order cycle in the real workspace");
+    for name in ["pool-shard", "writer-mutex", "epoch-rwlock"] {
+        let class = vsim_lint::model::class_by_name(name).expect("registered class");
+        assert!(
+            model.class_site_count(class) > 0,
+            "no acquisition sites observed for lock class `{name}`"
+        );
+    }
+    // The DOT dump renders every class node (CI archives it).
+    let dot = model.render_lock_graph_dot(&ws.files);
+    assert!(dot.starts_with("digraph lock_order"), "{dot}");
+    for def in vsim_lint::model::LOCK_CLASSES {
+        assert!(dot.contains(def.name), "missing node for `{}`:\n{dot}", def.name);
+    }
+}

@@ -83,6 +83,8 @@ fn engine_distance_calls_are_allocation_free_in_steady_state() {
 
         // Steady state: cost-only, bounded, prepared, SIMD-prefiltered
         // and f32 filter-precision paths must not touch the heap at all.
+        // ORDERING: SeqCst so the baseline observes every allocator
+        // fetch_add that happened-before this read, on any thread.
         let before = ALLOCATIONS.load(Ordering::SeqCst);
         let mut sum = 0.0;
         let mut pruned = 0usize;
@@ -120,6 +122,8 @@ fn engine_distance_calls_are_allocation_free_in_steady_state() {
                 }
             }
         }
+        // ORDERING: SeqCst pairs with the baseline read above — the
+        // delta must include every allocation in between.
         let after = ALLOCATIONS.load(Ordering::SeqCst);
 
         assert_eq!(

@@ -139,11 +139,15 @@ impl<S: PageStore> FaultInjectingPageStore<S> {
     /// Operations executed (or rejected by the crash point) so far —
     /// the index the *next* operation will get.
     pub fn ops(&self) -> u64 {
+        // ORDERING: SeqCst — the op counter is the crash-point clock,
+        // and tests read it to predict exactly which operation fails.
         self.op.load(Ordering::SeqCst)
     }
 
     /// Claim the next operation index, honoring the crash point.
     fn next_op(&self) -> StoreResult<u64> {
+        // ORDERING: SeqCst gives concurrent operations one total order,
+        // so a crash plan fires exactly once at the configured index.
         let op = self.op.fetch_add(1, Ordering::SeqCst);
         if self.plan.crash_at.is_some_and(|n| op >= n) {
             return Err(StoreError::Crashed);

@@ -177,6 +177,7 @@ impl BufferPool {
     /// the page is physically read from `store` and cached in the
     /// frame. Returns the contents and the number of charged misses
     /// (0 or 1).
+    // lint-allow: no-blocking-under-lock the read must happen under the shard lock so a fault is charged to exactly one access (fault-injection tests pin this); buffers stay because read_into needs a full page
     pub fn load(
         &self,
         store: &dyn PageStore,
